@@ -1,0 +1,90 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used heavily in this crate's tests and re-exported so downstream layers
+//! (LSTM cell, attention, likelihood heads) can verify their composite
+//! gradients too.
+
+use crate::tape::{Tape, Var};
+use rpf_tensor::Matrix;
+
+/// Numerically estimate `d f / d input` by central differences.
+///
+/// `f` must rebuild the full forward computation from scratch given the
+/// perturbed input and return the scalar output.
+pub fn finite_difference_grad(
+    input: &Matrix,
+    eps: f32,
+    mut f: impl FnMut(&Matrix) -> f32,
+) -> Matrix {
+    let mut grad = Matrix::zeros(input.rows(), input.cols());
+    for r in 0..input.rows() {
+        for c in 0..input.cols() {
+            let mut plus = input.clone();
+            plus.set(r, c, input.get(r, c) + eps);
+            let mut minus = input.clone();
+            minus.set(r, c, input.get(r, c) - eps);
+            grad.set(r, c, (f(&plus) - f(&minus)) / (2.0 * eps));
+        }
+    }
+    grad
+}
+
+/// Check the analytic gradient of a scalar-valued tape program against
+/// central differences, for one designated input.
+///
+/// `build` receives a fresh tape and the (possibly perturbed) input value and
+/// must return the scalar output node. Returns the maximum relative error.
+pub fn gradcheck(
+    input: &Matrix,
+    eps: f32,
+    build: impl Fn(&Tape, Var) -> Var,
+) -> f32 {
+    // Analytic gradient.
+    let tape = Tape::new();
+    let x = tape.leaf(input.clone());
+    let out = build(&tape, x);
+    let grads = tape.backward(out);
+    let analytic = grads.get(x).expect("input did not influence the output").clone();
+
+    // Numeric gradient.
+    let numeric = finite_difference_grad(input, eps, |m| {
+        let tape = Tape::new();
+        let x = tape.leaf(m.clone());
+        let out = build(&tape, x);
+        tape.scalar(out)
+    });
+
+    let mut max_rel = 0.0f32;
+    for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+        let denom = a.abs().max(n.abs()).max(1e-3);
+        max_rel = max_rel.max((a - n).abs() / denom);
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_grad_of_square_is_2x() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let g = finite_difference_grad(&x, 1e-3, |m| {
+            m.as_slice().iter().map(|v| v * v).sum()
+        });
+        for (gv, xv) in g.as_slice().iter().zip(x.as_slice()) {
+            assert!((gv - 2.0 * xv).abs() < 1e-2, "{gv} vs {}", 2.0 * xv);
+        }
+    }
+
+    #[test]
+    fn gradcheck_simple_chain() {
+        let x = Matrix::from_vec(2, 2, vec![0.5, -0.3, 0.8, 0.1]);
+        let err = gradcheck(&x, 1e-3, |t, x| {
+            let y = t.tanh(x);
+            let z = t.mul(y, y);
+            t.sum(z)
+        });
+        assert!(err < 1e-2, "relative error {err}");
+    }
+}

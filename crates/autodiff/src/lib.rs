@@ -1,0 +1,37 @@
+//! Tape-based reverse-mode automatic differentiation over [`rpf_tensor`]
+//! matrices.
+//!
+//! The paper trains its models by maximising a Gaussian log-likelihood with
+//! Adam (Algorithm 1); everything upstream of the optimizer needs gradients
+//! of matrix expressions — LSTM cells, dense heads, attention. This crate
+//! provides exactly that: a [`Tape`] on which forward operations are
+//! recorded, and a single [`Tape::backward`] sweep that accumulates
+//! gradients for every recorded node in reverse topological order.
+//!
+//! Design notes:
+//!
+//! * A fresh tape is built per forward pass (per minibatch). Nodes are
+//!   appended in creation order, which is automatically a topological order
+//!   of the DAG, so backward is a simple reverse iteration — no sorting.
+//! * [`Var`] is a `Copy` handle (tape index); all state lives in the tape.
+//! * Gradients are dense matrices; unused nodes simply never materialise a
+//!   gradient.
+//!
+//! ```
+//! use rpf_autodiff::Tape;
+//! use rpf_tensor::Matrix;
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_vec(1, 2, vec![3.0, -1.0]));
+//! let y = tape.mul(x, x);        // y = x^2 elementwise
+//! let loss = tape.sum(y);        // scalar
+//! let grads = tape.backward(loss);
+//! let gx = grads.get(x).unwrap();
+//! assert_eq!(gx.as_slice(), &[6.0, -2.0]); // d/dx x^2 = 2x
+//! ```
+
+mod gradcheck;
+mod tape;
+
+pub use gradcheck::{finite_difference_grad, gradcheck};
+pub use tape::{Gradients, Tape, Var};

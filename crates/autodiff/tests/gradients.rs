@@ -1,0 +1,275 @@
+//! Gradient correctness for every op on the tape, checked against central
+//! finite differences.
+
+use rpf_autodiff::{gradcheck, Tape};
+use rpf_tensor::Matrix;
+
+fn pseudo_random(rows: usize, cols: usize, seed: u64, lo: f32, hi: f32) -> Matrix {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+    Matrix::from_fn(rows, cols, |_, _| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        lo + (hi - lo) * ((s >> 40) as f32 / (1u64 << 24) as f32)
+    })
+}
+
+const TOL: f32 = 2e-2; // f32 central differences are noisy; this is ample to catch wrong rules
+
+#[test]
+fn grad_matmul_lhs() {
+    let x = pseudo_random(3, 4, 1, -1.0, 1.0);
+    let w = pseudo_random(4, 5, 2, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let w = t.leaf(w.clone());
+        let y = t.matmul(x, w);
+        t.sum(t.mul(y, y))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_matmul_rhs() {
+    let w = pseudo_random(4, 5, 3, -1.0, 1.0);
+    let x = pseudo_random(3, 4, 4, -1.0, 1.0);
+    let err = gradcheck(&w, 1e-2, |t, w| {
+        let x = t.leaf(x.clone());
+        let y = t.matmul(x, w);
+        t.sum(t.mul(y, y))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let x = pseudo_random(2, 3, 5, -1.0, 1.0);
+    let other = pseudo_random(2, 3, 6, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let o = t.leaf(other.clone());
+        let a = t.add(x, o);
+        let b = t.sub(a, x);
+        let c = t.mul(b, x);
+        t.sum(c)
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_div() {
+    let x = pseudo_random(2, 3, 7, 0.5, 2.0);
+    let denom = pseudo_random(2, 3, 8, 1.0, 3.0);
+    let err = gradcheck(&x, 1e-3, |t, x| {
+        let d = t.leaf(denom.clone());
+        t.sum(t.div(x, d))
+    });
+    assert!(err < TOL, "{err}");
+    // also as the denominator
+    let err = gradcheck(&denom, 1e-3, |t, d| {
+        let x = t.leaf(x.clone());
+        t.sum(t.div(x, d))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_add_row_bias() {
+    let bias = pseudo_random(1, 4, 9, -1.0, 1.0);
+    let x = pseudo_random(5, 4, 10, -1.0, 1.0);
+    let err = gradcheck(&bias, 1e-2, |t, b| {
+        let x = t.leaf(x.clone());
+        let y = t.add_row(x, b);
+        t.sum(t.mul(y, y))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_activations() {
+    let x = pseudo_random(3, 3, 11, -2.0, 2.0);
+    for (name, f) in [
+        ("sigmoid", (&|t: &Tape, x| t.sigmoid(x)) as &dyn Fn(&Tape, rpf_autodiff::Var) -> rpf_autodiff::Var),
+        ("tanh", &|t, x| t.tanh(x)),
+        ("softplus", &|t, x| t.softplus(x)),
+        ("exp", &|t, x| t.exp(x)),
+        ("square", &|t, x| t.square(x)),
+    ] {
+        let err = gradcheck(&x, 1e-2, |t, x| {
+            let y = f(t, x);
+            t.sum(y)
+        });
+        assert!(err < TOL, "{name}: {err}");
+    }
+}
+
+#[test]
+fn grad_relu_away_from_kink() {
+    // Keep inputs away from 0 where ReLU is not differentiable.
+    let mut x = pseudo_random(3, 3, 12, -2.0, 2.0);
+    for v in x.as_mut_slice() {
+        if v.abs() < 0.3 {
+            *v += 0.5_f32.copysign(*v + 1e-6);
+        }
+    }
+    let err = gradcheck(&x, 1e-3, |t, x| t.sum(t.relu(x)));
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_log_sqrt_positive_domain() {
+    let x = pseudo_random(3, 3, 13, 0.5, 3.0);
+    let err = gradcheck(&x, 1e-3, |t, x| t.sum(t.log(x)));
+    assert!(err < TOL, "log: {err}");
+    let err = gradcheck(&x, 1e-3, |t, x| t.sum(t.sqrt(x)));
+    assert!(err < TOL, "sqrt: {err}");
+}
+
+#[test]
+fn grad_transpose_and_softmax() {
+    let x = pseudo_random(3, 4, 14, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let y = t.transpose(x);
+        t.sum(t.mul(y, y))
+    });
+    assert!(err < TOL, "transpose: {err}");
+
+    let w = pseudo_random(3, 4, 140, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let s = t.softmax_rows(x);
+        let w = t.leaf(w.clone());
+        t.sum(t.mul(s, w))
+    });
+    assert!(err < TOL, "softmax: {err}");
+}
+
+#[test]
+fn grad_hstack_and_slices() {
+    let x = pseudo_random(3, 4, 15, -1.0, 1.0);
+    let other = pseudo_random(3, 2, 16, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let o = t.leaf(other.clone());
+        let h = t.hstack(&[x, o, x]); // x used twice: tests grad accumulation
+        let s = t.slice_cols(h, 1, 9);
+        t.sum(t.mul(s, s))
+    });
+    assert!(err < TOL, "{err}");
+
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let s = t.slice_rows(x, 1, 3);
+        t.sum(t.mul(s, s))
+    });
+    assert!(err < TOL, "slice_rows: {err}");
+}
+
+#[test]
+fn grad_gather_rows_accumulates_repeats() {
+    let emb = pseudo_random(5, 3, 17, -1.0, 1.0);
+    let err = gradcheck(&emb, 1e-2, |t, e| {
+        let g = t.gather_rows(e, &[0, 2, 2, 4]);
+        t.sum(t.mul(g, g))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn grad_mean_and_sum_rows() {
+    let x = pseudo_random(4, 3, 18, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| t.mean(t.square(x)));
+    assert!(err < TOL, "mean: {err}");
+
+    let w = pseudo_random(1, 3, 19, -1.0, 1.0);
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let sr = t.sum_rows(x);
+        let w = t.leaf(w.clone());
+        t.sum(t.mul(sr, w))
+    });
+    assert!(err < TOL, "sum_rows: {err}");
+}
+
+#[test]
+fn grad_gaussian_nll_composition() {
+    // The exact loss the RankNet training uses, composed from primitives:
+    // L = mean( log(sigma) + (z - mu)^2 / (2 sigma^2) )
+    let mu = pseudo_random(6, 1, 20, -1.0, 1.0);
+    let z = pseudo_random(6, 1, 21, -1.0, 1.0);
+    let raw_sigma = pseudo_random(6, 1, 22, -1.0, 1.0);
+
+    let err = gradcheck(&mu, 1e-2, |t, mu| {
+        let z = t.leaf(z.clone());
+        let rs = t.leaf(raw_sigma.clone());
+        let sigma = t.softplus(rs);
+        let diff = t.sub(z, mu);
+        let sq = t.square(diff);
+        let var2 = t.scale(t.square(sigma), 2.0);
+        let term = t.add(t.log(sigma), t.div(sq, var2));
+        t.mean(term)
+    });
+    assert!(err < TOL, "d/dmu: {err}");
+
+    let err = gradcheck(&raw_sigma, 1e-2, |t, rs| {
+        let z = t.leaf(z.clone());
+        let mu = t.leaf(mu.clone());
+        let sigma = t.softplus(rs);
+        let diff = t.sub(z, mu);
+        let sq = t.square(diff);
+        let var2 = t.scale(t.square(sigma), 2.0);
+        let term = t.add(t.log(sigma), t.div(sq, var2));
+        t.mean(term)
+    });
+    assert!(err < TOL, "d/draw_sigma: {err}");
+}
+
+#[test]
+fn grad_lstm_like_cell() {
+    // One LSTM-style gate computation end to end, the composite gradient the
+    // whole RankModel depends on.
+    let x = pseudo_random(2, 3, 23, -1.0, 1.0);
+    let wf = pseudo_random(3, 4, 24, -0.5, 0.5);
+    let wi = pseudo_random(3, 4, 25, -0.5, 0.5);
+    let wc = pseudo_random(3, 4, 26, -0.5, 0.5);
+    let c_prev = pseudo_random(2, 4, 27, -1.0, 1.0);
+
+    let err = gradcheck(&x, 1e-2, |t, x| {
+        let wf = t.leaf(wf.clone());
+        let wi = t.leaf(wi.clone());
+        let wc = t.leaf(wc.clone());
+        let c_prev = t.leaf(c_prev.clone());
+        let f = t.sigmoid(t.matmul(x, wf));
+        let i = t.sigmoid(t.matmul(x, wi));
+        let c_tilde = t.tanh(t.matmul(x, wc));
+        let c = t.add(t.mul(f, c_prev), t.mul(i, c_tilde));
+        let h = t.mul(t.sigmoid(c), t.tanh(c));
+        t.sum(t.square(h))
+    });
+    assert!(err < TOL, "{err}");
+}
+
+#[test]
+fn value_and_shape_accessors() {
+    let t = Tape::new();
+    let x = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    assert_eq!(t.shape(x), (2, 2));
+    assert_eq!(t.value(x).as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    let s = t.sum(x);
+    assert_eq!(t.scalar(s), 10.0);
+    assert_eq!(t.len(), 2);
+}
+
+#[test]
+#[should_panic(expected = "scalar node")]
+fn backward_on_non_scalar_panics() {
+    let t = Tape::new();
+    let x = t.leaf(Matrix::zeros(2, 2));
+    let _ = t.backward(x);
+}
+
+#[test]
+fn grad_reused_node_accumulates() {
+    // y = x * x + x  => dy/dx = 2x + 1
+    let t = Tape::new();
+    let x = t.leaf(Matrix::from_vec(1, 2, vec![3.0, -2.0]));
+    let y = t.add(t.mul(x, x), x);
+    let s = t.sum(y);
+    let g = t.backward(s);
+    let gx = g.get(x).unwrap();
+    assert_eq!(gx.as_slice(), &[7.0, -3.0]);
+}

@@ -1,0 +1,127 @@
+//! Property-based gradient checks on randomly composed graphs — the
+//! backstop that catches wrong backward rules that a fixed test might miss.
+
+use proptest::prelude::*;
+use rpf_autodiff::{gradcheck, Tape, Var};
+use rpf_tensor::Matrix;
+
+/// A small op language for random graph generation. Every op maps a single
+/// matrix to a same-shaped matrix, so chains compose freely.
+#[derive(Clone, Copy, Debug)]
+enum UnaryOp {
+    Sigmoid,
+    Tanh,
+    Softplus,
+    Square,
+    Scale(i8),
+    AddScalar(i8),
+    Neg,
+}
+
+fn apply(op: UnaryOp, t: &Tape, x: Var) -> Var {
+    match op {
+        UnaryOp::Sigmoid => t.sigmoid(x),
+        UnaryOp::Tanh => t.tanh(x),
+        UnaryOp::Softplus => t.softplus(x),
+        UnaryOp::Square => t.square(x),
+        UnaryOp::Scale(s) => t.scale(x, s as f32 / 4.0),
+        UnaryOp::AddScalar(s) => t.add_scalar(x, s as f32 / 4.0),
+        UnaryOp::Neg => t.neg(x),
+    }
+}
+
+fn unary_op() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::Softplus),
+        Just(UnaryOp::Square),
+        (-6i8..6).prop_map(UnaryOp::Scale),
+        (-6i8..6).prop_map(UnaryOp::AddScalar),
+        Just(UnaryOp::Neg),
+    ]
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-1.5f32..1.5, r * c)
+            .prop_map(move |v| Matrix::from_vec(r, c, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_unary_chains_gradcheck(x in small_matrix(), ops in prop::collection::vec(unary_op(), 1..6)) {
+        let err = gradcheck(&x, 1e-2, |t, x| {
+            let mut h = x;
+            for &op in &ops {
+                h = apply(op, t, h);
+            }
+            t.sum(h)
+        });
+        prop_assert!(err < 5e-2, "ops {ops:?}: err {err}");
+    }
+
+    #[test]
+    fn random_diamond_graphs_gradcheck(
+        x in small_matrix(),
+        op_a in unary_op(),
+        op_b in unary_op(),
+    ) {
+        // Diamond: x feeds two branches that merge — exercises gradient
+        // accumulation at the shared input.
+        let err = gradcheck(&x, 1e-2, |t, x| {
+            let a = apply(op_a, t, x);
+            let b = apply(op_b, t, x);
+            t.sum(t.mul(a, b))
+        });
+        prop_assert!(err < 5e-2, "{op_a:?}*{op_b:?}: err {err}");
+    }
+
+    #[test]
+    fn matmul_sandwich_gradcheck(
+        rows in 1usize..4,
+        inner in 1usize..4,
+        cols in 1usize..4,
+        seed in 0u64..100,
+        op in unary_op(),
+    ) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let x = Matrix::from_fn(rows, inner, |_, _| next());
+        let w = Matrix::from_fn(inner, cols, |_, _| next());
+        let err = gradcheck(&x, 1e-2, |t, x| {
+            let w = t.leaf(w.clone());
+            let y = t.matmul(x, w);
+            let z = apply(op, t, y);
+            t.sum(z)
+        });
+        prop_assert!(err < 5e-2, "matmul+{op:?}: err {err}");
+    }
+
+    #[test]
+    fn value_of_sum_matches_manual(x in small_matrix()) {
+        let t = Tape::new();
+        let v = t.leaf(x.clone());
+        let s = t.sum(v);
+        let manual: f32 = x.as_slice().iter().sum();
+        prop_assert!((t.scalar(s) - manual).abs() < 1e-4 * (1.0 + manual.abs()));
+    }
+
+    #[test]
+    fn gradient_of_linear_fn_is_input_independent(x in small_matrix()) {
+        // d(sum(3x + 1))/dx = 3 everywhere regardless of x.
+        let t = Tape::new();
+        let v = t.leaf(x.clone());
+        let y = t.add_scalar(t.scale(v, 3.0), 1.0);
+        let loss = t.sum(y);
+        let grads = t.backward(loss);
+        let g = grads.get(v).unwrap();
+        prop_assert!(g.as_slice().iter().all(|&gv| (gv - 3.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,128 @@
+//! Small dense linear-algebra helpers for the classical baselines: ordinary
+//! least squares via normal equations with partial-pivot Gaussian
+//! elimination. Systems here are tiny (ARIMA orders ≤ 5), so numerical
+//! sophistication beyond pivoting + ridge jitter is unnecessary.
+
+/// Solve `A x = b` for square `A` (row-major `n x n`) by Gaussian
+/// elimination with partial pivoting. Returns `None` if `A` is singular.
+pub fn solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n);
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        for r in col + 1..n {
+            if m[r * n + col].abs() > m[best * n + col].abs() {
+                best = r;
+            }
+        }
+        if m[best * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if best != col {
+            for c in 0..n {
+                m.swap(col * n + c, best * n + c);
+            }
+            rhs.swap(col, best);
+        }
+        // Eliminate below.
+        let pivot = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[r * n + c] -= factor * m[col * n + c];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r];
+        for c in r + 1..n {
+            acc -= m[r * n + c] * x[c];
+        }
+        x[r] = acc / m[r * n + r];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: minimise `||X beta - y||²` with a small ridge
+/// term for stability. `x` is `rows x cols` row-major.
+pub fn ols(x: &[f64], y: &[f64], rows: usize, cols: usize, ridge: f64) -> Option<Vec<f64>> {
+    assert_eq!(x.len(), rows * cols);
+    assert_eq!(y.len(), rows);
+    // Normal equations: (XᵀX + ridge I) beta = Xᵀ y.
+    let mut xtx = vec![0.0; cols * cols];
+    let mut xty = vec![0.0; cols];
+    for r in 0..rows {
+        let row = &x[r * cols..(r + 1) * cols];
+        for i in 0..cols {
+            xty[i] += row[i] * y[r];
+            for j in i..cols {
+                xtx[i * cols + j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..cols {
+        for j in 0..i {
+            xtx[i * cols + j] = xtx[j * cols + i];
+        }
+        xtx[i * cols + i] += ridge;
+    }
+    solve(&xtx, &xty, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x - y = 1  => x = 2, y = 1
+        let a = [2.0, 1.0, 1.0, -1.0];
+        let b = [5.0, 1.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [3.0, 7.0];
+        let x = solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        let b = [1.0, 2.0];
+        assert!(solve(&a, &b, 2).is_none());
+    }
+
+    #[test]
+    fn ols_recovers_linear_model() {
+        // y = 3 a - 2 b + 0.5 with design [a, b, 1].
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.11).cos();
+            x.extend_from_slice(&[a, b, 1.0]);
+            y.push(3.0 * a - 2.0 * b + 0.5);
+        }
+        let beta = ols(&x, &y, 50, 3, 1e-9).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-6);
+        assert!((beta[1] + 2.0).abs() < 1e-6);
+        assert!((beta[2] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,263 @@
+//! CART regression tree — the shared building block of the random forest
+//! and the gradient-boosted ensemble.
+
+/// One node of a regression tree, stored in a flat arena.
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Arena index of the `<= threshold` child.
+        left: usize,
+        /// Arena index of the `> threshold` child.
+        right: usize,
+    },
+}
+
+/// Parameters controlling tree growth.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Features examined per split (`0` = all) — the forest's `mtry`.
+    pub max_features: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 8, min_samples_leaf: 2, max_features: 0 }
+    }
+}
+
+/// A fitted CART regression tree (variance-reduction splits).
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit to rows `x[i]` (each a feature slice of equal length) with
+    /// targets `y[i]`. `feature_order` supplies the (possibly subsampled)
+    /// candidate feature indices per split via the closure `sampler`, which
+    /// lets the forest inject randomness without this module depending on a
+    /// specific RNG.
+    pub fn fit_with_sampler(
+        x: &[Vec<f32>],
+        y: &[f32],
+        cfg: &TreeConfig,
+        sampler: &mut dyn FnMut(usize) -> Vec<usize>,
+    ) -> RegressionTree {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(!x.is_empty(), "cannot fit a tree on no data");
+        let n_features = x[0].len();
+        let mut nodes = Vec::new();
+        let indices: Vec<usize> = (0..x.len()).collect();
+        build(&mut nodes, x, y, indices, cfg, 0, n_features, sampler);
+        RegressionTree { nodes, n_features }
+    }
+
+    /// Fit considering every feature at every split.
+    pub fn fit(x: &[Vec<f32>], y: &[f32], cfg: &TreeConfig) -> RegressionTree {
+        let n = if x.is_empty() { 0 } else { x[0].len() };
+        let mut all = move |_: usize| (0..n).collect::<Vec<usize>>();
+        Self::fit_with_sampler(x, y, cfg, &mut all)
+    }
+
+    /// Predict a single row.
+    pub fn predict(&self, row: &[f32]) -> f32 {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (diagnostics).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+fn mean(y: &[f32], idx: &[usize]) -> f32 {
+    idx.iter().map(|&i| y[i]).sum::<f32>() / idx.len().max(1) as f32
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    nodes: &mut Vec<Node>,
+    x: &[Vec<f32>],
+    y: &[f32],
+    idx: Vec<usize>,
+    cfg: &TreeConfig,
+    depth: usize,
+    n_features: usize,
+    sampler: &mut dyn FnMut(usize) -> Vec<usize>,
+) -> usize {
+    let node_value = mean(y, &idx);
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf { value: node_value });
+        nodes.len() - 1
+    };
+
+    if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_samples_leaf {
+        return make_leaf(nodes);
+    }
+
+    // Best split by sum-of-squares reduction, scanning sorted feature values.
+    let candidates = sampler(n_features);
+    let total_sum: f64 = idx.iter().map(|&i| y[i] as f64).sum();
+    let total_sq: f64 = idx.iter().map(|&i| (y[i] as f64) * (y[i] as f64)).sum();
+    let n = idx.len() as f64;
+    let base_sse = total_sq - total_sum * total_sum / n;
+
+    let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, sse)
+    let mut sorted = idx.clone();
+    for &f in &candidates {
+        sorted.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
+        let mut left_sum = 0.0f64;
+        let mut left_sq = 0.0f64;
+        for (k, &i) in sorted.iter().enumerate().take(sorted.len() - 1) {
+            let v = y[i] as f64;
+            left_sum += v;
+            left_sq += v * v;
+            let nl = (k + 1) as f64;
+            let nr = n - nl;
+            // Can't split between equal feature values.
+            if x[i][f] == x[sorted[k + 1]][f] {
+                continue;
+            }
+            if (k + 1) < cfg.min_samples_leaf || (sorted.len() - k - 1) < cfg.min_samples_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl)
+                + (right_sq - right_sum * right_sum / nr);
+            if best.as_ref().is_none_or(|b| sse < b.2) {
+                let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+
+    let Some((feature, threshold, sse)) = best else {
+        return make_leaf(nodes);
+    };
+    if base_sse - sse < 1e-12 {
+        return make_leaf(nodes); // no useful reduction
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        idx.iter().partition(|&&i| x[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return make_leaf(nodes);
+    }
+
+    // Reserve this node's slot, then build children.
+    let slot = nodes.len();
+    nodes.push(Node::Leaf { value: node_value }); // placeholder
+    let left = build(nodes, x, y, left_idx, cfg, depth + 1, n_features, sampler);
+    let right = build(nodes, x, y, right_idx, cfg, depth + 1, n_features, sampler);
+    nodes[slot] = Node::Split { feature, threshold, left, right };
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_data() -> (Vec<Vec<f32>>, Vec<f32>) {
+        // Distinct value per quadrant: greedy CART finds the marginal signal
+        // first and the interaction at depth 2. (A perfectly symmetric XOR
+        // has zero marginal signal and defeats any greedy splitter.)
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in -5..5 {
+            for j in -5..5 {
+                let a = i as f32 + 0.5;
+                let b = j as f32 + 0.5;
+                x.push(vec![a, b]);
+                y.push(match (a > 0.0, b > 0.0) {
+                    (false, false) => 0.0,
+                    (false, true) => 3.0,
+                    (true, false) => 7.0,
+                    (true, true) => 10.0,
+                });
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_quadrant_interaction() {
+        let (x, y) = xor_like_data();
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        for (row, &target) in x.iter().zip(&y) {
+            assert!((tree.predict(row) - target).abs() < 0.5, "row {row:?}");
+        }
+        assert!(tree.depth() >= 3);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let (x, y) = xor_like_data();
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = RegressionTree::fit(&x, &y, &cfg);
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn constant_target_gives_single_leaf() {
+        let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32]).collect();
+        let y = vec![5.0f32; 20];
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 5.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let x: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
+        let y: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let cfg = TreeConfig { min_samples_leaf: 4, max_depth: 10, max_features: 0 };
+        let tree = RegressionTree::fit(&x, &y, &cfg);
+        // With 8 points and min leaf 4, only one split is possible.
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn step_function_threshold_found() {
+        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0]).collect();
+        let y: Vec<f32> = (0..100).map(|i| if i < 37 { 1.0 } else { 2.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        assert!((tree.predict(&[0.1]) - 1.0).abs() < 1e-5);
+        assert!((tree.predict(&[0.9]) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn wrong_feature_count_panics() {
+        let tree = RegressionTree::fit(&[vec![1.0, 2.0]], &[1.0], &TreeConfig::default());
+        let _ = tree.predict(&[1.0]);
+    }
+}

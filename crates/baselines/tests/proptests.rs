@@ -1,0 +1,156 @@
+//! Property tests on the classical baselines: invariances and sanity laws
+//! that hold for any data.
+
+use proptest::prelude::*;
+use rpf_baselines::forest::{ForestConfig, RandomForest};
+use rpf_baselines::gbt::{GbtConfig, GradientBoostedTrees};
+use rpf_baselines::linalg::{ols, solve};
+use rpf_baselines::tree::{RegressionTree, TreeConfig};
+use rpf_baselines::{Arima, CurRank};
+
+fn xy(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let a = next() * 2.0 - 1.0;
+        let b = next() * 2.0 - 1.0;
+        x.push(vec![a, b]);
+        y.push(2.0 * a - b + 0.1 * next());
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tree_predictions_within_target_range(seed in 0u64..500) {
+        // A regression tree averages training targets, so predictions can
+        // never leave [min(y), max(y)].
+        let (x, y) = xy(60, seed);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default());
+        let lo = y.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = y.iter().cloned().fold(f32::MIN, f32::max);
+        for row in &x {
+            let p = tree.predict(row);
+            prop_assert!(p >= lo - 1e-5 && p <= hi + 1e-5, "{p} outside [{lo},{hi}]");
+        }
+        // Even far outside the training domain.
+        let p = tree.predict(&[100.0, -100.0]);
+        prop_assert!(p >= lo - 1e-5 && p <= hi + 1e-5);
+    }
+
+    #[test]
+    fn forest_is_average_of_its_trees(seed in 0u64..200) {
+        let (x, y) = xy(50, seed);
+        let forest = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 7, seed, ..Default::default() });
+        let row = &x[0];
+        let preds = forest.tree_predictions(row);
+        let mean: f32 = preds.iter().sum::<f32>() / preds.len() as f32;
+        prop_assert!((forest.predict(row) - mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gbt_more_rounds_never_hurt_training_fit(seed in 0u64..100) {
+        let (x, y) = xy(80, seed);
+        let gbt = GradientBoostedTrees::fit(&x, &y, &GbtConfig { n_rounds: 40, ..Default::default() });
+        let sse = |k: usize| -> f32 {
+            x.iter().zip(&y).map(|(r, &t)| (gbt.predict_staged(r, k) - t).powi(2)).sum()
+        };
+        // Squared-loss boosting is monotone on the training set (up to fp noise).
+        prop_assert!(sse(40) <= sse(10) + 1e-3);
+        prop_assert!(sse(10) <= sse(1) + 1e-3);
+    }
+
+    #[test]
+    fn arima_forecast_of_constant_series_is_flat(level in -50.0f32..50.0) {
+        let series = vec![level; 100];
+        if let Some(m) = Arima::fit(&series, 1, 0, 0) {
+            let (f, _) = m.forecast(&series, 5);
+            for v in f {
+                prop_assert!((v - level).abs() < 0.5 + level.abs() * 0.05, "{v} vs {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn arima_shift_equivariance(seed in 0u64..100, shift in -20.0f32..20.0) {
+        // Fitting on y + c should forecast f + c (AR with intercept is
+        // shift-equivariant up to numerical noise).
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        };
+        let base: Vec<f32> = (0..200).map(|_| next()).collect();
+        let shifted: Vec<f32> = base.iter().map(|v| v + shift).collect();
+        let (fa, fb) = match (Arima::fit(&base, 1, 0, 0), Arima::fit(&shifted, 1, 0, 0)) {
+            (Some(a), Some(b)) => (a.forecast(&base, 3).0, b.forecast(&shifted, 3).0),
+            _ => return Ok(()),
+        };
+        for (a, b) in fa.iter().zip(&fb) {
+            prop_assert!((b - a - shift).abs() < 0.2, "{a} + {shift} vs {b}");
+        }
+    }
+
+    #[test]
+    fn currank_horizon_invariance(hist in prop::collection::vec(-10.0f32..40.0, 1..30), h in 1usize..10) {
+        let f = CurRank.forecast(&hist, h);
+        prop_assert_eq!(f.len(), h);
+        prop_assert!(f.iter().all(|v| v == hist.last().unwrap()));
+    }
+
+    #[test]
+    fn solve_then_multiply_recovers_rhs(seed in 0u64..300) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 40) as f64 / (1u64 << 24) as f64) - 0.5
+        };
+        let n = 4usize;
+        // Diagonally dominant => well conditioned and nonsingular.
+        let mut a = vec![0.0f64; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = next();
+            }
+            a[r * n + r] += 3.0;
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b, n).expect("well-conditioned system");
+        for r in 0..n {
+            let acc: f64 = (0..n).map(|c| a[r * n + c] * x[c]).sum();
+            prop_assert!((acc - b[r]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ols_residuals_orthogonal_to_design(seed in 0u64..200) {
+        // The defining normal-equation property: Xᵀ(y - X beta) ≈ 0.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 40) as f64 / (1u64 << 24) as f64) - 0.5
+        };
+        let rows = 30usize;
+        let cols = 3usize;
+        let x: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let y: Vec<f64> = (0..rows).map(|_| next()).collect();
+        let beta = ols(&x, &y, rows, cols, 0.0).expect("full rank w.h.p.");
+        for c in 0..cols {
+            let mut dot = 0.0;
+            for r in 0..rows {
+                let pred: f64 = (0..cols).map(|k| x[r * cols + k] * beta[k]).sum();
+                dot += x[r * cols + c] * (y[r] - pred);
+            }
+            prop_assert!(dot.abs() < 1e-7, "column {c} residual dot {dot}");
+        }
+    }
+}

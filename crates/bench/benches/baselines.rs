@@ -1,0 +1,79 @@
+//! Classical-baseline fitting throughput: the models of the paper's
+//! Table III under the workloads the evaluation uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rpf_baselines::forest::{ForestConfig, RandomForest};
+use rpf_baselines::gbt::{GbtConfig, GradientBoostedTrees};
+use rpf_baselines::svr::{Svr, SvrConfig};
+use rpf_baselines::Arima;
+
+fn synthetic_regression(n: usize, d: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f32> = (0..d).map(|_| next()).collect();
+        let target = row[0] * 3.0 - row[1] * row[1] + (row[2] > 0.5) as i32 as f32;
+        x.push(row);
+        y.push(target);
+    }
+    (x, y)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let (x, y) = synthetic_regression(2000, 9, 1);
+    let mut group = c.benchmark_group("baseline_fit");
+    group.sample_size(10);
+
+    group.bench_function("random_forest_50_trees", |b| {
+        b.iter(|| {
+            std::hint::black_box(RandomForest::fit(
+                &x,
+                &y,
+                &ForestConfig { n_trees: 50, ..Default::default() },
+            ))
+        });
+    });
+    group.bench_function("gbt_60_rounds", |b| {
+        b.iter(|| {
+            std::hint::black_box(GradientBoostedTrees::fit(
+                &x,
+                &y,
+                &GbtConfig { n_rounds: 60, ..Default::default() },
+            ))
+        });
+    });
+    let (xs, ys) = synthetic_regression(600, 9, 2);
+    group.bench_function("svr_smo_600_points", |b| {
+        b.iter(|| {
+            std::hint::black_box(Svr::fit(
+                &xs,
+                &ys,
+                &SvrConfig { max_passes: 25, ..Default::default() },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_arima(c: &mut Criterion) {
+    // Per-car fit at forecast time, exactly the evaluation's workload.
+    let series: Vec<f32> = (0..150)
+        .map(|i| ((i as f32) * 0.3).sin() * 3.0 + 10.0 + (i % 7) as f32 * 0.1)
+        .collect();
+    c.bench_function("arima_fit_forecast_150", |b| {
+        b.iter(|| {
+            let model = Arima::fit(&series, 2, 0, 1).unwrap();
+            std::hint::black_box(model.forecast(&series, 2))
+        });
+    });
+}
+
+criterion_group!(benches, bench_fits, bench_arima);
+criterion_main!(benches);

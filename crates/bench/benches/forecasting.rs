@@ -1,0 +1,47 @@
+//! Forecast throughput: Algorithm 2's encoder + ancestral sampling, at the
+//! sample counts the paper uses (100 samples/forecast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ranknet_core::features::extract_sequences;
+use ranknet_core::instances::TrainingSet;
+use ranknet_core::rank_model::{oracle_covariates, RankModel, TargetKind};
+use ranknet_core::RankNetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_racesim::{simulate_race, Event, EventConfig};
+
+fn bench_forecast(c: &mut Criterion) {
+    let mut cfg = RankNetConfig::default();
+    cfg.max_epochs = 1;
+    let ctx = extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2019), 1));
+    let ts = TrainingSet::build(vec![ctx.clone()], &cfg, 16);
+    let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, ts.max_car_id);
+    let _ = model.train(&ts, &ts); // weights just need to be initialised/finite
+
+    let mut group = c.benchmark_group("forecast");
+    group.sample_size(10);
+    for &n_samples in &[10usize, 100] {
+        let cov = oracle_covariates(&ctx, 100, 2, cfg.prediction_len);
+        group.throughput(Throughput::Elements(n_samples as u64));
+        group.bench_with_input(
+            BenchmarkId::new("two_lap_full_field", n_samples),
+            &n_samples,
+            |bench, &n| {
+                let mut rng = StdRng::seed_from_u64(2);
+                bench.iter(|| {
+                    std::hint::black_box(model.forecast(&ctx, &cov, 100, 2, n, &mut rng))
+                });
+            },
+        );
+    }
+    // The long-horizon stint forecast (TaskB shape).
+    let cov = oracle_covariates(&ctx, 100, 30, cfg.prediction_len);
+    group.bench_function("thirty_lap_stint_20_samples", |bench| {
+        let mut rng = StdRng::seed_from_u64(3);
+        bench.iter(|| std::hint::black_box(model.forecast(&ctx, &cov, 100, 30, 20, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecast);
+criterion_main!(benches);

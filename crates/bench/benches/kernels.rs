@@ -1,0 +1,64 @@
+//! Kernel microbenchmarks: the five §IV-J LSTM operations at the exact
+//! shapes the RankNet workload produces (batch × 4·hidden GEMMs etc.).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rpf_tensor::matmul::{matmul, matmul_bt};
+use rpf_tensor::{ops, Matrix};
+use std::hint::black_box;
+
+fn mat(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        ((s >> 9) as f32 / (1 << 23) as f32) - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // The RankNet gate GEMM: (batch x hidden) * (hidden x 4*hidden).
+    for &batch in &[32usize, 256, 3200] {
+        let a = mat(batch, 40, 1);
+        let b = mat(40, 160, 2);
+        group.throughput(Throughput::Elements((2 * batch * 40 * 160) as u64));
+        group.bench_with_input(BenchmarkId::new("gate_gemm", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))));
+        });
+    }
+    // Backward-pass transposed form.
+    let g = mat(256, 160, 3);
+    let b = mat(40, 160, 4);
+    group.bench_function("gate_gemm_bt_256", |bench| {
+        bench.iter(|| black_box(matmul_bt(black_box(&g), black_box(&b))));
+    });
+    group.finish();
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointwise");
+    for &batch in &[32usize, 3200] {
+        let x = mat(batch, 40, 5);
+        let y = mat(batch, 40, 6);
+        group.throughput(Throughput::Elements((batch * 40) as u64));
+        group.bench_with_input(BenchmarkId::new("mul", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(ops::mul(black_box(&x), black_box(&y))));
+        });
+        group.bench_with_input(BenchmarkId::new("add", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(ops::add(black_box(&x), black_box(&y))));
+        });
+        group.bench_with_input(BenchmarkId::new("sigmoid", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(ops::sigmoid(black_box(&x))));
+        });
+        group.bench_with_input(BenchmarkId::new("tanh", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(ops::tanh(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_pointwise
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Race-simulator throughput: full Table II races per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ranknet_core::features::extract_sequences;
+use rpf_racesim::{simulate_race, Event, EventConfig};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_race");
+    for event in [Event::Indy500, Event::Iowa, Event::Texas] {
+        let years = EventConfig::years(event);
+        let cfg = EventConfig::for_race(event, years[0]);
+        group.throughput(Throughput::Elements(
+            cfg.total_laps as u64 * cfg.participants as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("event", event.name()),
+            &cfg,
+            |bench, cfg| {
+                let mut seed = 0u64;
+                bench.iter(|| {
+                    seed += 1;
+                    std::hint::black_box(simulate_race(cfg, seed))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_featurize(c: &mut Criterion) {
+    let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 7);
+    c.bench_function("extract_sequences_indy500", |bench| {
+        bench.iter(|| std::hint::black_box(extract_sequences(&race)));
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_featurize);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Training-step throughput vs batch size — the measured half of Fig 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ranknet_core::features::extract_sequences;
+use ranknet_core::instances::TrainingSet;
+use ranknet_core::rank_model::{RankModel, TargetKind};
+use ranknet_core::RankNetConfig;
+use rpf_racesim::{simulate_race, Event, EventConfig};
+
+fn training_set(cfg: &RankNetConfig) -> TrainingSet {
+    let ctxs: Vec<_> = (0..2u64)
+        .map(|s| {
+            extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2016), s))
+        })
+        .collect();
+    TrainingSet::build(ctxs, cfg, 2)
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let base = RankNetConfig { max_epochs: 1, ..Default::default() };
+    let ts = training_set(&base);
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+    for &batch in &[32usize, 128, 640] {
+        let mut cfg = base.clone();
+        cfg.batch_size = batch;
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("lstm_batch", batch), &batch, |bench, _| {
+            // One optimizer step over a fresh model per iteration batch; the
+            // measured quantity matches Fig 10's us/sample once divided by
+            // the batch size (criterion reports per-element throughput).
+            let take = batch.min(ts.len());
+            let sub = TrainingSet {
+                contexts: ts.contexts.clone(),
+                instances: ts.instances[..take].to_vec(),
+                max_car_id: ts.max_car_id,
+            };
+            let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, sub.max_car_id);
+            bench.iter(|| {
+                let report = model.train(&sub, &sub);
+                std::hint::black_box(report.us_per_sample)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Plain-text rendering helpers for tables and simple charts.
+
+/// Print a header line for a table/figure target.
+pub fn heading(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Render rows as an aligned table. `rows` includes the header row.
+pub fn table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths[c]))
+            .collect();
+        println!("  {}", line.join("  "));
+        if i == 0 {
+            let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            println!("  {}", sep.join("  "));
+        }
+    }
+}
+
+/// A crude horizontal bar chart (one row per labelled value).
+pub fn bars(items: &[(String, f64)], unit: &str) {
+    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in items {
+        let n = ((v / max) * 50.0).round() as usize;
+        println!("  {label:<label_w$}  {:>10.3} {unit}  |{}", v, "#".repeat(n));
+    }
+}
+
+/// Render an x/y series as aligned columns (for figures that are curves).
+pub fn series(name: &str, points: &[(f64, f64)], xlabel: &str, ylabel: &str) {
+    println!("  series: {name}   ({xlabel} -> {ylabel})");
+    for (x, y) in points {
+        println!("    {x:>10.2}  {y:>12.4}");
+    }
+}
+
+/// Format an f32 with 2 decimals (table cells).
+pub fn f2(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an f32 with 3 decimals (risk columns).
+pub fn f3(v: f32) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(-0.5), "-0.50");
+    }
+
+    #[test]
+    fn table_handles_empty_and_ragged() {
+        table(&[]); // must not panic
+        table(&[
+            vec!["a".into(), "bb".into()],
+            vec!["ccc".into()],
+        ]);
+    }
+
+    #[test]
+    fn bars_handle_zero_values() {
+        bars(&[("x".into(), 0.0), ("y".into(), 0.0)], "u"); // no div-by-zero
+    }
+}

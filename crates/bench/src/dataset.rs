@@ -1,0 +1,48 @@
+//! Dataset construction shared by every experiment target.
+
+use ranknet_core::features::{extract_sequences, RaceContext};
+use rpf_racesim::{Dataset, Event, Split};
+
+/// Fixed dataset seed: every target sees the same 25 simulated races.
+pub const DATASET_SEED: u64 = 0x1AD5_2021;
+
+/// Featurized train/val/test contexts for one event.
+pub struct EventData {
+    /// Which event this data belongs to (carried for labelling).
+    #[allow(dead_code)]
+    pub event: Event,
+    pub train: Vec<RaceContext>,
+    pub val: Vec<RaceContext>,
+    pub test: Vec<(u16, RaceContext)>,
+}
+
+/// Featurize every race of one event with Table II's splits.
+pub fn event_data(dataset: &Dataset, event: Event) -> EventData {
+    let mut out = EventData { event, train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    for (key, race) in dataset.split(event, Split::Training) {
+        let _ = key;
+        out.train.push(extract_sequences(race));
+    }
+    for (_, race) in dataset.split(event, Split::Validation) {
+        out.val.push(extract_sequences(race));
+    }
+    for (key, race) in dataset.split(event, Split::Test) {
+        out.test.push((key.year, extract_sequences(race)));
+    }
+    // Events without a dedicated validation year use the last training race.
+    if out.val.is_empty() && out.train.len() > 1 {
+        let last = out.train.pop().unwrap();
+        out.val.push(last);
+    }
+    out
+}
+
+/// Generate the full 25-race dataset.
+pub fn full_dataset() -> Dataset {
+    Dataset::generate(DATASET_SEED)
+}
+
+/// Generate a single event's races (cheaper for single-event targets).
+pub fn one_event(event: Event) -> Dataset {
+    Dataset::generate_event(event, DATASET_SEED)
+}

@@ -1,0 +1,428 @@
+//! Figure targets: Figs 1–12 of the paper, rendered as text series.
+
+use crate::ascii::{self, heading};
+use crate::dataset::{event_data, full_dataset, one_event, DATASET_SEED};
+use crate::models::{self, Profile};
+use ranknet_core::baseline_adapters::{
+    ArimaForecaster, CurRankForecaster, Forecaster,
+};
+use ranknet_core::eval::{eval_short_term, prediction_length_sweep, EvalConfig};
+use ranknet_core::features::RaceContext;
+use ranknet_core::instances::TrainingSet;
+use ranknet_core::metrics::quantile;
+use ranknet_core::rank_model::{RankModel, TargetKind};
+use ranknet_core::ranknet::{ranks_by_sorting, RankNetVariant};
+use ranknet_core::transformer_model::TransformerForecaster;
+use ranknet_core::RankNetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_perfmodel::{hybrid_breakdown, Device, LstmWorkload, Roofline};
+use rpf_racesim::{simulate_race, stats, Event, EventConfig};
+
+/// Fig 1: data examples — records table and the winner's rank/laptime
+/// sequence.
+pub fn fig1(_profile: &Profile) {
+    heading("Fig 1(a): Data records of Indy500-2018 (lap 31)");
+    let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2018), DATASET_SEED ^ 2018);
+    println!("  Rank CarId  Lap   LapTime  BehindLeader LapStatus TrackStatus");
+    for rec in race.records.iter().filter(|r| r.lap == 31).take(8) {
+        println!("  {}", rec.display_row());
+    }
+
+    heading("Fig 1(b): Rank and LapTime sequence of the winner");
+    let winner = race.winner();
+    let recs = race.car_records(winner);
+    println!("  winner: car {winner}");
+    let pts: Vec<(f64, f64)> = recs
+        .iter()
+        .step_by(10)
+        .map(|r| (r.lap as f64, r.rank as f64))
+        .collect();
+    ascii::series("Rank", &pts, "lap", "rank");
+    let pit_laps: Vec<u16> =
+        recs.iter().filter(|r| r.lap_status.is_pit()).map(|r| r.lap).collect();
+    println!("  pit stop laps: {pit_laps:?}");
+    let caution: usize = race.caution_lap_count();
+    println!("  caution laps: {caution}");
+}
+
+/// Shared trace printer: forecasts around a pit stop (Figs 2 and 8).
+fn forecast_trace(
+    model: &dyn Forecaster,
+    ctx: &RaceContext,
+    car_slot: usize,
+    origins: impl Iterator<Item = usize>,
+    n_samples: usize,
+) {
+    println!("  {:>5} {:>9} {:>9} {:>9} {:>9}", "lap", "observed", "median", "q10", "q90");
+    let mut rng = StdRng::seed_from_u64(5);
+    for origin in origins {
+        let seq = &ctx.sequences[car_slot];
+        if seq.len() < origin + 2 {
+            continue;
+        }
+        let samples = model.forecast(ctx, origin, 2, n_samples, &mut rng);
+        let ranked = ranks_by_sorting(&samples, 1);
+        if ranked[car_slot].is_empty() {
+            continue;
+        }
+        let med = quantile(&ranked[car_slot], 0.5);
+        let q10 = quantile(&ranked[car_slot], 0.1);
+        let q90 = quantile(&ranked[car_slot], 0.9);
+        println!(
+            "  {:>5} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            seq.laps[origin + 1],
+            seq.rank[origin + 1],
+            med,
+            q10,
+            q90
+        );
+    }
+}
+
+/// Pick the display car: the one nearest mid-field with a pit stop in the
+/// window (the paper uses car 12 of Indy500-2019).
+fn display_car(ctx: &RaceContext, lo: usize, hi: usize) -> usize {
+    (0..ctx.sequences.len())
+        .filter(|&c| {
+            let s = &ctx.sequences[c];
+            s.len() > hi && (lo..hi).any(|i| s.lap_status[i] == 1.0)
+        })
+        .min_by_key(|&c| (ctx.sequences[c].rank[lo] as i32 - 8).unsigned_abs())
+        .unwrap_or(0)
+}
+
+/// Fig 2: two-lap forecasts around a pit stop for the four baselines.
+pub fn fig2(profile: &Profile) {
+    heading("Fig 2: Baseline forecasts around a pit stop (Indy500-2019)");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let car = display_car(test, 30, 56);
+    println!("  display car: id {}", test.sequences[car].car_id);
+
+    let regs = models::regressors_for(profile, Event::Indy500, &data.train, 2);
+    let deepar = models::deepar_for(profile, Event::Indy500, &data.train, &data.val);
+
+    let svm = regs.iter().find(|m| m.name() == "SVM").unwrap();
+    let forest = regs.iter().find(|m| m.name() == "RandomForest").unwrap();
+    for (label, model) in [
+        ("SVR", svm as &dyn Forecaster),
+        ("RandomForest", forest as &dyn Forecaster),
+        ("ARIMA", &ArimaForecaster::default() as &dyn Forecaster),
+        ("DeepAR", &*deepar as &dyn Forecaster),
+    ] {
+        println!("  --- {label} ---");
+        forecast_trace(model, test, car, (26..56).step_by(3), profile.n_samples);
+    }
+}
+
+/// Fig 4: pit stop statistics over the Indy500 training years.
+pub fn fig4(_profile: &Profile) {
+    heading("Fig 4: Statistics and analysis of pit stops (Indy500 training set)");
+    let d = one_event(Event::Indy500);
+    let mut stops = Vec::new();
+    for (key, race) in d.split(Event::Indy500, rpf_racesim::Split::Training) {
+        let _ = key;
+        stops.extend(stats::pit_stops(race));
+    }
+    let summary = stats::summarize_pits(&stops);
+    println!("  normal pits: {}   caution pits: {}", summary.normal_count, summary.caution_count);
+
+    println!("\n  (a) stint distance distribution (5-lap buckets)");
+    let normal: Vec<f32> =
+        stops.iter().filter(|p| !p.caution).map(|p| p.stint_length as f32).collect();
+    let caution: Vec<f32> =
+        stops.iter().filter(|p| p.caution).map(|p| p.stint_length as f32).collect();
+    let hn = stats::histogram(normal.iter().copied(), 55.0, 5.0);
+    let hc = stats::histogram(caution.iter().copied(), 55.0, 5.0);
+    println!("  {:>8} {:>10} {:>12}", "laps", "normal", "caution");
+    for (i, (n, c)) in hn.iter().zip(&hc).enumerate() {
+        println!("  {:>5}-{:<2} {:>10} {:>12}", i * 5, (i + 1) * 5, n, c);
+    }
+
+    println!("\n  (b) stint distance CDF (normal pits)");
+    let cdf = stats::empirical_cdf(&normal, 50);
+    for x in (0..=50).step_by(10) {
+        println!("  <= {:>2} laps: {:>5.1}%", x, cdf[x] * 100.0);
+    }
+
+    println!("\n  (c) pit stop distribution across race laps (20-lap buckets)");
+    let hl = stats::histogram(stops.iter().map(|p| p.lap as f32), 200.0, 20.0);
+    for (i, n) in hl.iter().enumerate() {
+        println!("  {:>5}-{:<3} {:>8}", i * 20, (i + 1) * 20, n);
+    }
+
+    println!("\n  (d) rank-change impact");
+    println!(
+        "  mean |rank change|: normal {:.1}  caution {:.1}  (caution pits are cheaper)",
+        summary.normal_rank_impact, summary.caution_rank_impact
+    );
+    println!("  short (<24 lap) normal stints: {:.1}%", 100.0 * summary.short_stint_fraction);
+}
+
+/// Fig 6: dataset distribution scatter.
+pub fn fig6(_profile: &Profile) {
+    heading("Fig 6: Data distribution of the IndyCar dataset");
+    let d = full_dataset();
+    let mut rows = vec![vec![
+        "Race".into(),
+        "PitLapsRatio".into(),
+        "RankChangesRatio".into(),
+        "Split".into(),
+    ]];
+    for key in d.keys() {
+        let race = d.get(key).unwrap();
+        rows.push(vec![
+            key.label(),
+            format!("{:.3}", stats::pit_laps_ratio(race)),
+            format!("{:.3}", stats::rank_changes_ratio(race)),
+            format!("{:?}", rpf_racesim::dataset::split_of(key)),
+        ]);
+    }
+    ascii::table(&rows);
+}
+
+/// Fig 7: stepwise model optimisation (validation pit-lap MAE per step).
+pub fn fig7(profile: &Profile) {
+    heading("Fig 7: RankNet model optimization steps (validation = Indy500-2018)");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let val = &data.val[0];
+    let eval_cfg = EvalConfig {
+        horizon: 2,
+        n_samples: profile.n_samples,
+        origin_start: 25,
+        origin_step: profile.origin_step,
+        seed: 7,
+    };
+
+    struct Step {
+        label: &'static str,
+        cfg: RankNetConfig,
+    }
+    let base = RankNetConfig {
+        max_epochs: profile.epochs,
+        ..Default::default()
+    };
+    let steps = vec![
+        Step {
+            label: "(a) basic Oracle (w=1, ctx=40, no extras)",
+            cfg: RankNetConfig {
+                loss_weight: 1.0,
+                context_len: 40,
+                use_context_features: false,
+                use_shift_features: false,
+                ..base.clone()
+            },
+        },
+        Step {
+            label: "(b) + loss weights (w=9)",
+            cfg: RankNetConfig {
+                context_len: 40,
+                use_context_features: false,
+                use_shift_features: false,
+                ..base.clone()
+            },
+        },
+        Step {
+            label: "(c) + context length 60",
+            cfg: RankNetConfig {
+                use_context_features: false,
+                use_shift_features: false,
+                ..base.clone()
+            },
+        },
+        Step {
+            label: "(d) + context features",
+            cfg: RankNetConfig { use_shift_features: false, ..base.clone() },
+        },
+        Step { label: "(e) + shift features", cfg: base.clone() },
+    ];
+
+    let mut results = Vec::new();
+    for step in steps {
+        let (model, _) = ranknet_core::ranknet::RankNet::fit(
+            data.train.clone(),
+            data.val.clone(),
+            step.cfg,
+            RankNetVariant::Oracle,
+            profile.stride,
+        );
+        let row = eval_short_term(&model, val, &eval_cfg);
+        println!(
+            "  {:<45} pit-lap MAE {:.2}  all-lap MAE {:.2}",
+            step.label, row.pit_covered.mae, row.all.mae
+        );
+        results.push((step.label, row.pit_covered.mae));
+    }
+    let cur = eval_short_term(&CurRankForecaster, val, &eval_cfg);
+    println!("  {:<45} pit-lap MAE {:.2}  (reference)", "CurRank", cur.pit_covered.mae);
+}
+
+/// Fig 8: RankNet vs Transformer forecast traces.
+pub fn fig8(profile: &Profile) {
+    heading("Fig 8: RankNet vs Transformer two-lap forecasts (Indy500-2019)");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let car = display_car(test, 30, 56);
+    println!("  display car: id {}", test.sequences[car].car_id);
+
+    let oracle =
+        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Oracle);
+    let mlp =
+        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Mlp);
+    let tx = models::train_transformer(profile, &data.train, &data.val);
+    let tx_oracle = TransformerForecaster { model: tx, pit_model: None };
+
+    for (label, model) in [
+        ("RankNet-Oracle", &*oracle as &dyn Forecaster),
+        ("RankNet-MLP", &*mlp as &dyn Forecaster),
+        ("Transformer-Oracle", &tx_oracle as &dyn Forecaster),
+    ] {
+        println!("  --- {label} ---");
+        forecast_trace(model, test, car, (26..56).step_by(3), (profile.n_samples / 2).max(6));
+    }
+}
+
+/// Fig 9: MAE improvement over CurRank vs prediction length.
+pub fn fig9(profile: &Profile) {
+    heading("Fig 9: Impact of prediction length (MAE improvement % over CurRank, Indy500-2019)");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let horizons = [2usize, 4, 6, 8];
+    let mut eval_cfg = profile.eval_cfg();
+    eval_cfg.origin_step = eval_cfg.origin_step.max(8); // sweep is 4x the work
+    eval_cfg.n_samples = (eval_cfg.n_samples / 2).max(8);
+
+    let oracle =
+        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Oracle);
+    let mlp =
+        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Mlp);
+    let regs = models::regressors_for(profile, Event::Indy500, &data.train, 8);
+
+    let mut all_rows = vec![vec![
+        "Model".into(),
+        "k=2".into(),
+        "k=4".into(),
+        "k=6".into(),
+        "k=8".into(),
+    ]];
+    let mut row_for = |name: &str, model: &dyn Forecaster| {
+        let pts = prediction_length_sweep(model, test, &horizons, &eval_cfg);
+        let mut row = vec![name.to_string()];
+        for (_, imp) in pts {
+            row.push(format!("{:+.0}%", imp * 100.0));
+        }
+        all_rows.push(row);
+    };
+    row_for("RankNet-Oracle", &*oracle);
+    row_for("RankNet-MLP", &*mlp);
+    for reg in regs.iter() {
+        if reg.name() != "SVM" {
+            row_for(&reg.name(), reg);
+        }
+    }
+    ascii::table(&all_rows);
+}
+
+/// Fig 10: training speed vs batch size — measured CPU + modeled devices.
+pub fn fig10(profile: &Profile) {
+    heading("Fig 10: Impact of batch size over training speed (us/sample)");
+    let batches = [32usize, 64, 128, 256, 640, 1600, 3200];
+
+    // Measured: the real Rust LSTM training on this machine.
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let cfg = RankNetConfig { max_epochs: 1, ..Default::default() };
+    let ts = TrainingSet::build(data.train.clone(), &cfg, profile.stride.max(4));
+    println!("  measured (this machine, {} training windows):", ts.len());
+    let mut measured = Vec::new();
+    for &b in &batches {
+        let mut cfg = cfg.clone();
+        cfg.batch_size = b;
+        // Keep wall time bounded: a couple of optimizer steps are enough for
+        // throughput. The validation set is left empty so the measurement is
+        // pure train-step time (validation is a fixed cost that would
+        // otherwise be charged against the large-batch runs).
+        let take = (2 * b).max(256).min(ts.len());
+        let sub = TrainingSet {
+            contexts: ts.contexts.clone(),
+            instances: ts.instances[..take].to_vec(),
+            max_car_id: ts.max_car_id,
+        };
+        let empty_val = TrainingSet {
+            contexts: ts.contexts.clone(),
+            instances: Vec::new(),
+            max_car_id: ts.max_car_id,
+        };
+        let mut model = RankModel::new(cfg, TargetKind::RankOnly, sub.max_car_id);
+        let report = model.train(&sub, &empty_val);
+        measured.push((format!("batch {b}"), report.us_per_sample));
+    }
+    ascii::bars(&measured, "us/sample");
+
+    println!("\n  device models (Table VIII hardware):");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "CPU", "GPU", "GPU-cuDNN", "VE"
+    );
+    for &b in &batches {
+        let w = LstmWorkload::default().with_batch(b);
+        println!(
+            "  {:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            b,
+            Device::cpu().us_per_sample(&w),
+            Device::gpu().us_per_sample(&w),
+            Device::gpu_cudnn().us_per_sample(&w),
+            Device::vector_engine().us_per_sample(&w),
+        );
+    }
+}
+
+/// Fig 11: roofline of the LSTM kernels at batch 32 vs 3200.
+pub fn fig11() {
+    heading("Fig 11: Roofline chart of RankNet on the CPU platform");
+    let roof = Roofline::cpu();
+    println!("  ceilings:");
+    for (label, bw) in &roof.bandwidths {
+        println!("    {label}: {:.0} GB/s", bw / 1e9);
+    }
+    for (label, p) in &roof.peaks {
+        println!("    {label}: {:.1} GFLOP/s", p / 1e9);
+    }
+    let cpu = Device::cpu();
+    for batch in [32usize, 3200] {
+        println!("\n  kernels at batch {batch}:");
+        println!("    {:>8} {:>14} {:>12}", "kernel", "AI (FLOP/B)", "GFLOP/s");
+        for p in roof.points(&cpu, batch) {
+            println!(
+                "    {:>8} {:>14.3} {:>12.2}",
+                p.kernel, p.arithmetic_intensity, p.gflops
+            );
+        }
+    }
+    println!("\n  (higher GFLOP/s at batch 3200 is why large-batch training wins)");
+}
+
+/// Fig 12: operation breakdown for the CPU+VE hybrid.
+pub fn fig12() {
+    heading("Fig 12: Operation breakdown, VE/CPU hybrid system");
+    for batch in [32usize, 3200] {
+        println!("\n  batch size = {batch}:");
+        let slices = hybrid_breakdown(batch);
+        let items: Vec<(String, f64)> = slices
+            .iter()
+            .map(|s| (s.label.to_string(), s.fraction * 100.0))
+            .collect();
+        ascii::bars(&items, "%");
+        let off: f64 = slices
+            .iter()
+            .filter(|s| s.label.contains("(VE)"))
+            .map(|s| s.fraction)
+            .sum();
+        println!("  offloaded to VE: {:.0}%", off * 100.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <target> [--full]
+//!
+//! targets:
+//!   fig1 fig2 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!   table2 table3 table4 table5 table6 table7 table8
+//!   all        every target above
+//! ```
+//!
+//! The default profile trains the deep models with subsampled windows and
+//! fewer epochs so each target completes in minutes on a laptop; `--full`
+//! uses the paper's stride-1 / long-training settings.
+
+mod ablations;
+mod ascii;
+mod dataset;
+mod figures;
+mod models;
+mod tables;
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let target = args.first().map(String::as_str).unwrap_or("help");
+    let profile = if full { models::Profile::full() } else { models::Profile::fast() };
+
+    match target {
+        "fig1" => figures::fig1(&profile),
+        "fig2" => figures::fig2(&profile),
+        "fig4" => figures::fig4(&profile),
+        "fig6" => figures::fig6(&profile),
+        "fig7" => figures::fig7(&profile),
+        "fig8" => figures::fig8(&profile),
+        "fig9" => figures::fig9(&profile),
+        "fig10" => figures::fig10(&profile),
+        "fig11" => figures::fig11(),
+        "fig12" => figures::fig12(),
+        "table2" => tables::table2(&profile),
+        "table3" => tables::table3(),
+        "table4" => tables::table4(&profile),
+        "table5" => tables::table5(&profile),
+        "table6" => tables::table6(&profile),
+        "table7" => tables::table7(&profile),
+        "table8" => tables::table8(),
+        "weightsweep" => ablations::weight_sweep(&profile),
+        "ctxsweep" => ablations::context_sweep(&profile),
+        "batchacc" => ablations::batch_accuracy(&profile),
+        "transfer" => ablations::transfer(&profile),
+        "likelihood" => ablations::likelihood_ablation(&profile),
+        "calibration" => ablations::calibration(&profile),
+        "all" => {
+            figures::fig1(&profile);
+            tables::table2(&profile);
+            tables::table3();
+            figures::fig4(&profile);
+            figures::fig6(&profile);
+            tables::table4(&profile);
+            figures::fig2(&profile);
+            figures::fig7(&profile);
+            tables::table5(&profile);
+            figures::fig8(&profile);
+            figures::fig9(&profile);
+            tables::table6(&profile);
+            tables::table7(&profile);
+            tables::table8();
+            figures::fig10(&profile);
+            figures::fig11();
+            figures::fig12();
+        }
+        _ => {
+            eprintln!(
+                "usage: repro <fig1|fig2|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
+                 \u{20}              table2|table3|table4|table5|table6|table7|table8|\n\
+                 \u{20}              weightsweep|ctxsweep|batchacc|transfer|likelihood|calibration|all> [--full]"
+            );
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Table targets: Tables II–VIII of the paper.
+
+use crate::ascii::{self, f2, f3, heading};
+use crate::dataset::{event_data, full_dataset, one_event};
+use crate::models::{self, Profile};
+use ranknet_core::baseline_adapters::{
+    ArimaForecaster, CurRankForecaster,
+};
+use ranknet_core::eval::{eval_short_term, eval_stint, mae_improvement_pit_laps, ShortTermRow, StintRow};
+use ranknet_core::ranknet::RankNetVariant;
+use ranknet_core::transformer_model::TransformerForecaster;
+use ranknet_core::RankNetConfig;
+use rpf_perfmodel::Device;
+use rpf_racesim::{Event, EventConfig};
+
+/// Table II: dataset summary.
+pub fn table2(_profile: &Profile) {
+    heading("Table II: Summary of the data sets");
+    let d = full_dataset();
+    let mut rows = vec![vec![
+        "Event".into(),
+        "Years".into(),
+        "TrackLen".into(),
+        "Shape".into(),
+        "Laps".into(),
+        "AvgSpeed".into(),
+        "Cars".into(),
+        "#Records".into(),
+        "Usage".into(),
+    ]];
+    for &event in &Event::ALL {
+        for year in EventConfig::years(event) {
+            let key = rpf_racesim::RaceKey::new(event, year);
+            let race = d.get(key).unwrap();
+            let cfg = &race.config;
+            rows.push(vec![
+                event.name().into(),
+                year.to_string(),
+                format!("{:.3}", cfg.track_length_miles),
+                cfg.track_shape.into(),
+                cfg.total_laps.to_string(),
+                format!("{:.0}mph", cfg.avg_speed_mph),
+                cfg.participants.to_string(),
+                race.records.len().to_string(),
+                format!("{:?}", rpf_racesim::dataset::split_of(key)),
+            ]);
+        }
+    }
+    ascii::table(&rows);
+    println!("  total races: {}   total records: {}", d.len(), d.record_count());
+}
+
+/// Table III: model feature matrix (static, from the paper).
+pub fn table3() {
+    heading("Table III: Features of the rank position forecasting models");
+    ascii::table(&[
+        vec!["Model".into(), "ReprLearning".into(), "Uncertainty".into(), "PitModel".into()],
+        vec!["CurRank".into(), "N".into(), "N".into(), "N".into()],
+        vec!["RandomForest".into(), "N".into(), "N".into(), "N".into()],
+        vec!["SVM".into(), "N".into(), "N".into(), "N".into()],
+        vec!["XGBoost".into(), "N".into(), "N".into(), "N".into()],
+        vec!["ARIMA".into(), "N".into(), "Y".into(), "N".into()],
+        vec!["DeepAR".into(), "Y".into(), "Y".into(), "N".into()],
+        vec!["RankNet-Joint".into(), "Y".into(), "Y".into(), "Y (Joint Train)".into()],
+        vec!["RankNet-MLP".into(), "Y".into(), "Y".into(), "Y (Decomposition)".into()],
+        vec!["RankNet-Oracle".into(), "Y".into(), "Y".into(), "Y (Ground Truth)".into()],
+    ]);
+}
+
+/// Table IV: dataset statistics and model parameters.
+pub fn table4(profile: &Profile) {
+    heading("Table IV: Dataset statistics and model parameters");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let cfg = RankNetConfig::default();
+    let ts = ranknet_core::instances::TrainingSet::build(data.train.clone(), &cfg, 1);
+    let model = ranknet_core::rank_model::RankModel::new(
+        cfg.clone(),
+        ranknet_core::rank_model::TargetKind::RankOnly,
+        ts.max_car_id,
+    );
+    ascii::table(&[
+        vec!["Parameter".into(), "Value".into()],
+        vec!["# of time series (Indy500 train)".into(), (data.train.len() * 33).to_string()],
+        vec!["# of training examples (stride 1)".into(), ts.len().to_string()],
+        vec!["Granularity".into(), "Lap".into()],
+        vec!["Encoder length".into(), cfg.context_len.to_string()],
+        vec!["Decoder length k".into(), cfg.prediction_len.to_string()],
+        vec!["Loss weight".into(), format!("{}", cfg.loss_weight)],
+        vec!["Batch size".into(), cfg.batch_size.to_string()],
+        vec!["Optimizer".into(), "ADAM".into()],
+        vec!["Learning rate".into(), format!("{}", cfg.learning_rate)],
+        vec!["LR decay factor".into(), "0.5".into()],
+        vec!["# of LSTM layers".into(), cfg.num_layers.to_string()],
+        vec!["# of LSTM nodes".into(), cfg.hidden_dim.to_string()],
+        vec!["Model parameters".into(), model.num_params().to_string()],
+        vec!["Profile (this run)".into(), format!("stride={} epochs={}", profile.stride, profile.epochs)],
+    ]);
+}
+
+fn short_term_table_rows(rows: &[ShortTermRow]) -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "Model".into(),
+        "Top1".into(),
+        "MAE".into(),
+        "50-R".into(),
+        "90-R".into(),
+        "| Top1".into(),
+        "MAE".into(),
+        "50-R".into(),
+        "90-R".into(),
+        "| Top1".into(),
+        "MAE".into(),
+        "50-R".into(),
+        "90-R".into(),
+    ]];
+    for r in rows {
+        out.push(vec![
+            r.model.clone(),
+            f2(r.all.top1_acc),
+            f2(r.all.mae),
+            f3(r.all.risk50),
+            f3(r.all.risk90),
+            format!("| {}", f2(r.normal.top1_acc)),
+            f2(r.normal.mae),
+            f3(r.normal.risk50),
+            f3(r.normal.risk90),
+            format!("| {}", f2(r.pit_covered.top1_acc)),
+            f2(r.pit_covered.mae),
+            f3(r.pit_covered.risk50),
+            f3(r.pit_covered.risk90),
+        ]);
+    }
+    out
+}
+
+/// Table V: short-term (k=2) forecasting on Indy500-2019, all nine models.
+pub fn table5(profile: &Profile) {
+    heading("Table V: Short-term rank position forecasting (k=2), Indy500-2019");
+    println!("  columns: All Laps | Normal Laps | PitStop Covered Laps");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let eval_cfg = profile.eval_cfg();
+
+    let mut rows: Vec<ShortTermRow> = Vec::new();
+    rows.push(eval_short_term(&CurRankForecaster, test, &eval_cfg));
+    rows.push(eval_short_term(&ArimaForecaster::default(), test, &eval_cfg));
+    for reg in models::regressors_for(profile, Event::Indy500, &data.train, 2).iter() {
+        rows.push(eval_short_term(reg, test, &eval_cfg));
+    }
+    let deepar = models::deepar_for(profile, Event::Indy500, &data.train, &data.val);
+    rows.push(eval_short_term(&*deepar, test, &eval_cfg));
+    for variant in [RankNetVariant::Joint, RankNetVariant::Mlp, RankNetVariant::Oracle] {
+        let model =
+            models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
+        rows.push(eval_short_term(&*model, test, &eval_cfg));
+    }
+
+    ascii::table(&short_term_table_rows(&rows));
+    summarize_table5(&rows);
+}
+
+fn summarize_table5(rows: &[ShortTermRow]) {
+    let get = |name: &str| rows.iter().find(|r| r.model == name);
+    if let (Some(cur), Some(mlp), Some(oracle)) =
+        (get("CurRank"), get("RankNet-MLP"), get("RankNet-Oracle"))
+    {
+        println!(
+            "  MAE improvement over CurRank (all laps): MLP {:+.0}%  Oracle {:+.0}%",
+            100.0 * (cur.all.mae - mlp.all.mae) / cur.all.mae,
+            100.0 * (cur.all.mae - oracle.all.mae) / cur.all.mae,
+        );
+        println!(
+            "  MAE improvement over CurRank (pit laps): MLP {:+.0}%  Oracle {:+.0}%",
+            100.0 * (cur.pit_covered.mae - mlp.pit_covered.mae) / cur.pit_covered.mae,
+            100.0 * (cur.pit_covered.mae - oracle.pit_covered.mae) / cur.pit_covered.mae,
+        );
+    }
+}
+
+/// Table VI: stint (TaskB) forecasting on Indy500-2019.
+pub fn table6(profile: &Profile) {
+    heading("Table VI: Rank position changes forecasting between pit stops, Indy500-2019");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let mut eval_cfg = profile.eval_cfg();
+    eval_cfg.n_samples = (eval_cfg.n_samples / 2).max(8); // long horizons
+
+    let mut rows: Vec<StintRow> = Vec::new();
+    rows.push(eval_stint(&CurRankForecaster, test, &eval_cfg));
+    for reg in models::regressors_for(profile, Event::Indy500, &data.train, 8).iter() {
+        rows.push(eval_stint(reg, test, &eval_cfg));
+    }
+    let deepar = models::deepar_for(profile, Event::Indy500, &data.train, &data.val);
+    rows.push(eval_stint(&*deepar, test, &eval_cfg));
+    for variant in [RankNetVariant::Joint, RankNetVariant::Mlp, RankNetVariant::Oracle] {
+        let model =
+            models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
+        rows.push(eval_stint(&*model, test, &eval_cfg));
+    }
+
+    let mut out = vec![vec![
+        "Model".into(),
+        "SignAcc".into(),
+        "MAE".into(),
+        "50-Risk".into(),
+        "90-Risk".into(),
+        "n".into(),
+    ]];
+    for r in &rows {
+        out.push(vec![
+            r.model.clone(),
+            f2(r.sign_acc),
+            f2(r.mae),
+            f3(r.risk50),
+            f3(r.risk90),
+            r.n.to_string(),
+        ]);
+    }
+    ascii::table(&out);
+}
+
+/// Table VII: generalisation — MAE improvement over CurRank on pit-covered
+/// laps, trained on Indy500 vs trained on the same event.
+pub fn table7(profile: &Profile) {
+    heading("Table VII: Two-lap forecasting on other races (MAE improvement vs CurRank, pit laps)");
+    let d = full_dataset();
+    let indy = event_data(&d, Event::Indy500);
+    let eval_cfg = profile.eval_cfg();
+
+    // Models trained on Indy500.
+    let indy_mlp =
+        models::ranknet_for(profile, Event::Indy500, &indy.train, &indy.val, RankNetVariant::Mlp);
+    let indy_joint = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &indy.train,
+        &indy.val,
+        RankNetVariant::Joint,
+    );
+    let indy_regs = models::regressors_for(profile, Event::Indy500, &indy.train, 2);
+    let indy_forest = &indy_regs[0];
+    let indy_tx = {
+        let model = models::train_transformer(profile, &indy.train, &indy.val);
+        let pit = {
+            let mut pm = ranknet_core::pit_model::PitModel::new(
+                1,
+                indy.train.first().map(|c| c.fuel_window).unwrap_or(50.0),
+            );
+            pm.train(&indy.train, &profile.model_cfg());
+            pm
+        };
+        TransformerForecaster { model, pit_model: Some(pit) }
+    };
+
+    let mut rows = vec![vec![
+        "Dataset".into(),
+        "RankNet-MLP(I)".into(),
+        "RForest(I)".into(),
+        "RankNet-Joint(I)".into(),
+        "Transformer-MLP(I)".into(),
+        "RankNet-MLP(E)".into(),
+        "RForest(E)".into(),
+    ]];
+
+    let test_sets: Vec<(Event, u16)> = vec![
+        (Event::Indy500, 2019),
+        (Event::Texas, 2018),
+        (Event::Texas, 2019),
+        (Event::Pocono, 2018),
+        (Event::Iowa, 2019),
+    ];
+
+    for (event, year) in test_sets {
+        let ed = event_data(&d, event);
+        let test = &ed.test.iter().find(|(y, _)| *y == year).unwrap().1;
+
+        let imp_mlp_i = mae_improvement_pit_laps(&*indy_mlp, test, &eval_cfg);
+        let imp_rf_i = mae_improvement_pit_laps(indy_forest, test, &eval_cfg);
+        let imp_joint_i = mae_improvement_pit_laps(&*indy_joint, test, &eval_cfg);
+        let imp_tx_i = mae_improvement_pit_laps(&indy_tx, test, &eval_cfg);
+
+        // Trained on the same event.
+        let (imp_mlp_e, imp_rf_e) = if event == Event::Indy500 {
+            (imp_mlp_i, imp_rf_i)
+        } else {
+            let same_mlp =
+                models::ranknet_for(profile, event, &ed.train, &ed.val, RankNetVariant::Mlp);
+            let same_regs = models::regressors_for(profile, event, &ed.train, 2);
+            (
+                mae_improvement_pit_laps(&*same_mlp, test, &eval_cfg),
+                mae_improvement_pit_laps(&same_regs[0], test, &eval_cfg),
+            )
+        };
+
+        rows.push(vec![
+            format!("{}-{}", event.name(), year),
+            f2(imp_mlp_i),
+            f2(imp_rf_i),
+            f2(imp_joint_i),
+            f2(imp_tx_i),
+            f2(imp_mlp_e),
+            f2(imp_rf_e),
+        ]);
+    }
+    ascii::table(&rows);
+    println!("  (I) = trained on Indy500; (E) = trained on the same event");
+}
+
+/// Table VIII: hardware specification (the device models' constants).
+pub fn table8() {
+    heading("Table VIII: Experiments hardware specification (device models)");
+    let mut rows = vec![vec![
+        "Platform".into(),
+        "Peak GFLOP/s".into(),
+        "Mem GB/s".into(),
+        "Launch us".into(),
+        "Xfer GB/s".into(),
+    ]];
+    for dev in Device::all() {
+        rows.push(vec![
+            dev.name.into(),
+            format!("{:.0}", dev.peak_flops / 1e9),
+            format!("{:.0}", dev.mem_bw / 1e9),
+            format!("{:.2}", dev.launch_overhead * 1e6),
+            if dev.transfer_bw > 0.0 {
+                format!("{:.0}", dev.transfer_bw / 1e9)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    ascii::table(&rows);
+    println!("  (CPU timings in Fig 10 are measured on this machine; GPU/VE are modeled)");
+}

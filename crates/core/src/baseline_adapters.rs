@@ -1,0 +1,411 @@
+//! The common forecasting interface and adapters wrapping every baseline
+//! (Table III) plus the deep models, so the evaluation runners can treat
+//! them uniformly.
+
+use crate::features::RaceContext;
+use crate::rank_model::{CovariateFuture, ForecastSamples, RankModel};
+use crate::ranknet::RankNet;
+use rand::rngs::StdRng;
+use rpf_baselines::forest::{ForestConfig, RandomForest};
+use rpf_baselines::gbt::{GbtConfig, GradientBoostedTrees};
+use rpf_baselines::svr::{Svr, SvrConfig};
+use rpf_baselines::Arima;
+
+/// Anything that can produce Monte-Carlo rank forecasts for a race.
+pub trait Forecaster {
+    fn name(&self) -> String;
+
+    /// `samples[car][sample][step]`, raw rank units; cars without enough
+    /// history get an empty sample list. Point forecasters return a single
+    /// replicated sample.
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples;
+}
+
+// ---- CurRank --------------------------------------------------------------
+
+/// The naive constant-rank forecaster.
+pub struct CurRankForecaster;
+
+impl Forecaster for CurRankForecaster {
+    fn name(&self) -> String {
+        "CurRank".into()
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        _n_samples: usize,
+        _rng: &mut StdRng,
+    ) -> ForecastSamples {
+        ctx.sequences
+            .iter()
+            .map(|seq| {
+                if seq.len() < origin {
+                    Vec::new()
+                } else {
+                    vec![vec![seq.rank[origin - 1]; horizon]]
+                }
+            })
+            .collect()
+    }
+}
+
+// ---- ARIMA ----------------------------------------------------------------
+
+/// Per-car ARIMA fitted on the observed history at forecast time.
+pub struct ArimaForecaster {
+    pub p: usize,
+    pub d: usize,
+    pub q: usize,
+}
+
+impl Default for ArimaForecaster {
+    fn default() -> Self {
+        // (2,0,1): rank series are noisy but mean-reverting around a level,
+        // so an ARMA with intercept forecasts better than a differenced
+        // random walk, which amplifies every pit-stop spike into drift.
+        ArimaForecaster { p: 2, d: 0, q: 1 }
+    }
+}
+
+impl Forecaster for ArimaForecaster {
+    fn name(&self) -> String {
+        "ARIMA".into()
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        ctx.sequences
+            .iter()
+            .map(|seq| {
+                if seq.len() < origin {
+                    return Vec::new();
+                }
+                let history = &seq.rank[..origin];
+                let fitted = Arima::fit(history, self.p, self.d, self.q)
+                    .or_else(|| Arima::fit(history, 1, 0, 0));
+                let Some(model) = fitted else {
+                    // Degenerate history: fall back to persistence.
+                    return vec![vec![history[origin - 1]; horizon]];
+                };
+                let (point, sds) = model.forecast(history, horizon);
+                (0..n_samples)
+                    .map(|_| {
+                        point
+                            .iter()
+                            .zip(&sds)
+                            .map(|(&m, &s)| {
+                                let z = rpf_nn::gaussian::sample_gaussian(
+                                    rng,
+                                    &rpf_tensor::Matrix::from_vec(1, 1, vec![m]),
+                                    &rpf_tensor::Matrix::from_vec(1, 1, vec![s]),
+                                );
+                                z.get(0, 0).clamp(0.5, ctx.field_size as f32 + 0.5)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+// ---- pointwise regression models (RF / SVR / XGBoost-like) -----------------
+
+/// The engineered feature row the classical regressors consume
+/// (Tulabandhula & Rudin-style pointwise features at the forecast origin).
+pub fn regression_features(seq: &crate::features::CarSequence, i: usize, field: f32) -> Vec<f32> {
+    vec![
+        seq.rank[i] / field,
+        seq.lap_time[i] / 100.0,
+        seq.time_behind[i] / 100.0,
+        seq.track_status[i],
+        seq.lap_status[i],
+        seq.caution_laps[i] / 10.0,
+        seq.pit_age[i] / 50.0,
+        seq.leader_pit_count[i] / field,
+        seq.total_pit_count[i] / field,
+    ]
+}
+
+/// Which regression family an adapter wraps.
+pub enum RegKind {
+    Forest,
+    Svr,
+    Gbt,
+}
+
+enum RegModel {
+    Forest(RandomForest),
+    Svr(Svr),
+    Gbt(GradientBoostedTrees),
+}
+
+/// One fitted regressor per forecast step: model `h` predicts the rank
+/// *change* `h+1` laps ahead (the paper's baselines "forecast change of
+/// rank position", §IV-B).
+pub struct RegressionForecaster {
+    label: String,
+    per_step: Vec<RegModel>,
+}
+
+impl RegressionForecaster {
+    /// Fit on featurized races. `stride` subsamples training origins.
+    pub fn fit(
+        kind: RegKind,
+        train_ctx: &[RaceContext],
+        max_horizon: usize,
+        stride: usize,
+        seed: u64,
+    ) -> RegressionForecaster {
+        let label = match kind {
+            RegKind::Forest => "RandomForest",
+            RegKind::Svr => "SVM",
+            RegKind::Gbt => "XGBoost",
+        };
+        let mut per_step = Vec::with_capacity(max_horizon);
+        for h in 1..=max_horizon {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for ctx in train_ctx {
+                let field = ctx.field_size as f32;
+                for seq in &ctx.sequences {
+                    let mut i = 1usize;
+                    while i + h < seq.len() {
+                        x.push(regression_features(seq, i, field));
+                        y.push(seq.rank[i + h] - seq.rank[i]);
+                        i += stride;
+                    }
+                }
+            }
+            // SVR training is O(n²) in memory: cap its sample count.
+            let cap = match kind {
+                RegKind::Svr => 1500,
+                _ => 20_000,
+            };
+            if x.len() > cap {
+                let keep = x.len() / cap + 1;
+                x = x
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % keep == 0)
+                    .map(|(_, v)| v)
+                    .collect();
+                y = y
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % keep == 0)
+                    .map(|(_, v)| v)
+                    .collect();
+            }
+            let model = match kind {
+                RegKind::Forest => RegModel::Forest(RandomForest::fit(
+                    &x,
+                    &y,
+                    &ForestConfig { n_trees: 50, seed, ..Default::default() },
+                )),
+                RegKind::Svr => RegModel::Svr(Svr::fit(
+                    &x,
+                    &y,
+                    &SvrConfig { seed, epsilon: 0.25, c: 5.0, gamma: 1.0, max_passes: 25 },
+                )),
+                RegKind::Gbt => RegModel::Gbt(GradientBoostedTrees::fit(
+                    &x,
+                    &y,
+                    &GbtConfig { n_rounds: 60, ..Default::default() },
+                )),
+            };
+            per_step.push(model);
+        }
+        RegressionForecaster { label: label.into(), per_step }
+    }
+}
+
+impl Forecaster for RegressionForecaster {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        _rng: &mut StdRng,
+    ) -> ForecastSamples {
+        let field = ctx.field_size as f32;
+        ctx.sequences
+            .iter()
+            .map(|seq| {
+                if seq.len() < origin {
+                    return Vec::new();
+                }
+                let feats = regression_features(seq, origin - 1, field);
+                let current = seq.rank[origin - 1];
+                match &self.per_step[0] {
+                    RegModel::Forest(_) => {
+                        // The forest's per-tree spread doubles as its
+                        // forecast distribution.
+                        (0..n_samples.max(1))
+                            .map(|s| {
+                                (0..horizon)
+                                    .map(|h| {
+                                        let m =
+                                            &self.per_step[h.min(self.per_step.len() - 1)];
+                                        let RegModel::Forest(f) = m else { unreachable!() };
+                                        let preds = f.tree_predictions(&feats);
+                                        let v = preds[s % preds.len()];
+                                        (current + v).clamp(0.5, field + 0.5)
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    }
+                    _ => {
+                        let path: Vec<f32> = (0..horizon)
+                            .map(|h| {
+                                let m = &self.per_step[h.min(self.per_step.len() - 1)];
+                                let change = match m {
+                                    RegModel::Forest(f) => f.predict(&feats),
+                                    RegModel::Svr(s) => s.predict(&feats),
+                                    RegModel::Gbt(g) => g.predict(&feats),
+                                };
+                                (current + change).clamp(0.5, field + 0.5)
+                            })
+                            .collect();
+                        vec![path]
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+// ---- deep models ------------------------------------------------------------
+
+/// DeepAR: the RankModel without race-status covariates.
+pub struct DeepArForecaster(pub RankModel);
+
+impl Forecaster for DeepArForecaster {
+    fn name(&self) -> String {
+        "DeepAR".into()
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        // Covariates are disabled in the DeepAR config; empty rows suffice.
+        let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
+        self.0.forecast(ctx, &cov, origin, horizon, n_samples, rng)
+    }
+}
+
+impl Forecaster for RankNet {
+    fn name(&self) -> String {
+        self.variant.name().into()
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        RankNet::forecast(self, ctx, origin, horizon, n_samples, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rand::SeedableRng;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn ctx() -> RaceContext {
+        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 11))
+    }
+
+    #[test]
+    fn currank_repeats_last_rank() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = CurRankForecaster.forecast(&c, 50, 3, 10, &mut rng);
+        for (ci, per_car) in f.iter().enumerate() {
+            if c.sequences[ci].len() >= 50 {
+                assert_eq!(per_car.len(), 1);
+                let expect = c.sequences[ci].rank[49];
+                assert!(per_car[0].iter().all(|&v| v == expect));
+            }
+        }
+    }
+
+    #[test]
+    fn arima_produces_spread_samples() {
+        let c = ctx();
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = ArimaForecaster::default().forecast(&c, 80, 2, 12, &mut rng);
+        let per_car = f.iter().find(|s| !s.is_empty()).unwrap();
+        assert_eq!(per_car.len(), 12);
+        // Samples should not all be identical (probabilistic forecast).
+        let firsts: Vec<f32> = per_car.iter().map(|p| p[0]).collect();
+        let spread = firsts.iter().cloned().fold(f32::MIN, f32::max)
+            - firsts.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread > 0.0, "ARIMA samples should vary");
+    }
+
+    #[test]
+    fn regression_forecasters_fit_and_predict() {
+        let c = ctx();
+        for kind in [RegKind::Svr, RegKind::Gbt] {
+            let model = RegressionForecaster::fit(kind, std::slice::from_ref(&c), 2, 16, 0);
+            let mut rng = StdRng::seed_from_u64(3);
+            let f = model.forecast(&c, 60, 2, 5, &mut rng);
+            let ok = f
+                .iter()
+                .enumerate()
+                .filter(|(ci, s)| c.sequences[*ci].len() >= 60 && !s.is_empty())
+                .count();
+            assert!(ok > 20, "{}: {ok} cars forecasted", model.name());
+            for per_car in f.iter().filter(|s| !s.is_empty()) {
+                for path in per_car {
+                    assert_eq!(path.len(), 2);
+                    assert!(path.iter().all(|v| (0.0..=34.0).contains(v)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_adapter_yields_multiple_samples() {
+        let c = ctx();
+        let model = RegressionForecaster::fit(RegKind::Forest, std::slice::from_ref(&c), 2, 24, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = model.forecast(&c, 60, 2, 8, &mut rng);
+        let per_car = f.iter().find(|s| !s.is_empty()).unwrap();
+        assert_eq!(per_car.len(), 8);
+    }
+}

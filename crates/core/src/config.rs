@@ -1,0 +1,140 @@
+//! Model hyper-parameters (the paper's Table IV).
+
+use serde::{Deserialize, Serialize};
+
+/// Output likelihood of the RankModel's probabilistic head.
+///
+/// The paper uses a Gaussian (§III-B); Student-t is this reproduction's
+/// robustness ablation — heavy tails fit the rare large rank jumps at pit
+/// stops without inflating sigma everywhere else.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Likelihood {
+    Gaussian,
+    /// Student-t with the given degrees of freedom (must be > 2).
+    StudentT(f32),
+}
+
+/// Hyper-parameters for RankNet and its ablations. Defaults reproduce
+/// Table IV; tests shrink them for speed.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankNetConfig {
+    /// Encoder (context) length `C = L0 - 1`. Table IV / Fig 7 step 2: 60.
+    pub context_len: usize,
+    /// Decoder (prediction) length `k`. Table IV: 2.
+    pub prediction_len: usize,
+    /// Loss weight applied to instances whose decoder window contains a
+    /// rank change (Fig 7 step 1; tuned optimum 9, range 1–10).
+    pub loss_weight: f32,
+    /// LSTM hidden units per layer (Table IV: 40).
+    pub hidden_dim: usize,
+    /// Stacked LSTM layers (Table IV: 2).
+    pub num_layers: usize,
+    /// CarId embedding dimension.
+    pub embedding_dim: usize,
+    /// Monte-Carlo samples per forecast (paper: 100).
+    pub num_samples: usize,
+    /// Use race-status covariates (off = the plain DeepAR baseline).
+    pub use_race_status: bool,
+    /// Use the Fig 7 step-3 context features (LeaderPitCount, TotalPitCount).
+    pub use_context_features: bool,
+    /// Use the Fig 7 step-4 shift features (race status at lap A+k).
+    pub use_shift_features: bool,
+    /// Training epochs cap.
+    pub max_epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    pub seed: u64,
+    /// Output distribution (paper: Gaussian).
+    pub likelihood: Likelihood,
+}
+
+impl Default for RankNetConfig {
+    fn default() -> Self {
+        RankNetConfig {
+            context_len: 60,
+            prediction_len: 2,
+            loss_weight: 9.0,
+            hidden_dim: 40,
+            num_layers: 2,
+            embedding_dim: 4,
+            num_samples: 100,
+            use_race_status: true,
+            use_context_features: true,
+            use_shift_features: true,
+            max_epochs: 60,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            seed: 42,
+            likelihood: Likelihood::Gaussian,
+        }
+    }
+}
+
+impl RankNetConfig {
+    /// A configuration small enough for unit tests (shorter context, fewer
+    /// units, few epochs) while preserving every architectural feature.
+    pub fn tiny() -> Self {
+        RankNetConfig {
+            context_len: 20,
+            prediction_len: 2,
+            hidden_dim: 16,
+            num_layers: 2,
+            embedding_dim: 2,
+            num_samples: 20,
+            max_epochs: 5,
+            batch_size: 32,
+            ..Default::default()
+        }
+    }
+
+    /// The plain DeepAR baseline: same network, no race-status covariates
+    /// (Table III row "DeepAR").
+    pub fn deepar(mut self) -> Self {
+        self.use_race_status = false;
+        self.use_context_features = false;
+        self.use_shift_features = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table4() {
+        let c = RankNetConfig::default();
+        assert_eq!(c.context_len, 60);
+        assert_eq!(c.prediction_len, 2);
+        assert_eq!(c.hidden_dim, 40);
+        assert_eq!(c.num_layers, 2);
+        assert_eq!(c.num_samples, 100);
+        assert!((c.learning_rate - 1e-3).abs() < 1e-9);
+        assert!((1.0..=10.0).contains(&c.loss_weight));
+    }
+
+    #[test]
+    fn deepar_disables_covariates() {
+        let c = RankNetConfig::default().deepar();
+        assert!(!c.use_race_status);
+        assert!(!c.use_context_features);
+        assert!(!c.use_shift_features);
+    }
+
+    #[test]
+    fn likelihood_serde_roundtrip() {
+        let cfg = RankNetConfig { likelihood: Likelihood::StudentT(5.0), ..Default::default() };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: RankNetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.likelihood, Likelihood::StudentT(5.0));
+        assert_eq!(RankNetConfig::default().likelihood, Likelihood::Gaussian);
+    }
+
+    #[test]
+    fn tiny_is_smaller_but_complete() {
+        let c = RankNetConfig::tiny();
+        assert!(c.context_len < 60);
+        assert!(c.use_race_status);
+        assert_eq!(c.num_layers, 2);
+    }
+}

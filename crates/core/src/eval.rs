@@ -1,0 +1,373 @@
+//! Experiment runners behind the paper's evaluation section:
+//!
+//! * [`eval_short_term`] — Table V: two-lap forecasting, metrics split into
+//!   All / Normal / PitStop-covered laps,
+//! * [`eval_stint`] — Table VI (TaskB): rank change between consecutive
+//!   pit stops, SignAcc / MAE / ρ-risks,
+//! * [`prediction_length_sweep`] — Fig 9: MAE improvement over CurRank as
+//!   the horizon grows,
+//! * [`mae_improvement_pit_laps`] — the Table VII statistic (MAE
+//!   improvement over CurRank on pit-covered laps).
+
+use crate::baseline_adapters::{CurRankForecaster, Forecaster};
+use crate::features::RaceContext;
+use crate::metrics::{mae, quantile, rho_risk, sign_acc, top1_acc};
+use crate::ranknet::ranks_by_sorting;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Evaluation protocol parameters.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Forecast horizon in laps (Table V: 2).
+    pub horizon: usize,
+    /// Monte-Carlo samples per forecast (paper: 100).
+    pub n_samples: usize,
+    /// First forecast origin (sequence index); must exceed the warm-up.
+    pub origin_start: usize,
+    /// Stride between consecutive forecast origins.
+    pub origin_step: usize,
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { horizon: 2, n_samples: 100, origin_start: 25, origin_step: 1, seed: 7 }
+    }
+}
+
+impl EvalConfig {
+    /// Sparse, small-sample protocol for unit tests.
+    pub fn fast() -> Self {
+        EvalConfig { horizon: 2, n_samples: 10, origin_start: 40, origin_step: 25, seed: 7 }
+    }
+}
+
+/// The four Table V metrics over one lap category.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MetricBlock {
+    pub top1_acc: f32,
+    pub mae: f32,
+    pub risk50: f32,
+    pub risk90: f32,
+    /// Number of (car, origin) points aggregated.
+    pub n: usize,
+}
+
+/// One model's Table V row.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShortTermRow {
+    pub model: String,
+    pub all: MetricBlock,
+    pub normal: MetricBlock,
+    pub pit_covered: MetricBlock,
+}
+
+#[derive(Default)]
+struct Accumulator {
+    pred: Vec<f32>,
+    actual: Vec<f32>,
+    q50: Vec<f32>,
+    q90: Vec<f32>,
+    pred_leader: Vec<u16>,
+    true_leader: Vec<u16>,
+}
+
+impl Accumulator {
+    fn finish(&self) -> MetricBlock {
+        MetricBlock {
+            top1_acc: top1_acc(&self.pred_leader, &self.true_leader),
+            mae: mae(&self.pred, &self.actual),
+            risk50: rho_risk(&self.q50, &self.actual, 0.5),
+            risk90: rho_risk(&self.q90, &self.actual, 0.9),
+            n: self.pred.len(),
+        }
+    }
+}
+
+/// Does any car pit within the forecast window `[origin-1, origin+horizon)`?
+/// ("PitStop Covered Laps, where pit stop occurs at least once in one lap
+/// distance", Table V.)
+pub fn window_has_pit(ctx: &RaceContext, origin: usize, horizon: usize) -> bool {
+    let lo = origin.saturating_sub(1);
+    let hi = origin + horizon;
+    ctx.sequences.iter().any(|seq| {
+        (lo..hi.min(seq.len())).any(|i| seq.lap_status[i] == 1.0)
+    })
+}
+
+/// Table V for one model on one race.
+pub fn eval_short_term(
+    model: &dyn Forecaster,
+    ctx: &RaceContext,
+    cfg: &EvalConfig,
+) -> ShortTermRow {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut all = Accumulator::default();
+    let mut normal = Accumulator::default();
+    let mut pit = Accumulator::default();
+
+    let eval_idx = cfg.horizon - 1; // metric step: the final forecast lap
+    let mut origin = cfg.origin_start;
+    while origin + cfg.horizon <= ctx.total_laps {
+        let samples = model.forecast(ctx, origin, cfg.horizon, cfg.n_samples, &mut rng);
+        let ranked = ranks_by_sorting(&samples, eval_idx);
+        let target_idx = origin + eval_idx;
+        let pit_window = window_has_pit(ctx, origin, cfg.horizon);
+
+        // Leader prediction: the car most frequently ranked first across
+        // the Monte-Carlo samples (the mode of the rank-1 event, which is
+        // far more robust than comparing per-car medians near the front).
+        let mut best: Option<(u16, usize, f32)> = None;
+        let mut true_leader: Option<u16> = None;
+        for (c, seq) in ctx.sequences.iter().enumerate() {
+            if ranked[c].is_empty() || seq.len() <= target_idx {
+                continue;
+            }
+            let firsts = ranked[c].iter().filter(|&&r| r == 1.0).count();
+            let med = quantile(&ranked[c], 0.5);
+            let better = match &best {
+                None => true,
+                Some((_, bf, bm)) => firsts > *bf || (firsts == *bf && med < *bm),
+            };
+            if better {
+                best = Some((seq.car_id, firsts, med));
+            }
+            if seq.rank[target_idx] == 1.0 {
+                true_leader = Some(seq.car_id);
+            }
+        }
+        let best = best.map(|(id, _, m)| (id, m));
+
+        if let (Some((pl, _)), Some(tl)) = (best, true_leader) {
+            for acc in categories(&mut all, &mut normal, &mut pit, pit_window) {
+                acc.pred_leader.push(pl);
+                acc.true_leader.push(tl);
+            }
+        }
+
+        for (c, seq) in ctx.sequences.iter().enumerate() {
+            if ranked[c].is_empty() || seq.len() <= target_idx {
+                continue;
+            }
+            let med = quantile(&ranked[c], 0.5);
+            let q90 = quantile(&ranked[c], 0.9);
+            let actual = seq.rank[target_idx];
+            for acc in categories(&mut all, &mut normal, &mut pit, pit_window) {
+                acc.pred.push(med);
+                acc.actual.push(actual);
+                acc.q50.push(med);
+                acc.q90.push(q90);
+            }
+        }
+        origin += cfg.origin_step;
+    }
+
+    ShortTermRow {
+        model: model.name(),
+        all: all.finish(),
+        normal: normal.finish(),
+        pit_covered: pit.finish(),
+    }
+}
+
+/// Pick the accumulators a data point belongs to.
+fn categories<'a>(
+    all: &'a mut Accumulator,
+    normal: &'a mut Accumulator,
+    pit: &'a mut Accumulator,
+    pit_window: bool,
+) -> Vec<&'a mut Accumulator> {
+    if pit_window {
+        vec![all, pit]
+    } else {
+        vec![all, normal]
+    }
+}
+
+/// Table VI row: stint forecasting (TaskB) metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct StintRow {
+    pub model: String,
+    pub sign_acc: f32,
+    pub mae: f32,
+    pub risk50: f32,
+    pub risk90: f32,
+    pub n: usize,
+}
+
+/// Table VI for one model on one race: for each stint (between consecutive
+/// pit stops of a car), forecast from just after the first stop to just
+/// before the next, and score the predicted rank *change*.
+pub fn eval_stint(model: &dyn Forecaster, ctx: &RaceContext, cfg: &EvalConfig) -> StintRow {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5717);
+    let mut pred_change = Vec::new();
+    let mut true_change = Vec::new();
+    let mut q50 = Vec::new();
+    let mut q90 = Vec::new();
+    let mut actual_ranks = Vec::new();
+
+    for (c, seq) in ctx.sequences.iter().enumerate() {
+        let pit_laps: Vec<usize> =
+            (0..seq.len()).filter(|&i| seq.lap_status[i] == 1.0).collect();
+        for w in pit_laps.windows(2) {
+            let (p1, p2) = (w[0], w[1]);
+            // Forecast from two laps after the stop to the lap before the
+            // next stop.
+            let origin = p1 + 2;
+            if p2 < origin + 2 || origin < cfg.origin_start.min(20) {
+                continue;
+            }
+            let horizon = p2 - origin;
+            let samples = model.forecast(ctx, origin, horizon, cfg.n_samples, &mut rng);
+            if samples[c].is_empty() {
+                continue;
+            }
+            let ranked = ranks_by_sorting(&samples, horizon - 1);
+            if ranked[c].is_empty() || seq.len() <= p2 - 1 {
+                continue;
+            }
+            let start_rank = seq.rank[origin - 1];
+            let med = quantile(&ranked[c], 0.5);
+            let q9 = quantile(&ranked[c], 0.9);
+            let actual = seq.rank[p2 - 1];
+            pred_change.push(med - start_rank);
+            true_change.push(actual - start_rank);
+            q50.push(med);
+            q90.push(q9);
+            actual_ranks.push(actual);
+        }
+    }
+
+    StintRow {
+        model: model.name(),
+        sign_acc: sign_acc(&pred_change, &true_change),
+        mae: mae(&pred_change, &true_change),
+        risk50: rho_risk(&q50, &actual_ranks, 0.5),
+        risk90: rho_risk(&q90, &actual_ranks, 0.9),
+        n: pred_change.len(),
+    }
+}
+
+/// Fig 9 point: the MAE improvement (%) of `model` over CurRank at the
+/// given horizon, over all laps.
+pub fn prediction_length_sweep(
+    model: &dyn Forecaster,
+    ctx: &RaceContext,
+    horizons: &[usize],
+    cfg: &EvalConfig,
+) -> Vec<(usize, f32)> {
+    horizons
+        .iter()
+        .map(|&h| {
+            let mut c = cfg.clone();
+            c.horizon = h;
+            let row = eval_short_term(model, ctx, &c);
+            let cur = eval_short_term(&CurRankForecaster, ctx, &c);
+            (h, improvement(cur.all.mae, row.all.mae))
+        })
+        .collect()
+}
+
+/// Table VII statistic: MAE improvement over CurRank on pit-covered laps.
+pub fn mae_improvement_pit_laps(
+    model: &dyn Forecaster,
+    ctx: &RaceContext,
+    cfg: &EvalConfig,
+) -> f32 {
+    let row = eval_short_term(model, ctx, cfg);
+    let cur = eval_short_term(&CurRankForecaster, ctx, cfg);
+    improvement(cur.pit_covered.mae, row.pit_covered.mae)
+}
+
+/// Relative improvement of `new` over `base` (positive = better/lower MAE),
+/// as a fraction.
+pub fn improvement(base: f32, new: f32) -> f32 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (base - new) / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_adapters::{ArimaForecaster, CurRankForecaster};
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn ctx() -> RaceContext {
+        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2019), 21))
+    }
+
+    #[test]
+    fn currank_metrics_follow_the_paper_pattern() {
+        let c = ctx();
+        let row = eval_short_term(&CurRankForecaster, &c, &EvalConfig::fast());
+        // Table V: CurRank is near-perfect on normal laps and much worse on
+        // pit-covered laps.
+        assert!(row.normal.mae < 0.7, "normal-lap MAE {}", row.normal.mae);
+        assert!(
+            row.pit_covered.mae > row.normal.mae + 0.3,
+            "pit laps must be harder: {} vs {}",
+            row.pit_covered.mae,
+            row.normal.mae
+        );
+        assert!(row.normal.top1_acc >= row.pit_covered.top1_acc);
+        assert!(row.all.n == row.normal.n + row.pit_covered.n);
+    }
+
+    #[test]
+    fn currank_stint_sign_acc_is_poor() {
+        // CurRank predicts zero change, so it is only right when the true
+        // change is also ~zero — the paper reports 0.15.
+        let c = ctx();
+        let row = eval_stint(&CurRankForecaster, &c, &EvalConfig::fast());
+        assert!(row.n > 10, "need stints to evaluate, got {}", row.n);
+        assert!(row.sign_acc < 0.6, "CurRank sign accuracy {}", row.sign_acc);
+        assert!(row.mae > 1.0, "stint changes are large, MAE {}", row.mae);
+    }
+
+    #[test]
+    fn window_has_pit_detects_pits() {
+        let c = ctx();
+        // Find a lap where someone pits.
+        let pit_lap = c
+            .sequences
+            .iter()
+            .flat_map(|s| (0..s.len()).filter(|&i| s.lap_status[i] == 1.0))
+            .next()
+            .unwrap();
+        assert!(window_has_pit(&c, pit_lap, 2));
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement(2.0, 1.0) - 0.5).abs() < 1e-6);
+        assert!(improvement(2.0, 3.0) < 0.0);
+        assert_eq!(improvement(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn arima_runs_through_short_term_protocol() {
+        let c = ctx();
+        let row = eval_short_term(&ArimaForecaster::default(), &c, &EvalConfig::fast());
+        assert!(row.all.n > 50);
+        assert!(row.all.mae.is_finite());
+        assert!(row.all.risk90.is_finite());
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_horizon() {
+        let c = ctx();
+        let pts =
+            prediction_length_sweep(&CurRankForecaster, &c, &[2, 4], &EvalConfig::fast());
+        assert_eq!(pts.len(), 2);
+        // CurRank against itself: zero improvement.
+        for (_, imp) in pts {
+            assert!(imp.abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Feature extraction: the paper's Table I features plus the Fig 7
+//! optimization features, computed from raw race timing records.
+
+use rpf_racesim::{LapStatus, RaceResult};
+
+/// Per-car time series of every feature the models consume. All vectors are
+/// indexed by lap offset within this car's recorded laps (lap 1 = index 0
+/// for cars that run the whole race; retired cars simply stop early).
+#[derive(Clone, Debug)]
+pub struct CarSequence {
+    pub car_id: u16,
+    /// Lap numbers (1-based) the entries correspond to.
+    pub laps: Vec<u16>,
+    /// Target: rank position (Table I: `Rank(i, L)`).
+    pub rank: Vec<f32>,
+    /// `LapTime(i, L)`, seconds.
+    pub lap_time: Vec<f32>,
+    /// `TimeBehindLeader(i, L)`, seconds.
+    pub time_behind: Vec<f32>,
+    /// `LapStatus(i, L)`: 1.0 on pit laps.
+    pub lap_status: Vec<f32>,
+    /// `TrackStatus(i, L)`: 1.0 on caution laps.
+    pub track_status: Vec<f32>,
+    /// `CautionLaps(i, L)`: caution laps since this car's last pit.
+    pub caution_laps: Vec<f32>,
+    /// `PitAge(i, L)`: laps since this car's last pit.
+    pub pit_age: Vec<f32>,
+    /// Fig 7 step 3: # of cars ahead (rank at L-2) pitting at lap L.
+    pub leader_pit_count: Vec<f32>,
+    /// Fig 7 step 3: total # of cars pitting at lap L.
+    pub total_pit_count: Vec<f32>,
+}
+
+impl CarSequence {
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+}
+
+/// A featurized race: all car sequences plus normalisation constants.
+#[derive(Clone, Debug)]
+pub struct RaceContext {
+    pub sequences: Vec<CarSequence>,
+    /// Field size (for rank normalisation).
+    pub field_size: usize,
+    /// Base lap time (for lap-time normalisation).
+    pub base_lap_time: f32,
+    /// Total laps in the race.
+    pub total_laps: usize,
+    /// Fuel window (max stint length), laps — the PitModel's scale.
+    pub fuel_window: f32,
+}
+
+impl RaceContext {
+    /// Normalise a rank value into roughly [0, 1].
+    pub fn norm_rank(&self, rank: f32) -> f32 {
+        rank / self.field_size as f32
+    }
+
+    /// Invert [`RaceContext::norm_rank`].
+    pub fn denorm_rank(&self, v: f32) -> f32 {
+        v * self.field_size as f32
+    }
+
+    /// Normalise a lap time (1.0 = base lap pace).
+    pub fn norm_lap_time(&self, t: f32) -> f32 {
+        t / self.base_lap_time
+    }
+
+    /// Normalise a gap to the leader.
+    pub fn norm_gap(&self, g: f32) -> f32 {
+        g / (2.0 * self.base_lap_time)
+    }
+
+    /// Sequence of one car, if it appears in the race.
+    pub fn car(&self, car_id: u16) -> Option<&CarSequence> {
+        self.sequences.iter().find(|s| s.car_id == car_id)
+    }
+}
+
+/// Extract every car's feature sequences from a race (Table I + Fig 7).
+pub fn extract_sequences(race: &RaceResult) -> RaceContext {
+    // Per-lap pit counts across the field (for the context features).
+    let max_lap = race.records.iter().map(|r| r.lap).max().unwrap_or(0) as usize;
+    let mut pits_at_lap = vec![0u32; max_lap + 1];
+    for r in &race.records {
+        if r.lap_status == LapStatus::Pit {
+            pits_at_lap[r.lap as usize] += 1;
+        }
+    }
+
+    let mut sequences = Vec::with_capacity(race.field.len());
+    for car in &race.field {
+        let recs = race.car_records(car.car_id);
+        if recs.is_empty() {
+            continue;
+        }
+        let n = recs.len();
+        let mut seq = CarSequence {
+            car_id: car.car_id,
+            laps: Vec::with_capacity(n),
+            rank: Vec::with_capacity(n),
+            lap_time: Vec::with_capacity(n),
+            time_behind: Vec::with_capacity(n),
+            lap_status: Vec::with_capacity(n),
+            track_status: Vec::with_capacity(n),
+            caution_laps: Vec::with_capacity(n),
+            pit_age: Vec::with_capacity(n),
+            leader_pit_count: Vec::with_capacity(n),
+            total_pit_count: Vec::with_capacity(n),
+        };
+        let mut caution_count = 0.0f32;
+        let mut pit_age = 0.0f32;
+        for (i, rec) in recs.iter().enumerate() {
+            seq.laps.push(rec.lap);
+            seq.rank.push(rec.rank as f32);
+            seq.lap_time.push(rec.lap_time);
+            seq.time_behind.push(rec.time_behind_leader);
+            seq.lap_status.push(if rec.lap_status.is_pit() { 1.0 } else { 0.0 });
+            seq.track_status.push(if rec.track_status.is_caution() { 1.0 } else { 0.0 });
+
+            // Accumulation-sum transforms (§III-C): ages reset at pit laps.
+            if rec.track_status.is_caution() {
+                caution_count += 1.0;
+            }
+            seq.caution_laps.push(caution_count);
+            seq.pit_age.push(pit_age);
+            if rec.lap_status.is_pit() {
+                caution_count = 0.0;
+                pit_age = 0.0;
+            } else {
+                pit_age += 1.0;
+            }
+
+            // Context features (Fig 7 step 3).
+            let total_pits = pits_at_lap[rec.lap as usize] as f32;
+            seq.total_pit_count.push(total_pits);
+            // LeaderPitCount: cars ahead of us two laps ago that pit now.
+            let my_rank_before = if i >= 2 { recs[i - 2].rank } else { rec.rank };
+            let leader_pits = race
+                .records
+                .iter()
+                .filter(|r| {
+                    r.lap == rec.lap
+                        && r.lap_status == LapStatus::Pit
+                        && r.rank < my_rank_before
+                })
+                .count() as f32;
+            seq.leader_pit_count.push(leader_pits);
+        }
+        sequences.push(seq);
+    }
+
+    RaceContext {
+        field_size: race.field.len(),
+        base_lap_time: race.config.base_lap_time_s(),
+        total_laps: race.config.total_laps as usize,
+        fuel_window: race.config.fuel_window_laps as f32,
+        sequences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn ctx() -> RaceContext {
+        let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 5);
+        extract_sequences(&race)
+    }
+
+    #[test]
+    fn sequences_cover_the_field() {
+        let c = ctx();
+        assert!(c.sequences.len() >= 25, "most of the 33 cars have sequences");
+        assert_eq!(c.field_size, 33);
+        assert_eq!(c.total_laps, 200);
+    }
+
+    #[test]
+    fn pit_age_resets_at_pits() {
+        let c = ctx();
+        for seq in &c.sequences {
+            for i in 1..seq.len() {
+                if seq.lap_status[i - 1] == 1.0 {
+                    assert_eq!(
+                        seq.pit_age[i], 0.0,
+                        "car {} lap {}: pit age must reset after a pit",
+                        seq.car_id, seq.laps[i]
+                    );
+                } else {
+                    assert_eq!(seq.pit_age[i], seq.pit_age[i - 1] + 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn caution_laps_accumulate_and_reset() {
+        let c = ctx();
+        let mut saw_reset = false;
+        let mut saw_growth = false;
+        for seq in &c.sequences {
+            for i in 1..seq.len() {
+                let prev = seq.caution_laps[i - 1];
+                let cur = seq.caution_laps[i];
+                if cur > prev {
+                    saw_growth = true;
+                    assert_eq!(seq.track_status[i], 1.0, "growth only under yellow");
+                }
+                if cur < prev {
+                    saw_reset = true;
+                    assert_eq!(
+                        seq.lap_status[i - 1], 1.0,
+                        "caution count only resets after a pit"
+                    );
+                }
+            }
+        }
+        assert!(saw_growth, "simulated race should include caution laps");
+        assert!(saw_reset, "and pit stops that reset the counter");
+    }
+
+    #[test]
+    fn normalisation_roundtrip() {
+        let c = ctx();
+        let r = 17.0;
+        assert!((c.denorm_rank(c.norm_rank(r)) - r).abs() < 1e-5);
+        assert!(c.norm_rank(33.0) <= 1.01);
+        assert!(c.norm_lap_time(c.base_lap_time) == 1.0);
+    }
+
+    #[test]
+    fn total_pit_count_matches_records() {
+        let c = ctx();
+        // Pick a lap where someone pits and confirm all cars agree on the count.
+        let seq0 = &c.sequences[0];
+        for (i, &lap) in seq0.laps.iter().enumerate() {
+            let count = seq0.total_pit_count[i];
+            for other in &c.sequences {
+                if let Some(j) = other.laps.iter().position(|&l| l == lap) {
+                    assert_eq!(
+                        other.total_pit_count[j], count,
+                        "total pit count is a per-lap quantity"
+                    );
+                }
+            }
+            if i > 20 {
+                break; // spot check is enough
+            }
+        }
+    }
+
+    #[test]
+    fn leader_pit_count_bounded_by_total() {
+        let c = ctx();
+        for seq in &c.sequences {
+            for i in 0..seq.len() {
+                assert!(seq.leader_pit_count[i] <= seq.total_pit_count[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn car_lookup() {
+        let c = ctx();
+        let id = c.sequences[3].car_id;
+        assert_eq!(c.car(id).unwrap().car_id, id);
+        assert!(c.car(999).is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! Sliding-window training instances and the shared input-row assembly.
+//!
+//! Both training (Algorithm 1) and forecasting (Algorithm 2) feed the
+//! network one step at a time with `[z_{t-1}, X_t]`: the lagged regressive
+//! values and the current covariates. This module owns the exact layout of
+//! that row so the two paths can never drift apart.
+
+use crate::config::RankNetConfig;
+use crate::features::{CarSequence, RaceContext};
+
+/// Lagged regressive inputs (raw units; normalised during assembly).
+#[derive(Clone, Copy, Debug)]
+pub struct Regressive {
+    pub rank: f32,
+    pub lap_time: f32,
+    pub time_behind: f32,
+}
+
+/// Covariates `X_t` of Table I plus the Fig 7 extensions (raw units).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Covariates {
+    pub track_status: f32,
+    pub lap_status: f32,
+    pub caution_laps: f32,
+    pub pit_age: f32,
+    pub leader_pit_count: f32,
+    pub total_pit_count: f32,
+    /// Race status shifted `k` laps into the future (Fig 7 step 4).
+    pub shift_track_status: f32,
+    pub shift_lap_status: f32,
+    pub shift_total_pit_count: f32,
+}
+
+impl Covariates {
+    /// Read covariates for step `t` of a sequence; shift features look
+    /// `shift` laps ahead (0 beyond the recorded horizon).
+    pub fn from_seq(seq: &CarSequence, t: usize, shift: usize) -> Covariates {
+        let get = |v: &Vec<f32>, i: usize| v.get(i).copied().unwrap_or(0.0);
+        Covariates {
+            track_status: get(&seq.track_status, t),
+            lap_status: get(&seq.lap_status, t),
+            caution_laps: get(&seq.caution_laps, t),
+            pit_age: get(&seq.pit_age, t),
+            leader_pit_count: get(&seq.leader_pit_count, t),
+            total_pit_count: get(&seq.total_pit_count, t),
+            shift_track_status: get(&seq.track_status, t + shift),
+            shift_lap_status: get(&seq.lap_status, t + shift),
+            shift_total_pit_count: get(&seq.total_pit_count, t + shift),
+        }
+    }
+}
+
+/// Width of the assembled input row (before the CarId embedding is
+/// concatenated by the model).
+pub fn base_input_dim(cfg: &RankNetConfig) -> usize {
+    let mut d = 3; // regressive: rank, lap_time, time_behind
+    if cfg.use_race_status {
+        d += 4; // track, lap, caution_laps, pit_age
+    }
+    if cfg.use_context_features {
+        d += 2; // leader_pit_count, total_pit_count
+    }
+    if cfg.use_shift_features {
+        d += 3; // shifted track/lap status and total pit count
+    }
+    d
+}
+
+/// Assemble one normalised input row into `out`.
+pub fn assemble_row(
+    cfg: &RankNetConfig,
+    ctx: &RaceContext,
+    reg: &Regressive,
+    cov: &Covariates,
+    out: &mut Vec<f32>,
+) {
+    out.clear();
+    out.push(ctx.norm_rank(reg.rank));
+    out.push(ctx.norm_lap_time(reg.lap_time));
+    out.push(ctx.norm_gap(reg.time_behind));
+    let field = ctx.field_size as f32;
+    if cfg.use_race_status {
+        out.push(cov.track_status);
+        out.push(cov.lap_status);
+        out.push(cov.caution_laps / 10.0);
+        out.push(cov.pit_age / 50.0);
+    }
+    if cfg.use_context_features {
+        out.push(cov.leader_pit_count / field);
+        out.push(cov.total_pit_count / field);
+    }
+    if cfg.use_shift_features {
+        out.push(cov.shift_track_status);
+        out.push(cov.shift_lap_status);
+        out.push(cov.shift_total_pit_count / field);
+    }
+    debug_assert_eq!(out.len(), base_input_dim(cfg));
+}
+
+/// One training window: car `car` of race `race`, covering sequence indices
+/// `[start, start + context_len + prediction_len)`.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowInstance {
+    pub race: usize,
+    pub car: usize,
+    pub start: usize,
+    /// Loss weight (Fig 7 step 1): larger when the decoder window contains
+    /// a rank change.
+    pub weight: f32,
+}
+
+/// A set of training windows over featurized races.
+pub struct TrainingSet {
+    pub contexts: Vec<RaceContext>,
+    pub instances: Vec<WindowInstance>,
+    /// Largest car id across races (+1 = embedding vocabulary).
+    pub max_car_id: usize,
+}
+
+impl TrainingSet {
+    /// Build all full windows from the given featurized races.
+    ///
+    /// `stride` subsamples window start positions (1 = every position, the
+    /// paper's setting; tests use larger strides for speed).
+    pub fn build(contexts: Vec<RaceContext>, cfg: &RankNetConfig, stride: usize) -> TrainingSet {
+        assert!(stride >= 1);
+        let window = cfg.context_len + cfg.prediction_len;
+        let mut instances = Vec::new();
+        let mut max_car_id = 0usize;
+        for (ri, ctx) in contexts.iter().enumerate() {
+            for (ci, seq) in ctx.sequences.iter().enumerate() {
+                max_car_id = max_car_id.max(seq.car_id as usize);
+                if seq.len() < window + 1 {
+                    continue;
+                }
+                // +1 because step t needs the lagged value at t-1.
+                let mut start = 1usize;
+                while start + window <= seq.len() {
+                    let dec_lo = start + cfg.context_len;
+                    let dec_hi = start + window;
+                    let rank_changes = (dec_lo.saturating_sub(1)..dec_hi - 1)
+                        .any(|i| seq.rank[i] != seq.rank[i + 1]);
+                    let weight = if rank_changes { cfg.loss_weight } else { 1.0 };
+                    instances.push(WindowInstance { race: ri, car: ci, start, weight });
+                    start += stride;
+                }
+            }
+        }
+        TrainingSet { contexts, instances, max_car_id }
+    }
+
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn ctx() -> RaceContext {
+        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2017), 3))
+    }
+
+    #[test]
+    fn input_dim_tracks_feature_flags() {
+        let full = RankNetConfig::default();
+        assert_eq!(base_input_dim(&full), 12);
+        let deepar = RankNetConfig::default().deepar();
+        assert_eq!(base_input_dim(&deepar), 3);
+        let mut no_shift = RankNetConfig::default();
+        no_shift.use_shift_features = false;
+        assert_eq!(base_input_dim(&no_shift), 9);
+    }
+
+    #[test]
+    fn assembled_row_is_normalised() {
+        let cfg = RankNetConfig::default();
+        let c = ctx();
+        let seq = &c.sequences[0];
+        let mut row = Vec::new();
+        let reg = Regressive { rank: seq.rank[10], lap_time: seq.lap_time[10], time_behind: seq.time_behind[10] };
+        let cov = Covariates::from_seq(seq, 11, cfg.prediction_len);
+        assemble_row(&cfg, &c, &reg, &cov, &mut row);
+        assert_eq!(row.len(), base_input_dim(&cfg));
+        assert!(row.iter().all(|v| v.is_finite() && v.abs() < 20.0), "{row:?}");
+    }
+
+    #[test]
+    fn windows_fit_inside_sequences() {
+        let cfg = RankNetConfig::tiny();
+        let ts = TrainingSet::build(vec![ctx()], &cfg, 1);
+        assert!(!ts.is_empty());
+        let window = cfg.context_len + cfg.prediction_len;
+        for w in &ts.instances {
+            let seq = &ts.contexts[w.race].sequences[w.car];
+            assert!(w.start >= 1);
+            assert!(w.start + window <= seq.len());
+        }
+    }
+
+    #[test]
+    fn instance_count_scales_with_stride() {
+        let cfg = RankNetConfig::tiny();
+        let a = TrainingSet::build(vec![ctx()], &cfg, 1).len();
+        let b = TrainingSet::build(vec![ctx()], &cfg, 4).len();
+        assert!(b < a);
+        assert!(b >= a / 5);
+    }
+
+    #[test]
+    fn paper_scale_instance_count() {
+        // Table IV: ~32K training instances from 5 Indy500 races with
+        // stride 1 and context 60. One race gives ~1/5 of that.
+        let cfg = RankNetConfig::default();
+        let ts = TrainingSet::build(vec![ctx()], &cfg, 1);
+        assert!(
+            ts.len() > 3000 && ts.len() < 9000,
+            "one Indy500 race yields ~4.5K windows, got {}",
+            ts.len()
+        );
+    }
+
+    #[test]
+    fn rank_change_windows_get_the_loss_weight() {
+        let cfg = RankNetConfig::tiny();
+        let ts = TrainingSet::build(vec![ctx()], &cfg, 1);
+        let weighted = ts.instances.iter().filter(|w| w.weight > 1.0).count();
+        let flat = ts.instances.iter().filter(|w| w.weight == 1.0).count();
+        assert!(weighted > 0, "some windows contain rank changes");
+        assert!(flat > 0, "some windows are stable");
+        for w in &ts.instances {
+            assert!(w.weight == 1.0 || w.weight == cfg.loss_weight);
+        }
+    }
+
+    #[test]
+    fn covariates_beyond_horizon_are_zero() {
+        let c = ctx();
+        let seq = &c.sequences[0];
+        let cov = Covariates::from_seq(seq, seq.len() - 1, 5);
+        assert_eq!(cov.shift_lap_status, 0.0);
+        assert_eq!(cov.shift_track_status, 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Evaluation metrics (§IV-D): MAE, Top1Acc, SignAcc and the quantile
+//! ρ-risk of Seeger et al.
+
+/// Mean absolute error between paired slices.
+pub fn mae(pred: &[f32], actual: &[f32]) -> f32 {
+    assert_eq!(pred.len(), actual.len(), "mae length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f32>() / pred.len() as f32
+}
+
+/// Fraction of correct leader predictions. Each element pairs the predicted
+/// leader's identity with the true leader's identity.
+pub fn top1_acc(pred_leader: &[u16], true_leader: &[u16]) -> f32 {
+    assert_eq!(pred_leader.len(), true_leader.len());
+    if pred_leader.is_empty() {
+        return 0.0;
+    }
+    pred_leader
+        .iter()
+        .zip(true_leader)
+        .filter(|(p, t)| p == t)
+        .count() as f32
+        / pred_leader.len() as f32
+}
+
+/// TaskB: accuracy of the *sign* of the predicted rank change ("whether a
+/// car achieves a better rank position or not").
+pub fn sign_acc(pred_change: &[f32], true_change: &[f32]) -> f32 {
+    assert_eq!(pred_change.len(), true_change.len());
+    if pred_change.is_empty() {
+        return 0.0;
+    }
+    pred_change
+        .iter()
+        .zip(true_change)
+        .filter(|(p, t)| sign_of(**p) == sign_of(**t))
+        .count() as f32
+        / pred_change.len() as f32
+}
+
+fn sign_of(v: f32) -> i8 {
+    // Changes smaller than half a position count as "no change".
+    if v > 0.5 {
+        1
+    } else if v < -0.5 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// Empirical quantile of a sample set (sorted copy, nearest-rank).
+pub fn quantile(samples: &[f32], rho: f32) -> f32 {
+    assert!(!samples.is_empty(), "quantile of empty sample set");
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = (rho.clamp(0.0, 1.0) * (s.len() - 1) as f32).round() as usize;
+    s[pos]
+}
+
+/// ρ-risk (quantile loss) of a set of forecasts, normalised by `Σ Z` as in
+/// the paper §IV-D: for each point, `2 (Ẑρ − Z) (1[Z < Ẑρ] − ρ)`.
+///
+/// `forecast_quantiles[i]` is the model's ρ-quantile for point `i`;
+/// `actual[i]` its realised value.
+pub fn rho_risk(forecast_quantiles: &[f32], actual: &[f32], rho: f32) -> f32 {
+    assert_eq!(forecast_quantiles.len(), actual.len());
+    let denom: f32 = actual.iter().map(|z| z.abs()).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f32 = forecast_quantiles
+        .iter()
+        .zip(actual)
+        .map(|(&zq, &z)| {
+            let indicator = if z < zq { 1.0 } else { 0.0 };
+            2.0 * (zq - z) * (indicator - rho)
+        })
+        .sum();
+    num / denom
+}
+
+/// ρ-risk computed directly from per-point Monte-Carlo samples.
+pub fn rho_risk_from_samples(samples: &[Vec<f32>], actual: &[f32], rho: f32) -> f32 {
+    assert_eq!(samples.len(), actual.len());
+    let quantiles: Vec<f32> = samples.iter().map(|s| quantile(s, rho)).collect();
+    rho_risk(&quantiles, actual, rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[1.0, 2.0], &[2.0, 0.0]), 1.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn top1_counts_matches() {
+        assert_eq!(top1_acc(&[1, 2, 3, 4], &[1, 9, 3, 9]), 0.5);
+    }
+
+    #[test]
+    fn sign_acc_with_dead_zone() {
+        // Pred +2 vs true +3: both "gain" — correct.
+        // Pred -1 vs true +1: wrong.
+        // Pred 0.2 vs true 0.0: both "no change" — correct.
+        let acc = sign_acc(&[2.0, -1.0, 0.2], &[3.0, 1.0, 0.0]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_extremes() {
+        let s = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 0.5), 3.0);
+        assert_eq!(quantile(&s, 1.0), 5.0);
+    }
+
+    #[test]
+    fn rho_risk_is_zero_for_perfect_median() {
+        // If the 0.5-quantile equals the actual everywhere, risk is 0.
+        let actual = [2.0, 4.0, 6.0];
+        assert_eq!(rho_risk(&actual, &actual, 0.5), 0.0);
+    }
+
+    #[test]
+    fn rho_risk_penalises_asymmetrically() {
+        let actual = [10.0f32];
+        // Over-forecasting the 0.9 quantile costs more than under at rho=0.9? No:
+        // the 0.9-risk penalises *under*-forecasting 9x more than over.
+        let over = rho_risk(&[12.0], &actual, 0.9);
+        let under = rho_risk(&[8.0], &actual, 0.9);
+        assert!(under > over, "under {under} should exceed over {over} at rho=0.9");
+        // And symmetric at the median.
+        let o = rho_risk(&[12.0], &actual, 0.5);
+        let u = rho_risk(&[8.0], &actual, 0.5);
+        assert!((o - u).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rho_risk_nonnegative_in_expectation_cases() {
+        // Single-point check: any misprediction yields positive risk.
+        assert!(rho_risk(&[3.0], &[5.0], 0.5) > 0.0);
+        assert!(rho_risk(&[7.0], &[5.0], 0.5) > 0.0);
+    }
+
+    #[test]
+    fn risk_from_samples_uses_the_right_quantile() {
+        let samples = vec![vec![0.0, 1.0, 2.0, 3.0, 4.0]];
+        let actual = [2.0f32];
+        // Median of the samples is exactly 2 => zero risk.
+        assert_eq!(rho_risk_from_samples(&samples, &actual, 0.5), 0.0);
+        // The 0.9-quantile (4.0) over-forecasts.
+        assert!(rho_risk_from_samples(&samples, &actual, 0.9) > 0.0);
+    }
+}
+
+/// Empirical coverage of the central `(1 - 2·alpha)` interval: the fraction
+/// of actuals falling inside `[q_alpha, q_{1-alpha}]` of the sample
+/// distribution. A well-calibrated 90% band (`alpha = 0.05`) covers ~0.90.
+pub fn interval_coverage(samples: &[Vec<f32>], actual: &[f32], alpha: f32) -> f32 {
+    assert_eq!(samples.len(), actual.len());
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let hits = samples
+        .iter()
+        .zip(actual)
+        .filter(|(s, &a)| {
+            let lo = quantile(s, alpha);
+            let hi = quantile(s, 1.0 - alpha);
+            lo <= a && a <= hi
+        })
+        .count();
+    hits as f32 / samples.len() as f32
+}
+
+/// Continuous Ranked Probability Score estimated from Monte-Carlo samples
+/// (the energy-form estimator): `E|X - y| - 0.5 E|X - X'|`. Lower is
+/// better; it rewards *sharp and calibrated* forecast distributions, which
+/// is the stronger version of the paper's ρ-risk comparison.
+pub fn crps_from_samples(samples: &[f32], actual: f32) -> f32 {
+    assert!(!samples.is_empty(), "CRPS of empty sample set");
+    let n = samples.len() as f32;
+    let term1: f32 = samples.iter().map(|&x| (x - actual).abs()).sum::<f32>() / n;
+    let mut term2 = 0.0f32;
+    for (i, &a) in samples.iter().enumerate() {
+        for &b in &samples[i + 1..] {
+            term2 += (a - b).abs();
+        }
+    }
+    term1 - term2 / (n * n)
+}
+
+/// Mean CRPS over a batch of forecast points.
+pub fn mean_crps(samples: &[Vec<f32>], actual: &[f32]) -> f32 {
+    assert_eq!(samples.len(), actual.len());
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples
+        .iter()
+        .zip(actual)
+        .map(|(s, &a)| crps_from_samples(s, a))
+        .sum::<f32>()
+        / samples.len() as f32
+}
+
+#[cfg(test)]
+mod calibration_tests {
+    use super::*;
+
+    #[test]
+    fn coverage_of_exact_point_mass() {
+        // Point forecasts at the truth: 100% coverage; away: 0%.
+        let samples = vec![vec![5.0; 10], vec![3.0; 10]];
+        let cov = interval_coverage(&samples, &[5.0, 9.0], 0.05);
+        assert_eq!(cov, 0.5);
+    }
+
+    #[test]
+    fn coverage_of_wide_band_is_total() {
+        let samples = vec![vec![0.0, 100.0, 50.0, 25.0, 75.0]];
+        assert_eq!(interval_coverage(&samples, &[60.0], 0.0), 1.0);
+    }
+
+    #[test]
+    fn crps_zero_for_perfect_point_forecast() {
+        assert_eq!(crps_from_samples(&[4.0, 4.0, 4.0], 4.0), 0.0);
+        assert!(crps_from_samples(&[4.0, 4.0, 4.0], 6.0) > 1.9);
+    }
+
+    #[test]
+    fn crps_prefers_sharp_correct_over_diffuse() {
+        // Both centered on the truth; the sharp one scores lower.
+        let sharp: Vec<f32> = (0..50).map(|i| 10.0 + (i % 3) as f32 * 0.1).collect();
+        let diffuse: Vec<f32> = (0..50).map(|i| 5.0 + (i % 10) as f32).collect();
+        assert!(crps_from_samples(&sharp, 10.0) < crps_from_samples(&diffuse, 10.0));
+    }
+
+    #[test]
+    fn crps_prefers_centered_over_biased() {
+        let centered: Vec<f32> = (0..20).map(|i| 9.0 + (i % 5) as f32 * 0.5).collect();
+        let biased: Vec<f32> = centered.iter().map(|v| v + 5.0).collect();
+        assert!(crps_from_samples(&centered, 10.0) < crps_from_samples(&biased, 10.0));
+    }
+
+    #[test]
+    fn mean_crps_aggregates() {
+        let s = vec![vec![1.0, 1.0], vec![2.0, 2.0]];
+        let m = mean_crps(&s, &[1.0, 4.0]);
+        assert!((m - 1.0).abs() < 1e-6); // (0 + 2) / 2
+    }
+}

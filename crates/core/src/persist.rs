@@ -1,0 +1,178 @@
+//! Model persistence: save a trained RankNet to JSON and load it back.
+//!
+//! The paper (§IV-J) motivates continuous learning in the field —
+//! "keeping updating the model with newest racing data" — which requires
+//! carrying trained weights between sessions. The format is deliberately
+//! plain: config + variant + named weight tensors, so files stay
+//! inspectable and survive refactors that keep parameter names stable.
+
+use crate::config::RankNetConfig;
+use crate::pit_model::PitModel;
+use crate::rank_model::{RankModel, TargetKind};
+use crate::ranknet::{RankNet, RankNetVariant};
+use rpf_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The serialized form of a trained RankNet.
+#[derive(Serialize, Deserialize)]
+pub struct SavedRankNet {
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    pub variant: String,
+    pub cfg: RankNetConfig,
+    /// Embedding vocabulary (max car id + 1).
+    pub vocab: usize,
+    pub rank_weights: Vec<(String, Matrix)>,
+    /// Present only for the MLP variant.
+    pub pit_weights: Option<Vec<(String, Matrix)>>,
+    pub pit_scale: Option<f32>,
+}
+
+pub const FORMAT_VERSION: u32 = 1;
+
+fn variant_name(v: RankNetVariant) -> &'static str {
+    match v {
+        RankNetVariant::Oracle => "oracle",
+        RankNetVariant::Mlp => "mlp",
+        RankNetVariant::Joint => "joint",
+    }
+}
+
+fn variant_from(name: &str) -> Result<RankNetVariant, String> {
+    match name {
+        "oracle" => Ok(RankNetVariant::Oracle),
+        "mlp" => Ok(RankNetVariant::Mlp),
+        "joint" => Ok(RankNetVariant::Joint),
+        other => Err(format!("unknown RankNet variant '{other}'")),
+    }
+}
+
+impl RankNet {
+    /// Snapshot the trained model into its serializable form.
+    pub fn to_saved(&self) -> SavedRankNet {
+        SavedRankNet {
+            version: FORMAT_VERSION,
+            variant: variant_name(self.variant).to_string(),
+            cfg: self.cfg.clone(),
+            vocab: self.rank_model.vocab(),
+            rank_weights: self.rank_model.store.export(),
+            pit_weights: self.pit_model.as_ref().map(|p| p.export()),
+            pit_scale: self.pit_model.as_ref().map(|p| p.scale()),
+        }
+    }
+
+    /// Rebuild a model from a snapshot.
+    pub fn from_saved(saved: &SavedRankNet) -> Result<RankNet, String> {
+        if saved.version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported format version {} (expected {FORMAT_VERSION})",
+                saved.version
+            ));
+        }
+        let variant = variant_from(&saved.variant)?;
+        let kind = match variant {
+            RankNetVariant::Joint => TargetKind::Joint,
+            _ => TargetKind::RankOnly,
+        };
+        if saved.vocab == 0 {
+            return Err("vocabulary must be positive".into());
+        }
+        let mut rank_model = RankModel::new(saved.cfg.clone(), kind, saved.vocab - 1);
+        rank_model.store.import(&saved.rank_weights)?;
+
+        let pit_model = match (&saved.pit_weights, saved.pit_scale, variant) {
+            (Some(w), Some(scale), RankNetVariant::Mlp) => {
+                let mut pm = PitModel::new(saved.cfg.seed, scale);
+                pm.import(w)?;
+                Some(pm)
+            }
+            (None, _, RankNetVariant::Mlp) => {
+                return Err("MLP variant requires pit model weights".into())
+            }
+            _ => None,
+        };
+        Ok(RankNet { variant, cfg: saved.cfg.clone(), rank_model, pit_model })
+    }
+
+    /// Save to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        let json = serde_json::to_string(&self.to_saved()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())
+    }
+
+    /// Load from a JSON file written by [`RankNet::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<RankNet, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let saved: SavedRankNet = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        Self::from_saved(&saved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_adapters::Forecaster;
+    use crate::features::extract_sequences;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn trained_mlp() -> (RankNet, crate::features::RaceContext) {
+        let ctx = extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2016),
+            3,
+        ));
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 1;
+        let (model, _) =
+            RankNet::fit(vec![ctx.clone()], vec![ctx.clone()], cfg, RankNetVariant::Mlp, 40);
+        (model, ctx)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_forecasts() {
+        let (model, ctx) = trained_mlp();
+        let dir = std::env::temp_dir().join("ranknet_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let loaded = RankNet::load(&path).unwrap();
+
+        assert_eq!(loaded.variant, model.variant);
+        assert!(loaded.pit_model.is_some());
+        // Same seed → identical sampled forecasts.
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = model.forecast(&ctx, 50, 2, 3, &mut rng1);
+        let b = loaded.forecast(&ctx, 50, 2, 3, &mut rng2);
+        assert_eq!(a, b, "loaded model must forecast identically");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (model, _) = trained_mlp();
+        let mut saved = model.to_saved();
+        saved.version = 99;
+        let err = RankNet::from_saved(&saved).err().expect("should fail");
+        assert!(err.contains("version"));
+    }
+
+    #[test]
+    fn mlp_without_pit_weights_rejected() {
+        let (model, _) = trained_mlp();
+        let mut saved = model.to_saved();
+        saved.pit_weights = None;
+        assert!(RankNet::from_saved(&saved).is_err());
+    }
+
+    #[test]
+    fn unknown_variant_rejected() {
+        let (model, _) = trained_mlp();
+        let mut saved = model.to_saved();
+        saved.variant = "quantum".into();
+        let err = RankNet::from_saved(&saved).err().expect("should fail");
+        assert!(err.contains("variant"));
+    }
+}

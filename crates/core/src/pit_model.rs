@@ -1,0 +1,307 @@
+//! The PitModel: an MLP with probabilistic output that predicts the lap of
+//! the next pit stop (paper Fig 5b).
+//!
+//! §III-C: "For efficiency, instead of sequences input and output, PitModel
+//! ... use CautionLaps and PitAge as input, and output a scalar of the lap
+//! number of the next pit stop." The output is Gaussian — sampling it is
+//! what propagates pit-timing uncertainty into the rank forecast.
+//!
+//! Following the paper's §III-A analysis ("modeling the normal pit data and
+//! removing the short distance section is more stable"), training drops
+//! stints shorter than a floor.
+
+use crate::config::RankNetConfig;
+use crate::features::{CarSequence, RaceContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_autodiff::Tape;
+use rpf_nn::gaussian::{gaussian_nll, GaussianParams, SIGMA_FLOOR};
+use rpf_nn::mlp::Activation;
+use rpf_nn::train::{train, TrainConfig, TrainReport};
+use rpf_nn::{Binding, Mlp, ParamStore};
+use rand::Rng;
+use rpf_tensor::Matrix;
+
+/// Training floor on stint length: the paper identifies the <10% short-pit
+/// tail (mechanical issues) as noise for the pit model.
+const MIN_TRAIN_STINT: f32 = 5.0;
+
+/// One training example: features at a lap, laps until that car's next pit.
+#[derive(Clone, Copy, Debug)]
+struct PitExample {
+    caution_laps: f32,
+    pit_age: f32,
+    laps_to_pit: f32,
+}
+
+/// The probabilistic next-pit-lap model.
+pub struct PitModel {
+    store: ParamStore,
+    mu_net: Mlp,
+    sigma_net: Mlp,
+    /// Normalisation constant for ages (the fuel window).
+    scale: f32,
+}
+
+impl PitModel {
+    pub fn new(seed: u64, fuel_window: f32) -> PitModel {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9177);
+        let mu_net = Mlp::new(&mut store, &mut rng, "pit.mu", &[2, 16, 16, 1], Activation::Relu);
+        let sigma_net =
+            Mlp::new(&mut store, &mut rng, "pit.sigma", &[2, 16, 1], Activation::Relu);
+        PitModel { store, mu_net, sigma_net, scale: fuel_window }
+    }
+
+    fn features(&self, caution_laps: f32, pit_age: f32) -> [f32; 2] {
+        [caution_laps / 10.0, pit_age / self.scale]
+    }
+
+    fn examples(sequences: &[&CarSequence]) -> Vec<PitExample> {
+        let mut out = Vec::new();
+        for seq in sequences {
+            // Next pit lap index for each position.
+            let pit_indices: Vec<usize> = (0..seq.len())
+                .filter(|&i| seq.lap_status[i] == 1.0)
+                .collect();
+            for (k, &pit_idx) in pit_indices.iter().enumerate() {
+                // Stint start: previous pit (exclusive) or sequence start.
+                let start = if k == 0 { 0 } else { pit_indices[k - 1] + 1 };
+                let stint_len = (pit_idx - start) as f32;
+                if stint_len < MIN_TRAIN_STINT {
+                    continue; // drop the short-failure tail (§III-A)
+                }
+                for i in start..pit_idx {
+                    out.push(PitExample {
+                        caution_laps: seq.caution_laps[i],
+                        pit_age: seq.pit_age[i],
+                        laps_to_pit: (pit_idx - i) as f32,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Train on every stint in the given races.
+    pub fn train(&mut self, contexts: &[RaceContext], cfg: &RankNetConfig) -> TrainReport {
+        let seqs: Vec<&CarSequence> =
+            contexts.iter().flat_map(|c| c.sequences.iter()).collect();
+        let examples = Self::examples(&seqs);
+        assert!(!examples.is_empty(), "no pit stops in training data");
+
+        // Deterministic split for early stopping.
+        let n_val = (examples.len() / 10).max(1);
+        let (train_ex, val_ex) = examples.split_at(examples.len() - n_val);
+
+        let scale = self.scale;
+        let mu_net = self.mu_net.clone();
+        let sigma_net = self.sigma_net.clone();
+        let features = |e: &PitExample| [e.caution_laps / 10.0, e.pit_age / scale];
+
+        let mut store = std::mem::take(&mut self.store);
+        let train_cfg = TrainConfig {
+            max_epochs: cfg.max_epochs.max(10),
+            batch_size: 256,
+            lr: 2e-3,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        let report = train(
+            &mut store,
+            train_ex.len(),
+            &train_cfg,
+            |store, batch| {
+                let tape = Tape::new();
+                let bind = Binding::new(&tape, store);
+                let b = batch.len();
+                let mut x = Matrix::zeros(b, 2);
+                let mut t = Matrix::zeros(b, 1);
+                for (i, &bi) in batch.iter().enumerate() {
+                    let e = &train_ex[bi];
+                    x.row_mut(i).copy_from_slice(&features(e));
+                    t.set(i, 0, e.laps_to_pit / scale);
+                }
+                let xv = tape.leaf(x);
+                let mu = mu_net.forward(&bind, xv);
+                let sigma =
+                    tape.add_scalar(tape.softplus(sigma_net.forward(&bind, xv)), SIGMA_FLOOR);
+                let target = tape.leaf(t);
+                let nll = gaussian_nll(&bind, GaussianParams { mu, sigma }, target, None);
+                let loss = tape.scalar(nll);
+                let g = bind.into_grads(nll);
+                store.apply_grads(g);
+                loss
+            },
+            |store| {
+                let tape = Tape::new();
+                let bind = Binding::new(&tape, store);
+                let b = val_ex.len();
+                let mut x = Matrix::zeros(b, 2);
+                let mut t = Matrix::zeros(b, 1);
+                for (i, e) in val_ex.iter().enumerate() {
+                    x.row_mut(i).copy_from_slice(&features(e));
+                    t.set(i, 0, e.laps_to_pit / scale);
+                }
+                let xv = tape.leaf(x);
+                let mu = mu_net.forward(&bind, xv);
+                let sigma =
+                    tape.add_scalar(tape.softplus(sigma_net.forward(&bind, xv)), SIGMA_FLOOR);
+                let target = tape.leaf(t);
+                let nll = gaussian_nll(&bind, GaussianParams { mu, sigma }, target, None);
+                tape.scalar(nll)
+            },
+        );
+        self.store = store;
+        report
+    }
+
+    /// Normalisation scale (the fuel window this model was built with).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Export weights for persistence.
+    pub fn export(&self) -> Vec<(String, rpf_tensor::Matrix)> {
+        self.store.export()
+    }
+
+    /// Import weights exported by [`PitModel::export`] into a model built
+    /// with the same constructor arguments.
+    pub fn import(&mut self, entries: &[(String, rpf_tensor::Matrix)]) -> Result<(), String> {
+        self.store.import(entries)
+    }
+
+    /// Distribution over laps-until-next-pit for a car with the given state.
+    pub fn predict(&self, caution_laps: f32, pit_age: f32) -> (f32, f32) {
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &self.store);
+        let x = tape.leaf(Matrix::from_vec(1, 2, self.features(caution_laps, pit_age).to_vec()));
+        let mu = self.mu_net.forward(&bind, x);
+        let sigma = tape.add_scalar(tape.softplus(self.sigma_net.forward(&bind, x)), SIGMA_FLOOR);
+        (tape.value(mu).get(0, 0) * self.scale, tape.value(sigma).get(0, 0) * self.scale)
+    }
+
+    /// Sample the lap offset (≥ 1) of the next pit stop.
+    pub fn sample_next_pit(&self, caution_laps: f32, pit_age: f32, rng: &mut StdRng) -> usize {
+        let (mu, sigma) = self.predict(caution_laps, pit_age);
+        let u1: f32 = rng.gen_range(1e-7..1.0f32);
+        let u2: f32 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        (mu + sigma * z).round().max(1.0) as usize
+    }
+
+    /// Sample a full future pit-lap pattern for one car: `horizon` booleans,
+    /// resampling after each predicted stop (Algorithm 2 step 1).
+    pub fn sample_future_pits(
+        &self,
+        caution_laps: f32,
+        pit_age: f32,
+        horizon: usize,
+        rng: &mut StdRng,
+    ) -> Vec<bool> {
+        let mut pits = vec![false; horizon];
+        // Countdown to the next stop; aging is implicit in the countdown, so
+        // the model is only ever queried at a pit (age 0) or at the origin.
+        let mut next = self.sample_next_pit(caution_laps, pit_age, rng);
+        for slot in pits.iter_mut() {
+            if next == 0 {
+                *slot = true;
+                // A freshly sampled stint must be at least one lap.
+                next = self.sample_next_pit(0.0, 0.0, rng).max(1);
+            }
+            next = next.saturating_sub(1);
+        }
+        pits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn contexts() -> Vec<RaceContext> {
+        (0..2u64)
+            .map(|s| {
+                extract_sequences(&simulate_race(
+                    &EventConfig::for_race(Event::Indy500, 2015),
+                    s,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn examples_have_positive_targets() {
+        let ctxs = contexts();
+        let seqs: Vec<&CarSequence> =
+            ctxs.iter().flat_map(|c| c.sequences.iter()).collect();
+        let ex = PitModel::examples(&seqs);
+        assert!(ex.len() > 1000);
+        for e in &ex {
+            assert!(e.laps_to_pit >= 1.0);
+            assert!(e.pit_age >= 0.0);
+        }
+    }
+
+    #[test]
+    fn training_learns_the_fuel_window() {
+        let ctxs = contexts();
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 15;
+        let mut model = PitModel::new(1, 50.0);
+        let report = model.train(&ctxs, &cfg);
+        assert!(report.best_val_loss.is_finite());
+
+        // Fresh tyres, no cautions: expect a stint in the 20–45 lap range.
+        let (mu, sigma) = model.predict(0.0, 0.0);
+        assert!(
+            (12.0..48.0).contains(&mu),
+            "fresh-stint prediction {mu} should be near the ~32 lap mean"
+        );
+        assert!(sigma > 0.0);
+
+        // Late in the stint the next pit must be close.
+        let (mu_late, _) = model.predict(0.0, 45.0);
+        assert!(
+            mu_late < mu,
+            "at pit age 45 the next stop ({mu_late}) must be nearer than at age 0 ({mu})"
+        );
+    }
+
+    #[test]
+    fn sampled_pits_respect_horizon_and_restart() {
+        let ctxs = contexts();
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 5;
+        let mut model = PitModel::new(2, 50.0);
+        let _ = model.train(&ctxs, &cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Deep into a stint, a long horizon should almost surely contain a
+        // pit stop.
+        let mut any_pit = 0;
+        for _ in 0..20 {
+            let pits = model.sample_future_pits(0.0, 30.0, 40, &mut rng);
+            assert_eq!(pits.len(), 40);
+            if pits.iter().any(|&p| p) {
+                any_pit += 1;
+            }
+        }
+        assert!(any_pit >= 15, "expected pits in most 40-lap windows, got {any_pit}/20");
+    }
+
+    #[test]
+    fn sample_next_pit_is_at_least_one() {
+        let mut model = PitModel::new(4, 50.0);
+        let ctxs = contexts();
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 2;
+        let _ = model.train(&ctxs, &cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert!(model.sample_next_pit(5.0, 49.0, &mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,725 @@
+//! The RankModel: a DeepAR-style probabilistic LSTM encoder–decoder
+//! (paper Fig 5c), trained per Algorithm 1 and sampled per Algorithm 2.
+//!
+//! Three of the paper's models are this network in different modes:
+//!
+//! * **DeepAR** — race-status covariates disabled (`cfg.deepar()`),
+//! * **RankNet-Oracle / RankNet-MLP** — covariates enabled; the future race
+//!   status comes from ground truth or from the PitModel (see `ranknet`),
+//! * **RankNet-Joint** — `TargetKind::Joint`: the multivariate target
+//!   `[Rank, LapStatus, TrackStatus]` trained jointly, which the paper shows
+//!   fails from data sparsity (3% positive pit labels).
+//!
+//! Encoder and decoder share weights (one LSTM stack + one head), exactly
+//! like the GluonTS DeepAR implementation the paper builds on.
+
+use crate::config::{Likelihood, RankNetConfig};
+use crate::features::RaceContext;
+use crate::instances::{assemble_row, base_input_dim, Covariates, Regressive, TrainingSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_autodiff::Tape;
+use rpf_nn::gaussian::{gaussian_nll, sample_gaussian, sample_student_t, student_t_nll, GaussianParams};
+use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
+use rpf_nn::{Binding, GaussianHead, ParamStore, StackedLstm};
+use rpf_nn::embedding::Embedding;
+use rpf_tensor::Matrix;
+
+/// What the decoder predicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// Rank only (DeepAR, RankNet-Oracle, RankNet-MLP).
+    RankOnly,
+    /// `[Rank, LapStatus, TrackStatus]` jointly (RankNet-Joint).
+    Joint,
+}
+
+/// Monte-Carlo forecast: `samples[car][sample][step]`, raw rank units.
+pub type ForecastSamples = Vec<Vec<Vec<f32>>>;
+
+/// Per-car future covariates handed to the decoder:
+/// `rows[car][step]` for steps `origin..origin+horizon`.
+#[derive(Clone, Debug)]
+pub struct CovariateFuture {
+    pub rows: Vec<Vec<Covariates>>,
+}
+
+pub struct RankModel {
+    pub cfg: RankNetConfig,
+    pub kind: TargetKind,
+    pub store: ParamStore,
+    lstm: StackedLstm,
+    heads: Vec<GaussianHead>,
+    emb: Embedding,
+    base_dim: usize,
+}
+
+impl RankModel {
+    /// Number of target channels for the kind.
+    fn n_targets(kind: TargetKind) -> usize {
+        match kind {
+            TargetKind::RankOnly => 1,
+            TargetKind::Joint => 3,
+        }
+    }
+
+    /// Joint mode feeds the lagged pit/caution flags back as regressive
+    /// inputs instead of reading them from covariates.
+    fn effective_base_dim(cfg: &RankNetConfig, kind: TargetKind) -> usize {
+        match kind {
+            TargetKind::RankOnly => base_input_dim(cfg),
+            TargetKind::Joint => base_input_dim(&joint_cfg(cfg)) + 2,
+        }
+    }
+
+    pub fn new(cfg: RankNetConfig, kind: TargetKind, max_car_id: usize) -> RankModel {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let base_dim = Self::effective_base_dim(&cfg, kind);
+        let input_dim = base_dim + cfg.embedding_dim;
+        let lstm = StackedLstm::new(
+            &mut store,
+            &mut rng,
+            "rank_lstm",
+            input_dim,
+            cfg.hidden_dim,
+            cfg.num_layers,
+        );
+        let heads = (0..Self::n_targets(kind))
+            .map(|i| GaussianHead::new(&mut store, &mut rng, &format!("head{i}"), cfg.hidden_dim))
+            .collect();
+        let emb = Embedding::new(&mut store, &mut rng, "car", max_car_id + 1, cfg.embedding_dim);
+        RankModel { cfg, kind, store, lstm, heads, emb, base_dim }
+    }
+
+    /// Total scalar parameter count (the paper quotes <30K — Table IV scale).
+    pub fn num_params(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// CarId embedding vocabulary (needed to rebuild the architecture when
+    /// loading saved weights).
+    pub fn vocab(&self) -> usize {
+        self.emb.vocab
+    }
+
+    // ---- training ------------------------------------------------------
+
+    /// Train per Algorithm 1 on `ts`, early-stopping on `val`.
+    pub fn train(&mut self, ts: &TrainingSet, val: &TrainingSet) -> TrainReport {
+        let cfg = self.cfg.clone();
+        let kind = self.kind;
+        let lstm = self.lstm.clone();
+        let heads = self.heads.clone();
+        let emb = self.emb;
+        let base_dim = self.base_dim;
+
+        let mut store = std::mem::take(&mut self.store);
+        let train_cfg = TrainConfig {
+            max_epochs: cfg.max_epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.learning_rate,
+            seed: cfg.seed,
+            ..Default::default()
+        };
+        // Validation subsample: a fixed slice keeps epochs cheap and the
+        // early-stopping signal deterministic.
+        let val_take = val.len().min(512);
+
+        let report = train(
+            &mut store,
+            ts.len(),
+            &train_cfg,
+            |store, batch| {
+                Self::batch_loss_parallel(
+                    &cfg, kind, &lstm, &heads, emb, base_dim, ts, store, batch,
+                )
+            },
+            |store| {
+                let idx: Vec<usize> = (0..val_take).collect();
+                Self::batch_loss_eval(&cfg, kind, &lstm, &heads, emb, base_dim, val, store, &idx)
+            },
+        );
+        self.store = store;
+        report
+    }
+
+    /// Shard-parallel loss + gradient accumulation for one minibatch.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_loss_parallel(
+        cfg: &RankNetConfig,
+        kind: TargetKind,
+        lstm: &StackedLstm,
+        heads: &[GaussianHead],
+        emb: Embedding,
+        base_dim: usize,
+        ts: &TrainingSet,
+        store: &mut ParamStore,
+        batch: &[usize],
+    ) -> f32 {
+        let shards = shard_indices(batch, rpf_tensor::par::num_threads());
+        let results: Vec<(Vec<(rpf_nn::ParamId, Matrix)>, f32, usize)> = {
+            let values = store.values();
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        s.spawn(move |_| {
+                            let tape = Tape::new();
+                            let bind = Binding::over_values(&tape, values);
+                            let (loss_var, n) = Self::window_loss(
+                                cfg, kind, lstm, heads, emb, base_dim, ts, &bind, shard, true,
+                            );
+                            let loss = tape.scalar(loss_var);
+                            let grads = bind.into_grads(loss_var);
+                            (grads, loss, n)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("training shard panicked"))
+                    .collect()
+            })
+            .expect("training scope failed")
+        };
+        let mut total_loss = 0.0f64;
+        let mut total_n = 0usize;
+        let n_shards = results.len().max(1);
+        for (grads, loss, n) in results {
+            // Each shard computed a mean loss; scale gradients so the merged
+            // update equals the full-batch mean.
+            for (id, mut g) in grads {
+                for v in g.as_mut_slice() {
+                    *v /= n_shards as f32;
+                }
+                store.accumulate_grad(id, &g);
+            }
+            total_loss += loss as f64 * n as f64;
+            total_n += n;
+        }
+        (total_loss / total_n.max(1) as f64) as f32
+    }
+
+    /// Loss without gradients (validation).
+    #[allow(clippy::too_many_arguments)]
+    fn batch_loss_eval(
+        cfg: &RankNetConfig,
+        kind: TargetKind,
+        lstm: &StackedLstm,
+        heads: &[GaussianHead],
+        emb: Embedding,
+        base_dim: usize,
+        ts: &TrainingSet,
+        store: &ParamStore,
+        batch: &[usize],
+    ) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, store);
+        let (loss, _) =
+            Self::window_loss(cfg, kind, lstm, heads, emb, base_dim, ts, &bind, batch, true);
+        tape.scalar(loss)
+    }
+
+    /// Teacher-forced unroll over a set of windows; returns the scalar loss
+    /// node (decoder steps only, per Algorithm 1) and the instance count.
+    #[allow(clippy::too_many_arguments)]
+    fn window_loss(
+        cfg: &RankNetConfig,
+        kind: TargetKind,
+        lstm: &StackedLstm,
+        heads: &[GaussianHead],
+        emb: Embedding,
+        base_dim: usize,
+        ts: &TrainingSet,
+        bind: &Binding<'_>,
+        batch: &[usize],
+        weighted: bool,
+    ) -> (rpf_autodiff::Var, usize) {
+        let t = bind.tape();
+        let b = batch.len();
+        let window = cfg.context_len + cfg.prediction_len;
+
+        // CarId embedding rows, constant over time steps.
+        let car_ids: Vec<usize> = batch
+            .iter()
+            .map(|&i| {
+                let w = &ts.instances[i];
+                ts.contexts[w.race].sequences[w.car].car_id as usize
+            })
+            .collect();
+        let emb_rows = emb.forward(bind, &car_ids);
+
+        let mut states = lstm.zero_state(bind, b);
+        let mut loss_terms = Vec::with_capacity(cfg.prediction_len);
+        let mut row = Vec::with_capacity(base_dim);
+
+        for j in 0..window {
+            // Assemble the input matrix for this step.
+            let mut x = Matrix::zeros(b, base_dim);
+            for (bi, &inst) in batch.iter().enumerate() {
+                let w = &ts.instances[inst];
+                let ctx = &ts.contexts[w.race];
+                let seq = &ctx.sequences[w.car];
+                let idx = w.start + j;
+                let reg = Self::regressive_at(cfg, seq, w.start, idx, j);
+                let cov = Covariates::from_seq(seq, idx, cfg.prediction_len);
+                Self::assemble(cfg, kind, ctx, &reg, &cov, seq, idx, &mut row);
+                x.row_mut(bi).copy_from_slice(&row);
+            }
+            let x_leaf = t.leaf(x);
+            let input = t.hstack(&[x_leaf, emb_rows]);
+            let (out, new_states) = lstm.step(bind, input, &states);
+            states = new_states;
+
+            // Decoder steps contribute to the likelihood.
+            if j >= cfg.context_len {
+                let weights = if weighted {
+                    let w = Matrix::from_vec(
+                        b,
+                        1,
+                        batch.iter().map(|&i| ts.instances[i].weight).collect(),
+                    );
+                    Some(t.leaf(w))
+                } else {
+                    None
+                };
+                for (hi, head) in heads.iter().enumerate() {
+                    let params = head.forward(bind, out);
+                    let target = Matrix::from_vec(
+                        b,
+                        1,
+                        batch
+                            .iter()
+                            .map(|&i| {
+                                let w = &ts.instances[i];
+                                let ctx = &ts.contexts[w.race];
+                                let seq = &ctx.sequences[w.car];
+                                Self::target_at(kind, hi, ctx, seq, w.start + j)
+                            })
+                            .collect(),
+                    );
+                    let target = t.leaf(target);
+                    loss_terms.push(match cfg.likelihood {
+                        Likelihood::Gaussian => gaussian_nll(bind, params, target, weights),
+                        Likelihood::StudentT(nu) => {
+                            student_t_nll(bind, params, target, weights, nu)
+                        }
+                    });
+                }
+            }
+        }
+
+        // Mean over decoder steps (and target channels for Joint).
+        let mut total = loss_terms[0];
+        for &term in &loss_terms[1..] {
+            total = t.add(total, term);
+        }
+        let loss = t.scale(total, 1.0 / loss_terms.len() as f32);
+        (loss, b)
+    }
+
+    /// Regressive inputs for predicting sequence index `idx` (lagged one
+    /// step). During decoder steps, lap time and gap are frozen at their
+    /// last encoder values — they are unknown at forecast time, so training
+    /// must see the same persistence the decoder will use.
+    fn regressive_at(
+        cfg: &RankNetConfig,
+        seq: &crate::features::CarSequence,
+        start: usize,
+        idx: usize,
+        j: usize,
+    ) -> Regressive {
+        let lag = idx - 1;
+        let frozen = (start + cfg.context_len - 1).min(seq.len() - 1);
+        if j < cfg.context_len {
+            Regressive {
+                rank: seq.rank[lag],
+                lap_time: seq.lap_time[lag],
+                time_behind: seq.time_behind[lag],
+            }
+        } else {
+            Regressive {
+                rank: seq.rank[lag], // teacher forcing (Algorithm 1)
+                lap_time: seq.lap_time[frozen],
+                time_behind: seq.time_behind[frozen],
+            }
+        }
+    }
+
+    fn target_at(
+        kind: TargetKind,
+        head: usize,
+        ctx: &RaceContext,
+        seq: &crate::features::CarSequence,
+        idx: usize,
+    ) -> f32 {
+        match (kind, head) {
+            (_, 0) => ctx.norm_rank(seq.rank[idx]),
+            (TargetKind::Joint, 1) => seq.lap_status[idx],
+            (TargetKind::Joint, 2) => seq.track_status[idx],
+            _ => unreachable!("head index out of range"),
+        }
+    }
+
+    /// Row assembly dispatching on the target kind (Joint adds the lagged
+    /// status flags as regressive inputs and strips them from covariates).
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        cfg: &RankNetConfig,
+        kind: TargetKind,
+        ctx: &RaceContext,
+        reg: &Regressive,
+        cov: &Covariates,
+        seq: &crate::features::CarSequence,
+        idx: usize,
+        out: &mut Vec<f32>,
+    ) {
+        match kind {
+            TargetKind::RankOnly => assemble_row(cfg, ctx, reg, cov, out),
+            TargetKind::Joint => {
+                let jcfg = joint_cfg(cfg);
+                assemble_row(&jcfg, ctx, reg, cov, out);
+                let lag = idx.saturating_sub(1);
+                out.push(seq.lap_status.get(lag).copied().unwrap_or(0.0));
+                out.push(seq.track_status.get(lag).copied().unwrap_or(0.0));
+            }
+        }
+    }
+
+    // ---- forecasting (Algorithm 2) --------------------------------------
+
+    /// Probabilistic forecast for every car of `ctx` from `origin`
+    /// (sequence index) `horizon` steps ahead. `cov_future.rows[car][step]`
+    /// supplies the decoder covariates (ground truth for Oracle, PitModel
+    /// samples for MLP, ignored for Joint). Cars whose recorded sequence is
+    /// shorter than `origin` get an empty sample list.
+    pub fn forecast(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        let cars: Vec<usize> = (0..ctx.sequences.len())
+            .filter(|&c| ctx.sequences[c].len() >= origin)
+            .collect();
+        if cars.is_empty() {
+            return vec![Vec::new(); ctx.sequences.len()];
+        }
+        let b = cars.len();
+        let enc_start = origin.saturating_sub(self.cfg.context_len).max(1);
+
+        // --- encoder over actual history (deterministic, one row per car) --
+        let mut h_states: Vec<(Matrix, Matrix)> = (0..self.cfg.num_layers)
+            .map(|_| {
+                (
+                    Matrix::zeros(b, self.cfg.hidden_dim),
+                    Matrix::zeros(b, self.cfg.hidden_dim),
+                )
+            })
+            .collect();
+        let car_ids: Vec<usize> =
+            cars.iter().map(|&c| ctx.sequences[c].car_id as usize).collect();
+        let mut row = Vec::with_capacity(self.base_dim);
+        for idx in enc_start..origin {
+            let mut x = Matrix::zeros(b, self.base_dim);
+            for (bi, &c) in cars.iter().enumerate() {
+                let seq = &ctx.sequences[c];
+                let reg = Regressive {
+                    rank: seq.rank[idx - 1],
+                    lap_time: seq.lap_time[idx - 1],
+                    time_behind: seq.time_behind[idx - 1],
+                };
+                let cov = Covariates::from_seq(seq, idx, self.cfg.prediction_len);
+                Self::assemble(&self.cfg, self.kind, ctx, &reg, &cov, seq, idx, &mut row);
+                x.row_mut(bi).copy_from_slice(&row);
+            }
+            self.step_concrete(&x, &car_ids, &mut h_states);
+        }
+
+        // --- replicate state across samples --------------------------------
+        let bs = b * n_samples;
+        let rep_index: Vec<usize> =
+            (0..b).flat_map(|c| std::iter::repeat(c).take(n_samples)).collect();
+        for (h, c) in h_states.iter_mut() {
+            *h = h.gather_rows(&rep_index);
+            *c = c.gather_rows(&rep_index);
+        }
+        let rep_car_ids: Vec<usize> =
+            rep_index.iter().map(|&c| car_ids[c]).collect();
+
+        // Last observed regressive values per replicated row.
+        let mut last_rank: Vec<f32> = rep_index
+            .iter()
+            .map(|&c| ctx.sequences[cars[c]].rank[origin - 1])
+            .collect();
+        let frozen: Vec<(f32, f32)> = rep_index
+            .iter()
+            .map(|&c| {
+                let seq = &ctx.sequences[cars[c]];
+                (seq.lap_time[origin - 1], seq.time_behind[origin - 1])
+            })
+            .collect();
+        // Joint mode: lagged sampled status flags.
+        let mut last_lap_status: Vec<f32> = rep_index
+            .iter()
+            .map(|&c| ctx.sequences[cars[c]].lap_status[origin - 1])
+            .collect();
+        let mut last_track_status: Vec<f32> = rep_index
+            .iter()
+            .map(|&c| ctx.sequences[cars[c]].track_status[origin - 1])
+            .collect();
+
+        // --- ancestral sampling through the decoder ------------------------
+        let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+        let mut step_outputs: Vec<Vec<f32>> = vec![Vec::with_capacity(horizon); bs];
+
+        for step in 0..horizon {
+            let mut x = Matrix::zeros(bs, self.base_dim);
+            for (ri, &c) in rep_index.iter().enumerate() {
+                let seq = &ctx.sequences[cars[c]];
+                let reg = Regressive {
+                    rank: last_rank[ri],
+                    lap_time: frozen[ri].0,
+                    time_behind: frozen[ri].1,
+                };
+                let cov = match self.kind {
+                    TargetKind::RankOnly => cov_future
+                        .rows
+                        .get(cars[c])
+                        .and_then(|r| r.get(step))
+                        .copied()
+                        .unwrap_or_default(),
+                    TargetKind::Joint => Covariates::default(),
+                };
+                // Joint regressive flags are injected by `assemble` reading
+                // the sequence; at forecast time we overwrite them below.
+                Self::assemble(&self.cfg, self.kind, ctx, &reg, &cov, seq, origin + step, &mut row);
+                if self.kind == TargetKind::Joint {
+                    let n = row.len();
+                    row[n - 2] = last_lap_status[ri];
+                    row[n - 1] = last_track_status[ri];
+                }
+                x.row_mut(ri).copy_from_slice(&row);
+            }
+            let out = self.step_concrete(&x, &rep_car_ids, &mut h_states);
+
+            // Heads → sample from the configured likelihood.
+            let (mu, sigma) = self.head_concrete(&out, 0);
+            let z = match self.cfg.likelihood {
+                Likelihood::Gaussian => sample_gaussian(rng, &mu, &sigma),
+                Likelihood::StudentT(nu) => sample_student_t(rng, &mu, &sigma, nu),
+            };
+            for (ri, zv) in z.as_slice().iter().enumerate() {
+                let rank = ctx.denorm_rank(*zv).clamp(0.5, ctx.field_size as f32 + 0.5);
+                step_outputs[ri].push(rank);
+                last_rank[ri] = rank;
+            }
+            if self.kind == TargetKind::Joint {
+                let (mu1, s1) = self.head_concrete(&out, 1);
+                let lap_s = sample_gaussian(rng, &mu1, &s1);
+                let (mu2, s2) = self.head_concrete(&out, 2);
+                let track_s = sample_gaussian(rng, &mu2, &s2);
+                for ri in 0..bs {
+                    last_lap_status[ri] = if lap_s.as_slice()[ri] > 0.5 { 1.0 } else { 0.0 };
+                    last_track_status[ri] =
+                        if track_s.as_slice()[ri] > 0.5 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+
+        // Regroup rows into [car][sample][step].
+        for (ri, path) in step_outputs.into_iter().enumerate() {
+            let car_slot = cars[rep_index[ri]];
+            samples[car_slot].push(path);
+        }
+        samples
+    }
+
+    /// One forward LSTM step on concrete state (no gradient bookkeeping
+    /// kept beyond the call).
+    fn step_concrete(
+        &self,
+        x: &Matrix,
+        car_ids: &[usize],
+        states: &mut [(Matrix, Matrix)],
+    ) -> Matrix {
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &self.store);
+        let x_leaf = tape.leaf(x.clone());
+        let emb_rows = self.emb.forward(&bind, car_ids);
+        let input = tape.hstack(&[x_leaf, emb_rows]);
+        let state_vars: Vec<rpf_nn::lstm::LstmState> = states
+            .iter()
+            .map(|(h, c)| rpf_nn::lstm::LstmState {
+                h: tape.leaf(h.clone()),
+                c: tape.leaf(c.clone()),
+            })
+            .collect();
+        let (out, new_states) = self.lstm.step(&bind, input, &state_vars);
+        for (slot, s) in states.iter_mut().zip(&new_states) {
+            slot.0 = tape.value(s.h);
+            slot.1 = tape.value(s.c);
+        }
+        tape.value(out)
+    }
+
+    /// Gaussian head `hi` on a concrete hidden state.
+    fn head_concrete(&self, hidden: &Matrix, hi: usize) -> (Matrix, Matrix) {
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &self.store);
+        let h = tape.leaf(hidden.clone());
+        let p: GaussianParams = self.heads[hi].forward(&bind, h);
+        (tape.value(p.mu), tape.value(p.sigma))
+    }
+}
+
+/// Covariate layout used inside Joint mode: race-status columns move from
+/// covariates to regressive inputs.
+fn joint_cfg(cfg: &RankNetConfig) -> RankNetConfig {
+    let mut c = cfg.clone();
+    c.use_race_status = false;
+    c.use_context_features = false;
+    c.use_shift_features = false;
+    c
+}
+
+/// Ground-truth covariate futures — the input RankNet-Oracle receives
+/// (Table III: "PitModel support: Y (Ground Truth)").
+pub fn oracle_covariates(
+    ctx: &RaceContext,
+    origin: usize,
+    horizon: usize,
+    shift: usize,
+) -> CovariateFuture {
+    let rows = ctx
+        .sequences
+        .iter()
+        .map(|seq| {
+            (0..horizon)
+                .map(|s| Covariates::from_seq(seq, origin + s, shift))
+                .collect()
+        })
+        .collect();
+    CovariateFuture { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn tiny_training_set(seed: u64) -> TrainingSet {
+        let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2016), seed);
+        let ctx = extract_sequences(&race);
+        TrainingSet::build(vec![ctx], &RankNetConfig::tiny(), 16)
+    }
+
+    #[test]
+    fn parameter_count_is_paper_scale() {
+        let cfg = RankNetConfig::default();
+        let model = RankModel::new(cfg, TargetKind::RankOnly, 33);
+        // Table IV / §IV-J: "a relative simple model with less than 30K
+        // parameters".
+        let n = model.num_params();
+        assert!(n < 60_000, "parameter count {n} should stay small");
+        assert!(n > 10_000, "parameter count {n} suspiciously small");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ts = tiny_training_set(1);
+        let val = tiny_training_set(2);
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 3;
+        let mut model = RankModel::new(cfg, TargetKind::RankOnly, 40);
+        let report = model.train(&ts, &val);
+        assert!(report.epochs_run >= 1);
+        let first = report.epoch_losses.first().unwrap().0;
+        let last = report.epoch_losses.last().unwrap().0;
+        assert!(
+            last < first,
+            "training loss should fall: {first} -> {last}"
+        );
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn forecast_shapes_and_bounds() {
+        let ts = tiny_training_set(3);
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 1;
+        let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, 40);
+        let _ = model.train(&ts, &ts);
+
+        let ctx = &ts.contexts[0];
+        let horizon = 2;
+        let origin = 80;
+        let cov = oracle_covariates(ctx, origin, horizon, cfg.prediction_len);
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = model.forecast(ctx, &cov, origin, horizon, 5, &mut rng);
+        assert_eq!(samples.len(), ctx.sequences.len());
+        for (c, per_car) in samples.iter().enumerate() {
+            if ctx.sequences[c].len() >= origin {
+                assert_eq!(per_car.len(), 5, "car {c} should have 5 samples");
+                for path in per_car {
+                    assert_eq!(path.len(), horizon);
+                    for &r in path {
+                        assert!(
+                            (0.0..=34.0).contains(&r),
+                            "rank sample {r} out of range"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn student_t_likelihood_trains_and_forecasts() {
+        let ts = tiny_training_set(8);
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 2;
+        cfg.likelihood = crate::config::Likelihood::StudentT(5.0);
+        let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, 40);
+        let report = model.train(&ts, &ts);
+        assert!(report.best_val_loss.is_finite());
+        let first = report.epoch_losses.first().unwrap().0;
+        let last = report.epoch_losses.last().unwrap().0;
+        assert!(last < first, "t-likelihood training should improve: {first} -> {last}");
+
+        let ctx = &ts.contexts[0];
+        let cov = oracle_covariates(ctx, 70, 2, cfg.prediction_len);
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = model.forecast(ctx, &cov, 70, 2, 6, &mut rng);
+        let filled = samples.iter().filter(|s| !s.is_empty()).count();
+        assert!(filled > 20);
+        for s in samples.iter().filter(|s| !s.is_empty()) {
+            assert!(s.iter().flatten().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn joint_mode_trains_and_forecasts() {
+        let ts = tiny_training_set(4);
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 1;
+        let mut model = RankModel::new(cfg, TargetKind::Joint, 40);
+        let report = model.train(&ts, &ts);
+        assert!(report.best_val_loss.is_finite());
+        let ctx = &ts.contexts[0];
+        let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
+        let mut rng = StdRng::seed_from_u64(10);
+        let samples = model.forecast(ctx, &cov, 60, 2, 3, &mut rng);
+        let non_empty = samples.iter().filter(|s| !s.is_empty()).count();
+        assert!(non_empty > 20);
+    }
+
+}

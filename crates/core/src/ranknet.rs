@@ -1,0 +1,440 @@
+//! RankNet: the cause–effect decomposition (paper Fig 5a, Algorithm 2).
+//!
+//! History → **PitModel** (future race status) → **RankModel** (future rank
+//! distribution) → sampled trajectories → rank positions by sorting.
+//!
+//! Three variants (Table III):
+//!
+//! * `Oracle` — ground-truth future race status as covariates: the upper
+//!   bound on what decomposition can deliver,
+//! * `Mlp` — the contributed model: a separate probabilistic MLP predicts
+//!   pit timing; future `TrackStatus` is set to zero (§III-C),
+//! * `Joint` — the ablation that trains the multivariate target jointly and
+//!   fails from data sparsity.
+
+use crate::config::RankNetConfig;
+use crate::features::RaceContext;
+use crate::instances::{Covariates, TrainingSet};
+use crate::pit_model::PitModel;
+use crate::rank_model::{oracle_covariates, CovariateFuture, ForecastSamples, RankModel, TargetKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_nn::train::TrainReport;
+
+/// Which pit-stop treatment a RankNet instance uses (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankNetVariant {
+    /// Ground-truth future race status.
+    Oracle,
+    /// PitModel-predicted future race status (the paper's contribution).
+    Mlp,
+    /// Joint training of rank + race status (no decomposition).
+    Joint,
+}
+
+impl RankNetVariant {
+    pub fn name(self) -> &'static str {
+        match self {
+            RankNetVariant::Oracle => "RankNet-Oracle",
+            RankNetVariant::Mlp => "RankNet-MLP",
+            RankNetVariant::Joint => "RankNet-Joint",
+        }
+    }
+}
+
+/// The composed forecaster.
+pub struct RankNet {
+    pub variant: RankNetVariant,
+    pub cfg: RankNetConfig,
+    pub rank_model: RankModel,
+    pub pit_model: Option<PitModel>,
+}
+
+/// Training reports of the sub-models.
+pub struct RankNetReport {
+    pub rank_model: TrainReport,
+    pub pit_model: Option<TrainReport>,
+}
+
+impl RankNet {
+    /// Train a RankNet variant on featurized races.
+    ///
+    /// `stride` subsamples training windows (1 = paper setting).
+    pub fn fit(
+        train_ctx: Vec<RaceContext>,
+        val_ctx: Vec<RaceContext>,
+        cfg: RankNetConfig,
+        variant: RankNetVariant,
+        stride: usize,
+    ) -> (RankNet, RankNetReport) {
+        let kind = match variant {
+            RankNetVariant::Joint => TargetKind::Joint,
+            _ => TargetKind::RankOnly,
+        };
+        let fuel_window = train_ctx.first().map(|c| c.fuel_window).unwrap_or(50.0);
+
+        let pit_model = if variant == RankNetVariant::Mlp {
+            let mut pm = PitModel::new(cfg.seed, fuel_window);
+            let report = pm.train(&train_ctx, &cfg);
+            Some((pm, report))
+        } else {
+            None
+        };
+
+        let ts = TrainingSet::build(train_ctx, &cfg, stride);
+        let val = TrainingSet::build(val_ctx, &cfg, (stride * 2).max(4));
+        let max_car_id = ts.max_car_id.max(val.max_car_id);
+        let mut rank_model = RankModel::new(cfg.clone(), kind, max_car_id);
+        let rank_report = rank_model.train(&ts, &val);
+
+        let (pit_model, pit_report) = match pit_model {
+            Some((pm, rep)) => (Some(pm), Some(rep)),
+            None => (None, None),
+        };
+        (
+            RankNet { variant, cfg, rank_model, pit_model },
+            RankNetReport { rank_model: rank_report, pit_model: pit_report },
+        )
+    }
+
+    /// Forecast per Algorithm 2: sample future race status (variant
+    /// dependent), then roll the RankModel decoder; returns
+    /// `samples[car][sample][step]` in raw rank units.
+    pub fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        match self.variant {
+            RankNetVariant::Oracle => {
+                let cov = oracle_covariates(ctx, origin, horizon, self.cfg.prediction_len);
+                self.rank_model.forecast(ctx, &cov, origin, horizon, n_samples, rng)
+            }
+            RankNetVariant::Joint => {
+                let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
+                self.rank_model.forecast(ctx, &cov, origin, horizon, n_samples, rng)
+            }
+            RankNetVariant::Mlp => {
+                // Propagate pit-timing uncertainty: several covariate
+                // futures, each shared by a group of rank samples.
+                let groups = n_samples.clamp(1, 8);
+                let per_group = n_samples.div_ceil(groups);
+                let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+                for g in 0..groups {
+                    let mut group_rng = StdRng::seed_from_u64(
+                        self.cfg.seed ^ (g as u64) << 17 ^ origin as u64,
+                    );
+                    let cov = self.sample_covariate_future(ctx, origin, horizon, &mut group_rng);
+                    let got = self
+                        .rank_model
+                        .forecast(ctx, &cov, origin, horizon, per_group, rng);
+                    for (slot, paths) in all.iter_mut().zip(got) {
+                        slot.extend(paths);
+                    }
+                }
+                for slot in all.iter_mut() {
+                    slot.truncate(n_samples);
+                }
+                all
+            }
+        }
+    }
+
+    /// Sample one joint future of the race status for every car (PitModel
+    /// step of Algorithm 2).
+    fn sample_covariate_future(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        rng: &mut StdRng,
+    ) -> CovariateFuture {
+        let pm = self.pit_model.as_ref().expect("MLP variant carries a PitModel");
+        sample_covariate_future(pm, self.cfg.prediction_len, ctx, origin, horizon, rng)
+    }
+}
+
+/// Sample one joint future of the race status for every car (PitModel step
+/// of Algorithm 2): pit laps from the PitModel, future TrackStatus fixed to
+/// zero (§III-C), context features derived from the sampled pits. Shared by
+/// the LSTM and Transformer RankNet variants.
+pub fn sample_covariate_future(
+    pm: &PitModel,
+    prediction_len: usize,
+    ctx: &RaceContext,
+    origin: usize,
+    horizon: usize,
+    rng: &mut StdRng,
+) -> CovariateFuture {
+    {
+        let n_cars = ctx.sequences.len();
+
+        // Sample per-car future pit laps.
+        let mut future_pits: Vec<Vec<bool>> = Vec::with_capacity(n_cars);
+        for seq in &ctx.sequences {
+            if seq.len() < origin {
+                future_pits.push(vec![false; horizon]);
+                continue;
+            }
+            let caution = seq.caution_laps[origin - 1];
+            let age = seq.pit_age[origin - 1];
+            future_pits.push(pm.sample_future_pits(caution, age, horizon, rng));
+        }
+
+        // Field-level context features from the sampled pits.
+        let total_pits_at: Vec<f32> = (0..horizon)
+            .map(|s| future_pits.iter().filter(|p| p[s]).count() as f32)
+            .collect();
+
+        let rows = ctx
+            .sequences
+            .iter()
+            .enumerate()
+            .map(|(c, seq)| {
+                if seq.len() < origin {
+                    return Vec::new();
+                }
+                let my_rank = seq.rank[origin - 1];
+                let mut age = seq.pit_age[origin - 1];
+                let caution = seq.caution_laps[origin - 1];
+                (0..horizon)
+                    .map(|s| {
+                        let pit = future_pits[c][s];
+                        // Cars currently ahead that pit at this step.
+                        let leader_pits = ctx
+                            .sequences
+                            .iter()
+                            .enumerate()
+                            .filter(|(o, oseq)| {
+                                *o != c
+                                    && oseq.len() >= origin
+                                    && oseq.rank[origin - 1] < my_rank
+                                    && future_pits[*o][s]
+                            })
+                            .count() as f32;
+                        let shift = s + prediction_len;
+                        let cov = Covariates {
+                            track_status: 0.0, // §III-C: future cautions set to zero
+                            lap_status: if pit { 1.0 } else { 0.0 },
+                            caution_laps: if age == 0.0 { 0.0 } else { caution },
+                            pit_age: age,
+                            leader_pit_count: leader_pits,
+                            total_pit_count: total_pits_at[s],
+                            shift_track_status: 0.0,
+                            shift_lap_status: future_pits[c]
+                                .get(shift)
+                                .map(|&p| if p { 1.0 } else { 0.0 })
+                                .unwrap_or(0.0),
+                            shift_total_pit_count: total_pits_at
+                                .get(shift)
+                                .copied()
+                                .unwrap_or(0.0),
+                        };
+                        if pit {
+                            age = 0.0;
+                        } else {
+                            age += 1.0;
+                        }
+                        cov
+                    })
+                    .collect()
+            })
+            .collect();
+        CovariateFuture { rows }
+    }
+}
+
+/// Convert value samples into *rank positions* by sorting within each
+/// sample (§III-C: "the final rank positions of the cars are calculated by
+/// sorting the sampled outputs"). Returns `ranked[car][sample]` for the
+/// chosen step; cars without samples get an empty list.
+pub fn ranks_by_sorting(samples: &ForecastSamples, step: usize) -> Vec<Vec<f32>> {
+    let n_cars = samples.len();
+    let n_samples = samples.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = vec![Vec::new(); n_cars];
+    for s in 0..n_samples {
+        // Collect participating cars for this sample index.
+        let mut vals: Vec<(usize, f32)> = (0..n_cars)
+            .filter_map(|c| {
+                samples[c]
+                    .get(s)
+                    .and_then(|path| path.get(step))
+                    .map(|&v| (c, v))
+            })
+            .collect();
+        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for (pos, (c, _)) in vals.iter().enumerate() {
+            out[*c].push((pos + 1) as f32);
+        }
+    }
+    out
+}
+
+/// Median over each car's sorted-rank samples (empty → None).
+pub fn median_ranks(ranked: &[Vec<f32>]) -> Vec<Option<f32>> {
+    ranked
+        .iter()
+        .map(|s| {
+            if s.is_empty() {
+                None
+            } else {
+                Some(crate::metrics::quantile(s, 0.5))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    fn ctxs(n: u64, year: u16) -> Vec<RaceContext> {
+        (0..n)
+            .map(|s| {
+                extract_sequences(&simulate_race(
+                    &EventConfig::for_race(Event::Indy500, year),
+                    s * 7 + 1,
+                ))
+            })
+            .collect()
+    }
+
+    fn tiny_cfg() -> RankNetConfig {
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 2;
+        cfg.num_samples = 6;
+        cfg
+    }
+
+    #[test]
+    fn fit_and_forecast_all_variants() {
+        let train = ctxs(1, 2015);
+        let val = ctxs(1, 2016);
+        let test = &ctxs(1, 2017)[0];
+        for variant in [RankNetVariant::Oracle, RankNetVariant::Mlp, RankNetVariant::Joint] {
+            let (model, report) = RankNet::fit(train.clone(), val.clone(), tiny_cfg(), variant, 24);
+            assert!(report.rank_model.best_val_loss.is_finite(), "{variant:?}");
+            assert_eq!(model.pit_model.is_some(), variant == RankNetVariant::Mlp);
+            let mut rng = StdRng::seed_from_u64(1);
+            let samples = model.forecast(test, 70, 2, 4, &mut rng);
+            let with = samples.iter().filter(|s| !s.is_empty()).count();
+            assert!(with > 20, "{variant:?}: {with} cars forecasted");
+            for s in samples.iter().filter(|s| !s.is_empty()) {
+                assert_eq!(s.len(), 4);
+                assert_eq!(s[0].len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_by_sorting_produces_permutations() {
+        // Three cars, two samples, one step.
+        let samples: ForecastSamples = vec![
+            vec![vec![5.0], vec![1.0]],
+            vec![vec![2.0], vec![2.0]],
+            vec![vec![9.0], vec![3.0]],
+        ];
+        let ranked = ranks_by_sorting(&samples, 0);
+        // Sample 0: car1 < car0 < car2 -> ranks 2,1,3
+        assert_eq!(ranked[0][0], 2.0);
+        assert_eq!(ranked[1][0], 1.0);
+        assert_eq!(ranked[2][0], 3.0);
+        // Sample 1: car0 < car1 < car2 -> ranks 1,2,3
+        assert_eq!(ranked[0][1], 1.0);
+        assert_eq!(ranked[1][1], 2.0);
+        assert_eq!(ranked[2][1], 3.0);
+    }
+
+    #[test]
+    fn ranks_by_sorting_skips_missing_cars() {
+        let samples: ForecastSamples = vec![
+            vec![vec![5.0]],
+            Vec::new(), // retired car
+            vec![vec![1.0]],
+        ];
+        let ranked = ranks_by_sorting(&samples, 0);
+        assert_eq!(ranked[0], vec![2.0]);
+        assert!(ranked[1].is_empty());
+        assert_eq!(ranked[2], vec![1.0]);
+        let med = median_ranks(&ranked);
+        assert_eq!(med[0], Some(2.0));
+        assert_eq!(med[1], None);
+    }
+}
+
+impl RankNet {
+    /// Transfer learning — the paper's §VI future-work direction: adapt a
+    /// model trained on one event to another by fine-tuning on the new
+    /// event's races at a reduced learning rate. The PitModel (if any) is
+    /// also refreshed, since stint lengths are track-specific.
+    pub fn fine_tune(
+        &mut self,
+        new_train: Vec<RaceContext>,
+        new_val: Vec<RaceContext>,
+        epochs: usize,
+        stride: usize,
+    ) -> TrainReport {
+        if let Some(pm) = self.pit_model.as_mut() {
+            let mut cfg = self.cfg.clone();
+            cfg.max_epochs = epochs.max(5);
+            let _ = pm.train(&new_train, &cfg);
+        }
+        let ts = TrainingSet::build(new_train, &self.cfg, stride);
+        let val = TrainingSet::build(new_val, &self.cfg, (stride * 2).max(4));
+        let (old_epochs, old_lr) =
+            (self.rank_model.cfg.max_epochs, self.rank_model.cfg.learning_rate);
+        self.rank_model.cfg.max_epochs = epochs;
+        self.rank_model.cfg.learning_rate = old_lr * 0.3;
+        let report = self.rank_model.train(&ts, &val);
+        self.rank_model.cfg.max_epochs = old_epochs;
+        self.rank_model.cfg.learning_rate = old_lr;
+        report
+    }
+}
+
+#[cfg(test)]
+mod transfer_tests {
+    use super::*;
+    use crate::features::extract_sequences;
+    use rpf_racesim::{simulate_race, Event, EventConfig};
+
+    #[test]
+    fn fine_tune_keeps_model_usable_and_changes_weights() {
+        let indy = extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2016),
+            1,
+        ));
+        let texas = extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Texas, 2016),
+            2,
+        ));
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 1;
+        let (mut model, _) = RankNet::fit(
+            vec![indy.clone()],
+            vec![indy.clone()],
+            cfg,
+            RankNetVariant::Mlp,
+            40,
+        );
+        let before = model.rank_model.store.snapshot();
+        let report = model.fine_tune(vec![texas.clone()], vec![texas.clone()], 1, 40);
+        assert!(report.best_val_loss.is_finite());
+        let after = model.rank_model.store.snapshot();
+        let changed = before
+            .iter()
+            .zip(&after)
+            .any(|(a, b)| a.as_slice() != b.as_slice());
+        assert!(changed, "fine-tuning must move the weights");
+
+        // Still forecasts on the new event.
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples = RankNet::forecast(&model, &texas, 60, 2, 3, &mut rng);
+        assert!(samples.iter().filter(|s| !s.is_empty()).count() > 15);
+    }
+}

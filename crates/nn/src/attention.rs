@@ -1,0 +1,339 @@
+//! Multi-head attention and Transformer layers for the paper's §IV-I
+//! comparison ("RankNet with Transformer": 8 heads, model dimension 32).
+//!
+//! Sequences are processed one series at a time as `(T, d)` matrices; the
+//! Transformer is a comparison model here (the paper finds the LSTM
+//! slightly better on this small-data problem), so clarity wins over
+//! batched attention.
+
+use crate::linear::Linear;
+use crate::params::{Binding, ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rpf_autodiff::Var;
+use rpf_tensor::Matrix;
+
+/// Layer normalization over the feature dimension with learned gain/bias.
+///
+/// Implemented entirely from differentiable primitives: row means/variances
+/// are computed with a ones-vector matmul so the whole thing backprops
+/// through the standard tape ops.
+#[derive(Clone, Copy, Debug)]
+pub struct LayerNorm {
+    pub gamma: ParamId,
+    pub beta: ParamId,
+    pub dim: usize,
+}
+
+impl LayerNorm {
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> LayerNorm {
+        LayerNorm {
+            gamma: store.register(format!("{name}.gamma"), Matrix::ones(1, dim)),
+            beta: store.register(format!("{name}.beta"), Matrix::zeros(1, dim)),
+            dim,
+        }
+    }
+
+    pub fn forward(&self, bind: &Binding<'_>, x: Var) -> Var {
+        let t = bind.tape();
+        let (rows, d) = t.shape(x);
+        debug_assert_eq!(d, self.dim);
+        let inv_d = 1.0 / d as f32;
+        let ones_col = t.leaf(Matrix::ones(d, 1));
+        let ones_row = t.leaf(Matrix::ones(1, d));
+        // Row mean broadcast back to (rows, d).
+        let mean = t.scale(t.matmul(x, ones_col), inv_d);
+        let mean_bc = t.matmul(mean, ones_row);
+        let centered = t.sub(x, mean_bc);
+        // Row variance, same trick.
+        let var = t.scale(t.matmul(t.square(centered), ones_col), inv_d);
+        let sd = t.sqrt(t.add_scalar(var, 1e-5));
+        let sd_bc = t.matmul(sd, ones_row);
+        let normed = t.div(centered, sd_bc);
+        // Learned gain and shift.
+        let ones_rows = t.leaf(Matrix::ones(rows, 1));
+        let gamma_bc = t.matmul(ones_rows, bind.var(self.gamma));
+        t.add_row(t.mul(normed, gamma_bc), bind.var(self.beta))
+    }
+}
+
+/// Sinusoidal positional encoding `(T, d)` (Vaswani et al.).
+pub fn positional_encoding(t_len: usize, d: usize) -> Matrix {
+    Matrix::from_fn(t_len, d, |pos, i| {
+        let rate = (pos as f64) / 10000f64.powf((2 * (i / 2)) as f64 / d as f64);
+        if i % 2 == 0 {
+            rate.sin() as f32
+        } else {
+            rate.cos() as f32
+        }
+    })
+}
+
+/// Additive attention mask: 0 where attending is allowed, -1e9 above the
+/// diagonal (future positions) for causal decoding.
+pub fn causal_mask(t_len: usize) -> Matrix {
+    Matrix::from_fn(t_len, t_len, |q, k| if k > q { -1e9 } else { 0.0 })
+}
+
+/// Multi-head scaled dot-product attention over one sequence.
+#[derive(Clone, Debug)]
+pub struct MultiHeadAttention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub heads: usize,
+    pub dim: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+    ) -> MultiHeadAttention {
+        assert_eq!(dim % heads, 0, "model dim must divide into heads");
+        MultiHeadAttention {
+            wq: Linear::new(store, rng, &format!("{name}.wq"), dim, dim),
+            wk: Linear::new(store, rng, &format!("{name}.wk"), dim, dim),
+            wv: Linear::new(store, rng, &format!("{name}.wv"), dim, dim),
+            wo: Linear::new(store, rng, &format!("{name}.wo"), dim, dim),
+            heads,
+            dim,
+        }
+    }
+
+    /// `query`: `(Tq, d)`, `context`: `(Tk, d)`; optional additive mask of
+    /// shape `(Tq, Tk)`.
+    pub fn forward(
+        &self,
+        bind: &Binding<'_>,
+        query: Var,
+        context: Var,
+        mask: Option<&Matrix>,
+    ) -> Var {
+        let t = bind.tape();
+        let dh = self.dim / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let q = self.wq.forward(bind, query);
+        let k = self.wk.forward(bind, context);
+        let v = self.wv.forward(bind, context);
+
+        let mask_leaf = mask.map(|m| t.leaf(m.clone()));
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let (lo, hi) = (h * dh, (h + 1) * dh);
+            let qh = t.slice_cols(q, lo, hi);
+            let kh = t.slice_cols(k, lo, hi);
+            let vh = t.slice_cols(v, lo, hi);
+            let mut scores = t.scale(t.matmul(qh, t.transpose(kh)), scale);
+            if let Some(m) = mask_leaf {
+                scores = t.add(scores, m);
+            }
+            let weights = t.softmax_rows(scores);
+            head_outputs.push(t.matmul(weights, vh));
+        }
+        let concat = t.hstack(&head_outputs);
+        self.wo.forward(bind, concat)
+    }
+}
+
+/// Pre-norm Transformer encoder layer: self-attention + position-wise FFN,
+/// each with a residual connection.
+#[derive(Clone, Debug)]
+pub struct EncoderLayer {
+    pub attn: MultiHeadAttention,
+    pub norm1: LayerNorm,
+    pub norm2: LayerNorm,
+    pub ff1: Linear,
+    pub ff2: Linear,
+}
+
+impl EncoderLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+    ) -> EncoderLayer {
+        EncoderLayer {
+            attn: MultiHeadAttention::new(store, rng, &format!("{name}.attn"), dim, heads),
+            norm1: LayerNorm::new(store, &format!("{name}.norm1"), dim),
+            norm2: LayerNorm::new(store, &format!("{name}.norm2"), dim),
+            ff1: Linear::new(store, rng, &format!("{name}.ff1"), dim, ff_dim),
+            ff2: Linear::new(store, rng, &format!("{name}.ff2"), ff_dim, dim),
+        }
+    }
+
+    pub fn forward(&self, bind: &Binding<'_>, x: Var) -> Var {
+        let t = bind.tape();
+        let a = self.attn.forward(bind, self.norm1.forward(bind, x), self.norm1.forward(bind, x), None);
+        let x = t.add(x, a);
+        let n = self.norm2.forward(bind, x);
+        let f = self.ff2.forward(bind, t.relu(self.ff1.forward(bind, n)));
+        t.add(x, f)
+    }
+}
+
+/// Pre-norm Transformer decoder layer: causal self-attention, cross
+/// attention over the encoder memory, and the FFN — all residual.
+#[derive(Clone, Debug)]
+pub struct DecoderLayer {
+    pub self_attn: MultiHeadAttention,
+    pub cross_attn: MultiHeadAttention,
+    pub norm1: LayerNorm,
+    pub norm2: LayerNorm,
+    pub norm3: LayerNorm,
+    pub ff1: Linear,
+    pub ff2: Linear,
+}
+
+impl DecoderLayer {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+    ) -> DecoderLayer {
+        DecoderLayer {
+            self_attn: MultiHeadAttention::new(store, rng, &format!("{name}.self"), dim, heads),
+            cross_attn: MultiHeadAttention::new(store, rng, &format!("{name}.cross"), dim, heads),
+            norm1: LayerNorm::new(store, &format!("{name}.norm1"), dim),
+            norm2: LayerNorm::new(store, &format!("{name}.norm2"), dim),
+            norm3: LayerNorm::new(store, &format!("{name}.norm3"), dim),
+            ff1: Linear::new(store, rng, &format!("{name}.ff1"), dim, ff_dim),
+            ff2: Linear::new(store, rng, &format!("{name}.ff2"), ff_dim, dim),
+        }
+    }
+
+    /// `x`: decoder input `(Td, d)`; `memory`: encoder output `(Te, d)`.
+    pub fn forward(&self, bind: &Binding<'_>, x: Var, memory: Var) -> Var {
+        let t = bind.tape();
+        let (td, _) = t.shape(x);
+        let mask = causal_mask(td);
+        let n1 = self.norm1.forward(bind, x);
+        let a = self.self_attn.forward(bind, n1, n1, Some(&mask));
+        let x = t.add(x, a);
+        let n2 = self.norm2.forward(bind, x);
+        let c = self.cross_attn.forward(bind, n2, memory, None);
+        let x = t.add(x, c);
+        let n3 = self.norm3.forward(bind, x);
+        let f = self.ff2.forward(bind, t.relu(self.ff1.forward(bind, n3)));
+        t.add(x, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rpf_autodiff::Tape;
+
+    #[test]
+    fn positional_encoding_is_bounded_and_distinct() {
+        let pe = positional_encoding(20, 16);
+        assert!(pe.as_slice().iter().all(|v| v.abs() <= 1.0));
+        assert_ne!(pe.row(0), pe.row(7));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(4);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 3), -1e9);
+        assert_eq!(m.get(3, 0), 0.0);
+        assert_eq!(m.get(2, 3), -1e9);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 8);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f32));
+        let y = tape.value(ln.forward(&bind, x));
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
+            let var: f32 =
+                y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn attention_output_shape_and_grad() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(16);
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 32, 8);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::from_fn(6, 32, |r, c| ((r * 31 + c) % 7) as f32 / 7.0));
+        let y = mha.forward(&bind, x, x, None);
+        assert_eq!(tape.shape(y), (6, 32));
+        let loss = tape.sum(tape.square(y));
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        assert!(store.grad(mha.wq.w).frob_norm() > 0.0);
+        assert!(store.grad(mha.wo.w).frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn causal_attention_ignores_future_tokens() {
+        // Changing a future token must not change earlier outputs.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 16, 4);
+        let mask = causal_mask(5);
+
+        let base = Matrix::from_fn(5, 16, |r, c| ((r + c) % 5) as f32 / 5.0);
+        let mut modified = base.clone();
+        for v in modified.row_mut(4) {
+            *v += 10.0;
+        }
+
+        let run = |input: &Matrix| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &store);
+            let x = tape.leaf(input.clone());
+            let y = mha.forward(&bind, x, x, Some(&mask));
+            tape.value(y)
+        };
+        let y1 = run(&base);
+        let y2 = run(&modified);
+        for r in 0..4 {
+            for (a, b) in y1.row(r).iter().zip(y2.row(r)) {
+                assert!((a - b).abs() < 1e-5, "row {r} leaked future info");
+            }
+        }
+        // The final row (which may attend to itself) does change.
+        assert!(y1.row(4).iter().zip(y2.row(4)).any(|(a, b)| (a - b).abs() > 1e-3));
+    }
+
+    #[test]
+    fn encoder_decoder_layers_run_and_train() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(18);
+        let enc = EncoderLayer::new(&mut store, &mut rng, "enc", 16, 4, 32);
+        let dec = DecoderLayer::new(&mut store, &mut rng, "dec", 16, 4, 32);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let src = tape.leaf(Matrix::from_fn(7, 16, |r, c| ((r * c) % 3) as f32 / 3.0));
+        let tgt = tape.leaf(Matrix::from_fn(4, 16, |r, c| ((r + 2 * c) % 5) as f32 / 5.0));
+        let memory = enc.forward(&bind, src);
+        let out = dec.forward(&bind, tgt, memory);
+        assert_eq!(tape.shape(out), (4, 16));
+        let loss = tape.mean(tape.square(out));
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        assert!(store.grad(enc.attn.wq.w).frob_norm() > 0.0);
+        assert!(store.grad(dec.cross_attn.wk.w).frob_norm() > 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minibatch index management.
+//!
+//! Models in this workspace assemble their own input matrices (they differ:
+//! DeepAR batches sequences, the PitModel batches feature rows), so the
+//! shared machinery is index-level: shuffled epoch iteration and splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A batch of instance indices into the caller's dataset.
+pub type Batch = Vec<usize>;
+
+/// Yields shuffled minibatches of indices, reshuffling every epoch.
+pub struct BatchIter {
+    n: usize,
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl BatchIter {
+    pub fn new(n: usize, batch_size: usize, seed: u64) -> BatchIter {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchIter { n, batch_size, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// All batches for one epoch (fresh shuffle). The final batch may be
+    /// smaller than `batch_size`.
+    pub fn epoch(&mut self) -> Vec<Batch> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(&mut self.rng);
+        idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// Deterministic train/validation split of `0..n` by fraction.
+pub fn train_val_split(n: usize, val_fraction: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&val_fraction));
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_val = ((n as f32) * val_fraction).round() as usize;
+    let val = idx.split_off(n.saturating_sub(n_val));
+    (idx, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn epoch_covers_every_index_once() {
+        let mut it = BatchIter::new(103, 10, 1);
+        let batches = it.epoch();
+        assert_eq!(batches.len(), 11);
+        let all: Vec<usize> = batches.into_iter().flatten().collect();
+        assert_eq!(all.len(), 103);
+        let set: HashSet<usize> = all.into_iter().collect();
+        assert_eq!(set.len(), 103);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut it = BatchIter::new(50, 50, 2);
+        let a = it.epoch();
+        let b = it.epoch();
+        assert_ne!(a[0], b[0], "two epochs should not repeat the same order");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (train, val) = train_val_split(100, 0.2, 3);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&val).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_val_fraction_keeps_everything() {
+        let (train, val) = train_val_split(10, 0.0, 4);
+        assert_eq!(train.len(), 10);
+        assert!(val.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let _ = BatchIter::new(10, 0, 1);
+    }
+}

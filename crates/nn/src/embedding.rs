@@ -1,0 +1,74 @@
+//! Categorical embedding (the paper embeds `CarId`, §III-C).
+
+use crate::init::normal_scaled;
+use crate::params::{Binding, ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rpf_autodiff::Var;
+
+/// A `(vocab, dim)` table; forward gathers one row per index.
+#[derive(Clone, Copy, Debug)]
+pub struct Embedding {
+    pub table: ParamId,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+    ) -> Embedding {
+        let table =
+            store.register(format!("{name}.table"), normal_scaled(rng, vocab, dim, 0.1));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Look up `indices`, producing a `(indices.len(), dim)` output.
+    pub fn forward(&self, bind: &Binding<'_>, indices: &[usize]) -> Var {
+        debug_assert!(indices.iter().all(|&i| i < self.vocab), "embedding index out of vocab");
+        bind.tape().gather_rows(bind.var(self.table), indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rpf_autodiff::Tape;
+    use rpf_tensor::Matrix;
+
+    #[test]
+    fn lookup_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let emb = Embedding::new(&mut store, &mut rng, "car", 5, 3);
+        *store.value_mut(emb.table) = Matrix::from_fn(5, 3, |r, _| r as f32);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let out = emb.forward(&bind, &[4, 0, 4]);
+        let v = tape.value(out);
+        assert_eq!(v.row(0), &[4.0, 4.0, 4.0]);
+        assert_eq!(v.row(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(v.row(2), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn repeated_indices_accumulate_grads() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let emb = Embedding::new(&mut store, &mut rng, "car", 3, 2);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let out = emb.forward(&bind, &[1, 1]);
+        let loss = tape.sum(out);
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        let g = store.grad(emb.table);
+        assert_eq!(g.row(0), &[0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0]); // used twice
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+    }
+}

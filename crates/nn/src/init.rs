@@ -1,0 +1,50 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rpf_tensor::Matrix;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The standard choice for tanh/sigmoid
+/// networks like the LSTM used here.
+pub fn xavier_uniform(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..a))
+}
+
+/// Small-scale normal initialization for embeddings.
+pub fn normal_scaled(rng: &mut StdRng, rows: usize, cols: usize, std: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Box–Muller.
+        let u1: f32 = rng.gen_range(1e-7..1.0f32);
+        let u2: f32 = rng.gen();
+        std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(&mut rng, 40, 160);
+        let a = (6.0f32 / 200.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= a));
+        // Not degenerate.
+        assert!(w.as_slice().iter().any(|&v| v.abs() > a / 10.0));
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = normal_scaled(&mut rng, 100, 100, 0.5);
+        let mean = w.mean();
+        let var = w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / w.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());
+    }
+}

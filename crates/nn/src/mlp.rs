@@ -1,0 +1,239 @@
+//! Multilayer perceptron — the architecture of the paper's PitModel
+//! (Fig 5b: "stacked Dense" layers with a probabilistic output).
+
+use crate::linear::Linear;
+use crate::params::{Binding, ParamStore};
+use rand::rngs::StdRng;
+use rpf_autodiff::Var;
+
+/// Hidden-layer activation choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Tanh,
+}
+
+/// A stack of dense layers with a fixed hidden activation. The final layer
+/// is linear (heads apply their own link functions).
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rpf_autodiff::Tape;
+/// use rpf_nn::{mlp::Activation, Binding, Mlp, ParamStore};
+/// use rpf_tensor::Matrix;
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = Mlp::new(&mut store, &mut rng, "net", &[4, 8, 1], Activation::Relu);
+///
+/// let tape = Tape::new();
+/// let bind = Binding::new(&tape, &store);
+/// let x = tape.leaf(Matrix::ones(5, 4));
+/// let y = net.forward(&bind, x);
+/// assert_eq!(tape.shape(y), (5, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    pub layers: Vec<Linear>,
+    pub activation: Activation,
+}
+
+impl Mlp {
+    /// `dims` is `[input, hidden..., output]`; at least one layer.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        name: &str,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Mlp {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.fc{i}"), w[0], w[1]))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim
+    }
+
+    /// Forward pass over a `(batch, input)` matrix.
+    pub fn forward(&self, bind: &Binding<'_>, x: Var) -> Var {
+        let t = bind.tape();
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(bind, h);
+            if i < last {
+                h = match self.activation {
+                    Activation::Relu => t.relu(h),
+                    Activation::Tanh => t.tanh(h),
+                };
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rpf_autodiff::Tape;
+    use rpf_tensor::Matrix;
+
+    #[test]
+    fn forward_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mlp = Mlp::new(&mut store, &mut rng, "pit", &[6, 16, 16, 2], Activation::Relu);
+        assert_eq!(mlp.layers.len(), 3);
+        assert_eq!(mlp.out_dim(), 2);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::ones(4, 6));
+        let y = mlp.forward(&bind, x);
+        assert_eq!(tape.shape(y), (4, 2));
+    }
+
+    #[test]
+    fn can_fit_a_simple_function() {
+        // Tiny sanity check: a 1-16-1 MLP trained by plain SGD fits y = 2x.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&mut store, &mut rng, "f", &[1, 16, 1], Activation::Tanh);
+        let xs = Matrix::from_fn(16, 1, |r, _| r as f32 / 8.0 - 1.0);
+        let ys = rpf_tensor::ops::scale(&xs, 2.0);
+        let mut last_loss = f32::MAX;
+        for _ in 0..300 {
+            store.zero_grads();
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &store);
+            let x = tape.leaf(xs.clone());
+            let t = tape.leaf(ys.clone());
+            let pred = mlp.forward(&bind, x);
+            let loss = tape.mean(tape.square(tape.sub(pred, t)));
+            last_loss = tape.scalar(loss);
+            let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+            store.update_each(|_, v, g| rpf_tensor::ops::axpy(v, -0.05, g));
+        }
+        assert!(last_loss < 0.01, "MLP failed to fit y=2x: loss {last_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let _ = Mlp::new(&mut store, &mut rng, "bad", &[4], Activation::Relu);
+    }
+}
+
+/// Inverted dropout as a tape operation: multiplies by a Bernoulli(1-p)
+/// mask scaled by `1/(1-p)`, so the expected activation is unchanged.
+///
+/// Used for MC-dropout uncertainty (Gal & Ghahramani, one of the paper's
+/// related-work threads): keep dropout active at inference and the spread
+/// of repeated forward passes estimates model uncertainty.
+pub fn dropout(
+    bind: &crate::params::Binding<'_>,
+    x: rpf_autodiff::Var,
+    p: f32,
+    rng: &mut rand::rngs::StdRng,
+) -> rpf_autodiff::Var {
+    assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+    if p == 0.0 {
+        return x;
+    }
+    use rand::Rng;
+    let t = bind.tape();
+    let (rows, cols) = t.shape(x);
+    let keep = 1.0 - p;
+    let mask = rpf_tensor::Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f32>() < keep {
+            1.0 / keep
+        } else {
+            0.0
+        }
+    });
+    t.mul(x, t.leaf(mask))
+}
+
+#[cfg(test)]
+mod dropout_tests {
+    use super::*;
+    use crate::params::{Binding, ParamStore};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rpf_autodiff::Tape;
+    use rpf_tensor::Matrix;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let store = ParamStore::new();
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::ones(2, 3));
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = dropout(&bind, x, 0.0, &mut rng);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let store = ParamStore::new();
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::ones(1, 20_000));
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = dropout(&bind, x, 0.3, &mut rng);
+        let mean = tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.02, "dropout should be unbiased, mean {mean}");
+    }
+
+    #[test]
+    fn mc_dropout_passes_differ() {
+        let store = ParamStore::new();
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::ones(2, 8));
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = tape.value(dropout(&bind, x, 0.5, &mut rng));
+        let b = tape.value(dropout(&bind, x, 0.5, &mut rng));
+        assert_ne!(a, b, "independent masks per pass");
+    }
+
+    #[test]
+    fn gradients_flow_through_kept_units_only() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(1, 4));
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let wv = bind.var(w);
+        let mut rng = StdRng::seed_from_u64(4);
+        let y = dropout(&bind, wv, 0.5, &mut rng);
+        let loss = tape.sum(y);
+        let g = bind.into_grads(loss);
+        store.apply_grads(g);
+        let grad = store.grad(w);
+        // Each coordinate's grad is either 0 (dropped) or 1/keep (kept).
+        for &gv in grad.as_slice() {
+            assert!(gv == 0.0 || (gv - 2.0).abs() < 1e-6, "unexpected grad {gv}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn rate_one_rejected() {
+        let store = ParamStore::new();
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let x = tape.leaf(Matrix::ones(1, 1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = dropout(&bind, x, 1.0, &mut rng);
+    }
+}

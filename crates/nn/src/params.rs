@@ -1,0 +1,351 @@
+//! Central parameter storage and the tape binding.
+//!
+//! Layers own [`ParamId`]s into a shared [`ParamStore`]; a [`Binding`] is
+//! created per forward pass to lift parameter values onto the autodiff tape
+//! (once each — repeated use of a parameter reuses the same tape leaf so
+//! gradients accumulate correctly, which matters for the shared
+//! encoder/decoder weights and for LSTM weights reused across time steps).
+
+use rpf_autodiff::{Gradients, Tape, Var};
+use rpf_tensor::{ops, Matrix};
+use std::cell::RefCell;
+
+/// Identifier of one parameter tensor in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Values + gradient accumulators for every parameter of a model.
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParamStore {
+    pub fn new() -> Self {
+        ParamStore { names: Vec::new(), values: Vec::new(), grads: Vec::new() }
+    }
+
+    /// Register a parameter with an initial value.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters (the paper quotes <30K for RankNet).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Add `g` into the gradient accumulator of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        ops::axpy(&mut self.grads[id.0], 1.0, g);
+    }
+
+    /// Accumulate a list of gradients produced by [`Binding::into_grads`].
+    pub fn apply_grads(&mut self, grads: Vec<(ParamId, Matrix)>) {
+        for (id, g) in &grads {
+            self.accumulate_grad(*id, g);
+        }
+    }
+
+    /// The raw value slice, for worker threads that build a
+    /// [`Binding::over_values`].
+    pub fn values(&self) -> &[Matrix] {
+        &self.values
+    }
+
+    /// Zero every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            for v in g.as_mut_slice() {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Iterate `(id, value, grad)` triples — what the optimizer consumes.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Apply `f(value, grad)` to every parameter (optimizer update).
+    pub fn update_each(&mut self, mut f: impl FnMut(usize, &mut Matrix, &Matrix)) {
+        for i in 0..self.values.len() {
+            f(i, &mut self.values[i], &self.grads[i]);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients by `s` (clipping).
+    pub fn scale_grads(&mut self, s: f32) {
+        for g in &mut self.grads {
+            for v in g.as_mut_slice() {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Snapshot all values (for early-stopping "best weights" restore).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.values.clone()
+    }
+
+    /// Restore values from a snapshot taken with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.values.len(), "snapshot size mismatch");
+        for (v, s) in self.values.iter_mut().zip(snapshot) {
+            assert_eq!(v.shape(), s.shape(), "snapshot shape mismatch");
+            *v = s.clone();
+        }
+    }
+}
+
+/// Per-forward-pass bridge between a [`ParamStore`] and a [`Tape`].
+///
+/// Lifts each referenced parameter onto the tape exactly once and remembers
+/// the mapping so [`Binding::into_grads`] can hand tape gradients back to
+/// the store (or into a detached buffer for shard-parallel training).
+pub struct Binding<'a> {
+    tape: &'a Tape,
+    values: &'a [Matrix],
+    bound: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'a> Binding<'a> {
+    /// Create a binding over the store's current values.
+    pub fn new(tape: &'a Tape, store: &'a ParamStore) -> Self {
+        Binding {
+            tape,
+            values: &store.values,
+            bound: RefCell::new(vec![None; store.values.len()]),
+        }
+    }
+
+    /// Create a binding directly over a value slice (used by worker threads
+    /// that only have a shared reference to the values).
+    pub fn over_values(tape: &'a Tape, values: &'a [Matrix]) -> Self {
+        Binding { tape, values, bound: RefCell::new(vec![None; values.len()]) }
+    }
+
+    pub fn tape(&self) -> &'a Tape {
+        self.tape
+    }
+
+    /// Tape node for parameter `id` (created on first use, cached after).
+    pub fn var(&self, id: ParamId) -> Var {
+        let mut bound = self.bound.borrow_mut();
+        if let Some(v) = bound[id.0] {
+            return v;
+        }
+        let v = self.tape.leaf(self.values[id.0].clone());
+        bound[id.0] = Some(v);
+        v
+    }
+
+    /// After `backward`, drain each bound parameter's gradient into `sink`.
+    pub fn collect_grads(&self, grads: &mut Gradients) -> Vec<(ParamId, Matrix)> {
+        let bound = self.bound.borrow();
+        let mut out = Vec::new();
+        for (i, v) in bound.iter().enumerate() {
+            if let Some(var) = v {
+                if let Some(g) = grads.take(*var) {
+                    out.push((ParamId(i), g));
+                }
+            }
+        }
+        out
+    }
+
+    /// Run backward from `loss` and return the parameter gradients,
+    /// consuming the binding (which releases its borrow of the store so the
+    /// caller can then apply them with [`ParamStore::apply_grads`]).
+    pub fn into_grads(self, loss: Var) -> Vec<(ParamId, Matrix)> {
+        let mut grads = self.tape.backward(loss);
+        self.collect_grads(&mut grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 3));
+        let b = store.register("b", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 9);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.value(b).shape(), (1, 3));
+    }
+
+    #[test]
+    fn binding_caches_leaves() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 2));
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let v1 = bind.var(w);
+        let v2 = bind.var(w);
+        assert_eq!(v1, v2);
+        assert_eq!(tape.len(), 1);
+    }
+
+    #[test]
+    fn grads_flow_back_to_store() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let wv = bind.var(w);
+        let loss = tape.sum(tape.mul(wv, wv)); // d/dw = 2w
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        assert_eq!(store.grad(w).as_slice(), &[4.0, 6.0]);
+        // Accumulation on a second pass.
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let wv = bind.var(w);
+        let loss = tape.sum(wv);
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        assert_eq!(store.grad(w).as_slice(), &[5.0, 7.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(w).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 2));
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let wv = bind.var(w);
+        let t = tape.leaf(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let loss = tape.sum(tape.mul(wv, t));
+        let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.scale_grads(0.5);
+        assert!((store.grad_norm() - 2.5).abs() < 1e-6);
+        let _ = w;
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 2));
+        let snap = store.snapshot();
+        store.value_mut(w).as_mut_slice()[0] = 99.0;
+        assert_eq!(store.value(w).as_slice()[0], 99.0);
+        store.restore(&snap);
+        assert_eq!(store.value(w).as_slice()[0], 1.0);
+    }
+}
+
+impl ParamStore {
+    /// Export every parameter as `(name, value)` pairs for persistence.
+    pub fn export(&self) -> Vec<(String, Matrix)> {
+        self.names.iter().cloned().zip(self.values.iter().cloned()).collect()
+    }
+
+    /// Import values exported by [`ParamStore::export`] into a store with
+    /// the *same architecture* (matched by name; shapes must agree).
+    pub fn import(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
+        for (name, value) in entries {
+            let idx = self
+                .names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| format!("unknown parameter '{name}'"))?;
+            if self.values[idx].shape() != value.shape() {
+                return Err(format!(
+                    "parameter '{name}' shape mismatch: {:?} vs {:?}",
+                    self.values[idx].shape(),
+                    value.shape()
+                ));
+            }
+            self.values[idx] = value.clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod persist_tests {
+    use super::*;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = ParamStore::new();
+        let w = a.register("w", Matrix::from_vec(1, 2, vec![1.5, -2.5]));
+        let b = a.register("b", Matrix::from_vec(1, 1, vec![0.25]));
+        let exported = a.export();
+
+        let mut fresh = ParamStore::new();
+        let w2 = fresh.register("w", Matrix::zeros(1, 2));
+        let b2 = fresh.register("b", Matrix::zeros(1, 1));
+        fresh.import(&exported).unwrap();
+        assert_eq!(fresh.value(w2), a.value(w));
+        assert_eq!(fresh.value(b2), a.value(b));
+    }
+
+    #[test]
+    fn import_rejects_unknown_name() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::zeros(1, 1));
+        let err = store.import(&[("nope".to_string(), Matrix::zeros(1, 1))]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn import_rejects_shape_mismatch() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::zeros(1, 2));
+        let err = store.import(&[("w".to_string(), Matrix::zeros(2, 2))]);
+        assert!(err.unwrap_err().contains("shape mismatch"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Training loop: minibatch Adam with learning-rate decay on plateau and
+//! early stopping (paper §IV-C and Table IV), plus the throughput
+//! measurements behind Fig 10.
+//!
+//! The loop is model-agnostic: the caller supplies a closure that, given a
+//! batch of instance indices, builds the forward/backward pass and leaves
+//! gradients in the [`ParamStore`]. Shard-level parallelism (splitting a
+//! batch across crossbeam threads, each with its own tape) lives in the
+//! model's closure; [`shard_indices`] is the helper both models use.
+
+use crate::adam::Adam;
+use crate::data::BatchIter;
+use crate::params::ParamStore;
+use std::time::Instant;
+
+/// Hyper-parameters of a training run (defaults follow Table IV).
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub max_epochs: usize,
+    pub batch_size: usize,
+    /// Initial learning rate (Table IV: 1e-3).
+    pub lr: f32,
+    /// LR decay factor on validation plateau (Table IV: 0.5).
+    pub lr_decay: f32,
+    /// Epochs without validation improvement before decaying the LR
+    /// (paper: 10).
+    pub patience: usize,
+    /// Stop when the LR would fall below this.
+    pub min_lr: f32,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_epochs: 100,
+            batch_size: 32,
+            lr: 1e-3,
+            lr_decay: 0.5,
+            patience: 10,
+            min_lr: 1e-5,
+            seed: 0,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// `(train_loss, val_loss)` per epoch.
+    pub epoch_losses: Vec<(f32, f32)>,
+    /// Epoch index of the best validation loss (weights restored to it).
+    pub best_epoch: usize,
+    pub best_val_loss: f32,
+    /// Mean training throughput, microseconds per sample (Fig 10's metric).
+    pub us_per_sample: f64,
+    /// Total wall-clock training time, seconds.
+    pub wall_s: f64,
+    pub epochs_run: usize,
+}
+
+/// Run the training loop.
+///
+/// * `n_instances` — number of training instances the index batches draw from.
+/// * `batch_loss` — computes the loss of a batch, *accumulating gradients
+///   into the store*; returns the batch's mean loss.
+/// * `val_loss` — validation loss of the current weights (no gradients).
+pub fn train(
+    store: &mut ParamStore,
+    n_instances: usize,
+    cfg: &TrainConfig,
+    mut batch_loss: impl FnMut(&mut ParamStore, &[usize]) -> f32,
+    mut val_loss: impl FnMut(&ParamStore) -> f32,
+) -> TrainReport {
+    assert!(n_instances > 0, "no training instances");
+    let mut adam = Adam::new(store, cfg.lr);
+    let mut batches = BatchIter::new(n_instances, cfg.batch_size, cfg.seed);
+
+    let mut best_val = f32::INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_weights = store.snapshot();
+    let mut since_improve = 0usize;
+    let mut epoch_losses = Vec::new();
+
+    let started = Instant::now();
+    let mut samples_seen = 0usize;
+
+    for epoch in 0..cfg.max_epochs {
+        let mut epoch_sum = 0.0f64;
+        let mut epoch_batches = 0usize;
+        for batch in batches.epoch() {
+            store.zero_grads();
+            let loss = batch_loss(store, &batch);
+            adam.step(store);
+            samples_seen += batch.len();
+            epoch_sum += loss as f64;
+            epoch_batches += 1;
+        }
+        let train_loss = (epoch_sum / epoch_batches.max(1) as f64) as f32;
+        let v = val_loss(store);
+        epoch_losses.push((train_loss, v));
+
+        if v < best_val - 1e-6 {
+            best_val = v;
+            best_epoch = epoch;
+            best_weights = store.snapshot();
+            since_improve = 0;
+        } else {
+            since_improve += 1;
+            if since_improve >= cfg.patience {
+                // Paper: decay LR when validation stalls; stop at min LR.
+                adam.decay_lr(cfg.lr_decay);
+                since_improve = 0;
+                if adam.lr < cfg.min_lr {
+                    break;
+                }
+            }
+        }
+    }
+
+    store.restore(&best_weights);
+    let wall_s = started.elapsed().as_secs_f64();
+    TrainReport {
+        epochs_run: epoch_losses.len(),
+        epoch_losses,
+        best_epoch,
+        best_val_loss: best_val,
+        us_per_sample: if samples_seen == 0 {
+            0.0
+        } else {
+            wall_s * 1e6 / samples_seen as f64
+        },
+        wall_s,
+    }
+}
+
+/// Split a batch of indices into up to `shards` roughly equal pieces for
+/// shard-parallel gradient computation. Shards are floored at
+/// [`MIN_SHARD_ROWS`] rows: below that, per-thread tape and spawn overhead
+/// outweighs the parallelism (the same small-kernel effect the paper's
+/// Fig 10 shows for accelerator offload).
+pub fn shard_indices(batch: &[usize], shards: usize) -> Vec<&[usize]> {
+    let max_by_size = batch.len().div_ceil(MIN_SHARD_ROWS).max(1);
+    let shards = shards.max(1).min(batch.len().max(1)).min(max_by_size);
+    let per = batch.len().div_ceil(shards);
+    batch.chunks(per.max(1)).collect()
+}
+
+/// Minimum rows per training shard before splitting further stops paying.
+pub const MIN_SHARD_ROWS: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Binding;
+    use rpf_autodiff::Tape;
+    use rpf_tensor::Matrix;
+
+    #[test]
+    fn trains_linear_regression_to_convergence() {
+        // y = 3x - 1 with noise-free data; loss should approach zero.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        let b = store.register("b", Matrix::zeros(1, 1));
+        let xs: Vec<f32> = (0..64).map(|i| i as f32 / 32.0 - 1.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+
+        let make_loss = |store: &mut ParamStore, batch: &[usize]| -> f32 {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, store);
+            let x = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| xs[i]).collect(),
+            ));
+            let t = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| ys[i]).collect(),
+            ));
+            let ones = tape.leaf(Matrix::ones(batch.len(), 1));
+            let pred = tape.add(tape.matmul(x, bind.var(w)), tape.matmul(ones, bind.var(b)));
+            let loss = tape.mean(tape.square(tape.sub(pred, t)));
+            let out = tape.scalar(loss);
+            let __g = bind.into_grads(loss);
+        store.apply_grads(__g);
+            out
+        };
+
+        let cfg = TrainConfig { max_epochs: 200, batch_size: 16, lr: 0.05, ..Default::default() };
+        let report = train(
+            &mut store,
+            64,
+            &cfg,
+            make_loss,
+            |store| {
+                // Validation = exact fit quality.
+                let wv = store.value(w).get(0, 0);
+                let bv = store.value(b).get(0, 0);
+                xs.iter()
+                    .zip(&ys)
+                    .map(|(x, y)| (wv * x + bv - y) * (wv * x + bv - y))
+                    .sum::<f32>()
+                    / xs.len() as f32
+            },
+        );
+        assert!(report.best_val_loss < 1e-3, "val loss {}", report.best_val_loss);
+        assert!((store.value(w).get(0, 0) - 3.0).abs() < 0.05);
+        assert!((store.value(b).get(0, 0) + 1.0).abs() < 0.05);
+        assert!(report.us_per_sample > 0.0);
+        assert!(report.epochs_run <= 200);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_weights() {
+        // A validation function that worsens after epoch 3 regardless of the
+        // weights: training must restore the epoch-3 snapshot.
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        let mut epoch_counter = 0usize;
+
+        let cfg = TrainConfig {
+            max_epochs: 40,
+            batch_size: 4,
+            lr: 0.1,
+            patience: 3,
+            min_lr: 0.05, // one decay ends training
+            ..Default::default()
+        };
+        let report = train(
+            &mut store,
+            8,
+            &cfg,
+            |store, batch| {
+                // Gradient of +1 per element: weights decrease each step.
+                store.accumulate_grad(w, &Matrix::ones(1, 1));
+                batch.len() as f32
+            },
+            |_| {
+                epoch_counter += 1;
+                if epoch_counter <= 3 {
+                    10.0 - epoch_counter as f32 // improving
+                } else {
+                    100.0 // collapse
+                }
+            },
+        );
+        assert_eq!(report.best_epoch, 2);
+        assert!(report.epochs_run < 40, "should stop early, ran {}", report.epochs_run);
+        // Weights restored to the epoch-3 snapshot, not the last one.
+        let restored = store.value(w).get(0, 0);
+        let final_would_be = -0.1 * 2.0 * report.epochs_run as f32;
+        assert!(restored > final_would_be + 0.05, "restored {restored}");
+    }
+
+    #[test]
+    fn shard_indices_partition() {
+        let batch: Vec<usize> = (0..100).collect();
+        let shards = shard_indices(&batch, 3);
+        assert_eq!(shards.len(), 3);
+        let flat: Vec<usize> = shards.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, batch);
+        // More shards than items degrades gracefully.
+        let shards = shard_indices(&batch[..2], 8);
+        assert!(shards.len() <= 2);
+    }
+
+    #[test]
+    fn shards_respect_minimum_rows() {
+        let batch: Vec<usize> = (0..32).collect();
+        let shards = shard_indices(&batch, 16);
+        assert!(shards.len() <= 2, "32 rows should make at most 2 shards");
+        for s in &shards {
+            assert!(s.len() >= MIN_SHARD_ROWS);
+        }
+        // Large batches still fan out fully.
+        let big: Vec<usize> = (0..3200).collect();
+        assert_eq!(shard_indices(&big, 16).len(), 16);
+    }
+}

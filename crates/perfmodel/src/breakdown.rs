@@ -1,0 +1,126 @@
+//! Fig 12: operation breakdown of the CPU+VE hybrid system at batch 32 vs
+//! 3200 — which kernels run where, and how much time data movement costs.
+
+use crate::devices::Device;
+use crate::workload::LstmWorkload;
+use serde::Serialize;
+
+/// One stacked-bar slice of Fig 12.
+#[derive(Clone, Debug, Serialize)]
+pub struct BreakdownSlice {
+    pub label: &'static str,
+    /// Fraction of total step walltime.
+    pub fraction: f64,
+}
+
+/// Offload decision of the hybrid runtime: dense kernels (MatMul, Mul) go
+/// to the VE when the per-launch work is large enough to amortise the
+/// offload overhead; everything else stays on the CPU.
+pub fn hybrid_breakdown(batch: usize) -> Vec<BreakdownSlice> {
+    let w = LstmWorkload::default().with_batch(batch);
+    let counts = w.step_counts();
+    let cpu = Device::cpu();
+    let ve = Device::vector_engine();
+
+    // Work per launch decides the offload (the runtime's heuristic).
+    let offload = |k: &crate::workload::KernelCounts| -> bool {
+        if k.launches == 0 {
+            return false;
+        }
+        let flops_per_launch = k.flops as f64 / k.launches as f64;
+        let ve_time = flops_per_launch / ve.peak_flops + ve.launch_overhead;
+        let cpu_time = flops_per_launch / cpu.peak_flops;
+        ve_time < cpu_time
+    };
+
+    let mm_off = offload(&counts.matmul);
+    let mul_off = offload(&counts.mul);
+
+    let mut cpu_mm_mul = 0.0;
+    let mut cpu_scalar = 0.0;
+    let mut ve_mm_mul = 0.0;
+    let mut ve_scalar = 0.0;
+    let mut movement = 0.0;
+
+    if mm_off {
+        ve_mm_mul += ve.kernel_time(&counts.matmul, true);
+        movement += counts.matmul.bytes as f64 * ve.transfer_fraction / ve.transfer_bw;
+    } else {
+        cpu_mm_mul += cpu.kernel_time(&counts.matmul, true);
+    }
+    if mul_off {
+        ve_mm_mul += ve.kernel_time(&counts.mul, false);
+        movement += counts.mul.bytes as f64 * ve.transfer_fraction / ve.transfer_bw;
+    } else {
+        cpu_mm_mul += cpu.kernel_time(&counts.mul, false);
+    }
+    cpu_scalar += cpu.kernel_time(&counts.add, false)
+        + cpu.kernel_time(&counts.sigmoid, false)
+        + cpu.kernel_time(&counts.tanh, false);
+    // Other ops (copies, losses, optimizer) — a fixed share of scalar work.
+    let other = 0.25 * (cpu_scalar + cpu_mm_mul + ve_mm_mul);
+    let _ = &mut ve_scalar;
+
+    let total = cpu_mm_mul + cpu_scalar + ve_mm_mul + ve_scalar + movement + other;
+    vec![
+        BreakdownSlice { label: "MatMul+Mul (CPU)", fraction: cpu_mm_mul / total },
+        BreakdownSlice { label: "Add+Sigmoid+Tanh (CPU)", fraction: cpu_scalar / total },
+        BreakdownSlice { label: "Other ops (CPU)", fraction: other / total },
+        BreakdownSlice { label: "Data Movement", fraction: movement / total },
+        BreakdownSlice { label: "MatMul+Mul (VE)", fraction: ve_mm_mul / total },
+        BreakdownSlice { label: "Add+Sigmoid+Tanh (VE)", fraction: ve_scalar / total },
+    ]
+}
+
+/// Fraction of the workload (by time) that ran on the VE — the §IV-J
+/// "about only 7% ... at batch 32, about 35% at 3200" statistic.
+pub fn offloaded_fraction(batch: usize) -> f64 {
+    let slices = hybrid_breakdown(batch);
+    slices
+        .iter()
+        .filter(|s| s.label.contains("(VE)"))
+        .map(|s| s.fraction)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for batch in [32usize, 3200] {
+            let total: f64 = hybrid_breakdown(batch).iter().map(|s| s.fraction).sum();
+            assert!((total - 1.0).abs() < 1e-9, "batch {batch}: {total}");
+        }
+    }
+
+    #[test]
+    fn fig12_offload_grows_with_batch() {
+        // §IV-J: batch 32 offloads ~7% of the work; batch 3200 ~35%.
+        let small = offloaded_fraction(32);
+        let large = offloaded_fraction(3200);
+        assert!(
+            small < 0.2,
+            "little work should offload at batch 32, got {small}"
+        );
+        assert!(
+            large > small + 0.1,
+            "batch 3200 should offload much more: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn data_movement_present_only_when_offloading() {
+        let slices = hybrid_breakdown(3200);
+        let movement = slices.iter().find(|s| s.label == "Data Movement").unwrap();
+        let ve: f64 = slices
+            .iter()
+            .filter(|s| s.label.contains("(VE)"))
+            .map(|s| s.fraction)
+            .sum();
+        if ve > 0.0 {
+            assert!(movement.fraction > 0.0);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Device models calibrated to the published specs of Table VIII hardware.
+
+use crate::workload::{KernelCounts, LstmWorkload, WorkloadCounts};
+use serde::Serialize;
+
+/// Which execution mode a device estimate describes (Fig 10's four series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum DeviceKind {
+    /// Host CPU, operation-by-operation.
+    Cpu,
+    /// GPU, operation-by-operation (like the CPU/VE implementations).
+    Gpu,
+    /// GPU with cuDNN-style fused LSTM kernels.
+    GpuCudnn,
+    /// NEC SX-Aurora Vector Engine, operation-by-operation, hybrid with the
+    /// host CPU.
+    VectorEngine,
+}
+
+/// An analytic device: roofline peaks plus offload costs.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Device {
+    pub kind: DeviceKind,
+    pub name: &'static str,
+    /// Peak arithmetic throughput for dense kernels, FLOP/s (f32).
+    pub peak_flops: f64,
+    /// Peak for low-intensity scalar/pointwise kernels, FLOP/s.
+    pub scalar_flops: f64,
+    /// Sustained memory bandwidth, byte/s.
+    pub mem_bw: f64,
+    /// Fixed cost per kernel launch (driver/offload latency), seconds.
+    pub launch_overhead: f64,
+    /// Host<->device transfer bandwidth, byte/s (0 = no transfer needed).
+    pub transfer_bw: f64,
+    /// Fraction of bytes that must cross the host link in hybrid mode
+    /// (weights and recurrent state stay device-resident, so this is small).
+    pub transfer_fraction: f64,
+    /// Bandwidth seen by cache-resident pointwise kernels, byte/s.
+    pub cache_bw: f64,
+    /// Per-launch work (FLOPs) at which a kernel reaches half its peak —
+    /// models vectorization ramp-up / occupancy.
+    pub startup_flops: f64,
+}
+
+impl Device {
+    /// Table VIII: Intel Xeon E5-2670 v3 (12 cores, AVX2).
+    pub fn cpu() -> Device {
+        Device {
+            kind: DeviceKind::Cpu,
+            name: "CPU (Xeon E5-2670 v3)",
+            peak_flops: 880e9, // 12c x 2.3GHz x 32 f32 FLOP/cycle
+            scalar_flops: 55e9,
+            mem_bw: 68e9,
+            launch_overhead: 0.15e-6, // a function call, not an offload
+            transfer_bw: 0.0,
+            transfer_fraction: 0.0,
+            cache_bw: 220e9, // L3-resident pointwise traffic
+            startup_flops: 3.0e5,
+        }
+    }
+
+    /// Table VIII: NVIDIA V100-SXM2-16GB.
+    pub fn gpu() -> Device {
+        Device {
+            kind: DeviceKind::Gpu,
+            name: "GPU (V100)",
+            peak_flops: 15.7e12,
+            scalar_flops: 1.2e12,
+            mem_bw: 900e9,
+            launch_overhead: 6e-6, // CUDA launch + driver
+            transfer_bw: 12e9,     // PCIe gen3 effective
+            transfer_fraction: 0.03,
+            cache_bw: 3000e9, // shared-memory/L2 resident pointwise traffic
+            startup_flops: 2.0e7, // needs large tiles for full occupancy
+        }
+    }
+
+    /// V100 with cuDNN fused kernels: same silicon, cheaper launches (ops
+    /// are streamed/combined) and fewer transfers.
+    pub fn gpu_cudnn() -> Device {
+        Device {
+            kind: DeviceKind::GpuCudnn,
+            name: "GPU cuDNN (V100)",
+            launch_overhead: 4e-6,
+            transfer_fraction: 0.02,
+            startup_flops: 8.0e6, // fused kernels reach occupancy sooner
+            ..Self::gpu()
+        }
+    }
+
+    /// Table VIII: NEC SX-Aurora Vector Engine.
+    pub fn vector_engine() -> Device {
+        Device {
+            kind: DeviceKind::VectorEngine,
+            name: "VE (SX-Aurora)",
+            peak_flops: 4.9e12, // f32
+            scalar_flops: 0.6e12,
+            mem_bw: 1200e9,
+            launch_overhead: 7e-6, // VEO call overhead
+            transfer_bw: 10e9,
+            transfer_fraction: 0.015,
+            cache_bw: 2400e9, // vector-register / LLC resident traffic
+            startup_flops: 6.0e6, // long vectors needed to fill the pipes
+        }
+    }
+
+    /// All four Fig 10 series.
+    pub fn all() -> Vec<Device> {
+        vec![Self::cpu(), Self::gpu(), Self::gpu_cudnn(), Self::vector_engine()]
+    }
+
+    /// Time for one kernel class on this device: roofline time + launch
+    /// overhead + host transfer share.
+    pub fn kernel_time(&self, k: &KernelCounts, dense: bool) -> f64 {
+        if k.launches == 0 {
+            return 0.0;
+        }
+        let peak = if dense { self.peak_flops } else { self.scalar_flops };
+        // Vectorization / occupancy ramp: tiny launches run far below peak.
+        let per_launch = k.flops as f64 / k.launches as f64;
+        let eff = per_launch / (per_launch + self.startup_flops);
+        let compute = k.flops as f64 / (peak * eff);
+        // GEMMs stream weights from DRAM; pointwise kernels chew on
+        // just-produced cache-resident data.
+        let bw = if dense { self.mem_bw } else { self.cache_bw };
+        let memory = k.bytes as f64 / bw;
+        let transfer = if self.transfer_bw > 0.0 {
+            k.bytes as f64 * self.transfer_fraction / self.transfer_bw
+        } else {
+            0.0
+        };
+        compute.max(memory) + transfer + k.launches as f64 * self.launch_overhead
+    }
+
+    /// Total time of one training step of the workload on this device.
+    pub fn step_time(&self, w: &LstmWorkload) -> f64 {
+        let counts: WorkloadCounts = match self.kind {
+            DeviceKind::GpuCudnn => w.step_counts_fused(),
+            _ => w.step_counts(),
+        };
+        self.kernel_time(&counts.matmul, true)
+            + self.kernel_time(&counts.mul, false)
+            + self.kernel_time(&counts.add, false)
+            + self.kernel_time(&counts.sigmoid, false)
+            + self.kernel_time(&counts.tanh, false)
+    }
+
+    /// Fig 10's metric: microseconds per training sample.
+    pub fn us_per_sample(&self, w: &LstmWorkload) -> f64 {
+        self.step_time(w) * 1e6 / w.batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(batch: usize) -> LstmWorkload {
+        LstmWorkload::default().with_batch(batch)
+    }
+
+    #[test]
+    fn fig10_all_devices_speed_up_with_batch() {
+        for d in Device::all() {
+            let small = d.us_per_sample(&wl(32));
+            let large = d.us_per_sample(&wl(3200));
+            assert!(
+                large < small,
+                "{}: large batch must be cheaper per sample ({small} vs {large})",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_cpu_beats_accelerators_at_small_batch() {
+        // §IV-J: "GPU or VE is faster than CPU only when the performance
+        // gain from offload can offset the overhead."
+        let cpu = Device::cpu().us_per_sample(&wl(32));
+        let gpu = Device::gpu().us_per_sample(&wl(32));
+        let ve = Device::vector_engine().us_per_sample(&wl(32));
+        assert!(cpu < gpu, "CPU {cpu} should beat op-by-op GPU {gpu} at batch 32");
+        assert!(cpu < ve, "CPU {cpu} should beat VE {ve} at batch 32");
+    }
+
+    #[test]
+    fn fig10_ve_overtakes_cpu_at_large_batch() {
+        // "With increasing the batch size, VE starts to perform better than
+        // CPU."
+        let cpu = Device::cpu().us_per_sample(&wl(3200));
+        let ve = Device::vector_engine().us_per_sample(&wl(3200));
+        assert!(ve < cpu, "VE {ve} should beat CPU {cpu} at batch 3200");
+    }
+
+    #[test]
+    fn fig10_cudnn_is_always_best_on_gpu() {
+        // "CudnnRNN optimized approach always show the best performance."
+        for batch in [32usize, 64, 128, 256, 640, 1600, 3200] {
+            let fused = Device::gpu_cudnn().us_per_sample(&wl(batch));
+            let plain = Device::gpu().us_per_sample(&wl(batch));
+            assert!(fused < plain, "batch {batch}: cuDNN {fused} vs plain {plain}");
+        }
+    }
+
+    #[test]
+    fn fig10_large_batch_speedup_is_order_of_magnitude() {
+        // "large batch size=3200 is more than 10x faster" (per sample).
+        let d = Device::cpu();
+        let speedup = d.us_per_sample(&wl(32)) / d.us_per_sample(&wl(3200));
+        assert!(speedup > 1.5, "CPU speedup {speedup}");
+        let g = Device::gpu();
+        let gpu_speedup = g.us_per_sample(&wl(32)) / g.us_per_sample(&wl(3200));
+        assert!(gpu_speedup > 10.0, "GPU speedup {gpu_speedup} should be the largest");
+        assert!(gpu_speedup > speedup, "GPU gains most from batching");
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_work() {
+        let d = Device::cpu();
+        let small = KernelCounts { launches: 10, flops: 1_000_000, bytes: 100_000 };
+        let large = KernelCounts { launches: 10, flops: 100_000_000, bytes: 10_000_000 };
+        assert!(d.kernel_time(&large, true) > d.kernel_time(&small, true));
+        assert_eq!(d.kernel_time(&KernelCounts::default(), true), 0.0);
+    }
+}

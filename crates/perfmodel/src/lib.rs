@@ -1,0 +1,33 @@
+//! Analytic device performance models for the paper's systems study
+//! (§IV-J: Fig 10 training throughput, Fig 11 roofline, Fig 12 operator
+//! breakdown, Table VIII hardware).
+//!
+//! The paper measured an Intel Xeon CPU, an NVIDIA V100 (with and without
+//! cuDNN's fused LSTM kernels) and an NEC SX-Aurora Vector Engine. We have
+//! none of that hardware, so this crate substitutes a calibrated analytic
+//! model driven by the *exact operator counts* of the LSTM workload:
+//!
+//! * each kernel invocation costs `max(flops / peak, bytes / bandwidth)`
+//!   plus a per-launch overhead (the offload cost the paper identifies as
+//!   the reason accelerators lose at small batch sizes),
+//! * offloadable kernels (MatMul / Mul above a size threshold) move to the
+//!   accelerator in hybrid mode, paying PCIe-style transfer for their
+//!   operands — reproducing Fig 12's "only ~7% offloaded at batch 32 vs
+//!   ~35% at 3200",
+//! * cuDNN mode fuses pointwise kernels into the GEMMs and batches the
+//!   gate multiplications, cutting launches to "39% MatMul operations and
+//!   1% scalar" (§IV-J).
+//!
+//! The CPU numbers in the benchmark harness are *measured* from the real
+//! Rust implementation; the accelerator curves come from these models. The
+//! claims being reproduced are the crossover shapes, not absolute times.
+
+pub mod breakdown;
+pub mod devices;
+pub mod roofline;
+pub mod workload;
+
+pub use breakdown::{hybrid_breakdown, BreakdownSlice};
+pub use devices::{Device, DeviceKind};
+pub use roofline::{Roofline, RooflinePoint};
+pub use workload::{KernelCounts, LstmWorkload};

@@ -1,0 +1,141 @@
+//! The roofline chart of Fig 11: attainable GFLOP/s vs arithmetic
+//! intensity, with the five LSTM kernels plotted at batch 32 and 3200.
+
+use crate::devices::Device;
+use crate::workload::LstmWorkload;
+use serde::Serialize;
+
+/// One plotted kernel: its position on the roofline chart.
+#[derive(Clone, Debug, Serialize)]
+pub struct RooflinePoint {
+    pub kernel: &'static str,
+    pub batch: usize,
+    /// FLOP per byte.
+    pub arithmetic_intensity: f64,
+    /// Achieved GFLOP/s under the device model.
+    pub gflops: f64,
+}
+
+/// A CPU roofline: memory-level bandwidth ceilings and compute peaks.
+#[derive(Clone, Debug, Serialize)]
+pub struct Roofline {
+    /// `(label, bandwidth byte/s)` from DRAM up through the cache levels.
+    pub bandwidths: Vec<(&'static str, f64)>,
+    /// `(label, peak FLOP/s)`: scalar add peak and vector FMA peak.
+    pub peaks: Vec<(&'static str, f64)>,
+}
+
+impl Roofline {
+    /// The paper's CPU platform (Fig 11 ceilings).
+    pub fn cpu() -> Roofline {
+        Roofline {
+            bandwidths: vec![
+                ("DRAM", 68e9),
+                ("L3", 220e9),
+                ("L2", 750e9),
+            ],
+            peaks: vec![
+                ("Scalar Add Peak", 27.6e9),
+                ("DP Vector FMA Peak", 441.6e9),
+            ],
+        }
+    }
+
+    /// Attainable FLOP/s at a given arithmetic intensity under a bandwidth
+    /// ceiling and the top compute peak.
+    pub fn attainable(&self, ai: f64, bandwidth: f64) -> f64 {
+        let peak = self.peaks.iter().map(|(_, p)| *p).fold(0.0, f64::max);
+        (ai * bandwidth).min(peak)
+    }
+
+    /// Fig 11's points: each kernel of the workload at the given batch
+    /// size, with achieved throughput estimated as the DRAM-roofline value
+    /// degraded by launch overhead.
+    pub fn points(&self, device: &Device, batch: usize) -> Vec<RooflinePoint> {
+        let w = LstmWorkload::default().with_batch(batch);
+        let counts = w.step_counts();
+        counts
+            .iter()
+            .map(|(kernel, k)| {
+                let dense = kernel == "MatMul";
+                let t = device.kernel_time(&k, dense);
+                RooflinePoint {
+                    kernel,
+                    batch,
+                    arithmetic_intensity: k.arithmetic_intensity(),
+                    gflops: if t > 0.0 { k.flops as f64 / t / 1e9 } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceilings_are_ordered() {
+        let r = Roofline::cpu();
+        // Cache bandwidths increase toward the core.
+        let b: Vec<f64> = r.bandwidths.iter().map(|(_, v)| *v).collect();
+        assert!(b[0] < b[1] && b[1] < b[2]);
+        // Vector peak above scalar peak.
+        assert!(r.peaks[1].1 > r.peaks[0].1);
+    }
+
+    #[test]
+    fn attainable_is_roofline_shaped() {
+        let r = Roofline::cpu();
+        let dram = r.bandwidths[0].1;
+        // Memory bound at low AI: linear in AI.
+        let low = r.attainable(0.01, dram);
+        assert!((low - 0.01 * dram).abs() / low < 1e-9);
+        // Compute bound at high AI: flat at the peak.
+        let high = r.attainable(1e6, dram);
+        assert!((high - 441.6e9).abs() / high < 1e-9);
+    }
+
+    #[test]
+    fn fig11_points_move_up_with_batch_size() {
+        // "The position changes from the red dots to green dots, mostly
+        // higher GigaOPS values and some with higher AIs, are the reasons
+        // why the larger batch size had better performance."
+        let r = Roofline::cpu();
+        let cpu = Device::cpu();
+        let small = r.points(&cpu, 32);
+        let large = r.points(&cpu, 3200);
+        for (s, l) in small.iter().zip(&large) {
+            assert_eq!(s.kernel, l.kernel);
+            assert!(
+                l.gflops >= s.gflops * 0.99,
+                "{}: {} -> {} GFLOPS should not fall",
+                s.kernel,
+                s.gflops,
+                l.gflops
+            );
+        }
+        // MatMul specifically gains arithmetic intensity.
+        let mm_s = &small[0];
+        let mm_l = &large[0];
+        assert!(mm_l.arithmetic_intensity > mm_s.arithmetic_intensity);
+        assert!(mm_l.gflops > mm_s.gflops * 2.0, "GEMM should gain a lot");
+    }
+
+    #[test]
+    fn pointwise_kernels_stay_memory_bound() {
+        let r = Roofline::cpu();
+        let cpu = Device::cpu();
+        for p in r.points(&cpu, 3200) {
+            if p.kernel != "MatMul" {
+                // Low AI: achieved flops stay far below the vector peak.
+                assert!(
+                    p.gflops < 441.6,
+                    "{} at {} GFLOPS should be memory bound",
+                    p.kernel,
+                    p.gflops
+                );
+            }
+        }
+    }
+}

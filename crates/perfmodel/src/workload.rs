@@ -1,0 +1,220 @@
+//! Analytic operator counts of one LSTM training step — the workload model
+//! that drives every device estimate.
+
+use serde::Serialize;
+
+/// FLOPs, bytes and launch counts of one kernel class for one training
+/// step (forward + backward).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct KernelCounts {
+    pub launches: u64,
+    pub flops: u64,
+    pub bytes: u64,
+}
+
+impl KernelCounts {
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// The RankNet LSTM training workload (paper Table IV: 2 layers, 40 units,
+/// encoder 60 + decoder 2).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct LstmWorkload {
+    pub batch: usize,
+    pub input_dim: usize,
+    pub hidden: usize,
+    pub layers: usize,
+    pub seq_len: usize,
+}
+
+impl Default for LstmWorkload {
+    fn default() -> Self {
+        LstmWorkload { batch: 32, input_dim: 16, hidden: 40, layers: 2, seq_len: 62 }
+    }
+}
+
+impl LstmWorkload {
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Per-kernel counts for one full training step (forward + backward ≈
+    /// 3× the forward arithmetic, the standard estimate).
+    pub fn step_counts(&self) -> WorkloadCounts {
+        let b = self.batch as u64;
+        let h = self.hidden as u64;
+        let f = 4u64; // f32 bytes
+        let mut mm = KernelCounts::default();
+        let mut mul = KernelCounts::default();
+        let mut add = KernelCounts::default();
+        let mut sig = KernelCounts::default();
+        let mut tanh = KernelCounts::default();
+
+        for layer in 0..self.layers {
+            let in_dim = if layer == 0 { self.input_dim as u64 } else { h };
+            for _step in 0..self.seq_len {
+                // x W_ih and h W_hh.
+                mm.launches += 2;
+                mm.flops += 2 * b * in_dim * 4 * h + 2 * b * h * 4 * h;
+                mm.bytes += f * (b * in_dim + in_dim * 4 * h + b * 4 * h)
+                    + f * (b * h + h * 4 * h + b * 4 * h);
+                // gates add (two adds: gx+gh, +bias), cell adds.
+                add.launches += 3;
+                add.bytes += 3 * f * 3 * b * 4 * h / 4 + f * 3 * b * h;
+                add.flops += 2 * b * 4 * h + b * h;
+                // elementwise products: f⊙c, i⊙g, o⊙tanh(c).
+                mul.launches += 3;
+                mul.flops += 3 * b * h;
+                mul.bytes += 3 * f * 3 * b * h;
+                // activations: 3 sigmoids (i, f, o), 2 tanh (g, c).
+                sig.launches += 3;
+                sig.flops += 3 * 10 * b * h;
+                sig.bytes += 3 * f * 2 * b * h;
+                tanh.launches += 2;
+                tanh.flops += 2 * 10 * b * h;
+                tanh.bytes += 2 * f * 2 * b * h;
+            }
+        }
+
+        // Backward ≈ 2× forward work over the same kernel mix.
+        for k in [&mut mm, &mut mul, &mut add, &mut sig, &mut tanh] {
+            k.launches *= 3;
+            k.flops *= 3;
+            k.bytes *= 3;
+        }
+
+        WorkloadCounts { matmul: mm, mul, add, sigmoid: sig, tanh }
+    }
+
+    /// cuDNN-style fusion (§IV-J): GEMMs are combined/streamed (fewer,
+    /// larger launches) and pointwise ops fuse into them — "only 39% MatMul
+    /// operations and 1% scalar left".
+    pub fn step_counts_fused(&self) -> WorkloadCounts {
+        let base = self.step_counts();
+        let mut out = WorkloadCounts::default();
+        // Same arithmetic, dramatically fewer launches; pointwise bytes
+        // vanish into the GEMM epilogues.
+        out.matmul = KernelCounts {
+            launches: (base.matmul.launches as f64 * 0.39) as u64,
+            flops: base.matmul.flops,
+            bytes: base.matmul.bytes,
+        };
+        let scalar_launches = ((base.mul.launches
+            + base.add.launches
+            + base.sigmoid.launches
+            + base.tanh.launches) as f64
+            * 0.01) as u64;
+        out.add = KernelCounts {
+            launches: scalar_launches.max(1),
+            flops: base.mul.flops + base.add.flops + base.sigmoid.flops + base.tanh.flops,
+            // Fused pointwise work reads/writes registers, not DRAM.
+            bytes: (base.mul.bytes + base.add.bytes) / 8,
+        };
+        out
+    }
+}
+
+/// All five kernel classes of §IV-J.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct WorkloadCounts {
+    pub matmul: KernelCounts,
+    pub mul: KernelCounts,
+    pub add: KernelCounts,
+    pub sigmoid: KernelCounts,
+    pub tanh: KernelCounts,
+}
+
+impl WorkloadCounts {
+    pub fn total_flops(&self) -> u64 {
+        self.matmul.flops + self.mul.flops + self.add.flops + self.sigmoid.flops + self.tanh.flops
+    }
+
+    pub fn total_launches(&self) -> u64 {
+        self.matmul.launches
+            + self.mul.launches
+            + self.add.launches
+            + self.sigmoid.launches
+            + self.tanh.launches
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, KernelCounts)> {
+        [
+            ("MatMul", self.matmul),
+            ("Mul", self.mul),
+            ("Add", self.add),
+            ("Sigmoid", self.sigmoid),
+            ("Tanh", self.tanh),
+        ]
+        .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_dominates_flops() {
+        // §IV-J: "MatMul alone account for about half" of walltime; in
+        // FLOPs it dominates even more.
+        let w = LstmWorkload::default();
+        let c = w.step_counts();
+        assert!(c.matmul.flops > c.total_flops() / 2);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_batch() {
+        let small = LstmWorkload::default().with_batch(32).step_counts();
+        let large = LstmWorkload::default().with_batch(3200).step_counts();
+        let ratio = large.total_flops() as f64 / small.total_flops() as f64;
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+        // Launch count is batch-independent: same number of kernels, each
+        // bigger — the core reason large batches amortise offload overhead.
+        assert_eq!(small.total_launches(), large.total_launches());
+    }
+
+    #[test]
+    fn matmul_intensity_grows_with_batch() {
+        // Fig 11: at batch 3200 the GEMM moves right (higher AI).
+        let small = LstmWorkload::default().with_batch(32).step_counts();
+        let large = LstmWorkload::default().with_batch(3200).step_counts();
+        assert!(
+            large.matmul.arithmetic_intensity() > small.matmul.arithmetic_intensity()
+        );
+        // Pointwise kernels stay at O(1) intensity regardless of batch.
+        let ai_small = small.mul.arithmetic_intensity();
+        let ai_large = large.mul.arithmetic_intensity();
+        assert!((ai_small - ai_large).abs() < 0.1);
+    }
+
+    #[test]
+    fn fusion_slashes_launches_but_keeps_flops() {
+        let w = LstmWorkload::default();
+        let base = w.step_counts();
+        let fused = w.step_counts_fused();
+        assert!(fused.total_launches() < base.total_launches() / 2);
+        // Arithmetic is conserved (within rounding).
+        let ratio = fused.total_flops() as f64 / base.total_flops() as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "flops ratio {ratio}");
+    }
+
+    #[test]
+    fn scalar_kernels_nearly_vanish_under_fusion() {
+        // §IV-J: "only 39% MatMul operations and 1% scalar ... left".
+        let w = LstmWorkload::default().with_batch(32);
+        let base = w.step_counts();
+        let fused = w.step_counts_fused();
+        let frac_mm = fused.matmul.launches as f64 / base.matmul.launches as f64;
+        assert!((frac_mm - 0.39).abs() < 0.02, "matmul launch fraction {frac_mm}");
+        let base_scalar = base.mul.launches + base.add.launches + base.sigmoid.launches + base.tanh.launches;
+        let fused_scalar = fused.add.launches;
+        assert!(fused_scalar as f64 / base_scalar as f64 <= 0.011);
+    }
+}

@@ -1,0 +1,70 @@
+//! `gen-dataset` — export the simulated 25-race IndyCar dataset as JSONL,
+//! one record per line in the Fig 1a schema, for use outside this
+//! workspace (plotting, other toolchains, regression baselines).
+//!
+//! ```text
+//! cargo run --release -p rpf-racesim --bin gen-dataset -- <out-dir> [seed]
+//! ```
+//!
+//! Writes one `<Event>-<year>.jsonl` per race plus a `manifest.json` with
+//! per-race metadata (config, split, record count, winner).
+
+use rpf_racesim::{dataset::split_of, Dataset};
+use serde::Serialize;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct ManifestEntry {
+    race: String,
+    split: String,
+    records: usize,
+    winner_car: u16,
+    caution_laps: usize,
+    participants: u16,
+    total_laps: u16,
+}
+
+fn main() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let out_dir = PathBuf::from(args.next().ok_or("usage: gen-dataset <out-dir> [seed]")?);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().map_err(|e| format!("bad seed: {e}")))
+        .transpose()?
+        .unwrap_or(0x1AD5_2021);
+
+    fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let dataset = Dataset::generate(seed);
+    let mut manifest = Vec::new();
+
+    for key in dataset.keys() {
+        let race = dataset.get(key).unwrap();
+        let path = out_dir.join(format!("{}.jsonl", key.label()));
+        let mut file = fs::File::create(&path).map_err(|e| e.to_string())?;
+        for rec in &race.records {
+            let line = serde_json::to_string(rec).map_err(|e| e.to_string())?;
+            writeln!(file, "{line}").map_err(|e| e.to_string())?;
+        }
+        manifest.push(ManifestEntry {
+            race: key.label(),
+            split: format!("{:?}", split_of(key)),
+            records: race.records.len(),
+            winner_car: race.winner(),
+            caution_laps: race.caution_lap_count(),
+            participants: race.config.participants,
+            total_laps: race.config.total_laps,
+        });
+        eprintln!("wrote {}", path.display());
+    }
+
+    let manifest_path = out_dir.join("manifest.json");
+    fs::write(
+        &manifest_path,
+        serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!("wrote {} ({} races)", manifest_path.display(), manifest.len());
+    Ok(())
+}

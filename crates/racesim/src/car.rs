@@ -1,0 +1,98 @@
+//! Car / driver profiles.
+//!
+//! A profile captures the per-season identity of a car: how fast it is
+//! relative to the field, how consistent, and how aggressive its pit
+//! strategy is. Skills are drawn from a *year-seeded* RNG so the same car id
+//! has the same underlying performance across all events of a season —
+//! which is what makes the paper's CarId embedding informative across races
+//! of the same year (§III-C: "CarId represents the skill level of the
+//! driver and performance of the car").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-season profile of one car.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CarProfile {
+    /// Car number (1-based, stable within a season).
+    pub car_id: u16,
+    /// Lap-time multiplier offset: negative is faster than the field.
+    /// Applied as `base_lap * (1 + skill)`.
+    pub skill: f32,
+    /// Multiplier on the event's per-lap noise (driver consistency).
+    pub consistency: f32,
+    /// Fraction of the planned stint at which the team becomes willing to
+    /// pit opportunistically under caution (0.5 = very aggressive).
+    pub caution_pit_eagerness: f32,
+}
+
+/// Deterministically generate the season's field.
+///
+/// `skill_spread` is the event's `skill_spread_frac`; profiles for the same
+/// `(year, car_id)` are identical across events up to that scale factor.
+pub fn season_field(year: u16, n_cars: u16, skill_spread: f32) -> Vec<CarProfile> {
+    let mut rng = StdRng::seed_from_u64(0xCA5_0000 + year as u64);
+    (1..=n_cars)
+        .map(|car_id| {
+            // Approximate standard normal from the sum of uniforms.
+            let z: f32 = (0..12).map(|_| rng.gen::<f32>()).sum::<f32>() - 6.0;
+            CarProfile {
+                car_id,
+                skill: z * skill_spread,
+                consistency: rng.gen_range(0.7..1.3),
+                caution_pit_eagerness: rng.gen_range(0.3..0.55),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_is_deterministic_per_year() {
+        let a = season_field(2018, 33, 0.004);
+        let b = season_field(2018, 33, 0.004);
+        assert_eq!(a.len(), 33);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.skill, y.skill);
+            assert_eq!(x.car_id, y.car_id);
+        }
+    }
+
+    #[test]
+    fn different_years_differ() {
+        let a = season_field(2018, 10, 0.004);
+        let b = season_field(2019, 10, 0.004);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.skill != y.skill));
+    }
+
+    #[test]
+    fn same_year_same_car_scales_across_events() {
+        // Same (year, car) drawn with different spreads keeps its z-score.
+        let a = season_field(2017, 20, 0.004);
+        let b = season_field(2017, 20, 0.008);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((y.skill - 2.0 * x.skill).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn skills_are_reasonably_spread() {
+        let field = season_field(2016, 33, 0.004);
+        let mean: f32 = field.iter().map(|c| c.skill).sum::<f32>() / 33.0;
+        assert!(mean.abs() < 0.003, "field mean skill should be near zero, got {mean}");
+        let spread = field.iter().map(|c| c.skill).fold(f32::MIN, f32::max)
+            - field.iter().map(|c| c.skill).fold(f32::MAX, f32::min);
+        assert!(spread > 0.004, "field should have meaningful skill spread");
+    }
+
+    #[test]
+    fn car_ids_are_one_based_and_sequential() {
+        let field = season_field(2015, 5, 0.004);
+        let ids: Vec<u16> = field.iter().map(|c| c.car_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,191 @@
+//! The full 25-race dataset of Table II with its train/validation/test
+//! splits.
+
+use crate::sim::{simulate_race, RaceResult};
+use crate::track::{Event, EventConfig};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Identifies one race: `(event, year)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct RaceKey {
+    pub event: Event,
+    pub year: u16,
+}
+
+impl RaceKey {
+    pub fn new(event: Event, year: u16) -> Self {
+        RaceKey { event, year }
+    }
+
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.event.name(), self.year)
+    }
+}
+
+/// Which split a race belongs to, per Table II's "Usage" column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Split {
+    Training,
+    Validation,
+    Test,
+}
+
+/// Table II's usage assignment.
+///
+/// Indy500 2013–2017 train / 2018 validation / 2019 test; the other events
+/// put their final season(s) in test, the rest in training (Pocono has only
+/// five seasons so four train).
+pub fn split_of(key: RaceKey) -> Split {
+    match (key.event, key.year) {
+        (Event::Indy500, 2018) => Split::Validation,
+        (Event::Indy500, 2019) => Split::Test,
+        (Event::Indy500, _) => Split::Training,
+        (Event::Iowa, 2019) => Split::Test,
+        (Event::Iowa, _) => Split::Training,
+        (Event::Pocono, 2018) => Split::Test,
+        (Event::Pocono, _) => Split::Training,
+        (Event::Texas, y) if y >= 2018 => Split::Test,
+        (Event::Texas, _) => Split::Training,
+    }
+}
+
+/// The simulated 25-race dataset.
+pub struct Dataset {
+    races: BTreeMap<RaceKey, RaceResult>,
+}
+
+impl Dataset {
+    /// Generate every race of Table II deterministically from `seed`.
+    pub fn generate(seed: u64) -> Dataset {
+        let mut races = BTreeMap::new();
+        for &event in &Event::ALL {
+            for year in EventConfig::years(event) {
+                let key = RaceKey::new(event, year);
+                let cfg = EventConfig::for_race(event, year);
+                // Race seed mixes the dataset seed with the race identity so
+                // each race is independent but reproducible.
+                let race_seed = seed
+                    ^ (year as u64)
+                    ^ ((event as u64 + 1) << 32);
+                races.insert(key, simulate_race(&cfg, race_seed));
+            }
+        }
+        Dataset { races }
+    }
+
+    /// Generate only the races of one event (cheaper for tests).
+    pub fn generate_event(event: Event, seed: u64) -> Dataset {
+        let mut races = BTreeMap::new();
+        for year in EventConfig::years(event) {
+            let key = RaceKey::new(event, year);
+            let cfg = EventConfig::for_race(event, year);
+            let race_seed = seed ^ (year as u64) ^ ((event as u64 + 1) << 32);
+            races.insert(key, simulate_race(&cfg, race_seed));
+        }
+        Dataset { races }
+    }
+
+    pub fn get(&self, key: RaceKey) -> Option<&RaceResult> {
+        self.races.get(&key)
+    }
+
+    pub fn race(&self, event: Event, year: u16) -> &RaceResult {
+        self.races
+            .get(&RaceKey::new(event, year))
+            .unwrap_or_else(|| panic!("{} {year} not in dataset", event.name()))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = RaceKey> + '_ {
+        self.races.keys().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.races.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.races.is_empty()
+    }
+
+    /// Races of `event` belonging to `split`.
+    pub fn split(&self, event: Event, split: Split) -> Vec<(&RaceKey, &RaceResult)> {
+        self.races
+            .iter()
+            .filter(|(k, _)| k.event == event && split_of(**k) == split)
+            .collect()
+    }
+
+    /// All races in a split across every event.
+    pub fn split_all(&self, split: Split) -> Vec<(&RaceKey, &RaceResult)> {
+        self.races.iter().filter(|(k, _)| split_of(**k) == split).collect()
+    }
+
+    /// Total number of timing records across the dataset.
+    pub fn record_count(&self) -> usize {
+        self.races.values().map(|r| r.records.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_match_table2_usage() {
+        assert_eq!(split_of(RaceKey::new(Event::Indy500, 2015)), Split::Training);
+        assert_eq!(split_of(RaceKey::new(Event::Indy500, 2018)), Split::Validation);
+        assert_eq!(split_of(RaceKey::new(Event::Indy500, 2019)), Split::Test);
+        assert_eq!(split_of(RaceKey::new(Event::Iowa, 2019)), Split::Test);
+        assert_eq!(split_of(RaceKey::new(Event::Pocono, 2018)), Split::Test);
+        assert_eq!(split_of(RaceKey::new(Event::Texas, 2018)), Split::Test);
+        assert_eq!(split_of(RaceKey::new(Event::Texas, 2019)), Split::Test);
+        assert_eq!(split_of(RaceKey::new(Event::Texas, 2017)), Split::Training);
+    }
+
+    #[test]
+    fn event_dataset_has_expected_years() {
+        let d = Dataset::generate_event(Event::Pocono, 99);
+        assert_eq!(d.len(), 5);
+        assert!(d.get(RaceKey::new(Event::Pocono, 2014)).is_none());
+        assert!(d.get(RaceKey::new(Event::Pocono, 2018)).is_some());
+    }
+
+    #[test]
+    fn full_dataset_shape() {
+        let d = Dataset::generate(7);
+        assert_eq!(d.len(), 25);
+        // Table II: 5 Indy500 + ... training races; 1 validation; 5 test.
+        assert_eq!(d.split_all(Split::Validation).len(), 1);
+        assert_eq!(d.split_all(Split::Test).len(), 5);
+        assert_eq!(d.split_all(Split::Training).len(), 19);
+        // Record count is in the ballpark of Table II's totals (~120k
+        // across all events, minus retirements).
+        let n = d.record_count();
+        assert!(n > 90_000 && n < 160_000, "record count {n}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate_event(Event::Iowa, 5);
+        let b = Dataset::generate_event(Event::Iowa, 5);
+        for k in a.keys() {
+            assert_eq!(a.get(k).unwrap().records, b.get(k).unwrap().records);
+        }
+    }
+
+    #[test]
+    fn races_differ_across_years() {
+        let d = Dataset::generate_event(Event::Texas, 5);
+        let a = &d.race(Event::Texas, 2016).records;
+        let b = &d.race(Event::Texas, 2017).records;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in dataset")]
+    fn missing_race_panics_with_label() {
+        let d = Dataset::generate_event(Event::Iowa, 5);
+        let _ = d.race(Event::Indy500, 2018);
+    }
+}

@@ -1,0 +1,39 @@
+//! IndyCar-style stochastic race simulator.
+//!
+//! The paper trains on proprietary IndyCar timing logs (25 superspeedway
+//! races, 2013–2019) that are not redistributable. This crate is the
+//! substitute substrate: a lap-by-lap simulator whose *statistics* are
+//! calibrated to everything the paper publishes about the data —
+//!
+//! * record schema of Fig 1a (`Rank`, `CarId`, `Lap`, `LapTime`,
+//!   `TimeBehindLeader`, `LapStatus`, `TrackStatus`),
+//! * stint-length distributions of Fig 4 (normal pits bell-shaped around
+//!   ~32 laps and never beyond the ~50-lap fuel window; caution pits spread
+//!   widely; short-stint failures under 10%),
+//! * roughly balanced normal vs caution pit counts (777 vs 763 in the
+//!   paper's Indy500 data),
+//! * caution pits costing far fewer rank positions than green-flag pits
+//!   (Fig 4d) — this *emerges* here because most of the field pits together
+//!   under yellow, preserving relative order,
+//! * per-event pit-lap and rank-change ratios of Fig 6 (Indy500 most
+//!   dynamic, Iowa least),
+//! * the dataset inventory of Table II (four events, 25 races, field sizes,
+//!   lap counts, train/val/test splits).
+//!
+//! The sequences it produces have the structure that makes the forecasting
+//! problem hard in exactly the paper's way: rank is locally stable (CurRank
+//! is a strong baseline on normal laps) but undergoes abrupt, partially
+//! predictable phase changes at pit stops, whose timing is itself uncertain.
+
+pub mod car;
+pub mod dataset;
+pub mod sim;
+pub mod stats;
+pub mod track;
+pub mod types;
+
+pub use car::CarProfile;
+pub use dataset::{Dataset, RaceKey, Split};
+pub use sim::{simulate_race, RaceResult};
+pub use track::{Event, EventConfig};
+pub use types::{LapRecord, LapStatus, TrackStatus};

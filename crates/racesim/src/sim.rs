@@ -1,0 +1,438 @@
+//! The lap-by-lap race simulation.
+//!
+//! Mechanism summary (each piece maps to a phenomenon the paper documents):
+//!
+//! * **Skill + noise lap times** — rank is stable on green laps, so CurRank
+//!   is hard to beat there (Table V "Normal Laps" column).
+//! * **Fuel/tire stint planning** — green-flag pits happen when the planned
+//!   stint (≈ N(stint_mean, stint_sd), capped by the fuel window) runs out:
+//!   Fig 4a's bell curve. A small per-lap failure hazard produces the short
+//!   early-pit tail (<10%, Fig 4b).
+//! * **Crashes → cautions** — a crash closes the field up behind the pace
+//!   car for several laps. Cars far enough into their stint pit together on
+//!   the first caution laps ("caution pits"), which spreads the caution-pit
+//!   stint distribution (Fig 4a) and — because most of the field pits at
+//!   once — costs few rank positions (Fig 4d).
+//! * **Field compression under yellow** — resets the time gaps, so restarts
+//!   create overtaking opportunities; caution-heavy events have higher
+//!   RankChangesRatio (Fig 6).
+
+use crate::car::{season_field, CarProfile};
+use crate::track::EventConfig;
+use crate::types::{LapRecord, LapStatus, TrackStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of simulating one race.
+#[derive(Clone, Debug)]
+pub struct RaceResult {
+    pub config: EventConfig,
+    pub field: Vec<CarProfile>,
+    /// All records, ordered by `(lap, rank)` — the Fig 1a table.
+    pub records: Vec<LapRecord>,
+    /// Lap on which each car retired (`None` = finished), indexed by
+    /// position in `field`.
+    pub retired: Vec<Option<u16>>,
+}
+
+impl RaceResult {
+    /// All records of one car, in lap order.
+    pub fn car_records(&self, car_id: u16) -> Vec<&LapRecord> {
+        self.records.iter().filter(|r| r.car_id == car_id).collect()
+    }
+
+    /// Car ids that completed the full distance.
+    pub fn finishers(&self) -> Vec<u16> {
+        self.field
+            .iter()
+            .zip(&self.retired)
+            .filter(|(_, ret)| ret.is_none())
+            .map(|(c, _)| c.car_id)
+            .collect()
+    }
+
+    /// The winner: rank 1 on the final lap.
+    pub fn winner(&self) -> u16 {
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.rank == 1)
+            .map(|r| r.car_id)
+            .expect("race produced no records")
+    }
+
+    /// Number of caution laps in the race.
+    pub fn caution_lap_count(&self) -> usize {
+        let last_lap = self.records.iter().map(|r| r.lap).max().unwrap_or(0);
+        (1..=last_lap)
+            .filter(|&lap| {
+                self.records
+                    .iter()
+                    .find(|r| r.lap == lap)
+                    .is_some_and(|r| r.track_status.is_caution())
+            })
+            .count()
+    }
+}
+
+struct CarState {
+    cum_time: f64,
+    pit_age: u16,
+    planned_stint: u16,
+    retired: Option<u16>,
+    /// Records in lap order for this car.
+    laps: Vec<LapRecord>,
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    // Box–Muller.
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn draw_stint(rng: &mut StdRng, cfg: &EventConfig) -> u16 {
+    let s = cfg.stint_mean + cfg.stint_sd * gaussian(rng);
+    (s.round().max(8.0) as u16).min(cfg.fuel_window_laps - 1)
+}
+
+/// Simulate one race deterministically from `seed`.
+///
+/// ```
+/// use rpf_racesim::{simulate_race, Event, EventConfig};
+///
+/// let cfg = EventConfig::for_race(Event::Indy500, 2019);
+/// let race = simulate_race(&cfg, 42);
+/// assert_eq!(race.records, simulate_race(&cfg, 42).records); // deterministic
+/// assert!(race.finishers().contains(&race.winner()));
+/// ```
+pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D_F00D);
+    let field = season_field(cfg.year, cfg.participants, cfg.skill_spread_frac);
+    let n = field.len();
+    let base = cfg.base_lap_time_s();
+    let tire_coef = 0.015f32;
+
+    // Qualifying: grid order follows skill with noise; rows of cars start
+    // slightly staggered (the warm-up period of §II-A).
+    let mut grid: Vec<usize> = (0..n).collect();
+    let quali: Vec<f32> = field
+        .iter()
+        .map(|c| c.skill + 0.002 * gaussian(&mut rng))
+        .collect();
+    grid.sort_by(|&a, &b| quali[a].partial_cmp(&quali[b]).unwrap());
+
+    let mut cars: Vec<CarState> = (0..n)
+        .map(|i| {
+            let pos = grid.iter().position(|&g| g == i).unwrap();
+            CarState {
+                cum_time: pos as f64 * 0.18,
+                pit_age: 0,
+                planned_stint: 0,
+                retired: None,
+                laps: Vec::with_capacity(cfg.total_laps as usize),
+            }
+        })
+        .collect();
+    for c in cars.iter_mut() {
+        c.planned_stint = draw_stint(&mut rng, cfg);
+    }
+
+    let mut caution_left: u16 = 0;
+    let mut laps_since_restart: u16 = 100;
+    let mut retired = vec![None; n];
+
+    for lap in 1..=cfg.total_laps {
+        let laps_remaining = cfg.total_laps - lap;
+
+        // --- crashes trigger cautions (green only, one trigger per lap) ---
+        if caution_left == 0 {
+            for i in 0..n {
+                if cars[i].retired.is_some() {
+                    continue;
+                }
+                if rng.gen_bool(cfg.crash_hazard) {
+                    caution_left = rng.gen_range(4..=9);
+                    if rng.gen_bool(0.65) {
+                        cars[i].retired = Some(lap);
+                        retired[i] = Some(lap);
+                    }
+                    break;
+                }
+            }
+        }
+        let track_status =
+            if caution_left > 0 { TrackStatus::Yellow } else { TrackStatus::Green };
+        let caution_lap_index = if caution_left > 0 {
+            // 1 on the first caution lap, growing as the caution ages.
+            laps_since_restart = 0;
+            Some(caution_left)
+        } else {
+            None
+        };
+
+        // --- pit decisions ------------------------------------------------
+        let mut pits = vec![false; n];
+        for (i, car) in cars.iter_mut().enumerate() {
+            if car.retired.is_some() {
+                continue;
+            }
+            let profile = &field[i];
+            let must_pit_fuel = car.pit_age + 1 >= cfg.fuel_window_laps;
+            let stint_done = car.pit_age >= car.planned_stint;
+            // Teams skip the final stop if the fuel window covers the finish.
+            let can_reach_finish = laps_remaining < cfg.fuel_window_laps - car.pit_age;
+            let near_end_skip = stint_done && can_reach_finish && laps_remaining <= 12;
+
+            let pit = if must_pit_fuel {
+                true
+            } else if track_status.is_caution() {
+                // Opportunistic caution pit in the first two caution laps.
+                let eager_enough = (car.pit_age as f32)
+                    >= profile.caution_pit_eagerness * car.planned_stint as f32;
+                let early_caution = caution_left >= 3 && caution_lap_index.is_some();
+                eager_enough && early_caution && !can_reach_finish && rng.gen_bool(0.92)
+            } else if stint_done && !near_end_skip && laps_remaining > 4 {
+                true
+            } else {
+                // Unplanned problems (loose wheel, puncture, penalty) give
+                // the short-stint tail of Fig 4b.
+                rng.gen_bool(0.0012) && laps_remaining > 4
+            };
+            pits[i] = pit;
+        }
+
+        // --- lap times ----------------------------------------------------
+        for (i, car) in cars.iter_mut().enumerate() {
+            if car.retired.is_some() {
+                continue;
+            }
+            let profile = &field[i];
+            let lap_time = if track_status.is_caution() {
+                base * cfg.caution_slowdown + 0.3 * gaussian(&mut rng).abs()
+            } else {
+                let tire = tire_coef * car.pit_age as f32 / cfg.fuel_window_laps as f32;
+                let mut noise_frac = cfg.lap_noise_frac * profile.consistency;
+                if laps_since_restart <= 2 {
+                    noise_frac += cfg.restart_noise_frac;
+                }
+                base * (1.0 + profile.skill + tire) + base * noise_frac * gaussian(&mut rng)
+            };
+            let mut lap_time = lap_time.max(base * 0.9);
+            if pits[i] {
+                lap_time += if track_status.is_caution() {
+                    cfg.pit_loss_s
+                } else {
+                    cfg.pit_loss_s + 2.0 * gaussian(&mut rng).abs()
+                };
+            }
+            car.cum_time += lap_time as f64;
+
+            if pits[i] {
+                car.pit_age = 0;
+                car.planned_stint = draw_stint(&mut rng, cfg);
+            } else {
+                car.pit_age += 1;
+            }
+
+            // Stash the raw lap time; rank and gap are filled in below.
+            car.laps.push(LapRecord {
+                rank: 0,
+                car_id: profile.car_id,
+                lap,
+                lap_time,
+                time_behind_leader: 0.0,
+                lap_status: if pits[i] { LapStatus::Pit } else { LapStatus::Normal },
+                track_status,
+            });
+        }
+
+        // --- field compression behind the pace car -------------------------
+        if track_status.is_caution() {
+            let mut order: Vec<usize> =
+                (0..n).filter(|&i| cars[i].retired.is_none()).collect();
+            order.sort_by(|&a, &b| cars[a].cum_time.partial_cmp(&cars[b].cum_time).unwrap());
+            if let Some(&leader) = order.first() {
+                let leader_time = cars[leader].cum_time;
+                for (pos, &i) in order.iter().enumerate() {
+                    cars[i].cum_time =
+                        leader_time + pos as f64 * 1.1 + rng.gen_range(0.0..0.25);
+                }
+            }
+        }
+
+        // --- ranks and gaps -------------------------------------------------
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| cars[i].retired.is_none() || cars[i].laps.last().map(|r| r.lap) == Some(lap))
+            .filter(|&i| cars[i].laps.last().map(|r| r.lap) == Some(lap))
+            .collect();
+        order.sort_by(|&a, &b| cars[a].cum_time.partial_cmp(&cars[b].cum_time).unwrap());
+        if let Some(&leader) = order.first() {
+            let leader_time = cars[leader].cum_time;
+            for (pos, &i) in order.iter().enumerate() {
+                let gap = (cars[i].cum_time - leader_time) as f32;
+                let rec = cars[i].laps.last_mut().unwrap();
+                rec.rank = (pos + 1) as u16;
+                rec.time_behind_leader = gap;
+            }
+        }
+
+        if caution_left > 0 {
+            caution_left -= 1;
+        } else {
+            laps_since_restart = laps_since_restart.saturating_add(1);
+        }
+    }
+
+    // Flatten records ordered by (lap, rank).
+    let mut records: Vec<LapRecord> =
+        cars.iter().flat_map(|c| c.laps.iter().copied()).collect();
+    records.sort_by_key(|r| (r.lap, r.rank));
+
+    RaceResult { config: cfg.clone(), field, records, retired }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::Event;
+
+    fn indy(seed: u64) -> RaceResult {
+        simulate_race(&EventConfig::for_race(Event::Indy500, 2018), seed)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = indy(42);
+        let b = indy(42);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = indy(1);
+        let b = indy(2);
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn ranks_are_permutations_each_lap() {
+        let r = indy(7);
+        for lap in 1..=200u16 {
+            let mut ranks: Vec<u16> =
+                r.records.iter().filter(|x| x.lap == lap).map(|x| x.rank).collect();
+            ranks.sort_unstable();
+            let expect: Vec<u16> = (1..=ranks.len() as u16).collect();
+            assert_eq!(ranks, expect, "lap {lap} ranks are not a permutation");
+        }
+    }
+
+    #[test]
+    fn leader_has_zero_gap() {
+        let r = indy(9);
+        for rec in r.records.iter().filter(|x| x.rank == 1) {
+            assert!(rec.time_behind_leader.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gaps_increase_with_rank() {
+        let r = indy(11);
+        for lap in [50u16, 120, 199] {
+            let mut recs: Vec<&LapRecord> =
+                r.records.iter().filter(|x| x.lap == lap).collect();
+            recs.sort_by_key(|x| x.rank);
+            for w in recs.windows(2) {
+                assert!(
+                    w[1].time_behind_leader >= w[0].time_behind_leader - 1e-4,
+                    "lap {lap}: gap must be monotone in rank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_stint_exceeds_fuel_window() {
+        // Fig 4a: "no car run more than 50 laps before entering the pit".
+        let r = indy(13);
+        for car in &r.field {
+            let recs = r.car_records(car.car_id);
+            let mut age = 0u16;
+            for rec in recs {
+                if rec.lap_status.is_pit() {
+                    assert!(age <= 50, "car {} ran a {age}-lap stint", car.car_id);
+                    age = 0;
+                } else {
+                    age += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pit_laps_are_slower() {
+        let r = indy(17);
+        let base = r.config.base_lap_time_s();
+        for rec in r.records.iter().filter(|x| x.lap_status.is_pit()) {
+            assert!(
+                rec.lap_time > base * 1.2,
+                "pit lap should cost significant time, got {}",
+                rec.lap_time
+            );
+        }
+    }
+
+    #[test]
+    fn cars_pit_several_times_at_indy() {
+        // Paper: "on average a car goes to pit stop for six times in a race".
+        let r = indy(19);
+        let total_pits: usize = r
+            .records
+            .iter()
+            .filter(|x| x.lap_status.is_pit())
+            .count();
+        let finishing_cars = r.finishers().len().max(1);
+        let avg = total_pits as f32 / finishing_cars as f32;
+        assert!(
+            (3.0..9.0).contains(&avg),
+            "average pit stops per car should be around 6, got {avg}"
+        );
+    }
+
+    #[test]
+    fn races_have_cautions_sometimes() {
+        let with_caution = (0..10)
+            .filter(|&s| indy(s).caution_lap_count() > 0)
+            .count();
+        assert!(with_caution >= 5, "most Indy500 sims should see at least one caution");
+    }
+
+    #[test]
+    fn winner_is_a_finisher() {
+        for seed in 0..5 {
+            let r = indy(seed);
+            assert!(r.finishers().contains(&r.winner()));
+        }
+    }
+
+    #[test]
+    fn retired_cars_stop_producing_records() {
+        let r = indy(23);
+        for (i, car) in r.field.iter().enumerate() {
+            if let Some(lap) = r.retired[i] {
+                assert!(r
+                    .car_records(car.car_id)
+                    .iter()
+                    .all(|rec| rec.lap < lap));
+            }
+        }
+    }
+
+    #[test]
+    fn record_count_matches_table2_scale() {
+        // Table II: Indy500 has 6600 records (33 cars x 200 laps); retirements
+        // trim that slightly.
+        let r = indy(29);
+        assert!(r.records.len() > 5000 && r.records.len() <= 6600);
+    }
+}

@@ -1,0 +1,298 @@
+//! Statistics over simulated races: everything needed for Fig 4 (pit-stop
+//! analysis) and Fig 6 (dataset distribution).
+
+use crate::sim::RaceResult;
+use crate::types::LapStatus;
+use serde::Serialize;
+
+/// One pit stop with its context.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PitStop {
+    pub car_id: u16,
+    /// Lap on which the stop happened.
+    pub lap: u16,
+    /// Laps since the previous stop (or the start).
+    pub stint_length: u16,
+    /// True if the stop happened under yellow ("caution pit").
+    pub caution: bool,
+    /// Rank immediately before the stop minus rank two laps after
+    /// (negative = positions lost).
+    pub rank_change: i32,
+}
+
+/// Extract every pit stop in a race with stint length and rank impact.
+pub fn pit_stops(race: &RaceResult) -> Vec<PitStop> {
+    let mut out = Vec::new();
+    for car in &race.field {
+        let recs = race.car_records(car.car_id);
+        let mut last_pit_lap = 0u16;
+        for (i, rec) in recs.iter().enumerate() {
+            if rec.lap_status == LapStatus::Pit {
+                let before = if i > 0 { recs[i - 1].rank } else { rec.rank };
+                let after_idx = (i + 2).min(recs.len() - 1);
+                let after = recs[after_idx].rank;
+                out.push(PitStop {
+                    car_id: car.car_id,
+                    lap: rec.lap,
+                    stint_length: rec.lap - last_pit_lap,
+                    caution: rec.track_status.is_caution(),
+                    rank_change: before as i32 - after as i32,
+                });
+                last_pit_lap = rec.lap;
+            }
+        }
+    }
+    out
+}
+
+/// Fig 6's x-axis: the fraction of laps on which at least one car pits.
+pub fn pit_laps_ratio(race: &RaceResult) -> f32 {
+    let last_lap = race.records.iter().map(|r| r.lap).max().unwrap_or(0);
+    if last_lap == 0 {
+        return 0.0;
+    }
+    let mut pit_lap = vec![false; last_lap as usize + 1];
+    for r in &race.records {
+        if r.lap_status == LapStatus::Pit {
+            pit_lap[r.lap as usize] = true;
+        }
+    }
+    pit_lap.iter().filter(|&&p| p).count() as f32 / last_lap as f32
+}
+
+/// Fig 6's y-axis: the fraction of (car, lap) points whose rank differs
+/// from the same car's rank one lap earlier.
+pub fn rank_changes_ratio(race: &RaceResult) -> f32 {
+    let mut changes = 0usize;
+    let mut total = 0usize;
+    for car in &race.field {
+        let recs = race.car_records(car.car_id);
+        for w in recs.windows(2) {
+            total += 1;
+            if w[0].rank != w[1].rank {
+                changes += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        changes as f32 / total as f32
+    }
+}
+
+/// Histogram helper: counts of `values` in `[0, max)` bucketed by `width`.
+pub fn histogram(values: impl IntoIterator<Item = f32>, max: f32, width: f32) -> Vec<usize> {
+    let buckets = (max / width).ceil() as usize;
+    let mut h = vec![0usize; buckets];
+    for v in values {
+        if v >= 0.0 && v < max {
+            h[(v / width) as usize] += 1;
+        }
+    }
+    h
+}
+
+/// Summary statistics of a set of stints, split by pit type (Fig 4).
+#[derive(Clone, Debug, Serialize)]
+pub struct PitSummary {
+    pub normal_count: usize,
+    pub caution_count: usize,
+    pub normal_stint_mean: f32,
+    pub caution_stint_mean: f32,
+    pub normal_stint_max: u16,
+    pub caution_stint_max: u16,
+    /// Mean |rank change| across normal pits.
+    pub normal_rank_impact: f32,
+    /// Mean |rank change| across caution pits.
+    pub caution_rank_impact: f32,
+    /// Fraction of stints shorter than 24 laps among normal pits
+    /// (the paper's "lower section ... keeps a low probability of <10%").
+    pub short_stint_fraction: f32,
+}
+
+/// Aggregate pit statistics over many races.
+pub fn summarize_pits(stops: &[PitStop]) -> PitSummary {
+    let (normal, caution): (Vec<&PitStop>, Vec<&PitStop>) =
+        stops.iter().partition(|p| !p.caution);
+    let mean_stint = |v: &[&PitStop]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|p| p.stint_length as f32).sum::<f32>() / v.len() as f32
+        }
+    };
+    let mean_abs_change = |v: &[&PitStop]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().map(|p| p.rank_change.unsigned_abs() as f32).sum::<f32>() / v.len() as f32
+        }
+    };
+    PitSummary {
+        normal_count: normal.len(),
+        caution_count: caution.len(),
+        normal_stint_mean: mean_stint(&normal),
+        caution_stint_mean: mean_stint(&caution),
+        normal_stint_max: normal.iter().map(|p| p.stint_length).max().unwrap_or(0),
+        caution_stint_max: caution.iter().map(|p| p.stint_length).max().unwrap_or(0),
+        normal_rank_impact: mean_abs_change(&normal),
+        caution_rank_impact: mean_abs_change(&caution),
+        short_stint_fraction: if normal.is_empty() {
+            0.0
+        } else {
+            normal.iter().filter(|p| p.stint_length < 24).count() as f32 / normal.len() as f32
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate_race;
+    use crate::track::{Event, EventConfig};
+
+    fn indy_pits() -> Vec<PitStop> {
+        let mut stops = Vec::new();
+        for seed in 0..5u64 {
+            let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2016), seed);
+            stops.extend(pit_stops(&race));
+        }
+        stops
+    }
+
+    #[test]
+    fn fig4a_normal_stints_are_bell_shaped_and_bounded() {
+        let stops = indy_pits();
+        let s = summarize_pits(&stops);
+        assert!(s.normal_count > 50, "need a meaningful sample, got {}", s.normal_count);
+        assert!(
+            (24.0..40.0).contains(&s.normal_stint_mean),
+            "normal stint mean ~32 per Fig 4a, got {}",
+            s.normal_stint_mean
+        );
+        assert!(s.normal_stint_max <= 50, "fuel window caps stints at 50 (Fig 4a)");
+        assert!(s.caution_stint_max <= 50);
+    }
+
+    #[test]
+    fn fig4b_short_stint_tail_is_small() {
+        let s = summarize_pits(&indy_pits());
+        assert!(
+            s.short_stint_fraction < 0.25,
+            "short-stint tail should be a minority, got {}",
+            s.short_stint_fraction
+        );
+    }
+
+    #[test]
+    fn normal_and_caution_pits_both_occur() {
+        // Paper: 777 normal vs 763 caution pits — same order of magnitude.
+        let s = summarize_pits(&indy_pits());
+        assert!(s.normal_count > 0 && s.caution_count > 0);
+        let ratio = s.normal_count as f32 / s.caution_count.max(1) as f32;
+        assert!(
+            (0.2..8.0).contains(&ratio),
+            "normal/caution balance is way off: {} vs {}",
+            s.normal_count,
+            s.caution_count
+        );
+    }
+
+    #[test]
+    fn fig4d_caution_pits_cost_fewer_positions() {
+        let s = summarize_pits(&indy_pits());
+        assert!(
+            s.caution_rank_impact < s.normal_rank_impact,
+            "caution pits should cost fewer positions: caution {} vs normal {}",
+            s.caution_rank_impact,
+            s.normal_rank_impact
+        );
+    }
+
+    #[test]
+    fn fig6_event_ordering() {
+        // Indy500 is the most dynamic event, Iowa the least (Fig 6).
+        let avg = |event: Event, year: u16| {
+            let mut p = 0.0;
+            let mut r = 0.0;
+            for seed in 0..3u64 {
+                let race = simulate_race(&EventConfig::for_race(event, year), 1000 + seed);
+                p += pit_laps_ratio(&race);
+                r += rank_changes_ratio(&race);
+            }
+            (p / 3.0, r / 3.0)
+        };
+        let (ip, ir) = avg(Event::Indy500, 2018);
+        let (wp, wr) = avg(Event::Iowa, 2018);
+        assert!(ip > wp, "Indy500 pit ratio {ip} should exceed Iowa {wp}");
+        assert!(ir > wr, "Indy500 rank-change ratio {ir} should exceed Iowa {wr}");
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = histogram([0.5, 1.5, 1.6, 9.9, 10.0, -1.0], 10.0, 1.0);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[9], 1); // 10.0 and -1.0 fall outside
+        assert_eq!(h.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn ratios_are_in_unit_interval() {
+        let race = simulate_race(&EventConfig::for_race(Event::Texas, 2018), 3);
+        let p = pit_laps_ratio(&race);
+        let r = rank_changes_ratio(&race);
+        assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+/// Empirical CDF of a set of values evaluated at integer points `0..=max`
+/// (Fig 4b's stint-distance CDF).
+pub fn empirical_cdf(values: &[f32], max: usize) -> Vec<f32> {
+    let n = values.len().max(1) as f32;
+    (0..=max)
+        .map(|x| values.iter().filter(|&&v| v <= x as f32).count() as f32 / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod cdf_tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let cdf = empirical_cdf(&values, 6);
+        assert_eq!(cdf.len(), 7);
+        assert!(cdf.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(cdf[0], 0.0);
+        assert_eq!(cdf[6], 1.0);
+        assert!((cdf[1] - 0.4).abs() < 1e-6); // two values <= 1
+    }
+
+    #[test]
+    fn fig4b_normal_pit_cdf_sections() {
+        // The paper reads three sections off the CDF: a short tail below 24
+        // laps (<~10-15%), the bulk 24-40, and a long-stint remainder.
+        let mut stops = Vec::new();
+        for seed in 0..4u64 {
+            let race = crate::sim::simulate_race(
+                &crate::track::EventConfig::for_race(crate::track::Event::Indy500, 2017),
+                seed,
+            );
+            stops.extend(pit_stops(&race));
+        }
+        let normal: Vec<f32> = stops
+            .iter()
+            .filter(|p| !p.caution)
+            .map(|p| p.stint_length as f32)
+            .collect();
+        let cdf = empirical_cdf(&normal, 50);
+        assert!(cdf[23] < 0.35, "short-stint section should be small, got {}", cdf[23]);
+        assert!(cdf[40] > 0.8, "most stints end by lap 40, got {}", cdf[40]);
+        assert_eq!(cdf[50], 1.0, "nothing beyond the fuel window");
+    }
+}

@@ -1,0 +1,229 @@
+//! The four superspeedway events of the paper's Table II and their
+//! simulation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The IndyCar events used in the paper (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Event {
+    Indy500,
+    Iowa,
+    Pocono,
+    Texas,
+}
+
+impl Event {
+    pub const ALL: [Event; 4] = [Event::Indy500, Event::Iowa, Event::Pocono, Event::Texas];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::Indy500 => "Indy500",
+            Event::Iowa => "Iowa",
+            Event::Pocono => "Pocono",
+            Event::Texas => "Texas",
+        }
+    }
+}
+
+/// Static configuration of one event in one season.
+///
+/// The physical columns reproduce Table II; the dynamics block controls the
+/// simulator and was tuned so the generated data lands where each event sits
+/// in the paper's Fig 6 (Indy500 top-right: most pit laps, most rank
+/// changes; Iowa bottom-left).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EventConfig {
+    pub event: Event,
+    pub year: u16,
+    /// Track length, miles (Table II).
+    pub track_length_miles: f32,
+    /// Track shape label (Table II).
+    pub track_shape: &'static str,
+    /// Scheduled lap count (Table II; Iowa/Pocono/Texas changed over years).
+    pub total_laps: u16,
+    /// Average speed, mph (Table II) — sets the base lap time.
+    pub avg_speed_mph: f32,
+    /// Number of starters (Table II).
+    pub participants: u16,
+
+    // ---- simulator dynamics -------------------------------------------
+    /// Fuel window: the hard ceiling on stint length, laps. Indy500's is
+    /// ~50 (Fig 4a: "no car run more than 50 laps").
+    pub fuel_window_laps: u16,
+    /// Mean of the planned green-flag stint length, laps.
+    pub stint_mean: f32,
+    /// Std-dev of the planned stint length, laps.
+    pub stint_sd: f32,
+    /// Per-car, per-lap probability of a crash / mechanical failure that
+    /// triggers a full-course caution.
+    pub crash_hazard: f64,
+    /// Seconds lost to a green-flag pit stop (drive-through + service).
+    pub pit_loss_s: f32,
+    /// Caution laps are this factor slower than green laps.
+    pub caution_slowdown: f32,
+    /// Per-lap per-car lap-time noise, as a fraction of base lap time.
+    /// Larger values produce more green-flag overtaking (RankChangesRatio).
+    pub lap_noise_frac: f32,
+    /// Spread of car performance (skill), as a fraction of base lap time.
+    pub skill_spread_frac: f32,
+    /// Extra lap-time noise on the two laps after a restart, fraction of
+    /// base lap time (restart shuffles the order a little).
+    pub restart_noise_frac: f32,
+}
+
+impl EventConfig {
+    /// Base (best) lap time in seconds implied by Table II's track length
+    /// and average speed.
+    pub fn base_lap_time_s(&self) -> f32 {
+        self.track_length_miles / self.avg_speed_mph * 3600.0
+    }
+
+    /// Configuration for `event` in `year`, matching Table II.
+    ///
+    /// Panics if the combination is not part of the paper's dataset (e.g.
+    /// Iowa 2014, which the paper dropped as corrupted).
+    pub fn for_race(event: Event, year: u16) -> EventConfig {
+        assert!(
+            Self::years(event).contains(&year),
+            "{} {year} is not in the paper's dataset",
+            event.name()
+        );
+        match event {
+            Event::Indy500 => EventConfig {
+                event,
+                year,
+                track_length_miles: 2.5,
+                track_shape: "Oval",
+                total_laps: 200,
+                avg_speed_mph: 175.0,
+                participants: 33,
+                fuel_window_laps: 50,
+                stint_mean: 32.0,
+                stint_sd: 5.0,
+                crash_hazard: 0.0011,
+                pit_loss_s: 34.0,
+                caution_slowdown: 1.55,
+                lap_noise_frac: 0.0026,
+                skill_spread_frac: 0.0035,
+                restart_noise_frac: 0.009,
+            },
+            Event::Iowa => EventConfig {
+                event,
+                year,
+                track_length_miles: 0.894,
+                track_shape: "Oval",
+                total_laps: if year >= 2019 { 300 } else { 250 },
+                avg_speed_mph: 135.0,
+                participants: 22,
+                fuel_window_laps: 110,
+                stint_mean: 72.0,
+                stint_sd: 9.0,
+                crash_hazard: 0.0006,
+                pit_loss_s: 22.0,
+                caution_slowdown: 1.45,
+                lap_noise_frac: 0.0018,
+                skill_spread_frac: 0.0045,
+                restart_noise_frac: 0.006,
+            },
+            Event::Pocono => EventConfig {
+                event,
+                year,
+                track_length_miles: 2.5,
+                track_shape: "Triangle",
+                total_laps: if year >= 2018 { 200 } else { 160 },
+                avg_speed_mph: 135.0,
+                participants: 22,
+                fuel_window_laps: 42,
+                stint_mean: 28.0,
+                stint_sd: 4.5,
+                crash_hazard: 0.0007,
+                pit_loss_s: 38.0,
+                caution_slowdown: 1.5,
+                lap_noise_frac: 0.0022,
+                skill_spread_frac: 0.004,
+                restart_noise_frac: 0.007,
+            },
+            Event::Texas => EventConfig {
+                event,
+                year,
+                track_length_miles: 1.455,
+                track_shape: "Oval",
+                total_laps: if year >= 2018 { 248 } else { 228 },
+                avg_speed_mph: 153.0,
+                participants: 22,
+                fuel_window_laps: 62,
+                stint_mean: 42.0,
+                stint_sd: 6.5,
+                crash_hazard: 0.0008,
+                pit_loss_s: 28.0,
+                caution_slowdown: 1.5,
+                lap_noise_frac: 0.0028,
+                skill_spread_frac: 0.004,
+                restart_noise_frac: 0.009,
+            },
+        }
+    }
+
+    /// Seasons of this event present in the paper's dataset (Table II).
+    pub fn years(event: Event) -> Vec<u16> {
+        match event {
+            // Indy500: 2013–2017 train, 2018 validation, 2019 test.
+            Event::Indy500 => (2013..=2019).collect(),
+            // Iowa: 2013, 2015–2018 train, 2019 test (2014 corrupted/dropped).
+            Event::Iowa => vec![2013, 2015, 2016, 2017, 2018, 2019],
+            // Pocono: 2013, 2015–2017 train, 2018 test.
+            Event::Pocono => vec![2013, 2015, 2016, 2017, 2018],
+            // Texas: 2013–2017 train, 2018–2019 test.
+            Event::Texas => (2013..=2019).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_lap_times_match_table2_speeds() {
+        // Indy500: 2.5 miles at 175 mph → ~51.4s laps.
+        let c = EventConfig::for_race(Event::Indy500, 2018);
+        assert!((c.base_lap_time_s() - 51.43).abs() < 0.1);
+        // Iowa: 0.894 at 135 → ~23.8s.
+        let c = EventConfig::for_race(Event::Iowa, 2018);
+        assert!((c.base_lap_time_s() - 23.84).abs() < 0.1);
+    }
+
+    #[test]
+    fn lap_counts_follow_table2() {
+        assert_eq!(EventConfig::for_race(Event::Indy500, 2019).total_laps, 200);
+        assert_eq!(EventConfig::for_race(Event::Iowa, 2018).total_laps, 250);
+        assert_eq!(EventConfig::for_race(Event::Iowa, 2019).total_laps, 300);
+        assert_eq!(EventConfig::for_race(Event::Pocono, 2017).total_laps, 160);
+        assert_eq!(EventConfig::for_race(Event::Pocono, 2018).total_laps, 200);
+        assert_eq!(EventConfig::for_race(Event::Texas, 2017).total_laps, 228);
+        assert_eq!(EventConfig::for_race(Event::Texas, 2019).total_laps, 248);
+    }
+
+    #[test]
+    fn dataset_has_25_races() {
+        let total: usize = Event::ALL.iter().map(|&e| EventConfig::years(e).len()).sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the paper's dataset")]
+    fn iowa_2014_was_dropped() {
+        let _ = EventConfig::for_race(Event::Iowa, 2014);
+    }
+
+    #[test]
+    fn stints_fit_inside_fuel_window() {
+        for &e in &Event::ALL {
+            for &y in &EventConfig::years(e) {
+                let c = EventConfig::for_race(e, y);
+                assert!(c.stint_mean + 2.5 * c.stint_sd < c.fuel_window_laps as f32,
+                    "{} {y}: planned stints must fit the fuel window", e.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The record schema of the paper's Fig 1a.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether a lap was a normal racing lap (`T`) or a pit-stop lap (`P`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LapStatus {
+    /// Normal lap (`T` in the IndyCar feed).
+    Normal,
+    /// The car crossed SF/SFP through the pit lane this lap (`P`).
+    Pit,
+}
+
+impl LapStatus {
+    /// The single-letter code used by the IndyCar data feed and Fig 1a.
+    pub fn code(self) -> char {
+        match self {
+            LapStatus::Normal => 'T',
+            LapStatus::Pit => 'P',
+        }
+    }
+
+    pub fn is_pit(self) -> bool {
+        matches!(self, LapStatus::Pit)
+    }
+}
+
+/// Track-wide flag state for a lap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrackStatus {
+    /// Green flag — normal racing.
+    Green,
+    /// Yellow flag — full-course caution behind the safety car.
+    Yellow,
+}
+
+impl TrackStatus {
+    /// The single-letter code used by the IndyCar data feed and Fig 1a.
+    pub fn code(self) -> char {
+        match self {
+            TrackStatus::Green => 'G',
+            TrackStatus::Yellow => 'Y',
+        }
+    }
+
+    pub fn is_caution(self) -> bool {
+        matches!(self, TrackStatus::Yellow)
+    }
+}
+
+/// One timing record: car `car_id` completing lap `lap`.
+///
+/// Matches the columns of the paper's Fig 1a. `rank` is the order in which
+/// cars completed this lap (1 = leader), computed from cumulative elapsed
+/// time exactly as the paper describes in §II-A.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LapRecord {
+    /// 1-based rank at completion of this lap.
+    pub rank: u16,
+    /// Car number (stable within a season).
+    pub car_id: u16,
+    /// 1-based lap number.
+    pub lap: u16,
+    /// Time to complete this lap, seconds.
+    pub lap_time: f32,
+    /// Gap to the leader's cumulative time at this lap, seconds.
+    pub time_behind_leader: f32,
+    /// Normal or pit lap for this car.
+    pub lap_status: LapStatus,
+    /// Green or yellow flag for this lap.
+    pub track_status: TrackStatus,
+}
+
+impl LapRecord {
+    /// Render like the paper's Fig 1a table row.
+    pub fn display_row(&self) -> String {
+        format!(
+            "{:>4} {:>5} {:>4} {:>9.4} {:>9.4}  {}  {}",
+            self.rank,
+            self.car_id,
+            self.lap,
+            self.lap_time,
+            self.time_behind_leader,
+            self.lap_status.code(),
+            self.track_status.code()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_match_fig1a() {
+        assert_eq!(LapStatus::Normal.code(), 'T');
+        assert_eq!(LapStatus::Pit.code(), 'P');
+        assert_eq!(TrackStatus::Green.code(), 'G');
+        assert_eq!(TrackStatus::Yellow.code(), 'Y');
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(LapStatus::Pit.is_pit());
+        assert!(!LapStatus::Normal.is_pit());
+        assert!(TrackStatus::Yellow.is_caution());
+        assert!(!TrackStatus::Green.is_caution());
+    }
+
+    #[test]
+    fn record_serde_roundtrip() {
+        let r = LapRecord {
+            rank: 3,
+            car_id: 12,
+            lap: 31,
+            lap_time: 45.6879,
+            time_behind_leader: 1.6026,
+            lap_status: LapStatus::Normal,
+            track_status: TrackStatus::Green,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: LapRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn display_row_contains_fields() {
+        let r = LapRecord {
+            rank: 1,
+            car_id: 1,
+            lap: 31,
+            lap_time: 44.6091,
+            time_behind_leader: 0.0,
+            lap_status: LapStatus::Normal,
+            track_status: TrackStatus::Green,
+        };
+        let row = r.display_row();
+        assert!(row.contains("44.6091"));
+        assert!(row.contains('T'));
+        assert!(row.contains('G'));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests of simulator invariants across random seeds and events —
+//! the guarantees every downstream model silently relies on.
+
+use proptest::prelude::*;
+use rpf_racesim::{simulate_race, stats, Event, EventConfig};
+
+fn any_event() -> impl Strategy<Value = (Event, u16)> {
+    prop_oneof![
+        Just(Event::Indy500),
+        Just(Event::Iowa),
+        Just(Event::Pocono),
+        Just(Event::Texas),
+    ]
+    .prop_flat_map(|e| {
+        let years = EventConfig::years(e);
+        (Just(e), prop::sample::select(years))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ranks_are_permutations_on_every_lap((event, year) in any_event(), seed in 0u64..1000) {
+        let race = simulate_race(&EventConfig::for_race(event, year), seed);
+        let max_lap = race.records.iter().map(|r| r.lap).max().unwrap();
+        for lap in [1u16, max_lap / 2, max_lap] {
+            let mut ranks: Vec<u16> =
+                race.records.iter().filter(|r| r.lap == lap).map(|r| r.rank).collect();
+            ranks.sort_unstable();
+            let expect: Vec<u16> = (1..=ranks.len() as u16).collect();
+            prop_assert_eq!(ranks, expect, "{}-{} lap {}", event.name(), year, lap);
+        }
+    }
+
+    #[test]
+    fn lap_times_are_physical((event, year) in any_event(), seed in 0u64..1000) {
+        let cfg = EventConfig::for_race(event, year);
+        let race = simulate_race(&cfg, seed);
+        let base = cfg.base_lap_time_s();
+        for rec in &race.records {
+            prop_assert!(rec.lap_time >= base * 0.85, "impossibly fast lap {}", rec.lap_time);
+            prop_assert!(
+                rec.lap_time <= base * cfg.caution_slowdown + cfg.pit_loss_s + 20.0,
+                "impossibly slow lap {}",
+                rec.lap_time
+            );
+            prop_assert!(rec.time_behind_leader >= 0.0);
+        }
+    }
+
+    #[test]
+    fn stints_never_exceed_fuel_window((event, year) in any_event(), seed in 0u64..1000) {
+        let cfg = EventConfig::for_race(event, year);
+        let race = simulate_race(&cfg, seed);
+        for stop in stats::pit_stops(&race) {
+            prop_assert!(
+                stop.stint_length <= cfg.fuel_window_laps,
+                "{}-{}: stint {} beyond fuel window {}",
+                event.name(),
+                year,
+                stop.stint_length,
+                cfg.fuel_window_laps
+            );
+        }
+    }
+
+    #[test]
+    fn caution_status_is_field_wide((event, year) in any_event(), seed in 0u64..1000) {
+        // TrackStatus is a property of the lap, not the car: all records of
+        // one lap agree.
+        let race = simulate_race(&EventConfig::for_race(event, year), seed);
+        let max_lap = race.records.iter().map(|r| r.lap).max().unwrap();
+        for lap in 1..=max_lap {
+            let statuses: Vec<_> = race
+                .records
+                .iter()
+                .filter(|r| r.lap == lap)
+                .map(|r| r.track_status)
+                .collect();
+            prop_assert!(statuses.windows(2).all(|w| w[0] == w[1]), "lap {lap} disagrees");
+        }
+    }
+
+    #[test]
+    fn each_car_laps_are_strictly_increasing((event, year) in any_event(), seed in 0u64..1000) {
+        let race = simulate_race(&EventConfig::for_race(event, year), seed);
+        for car in &race.field {
+            let laps: Vec<u16> = race.car_records(car.car_id).iter().map(|r| r.lap).collect();
+            prop_assert!(laps.windows(2).all(|w| w[1] == w[0] + 1),
+                "car {} has lap gaps", car.car_id);
+        }
+    }
+
+    #[test]
+    fn finishers_complete_the_full_distance((event, year) in any_event(), seed in 0u64..1000) {
+        let cfg = EventConfig::for_race(event, year);
+        let race = simulate_race(&cfg, seed);
+        for id in race.finishers() {
+            let n = race.car_records(id).len();
+            prop_assert_eq!(n, cfg.total_laps as usize, "finisher {} ran {} laps", id, n);
+        }
+    }
+}

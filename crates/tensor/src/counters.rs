@@ -1,0 +1,195 @@
+//! Per-kernel FLOP / byte / walltime accounting.
+//!
+//! The paper's systems evaluation (Fig 11 roofline, Fig 12 operator
+//! breakdown) is driven by counts of the five kernels inside an LSTM cell.
+//! Rather than an external profiler, every kernel in this crate reports its
+//! arithmetic work and memory traffic here through relaxed atomics, which is
+//! cheap enough to leave permanently enabled (one fetch-add per kernel call,
+//! not per element).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The kernel classes the paper profiles (§IV-J): the operations identified
+/// from the architecture of an LSTM cell, plus `Other` for everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Dense matrix multiplication (`gemm`).
+    MatMul,
+    /// Elementwise product.
+    Mul,
+    /// Elementwise / broadcast addition.
+    Add,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Any other kernel (copies, softmax, comparisons, ...).
+    Other,
+}
+
+impl Kernel {
+    pub const ALL: [Kernel; 6] =
+        [Kernel::MatMul, Kernel::Mul, Kernel::Add, Kernel::Sigmoid, Kernel::Tanh, Kernel::Other];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::MatMul => "MatMul",
+            Kernel::Mul => "Mul",
+            Kernel::Add => "Add",
+            Kernel::Sigmoid => "Sigmoid",
+            Kernel::Tanh => "Tanh",
+            Kernel::Other => "Other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Kernel::MatMul => 0,
+            Kernel::Mul => 1,
+            Kernel::Add => 2,
+            Kernel::Sigmoid => 3,
+            Kernel::Tanh => 4,
+            Kernel::Other => 5,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Cell {
+    calls: AtomicU64,
+    flops: AtomicU64,
+    bytes: AtomicU64,
+    nanos: AtomicU64,
+}
+
+static CELLS: [Cell; 6] = [
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+];
+
+/// Record one kernel invocation. `flops` is fused-multiply-adds counted as
+/// two operations; `bytes` is the minimum memory traffic (reads + writes).
+#[inline]
+pub fn record(kernel: Kernel, flops: u64, bytes: u64) {
+    let cell = &CELLS[kernel.index()];
+    cell.calls.fetch_add(1, Ordering::Relaxed);
+    cell.flops.fetch_add(flops, Ordering::Relaxed);
+    cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Record a kernel invocation with its measured walltime.
+#[inline]
+pub fn record_timed(kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
+    let cell = &CELLS[kernel.index()];
+    cell.calls.fetch_add(1, Ordering::Relaxed);
+    cell.flops.fetch_add(flops, Ordering::Relaxed);
+    cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+    cell.nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Snapshot of a kernel's accumulated statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelStats {
+    pub calls: u64,
+    pub flops: u64,
+    pub bytes: u64,
+    pub nanos: u64,
+}
+
+impl KernelStats {
+    /// Arithmetic intensity in FLOP per byte (the roofline x-axis).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+
+    /// Achieved GFLOP/s over the recorded walltime (the roofline y-axis).
+    pub fn gflops(&self) -> f64 {
+        if self.nanos == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.nanos as f64
+        }
+    }
+}
+
+/// Read the current statistics for one kernel.
+pub fn stats(kernel: Kernel) -> KernelStats {
+    let cell = &CELLS[kernel.index()];
+    KernelStats {
+        calls: cell.calls.load(Ordering::Relaxed),
+        flops: cell.flops.load(Ordering::Relaxed),
+        bytes: cell.bytes.load(Ordering::Relaxed),
+        nanos: cell.nanos.load(Ordering::Relaxed),
+    }
+}
+
+/// Read statistics for all kernels in [`Kernel::ALL`] order.
+pub fn all_stats() -> Vec<(Kernel, KernelStats)> {
+    Kernel::ALL.iter().map(|&k| (k, stats(k))).collect()
+}
+
+/// Reset every counter to zero (used between profiled runs).
+pub fn reset() {
+    for cell in &CELLS {
+        cell.calls.store(0, Ordering::Relaxed);
+        cell.flops.store(0, Ordering::Relaxed);
+        cell.bytes.store(0, Ordering::Relaxed);
+        cell.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counters are process-global; serialize the tests that reset them.
+    static LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn record_and_read() {
+        let _g = LOCK.lock();
+        reset();
+        record(Kernel::MatMul, 100, 40);
+        record(Kernel::MatMul, 50, 10);
+        let s = stats(Kernel::MatMul);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.flops, 150);
+        assert_eq!(s.bytes, 50);
+        assert_eq!(s.arithmetic_intensity(), 3.0);
+        reset();
+        assert_eq!(stats(Kernel::MatMul), KernelStats::default());
+    }
+
+    #[test]
+    fn timed_records_nanos() {
+        let _g = LOCK.lock();
+        reset();
+        let t = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        record_timed(Kernel::Tanh, 10, 10, t);
+        assert!(stats(Kernel::Tanh).nanos >= 1_000_000);
+        reset();
+    }
+
+    #[test]
+    fn kernel_names_unique() {
+        let names: std::collections::HashSet<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), Kernel::ALL.len());
+    }
+
+    #[test]
+    fn empty_stats_have_zero_intensity() {
+        let s = KernelStats::default();
+        assert_eq!(s.arithmetic_intensity(), 0.0);
+        assert_eq!(s.gflops(), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Dense `f32` matrix kernels for the RankNet reproduction.
+//!
+//! This crate is the computational substrate for everything above it:
+//! the autodiff tape (`rpf-autodiff`), the neural network layers, and the
+//! classical ML baselines. It provides:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with shape-checked ops,
+//! * a blocked, cache-friendly matrix multiply that goes parallel via
+//!   `crossbeam` scoped threads once the work is large enough,
+//! * [`counters`] — per-kernel FLOP / byte / walltime accounting used to
+//!   drive the paper's roofline chart (Fig 11) and operator breakdown
+//!   (Fig 12) without external profilers.
+//!
+//! The kernel set mirrors the five operations the paper identifies inside an
+//! LSTM cell: `MatMul`, elementwise `Mul`, `Add`, `Sigmoid` and `Tanh`.
+
+pub mod counters;
+pub mod matmul;
+pub mod matrix;
+pub mod ops;
+pub mod par;
+
+pub use counters::{Kernel, KernelStats};
+pub use matrix::Matrix;

@@ -1,0 +1,169 @@
+//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//!
+//! The guides for this domain recommend rayon-style chunked data parallelism;
+//! since the dependency budget names `crossbeam`, we implement the one
+//! pattern we need — "split a mutable slice into chunks and process them on a
+//! small scoped pool" — directly. Work below [`PAR_THRESHOLD`] elements runs
+//! sequentially: thread spawn + join costs more than the work itself for the
+//! small per-timestep LSTM matrices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many "work units" (caller-defined, usually output elements),
+/// parallel helpers run sequentially.
+pub const PAR_THRESHOLD: usize = 16 * 1024;
+
+/// Number of worker threads to use: the machine's parallelism, capped so
+/// tiny machines and CI runners behave.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16);
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Apply `f` to disjoint chunks of `out`, in parallel when the slice is
+/// large enough. `f` receives `(chunk_start_index, chunk)`.
+///
+/// The chunk boundaries are aligned to `row_len` so callers that process
+/// whole rows never see a split row.
+pub fn par_chunks_mut<F>(out: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let row_len = row_len.max(1);
+    let n = out.len();
+    let threads = num_threads();
+    if n < PAR_THRESHOLD || threads == 1 {
+        f(0, out);
+        return;
+    }
+    let rows = n / row_len;
+    let rows_per = rows.div_ceil(threads).max(1);
+    let chunk = rows_per * row_len;
+    crossbeam::scope(|s| {
+        let mut offset = 0;
+        for piece in out.chunks_mut(chunk) {
+            let start = offset;
+            offset += piece.len();
+            let f = &f;
+            s.spawn(move |_| f(start, piece));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Run `f(i)` for every `i in 0..n`, in parallel when `n * work_hint` is
+/// large. Each index is processed exactly once; `f` must be safe to call
+/// concurrently for distinct indices.
+pub fn par_for<F>(n: usize, work_hint: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads();
+    if n == 0 {
+        return;
+    }
+    if n.saturating_mul(work_hint.max(1)) < PAR_THRESHOLD || threads == 1 || n == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let counter = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            let counter = &counter;
+            let f = &f;
+            s.spawn(move |_| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Map `f` over `0..n` collecting results in order, parallel for large `n`.
+pub fn par_map<T, F>(n: usize, work_hint: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let slots: Vec<parking_lot::Mutex<&mut T>> =
+            out.iter_mut().map(parking_lot::Mutex::new).collect();
+        par_for(n, work_hint, |i| {
+            **slots[i].lock() = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_chunks_mut_covers_everything_once() {
+        let mut v = vec![0.0f32; 100_000];
+        par_chunks_mut(&mut v, 10, |start, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x += (start + i) as f32;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as f32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_is_sequential_and_correct() {
+        let mut v = vec![1.0f32; 7];
+        par_chunks_mut(&mut v, 3, |_, chunk| {
+            for x in chunk {
+                *x *= 2.0;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn par_for_runs_each_index_once() {
+        let hits: Vec<AtomicU64> = (0..5000).map(|_| AtomicU64::new(0)).collect();
+        par_for(5000, 100_000, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn par_for_zero_is_noop() {
+        par_for(0, 1_000_000, |_| panic!("should not run"));
+    }
+
+    #[test]
+    fn par_map_order() {
+        let v = par_map(1000, 1_000_000, |i| i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_stable_and_positive() {
+        let a = num_threads();
+        let b = num_threads();
+        assert!(a >= 1 && a <= 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the matrix algebra laws the rest of the
+//! reproduction silently relies on.
+
+use proptest::prelude::*;
+use rpf_tensor::matmul::{matmul, matmul_at, matmul_bt, matmul_naive};
+use rpf_tensor::ops;
+use rpf_tensor::Matrix;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        assert!((x - y).abs() <= tol * scale, "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_agrees_with_naive((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            ((s >> 16) as u32 as f32 / u32::MAX as f32) - 0.5
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        assert_close(&matmul(&a, &b), &matmul_naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_transposed_variants_consistent((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut s = seed.wrapping_add(7);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as u32 as f32 / u32::MAX as f32) - 0.5
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let c = matmul(&a, &b);
+        assert_close(&matmul_bt(&a, &b.transpose()), &c, 1e-4);
+        assert_close(&matmul_at(&a.transpose(), &b), &c, 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in mat(4, 5), b in mat(4, 5), c in mat(5, 3)) {
+        let lhs = matmul(&ops::add(&a, &b), &c);
+        let rhs = ops::add(&matmul(&a, &c), &matmul(&b, &c));
+        assert_close(&lhs, &rhs, 1e-3);
+    }
+
+    #[test]
+    fn transpose_is_involution(a in mat(6, 9)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_commutes(a in mat(3, 7), b in mat(3, 7)) {
+        prop_assert_eq!(ops::add(&a, &b), ops::add(&b, &a));
+    }
+
+    #[test]
+    fn mul_commutes(a in mat(3, 7), b in mat(3, 7)) {
+        prop_assert_eq!(ops::mul(&a, &b), ops::mul(&b, &a));
+    }
+
+    #[test]
+    fn sigmoid_bounded(a in mat(4, 4)) {
+        let s = ops::sigmoid(&a);
+        prop_assert!(s.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn tanh_bounded(a in mat(4, 4)) {
+        let t = ops::tanh(&a);
+        prop_assert!(t.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softplus_nonnegative(a in mat(4, 4)) {
+        let s = ops::softplus(&a);
+        prop_assert!(s.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in mat(5, 6)) {
+        let s = ops::softmax_rows(&a);
+        for r in 0..5 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn hstack_then_slice_roundtrips(a in mat(3, 4), b in mat(3, 2)) {
+        let h = Matrix::hstack(&[&a, &b]);
+        prop_assert_eq!(h.slice_cols(0, 4), a);
+        prop_assert_eq!(h.slice_cols(4, 6), b);
+    }
+
+    #[test]
+    fn sum_rows_matches_total(a in mat(6, 3)) {
+        let by_col = ops::sum_rows(&a);
+        let total: f32 = by_col.as_slice().iter().sum();
+        prop_assert!((total - a.sum()).abs() < 1e-3 * (1.0 + a.sum().abs()));
+    }
+}

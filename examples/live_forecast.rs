@@ -1,0 +1,94 @@
+//! Live race forecasting — replay a race lap by lap and keep a running
+//! two-lap forecast of the leader and of one tracked car, the way the
+//! paper's system would sit on the IndyCar timing feed.
+//!
+//! ```text
+//! cargo run --release --example live_forecast
+//! ```
+
+use ranknet::core::features::extract_sequences;
+use ranknet::core::metrics::quantile;
+use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
+use ranknet::core::RankNetConfig;
+use ranknet::racesim::{Dataset, Event, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = Dataset::generate_event(Event::Indy500, 7);
+    let train: Vec<_> = dataset
+        .split(Event::Indy500, Split::Training)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let val: Vec<_> = dataset
+        .split(Event::Indy500, Split::Validation)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let live = extract_sequences(dataset.race(Event::Indy500, 2019));
+
+    let cfg = RankNetConfig { max_epochs: 10, ..Default::default() };
+    println!("Training RankNet-MLP for live duty ...");
+    let (model, _) = RankNet::fit(train, val, cfg, RankNetVariant::Mlp, 14);
+
+    // Track the eventual winner from mid-race.
+    let winner_slot = (0..live.sequences.len())
+        .find(|&c| {
+            let s = &live.sequences[c];
+            s.len() == live.total_laps && *s.rank.last().unwrap() == 1.0
+        })
+        .expect("winner ran the full distance");
+    let tracked = &live.sequences[winner_slot];
+    println!("Tracking car {} (the eventual winner).\n", tracked.car_id);
+
+    println!(
+        "  {:>5} {:>12} {:>14} {:>16} {:>12}",
+        "lap", "cur leader", "pred leader+2", "tracked med+2", "tracked act+2"
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut leader_hits = 0usize;
+    let mut calls = 0usize;
+    for origin in (70..190).step_by(12) {
+        let samples = model.forecast(&live, origin, 2, 20, &mut rng);
+        let ranked = ranks_by_sorting(&samples, 1);
+
+        // Predicted leader: most frequent rank-1 car across samples.
+        let pred_leader = (0..live.sequences.len())
+            .filter(|&c| !ranked[c].is_empty())
+            .max_by_key(|&c| ranked[c].iter().filter(|&&r| r == 1.0).count())
+            .unwrap();
+        let cur_leader = (0..live.sequences.len())
+            .find(|&c| {
+                let s = &live.sequences[c];
+                s.len() > origin - 1 && s.rank[origin - 1] == 1.0
+            })
+            .unwrap();
+        let actual_leader = (0..live.sequences.len())
+            .find(|&c| {
+                let s = &live.sequences[c];
+                s.len() > origin + 1 && s.rank[origin + 1] == 1.0
+            })
+            .unwrap();
+
+        let med = quantile(&ranked[winner_slot], 0.5);
+        println!(
+            "  {:>5} {:>12} {:>14} {:>16.1} {:>12}",
+            origin,
+            live.sequences[cur_leader].car_id,
+            live.sequences[pred_leader].car_id,
+            med,
+            tracked.rank[origin + 1]
+        );
+        calls += 1;
+        if live.sequences[pred_leader].car_id == live.sequences[actual_leader].car_id {
+            leader_hits += 1;
+        }
+    }
+    println!(
+        "\nLive leader prediction accuracy over the stint: {}/{} ({:.0}%)",
+        leader_hits,
+        calls,
+        100.0 * leader_hits as f32 / calls as f32
+    );
+}

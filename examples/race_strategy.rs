@@ -1,0 +1,110 @@
+//! Pit-strategy exploration — the use case the paper's conclusion points
+//! at: "providing probabilistic forecasting that enables racing strategy
+//! optimizations".
+//!
+//! We train a RankNet-Oracle model, then, for one car mid-race, compare the
+//! forecast rank distribution under *different hypothetical pit plans* by
+//! editing the future covariates the decoder sees. Because the Oracle
+//! variant conditions on future race status, it answers "what if we pit on
+//! lap L?" directly.
+//!
+//! ```text
+//! cargo run --release --example race_strategy
+//! ```
+
+use ranknet::core::features::extract_sequences;
+use ranknet::core::instances::Covariates;
+use ranknet::core::metrics::quantile;
+use ranknet::core::rank_model::{oracle_covariates, CovariateFuture};
+use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
+use ranknet::core::RankNetConfig;
+use ranknet::racesim::{Dataset, Event, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let dataset = Dataset::generate_event(Event::Indy500, 7);
+    let train: Vec<_> = dataset
+        .split(Event::Indy500, Split::Training)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let val: Vec<_> = dataset
+        .split(Event::Indy500, Split::Validation)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let test = extract_sequences(dataset.race(Event::Indy500, 2019));
+
+    let cfg = RankNetConfig { max_epochs: 12, ..Default::default() };
+    println!("Training RankNet-Oracle (conditions on future race status) ...");
+    let (model, _) = RankNet::fit(train, val, cfg.clone(), RankNetVariant::Oracle, 12);
+
+    // Pick a car deep into its stint at lap 80 — a pit decision is imminent.
+    let origin = 80usize;
+    let horizon = 10usize;
+    let car = (0..test.sequences.len())
+        .filter(|&c| test.sequences[c].len() > origin + horizon)
+        .max_by(|&a, &b| {
+            test.sequences[a].pit_age[origin - 1]
+                .partial_cmp(&test.sequences[b].pit_age[origin - 1])
+                .unwrap()
+        })
+        .expect("no candidate car");
+    let seq = &test.sequences[car];
+    println!(
+        "\nCar {}: lap {}, rank {}, pit age {} laps — when should it stop?",
+        seq.car_id,
+        seq.laps[origin - 1],
+        seq.rank[origin - 1],
+        seq.pit_age[origin - 1]
+    );
+
+    // Baseline future: ground truth for everyone else, and we will overwrite
+    // OUR car's plan with each scenario.
+    let base = oracle_covariates(&test, origin, horizon, cfg.prediction_len);
+
+    println!("\n  {:>16} {:>12} {:>10} {:>10}", "scenario", "median rank", "q10", "q90");
+    for pit_in in [2usize, 5, 8] {
+        let mut cov: CovariateFuture = base.clone();
+        // Rewrite this car's future: one stop, `pit_in` laps from now.
+        let mut age = seq.pit_age[origin - 1];
+        cov.rows[car] = (0..horizon)
+            .map(|s| {
+                let pit = s == pit_in;
+                let c = Covariates {
+                    lap_status: if pit { 1.0 } else { 0.0 },
+                    pit_age: age,
+                    shift_lap_status: if s + cfg.prediction_len == pit_in { 1.0 } else { 0.0 },
+                    ..cov.rows[car][s]
+                };
+                if pit {
+                    age = 0.0;
+                } else {
+                    age += 1.0;
+                }
+                c
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples = model.rank_model.forecast(&test, &cov, origin, horizon, 40, &mut rng);
+        let ranked = ranks_by_sorting(&samples, horizon - 1);
+        let med = quantile(&ranked[car], 0.5);
+        let q10 = quantile(&ranked[car], 0.1);
+        let q90 = quantile(&ranked[car], 0.9);
+        println!(
+            "  {:>16} {:>12.1} {:>10.1} {:>10.1}",
+            format!("pit in {pit_in} laps"),
+            med,
+            q10,
+            q90
+        );
+    }
+    println!(
+        "\nActual outcome at lap {}: rank {}",
+        seq.laps[origin + horizon - 1],
+        seq.rank[origin + horizon - 1]
+    );
+    println!("A team can compare these distributions to time the stop.");
+}

@@ -1,0 +1,30 @@
+//! # ranknet — Rank Position Forecasting in Car Racing
+//!
+//! A complete Rust reproduction of *"Rank Position Forecasting in Car
+//! Racing"* (Peng et al., IPDPS 2021): the RankNet model (probabilistic
+//! LSTM encoder–decoder + MLP pit-stop model with cause–effect
+//! decomposition), every baseline the paper compares against, an
+//! IndyCar-style race simulator standing in for the proprietary timing
+//! logs, and the systems experiments (training throughput, roofline,
+//! operator breakdown).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense f32 matrix kernels with per-kernel profiling
+//! * [`autodiff`] — tape-based reverse-mode AD
+//! * [`nn`] — layers (LSTM, MLP, Transformer), Adam, training loop
+//! * [`racesim`] — race simulator + dataset generator
+//! * [`baselines`] — CurRank, ARIMA, RandomForest, SVR, gradient boosting
+//! * [`core`] — RankNet itself, features, metrics, experiment runners
+//! * [`perfmodel`] — analytic CPU/GPU/VE device models for the systems study
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use ranknet_core as core;
+pub use rpf_autodiff as autodiff;
+pub use rpf_baselines as baselines;
+pub use rpf_nn as nn;
+pub use rpf_perfmodel as perfmodel;
+pub use rpf_racesim as racesim;
+pub use rpf_tensor as tensor;

@@ -1,0 +1,109 @@
+//! Property-style integration tests of paper-level invariants that span
+//! crates: forecast distributions, data statistics, and metric relations.
+
+use proptest::prelude::*;
+use ranknet::core::baseline_adapters::{ArimaForecaster, CurRankForecaster, Forecaster};
+use ranknet::core::eval::{window_has_pit, EvalConfig};
+use ranknet::core::features::extract_sequences;
+use ranknet::core::metrics::{quantile, rho_risk_from_samples};
+use ranknet::core::ranknet::{median_ranks, ranks_by_sorting};
+use ranknet::racesim::{simulate_race, Event, EventConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ranks_by_sorting_is_always_a_permutation(seed in 0u64..500, origin in 30usize..150) {
+        let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2017), seed);
+        let ctx = extract_sequences(&race);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = ArimaForecaster::default().forecast(&ctx, origin, 2, 5, &mut rng);
+        let ranked = ranks_by_sorting(&samples, 1);
+        let n_present = ranked.iter().filter(|r| !r.is_empty()).count();
+        for s in 0..5 {
+            let mut seen: Vec<f32> = ranked
+                .iter()
+                .filter(|r| !r.is_empty())
+                .map(|r| r[s])
+                .collect();
+            seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect: Vec<f32> = (1..=n_present).map(|v| v as f32).collect();
+            prop_assert_eq!(&seen, &expect);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_rho(seed in 0u64..500) {
+        let race = simulate_race(&EventConfig::for_race(Event::Texas, 2016), seed);
+        let ctx = extract_sequences(&race);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let samples = ArimaForecaster::default().forecast(&ctx, 60, 2, 12, &mut rng);
+        for per_car in samples.iter().filter(|s| !s.is_empty()) {
+            let finals: Vec<f32> = per_car.iter().map(|p| p[1]).collect();
+            let q = [0.1, 0.5, 0.9].map(|r| quantile(&finals, r));
+            prop_assert!(q[0] <= q[1] && q[1] <= q[2]);
+        }
+    }
+
+    #[test]
+    fn currank_risk_is_zero_only_when_ranks_frozen(seed in 0u64..200) {
+        let race = simulate_race(&EventConfig::for_race(Event::Iowa, 2016), seed);
+        let ctx = extract_sequences(&race);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let origin = 100usize;
+        let samples = CurRankForecaster.forecast(&ctx, origin, 2, 1, &mut rng);
+        let mut per_point_samples = Vec::new();
+        let mut actuals = Vec::new();
+        for (c, seq) in ctx.sequences.iter().enumerate() {
+            if samples[c].is_empty() || seq.len() <= origin + 1 {
+                continue;
+            }
+            per_point_samples.push(vec![samples[c][0][1]]);
+            actuals.push(seq.rank[origin + 1]);
+        }
+        let risk = rho_risk_from_samples(&per_point_samples, &actuals, 0.5);
+        let frozen = per_point_samples
+            .iter()
+            .zip(&actuals)
+            .all(|(s, &a)| s[0] == a);
+        prop_assert_eq!(risk == 0.0, frozen);
+    }
+}
+
+#[test]
+fn median_ranks_align_with_forecast_cars() {
+    let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2016), 4);
+    let ctx = extract_sequences(&race);
+    let mut rng = StdRng::seed_from_u64(4);
+    let samples = CurRankForecaster.forecast(&ctx, 80, 2, 1, &mut rng);
+    let ranked = ranks_by_sorting(&samples, 1);
+    let med = median_ranks(&ranked);
+    for (c, m) in med.iter().enumerate() {
+        assert_eq!(m.is_some(), !samples[c].is_empty());
+    }
+}
+
+#[test]
+fn pit_windows_are_a_minority_of_iowa_but_common_at_indy() {
+    // Fig 6's qualitative claim as a cross-crate check.
+    let indy = extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 8));
+    let iowa = extract_sequences(&simulate_race(&EventConfig::for_race(Event::Iowa, 2018), 8));
+    let count = |ctx: &ranknet::core::features::RaceContext| {
+        let lo = 25;
+        let hi = ctx.total_laps - 2;
+        let n = (lo..hi).filter(|&o| window_has_pit(ctx, o, 2)).count();
+        n as f32 / (hi - lo) as f32
+    };
+    assert!(count(&indy) > count(&iowa), "Indy500 should have more pit-covered windows");
+}
+
+#[test]
+fn eval_config_presets_are_consistent() {
+    let fast = EvalConfig::fast();
+    let full = EvalConfig::default();
+    assert!(fast.n_samples <= full.n_samples);
+    assert!(fast.origin_step >= full.origin_step);
+    assert_eq!(fast.horizon, 2);
+}

@@ -1,0 +1,106 @@
+//! End-to-end integration: simulate → featurize → train → forecast → score,
+//! crossing every crate in the workspace.
+
+use ranknet::core::baseline_adapters::{CurRankForecaster, Forecaster};
+use ranknet::core::eval::{eval_short_term, eval_stint, EvalConfig};
+use ranknet::core::features::extract_sequences;
+use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
+use ranknet::core::RankNetConfig;
+use ranknet::racesim::{simulate_race, Dataset, Event, EventConfig, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg() -> RankNetConfig {
+    let mut cfg = RankNetConfig::tiny();
+    cfg.max_epochs = 3;
+    cfg
+}
+
+#[test]
+fn full_pipeline_ranknet_mlp() {
+    let dataset = Dataset::generate_event(Event::Indy500, 99);
+    let train: Vec<_> = dataset
+        .split(Event::Indy500, Split::Training)
+        .iter()
+        .take(2)
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let val: Vec<_> = dataset
+        .split(Event::Indy500, Split::Validation)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let test = extract_sequences(dataset.race(Event::Indy500, 2019));
+
+    let (model, report) = RankNet::fit(train, val, tiny_cfg(), RankNetVariant::Mlp, 24);
+    assert!(report.rank_model.best_val_loss.is_finite());
+    assert!(report.pit_model.is_some());
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples = model.forecast(&test, 60, 2, 8, &mut rng);
+    let covered = samples.iter().filter(|s| !s.is_empty()).count();
+    assert!(covered > 20, "forecast should cover most of the field, got {covered}");
+
+    // The sorted samples are valid rank permutations.
+    let ranked = ranks_by_sorting(&samples, 1);
+    let mut firsts = 0;
+    for per_car in ranked.iter().filter(|r| !r.is_empty()) {
+        assert_eq!(per_car.len(), 8);
+        firsts += per_car.iter().filter(|&&r| r == 1.0).count();
+    }
+    assert_eq!(firsts, 8, "each sample must have exactly one leader");
+}
+
+#[test]
+fn oracle_beats_currank_on_pit_laps_when_trained() {
+    // The paper's core claim in miniature: given the true future race
+    // status, the decomposed model forecasts pit-lap rank changes better
+    // than persistence. Uses a modest but real training run.
+    let dataset = Dataset::generate_event(Event::Indy500, 5);
+    let train: Vec<_> = dataset
+        .split(Event::Indy500, Split::Training)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let val: Vec<_> = dataset
+        .split(Event::Indy500, Split::Validation)
+        .iter()
+        .map(|(_, r)| extract_sequences(r))
+        .collect();
+    let test = extract_sequences(dataset.race(Event::Indy500, 2019));
+
+    let cfg = RankNetConfig { max_epochs: 6, context_len: 40, ..Default::default() };
+    let (oracle, _) = RankNet::fit(train, val, cfg, RankNetVariant::Oracle, 12);
+
+    let eval_cfg = EvalConfig { n_samples: 16, origin_step: 14, ..EvalConfig::fast() };
+    let oracle_row = eval_short_term(&oracle, &test, &eval_cfg);
+    let currank_row = eval_short_term(&CurRankForecaster, &test, &eval_cfg);
+
+    assert!(
+        oracle_row.pit_covered.mae < currank_row.pit_covered.mae,
+        "Oracle pit-lap MAE {} must beat CurRank {}",
+        oracle_row.pit_covered.mae,
+        currank_row.pit_covered.mae
+    );
+}
+
+#[test]
+fn stint_eval_runs_end_to_end() {
+    let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2019), 3);
+    let ctx = extract_sequences(&race);
+    let row = eval_stint(&CurRankForecaster, &ctx, &EvalConfig::fast());
+    assert!(row.n > 5, "found {} stints", row.n);
+    assert!(row.sign_acc <= 1.0 && row.mae.is_finite());
+}
+
+#[test]
+fn different_events_flow_through_the_same_pipeline() {
+    for event in [Event::Iowa, Event::Texas, Event::Pocono] {
+        let years = ranknet::racesim::EventConfig::years(event);
+        let race = simulate_race(&EventConfig::for_race(event, years[0]), 11);
+        let ctx = extract_sequences(&race);
+        assert!(ctx.sequences.len() >= 15, "{event:?}");
+        let row = eval_short_term(&CurRankForecaster, &ctx, &EvalConfig::fast());
+        assert!(row.all.n > 0 && row.all.mae.is_finite(), "{event:?}");
+    }
+}
