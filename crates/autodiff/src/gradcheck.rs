@@ -34,17 +34,16 @@ pub fn finite_difference_grad(
 ///
 /// `build` receives a fresh tape and the (possibly perturbed) input value and
 /// must return the scalar output node. Returns the maximum relative error.
-pub fn gradcheck(
-    input: &Matrix,
-    eps: f32,
-    build: impl Fn(&Tape, Var) -> Var,
-) -> f32 {
+pub fn gradcheck(input: &Matrix, eps: f32, build: impl Fn(&Tape, Var) -> Var) -> f32 {
     // Analytic gradient.
     let tape = Tape::new();
     let x = tape.leaf(input.clone());
     let out = build(&tape, x);
     let grads = tape.backward(out);
-    let analytic = grads.get(x).expect("input did not influence the output").clone();
+    let analytic = grads
+        .get(x)
+        .expect("input did not influence the output")
+        .clone();
 
     // Numeric gradient.
     let numeric = finite_difference_grad(input, eps, |m| {
@@ -69,9 +68,7 @@ mod tests {
     #[test]
     fn fd_grad_of_square_is_2x() {
         let x = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
-        let g = finite_difference_grad(&x, 1e-3, |m| {
-            m.as_slice().iter().map(|v| v * v).sum()
-        });
+        let g = finite_difference_grad(&x, 1e-3, |m| m.as_slice().iter().map(|v| v * v).sum());
         for (gv, xv) in g.as_slice().iter().zip(x.as_slice()) {
             assert!((gv - 2.0 * xv).abs() < 1e-2, "{gv} vs {}", 2.0 * xv);
         }

@@ -65,7 +65,9 @@ impl Default for Tape {
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: RefCell::new(Vec::with_capacity(256)) }
+        Tape {
+            nodes: RefCell::new(Vec::with_capacity(256)),
+        }
     }
 
     /// Number of recorded nodes.
@@ -97,7 +99,12 @@ impl Tape {
     pub fn scalar(&self, v: Var) -> f32 {
         let nodes = self.nodes.borrow();
         let m = &nodes[v.0].value;
-        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node {:?}", m.shape());
+        assert_eq!(
+            m.shape(),
+            (1, 1),
+            "scalar() on non-scalar node {:?}",
+            m.shape()
+        );
         m.get(0, 0)
     }
 
@@ -424,8 +431,10 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     let mut da = g.clone();
-                    for (o, &x) in
-                        da.as_mut_slice().iter_mut().zip(nodes[a.0].value.as_slice())
+                    for (o, &x) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(nodes[a.0].value.as_slice())
                     {
                         if x <= 0.0 {
                             *o = 0.0;
@@ -435,8 +444,10 @@ impl Tape {
                 }
                 Op::Softplus(a) => {
                     let mut da = g.clone();
-                    for (o, &x) in
-                        da.as_mut_slice().iter_mut().zip(nodes[a.0].value.as_slice())
+                    for (o, &x) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(nodes[a.0].value.as_slice())
                     {
                         *o *= 1.0 / (1.0 + (-x).exp());
                     }
@@ -445,8 +456,10 @@ impl Tape {
                 Op::Exp(a) => accumulate(&mut grads, *a, ops::mul(&g, &node.value)),
                 Op::Log(a) => {
                     let mut da = g.clone();
-                    for (o, &x) in
-                        da.as_mut_slice().iter_mut().zip(nodes[a.0].value.as_slice())
+                    for (o, &x) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(nodes[a.0].value.as_slice())
                     {
                         *o /= x;
                     }
@@ -454,8 +467,10 @@ impl Tape {
                 }
                 Op::Square(a) => {
                     let mut da = g.clone();
-                    for (o, &x) in
-                        da.as_mut_slice().iter_mut().zip(nodes[a.0].value.as_slice())
+                    for (o, &x) in da
+                        .as_mut_slice()
+                        .iter_mut()
+                        .zip(nodes[a.0].value.as_slice())
                     {
                         *o *= 2.0 * x;
                     }
@@ -475,8 +490,7 @@ impl Tape {
                     for r in 0..s.rows() {
                         let s_row = s.row(r);
                         let g_row = da.row_mut(r);
-                        let dot: f32 =
-                            g_row.iter().zip(s_row).map(|(&gv, &sv)| gv * sv).sum();
+                        let dot: f32 = g_row.iter().zip(s_row).map(|(&gv, &sv)| gv * sv).sum();
                         for (gv, &sv) in g_row.iter_mut().zip(s_row) {
                             *gv = sv * (*gv - dot);
                         }

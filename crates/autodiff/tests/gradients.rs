@@ -87,7 +87,10 @@ fn grad_add_row_bias() {
 fn grad_activations() {
     let x = pseudo_random(3, 3, 11, -2.0, 2.0);
     for (name, f) in [
-        ("sigmoid", (&|t: &Tape, x| t.sigmoid(x)) as &dyn Fn(&Tape, rpf_autodiff::Var) -> rpf_autodiff::Var),
+        (
+            "sigmoid",
+            (&|t: &Tape, x| t.sigmoid(x)) as &dyn Fn(&Tape, rpf_autodiff::Var) -> rpf_autodiff::Var,
+        ),
         ("tanh", &|t, x| t.tanh(x)),
         ("softplus", &|t, x| t.softplus(x)),
         ("exp", &|t, x| t.exp(x)),

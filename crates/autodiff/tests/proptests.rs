@@ -44,8 +44,7 @@ fn unary_op() -> impl Strategy<Value = UnaryOp> {
 
 fn small_matrix() -> impl Strategy<Value = Matrix> {
     (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-1.5f32..1.5, r * c)
-            .prop_map(move |v| Matrix::from_vec(r, c, v))
+        prop::collection::vec(-1.5f32..1.5, r * c).prop_map(move |v| Matrix::from_vec(r, c, v))
     })
 }
 

@@ -110,13 +110,20 @@ impl Arima {
         let mut sse = 0.0;
         for (r, t) in (start..n).enumerate() {
             let row = &x[r * cols..(r + 1) * cols];
-            let pred: f64 =
-                row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+            let pred: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
             sse += (w[t] - pred) * (w[t] - pred);
         }
         let sigma = (sse / rows as f64).sqrt().max(1e-9);
 
-        Some(Arima { p, d, q, ar, ma, intercept, sigma })
+        Some(Arima {
+            p,
+            d,
+            q,
+            ar,
+            ma,
+            intercept,
+            sigma,
+        })
     }
 
     /// Point forecast `horizon` steps ahead plus the per-step forecast
@@ -153,7 +160,12 @@ impl Arima {
                 let idx = t as i64 - l as i64 - 1;
                 if idx >= 0 {
                     let idx = idx as usize;
-                    pred += phi * if idx < hist.len() { hist[idx] } else { w_forecasts[idx - hist.len()] };
+                    pred += phi
+                        * if idx < hist.len() {
+                            hist[idx]
+                        } else {
+                            w_forecasts[idx - hist.len()]
+                        };
                 }
             }
             for (l, &theta) in self.ma.iter().enumerate() {
@@ -171,7 +183,9 @@ impl Arima {
         let mut level_forecasts = w_forecasts.clone();
         for k in (0..self.d).rev() {
             let level_series = difference(&series, k);
-            let last = *level_series.last().expect("fit guaranteed non-empty levels");
+            let last = *level_series
+                .last()
+                .expect("fit guaranteed non-empty levels");
             let mut acc = last;
             for f in level_forecasts.iter_mut() {
                 acc += *f;
@@ -197,8 +211,8 @@ impl Arima {
         }
         let mut var_acc = 0.0;
         let mut sds = Vec::with_capacity(horizon);
-        for h in 0..horizon {
-            var_acc += psi[h] * psi[h];
+        for (h, p) in psi.iter().take(horizon).enumerate() {
+            var_acc += p * p;
             let sd = self.sigma * var_acc.sqrt();
             // Integration compounds uncertainty roughly linearly per order.
             let sd = sd * (1.0 + self.d as f64 * h as f64 * 0.25);
@@ -259,7 +273,10 @@ mod tests {
         let model = Arima::fit(&series, 1, 0, 1).unwrap();
         let (_, sds) = model.forecast(&series, 6);
         for w in sds.windows(2) {
-            assert!(w[1] >= w[0] - 1e-6, "sd must not shrink with horizon: {sds:?}");
+            assert!(
+                w[1] >= w[0] - 1e-6,
+                "sd must not shrink with horizon: {sds:?}"
+            );
         }
         assert!(sds[0] > 0.0);
     }

@@ -22,7 +22,11 @@ impl Default for ForestConfig {
     fn default() -> Self {
         ForestConfig {
             n_trees: 100,
-            tree: TreeConfig { max_depth: 10, min_samples_leaf: 2, max_features: 0 },
+            tree: TreeConfig {
+                max_depth: 10,
+                min_samples_leaf: 2,
+                max_features: 0,
+            },
             seed: 0,
         }
     }
@@ -46,7 +50,10 @@ impl RandomForest {
             cfg.tree.max_features.min(n_features)
         };
 
-        let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16);
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
         let trees: Vec<RegressionTree> = crossbeam::scope(|s| {
             let handles: Vec<_> = (0..n_threads)
                 .map(|tid| {
@@ -156,7 +163,10 @@ mod tests {
     #[test]
     fn beats_mean_predictor() {
         let (x, y) = friedman_like(400, 1);
-        let cfg = ForestConfig { n_trees: 40, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 40,
+            ..Default::default()
+        };
         let forest = RandomForest::fit(&x, &y, &cfg);
         let (xt, yt) = friedman_like(100, 2);
         let mean_y: f32 = y.iter().sum::<f32>() / y.len() as f32;
@@ -176,7 +186,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = friedman_like(100, 3);
-        let cfg = ForestConfig { n_trees: 8, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 8,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&x, &y, &cfg);
         let b = RandomForest::fit(&x, &y, &cfg);
         for row in x.iter().take(10) {
@@ -187,7 +200,14 @@ mod tests {
     #[test]
     fn quantiles_are_ordered() {
         let (x, y) = friedman_like(200, 4);
-        let forest = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 30, ..Default::default() });
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        );
         let row = &x[0];
         let q10 = forest.predict_quantile(row, 0.1);
         let q50 = forest.predict_quantile(row, 0.5);
@@ -198,7 +218,14 @@ mod tests {
     #[test]
     fn n_trees_respected() {
         let (x, y) = friedman_like(50, 5);
-        let forest = RandomForest::fit(&x, &y, &ForestConfig { n_trees: 13, ..Default::default() });
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                n_trees: 13,
+                ..Default::default()
+            },
+        );
         assert_eq!(forest.n_trees(), 13);
     }
 }

@@ -24,7 +24,11 @@ impl Default for GbtConfig {
             n_rounds: 100,
             eta: 0.1,
             lambda: 1.0,
-            tree: TreeConfig { max_depth: 4, min_samples_leaf: 2, max_features: 0 },
+            tree: TreeConfig {
+                max_depth: 4,
+                min_samples_leaf: 2,
+                max_features: 0,
+            },
         }
     }
 }
@@ -53,15 +57,19 @@ impl GradientBoostedTrees {
         let mut pred: Vec<f32> = vec![base; x.len()];
         let mut trees = Vec::with_capacity(cfg.n_rounds);
         for _round in 0..cfg.n_rounds {
-            let residuals: Vec<f32> =
-                y.iter().zip(&pred).map(|(t, p)| t - p).collect();
+            let residuals: Vec<f32> = y.iter().zip(&pred).map(|(t, p)| t - p).collect();
             let tree = RegressionTree::fit(x, &residuals, &cfg.tree);
             for (p, row) in pred.iter_mut().zip(x) {
                 *p += cfg.eta * shrink * tree.predict(row);
             }
             trees.push(tree);
         }
-        GradientBoostedTrees { base, trees, eta: cfg.eta, shrink }
+        GradientBoostedTrees {
+            base,
+            trees,
+            eta: cfg.eta,
+            shrink,
+        }
     }
 
     pub fn predict(&self, row: &[f32]) -> f32 {
@@ -149,12 +157,20 @@ mod tests {
         let low = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbtConfig { lambda: 0.0, n_rounds: 1, ..Default::default() },
+            &GbtConfig {
+                lambda: 0.0,
+                n_rounds: 1,
+                ..Default::default()
+            },
         );
         let high = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbtConfig { lambda: 1000.0, n_rounds: 1, ..Default::default() },
+            &GbtConfig {
+                lambda: 1000.0,
+                n_rounds: 1,
+                ..Default::default()
+            },
         );
         // One round with huge λ must move predictions less from the base.
         let base = y.iter().sum::<f32>() / y.len() as f32;

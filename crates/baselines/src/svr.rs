@@ -25,7 +25,13 @@ pub struct SvrConfig {
 
 impl Default for SvrConfig {
     fn default() -> Self {
-        SvrConfig { c: 10.0, epsilon: 0.1, gamma: 0.5, max_passes: 40, seed: 0 }
+        SvrConfig {
+            c: 10.0,
+            epsilon: 0.1,
+            gamma: 0.5,
+            max_passes: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -129,7 +135,12 @@ impl Svr {
             }
         }
 
-        Svr { x: x.to_vec(), beta, bias, gamma: cfg.gamma }
+        Svr {
+            x: x.to_vec(),
+            beta,
+            bias,
+            gamma: cfg.gamma,
+        }
     }
 
     pub fn predict(&self, row: &[f32]) -> f32 {
@@ -154,9 +165,19 @@ mod tests {
 
     #[test]
     fn fits_sine_wave() {
-        let x: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32 / 100.0 * 6.28]).collect();
+        let x: Vec<Vec<f32>> = (0..100)
+            .map(|i| vec![i as f32 / 100.0 * std::f32::consts::TAU])
+            .collect();
         let y: Vec<f32> = x.iter().map(|v| v[0].sin()).collect();
-        let svr = Svr::fit(&x, &y, &SvrConfig { gamma: 2.0, epsilon: 0.02, ..Default::default() });
+        let svr = Svr::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                gamma: 2.0,
+                epsilon: 0.02,
+                ..Default::default()
+            },
+        );
         let mut max_err = 0.0f32;
         for (row, &t) in x.iter().zip(&y) {
             max_err = max_err.max((svr.predict(row) - t).abs());
@@ -180,8 +201,22 @@ mod tests {
     fn epsilon_tube_creates_sparsity() {
         let x: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32 / 10.0]).collect();
         let y: Vec<f32> = x.iter().map(|v| v[0] * 0.01).collect(); // nearly flat
-        let wide = Svr::fit(&x, &y, &SvrConfig { epsilon: 0.5, ..Default::default() });
-        let narrow = Svr::fit(&x, &y, &SvrConfig { epsilon: 0.001, ..Default::default() });
+        let wide = Svr::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                epsilon: 0.5,
+                ..Default::default()
+            },
+        );
+        let narrow = Svr::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                epsilon: 0.001,
+                ..Default::default()
+            },
+        );
         assert!(
             wide.n_support() <= narrow.n_support(),
             "wider tube should not need more support vectors ({} vs {})",
@@ -196,7 +231,14 @@ mod tests {
         // prediction collapses to the bias, i.e. a constant.
         let x: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 / 20.0]).collect();
         let y: Vec<f32> = (0..20).map(|i| (i % 5) as f32).collect();
-        let svr = Svr::fit(&x, &y, &SvrConfig { gamma: 5.0, ..Default::default() });
+        let svr = Svr::fit(
+            &x,
+            &y,
+            &SvrConfig {
+                gamma: 5.0,
+                ..Default::default()
+            },
+        );
         let far1 = svr.predict(&[1000.0]);
         let far2 = svr.predict(&[-1000.0]);
         assert!(far1.is_finite());

@@ -28,7 +28,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 8, min_samples_leaf: 2, max_features: 0 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_leaf: 2,
+            max_features: 0,
+        }
     }
 }
 
@@ -74,8 +78,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -151,8 +164,8 @@ fn build(
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl)
-                + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             if best.as_ref().is_none_or(|b| sse < b.2) {
                 let threshold = 0.5 * (x[i][f] + x[sorted[k + 1]][f]);
                 best = Some((f, threshold, sse));
@@ -178,7 +191,12 @@ fn build(
     nodes.push(Node::Leaf { value: node_value }); // placeholder
     let left = build(nodes, x, y, left_idx, cfg, depth + 1, n_features, sampler);
     let right = build(nodes, x, y, right_idx, cfg, depth + 1, n_features, sampler);
-    nodes[slot] = Node::Split { feature, threshold, left, right };
+    nodes[slot] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     slot
 }
 
@@ -221,7 +239,10 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let (x, y) = xor_like_data();
-        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg);
         assert!(tree.depth() <= 2);
     }
@@ -239,7 +260,11 @@ mod tests {
     fn min_samples_leaf_enforced() {
         let x: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
         let y: Vec<f32> = (0..8).map(|i| i as f32).collect();
-        let cfg = TreeConfig { min_samples_leaf: 4, max_depth: 10, max_features: 0 };
+        let cfg = TreeConfig {
+            min_samples_leaf: 4,
+            max_depth: 10,
+            max_features: 0,
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg);
         // With 8 points and min leaf 4, only one split is possible.
         assert!(tree.node_count() <= 3);

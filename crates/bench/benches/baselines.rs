@@ -36,7 +36,10 @@ fn bench_fits(c: &mut Criterion) {
             std::hint::black_box(RandomForest::fit(
                 &x,
                 &y,
-                &ForestConfig { n_trees: 50, ..Default::default() },
+                &ForestConfig {
+                    n_trees: 50,
+                    ..Default::default()
+                },
             ))
         });
     });
@@ -45,7 +48,10 @@ fn bench_fits(c: &mut Criterion) {
             std::hint::black_box(GradientBoostedTrees::fit(
                 &x,
                 &y,
-                &GbtConfig { n_rounds: 60, ..Default::default() },
+                &GbtConfig {
+                    n_rounds: 60,
+                    ..Default::default()
+                },
             ))
         });
     });
@@ -55,7 +61,10 @@ fn bench_fits(c: &mut Criterion) {
             std::hint::black_box(Svr::fit(
                 &xs,
                 &ys,
-                &SvrConfig { max_passes: 25, ..Default::default() },
+                &SvrConfig {
+                    max_passes: 25,
+                    ..Default::default()
+                },
             ))
         });
     });

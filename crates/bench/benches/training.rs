@@ -10,14 +10,20 @@ use rpf_racesim::{simulate_race, Event, EventConfig};
 fn training_set(cfg: &RankNetConfig) -> TrainingSet {
     let ctxs: Vec<_> = (0..2u64)
         .map(|s| {
-            extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2016), s))
+            extract_sequences(&simulate_race(
+                &EventConfig::for_race(Event::Indy500, 2016),
+                s,
+            ))
         })
         .collect();
     TrainingSet::build(ctxs, cfg, 2)
 }
 
 fn bench_training_step(c: &mut Criterion) {
-    let base = RankNetConfig { max_epochs: 1, ..Default::default() };
+    let base = RankNetConfig {
+        max_epochs: 1,
+        ..Default::default()
+    };
     let ts = training_set(&base);
     let mut group = c.benchmark_group("train_step");
     group.sample_size(10);

@@ -22,7 +22,10 @@ pub fn weight_sweep(profile: &Profile) {
     let eval_cfg = profile.eval_cfg();
     let cur = eval_short_term(&CurRankForecaster, val, &eval_cfg);
 
-    println!("  {:>8} {:>12} {:>12} {:>14}", "weight", "all MAE", "pit MAE", "pit vs CurRank");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>14}",
+        "weight", "all MAE", "pit MAE", "pit vs CurRank"
+    );
     for weight in [1.0f32, 3.0, 6.0, 9.0] {
         let cfg = RankNetConfig {
             loss_weight: weight,
@@ -70,7 +73,10 @@ pub fn context_sweep(profile: &Profile) {
             profile.stride,
         );
         let row = eval_short_term(&model, val, &eval_cfg);
-        println!("  {:>8} {:>12.2} {:>12.2}", context, row.all.mae, row.pit_covered.mae);
+        println!(
+            "  {:>8} {:>12.2} {:>12.2}",
+            context, row.all.mae, row.pit_covered.mae
+        );
     }
 }
 
@@ -83,7 +89,10 @@ pub fn batch_accuracy(profile: &Profile) {
     let data = event_data(&d, Event::Indy500);
     // A reduced epoch base: the x4 multiplier at batch 3200 makes full-depth
     // runs hours-long, and the trade-off shape shows at any depth.
-    let base = RankNetConfig { max_epochs: (profile.epochs / 3).max(2), ..Default::default() };
+    let base = RankNetConfig {
+        max_epochs: (profile.epochs / 3).max(2),
+        ..Default::default()
+    };
     let ts = TrainingSet::build(data.train.clone(), &base, profile.stride);
     let vs = TrainingSet::build(data.val.clone(), &base, profile.stride * 2);
 
@@ -91,7 +100,8 @@ pub fn batch_accuracy(profile: &Profile) {
         "  {:>8} {:>8} {:>8} {:>12} {:>14} {:>12}",
         "batch", "lr", "epochs", "best val", "us/sample", "wall s"
     );
-    for (batch, lr_scale, epoch_scale) in [(64usize, 1.0f32, 1usize), (640, 3.0, 2), (3200, 10.0, 4)]
+    for (batch, lr_scale, epoch_scale) in
+        [(64usize, 1.0f32, 1usize), (640, 3.0, 2), (3200, 10.0, 4)]
     {
         let mut cfg = base.clone();
         cfg.batch_size = batch;
@@ -123,7 +133,10 @@ pub fn transfer(profile: &Profile) {
     let eval_cfg = profile.eval_cfg();
     let cur = eval_short_term(&CurRankForecaster, test, &eval_cfg);
 
-    let cfg = RankNetConfig { max_epochs: profile.epochs, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: profile.epochs,
+        ..Default::default()
+    };
 
     // Zero-shot: Indy500 weights applied to Texas directly.
     let (mut indy_model, _) = RankNet::fit(
@@ -174,12 +187,12 @@ pub fn transfer(profile: &Profile) {
     }
 }
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ranknet_core::baseline_adapters::{ArimaForecaster, Forecaster};
 use ranknet_core::config::Likelihood;
 use ranknet_core::metrics::{interval_coverage, mean_crps, quantile};
 use ranknet_core::ranknet::ranks_by_sorting;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Likelihood ablation: Gaussian vs Student-t output head (this
 /// reproduction's extension — heavy tails for the pit-stop jumps).
@@ -194,9 +207,10 @@ pub fn likelihood_ablation(profile: &Profile) {
         "  {:>14} {:>10} {:>10} {:>10} {:>10}",
         "likelihood", "all MAE", "pit MAE", "90-risk", "90% cover"
     );
-    for (label, lik) in
-        [("Gaussian", Likelihood::Gaussian), ("Student-t(5)", Likelihood::StudentT(5.0))]
-    {
+    for (label, lik) in [
+        ("Gaussian", Likelihood::Gaussian),
+        ("Student-t(5)", Likelihood::StudentT(5.0)),
+    ] {
         let cfg = RankNetConfig {
             likelihood: lik,
             max_epochs: profile.epochs,
@@ -240,9 +254,10 @@ pub fn calibration(profile: &Profile) {
     );
     println!("  {:>14} {:>12} {:>10}", "model", "90% cover", "CRPS");
     let arima = ArimaForecaster::default();
-    for (label, model) in
-        [("ARIMA", &arima as &dyn Forecaster), ("RankNet-MLP", &*mlp as &dyn Forecaster)]
-    {
+    for (label, model) in [
+        ("ARIMA", &arima as &dyn Forecaster),
+        ("RankNet-MLP", &*mlp as &dyn Forecaster),
+    ] {
         let (cov, crps) = coverage_and_crps(model, test, &eval_cfg);
         println!("  {:>14} {:>11.0}% {:>10.3}", label, cov * 100.0, crps);
     }
@@ -284,4 +299,87 @@ fn coverage_and_crps(
         interval_coverage(&samples_per_point, &actuals, 0.05),
         mean_crps(&samples_per_point, &actuals),
     )
+}
+
+/// `engine` target: run the deterministic forecast engine down the repro
+/// path — a batched multi-origin sweep at several thread counts, checking
+/// bitwise sample identity between settings and reporting the per-phase
+/// timing split that the criterion bench measures in isolation. A second
+/// pass over the same batch shows the encoder-cache amortisation.
+pub fn engine_report(profile: &Profile) {
+    use ranknet_core::engine::{ForecastEngine, ForecastRequest};
+
+    heading("Forecast engine: batched sweep, thread invariance, phase timings");
+    let d = one_event(Event::Indy500);
+    let data = event_data(&d, Event::Indy500);
+    let test = &data.test.iter().find(|(y, _)| *y == 2019).unwrap().1;
+    let model = crate::models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &data.train,
+        &data.val,
+        RankNetVariant::Mlp,
+    );
+
+    let requests: Vec<ForecastRequest> = (25..test.total_laps - 2)
+        .step_by((profile.origin_step * 4).max(1))
+        .map(|origin| ForecastRequest {
+            race: 0,
+            origin,
+            horizon: 2,
+            n_samples: profile.n_samples,
+        })
+        .collect();
+    println!(
+        "  batch: {} origins × {} samples, two-lap horizon, Indy500-2019",
+        requests.len(),
+        profile.n_samples
+    );
+
+    println!(
+        "  {:>7} {:>11} {:>11} {:>11} {:>11} {:>12} {:>9}",
+        "threads", "encode ms", "cov ms", "decode ms", "reuse ms", "traj/s", "bitwise"
+    );
+    let mut reference: Option<Vec<u32>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let engine = ForecastEngine::new(&model, 7).with_threads(threads);
+        let cold = engine.forecast_batch(&[test], &requests);
+        let first = engine.timings();
+        engine.reset_timings();
+        // Same batch again: every origin now hits the encoder cache.
+        let _warm = engine.forecast_batch(&[test], &requests);
+        let second = engine.timings();
+
+        let bits: Vec<u32> = cold
+            .iter()
+            .flatten()
+            .flatten()
+            .flatten()
+            .map(|v| v.to_bits())
+            .collect();
+        let identical = match &reference {
+            None => {
+                reference = Some(bits);
+                true
+            }
+            Some(r) => *r == bits,
+        };
+        println!(
+            "  {:>7} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>12.0} {:>9}",
+            threads,
+            first.encode.as_secs_f64() * 1e3,
+            first.covariates.as_secs_f64() * 1e3,
+            first.decode.as_secs_f64() * 1e3,
+            second.encode.as_secs_f64() * 1e3,
+            first.trajectories_per_sec(),
+            if identical { "yes" } else { "NO" }
+        );
+        assert_eq!(
+            second.encoder_reuses,
+            requests.len() as u64,
+            "warm pass must hit the cache"
+        );
+        assert!(identical, "engine samples must not depend on thread count");
+    }
+    println!("  (reuse ms: encoder time on a second pass over the batch — all cache hits)");
 }

@@ -34,11 +34,19 @@ pub fn table(rows: &[Vec<String>]) {
 
 /// A crude horizontal bar chart (one row per labelled value).
 pub fn bars(items: &[(String, f64)], unit: &str) {
-    let max = items.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, v) in items {
         let n = ((v / max) * 50.0).round() as usize;
-        println!("  {label:<label_w$}  {:>10.3} {unit}  |{}", v, "#".repeat(n));
+        println!(
+            "  {label:<label_w$}  {:>10.3} {unit}  |{}",
+            v,
+            "#".repeat(n)
+        );
     }
 }
 
@@ -74,10 +82,7 @@ mod tests {
     #[test]
     fn table_handles_empty_and_ragged() {
         table(&[]); // must not panic
-        table(&[
-            vec!["a".into(), "bb".into()],
-            vec!["ccc".into()],
-        ]);
+        table(&[vec!["a".into(), "bb".into()], vec!["ccc".into()]]);
     }
 
     #[test]

@@ -18,7 +18,12 @@ pub struct EventData {
 
 /// Featurize every race of one event with Table II's splits.
 pub fn event_data(dataset: &Dataset, event: Event) -> EventData {
-    let mut out = EventData { event, train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut out = EventData {
+        event,
+        train: Vec::new(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
     for (key, race) in dataset.split(event, Split::Training) {
         let _ = key;
         out.train.push(extract_sequences(race));

@@ -3,9 +3,9 @@
 use crate::ascii::{self, heading};
 use crate::dataset::{event_data, full_dataset, one_event, DATASET_SEED};
 use crate::models::{self, Profile};
-use ranknet_core::baseline_adapters::{
-    ArimaForecaster, CurRankForecaster, Forecaster,
-};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranknet_core::baseline_adapters::{ArimaForecaster, CurRankForecaster, Forecaster};
 use ranknet_core::eval::{eval_short_term, prediction_length_sweep, EvalConfig};
 use ranknet_core::features::RaceContext;
 use ranknet_core::instances::TrainingSet;
@@ -14,8 +14,6 @@ use ranknet_core::rank_model::{RankModel, TargetKind};
 use ranknet_core::ranknet::{ranks_by_sorting, RankNetVariant};
 use ranknet_core::transformer_model::TransformerForecaster;
 use ranknet_core::RankNetConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rpf_perfmodel::{hybrid_breakdown, Device, LstmWorkload, Roofline};
 use rpf_racesim::{simulate_race, stats, Event, EventConfig};
 
@@ -23,7 +21,10 @@ use rpf_racesim::{simulate_race, stats, Event, EventConfig};
 /// sequence.
 pub fn fig1(_profile: &Profile) {
     heading("Fig 1(a): Data records of Indy500-2018 (lap 31)");
-    let race = simulate_race(&EventConfig::for_race(Event::Indy500, 2018), DATASET_SEED ^ 2018);
+    let race = simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2018),
+        DATASET_SEED ^ 2018,
+    );
     println!("  Rank CarId  Lap   LapTime  BehindLeader LapStatus TrackStatus");
     for rec in race.records.iter().filter(|r| r.lap == 31).take(8) {
         println!("  {}", rec.display_row());
@@ -39,8 +40,11 @@ pub fn fig1(_profile: &Profile) {
         .map(|r| (r.lap as f64, r.rank as f64))
         .collect();
     ascii::series("Rank", &pts, "lap", "rank");
-    let pit_laps: Vec<u16> =
-        recs.iter().filter(|r| r.lap_status.is_pit()).map(|r| r.lap).collect();
+    let pit_laps: Vec<u16> = recs
+        .iter()
+        .filter(|r| r.lap_status.is_pit())
+        .map(|r| r.lap)
+        .collect();
     println!("  pit stop laps: {pit_laps:?}");
     let caution: usize = race.caution_lap_count();
     println!("  caution laps: {caution}");
@@ -54,7 +58,10 @@ fn forecast_trace(
     origins: impl Iterator<Item = usize>,
     n_samples: usize,
 ) {
-    println!("  {:>5} {:>9} {:>9} {:>9} {:>9}", "lap", "observed", "median", "q10", "q90");
+    println!(
+        "  {:>5} {:>9} {:>9} {:>9} {:>9}",
+        "lap", "observed", "median", "q10", "q90"
+    );
     let mut rng = StdRng::seed_from_u64(5);
     for origin in origins {
         let seq = &ctx.sequences[car_slot];
@@ -127,13 +134,22 @@ pub fn fig4(_profile: &Profile) {
         stops.extend(stats::pit_stops(race));
     }
     let summary = stats::summarize_pits(&stops);
-    println!("  normal pits: {}   caution pits: {}", summary.normal_count, summary.caution_count);
+    println!(
+        "  normal pits: {}   caution pits: {}",
+        summary.normal_count, summary.caution_count
+    );
 
     println!("\n  (a) stint distance distribution (5-lap buckets)");
-    let normal: Vec<f32> =
-        stops.iter().filter(|p| !p.caution).map(|p| p.stint_length as f32).collect();
-    let caution: Vec<f32> =
-        stops.iter().filter(|p| p.caution).map(|p| p.stint_length as f32).collect();
+    let normal: Vec<f32> = stops
+        .iter()
+        .filter(|p| !p.caution)
+        .map(|p| p.stint_length as f32)
+        .collect();
+    let caution: Vec<f32> = stops
+        .iter()
+        .filter(|p| p.caution)
+        .map(|p| p.stint_length as f32)
+        .collect();
     let hn = stats::histogram(normal.iter().copied(), 55.0, 5.0);
     let hc = stats::histogram(caution.iter().copied(), 55.0, 5.0);
     println!("  {:>8} {:>10} {:>12}", "laps", "normal", "caution");
@@ -158,7 +174,10 @@ pub fn fig4(_profile: &Profile) {
         "  mean |rank change|: normal {:.1}  caution {:.1}  (caution pits are cheaper)",
         summary.normal_rank_impact, summary.caution_rank_impact
     );
-    println!("  short (<24 lap) normal stints: {:.1}%", 100.0 * summary.short_stint_fraction);
+    println!(
+        "  short (<24 lap) normal stints: {:.1}%",
+        100.0 * summary.short_stint_fraction
+    );
 }
 
 /// Fig 6: dataset distribution scatter.
@@ -235,9 +254,15 @@ pub fn fig7(profile: &Profile) {
         },
         Step {
             label: "(d) + context features",
-            cfg: RankNetConfig { use_shift_features: false, ..base.clone() },
+            cfg: RankNetConfig {
+                use_shift_features: false,
+                ..base.clone()
+            },
         },
-        Step { label: "(e) + shift features", cfg: base.clone() },
+        Step {
+            label: "(e) + shift features",
+            cfg: base.clone(),
+        },
     ];
 
     let mut results = Vec::new();
@@ -257,7 +282,10 @@ pub fn fig7(profile: &Profile) {
         results.push((step.label, row.pit_covered.mae));
     }
     let cur = eval_short_term(&CurRankForecaster, val, &eval_cfg);
-    println!("  {:<45} pit-lap MAE {:.2}  (reference)", "CurRank", cur.pit_covered.mae);
+    println!(
+        "  {:<45} pit-lap MAE {:.2}  (reference)",
+        "CurRank", cur.pit_covered.mae
+    );
 }
 
 /// Fig 8: RankNet vs Transformer forecast traces.
@@ -269,12 +297,25 @@ pub fn fig8(profile: &Profile) {
     let car = display_car(test, 30, 56);
     println!("  display car: id {}", test.sequences[car].car_id);
 
-    let oracle =
-        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Oracle);
-    let mlp =
-        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Mlp);
+    let oracle = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &data.train,
+        &data.val,
+        RankNetVariant::Oracle,
+    );
+    let mlp = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &data.train,
+        &data.val,
+        RankNetVariant::Mlp,
+    );
     let tx = models::train_transformer(profile, &data.train, &data.val);
-    let tx_oracle = TransformerForecaster { model: tx, pit_model: None };
+    let tx_oracle = TransformerForecaster {
+        model: tx,
+        pit_model: None,
+    };
 
     for (label, model) in [
         ("RankNet-Oracle", &*oracle as &dyn Forecaster),
@@ -282,7 +323,13 @@ pub fn fig8(profile: &Profile) {
         ("Transformer-Oracle", &tx_oracle as &dyn Forecaster),
     ] {
         println!("  --- {label} ---");
-        forecast_trace(model, test, car, (26..56).step_by(3), (profile.n_samples / 2).max(6));
+        forecast_trace(
+            model,
+            test,
+            car,
+            (26..56).step_by(3),
+            (profile.n_samples / 2).max(6),
+        );
     }
 }
 
@@ -297,10 +344,20 @@ pub fn fig9(profile: &Profile) {
     eval_cfg.origin_step = eval_cfg.origin_step.max(8); // sweep is 4x the work
     eval_cfg.n_samples = (eval_cfg.n_samples / 2).max(8);
 
-    let oracle =
-        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Oracle);
-    let mlp =
-        models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, RankNetVariant::Mlp);
+    let oracle = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &data.train,
+        &data.val,
+        RankNetVariant::Oracle,
+    );
+    let mlp = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &data.train,
+        &data.val,
+        RankNetVariant::Mlp,
+    );
     let regs = models::regressors_for(profile, Event::Indy500, &data.train, 8);
 
     let mut all_rows = vec![vec![
@@ -336,7 +393,10 @@ pub fn fig10(profile: &Profile) {
     // Measured: the real Rust LSTM training on this machine.
     let d = one_event(Event::Indy500);
     let data = event_data(&d, Event::Indy500);
-    let cfg = RankNetConfig { max_epochs: 1, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: 1,
+        ..Default::default()
+    };
     let ts = TrainingSet::build(data.train.clone(), &cfg, profile.stride.max(4));
     println!("  measured (this machine, {} training windows):", ts.len());
     let mut measured = Vec::new();
@@ -396,7 +456,10 @@ pub fn fig11() {
     let cpu = Device::cpu();
     for batch in [32usize, 3200] {
         println!("\n  kernels at batch {batch}:");
-        println!("    {:>8} {:>14} {:>12}", "kernel", "AI (FLOP/B)", "GFLOP/s");
+        println!(
+            "    {:>8} {:>14} {:>12}",
+            "kernel", "AI (FLOP/B)", "GFLOP/s"
+        );
         for p in roof.points(&cpu, batch) {
             println!(
                 "    {:>8} {:>14.3} {:>12.2}",

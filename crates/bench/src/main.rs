@@ -26,7 +26,11 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let target = args.first().map(String::as_str).unwrap_or("help");
-    let profile = if full { models::Profile::full() } else { models::Profile::fast() };
+    let profile = if full {
+        models::Profile::full()
+    } else {
+        models::Profile::fast()
+    };
 
     match target {
         "fig1" => figures::fig1(&profile),
@@ -52,6 +56,7 @@ fn main() {
         "transfer" => ablations::transfer(&profile),
         "likelihood" => ablations::likelihood_ablation(&profile),
         "calibration" => ablations::calibration(&profile),
+        "engine" => ablations::engine_report(&profile),
         "all" => {
             figures::fig1(&profile);
             tables::table2(&profile);
@@ -75,7 +80,8 @@ fn main() {
             eprintln!(
                 "usage: repro <fig1|fig2|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
                  \u{20}              table2|table3|table4|table5|table6|table7|table8|\n\
-                 \u{20}              weightsweep|ctxsweep|batchacc|transfer|likelihood|calibration|all> [--full]"
+                 \u{20}              weightsweep|ctxsweep|batchacc|transfer|likelihood|calibration|\n\
+                 \u{20}              engine|all> [--full]"
             );
         }
     }

@@ -1,16 +1,14 @@
 //! Model training shared by the experiment targets, with fast / full
 //! profiles.
 
-use ranknet_core::baseline_adapters::{
-    DeepArForecaster, RegKind, RegressionForecaster,
-};
+use ranknet_core::baseline_adapters::{DeepArForecaster, RegKind, RegressionForecaster};
+use ranknet_core::eval::EvalConfig;
 use ranknet_core::features::RaceContext;
 use ranknet_core::instances::TrainingSet;
 use ranknet_core::rank_model::{RankModel, TargetKind};
 use ranknet_core::ranknet::{RankNet, RankNetVariant};
 use ranknet_core::transformer_model::TransformerModel;
 use ranknet_core::RankNetConfig;
-use ranknet_core::eval::EvalConfig;
 
 /// Experiment scale knobs.
 #[derive(Clone, Debug)]
@@ -32,16 +30,33 @@ pub struct Profile {
 impl Profile {
     /// Minutes-scale runs for the default harness.
     pub fn fast() -> Profile {
-        Profile { stride: 6, epochs: 18, n_samples: 30, origin_step: 6, tx_stride: 48, tx_epochs: 6 }
+        Profile {
+            stride: 6,
+            epochs: 18,
+            n_samples: 30,
+            origin_step: 6,
+            tx_stride: 48,
+            tx_epochs: 6,
+        }
     }
 
     /// The paper's settings (hours-scale).
     pub fn full() -> Profile {
-        Profile { stride: 1, epochs: 60, n_samples: 100, origin_step: 1, tx_stride: 8, tx_epochs: 30 }
+        Profile {
+            stride: 1,
+            epochs: 60,
+            n_samples: 100,
+            origin_step: 1,
+            tx_stride: 8,
+            tx_epochs: 30,
+        }
     }
 
     pub fn model_cfg(&self) -> RankNetConfig {
-        RankNetConfig { max_epochs: self.epochs, ..Default::default() }
+        RankNetConfig {
+            max_epochs: self.epochs,
+            ..Default::default()
+        }
     }
 
     pub fn eval_cfg(&self) -> EvalConfig {
@@ -76,7 +91,11 @@ pub fn train_ranknet(
 }
 
 /// Train the plain DeepAR baseline.
-pub fn train_deepar(profile: &Profile, train: &[RaceContext], val: &[RaceContext]) -> DeepArForecaster {
+pub fn train_deepar(
+    profile: &Profile,
+    train: &[RaceContext],
+    val: &[RaceContext],
+) -> DeepArForecaster {
     let cfg = profile.model_cfg().deepar();
     let ts = TrainingSet::build(train.to_vec(), &cfg, profile.stride);
     let vs = TrainingSet::build(val.to_vec(), &cfg, (profile.stride * 2).max(4));
@@ -156,7 +175,12 @@ pub fn ranknet_for(
     val: &[RaceContext],
     variant: RankNetVariant,
 ) -> Arc<RankNet> {
-    let key = format!("{}-{}-{}", event.name(), variant.name(), profile_key(profile));
+    let key = format!(
+        "{}-{}-{}",
+        event.name(),
+        variant.name(),
+        profile_key(profile)
+    );
     let cache = RANKNET_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(m) = cache.lock().get(&key) {
         return m.clone();

@@ -3,10 +3,10 @@
 use crate::ascii::{self, f2, f3, heading};
 use crate::dataset::{event_data, full_dataset, one_event};
 use crate::models::{self, Profile};
-use ranknet_core::baseline_adapters::{
-    ArimaForecaster, CurRankForecaster,
+use ranknet_core::baseline_adapters::{ArimaForecaster, CurRankForecaster};
+use ranknet_core::eval::{
+    eval_short_term, eval_stint, mae_improvement_pit_laps, ShortTermRow, StintRow,
 };
-use ranknet_core::eval::{eval_short_term, eval_stint, mae_improvement_pit_laps, ShortTermRow, StintRow};
 use ranknet_core::ranknet::RankNetVariant;
 use ranknet_core::transformer_model::TransformerForecaster;
 use ranknet_core::RankNetConfig;
@@ -37,7 +37,7 @@ pub fn table2(_profile: &Profile) {
                 event.name().into(),
                 year.to_string(),
                 format!("{:.3}", cfg.track_length_miles),
-                cfg.track_shape.into(),
+                cfg.track_shape.clone(),
                 cfg.total_laps.to_string(),
                 format!("{:.0}mph", cfg.avg_speed_mph),
                 cfg.participants.to_string(),
@@ -47,23 +47,47 @@ pub fn table2(_profile: &Profile) {
         }
     }
     ascii::table(&rows);
-    println!("  total races: {}   total records: {}", d.len(), d.record_count());
+    println!(
+        "  total races: {}   total records: {}",
+        d.len(),
+        d.record_count()
+    );
 }
 
 /// Table III: model feature matrix (static, from the paper).
 pub fn table3() {
     heading("Table III: Features of the rank position forecasting models");
     ascii::table(&[
-        vec!["Model".into(), "ReprLearning".into(), "Uncertainty".into(), "PitModel".into()],
+        vec![
+            "Model".into(),
+            "ReprLearning".into(),
+            "Uncertainty".into(),
+            "PitModel".into(),
+        ],
         vec!["CurRank".into(), "N".into(), "N".into(), "N".into()],
         vec!["RandomForest".into(), "N".into(), "N".into(), "N".into()],
         vec!["SVM".into(), "N".into(), "N".into(), "N".into()],
         vec!["XGBoost".into(), "N".into(), "N".into(), "N".into()],
         vec!["ARIMA".into(), "N".into(), "Y".into(), "N".into()],
         vec!["DeepAR".into(), "Y".into(), "Y".into(), "N".into()],
-        vec!["RankNet-Joint".into(), "Y".into(), "Y".into(), "Y (Joint Train)".into()],
-        vec!["RankNet-MLP".into(), "Y".into(), "Y".into(), "Y (Decomposition)".into()],
-        vec!["RankNet-Oracle".into(), "Y".into(), "Y".into(), "Y (Ground Truth)".into()],
+        vec![
+            "RankNet-Joint".into(),
+            "Y".into(),
+            "Y".into(),
+            "Y (Joint Train)".into(),
+        ],
+        vec![
+            "RankNet-MLP".into(),
+            "Y".into(),
+            "Y".into(),
+            "Y (Decomposition)".into(),
+        ],
+        vec![
+            "RankNet-Oracle".into(),
+            "Y".into(),
+            "Y".into(),
+            "Y (Ground Truth)".into(),
+        ],
     ]);
 }
 
@@ -81,8 +105,14 @@ pub fn table4(profile: &Profile) {
     );
     ascii::table(&[
         vec!["Parameter".into(), "Value".into()],
-        vec!["# of time series (Indy500 train)".into(), (data.train.len() * 33).to_string()],
-        vec!["# of training examples (stride 1)".into(), ts.len().to_string()],
+        vec![
+            "# of time series (Indy500 train)".into(),
+            (data.train.len() * 33).to_string(),
+        ],
+        vec![
+            "# of training examples (stride 1)".into(),
+            ts.len().to_string(),
+        ],
         vec!["Granularity".into(), "Lap".into()],
         vec!["Encoder length".into(), cfg.context_len.to_string()],
         vec!["Decoder length k".into(), cfg.prediction_len.to_string()],
@@ -94,7 +124,10 @@ pub fn table4(profile: &Profile) {
         vec!["# of LSTM layers".into(), cfg.num_layers.to_string()],
         vec!["# of LSTM nodes".into(), cfg.hidden_dim.to_string()],
         vec!["Model parameters".into(), model.num_params().to_string()],
-        vec!["Profile (this run)".into(), format!("stride={} epochs={}", profile.stride, profile.epochs)],
+        vec![
+            "Profile (this run)".into(),
+            format!("stride={} epochs={}", profile.stride, profile.epochs),
+        ],
     ]);
 }
 
@@ -145,15 +178,22 @@ pub fn table5(profile: &Profile) {
 
     let mut rows: Vec<ShortTermRow> = Vec::new();
     rows.push(eval_short_term(&CurRankForecaster, test, &eval_cfg));
-    rows.push(eval_short_term(&ArimaForecaster::default(), test, &eval_cfg));
+    rows.push(eval_short_term(
+        &ArimaForecaster::default(),
+        test,
+        &eval_cfg,
+    ));
     for reg in models::regressors_for(profile, Event::Indy500, &data.train, 2).iter() {
         rows.push(eval_short_term(reg, test, &eval_cfg));
     }
     let deepar = models::deepar_for(profile, Event::Indy500, &data.train, &data.val);
     rows.push(eval_short_term(&*deepar, test, &eval_cfg));
-    for variant in [RankNetVariant::Joint, RankNetVariant::Mlp, RankNetVariant::Oracle] {
-        let model =
-            models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
+    for variant in [
+        RankNetVariant::Joint,
+        RankNetVariant::Mlp,
+        RankNetVariant::Oracle,
+    ] {
+        let model = models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
         rows.push(eval_short_term(&*model, test, &eval_cfg));
     }
 
@@ -195,9 +235,12 @@ pub fn table6(profile: &Profile) {
     }
     let deepar = models::deepar_for(profile, Event::Indy500, &data.train, &data.val);
     rows.push(eval_stint(&*deepar, test, &eval_cfg));
-    for variant in [RankNetVariant::Joint, RankNetVariant::Mlp, RankNetVariant::Oracle] {
-        let model =
-            models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
+    for variant in [
+        RankNetVariant::Joint,
+        RankNetVariant::Mlp,
+        RankNetVariant::Oracle,
+    ] {
+        let model = models::ranknet_for(profile, Event::Indy500, &data.train, &data.val, variant);
         rows.push(eval_stint(&*model, test, &eval_cfg));
     }
 
@@ -231,8 +274,13 @@ pub fn table7(profile: &Profile) {
     let eval_cfg = profile.eval_cfg();
 
     // Models trained on Indy500.
-    let indy_mlp =
-        models::ranknet_for(profile, Event::Indy500, &indy.train, &indy.val, RankNetVariant::Mlp);
+    let indy_mlp = models::ranknet_for(
+        profile,
+        Event::Indy500,
+        &indy.train,
+        &indy.val,
+        RankNetVariant::Mlp,
+    );
     let indy_joint = models::ranknet_for(
         profile,
         Event::Indy500,
@@ -252,7 +300,10 @@ pub fn table7(profile: &Profile) {
             pm.train(&indy.train, &profile.model_cfg());
             pm
         };
-        TransformerForecaster { model, pit_model: Some(pit) }
+        TransformerForecaster {
+            model,
+            pit_model: Some(pit),
+        }
     };
 
     let mut rows = vec![vec![

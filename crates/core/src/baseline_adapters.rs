@@ -217,22 +217,38 @@ impl RegressionForecaster {
                 RegKind::Forest => RegModel::Forest(RandomForest::fit(
                     &x,
                     &y,
-                    &ForestConfig { n_trees: 50, seed, ..Default::default() },
+                    &ForestConfig {
+                        n_trees: 50,
+                        seed,
+                        ..Default::default()
+                    },
                 )),
                 RegKind::Svr => RegModel::Svr(Svr::fit(
                     &x,
                     &y,
-                    &SvrConfig { seed, epsilon: 0.25, c: 5.0, gamma: 1.0, max_passes: 25 },
+                    &SvrConfig {
+                        seed,
+                        epsilon: 0.25,
+                        c: 5.0,
+                        gamma: 1.0,
+                        max_passes: 25,
+                    },
                 )),
                 RegKind::Gbt => RegModel::Gbt(GradientBoostedTrees::fit(
                     &x,
                     &y,
-                    &GbtConfig { n_rounds: 60, ..Default::default() },
+                    &GbtConfig {
+                        n_rounds: 60,
+                        ..Default::default()
+                    },
                 )),
             };
             per_step.push(model);
         }
-        RegressionForecaster { label: label.into(), per_step }
+        RegressionForecaster {
+            label: label.into(),
+            per_step,
+        }
     }
 }
 
@@ -266,9 +282,10 @@ impl Forecaster for RegressionForecaster {
                             .map(|s| {
                                 (0..horizon)
                                     .map(|h| {
-                                        let m =
-                                            &self.per_step[h.min(self.per_step.len() - 1)];
-                                        let RegModel::Forest(f) = m else { unreachable!() };
+                                        let m = &self.per_step[h.min(self.per_step.len() - 1)];
+                                        let RegModel::Forest(f) = m else {
+                                            unreachable!()
+                                        };
                                         let preds = f.tree_predictions(&feats);
                                         let v = preds[s % preds.len()];
                                         (current + v).clamp(0.5, field + 0.5)
@@ -316,7 +333,9 @@ impl Forecaster for DeepArForecaster {
         rng: &mut StdRng,
     ) -> ForecastSamples {
         // Covariates are disabled in the DeepAR config; empty rows suffice.
-        let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
+        let cov = CovariateFuture {
+            rows: vec![Vec::new(); ctx.sequences.len()],
+        };
         self.0.forecast(ctx, &cov, origin, horizon, n_samples, rng)
     }
 }
@@ -346,7 +365,10 @@ mod tests {
     use rpf_racesim::{simulate_race, Event, EventConfig};
 
     fn ctx() -> RaceContext {
-        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 11))
+        extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2018),
+            11,
+        ))
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn likelihood_serde_roundtrip() {
-        let cfg = RankNetConfig { likelihood: Likelihood::StudentT(5.0), ..Default::default() };
+        let cfg = RankNetConfig {
+            likelihood: Likelihood::StudentT(5.0),
+            ..Default::default()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: RankNetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.likelihood, Likelihood::StudentT(5.0));

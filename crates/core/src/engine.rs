@@ -1,0 +1,237 @@
+//! The forecast engine: a batched, thread-parallel front end over
+//! [`RankNet`] with deterministic counter-derived sampling.
+//!
+//! The raw model API re-runs the LSTM encoder on every call and threads a
+//! mutable `StdRng` through the sampler, which couples results to call
+//! order and thread schedule. The engine fixes both:
+//!
+//! * **Determinism** — every call's draws derive from
+//!   `(engine seed, race key, origin)` through [`RngStreams`], so a
+//!   forecast is a pure function of the model and those keys. Thread count
+//!   and batching change wall-clock time, never samples.
+//! * **Encoder amortisation** — encoder states are cached per
+//!   `(race key, origin)`; repeated forecasts at one origin (different
+//!   horizons, sample counts, or models of a comparison sweep) pay the
+//!   encoder once.
+//! * **Observability** — per-phase wall-clock counters (encode / covariate
+//!   sampling / decode) and a trajectory count, for throughput reporting.
+
+use crate::features::RaceContext;
+use crate::rank_model::{EncoderState, ForecastSamples};
+use crate::ranknet::RankNet;
+use rpf_nn::RngStreams;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One forecast of a batch: `race` indexes the context slice handed to
+/// [`ForecastEngine::forecast_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct ForecastRequest {
+    pub race: usize,
+    pub origin: usize,
+    pub horizon: usize,
+    pub n_samples: usize,
+}
+
+/// Snapshot of the engine's accumulated phase counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Time spent running the encoder (cache misses only).
+    pub encode: Duration,
+    /// Time spent sampling covariate futures (PitModel step).
+    pub covariates: Duration,
+    /// Time spent in ancestral decoding (the Monte-Carlo bulk).
+    pub decode: Duration,
+    /// Forecast calls served.
+    pub calls: u64,
+    /// Calls that reused a cached encoder state.
+    pub encoder_reuses: u64,
+    /// Trajectories sampled (`active cars × n_samples`, summed over calls).
+    pub trajectories: u64,
+}
+
+impl PhaseTimings {
+    /// Sampled trajectories per second of decode time.
+    pub fn trajectories_per_sec(&self) -> f64 {
+        let s = self.decode.as_secs_f64();
+        if s > 0.0 {
+            self.trajectories as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic parallel Monte-Carlo forecast engine over a trained
+/// [`RankNet`].
+pub struct ForecastEngine<'m> {
+    model: &'m RankNet,
+    seed: u64,
+    threads: usize,
+    cache: Mutex<HashMap<(usize, usize), EncoderState>>,
+    encode_ns: AtomicU64,
+    covariate_ns: AtomicU64,
+    decode_ns: AtomicU64,
+    calls: AtomicU64,
+    encoder_reuses: AtomicU64,
+    trajectories: AtomicU64,
+}
+
+impl<'m> ForecastEngine<'m> {
+    /// Build an engine with the machine's default thread count.
+    pub fn new(model: &'m RankNet, seed: u64) -> ForecastEngine<'m> {
+        ForecastEngine {
+            model,
+            seed,
+            threads: rpf_tensor::par::num_threads(),
+            cache: Mutex::new(HashMap::new()),
+            encode_ns: AtomicU64::new(0),
+            covariate_ns: AtomicU64::new(0),
+            decode_ns: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            encoder_reuses: AtomicU64::new(0),
+            trajectories: AtomicU64::new(0),
+        }
+    }
+
+    /// Override the decoder worker count (≥ 1). Changes scheduling only;
+    /// the samples are identical for every setting.
+    pub fn with_threads(mut self, threads: usize) -> ForecastEngine<'m> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Forecast a single race (race key 0).
+    pub fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+    ) -> ForecastSamples {
+        self.forecast_keyed(0, ctx, origin, horizon, n_samples)
+    }
+
+    /// Forecast with an explicit race key. The key scopes both the encoder
+    /// cache and the RNG streams: calls with the same
+    /// `(race, origin)` reuse the cached encoder state and replay the same
+    /// random draws (common random numbers across horizons and sample
+    /// counts), while distinct keys are independent.
+    pub fn forecast_keyed(
+        &self,
+        race: usize,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+    ) -> ForecastSamples {
+        // Seed derived from the call's identity, not from call order, so
+        // one-at-a-time and batched execution agree.
+        let call_seed = RngStreams::new(self.seed)
+            .child(race as u64)
+            .seed(origin as u64);
+
+        let enc = {
+            let cached = self
+                .cache
+                .lock()
+                .expect("engine cache")
+                .get(&(race, origin))
+                .cloned();
+            match cached {
+                Some(enc) => {
+                    self.encoder_reuses.fetch_add(1, Ordering::Relaxed);
+                    enc
+                }
+                None => {
+                    let t0 = Instant::now();
+                    let enc = self.model.rank_model.encode(ctx, origin);
+                    self.add_ns(&self.encode_ns, t0);
+                    self.cache
+                        .lock()
+                        .expect("engine cache")
+                        .insert((race, origin), enc.clone());
+                    enc
+                }
+            }
+        };
+
+        let t0 = Instant::now();
+        let groups = self
+            .model
+            .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
+        self.add_ns(&self.covariate_ns, t0);
+
+        let t0 = Instant::now();
+        let out = self.model.decode_groups(
+            ctx,
+            &enc,
+            &groups,
+            origin,
+            horizon,
+            n_samples,
+            call_seed,
+            self.threads,
+        );
+        self.add_ns(&self.decode_ns, t0);
+
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.trajectories
+            .fetch_add((enc.cars.len() * n_samples) as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Serve a batch of forecasts over several races. `requests[i].race`
+    /// indexes `contexts`; results come back in request order. Requests
+    /// sharing a `(race, origin)` pay the encoder once.
+    pub fn forecast_batch(
+        &self,
+        contexts: &[&RaceContext],
+        requests: &[ForecastRequest],
+    ) -> Vec<ForecastSamples> {
+        requests
+            .iter()
+            .map(|r| {
+                self.forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
+            })
+            .collect()
+    }
+
+    /// Drop cached encoder states (e.g. after fine-tuning the model the
+    /// engine borrows — required, since states are weight-dependent).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("engine cache").clear();
+    }
+
+    /// Accumulated phase counters since construction (or the last
+    /// [`ForecastEngine::reset_timings`]).
+    pub fn timings(&self) -> PhaseTimings {
+        PhaseTimings {
+            encode: Duration::from_nanos(self.encode_ns.load(Ordering::Relaxed)),
+            covariates: Duration::from_nanos(self.covariate_ns.load(Ordering::Relaxed)),
+            decode: Duration::from_nanos(self.decode_ns.load(Ordering::Relaxed)),
+            calls: self.calls.load(Ordering::Relaxed),
+            encoder_reuses: self.encoder_reuses.load(Ordering::Relaxed),
+            trajectories: self.trajectories.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset_timings(&self) {
+        self.encode_ns.store(0, Ordering::Relaxed);
+        self.covariate_ns.store(0, Ordering::Relaxed);
+        self.decode_ns.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+        self.encoder_reuses.store(0, Ordering::Relaxed);
+        self.trajectories.store(0, Ordering::Relaxed);
+    }
+
+    fn add_ns(&self, counter: &AtomicU64, since: Instant) {
+        counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}

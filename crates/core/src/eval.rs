@@ -33,14 +33,26 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { horizon: 2, n_samples: 100, origin_start: 25, origin_step: 1, seed: 7 }
+        EvalConfig {
+            horizon: 2,
+            n_samples: 100,
+            origin_start: 25,
+            origin_step: 1,
+            seed: 7,
+        }
     }
 }
 
 impl EvalConfig {
     /// Sparse, small-sample protocol for unit tests.
     pub fn fast() -> Self {
-        EvalConfig { horizon: 2, n_samples: 10, origin_start: 40, origin_step: 25, seed: 7 }
+        EvalConfig {
+            horizon: 2,
+            n_samples: 10,
+            origin_start: 40,
+            origin_step: 25,
+            seed: 7,
+        }
     }
 }
 
@@ -92,9 +104,9 @@ impl Accumulator {
 pub fn window_has_pit(ctx: &RaceContext, origin: usize, horizon: usize) -> bool {
     let lo = origin.saturating_sub(1);
     let hi = origin + horizon;
-    ctx.sequences.iter().any(|seq| {
-        (lo..hi.min(seq.len())).any(|i| seq.lap_status[i] == 1.0)
-    })
+    ctx.sequences
+        .iter()
+        .any(|seq| (lo..hi.min(seq.len())).any(|i| seq.lap_status[i] == 1.0))
 }
 
 /// Table V for one model on one race.
@@ -209,8 +221,9 @@ pub fn eval_stint(model: &dyn Forecaster, ctx: &RaceContext, cfg: &EvalConfig) -
     let mut actual_ranks = Vec::new();
 
     for (c, seq) in ctx.sequences.iter().enumerate() {
-        let pit_laps: Vec<usize> =
-            (0..seq.len()).filter(|&i| seq.lap_status[i] == 1.0).collect();
+        let pit_laps: Vec<usize> = (0..seq.len())
+            .filter(|&i| seq.lap_status[i] == 1.0)
+            .collect();
         for w in pit_laps.windows(2) {
             let (p1, p2) = (w[0], w[1]);
             // Forecast from two laps after the stop to the lap before the
@@ -225,7 +238,7 @@ pub fn eval_stint(model: &dyn Forecaster, ctx: &RaceContext, cfg: &EvalConfig) -
                 continue;
             }
             let ranked = ranks_by_sorting(&samples, horizon - 1);
-            if ranked[c].is_empty() || seq.len() <= p2 - 1 {
+            if ranked[c].is_empty() || seq.len() < p2 {
                 continue;
             }
             let start_rank = seq.rank[origin - 1];
@@ -299,7 +312,10 @@ mod tests {
     use rpf_racesim::{simulate_race, Event, EventConfig};
 
     fn ctx() -> RaceContext {
-        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2019), 21))
+        extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2019),
+            21,
+        ))
     }
 
     #[test]
@@ -362,8 +378,7 @@ mod tests {
     #[test]
     fn sweep_produces_one_point_per_horizon() {
         let c = ctx();
-        let pts =
-            prediction_length_sweep(&CurRankForecaster, &c, &[2, 4], &EvalConfig::fast());
+        let pts = prediction_length_sweep(&CurRankForecaster, &c, &[2, 4], &EvalConfig::fast());
         assert_eq!(pts.len(), 2);
         // CurRank against itself: zero improvement.
         for (_, imp) in pts {

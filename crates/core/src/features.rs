@@ -120,8 +120,13 @@ pub fn extract_sequences(race: &RaceResult) -> RaceContext {
             seq.rank.push(rec.rank as f32);
             seq.lap_time.push(rec.lap_time);
             seq.time_behind.push(rec.time_behind_leader);
-            seq.lap_status.push(if rec.lap_status.is_pit() { 1.0 } else { 0.0 });
-            seq.track_status.push(if rec.track_status.is_caution() { 1.0 } else { 0.0 });
+            seq.lap_status
+                .push(if rec.lap_status.is_pit() { 1.0 } else { 0.0 });
+            seq.track_status.push(if rec.track_status.is_caution() {
+                1.0
+            } else {
+                0.0
+            });
 
             // Accumulation-sum transforms (§III-C): ages reset at pit laps.
             if rec.track_status.is_caution() {
@@ -145,9 +150,7 @@ pub fn extract_sequences(race: &RaceResult) -> RaceContext {
                 .records
                 .iter()
                 .filter(|r| {
-                    r.lap == rec.lap
-                        && r.lap_status == LapStatus::Pit
-                        && r.rank < my_rank_before
+                    r.lap == rec.lap && r.lap_status == LapStatus::Pit && r.rank < my_rank_before
                 })
                 .count() as f32;
             seq.leader_pit_count.push(leader_pits);
@@ -177,7 +180,10 @@ mod tests {
     #[test]
     fn sequences_cover_the_field() {
         let c = ctx();
-        assert!(c.sequences.len() >= 25, "most of the 33 cars have sequences");
+        assert!(
+            c.sequences.len() >= 25,
+            "most of the 33 cars have sequences"
+        );
         assert_eq!(c.field_size, 33);
         assert_eq!(c.total_laps, 200);
     }
@@ -216,7 +222,8 @@ mod tests {
                 if cur < prev {
                     saw_reset = true;
                     assert_eq!(
-                        seq.lap_status[i - 1], 1.0,
+                        seq.lap_status[i - 1],
+                        1.0,
                         "caution count only resets after a pit"
                     );
                 }

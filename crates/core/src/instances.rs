@@ -141,12 +141,21 @@ impl TrainingSet {
                     let rank_changes = (dec_lo.saturating_sub(1)..dec_hi - 1)
                         .any(|i| seq.rank[i] != seq.rank[i + 1]);
                     let weight = if rank_changes { cfg.loss_weight } else { 1.0 };
-                    instances.push(WindowInstance { race: ri, car: ci, start, weight });
+                    instances.push(WindowInstance {
+                        race: ri,
+                        car: ci,
+                        start,
+                        weight,
+                    });
                     start += stride;
                 }
             }
         }
-        TrainingSet { contexts, instances, max_car_id }
+        TrainingSet {
+            contexts,
+            instances,
+            max_car_id,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -165,7 +174,10 @@ mod tests {
     use rpf_racesim::{simulate_race, Event, EventConfig};
 
     fn ctx() -> RaceContext {
-        extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2017), 3))
+        extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2017),
+            3,
+        ))
     }
 
     #[test]
@@ -174,8 +186,10 @@ mod tests {
         assert_eq!(base_input_dim(&full), 12);
         let deepar = RankNetConfig::default().deepar();
         assert_eq!(base_input_dim(&deepar), 3);
-        let mut no_shift = RankNetConfig::default();
-        no_shift.use_shift_features = false;
+        let no_shift = RankNetConfig {
+            use_shift_features: false,
+            ..Default::default()
+        };
         assert_eq!(base_input_dim(&no_shift), 9);
     }
 
@@ -185,11 +199,18 @@ mod tests {
         let c = ctx();
         let seq = &c.sequences[0];
         let mut row = Vec::new();
-        let reg = Regressive { rank: seq.rank[10], lap_time: seq.lap_time[10], time_behind: seq.time_behind[10] };
+        let reg = Regressive {
+            rank: seq.rank[10],
+            lap_time: seq.lap_time[10],
+            time_behind: seq.time_behind[10],
+        };
         let cov = Covariates::from_seq(seq, 11, cfg.prediction_len);
         assemble_row(&cfg, &c, &reg, &cov, &mut row);
         assert_eq!(row.len(), base_input_dim(&cfg));
-        assert!(row.iter().all(|v| v.is_finite() && v.abs() < 20.0), "{row:?}");
+        assert!(
+            row.iter().all(|v| v.is_finite() && v.abs() < 20.0),
+            "{row:?}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod baseline_adapters;
 pub mod config;
+pub mod engine;
 pub mod eval;
 pub mod features;
 pub mod instances;
@@ -39,6 +40,7 @@ pub mod ranknet;
 pub mod transformer_model;
 
 pub use config::RankNetConfig;
+pub use engine::{ForecastEngine, ForecastRequest, PhaseTimings};
 pub use features::{extract_sequences, CarSequence, RaceContext};
 pub use pit_model::PitModel;
 pub use rank_model::RankModel;

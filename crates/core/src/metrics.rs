@@ -7,7 +7,11 @@ pub fn mae(pred: &[f32], actual: &[f32]) -> f32 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f32>() / pred.len() as f32
+    pred.iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f32>()
+        / pred.len() as f32
 }
 
 /// Fraction of correct leader predictions. Each element pairs the predicted
@@ -135,7 +139,10 @@ mod tests {
         // the 0.9-risk penalises *under*-forecasting 9x more than over.
         let over = rho_risk(&[12.0], &actual, 0.9);
         let under = rho_risk(&[8.0], &actual, 0.9);
-        assert!(under > over, "under {under} should exceed over {over} at rho=0.9");
+        assert!(
+            under > over,
+            "under {under} should exceed over {over} at rho=0.9"
+        );
         // And symmetric at the median.
         let o = rho_risk(&[12.0], &actual, 0.5);
         let u = rho_risk(&[8.0], &actual, 0.5);

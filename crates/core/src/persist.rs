@@ -92,7 +92,12 @@ impl RankNet {
             }
             _ => None,
         };
-        Ok(RankNet { variant, cfg: saved.cfg.clone(), rank_model, pit_model })
+        Ok(RankNet {
+            variant,
+            cfg: saved.cfg.clone(),
+            rank_model,
+            pit_model,
+        })
     }
 
     /// Save to a JSON file.
@@ -112,7 +117,6 @@ impl RankNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::baseline_adapters::Forecaster;
     use crate::features::extract_sequences;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -125,8 +129,13 @@ mod tests {
         ));
         let mut cfg = RankNetConfig::tiny();
         cfg.max_epochs = 1;
-        let (model, _) =
-            RankNet::fit(vec![ctx.clone()], vec![ctx.clone()], cfg, RankNetVariant::Mlp, 40);
+        let (model, _) = RankNet::fit(
+            vec![ctx.clone()],
+            vec![ctx.clone()],
+            cfg,
+            RankNetVariant::Mlp,
+            40,
+        );
         (model, ctx)
     }
 

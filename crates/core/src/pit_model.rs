@@ -13,13 +13,13 @@
 use crate::config::RankNetConfig;
 use crate::features::{CarSequence, RaceContext};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use rpf_autodiff::Tape;
 use rpf_nn::gaussian::{gaussian_nll, GaussianParams, SIGMA_FLOOR};
 use rpf_nn::mlp::Activation;
 use rpf_nn::train::{train, TrainConfig, TrainReport};
-use rpf_nn::{Binding, Mlp, ParamStore};
-use rand::Rng;
+use rpf_nn::{Binding, Mlp, ParamStore, RngStreams};
 use rpf_tensor::Matrix;
 
 /// Training floor on stint length: the paper identifies the <10% short-pit
@@ -47,10 +47,26 @@ impl PitModel {
     pub fn new(seed: u64, fuel_window: f32) -> PitModel {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9177);
-        let mu_net = Mlp::new(&mut store, &mut rng, "pit.mu", &[2, 16, 16, 1], Activation::Relu);
-        let sigma_net =
-            Mlp::new(&mut store, &mut rng, "pit.sigma", &[2, 16, 1], Activation::Relu);
-        PitModel { store, mu_net, sigma_net, scale: fuel_window }
+        let mu_net = Mlp::new(
+            &mut store,
+            &mut rng,
+            "pit.mu",
+            &[2, 16, 16, 1],
+            Activation::Relu,
+        );
+        let sigma_net = Mlp::new(
+            &mut store,
+            &mut rng,
+            "pit.sigma",
+            &[2, 16, 1],
+            Activation::Relu,
+        );
+        PitModel {
+            store,
+            mu_net,
+            sigma_net,
+            scale: fuel_window,
+        }
     }
 
     fn features(&self, caution_laps: f32, pit_age: f32) -> [f32; 2] {
@@ -85,8 +101,7 @@ impl PitModel {
 
     /// Train on every stint in the given races.
     pub fn train(&mut self, contexts: &[RaceContext], cfg: &RankNetConfig) -> TrainReport {
-        let seqs: Vec<&CarSequence> =
-            contexts.iter().flat_map(|c| c.sequences.iter()).collect();
+        let seqs: Vec<&CarSequence> = contexts.iter().flat_map(|c| c.sequences.iter()).collect();
         let examples = Self::examples(&seqs);
         assert!(!examples.is_empty(), "no pit stops in training data");
 
@@ -176,10 +191,17 @@ impl PitModel {
     pub fn predict(&self, caution_laps: f32, pit_age: f32) -> (f32, f32) {
         let tape = Tape::new();
         let bind = Binding::new(&tape, &self.store);
-        let x = tape.leaf(Matrix::from_vec(1, 2, self.features(caution_laps, pit_age).to_vec()));
+        let x = tape.leaf(Matrix::from_vec(
+            1,
+            2,
+            self.features(caution_laps, pit_age).to_vec(),
+        ));
         let mu = self.mu_net.forward(&bind, x);
         let sigma = tape.add_scalar(tape.softplus(self.sigma_net.forward(&bind, x)), SIGMA_FLOOR);
-        (tape.value(mu).get(0, 0) * self.scale, tape.value(sigma).get(0, 0) * self.scale)
+        (
+            tape.value(mu).get(0, 0) * self.scale,
+            tape.value(sigma).get(0, 0) * self.scale,
+        )
     }
 
     /// Sample the lap offset (≥ 1) of the next pit stop.
@@ -214,6 +236,22 @@ impl PitModel {
         }
         pits
     }
+
+    /// Stream-seeded variant of [`PitModel::sample_future_pits`]: the draws
+    /// come from `streams.stream(index)`, so each car's future owns a fixed
+    /// stream and per-car sampling can run in any order — or in parallel —
+    /// without changing any car's pit pattern.
+    pub fn sample_future_pits_stream(
+        &self,
+        caution_laps: f32,
+        pit_age: f32,
+        horizon: usize,
+        streams: &RngStreams,
+        index: u64,
+    ) -> Vec<bool> {
+        let mut rng = streams.stream(index);
+        self.sample_future_pits(caution_laps, pit_age, horizon, &mut rng)
+    }
 }
 
 #[cfg(test)]
@@ -236,8 +274,7 @@ mod tests {
     #[test]
     fn examples_have_positive_targets() {
         let ctxs = contexts();
-        let seqs: Vec<&CarSequence> =
-            ctxs.iter().flat_map(|c| c.sequences.iter()).collect();
+        let seqs: Vec<&CarSequence> = ctxs.iter().flat_map(|c| c.sequences.iter()).collect();
         let ex = PitModel::examples(&seqs);
         assert!(ex.len() > 1000);
         for e in &ex {
@@ -289,7 +326,10 @@ mod tests {
                 any_pit += 1;
             }
         }
-        assert!(any_pit >= 15, "expected pits in most 40-lap windows, got {any_pit}/20");
+        assert!(
+            any_pit >= 15,
+            "expected pits in most 40-lap windows, got {any_pit}/20"
+        );
     }
 
     #[test]

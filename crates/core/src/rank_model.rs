@@ -19,10 +19,12 @@ use crate::instances::{assemble_row, base_input_dim, Covariates, Regressive, Tra
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpf_autodiff::Tape;
-use rpf_nn::gaussian::{gaussian_nll, sample_gaussian, sample_student_t, student_t_nll, GaussianParams};
-use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
-use rpf_nn::{Binding, GaussianHead, ParamStore, StackedLstm};
 use rpf_nn::embedding::Embedding;
+use rpf_nn::gaussian::{
+    draw_gaussian, draw_student_t, gaussian_nll, student_t_nll, GaussianParams,
+};
+use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
+use rpf_nn::{Binding, GaussianHead, ParamStore, RngStreams, StackedLstm};
 use rpf_tensor::Matrix;
 
 /// What the decoder predicts.
@@ -37,11 +39,28 @@ pub enum TargetKind {
 /// Monte-Carlo forecast: `samples[car][sample][step]`, raw rank units.
 pub type ForecastSamples = Vec<Vec<Vec<f32>>>;
 
+/// One gradient shard: accumulated `(param, grad)` pairs, loss sum, count.
+type ShardGrads = (Vec<(rpf_nn::ParamId, Matrix)>, f32, usize);
+
 /// Per-car future covariates handed to the decoder:
 /// `rows[car][step]` for steps `origin..origin+horizon`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct CovariateFuture {
     pub rows: Vec<Vec<Covariates>>,
+}
+
+/// Deterministic encoder summary for one `(race, origin)`: the LSTM state
+/// after consuming the observed history, one row per car still running at
+/// the origin. Built by [`RankModel::encode`], consumed (read-only, so
+/// shareable across decode calls and threads) by [`RankModel::decode`].
+#[derive(Clone, Debug)]
+pub struct EncoderState {
+    /// Context sequence slots with at least `origin` observed laps.
+    pub cars: Vec<usize>,
+    /// Embedding ids, parallel to `cars`.
+    pub car_ids: Vec<usize>,
+    /// Per-layer `(h, c)`, each `(cars.len() × hidden_dim)`.
+    pub states: Vec<(Matrix, Matrix)>,
 }
 
 pub struct RankModel {
@@ -88,8 +107,22 @@ impl RankModel {
         let heads = (0..Self::n_targets(kind))
             .map(|i| GaussianHead::new(&mut store, &mut rng, &format!("head{i}"), cfg.hidden_dim))
             .collect();
-        let emb = Embedding::new(&mut store, &mut rng, "car", max_car_id + 1, cfg.embedding_dim);
-        RankModel { cfg, kind, store, lstm, heads, emb, base_dim }
+        let emb = Embedding::new(
+            &mut store,
+            &mut rng,
+            "car",
+            max_car_id + 1,
+            cfg.embedding_dim,
+        );
+        RankModel {
+            cfg,
+            kind,
+            store,
+            lstm,
+            heads,
+            emb,
+            base_dim,
+        }
     }
 
     /// Total scalar parameter count (the paper quotes <30K — Table IV scale).
@@ -158,7 +191,7 @@ impl RankModel {
         batch: &[usize],
     ) -> f32 {
         let shards = shard_indices(batch, rpf_tensor::par::num_threads());
-        let results: Vec<(Vec<(rpf_nn::ParamId, Matrix)>, f32, usize)> = {
+        let results: Vec<ShardGrads> = {
             let values = store.values();
             crossbeam::scope(|s| {
                 let handles: Vec<_> = shards
@@ -219,8 +252,9 @@ impl RankModel {
         }
         let tape = Tape::new();
         let bind = Binding::new(&tape, store);
-        let (loss, _) =
-            Self::window_loss(cfg, kind, lstm, heads, emb, base_dim, ts, &bind, batch, true);
+        let (loss, _) = Self::window_loss(
+            cfg, kind, lstm, heads, emb, base_dim, ts, &bind, batch, true,
+        );
         tape.scalar(loss)
     }
 
@@ -397,6 +431,11 @@ impl RankModel {
     /// supplies the decoder covariates (ground truth for Oracle, PitModel
     /// samples for MLP, ignored for Joint). Cars whose recorded sequence is
     /// shorter than `origin` get an empty sample list.
+    ///
+    /// Convenience wrapper over [`RankModel::encode`] +
+    /// [`RankModel::decode`]: derives a stream family from `rng` and decodes
+    /// on the machine's thread count. Same seed state → same samples,
+    /// regardless of that thread count.
     pub fn forecast(
         &self,
         ctx: &RaceContext,
@@ -406,17 +445,35 @@ impl RankModel {
         n_samples: usize,
         rng: &mut StdRng,
     ) -> ForecastSamples {
+        let streams = RngStreams::from_rng(rng);
+        let enc = self.encode(ctx, origin);
+        self.decode(
+            ctx,
+            cov_future,
+            origin,
+            horizon,
+            n_samples,
+            &enc,
+            &streams,
+            rpf_tensor::par::num_threads(),
+        )
+    }
+
+    /// Run the encoder over the observed history up to `origin`:
+    /// deterministic, one row per car still running. The result is reusable
+    /// across any number of [`RankModel::decode`] calls at the same origin
+    /// (different sample counts, covariate futures, horizons), which is how
+    /// [`crate::engine::ForecastEngine`] amortises it.
+    pub fn encode(&self, ctx: &RaceContext, origin: usize) -> EncoderState {
         let cars: Vec<usize> = (0..ctx.sequences.len())
             .filter(|&c| ctx.sequences[c].len() >= origin)
             .collect();
-        if cars.is_empty() {
-            return vec![Vec::new(); ctx.sequences.len()];
-        }
         let b = cars.len();
-        let enc_start = origin.saturating_sub(self.cfg.context_len).max(1);
-
-        // --- encoder over actual history (deterministic, one row per car) --
-        let mut h_states: Vec<(Matrix, Matrix)> = (0..self.cfg.num_layers)
+        let car_ids: Vec<usize> = cars
+            .iter()
+            .map(|&c| ctx.sequences[c].car_id as usize)
+            .collect();
+        let mut states: Vec<(Matrix, Matrix)> = (0..self.cfg.num_layers)
             .map(|_| {
                 (
                     Matrix::zeros(b, self.cfg.hidden_dim),
@@ -424,8 +481,14 @@ impl RankModel {
                 )
             })
             .collect();
-        let car_ids: Vec<usize> =
-            cars.iter().map(|&c| ctx.sequences[c].car_id as usize).collect();
+        if b == 0 {
+            return EncoderState {
+                cars,
+                car_ids,
+                states,
+            };
+        }
+        let enc_start = origin.saturating_sub(self.cfg.context_len).max(1);
         let mut row = Vec::with_capacity(self.base_dim);
         for idx in enc_start..origin {
             let mut x = Matrix::zeros(b, self.base_dim);
@@ -440,59 +503,157 @@ impl RankModel {
                 Self::assemble(&self.cfg, self.kind, ctx, &reg, &cov, seq, idx, &mut row);
                 x.row_mut(bi).copy_from_slice(&row);
             }
-            self.step_concrete(&x, &car_ids, &mut h_states);
+            self.step_concrete(&x, &car_ids, &mut states);
         }
+        EncoderState {
+            cars,
+            car_ids,
+            states,
+        }
+    }
 
-        // --- replicate state across samples --------------------------------
+    /// Ancestral sampling through the decoder from a prepared encoder state.
+    ///
+    /// The `b · n_samples` replicated rows are independent trajectories:
+    /// each carries its own rank feedback, frozen regressive values and —
+    /// crucially — its own RNG stream, `streams.stream(row_index)` with the
+    /// row index taken over the *whole* replicated batch. The rows are split
+    /// into `threads` contiguous chunks decoded on scoped worker threads;
+    /// because every kernel touched by the decoder accumulates each output
+    /// element in a fixed order independent of batch size, and draws come
+    /// from per-row streams keyed by global index, the output is
+    /// bit-identical for every value of `threads`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        streams: &RngStreams,
+        threads: usize,
+    ) -> ForecastSamples {
+        let b = enc.cars.len();
+        let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
         let bs = b * n_samples;
-        let rep_index: Vec<usize> =
-            (0..b).flat_map(|c| std::iter::repeat(c).take(n_samples)).collect();
-        for (h, c) in h_states.iter_mut() {
-            *h = h.gather_rows(&rep_index);
-            *c = c.gather_rows(&rep_index);
+        if bs == 0 {
+            return samples;
         }
-        let rep_car_ids: Vec<usize> =
-            rep_index.iter().map(|&c| car_ids[c]).collect();
-
-        // Last observed regressive values per replicated row.
-        let mut last_rank: Vec<f32> = rep_index
-            .iter()
-            .map(|&c| ctx.sequences[cars[c]].rank[origin - 1])
+        let threads = threads.clamp(1, bs);
+        let rows_per = bs.div_ceil(threads);
+        let chunks: Vec<std::ops::Range<usize>> = (0..bs)
+            .step_by(rows_per)
+            .map(|lo| lo..(lo + rows_per).min(bs))
             .collect();
-        let frozen: Vec<(f32, f32)> = rep_index
+
+        let chunk_paths: Vec<Vec<Vec<f32>>> = if chunks.len() == 1 {
+            vec![self.decode_rows(
+                ctx,
+                cov_future,
+                origin,
+                horizon,
+                n_samples,
+                enc,
+                streams,
+                0..bs,
+            )]
+        } else {
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|rows| {
+                        s.spawn(move |_| {
+                            self.decode_rows(
+                                ctx, cov_future, origin, horizon, n_samples, enc, streams, rows,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("decoder worker panicked"))
+                    .collect()
+            })
+            .expect("decoder scope failed")
+        };
+
+        // Regroup rows into [car][sample][step]; chunks are contiguous and in
+        // order, so a running row index recovers each trajectory's car.
+        let mut ri = 0usize;
+        for paths in chunk_paths {
+            for path in paths {
+                samples[enc.cars[ri / n_samples]].push(path);
+                ri += 1;
+            }
+        }
+        samples
+    }
+
+    /// Decode one contiguous block of replicated rows (global indices
+    /// `rows`); returns each row's sampled path. Row `ri` belongs to car
+    /// slot `enc.cars[ri / n_samples]` and draws from `streams.stream(ri)`.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_rows(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        streams: &RngStreams,
+        rows: std::ops::Range<usize>,
+    ) -> Vec<Vec<f32>> {
+        let cb = rows.len();
+        // Encoder row (= car index within `enc.cars`) backing each local row.
+        let src: Vec<usize> = rows.clone().map(|ri| ri / n_samples).collect();
+        let mut h_states: Vec<(Matrix, Matrix)> = enc
+            .states
+            .iter()
+            .map(|(h, c)| (h.gather_rows(&src), c.gather_rows(&src)))
+            .collect();
+        let rep_car_ids: Vec<usize> = src.iter().map(|&c| enc.car_ids[c]).collect();
+        let mut rngs: Vec<StdRng> = rows.map(|ri| streams.stream(ri as u64)).collect();
+
+        // Last observed regressive values per row.
+        let mut last_rank: Vec<f32> = src
+            .iter()
+            .map(|&c| ctx.sequences[enc.cars[c]].rank[origin - 1])
+            .collect();
+        let frozen: Vec<(f32, f32)> = src
             .iter()
             .map(|&c| {
-                let seq = &ctx.sequences[cars[c]];
+                let seq = &ctx.sequences[enc.cars[c]];
                 (seq.lap_time[origin - 1], seq.time_behind[origin - 1])
             })
             .collect();
         // Joint mode: lagged sampled status flags.
-        let mut last_lap_status: Vec<f32> = rep_index
+        let mut last_lap_status: Vec<f32> = src
             .iter()
-            .map(|&c| ctx.sequences[cars[c]].lap_status[origin - 1])
+            .map(|&c| ctx.sequences[enc.cars[c]].lap_status[origin - 1])
             .collect();
-        let mut last_track_status: Vec<f32> = rep_index
+        let mut last_track_status: Vec<f32> = src
             .iter()
-            .map(|&c| ctx.sequences[cars[c]].track_status[origin - 1])
+            .map(|&c| ctx.sequences[enc.cars[c]].track_status[origin - 1])
             .collect();
 
-        // --- ancestral sampling through the decoder ------------------------
-        let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
-        let mut step_outputs: Vec<Vec<f32>> = vec![Vec::with_capacity(horizon); bs];
-
+        let mut step_outputs: Vec<Vec<f32>> = vec![Vec::with_capacity(horizon); cb];
+        let mut row = Vec::with_capacity(self.base_dim);
         for step in 0..horizon {
-            let mut x = Matrix::zeros(bs, self.base_dim);
-            for (ri, &c) in rep_index.iter().enumerate() {
-                let seq = &ctx.sequences[cars[c]];
+            let mut x = Matrix::zeros(cb, self.base_dim);
+            for (li, &c) in src.iter().enumerate() {
+                let seq = &ctx.sequences[enc.cars[c]];
                 let reg = Regressive {
-                    rank: last_rank[ri],
-                    lap_time: frozen[ri].0,
-                    time_behind: frozen[ri].1,
+                    rank: last_rank[li],
+                    lap_time: frozen[li].0,
+                    time_behind: frozen[li].1,
                 };
                 let cov = match self.kind {
                     TargetKind::RankOnly => cov_future
                         .rows
-                        .get(cars[c])
+                        .get(enc.cars[c])
                         .and_then(|r| r.get(step))
                         .copied()
                         .unwrap_or_default(),
@@ -500,46 +661,53 @@ impl RankModel {
                 };
                 // Joint regressive flags are injected by `assemble` reading
                 // the sequence; at forecast time we overwrite them below.
-                Self::assemble(&self.cfg, self.kind, ctx, &reg, &cov, seq, origin + step, &mut row);
+                Self::assemble(
+                    &self.cfg,
+                    self.kind,
+                    ctx,
+                    &reg,
+                    &cov,
+                    seq,
+                    origin + step,
+                    &mut row,
+                );
                 if self.kind == TargetKind::Joint {
                     let n = row.len();
-                    row[n - 2] = last_lap_status[ri];
-                    row[n - 1] = last_track_status[ri];
+                    row[n - 2] = last_lap_status[li];
+                    row[n - 1] = last_track_status[li];
                 }
-                x.row_mut(ri).copy_from_slice(&row);
+                x.row_mut(li).copy_from_slice(&row);
             }
             let out = self.step_concrete(&x, &rep_car_ids, &mut h_states);
 
-            // Heads → sample from the configured likelihood.
+            // Heads → one draw per row from its own stream.
             let (mu, sigma) = self.head_concrete(&out, 0);
-            let z = match self.cfg.likelihood {
-                Likelihood::Gaussian => sample_gaussian(rng, &mu, &sigma),
-                Likelihood::StudentT(nu) => sample_student_t(rng, &mu, &sigma, nu),
-            };
-            for (ri, zv) in z.as_slice().iter().enumerate() {
-                let rank = ctx.denorm_rank(*zv).clamp(0.5, ctx.field_size as f32 + 0.5);
-                step_outputs[ri].push(rank);
-                last_rank[ri] = rank;
+            for li in 0..cb {
+                let z = match self.cfg.likelihood {
+                    Likelihood::Gaussian => {
+                        draw_gaussian(&mut rngs[li], mu.as_slice()[li], sigma.as_slice()[li])
+                    }
+                    Likelihood::StudentT(nu) => {
+                        draw_student_t(&mut rngs[li], mu.as_slice()[li], sigma.as_slice()[li], nu)
+                    }
+                };
+                let rank = ctx.denorm_rank(z).clamp(0.5, ctx.field_size as f32 + 0.5);
+                step_outputs[li].push(rank);
+                last_rank[li] = rank;
             }
             if self.kind == TargetKind::Joint {
                 let (mu1, s1) = self.head_concrete(&out, 1);
-                let lap_s = sample_gaussian(rng, &mu1, &s1);
                 let (mu2, s2) = self.head_concrete(&out, 2);
-                let track_s = sample_gaussian(rng, &mu2, &s2);
-                for ri in 0..bs {
-                    last_lap_status[ri] = if lap_s.as_slice()[ri] > 0.5 { 1.0 } else { 0.0 };
-                    last_track_status[ri] =
-                        if track_s.as_slice()[ri] > 0.5 { 1.0 } else { 0.0 };
+                for li in 0..cb {
+                    let lap_s = draw_gaussian(&mut rngs[li], mu1.as_slice()[li], s1.as_slice()[li]);
+                    let track_s =
+                        draw_gaussian(&mut rngs[li], mu2.as_slice()[li], s2.as_slice()[li]);
+                    last_lap_status[li] = if lap_s > 0.5 { 1.0 } else { 0.0 };
+                    last_track_status[li] = if track_s > 0.5 { 1.0 } else { 0.0 };
                 }
             }
         }
-
-        // Regroup rows into [car][sample][step].
-        for (ri, path) in step_outputs.into_iter().enumerate() {
-            let car_slot = cars[rep_index[ri]];
-            samples[car_slot].push(path);
-        }
-        samples
+        step_outputs
     }
 
     /// One forward LSTM step on concrete state (no gradient bookkeeping
@@ -644,10 +812,7 @@ mod tests {
         assert!(report.epochs_run >= 1);
         let first = report.epoch_losses.first().unwrap().0;
         let last = report.epoch_losses.last().unwrap().0;
-        assert!(
-            last < first,
-            "training loss should fall: {first} -> {last}"
-        );
+        assert!(last < first, "training loss should fall: {first} -> {last}");
         assert!(last.is_finite());
     }
 
@@ -672,10 +837,7 @@ mod tests {
                 for path in per_car {
                     assert_eq!(path.len(), horizon);
                     for &r in path {
-                        assert!(
-                            (0.0..=34.0).contains(&r),
-                            "rank sample {r} out of range"
-                        );
+                        assert!((0.0..=34.0).contains(&r), "rank sample {r} out of range");
                     }
                 }
             }
@@ -693,7 +855,10 @@ mod tests {
         assert!(report.best_val_loss.is_finite());
         let first = report.epoch_losses.first().unwrap().0;
         let last = report.epoch_losses.last().unwrap().0;
-        assert!(last < first, "t-likelihood training should improve: {first} -> {last}");
+        assert!(
+            last < first,
+            "t-likelihood training should improve: {first} -> {last}"
+        );
 
         let ctx = &ts.contexts[0];
         let cov = oracle_covariates(ctx, 70, 2, cfg.prediction_len);
@@ -715,11 +880,12 @@ mod tests {
         let report = model.train(&ts, &ts);
         assert!(report.best_val_loss.is_finite());
         let ctx = &ts.contexts[0];
-        let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
+        let cov = CovariateFuture {
+            rows: vec![Vec::new(); ctx.sequences.len()],
+        };
         let mut rng = StdRng::seed_from_u64(10);
         let samples = model.forecast(ctx, &cov, 60, 2, 3, &mut rng);
         let non_empty = samples.iter().filter(|s| !s.is_empty()).count();
         assert!(non_empty > 20);
     }
-
 }

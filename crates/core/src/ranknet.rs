@@ -16,10 +16,19 @@ use crate::config::RankNetConfig;
 use crate::features::RaceContext;
 use crate::instances::{Covariates, TrainingSet};
 use crate::pit_model::PitModel;
-use crate::rank_model::{oracle_covariates, CovariateFuture, ForecastSamples, RankModel, TargetKind};
+use crate::rank_model::{
+    oracle_covariates, CovariateFuture, EncoderState, ForecastSamples, RankModel, TargetKind,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::Rng;
 use rpf_nn::train::TrainReport;
+use rpf_nn::RngStreams;
+
+/// Tag separating the covariate-sampling stream family from the
+/// rank-sampling family derived from the same forecast seed.
+const COV_STREAM_TAG: u64 = 0x636f_7661;
+/// Tag for the rank-decoder stream families (one child per group).
+const RANK_STREAM_TAG: u64 = 0x7261_6e6b;
 
 /// Which pit-stop treatment a RankNet instance uses (Table III).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,14 +101,25 @@ impl RankNet {
             None => (None, None),
         };
         (
-            RankNet { variant, cfg, rank_model, pit_model },
-            RankNetReport { rank_model: rank_report, pit_model: pit_report },
+            RankNet {
+                variant,
+                cfg,
+                rank_model,
+                pit_model,
+            },
+            RankNetReport {
+                rank_model: rank_report,
+                pit_model: pit_report,
+            },
         )
     }
 
     /// Forecast per Algorithm 2: sample future race status (variant
     /// dependent), then roll the RankModel decoder; returns
     /// `samples[car][sample][step]` in raw rank units.
+    ///
+    /// Wrapper over [`RankNet::forecast_seeded`] that derives the forecast
+    /// seed from `rng` and uses the machine's thread count.
     pub fn forecast(
         &self,
         ctx: &RaceContext,
@@ -108,52 +128,128 @@ impl RankNet {
         n_samples: usize,
         rng: &mut StdRng,
     ) -> ForecastSamples {
-        match self.variant {
-            RankNetVariant::Oracle => {
-                let cov = oracle_covariates(ctx, origin, horizon, self.cfg.prediction_len);
-                self.rank_model.forecast(ctx, &cov, origin, horizon, n_samples, rng)
-            }
-            RankNetVariant::Joint => {
-                let cov = CovariateFuture { rows: vec![Vec::new(); ctx.sequences.len()] };
-                self.rank_model.forecast(ctx, &cov, origin, horizon, n_samples, rng)
-            }
-            RankNetVariant::Mlp => {
-                // Propagate pit-timing uncertainty: several covariate
-                // futures, each shared by a group of rank samples.
-                let groups = n_samples.clamp(1, 8);
-                let per_group = n_samples.div_ceil(groups);
-                let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
-                for g in 0..groups {
-                    let mut group_rng = StdRng::seed_from_u64(
-                        self.cfg.seed ^ (g as u64) << 17 ^ origin as u64,
-                    );
-                    let cov = self.sample_covariate_future(ctx, origin, horizon, &mut group_rng);
-                    let got = self
-                        .rank_model
-                        .forecast(ctx, &cov, origin, horizon, per_group, rng);
-                    for (slot, paths) in all.iter_mut().zip(got) {
-                        slot.extend(paths);
-                    }
-                }
-                for slot in all.iter_mut() {
-                    slot.truncate(n_samples);
-                }
-                all
-            }
-        }
+        self.forecast_seeded(
+            ctx,
+            origin,
+            horizon,
+            n_samples,
+            rng.gen(),
+            rpf_tensor::par::num_threads(),
+        )
     }
 
-    /// Sample one joint future of the race status for every car (PitModel
-    /// step of Algorithm 2).
-    fn sample_covariate_future(
+    /// Fully deterministic forecast: every random draw derives from `seed`
+    /// through counter-based streams (see [`RngStreams`]), so the result is
+    /// a pure function of `(model, ctx, origin, horizon, n_samples, seed)` —
+    /// `threads` only changes how the work is scheduled, never the samples.
+    pub fn forecast_seeded(
         &self,
         ctx: &RaceContext,
         origin: usize,
         horizon: usize,
-        rng: &mut StdRng,
-    ) -> CovariateFuture {
-        let pm = self.pit_model.as_ref().expect("MLP variant carries a PitModel");
-        sample_covariate_future(pm, self.cfg.prediction_len, ctx, origin, horizon, rng)
+        n_samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> ForecastSamples {
+        let enc = self.rank_model.encode(ctx, origin);
+        let groups = self.covariate_groups(ctx, origin, horizon, n_samples, seed);
+        self.decode_groups(
+            ctx, &enc, &groups, origin, horizon, n_samples, seed, threads,
+        )
+    }
+
+    /// The variant-dependent covariate step of Algorithm 2: a list of
+    /// `(covariate future, samples to draw under it)` pairs. Oracle and
+    /// Joint produce a single group; MLP produces several, each a joint
+    /// PitModel sample of the whole field's future pit pattern, so that
+    /// pit-timing uncertainty propagates into the rank forecast. Groups are
+    /// sampled from per-group stream families and so may run in parallel.
+    pub(crate) fn covariate_groups(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        seed: u64,
+    ) -> Vec<(CovariateFuture, usize)> {
+        match self.variant {
+            RankNetVariant::Oracle => {
+                vec![(
+                    oracle_covariates(ctx, origin, horizon, self.cfg.prediction_len),
+                    n_samples,
+                )]
+            }
+            RankNetVariant::Joint => {
+                vec![(
+                    CovariateFuture {
+                        rows: vec![Vec::new(); ctx.sequences.len()],
+                    },
+                    n_samples,
+                )]
+            }
+            RankNetVariant::Mlp => {
+                let pm = self
+                    .pit_model
+                    .as_ref()
+                    .expect("MLP variant carries a PitModel");
+                let groups = n_samples.clamp(1, 8);
+                let per_group = n_samples.div_ceil(groups);
+                let cov_streams = RngStreams::new(seed).child(COV_STREAM_TAG);
+                // Each group owns the stream family `cov_streams.child(g)`;
+                // the groups are independent, so fan them out.
+                rpf_tensor::par::par_map(groups, 64 * 1024, |g| {
+                    sample_covariate_future_streams(
+                        pm,
+                        self.cfg.prediction_len,
+                        ctx,
+                        origin,
+                        horizon,
+                        &cov_streams.child(g as u64),
+                    )
+                })
+                .into_iter()
+                .map(|cov| (cov, per_group))
+                .collect()
+            }
+        }
+    }
+
+    /// Decode every covariate group from a shared encoder state and merge
+    /// the trajectories, truncating the MLP variant's rounded-up group
+    /// product back to `n_samples`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn decode_groups(
+        &self,
+        ctx: &RaceContext,
+        enc: &EncoderState,
+        groups: &[(CovariateFuture, usize)],
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> ForecastSamples {
+        let rank_streams = RngStreams::new(seed).child(RANK_STREAM_TAG);
+        let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+        for (g, (cov, per_group)) in groups.iter().enumerate() {
+            let got = self.rank_model.decode(
+                ctx,
+                cov,
+                origin,
+                horizon,
+                *per_group,
+                enc,
+                &rank_streams.child(g as u64),
+                threads,
+            );
+            for (slot, paths) in all.iter_mut().zip(got) {
+                slot.extend(paths);
+            }
+        }
+        for slot in all.iter_mut() {
+            slot.truncate(n_samples);
+        }
+        all
     }
 }
 
@@ -161,6 +257,9 @@ impl RankNet {
 /// of Algorithm 2): pit laps from the PitModel, future TrackStatus fixed to
 /// zero (§III-C), context features derived from the sampled pits. Shared by
 /// the LSTM and Transformer RankNet variants.
+///
+/// Wrapper over [`sample_covariate_future_streams`] deriving the stream
+/// family from `rng`.
 pub fn sample_covariate_future(
     pm: &PitModel,
     prediction_len: usize,
@@ -169,20 +268,38 @@ pub fn sample_covariate_future(
     horizon: usize,
     rng: &mut StdRng,
 ) -> CovariateFuture {
+    let streams = RngStreams::from_rng(rng);
+    sample_covariate_future_streams(pm, prediction_len, ctx, origin, horizon, &streams)
+}
+
+/// Stream-seeded [`sample_covariate_future`]: car slot `c` draws its pit
+/// pattern from `streams.stream(c)`, so the per-car sampling loop is order-
+/// independent and runs in parallel across the field. The derived context
+/// features (field pit counts, leader pit counts) are pure functions of the
+/// sampled patterns.
+pub fn sample_covariate_future_streams(
+    pm: &PitModel,
+    prediction_len: usize,
+    ctx: &RaceContext,
+    origin: usize,
+    horizon: usize,
+    streams: &RngStreams,
+) -> CovariateFuture {
     {
         let n_cars = ctx.sequences.len();
 
-        // Sample per-car future pit laps.
-        let mut future_pits: Vec<Vec<bool>> = Vec::with_capacity(n_cars);
-        for seq in &ctx.sequences {
+        // Sample per-car future pit laps, one stream per car. Each sample
+        // costs several MLP forward passes, so the hint makes a ~30-car
+        // field worth fanning out on multi-core machines.
+        let future_pits: Vec<Vec<bool>> = rpf_tensor::par::par_map(n_cars, 4 * 1024, |c| {
+            let seq = &ctx.sequences[c];
             if seq.len() < origin {
-                future_pits.push(vec![false; horizon]);
-                continue;
+                return vec![false; horizon];
             }
             let caution = seq.caution_laps[origin - 1];
             let age = seq.pit_age[origin - 1];
-            future_pits.push(pm.sample_future_pits(caution, age, horizon, rng));
-        }
+            pm.sample_future_pits_stream(caution, age, horizon, streams, c as u64)
+        });
 
         // Field-level context features from the sampled pits.
         let total_pits_at: Vec<f32> = (0..horizon)
@@ -228,10 +345,7 @@ pub fn sample_covariate_future(
                                 .get(shift)
                                 .map(|&p| if p { 1.0 } else { 0.0 })
                                 .unwrap_or(0.0),
-                            shift_total_pit_count: total_pits_at
-                                .get(shift)
-                                .copied()
-                                .unwrap_or(0.0),
+                            shift_total_pit_count: total_pits_at.get(shift).copied().unwrap_or(0.0),
                         };
                         if pit {
                             age = 0.0;
@@ -291,6 +405,7 @@ pub fn median_ranks(ranked: &[Vec<f32>]) -> Vec<Option<f32>> {
 mod tests {
     use super::*;
     use crate::features::extract_sequences;
+    use rand::SeedableRng;
     use rpf_racesim::{simulate_race, Event, EventConfig};
 
     fn ctxs(n: u64, year: u16) -> Vec<RaceContext> {
@@ -316,7 +431,11 @@ mod tests {
         let train = ctxs(1, 2015);
         let val = ctxs(1, 2016);
         let test = &ctxs(1, 2017)[0];
-        for variant in [RankNetVariant::Oracle, RankNetVariant::Mlp, RankNetVariant::Joint] {
+        for variant in [
+            RankNetVariant::Oracle,
+            RankNetVariant::Mlp,
+            RankNetVariant::Joint,
+        ] {
             let (model, report) = RankNet::fit(train.clone(), val.clone(), tiny_cfg(), variant, 24);
             assert!(report.rank_model.best_val_loss.is_finite(), "{variant:?}");
             assert_eq!(model.pit_model.is_some(), variant == RankNetVariant::Mlp);
@@ -386,8 +505,10 @@ impl RankNet {
         }
         let ts = TrainingSet::build(new_train, &self.cfg, stride);
         let val = TrainingSet::build(new_val, &self.cfg, (stride * 2).max(4));
-        let (old_epochs, old_lr) =
-            (self.rank_model.cfg.max_epochs, self.rank_model.cfg.learning_rate);
+        let (old_epochs, old_lr) = (
+            self.rank_model.cfg.max_epochs,
+            self.rank_model.cfg.learning_rate,
+        );
         self.rank_model.cfg.max_epochs = epochs;
         self.rank_model.cfg.learning_rate = old_lr * 0.3;
         let report = self.rank_model.train(&ts, &val);
@@ -401,6 +522,7 @@ impl RankNet {
 mod transfer_tests {
     use super::*;
     use crate::features::extract_sequences;
+    use rand::SeedableRng;
     use rpf_racesim::{simulate_race, Event, EventConfig};
 
     #[test]

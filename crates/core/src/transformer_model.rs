@@ -18,11 +18,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rpf_autodiff::{Tape, Var};
 use rpf_nn::attention::{positional_encoding, DecoderLayer, EncoderLayer};
+use rpf_nn::embedding::Embedding;
 use rpf_nn::gaussian::{gaussian_nll, sample_gaussian, GaussianParams};
 use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
 use rpf_nn::{Binding, GaussianHead, Linear, ParamStore};
-use rpf_nn::embedding::Embedding;
 use rpf_tensor::Matrix;
+
+/// One gradient shard: accumulated `(param, grad)` pairs, loss sum, count.
+type ShardGrads = (Vec<(rpf_nn::ParamId, Matrix)>, f32, usize);
 
 /// Transformer hyper-parameters of §IV-I.
 pub const D_MODEL: usize = 32;
@@ -49,14 +52,47 @@ impl TransformerModel {
         let input_dim = base_dim + cfg.embedding_dim;
         let proj = Linear::new(&mut store, &mut rng, "tx.proj", input_dim, D_MODEL);
         let enc_layers = (0..N_LAYERS)
-            .map(|i| EncoderLayer::new(&mut store, &mut rng, &format!("tx.enc{i}"), D_MODEL, N_HEADS, FF_DIM))
+            .map(|i| {
+                EncoderLayer::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("tx.enc{i}"),
+                    D_MODEL,
+                    N_HEADS,
+                    FF_DIM,
+                )
+            })
             .collect();
         let dec_layers = (0..N_LAYERS)
-            .map(|i| DecoderLayer::new(&mut store, &mut rng, &format!("tx.dec{i}"), D_MODEL, N_HEADS, FF_DIM))
+            .map(|i| {
+                DecoderLayer::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("tx.dec{i}"),
+                    D_MODEL,
+                    N_HEADS,
+                    FF_DIM,
+                )
+            })
             .collect();
         let head = GaussianHead::new(&mut store, &mut rng, "tx.head", D_MODEL);
-        let emb = Embedding::new(&mut store, &mut rng, "tx.car", max_car_id + 1, cfg.embedding_dim);
-        TransformerModel { cfg, store, proj, enc_layers, dec_layers, head, emb, base_dim }
+        let emb = Embedding::new(
+            &mut store,
+            &mut rng,
+            "tx.car",
+            max_car_id + 1,
+            cfg.embedding_dim,
+        );
+        TransformerModel {
+            cfg,
+            store,
+            proj,
+            enc_layers,
+            dec_layers,
+            head,
+            emb,
+            base_dim,
+        }
     }
 
     pub fn num_params(&self) -> usize {
@@ -92,13 +128,7 @@ impl TransformerModel {
     }
 
     /// Input row matrix for sequence positions `[lo, hi)` of one window.
-    fn rows_for(
-        &self,
-        ts: &TrainingSet,
-        inst: usize,
-        lo: usize,
-        hi: usize,
-    ) -> (Matrix, usize) {
+    fn rows_for(&self, ts: &TrainingSet, inst: usize, lo: usize, hi: usize) -> (Matrix, usize) {
         let w = &ts.instances[inst];
         let ctx = &ts.contexts[w.race];
         let seq = &ctx.sequences[w.car];
@@ -138,8 +168,12 @@ impl TransformerModel {
         let seq = &ctx.sequences[w.car];
 
         let (enc_rows, car_id) = self.rows_for(ts, inst, 0, cfg.context_len);
-        let (dec_rows, _) =
-            self.rows_for(ts, inst, cfg.context_len, cfg.context_len + cfg.prediction_len);
+        let (dec_rows, _) = self.rows_for(
+            ts,
+            inst,
+            cfg.context_len,
+            cfg.context_len + cfg.prediction_len,
+        );
 
         // Car embedding appended to every row.
         let enc_ids = vec![car_id; cfg.context_len];
@@ -191,10 +225,16 @@ impl TransformerModel {
         report
     }
 
-    fn batch_loss(&self, store: &mut ParamStore, ts: &TrainingSet, batch: &[usize], _w: bool) -> f32 {
+    fn batch_loss(
+        &self,
+        store: &mut ParamStore,
+        ts: &TrainingSet,
+        batch: &[usize],
+        _w: bool,
+    ) -> f32 {
         let shards = shard_indices(batch, rpf_tensor::par::num_threads());
         let n_shards = shards.len().max(1);
-        let results: Vec<(Vec<(rpf_nn::ParamId, Matrix)>, f32, usize)> = {
+        let results: Vec<ShardGrads> = {
             let values = store.values();
             crossbeam::scope(|s| {
                 let handles: Vec<_> = shards
@@ -218,7 +258,10 @@ impl TransformerModel {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("tx shard panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("tx shard panicked"))
+                    .collect()
             })
             .expect("tx training scope failed")
         };
@@ -290,8 +333,10 @@ impl TransformerModel {
             let tape = Tape::new();
             let bind = Binding::new(&tape, &self.store);
             let enc_ids = vec![car_id; enc_len];
-            let enc_in =
-                tape.hstack(&[tape.leaf(enc_rows.clone()), self.emb.forward(&bind, &enc_ids)]);
+            let enc_in = tape.hstack(&[
+                tape.leaf(enc_rows.clone()),
+                self.emb.forward(&bind, &enc_ids),
+            ]);
             let memory_val = tape.value(self.encode(&bind, enc_in));
 
             let frozen = (seq.lap_time[origin - 1], seq.time_behind[origin - 1]);
@@ -322,8 +367,8 @@ impl TransformerModel {
                         dec_rows.row_mut(r).copy_from_slice(d);
                     }
                     let dec_ids = vec![car_id; dec_inputs.len()];
-                    let dec_in = tape
-                        .hstack(&[tape.leaf(dec_rows), self.emb.forward(&bind, &dec_ids)]);
+                    let dec_in =
+                        tape.hstack(&[tape.leaf(dec_rows), self.emb.forward(&bind, &dec_ids)]);
                     let memory = tape.leaf(memory_val.clone());
                     let h = self.decode(&bind, dec_in, memory);
                     let last = tape.slice_rows(h, dec_inputs.len() - 1, dec_inputs.len());
@@ -339,6 +384,71 @@ impl TransformerModel {
             }
         }
         out
+    }
+}
+
+/// Forecaster wrapper selecting the Transformer's covariate source —
+/// ground truth (`Transformer-Oracle`) or PitModel samples
+/// (`Transformer-MLP`), mirroring Fig 8 / Fig 9 / Table VII.
+pub struct TransformerForecaster {
+    pub model: TransformerModel,
+    pub pit_model: Option<crate::pit_model::PitModel>,
+}
+
+impl crate::baseline_adapters::Forecaster for TransformerForecaster {
+    fn name(&self) -> String {
+        if self.pit_model.is_some() {
+            "Transformer-MLP".into()
+        } else {
+            "Transformer-Oracle".into()
+        }
+    }
+
+    fn forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        let shift = self.model.cfg.prediction_len;
+        match &self.pit_model {
+            None => {
+                let cov = crate::rank_model::oracle_covariates(ctx, origin, horizon, shift);
+                self.model
+                    .forecast(ctx, &cov, origin, horizon, n_samples, rng)
+            }
+            Some(pm) => {
+                // Split samples into a few covariate-future groups, like the
+                // LSTM RankNet-MLP.
+                let groups = n_samples.clamp(1, 4);
+                let per_group = n_samples.div_ceil(groups);
+                let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+                for g in 0..groups {
+                    let mut group_rng =
+                        StdRng::seed_from_u64(0xF00 ^ (g as u64) << 9 ^ origin as u64);
+                    let cov = crate::ranknet::sample_covariate_future(
+                        pm,
+                        shift,
+                        ctx,
+                        origin,
+                        horizon,
+                        &mut group_rng,
+                    );
+                    let got = self
+                        .model
+                        .forecast(ctx, &cov, origin, horizon, per_group, rng);
+                    for (slot, paths) in all.iter_mut().zip(got) {
+                        slot.extend(paths);
+                    }
+                }
+                for slot in all.iter_mut() {
+                    slot.truncate(n_samples);
+                }
+                all
+            }
+        }
     }
 }
 
@@ -374,7 +484,10 @@ mod tests {
         assert!(report.best_val_loss.is_finite());
         let first = report.epoch_losses.first().unwrap().0;
         let last = report.epoch_losses.last().unwrap().0;
-        assert!(last <= first * 1.5, "loss should not explode: {first} -> {last}");
+        assert!(
+            last <= first * 1.5,
+            "loss should not explode: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -395,63 +508,6 @@ mod tests {
             assert_eq!(s.len(), 3);
             assert_eq!(s[0].len(), 2);
             assert!(s[0].iter().all(|&v| (0.0..=34.0).contains(&v)));
-        }
-    }
-}
-
-/// Forecaster wrapper selecting the Transformer's covariate source —
-/// ground truth (`Transformer-Oracle`) or PitModel samples
-/// (`Transformer-MLP`), mirroring Fig 8 / Fig 9 / Table VII.
-pub struct TransformerForecaster {
-    pub model: TransformerModel,
-    pub pit_model: Option<crate::pit_model::PitModel>,
-}
-
-impl crate::baseline_adapters::Forecaster for TransformerForecaster {
-    fn name(&self) -> String {
-        if self.pit_model.is_some() {
-            "Transformer-MLP".into()
-        } else {
-            "Transformer-Oracle".into()
-        }
-    }
-
-    fn forecast(
-        &self,
-        ctx: &RaceContext,
-        origin: usize,
-        horizon: usize,
-        n_samples: usize,
-        rng: &mut StdRng,
-    ) -> ForecastSamples {
-        let shift = self.model.cfg.prediction_len;
-        match &self.pit_model {
-            None => {
-                let cov = crate::rank_model::oracle_covariates(ctx, origin, horizon, shift);
-                self.model.forecast(ctx, &cov, origin, horizon, n_samples, rng)
-            }
-            Some(pm) => {
-                // Split samples into a few covariate-future groups, like the
-                // LSTM RankNet-MLP.
-                let groups = n_samples.clamp(1, 4);
-                let per_group = n_samples.div_ceil(groups);
-                let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
-                for g in 0..groups {
-                    let mut group_rng =
-                        StdRng::seed_from_u64(0xF00 ^ (g as u64) << 9 ^ origin as u64);
-                    let cov = crate::ranknet::sample_covariate_future(
-                        pm, shift, ctx, origin, horizon, &mut group_rng,
-                    );
-                    let got = self.model.forecast(ctx, &cov, origin, horizon, per_group, rng);
-                    for (slot, paths) in all.iter_mut().zip(got) {
-                        slot.extend(paths);
-                    }
-                }
-                for slot in all.iter_mut() {
-                    slot.truncate(n_samples);
-                }
-                all
-            }
         }
     }
 }

@@ -1,0 +1,87 @@
+//! Property tests over the forecast post-processing layer: sorting samples
+//! into rank positions must always yield permutations, and empirical
+//! forecast quantiles must be monotone in the probability level.
+
+use proptest::prelude::*;
+use ranknet_core::metrics::quantile;
+use ranknet_core::rank_model::ForecastSamples;
+use ranknet_core::ranknet::ranks_by_sorting;
+
+/// A full-field sample set: `n_cars` cars, each with `n_samples` paths of
+/// `n_steps` bounded rank-like values.
+fn samples_strategy() -> impl Strategy<Value = ForecastSamples> {
+    (2usize..8, 1usize..5, 1usize..4).prop_flat_map(|(n_cars, n_samples, n_steps)| {
+        prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec(-5.0f32..40.0, n_steps..n_steps + 1),
+                n_samples..n_samples + 1,
+            ),
+            n_cars..n_cars + 1,
+        )
+        .prop_map(|rows| rows as ForecastSamples)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §III-C: "the final rank positions of the cars are calculated by
+    /// sorting the sampled outputs" — for every sample index, the assigned
+    /// positions must be exactly the permutation `1..=n_cars`.
+    #[test]
+    fn ranks_by_sorting_yields_permutations(samples in samples_strategy(), step in 0usize..4) {
+        let n_cars = samples.len();
+        let n_samples = samples[0].len();
+        let step = step % samples[0][0].len();
+        let ranked = ranks_by_sorting(&samples, step);
+        prop_assert_eq!(ranked.len(), n_cars);
+        for s in 0..n_samples {
+            let mut positions: Vec<f32> = ranked.iter().map(|car| car[s]).collect();
+            positions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect: Vec<f32> = (1..=n_cars).map(|r| r as f32).collect();
+            prop_assert_eq!(
+                &positions, &expect,
+                "sample {} must be a permutation of 1..={}", s, n_cars
+            );
+        }
+    }
+
+    /// Retired cars (empty sample lists) are skipped: the remaining cars
+    /// still get a dense permutation of `1..=active`.
+    #[test]
+    fn ranks_by_sorting_skips_retired_cars(
+        samples in samples_strategy(),
+        retire in prop::collection::vec((0u8..2).prop_map(|v| v == 1), 8),
+    ) {
+        let mut samples = samples;
+        for (c, car) in samples.iter_mut().enumerate() {
+            if retire[c % retire.len()] {
+                car.clear();
+            }
+        }
+        let active = samples.iter().filter(|s| !s.is_empty()).count();
+        let ranked = ranks_by_sorting(&samples, 0);
+        for (c, car) in samples.iter().enumerate() {
+            prop_assert_eq!(ranked[c].is_empty(), car.is_empty());
+            for &r in &ranked[c] {
+                prop_assert!(r >= 1.0 && r <= active as f32);
+            }
+        }
+    }
+
+    /// Forecast quantiles must be monotone: p10 ≤ p50 ≤ p90 on any
+    /// non-empty per-car sample vector (and any ordered level pair).
+    #[test]
+    fn forecast_quantiles_are_monotone(
+        vals in prop::collection::vec(-10.0f32..50.0, 1..40),
+        lo in 0.0f64..1.0,
+        hi in 0.0f64..1.0,
+    ) {
+        let p10 = quantile(&vals, 0.1);
+        let p50 = quantile(&vals, 0.5);
+        let p90 = quantile(&vals, 0.9);
+        prop_assert!(p10 <= p50 && p50 <= p90, "p10 {} p50 {} p90 {}", p10, p50, p90);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        prop_assert!(quantile(&vals, lo as f32) <= quantile(&vals, hi as f32));
+    }
+}

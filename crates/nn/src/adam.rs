@@ -29,7 +29,16 @@ impl Adam {
             })
             .collect::<Vec<_>>();
         let v = m.clone();
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: 10.0, m, v, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: 10.0,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Number of update steps taken so far.
@@ -96,7 +105,7 @@ mod tests {
             let target = tape.leaf(Matrix::full(1, 1, 5.0));
             let loss = tape.sum(tape.square(tape.sub(wv, target)));
             let __g = bind.into_grads(loss);
-        store.apply_grads(__g);
+            store.apply_grads(__g);
             adam.step(&mut store);
         }
         let val = store.value(w).get(0, 0);

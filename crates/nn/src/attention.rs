@@ -171,7 +171,12 @@ impl EncoderLayer {
 
     pub fn forward(&self, bind: &Binding<'_>, x: Var) -> Var {
         let t = bind.tape();
-        let a = self.attn.forward(bind, self.norm1.forward(bind, x), self.norm1.forward(bind, x), None);
+        let a = self.attn.forward(
+            bind,
+            self.norm1.forward(bind, x),
+            self.norm1.forward(bind, x),
+            None,
+        );
         let x = t.add(x, a);
         let n = self.norm2.forward(bind, x);
         let f = self.ff2.forward(bind, t.relu(self.ff1.forward(bind, n)));
@@ -261,8 +266,12 @@ mod tests {
         let y = tape.value(ln.forward(&bind, x));
         for r in 0..3 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 8.0;
-            let var: f32 =
-                y.row(r).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "row {r} var {var}");
         }
@@ -275,7 +284,9 @@ mod tests {
         let mha = MultiHeadAttention::new(&mut store, &mut rng, "mha", 32, 8);
         let tape = Tape::new();
         let bind = Binding::new(&tape, &store);
-        let x = tape.leaf(Matrix::from_fn(6, 32, |r, c| ((r * 31 + c) % 7) as f32 / 7.0));
+        let x = tape.leaf(Matrix::from_fn(6, 32, |r, c| {
+            ((r * 31 + c) % 7) as f32 / 7.0
+        }));
         let y = mha.forward(&bind, x, x, None);
         assert_eq!(tape.shape(y), (6, 32));
         let loss = tape.sum(tape.square(y));
@@ -314,7 +325,11 @@ mod tests {
             }
         }
         // The final row (which may attend to itself) does change.
-        assert!(y1.row(4).iter().zip(y2.row(4)).any(|(a, b)| (a - b).abs() > 1e-3));
+        assert!(y1
+            .row(4)
+            .iter()
+            .zip(y2.row(4))
+            .any(|(a, b)| (a - b).abs() > 1e-3));
     }
 
     #[test]
@@ -326,7 +341,9 @@ mod tests {
         let tape = Tape::new();
         let bind = Binding::new(&tape, &store);
         let src = tape.leaf(Matrix::from_fn(7, 16, |r, c| ((r * c) % 3) as f32 / 3.0));
-        let tgt = tape.leaf(Matrix::from_fn(4, 16, |r, c| ((r + 2 * c) % 5) as f32 / 5.0));
+        let tgt = tape.leaf(Matrix::from_fn(4, 16, |r, c| {
+            ((r + 2 * c) % 5) as f32 / 5.0
+        }));
         let memory = enc.forward(&bind, src);
         let out = dec.forward(&bind, tgt, memory);
         assert_eq!(tape.shape(out), (4, 16));

@@ -21,7 +21,11 @@ pub struct BatchIter {
 impl BatchIter {
     pub fn new(n: usize, batch_size: usize, seed: u64) -> BatchIter {
         assert!(batch_size > 0, "batch size must be positive");
-        BatchIter { n, batch_size, rng: StdRng::seed_from_u64(seed) }
+        BatchIter {
+            n,
+            batch_size,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// All batches for one epoch (fresh shuffle). The final batch may be

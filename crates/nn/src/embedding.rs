@@ -21,14 +21,16 @@ impl Embedding {
         vocab: usize,
         dim: usize,
     ) -> Embedding {
-        let table =
-            store.register(format!("{name}.table"), normal_scaled(rng, vocab, dim, 0.1));
+        let table = store.register(format!("{name}.table"), normal_scaled(rng, vocab, dim, 0.1));
         Embedding { table, vocab, dim }
     }
 
     /// Look up `indices`, producing a `(indices.len(), dim)` output.
     pub fn forward(&self, bind: &Binding<'_>, indices: &[usize]) -> Var {
-        debug_assert!(indices.iter().all(|&i| i < self.vocab), "embedding index out of vocab");
+        debug_assert!(
+            indices.iter().all(|&i| i < self.vocab),
+            "embedding index out of vocab"
+        );
         bind.tape().gather_rows(bind.var(self.table), indices)
     }
 }

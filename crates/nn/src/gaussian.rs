@@ -82,16 +82,38 @@ pub fn gaussian_nll(
     }
 }
 
+/// One standard-normal draw via Box–Muller. The scalar primitive behind
+/// both the matrix samplers and the per-trajectory stream samplers — all
+/// paths must consume the generator identically (two uniforms per normal)
+/// so sequential and stream-parallel sampling stay bit-compatible.
+pub fn draw_standard_normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(1e-7..1.0f32);
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// One draw from `N(mu, sigma)`.
+pub fn draw_gaussian(rng: &mut StdRng, mu: f32, sigma: f32) -> f32 {
+    mu + sigma * draw_standard_normal(rng)
+}
+
+/// One Student-t draw: `mu + sigma · Z / sqrt(V/k)` with `Z ~ N(0,1)` and
+/// `V ~ chi²(k)` built from `k = max(ceil(nu), 3)` squared normals —
+/// element-for-element the same recipe as [`sample_student_t`].
+pub fn draw_student_t(rng: &mut StdRng, mu: f32, sigma: f32, nu: f32) -> f32 {
+    let k = nu.ceil().max(3.0) as usize;
+    let z = draw_standard_normal(rng);
+    let chi2: f32 = (0..k).map(|_| draw_standard_normal(rng).powi(2)).sum();
+    mu + sigma * z / (chi2 / k as f32).sqrt().max(1e-4)
+}
+
 /// Draw one sample per row from `N(mu, sigma)` given concrete parameter
 /// values (forecast time, no tape involvement).
 pub fn sample_gaussian(rng: &mut StdRng, mu: &Matrix, sigma: &Matrix) -> Matrix {
     assert_eq!(mu.shape(), sigma.shape(), "sample_gaussian shape mismatch");
     let mut out = mu.clone();
     for (o, &s) in out.as_mut_slice().iter_mut().zip(sigma.as_slice()) {
-        let u1: f32 = rng.gen_range(1e-7..1.0f32);
-        let u2: f32 = rng.gen();
-        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
-        *o += s * z;
+        *o += s * draw_standard_normal(rng);
     }
     out
 }
@@ -109,7 +131,9 @@ mod tests {
         let head = GaussianHead::new(&mut store, &mut rng, "out", 8);
         let tape = Tape::new();
         let bind = Binding::new(&tape, &store);
-        let h = tape.leaf(Matrix::from_fn(5, 8, |r, c| (r as f32 - 2.0) * (c as f32 - 4.0)));
+        let h = tape.leaf(Matrix::from_fn(5, 8, |r, c| {
+            (r as f32 - 2.0) * (c as f32 - 4.0)
+        }));
         let p = head.forward(&bind, h);
         let sigma = tape.value(p.sigma);
         assert!(sigma.as_slice().iter().all(|&s| s >= SIGMA_FLOOR));
@@ -128,12 +152,14 @@ mod tests {
         let mu_off = tape.leaf(Matrix::from_vec(3, 1, vec![2.0, 3.0, 4.0]));
         let nll_exact = gaussian_nll(
             &bind,
-            GaussianParams { mu: mu_exact, sigma },
+            GaussianParams {
+                mu: mu_exact,
+                sigma,
+            },
             z,
             None,
         );
-        let nll_off =
-            gaussian_nll(&bind, GaussianParams { mu: mu_off, sigma }, z, None);
+        let nll_off = gaussian_nll(&bind, GaussianParams { mu: mu_off, sigma }, z, None);
         assert!(tape.scalar(nll_exact) < tape.scalar(nll_off));
     }
 
@@ -149,10 +175,8 @@ mod tests {
 
         let w_flat = tape.leaf(Matrix::from_vec(2, 1, vec![1.0, 1.0]));
         let w_hot = tape.leaf(Matrix::from_vec(2, 1, vec![1.0, 9.0]));
-        let nll_flat =
-            gaussian_nll(&bind, GaussianParams { mu, sigma }, z, Some(w_flat));
-        let nll_hot =
-            gaussian_nll(&bind, GaussianParams { mu, sigma }, z, Some(w_hot));
+        let nll_flat = gaussian_nll(&bind, GaussianParams { mu, sigma }, z, Some(w_flat));
+        let nll_hot = gaussian_nll(&bind, GaussianParams { mu, sigma }, z, Some(w_hot));
         assert!(tape.scalar(nll_hot) > tape.scalar(nll_flat));
     }
 
@@ -175,14 +199,12 @@ mod tests {
             // Broadcast scalar params over rows via matmul with a ones column.
             let ones = tape.leaf(Matrix::ones(256, 1));
             let mu = tape.matmul(ones, bind.var(mu_p));
-            let sigma = tape.add_scalar(
-                tape.softplus(tape.matmul(ones, bind.var(s_p))),
-                SIGMA_FLOOR,
-            );
+            let sigma =
+                tape.add_scalar(tape.softplus(tape.matmul(ones, bind.var(s_p))), SIGMA_FLOOR);
             let z = tape.leaf(data.clone());
             let nll = gaussian_nll(&bind, GaussianParams { mu, sigma }, z, None);
             let __g = bind.into_grads(nll);
-        store.apply_grads(__g);
+            store.apply_grads(__g);
             store.update_each(|_, v, g| rpf_tensor::ops::axpy(v, -0.05, g));
         }
         let mu = store.value(mu_p).get(0, 0);
@@ -201,7 +223,11 @@ mod tests {
         let sigma = Matrix::full(2000, 1, 2.0);
         let s = sample_gaussian(&mut rng, &mu, &sigma);
         let mean = s.mean();
-        let var = s.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = s
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / s.len() as f32;
         assert!((mean + 1.0).abs() < 0.2, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
@@ -244,17 +270,9 @@ pub fn student_t_nll(
 /// `Z ~ N(0,1)` and `V ~ chi²(nu)` built from `ceil(nu)` squared normals.
 pub fn sample_student_t(rng: &mut StdRng, mu: &Matrix, sigma: &Matrix, nu: f32) -> Matrix {
     assert_eq!(mu.shape(), sigma.shape());
-    let k = nu.ceil().max(3.0) as usize;
     let mut out = mu.clone();
-    let mut normal = || {
-        let u1: f32 = rng.gen_range(1e-7..1.0f32);
-        let u2: f32 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-    };
     for (o, &s) in out.as_mut_slice().iter_mut().zip(sigma.as_slice()) {
-        let z = normal();
-        let chi2: f32 = (0..k).map(|_| normal().powi(2)).sum();
-        *o += s * z / (chi2 / k as f32).sqrt().max(1e-4);
+        *o = draw_student_t(rng, *o, s, nu);
     }
     out
 }
@@ -329,7 +347,11 @@ mod student_t_tests {
         let mean = t.mean();
         assert!((mean - 2.0).abs() < 0.15, "mean {mean}");
         // Tail mass beyond 3 sigma should exceed the Gaussian's ~0.3%.
-        let tail = t.as_slice().iter().filter(|&&v| (v - 2.0).abs() > 3.0).count() as f32
+        let tail = t
+            .as_slice()
+            .iter()
+            .filter(|&&v| (v - 2.0).abs() > 3.0)
+            .count() as f32
             / t.len() as f32;
         assert!(tail > 0.005, "tail fraction {tail} not heavy");
     }

@@ -42,7 +42,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = normal_scaled(&mut rng, 100, 100, 0.5);
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / w.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 0.5).abs() < 0.05, "std {}", var.sqrt());

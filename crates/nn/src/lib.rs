@@ -31,6 +31,7 @@ pub mod linear;
 pub mod lstm;
 pub mod mlp;
 pub mod params;
+pub mod stream;
 pub mod train;
 
 pub use adam::Adam;
@@ -40,3 +41,4 @@ pub use linear::Linear;
 pub use lstm::{LstmCell, StackedLstm};
 pub use mlp::Mlp;
 pub use params::{Binding, ParamId, ParamStore};
+pub use stream::RngStreams;

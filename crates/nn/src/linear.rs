@@ -24,11 +24,13 @@ impl Linear {
         out_dim: usize,
     ) -> Linear {
         let w = store.register(format!("{name}.w"), xavier_uniform(rng, in_dim, out_dim));
-        let b = store.register(
-            format!("{name}.b"),
-            rpf_tensor::Matrix::zeros(1, out_dim),
-        );
-        Linear { w, b, in_dim, out_dim }
+        let b = store.register(format!("{name}.b"), rpf_tensor::Matrix::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward pass: `x` is `(batch, in_dim)`.

@@ -54,7 +54,13 @@ impl LstmCell {
             b.set(0, j, 1.0);
         }
         let bias = store.register(format!("{name}.bias"), b);
-        LstmCell { w_ih, w_hh, bias, input_dim, hidden_dim }
+        LstmCell {
+            w_ih,
+            w_hh,
+            bias,
+            input_dim,
+            hidden_dim,
+        }
     }
 
     /// Zero initial state for a batch of `batch` sequences.
@@ -123,17 +129,15 @@ impl StackedLstm {
     }
 
     pub fn zero_state(&self, bind: &Binding<'_>, batch: usize) -> Vec<LstmState> {
-        self.layers.iter().map(|l| l.zero_state(bind, batch)).collect()
+        self.layers
+            .iter()
+            .map(|l| l.zero_state(bind, batch))
+            .collect()
     }
 
     /// One time step through the full stack; returns the top layer's hidden
     /// output and the new per-layer states.
-    pub fn step(
-        &self,
-        bind: &Binding<'_>,
-        x: Var,
-        states: &[LstmState],
-    ) -> (Var, Vec<LstmState>) {
+    pub fn step(&self, bind: &Binding<'_>, x: Var, states: &[LstmState]) -> (Var, Vec<LstmState>) {
         assert_eq!(states.len(), self.layers.len(), "state count mismatch");
         let mut new_states = Vec::with_capacity(self.layers.len());
         let mut input = x;
@@ -228,7 +232,11 @@ mod tests {
             let mut store2 = ParamStore::new();
             let mut ids = Vec::new();
             for id in store.iter_ids() {
-                let v = if id == w_index { w.clone() } else { store.value(id).clone() };
+                let v = if id == w_index {
+                    w.clone()
+                } else {
+                    store.value(id).clone()
+                };
                 ids.push(store2.register(store.name(id).to_string(), v));
             }
             let bind = Binding::new(&tape, &store2);

@@ -89,7 +89,13 @@ mod tests {
     fn forward_shape() {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(10);
-        let mlp = Mlp::new(&mut store, &mut rng, "pit", &[6, 16, 16, 2], Activation::Relu);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            "pit",
+            &[6, 16, 16, 2],
+            Activation::Relu,
+        );
         assert_eq!(mlp.layers.len(), 3);
         assert_eq!(mlp.out_dim(), 2);
         let tape = Tape::new();
@@ -118,7 +124,7 @@ mod tests {
             let loss = tape.mean(tape.square(tape.sub(pred, t)));
             last_loss = tape.scalar(loss);
             let __g = bind.into_grads(loss);
-        store.apply_grads(__g);
+            store.apply_grads(__g);
             store.update_each(|_, v, g| rpf_tensor::ops::axpy(v, -0.05, g));
         }
         assert!(last_loss < 0.01, "MLP failed to fit y=2x: loss {last_loss}");
@@ -192,7 +198,10 @@ mod dropout_tests {
         let mut rng = StdRng::seed_from_u64(2);
         let y = dropout(&bind, x, 0.3, &mut rng);
         let mean = tape.value(y).mean();
-        assert!((mean - 1.0).abs() < 0.02, "dropout should be unbiased, mean {mean}");
+        assert!(
+            (mean - 1.0).abs() < 0.02,
+            "dropout should be unbiased, mean {mean}"
+        );
     }
 
     #[test]

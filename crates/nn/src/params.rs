@@ -29,7 +29,11 @@ impl Default for ParamStore {
 
 impl ParamStore {
     pub fn new() -> Self {
-        ParamStore { names: Vec::new(), values: Vec::new(), grads: Vec::new() }
+        ParamStore {
+            names: Vec::new(),
+            values: Vec::new(),
+            grads: Vec::new(),
+        }
     }
 
     /// Register a parameter with an initial value.
@@ -166,7 +170,11 @@ impl<'a> Binding<'a> {
     /// Create a binding directly over a value slice (used by worker threads
     /// that only have a shared reference to the values).
     pub fn over_values(tape: &'a Tape, values: &'a [Matrix]) -> Self {
-        Binding { tape, values, bound: RefCell::new(vec![None; values.len()]) }
+        Binding {
+            tape,
+            values,
+            bound: RefCell::new(vec![None; values.len()]),
+        }
     }
 
     pub fn tape(&self) -> &'a Tape {
@@ -289,7 +297,11 @@ mod tests {
 impl ParamStore {
     /// Export every parameter as `(name, value)` pairs for persistence.
     pub fn export(&self) -> Vec<(String, Matrix)> {
-        self.names.iter().cloned().zip(self.values.iter().cloned()).collect()
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.values.iter().cloned())
+            .collect()
     }
 
     /// Import values exported by [`ParamStore::export`] into a store with

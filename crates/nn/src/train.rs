@@ -183,28 +183,31 @@ mod tests {
             let loss = tape.mean(tape.square(tape.sub(pred, t)));
             let out = tape.scalar(loss);
             let __g = bind.into_grads(loss);
-        store.apply_grads(__g);
+            store.apply_grads(__g);
             out
         };
 
-        let cfg = TrainConfig { max_epochs: 200, batch_size: 16, lr: 0.05, ..Default::default() };
-        let report = train(
-            &mut store,
-            64,
-            &cfg,
-            make_loss,
-            |store| {
-                // Validation = exact fit quality.
-                let wv = store.value(w).get(0, 0);
-                let bv = store.value(b).get(0, 0);
-                xs.iter()
-                    .zip(&ys)
-                    .map(|(x, y)| (wv * x + bv - y) * (wv * x + bv - y))
-                    .sum::<f32>()
-                    / xs.len() as f32
-            },
+        let cfg = TrainConfig {
+            max_epochs: 200,
+            batch_size: 16,
+            lr: 0.05,
+            ..Default::default()
+        };
+        let report = train(&mut store, 64, &cfg, make_loss, |store| {
+            // Validation = exact fit quality.
+            let wv = store.value(w).get(0, 0);
+            let bv = store.value(b).get(0, 0);
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (wv * x + bv - y) * (wv * x + bv - y))
+                .sum::<f32>()
+                / xs.len() as f32
+        });
+        assert!(
+            report.best_val_loss < 1e-3,
+            "val loss {}",
+            report.best_val_loss
         );
-        assert!(report.best_val_loss < 1e-3, "val loss {}", report.best_val_loss);
         assert!((store.value(w).get(0, 0) - 3.0).abs() < 0.05);
         assert!((store.value(b).get(0, 0) + 1.0).abs() < 0.05);
         assert!(report.us_per_sample > 0.0);
@@ -246,7 +249,11 @@ mod tests {
             },
         );
         assert_eq!(report.best_epoch, 2);
-        assert!(report.epochs_run < 40, "should stop early, ran {}", report.epochs_run);
+        assert!(
+            report.epochs_run < 40,
+            "should stop early, ran {}",
+            report.epochs_run
+        );
         // Weights restored to the epoch-3 snapshot, not the last one.
         let restored = store.value(w).get(0, 0);
         let final_would_be = -0.1 * 2.0 * report.epochs_run as f32;

@@ -63,12 +63,30 @@ pub fn hybrid_breakdown(batch: usize) -> Vec<BreakdownSlice> {
 
     let total = cpu_mm_mul + cpu_scalar + ve_mm_mul + ve_scalar + movement + other;
     vec![
-        BreakdownSlice { label: "MatMul+Mul (CPU)", fraction: cpu_mm_mul / total },
-        BreakdownSlice { label: "Add+Sigmoid+Tanh (CPU)", fraction: cpu_scalar / total },
-        BreakdownSlice { label: "Other ops (CPU)", fraction: other / total },
-        BreakdownSlice { label: "Data Movement", fraction: movement / total },
-        BreakdownSlice { label: "MatMul+Mul (VE)", fraction: ve_mm_mul / total },
-        BreakdownSlice { label: "Add+Sigmoid+Tanh (VE)", fraction: ve_scalar / total },
+        BreakdownSlice {
+            label: "MatMul+Mul (CPU)",
+            fraction: cpu_mm_mul / total,
+        },
+        BreakdownSlice {
+            label: "Add+Sigmoid+Tanh (CPU)",
+            fraction: cpu_scalar / total,
+        },
+        BreakdownSlice {
+            label: "Other ops (CPU)",
+            fraction: other / total,
+        },
+        BreakdownSlice {
+            label: "Data Movement",
+            fraction: movement / total,
+        },
+        BreakdownSlice {
+            label: "MatMul+Mul (VE)",
+            fraction: ve_mm_mul / total,
+        },
+        BreakdownSlice {
+            label: "Add+Sigmoid+Tanh (VE)",
+            fraction: ve_scalar / total,
+        },
     ]
 }
 

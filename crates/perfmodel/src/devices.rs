@@ -70,7 +70,7 @@ impl Device {
             launch_overhead: 6e-6, // CUDA launch + driver
             transfer_bw: 12e9,     // PCIe gen3 effective
             transfer_fraction: 0.03,
-            cache_bw: 3000e9, // shared-memory/L2 resident pointwise traffic
+            cache_bw: 3000e9,     // shared-memory/L2 resident pointwise traffic
             startup_flops: 2.0e7, // needs large tiles for full occupancy
         }
     }
@@ -99,14 +99,19 @@ impl Device {
             launch_overhead: 7e-6, // VEO call overhead
             transfer_bw: 10e9,
             transfer_fraction: 0.015,
-            cache_bw: 2400e9, // vector-register / LLC resident traffic
+            cache_bw: 2400e9,     // vector-register / LLC resident traffic
             startup_flops: 6.0e6, // long vectors needed to fill the pipes
         }
     }
 
     /// All four Fig 10 series.
     pub fn all() -> Vec<Device> {
-        vec![Self::cpu(), Self::gpu(), Self::gpu_cudnn(), Self::vector_engine()]
+        vec![
+            Self::cpu(),
+            Self::gpu(),
+            Self::gpu_cudnn(),
+            Self::vector_engine(),
+        ]
     }
 
     /// Time for one kernel class on this device: roofline time + launch
@@ -115,7 +120,11 @@ impl Device {
         if k.launches == 0 {
             return 0.0;
         }
-        let peak = if dense { self.peak_flops } else { self.scalar_flops };
+        let peak = if dense {
+            self.peak_flops
+        } else {
+            self.scalar_flops
+        };
         // Vectorization / occupancy ramp: tiny launches run far below peak.
         let per_launch = k.flops as f64 / k.launches as f64;
         let eff = per_launch / (per_launch + self.startup_flops);
@@ -179,7 +188,10 @@ mod tests {
         let cpu = Device::cpu().us_per_sample(&wl(32));
         let gpu = Device::gpu().us_per_sample(&wl(32));
         let ve = Device::vector_engine().us_per_sample(&wl(32));
-        assert!(cpu < gpu, "CPU {cpu} should beat op-by-op GPU {gpu} at batch 32");
+        assert!(
+            cpu < gpu,
+            "CPU {cpu} should beat op-by-op GPU {gpu} at batch 32"
+        );
         assert!(cpu < ve, "CPU {cpu} should beat VE {ve} at batch 32");
     }
 
@@ -198,7 +210,10 @@ mod tests {
         for batch in [32usize, 64, 128, 256, 640, 1600, 3200] {
             let fused = Device::gpu_cudnn().us_per_sample(&wl(batch));
             let plain = Device::gpu().us_per_sample(&wl(batch));
-            assert!(fused < plain, "batch {batch}: cuDNN {fused} vs plain {plain}");
+            assert!(
+                fused < plain,
+                "batch {batch}: cuDNN {fused} vs plain {plain}"
+            );
         }
     }
 
@@ -210,15 +225,26 @@ mod tests {
         assert!(speedup > 1.5, "CPU speedup {speedup}");
         let g = Device::gpu();
         let gpu_speedup = g.us_per_sample(&wl(32)) / g.us_per_sample(&wl(3200));
-        assert!(gpu_speedup > 10.0, "GPU speedup {gpu_speedup} should be the largest");
+        assert!(
+            gpu_speedup > 10.0,
+            "GPU speedup {gpu_speedup} should be the largest"
+        );
         assert!(gpu_speedup > speedup, "GPU gains most from batching");
     }
 
     #[test]
     fn kernel_time_monotone_in_work() {
         let d = Device::cpu();
-        let small = KernelCounts { launches: 10, flops: 1_000_000, bytes: 100_000 };
-        let large = KernelCounts { launches: 10, flops: 100_000_000, bytes: 10_000_000 };
+        let small = KernelCounts {
+            launches: 10,
+            flops: 1_000_000,
+            bytes: 100_000,
+        };
+        let large = KernelCounts {
+            launches: 10,
+            flops: 100_000_000,
+            bytes: 10_000_000,
+        };
         assert!(d.kernel_time(&large, true) > d.kernel_time(&small, true));
         assert_eq!(d.kernel_time(&KernelCounts::default(), true), 0.0);
     }

@@ -29,15 +29,8 @@ impl Roofline {
     /// The paper's CPU platform (Fig 11 ceilings).
     pub fn cpu() -> Roofline {
         Roofline {
-            bandwidths: vec![
-                ("DRAM", 68e9),
-                ("L3", 220e9),
-                ("L2", 750e9),
-            ],
-            peaks: vec![
-                ("Scalar Add Peak", 27.6e9),
-                ("DP Vector FMA Peak", 441.6e9),
-            ],
+            bandwidths: vec![("DRAM", 68e9), ("L3", 220e9), ("L2", 750e9)],
+            peaks: vec![("Scalar Add Peak", 27.6e9), ("DP Vector FMA Peak", 441.6e9)],
         }
     }
 
@@ -63,7 +56,11 @@ impl Roofline {
                     kernel,
                     batch,
                     arithmetic_intensity: k.arithmetic_intensity(),
-                    gflops: if t > 0.0 { k.flops as f64 / t / 1e9 } else { 0.0 },
+                    gflops: if t > 0.0 {
+                        k.flops as f64 / t / 1e9
+                    } else {
+                        0.0
+                    },
                 }
             })
             .collect()

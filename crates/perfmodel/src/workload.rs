@@ -35,7 +35,13 @@ pub struct LstmWorkload {
 
 impl Default for LstmWorkload {
     fn default() -> Self {
-        LstmWorkload { batch: 32, input_dim: 16, hidden: 40, layers: 2, seq_len: 62 }
+        LstmWorkload {
+            batch: 32,
+            input_dim: 16,
+            hidden: 40,
+            layers: 2,
+            seq_len: 62,
+        }
     }
 }
 
@@ -90,7 +96,13 @@ impl LstmWorkload {
             k.bytes *= 3;
         }
 
-        WorkloadCounts { matmul: mm, mul, add, sigmoid: sig, tanh }
+        WorkloadCounts {
+            matmul: mm,
+            mul,
+            add,
+            sigmoid: sig,
+            tanh,
+        }
     }
 
     /// cuDNN-style fusion (§IV-J): GEMMs are combined/streamed (fewer,
@@ -98,26 +110,26 @@ impl LstmWorkload {
     /// operations and 1% scalar left".
     pub fn step_counts_fused(&self) -> WorkloadCounts {
         let base = self.step_counts();
-        let mut out = WorkloadCounts::default();
+        let scalar_launches =
+            ((base.mul.launches + base.add.launches + base.sigmoid.launches + base.tanh.launches)
+                as f64
+                * 0.01) as u64;
         // Same arithmetic, dramatically fewer launches; pointwise bytes
         // vanish into the GEMM epilogues.
-        out.matmul = KernelCounts {
-            launches: (base.matmul.launches as f64 * 0.39) as u64,
-            flops: base.matmul.flops,
-            bytes: base.matmul.bytes,
-        };
-        let scalar_launches = ((base.mul.launches
-            + base.add.launches
-            + base.sigmoid.launches
-            + base.tanh.launches) as f64
-            * 0.01) as u64;
-        out.add = KernelCounts {
-            launches: scalar_launches.max(1),
-            flops: base.mul.flops + base.add.flops + base.sigmoid.flops + base.tanh.flops,
-            // Fused pointwise work reads/writes registers, not DRAM.
-            bytes: (base.mul.bytes + base.add.bytes) / 8,
-        };
-        out
+        WorkloadCounts {
+            matmul: KernelCounts {
+                launches: (base.matmul.launches as f64 * 0.39) as u64,
+                flops: base.matmul.flops,
+                bytes: base.matmul.bytes,
+            },
+            add: KernelCounts {
+                launches: scalar_launches.max(1),
+                flops: base.mul.flops + base.add.flops + base.sigmoid.flops + base.tanh.flops,
+                // Fused pointwise work reads/writes registers, not DRAM.
+                bytes: (base.mul.bytes + base.add.bytes) / 8,
+            },
+            ..Default::default()
+        }
     }
 }
 
@@ -185,9 +197,7 @@ mod tests {
         // Fig 11: at batch 3200 the GEMM moves right (higher AI).
         let small = LstmWorkload::default().with_batch(32).step_counts();
         let large = LstmWorkload::default().with_batch(3200).step_counts();
-        assert!(
-            large.matmul.arithmetic_intensity() > small.matmul.arithmetic_intensity()
-        );
+        assert!(large.matmul.arithmetic_intensity() > small.matmul.arithmetic_intensity());
         // Pointwise kernels stay at O(1) intensity regardless of batch.
         let ai_small = small.mul.arithmetic_intensity();
         let ai_large = large.mul.arithmetic_intensity();
@@ -212,8 +222,12 @@ mod tests {
         let base = w.step_counts();
         let fused = w.step_counts_fused();
         let frac_mm = fused.matmul.launches as f64 / base.matmul.launches as f64;
-        assert!((frac_mm - 0.39).abs() < 0.02, "matmul launch fraction {frac_mm}");
-        let base_scalar = base.mul.launches + base.add.launches + base.sigmoid.launches + base.tanh.launches;
+        assert!(
+            (frac_mm - 0.39).abs() < 0.02,
+            "matmul launch fraction {frac_mm}"
+        );
+        let base_scalar =
+            base.mul.launches + base.add.launches + base.sigmoid.launches + base.tanh.launches;
         let fused_scalar = fused.add.launches;
         assert!(fused_scalar as f64 / base_scalar as f64 <= 0.011);
     }

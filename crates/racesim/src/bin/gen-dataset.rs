@@ -65,6 +65,10 @@ fn main() -> Result<(), String> {
         serde_json::to_string_pretty(&manifest).map_err(|e| e.to_string())?,
     )
     .map_err(|e| e.to_string())?;
-    eprintln!("wrote {} ({} races)", manifest_path.display(), manifest.len());
+    eprintln!(
+        "wrote {} ({} races)",
+        manifest_path.display(),
+        manifest.len()
+    );
     Ok(())
 }

@@ -83,7 +83,10 @@ mod tests {
     fn skills_are_reasonably_spread() {
         let field = season_field(2016, 33, 0.004);
         let mean: f32 = field.iter().map(|c| c.skill).sum::<f32>() / 33.0;
-        assert!(mean.abs() < 0.003, "field mean skill should be near zero, got {mean}");
+        assert!(
+            mean.abs() < 0.003,
+            "field mean skill should be near zero, got {mean}"
+        );
         let spread = field.iter().map(|c| c.skill).fold(f32::MIN, f32::max)
             - field.iter().map(|c| c.skill).fold(f32::MAX, f32::min);
         assert!(spread > 0.004, "field should have meaningful skill spread");

@@ -65,9 +65,7 @@ impl Dataset {
                 let cfg = EventConfig::for_race(event, year);
                 // Race seed mixes the dataset seed with the race identity so
                 // each race is independent but reproducible.
-                let race_seed = seed
-                    ^ (year as u64)
-                    ^ ((event as u64 + 1) << 32);
+                let race_seed = seed ^ (year as u64) ^ ((event as u64 + 1) << 32);
                 races.insert(key, simulate_race(&cfg, race_seed));
             }
         }
@@ -118,7 +116,10 @@ impl Dataset {
 
     /// All races in a split across every event.
     pub fn split_all(&self, split: Split) -> Vec<(&RaceKey, &RaceResult)> {
-        self.races.iter().filter(|(k, _)| split_of(**k) == split).collect()
+        self.races
+            .iter()
+            .filter(|(k, _)| split_of(**k) == split)
+            .collect()
     }
 
     /// Total number of timing records across the dataset.
@@ -133,8 +134,14 @@ mod tests {
 
     #[test]
     fn splits_match_table2_usage() {
-        assert_eq!(split_of(RaceKey::new(Event::Indy500, 2015)), Split::Training);
-        assert_eq!(split_of(RaceKey::new(Event::Indy500, 2018)), Split::Validation);
+        assert_eq!(
+            split_of(RaceKey::new(Event::Indy500, 2015)),
+            Split::Training
+        );
+        assert_eq!(
+            split_of(RaceKey::new(Event::Indy500, 2018)),
+            Split::Validation
+        );
         assert_eq!(split_of(RaceKey::new(Event::Indy500, 2019)), Split::Test);
         assert_eq!(split_of(RaceKey::new(Event::Iowa, 2019)), Split::Test);
         assert_eq!(split_of(RaceKey::new(Event::Pocono, 2018)), Split::Test);

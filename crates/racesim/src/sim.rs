@@ -161,8 +161,11 @@ pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
                 }
             }
         }
-        let track_status =
-            if caution_left > 0 { TrackStatus::Yellow } else { TrackStatus::Green };
+        let track_status = if caution_left > 0 {
+            TrackStatus::Yellow
+        } else {
+            TrackStatus::Green
+        };
         let caution_lap_index = if caution_left > 0 {
             // 1 on the first caution lap, growing as the caution ages.
             laps_since_restart = 0;
@@ -242,28 +245,32 @@ pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
                 lap,
                 lap_time,
                 time_behind_leader: 0.0,
-                lap_status: if pits[i] { LapStatus::Pit } else { LapStatus::Normal },
+                lap_status: if pits[i] {
+                    LapStatus::Pit
+                } else {
+                    LapStatus::Normal
+                },
                 track_status,
             });
         }
 
         // --- field compression behind the pace car -------------------------
         if track_status.is_caution() {
-            let mut order: Vec<usize> =
-                (0..n).filter(|&i| cars[i].retired.is_none()).collect();
+            let mut order: Vec<usize> = (0..n).filter(|&i| cars[i].retired.is_none()).collect();
             order.sort_by(|&a, &b| cars[a].cum_time.partial_cmp(&cars[b].cum_time).unwrap());
             if let Some(&leader) = order.first() {
                 let leader_time = cars[leader].cum_time;
                 for (pos, &i) in order.iter().enumerate() {
-                    cars[i].cum_time =
-                        leader_time + pos as f64 * 1.1 + rng.gen_range(0.0..0.25);
+                    cars[i].cum_time = leader_time + pos as f64 * 1.1 + rng.gen_range(0.0..0.25);
                 }
             }
         }
 
         // --- ranks and gaps -------------------------------------------------
         let mut order: Vec<usize> = (0..n)
-            .filter(|&i| cars[i].retired.is_none() || cars[i].laps.last().map(|r| r.lap) == Some(lap))
+            .filter(|&i| {
+                cars[i].retired.is_none() || cars[i].laps.last().map(|r| r.lap) == Some(lap)
+            })
             .filter(|&i| cars[i].laps.last().map(|r| r.lap) == Some(lap))
             .collect();
         order.sort_by(|&a, &b| cars[a].cum_time.partial_cmp(&cars[b].cum_time).unwrap());
@@ -285,11 +292,15 @@ pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
     }
 
     // Flatten records ordered by (lap, rank).
-    let mut records: Vec<LapRecord> =
-        cars.iter().flat_map(|c| c.laps.iter().copied()).collect();
+    let mut records: Vec<LapRecord> = cars.iter().flat_map(|c| c.laps.iter().copied()).collect();
     records.sort_by_key(|r| (r.lap, r.rank));
 
-    RaceResult { config: cfg.clone(), field, records, retired }
+    RaceResult {
+        config: cfg.clone(),
+        field,
+        records,
+        retired,
+    }
 }
 
 #[cfg(test)]
@@ -319,8 +330,12 @@ mod tests {
     fn ranks_are_permutations_each_lap() {
         let r = indy(7);
         for lap in 1..=200u16 {
-            let mut ranks: Vec<u16> =
-                r.records.iter().filter(|x| x.lap == lap).map(|x| x.rank).collect();
+            let mut ranks: Vec<u16> = r
+                .records
+                .iter()
+                .filter(|x| x.lap == lap)
+                .map(|x| x.rank)
+                .collect();
             ranks.sort_unstable();
             let expect: Vec<u16> = (1..=ranks.len() as u16).collect();
             assert_eq!(ranks, expect, "lap {lap} ranks are not a permutation");
@@ -339,8 +354,7 @@ mod tests {
     fn gaps_increase_with_rank() {
         let r = indy(11);
         for lap in [50u16, 120, 199] {
-            let mut recs: Vec<&LapRecord> =
-                r.records.iter().filter(|x| x.lap == lap).collect();
+            let mut recs: Vec<&LapRecord> = r.records.iter().filter(|x| x.lap == lap).collect();
             recs.sort_by_key(|x| x.rank);
             for w in recs.windows(2) {
                 assert!(
@@ -386,11 +400,7 @@ mod tests {
     fn cars_pit_several_times_at_indy() {
         // Paper: "on average a car goes to pit stop for six times in a race".
         let r = indy(19);
-        let total_pits: usize = r
-            .records
-            .iter()
-            .filter(|x| x.lap_status.is_pit())
-            .count();
+        let total_pits: usize = r.records.iter().filter(|x| x.lap_status.is_pit()).count();
         let finishing_cars = r.finishers().len().max(1);
         let avg = total_pits as f32 / finishing_cars as f32;
         assert!(
@@ -401,10 +411,11 @@ mod tests {
 
     #[test]
     fn races_have_cautions_sometimes() {
-        let with_caution = (0..10)
-            .filter(|&s| indy(s).caution_lap_count() > 0)
-            .count();
-        assert!(with_caution >= 5, "most Indy500 sims should see at least one caution");
+        let with_caution = (0..10).filter(|&s| indy(s).caution_lap_count() > 0).count();
+        assert!(
+            with_caution >= 5,
+            "most Indy500 sims should see at least one caution"
+        );
     }
 
     #[test]
@@ -420,10 +431,7 @@ mod tests {
         let r = indy(23);
         for (i, car) in r.field.iter().enumerate() {
             if let Some(lap) = r.retired[i] {
-                assert!(r
-                    .car_records(car.car_id)
-                    .iter()
-                    .all(|rec| rec.lap < lap));
+                assert!(r.car_records(car.car_id).iter().all(|rec| rec.lap < lap));
             }
         }
     }

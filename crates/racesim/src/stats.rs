@@ -113,8 +113,7 @@ pub struct PitSummary {
 
 /// Aggregate pit statistics over many races.
 pub fn summarize_pits(stops: &[PitStop]) -> PitSummary {
-    let (normal, caution): (Vec<&PitStop>, Vec<&PitStop>) =
-        stops.iter().partition(|p| !p.caution);
+    let (normal, caution): (Vec<&PitStop>, Vec<&PitStop>) = stops.iter().partition(|p| !p.caution);
     let mean_stint = |v: &[&PitStop]| {
         if v.is_empty() {
             0.0
@@ -126,7 +125,10 @@ pub fn summarize_pits(stops: &[PitStop]) -> PitSummary {
         if v.is_empty() {
             0.0
         } else {
-            v.iter().map(|p| p.rank_change.unsigned_abs() as f32).sum::<f32>() / v.len() as f32
+            v.iter()
+                .map(|p| p.rank_change.unsigned_abs() as f32)
+                .sum::<f32>()
+                / v.len() as f32
         }
     };
     PitSummary {
@@ -165,13 +167,20 @@ mod tests {
     fn fig4a_normal_stints_are_bell_shaped_and_bounded() {
         let stops = indy_pits();
         let s = summarize_pits(&stops);
-        assert!(s.normal_count > 50, "need a meaningful sample, got {}", s.normal_count);
+        assert!(
+            s.normal_count > 50,
+            "need a meaningful sample, got {}",
+            s.normal_count
+        );
         assert!(
             (24.0..40.0).contains(&s.normal_stint_mean),
             "normal stint mean ~32 per Fig 4a, got {}",
             s.normal_stint_mean
         );
-        assert!(s.normal_stint_max <= 50, "fuel window caps stints at 50 (Fig 4a)");
+        assert!(
+            s.normal_stint_max <= 50,
+            "fuel window caps stints at 50 (Fig 4a)"
+        );
         assert!(s.caution_stint_max <= 50);
     }
 
@@ -226,7 +235,10 @@ mod tests {
         let (ip, ir) = avg(Event::Indy500, 2018);
         let (wp, wr) = avg(Event::Iowa, 2018);
         assert!(ip > wp, "Indy500 pit ratio {ip} should exceed Iowa {wp}");
-        assert!(ir > wr, "Indy500 rank-change ratio {ir} should exceed Iowa {wr}");
+        assert!(
+            ir > wr,
+            "Indy500 rank-change ratio {ir} should exceed Iowa {wr}"
+        );
     }
 
     #[test]
@@ -291,7 +303,11 @@ mod cdf_tests {
             .map(|p| p.stint_length as f32)
             .collect();
         let cdf = empirical_cdf(&normal, 50);
-        assert!(cdf[23] < 0.35, "short-stint section should be small, got {}", cdf[23]);
+        assert!(
+            cdf[23] < 0.35,
+            "short-stint section should be small, got {}",
+            cdf[23]
+        );
         assert!(cdf[40] > 0.8, "most stints end by lap 40, got {}", cdf[40]);
         assert_eq!(cdf[50], 1.0, "nothing beyond the fuel window");
     }

@@ -38,7 +38,7 @@ pub struct EventConfig {
     /// Track length, miles (Table II).
     pub track_length_miles: f32,
     /// Track shape label (Table II).
-    pub track_shape: &'static str,
+    pub track_shape: String,
     /// Scheduled lap count (Table II; Iowa/Pocono/Texas changed over years).
     pub total_laps: u16,
     /// Average speed, mph (Table II) — sets the base lap time.
@@ -93,7 +93,7 @@ impl EventConfig {
                 event,
                 year,
                 track_length_miles: 2.5,
-                track_shape: "Oval",
+                track_shape: "Oval".into(),
                 total_laps: 200,
                 avg_speed_mph: 175.0,
                 participants: 33,
@@ -111,7 +111,7 @@ impl EventConfig {
                 event,
                 year,
                 track_length_miles: 0.894,
-                track_shape: "Oval",
+                track_shape: "Oval".into(),
                 total_laps: if year >= 2019 { 300 } else { 250 },
                 avg_speed_mph: 135.0,
                 participants: 22,
@@ -129,7 +129,7 @@ impl EventConfig {
                 event,
                 year,
                 track_length_miles: 2.5,
-                track_shape: "Triangle",
+                track_shape: "Triangle".into(),
                 total_laps: if year >= 2018 { 200 } else { 160 },
                 avg_speed_mph: 135.0,
                 participants: 22,
@@ -147,7 +147,7 @@ impl EventConfig {
                 event,
                 year,
                 track_length_miles: 1.455,
-                track_shape: "Oval",
+                track_shape: "Oval".into(),
                 total_laps: if year >= 2018 { 248 } else { 228 },
                 avg_speed_mph: 153.0,
                 participants: 22,
@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn dataset_has_25_races() {
-        let total: usize = Event::ALL.iter().map(|&e| EventConfig::years(e).len()).sum();
+        let total: usize = Event::ALL
+            .iter()
+            .map(|&e| EventConfig::years(e).len())
+            .sum();
         assert_eq!(total, 25);
     }
 
@@ -221,8 +224,11 @@ mod tests {
         for &e in &Event::ALL {
             for &y in &EventConfig::years(e) {
                 let c = EventConfig::for_race(e, y);
-                assert!(c.stint_mean + 2.5 * c.stint_sd < c.fuel_window_laps as f32,
-                    "{} {y}: planned stints must fit the fuel window", e.name());
+                assert!(
+                    c.stint_mean + 2.5 * c.stint_sd < c.fuel_window_laps as f32,
+                    "{} {y}: planned stints must fit the fuel window",
+                    e.name()
+                );
             }
         }
     }

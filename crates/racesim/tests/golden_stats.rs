@@ -1,0 +1,74 @@
+//! Golden summary-statistics regression test for the simulator.
+//!
+//! The forecast engine's equivalence harness pins the *model* side of
+//! determinism; this pins the *data* side: `simulate_race` with a fixed
+//! seed must keep producing the same race shape, or every downstream
+//! "deterministic" forecast test silently changes meaning. Structural
+//! facts (field size, lap counts, retirement bounds) are exact; the tuned
+//! dynamics (pit-lap ratio) get a tolerance band so harmless re-tuning of
+//! lap-noise constants doesn't trip the test, while a broken pit loop does.
+
+use rpf_racesim::stats::{pit_laps_ratio, rank_changes_ratio};
+use rpf_racesim::{simulate_race, Event, EventConfig};
+
+#[test]
+fn indy500_fixed_seed_summary_stats() {
+    let cfg = EventConfig::for_race(Event::Indy500, 2018);
+    let race = simulate_race(&cfg, 42);
+
+    // Structure (exact): Table II field of 33 starters, every running car
+    // logs exactly `total_laps` records, retired cars strictly fewer.
+    assert_eq!(race.field.len(), 33);
+    assert_eq!(race.retired.len(), 33);
+    for (i, car) in race.field.iter().enumerate() {
+        let laps = race.car_records(car.car_id).len();
+        match race.retired[i] {
+            None => assert_eq!(
+                laps, cfg.total_laps as usize,
+                "car {} lap count",
+                car.car_id
+            ),
+            Some(_) => assert!(
+                laps < cfg.total_laps as usize,
+                "retired car {} must not log a full distance",
+                car.car_id
+            ),
+        }
+    }
+    let finishers = race.finishers().len();
+    assert!(
+        (20..=33).contains(&finishers),
+        "{finishers} finishers is outside any plausible Indy500"
+    );
+
+    // Dynamics (banded): the paper's Fig 6 places Indy500 top-right —
+    // highest PitLapsRatio and RankChangesRatio of the four events.
+    let pit_ratio = pit_laps_ratio(&race);
+    assert!(
+        (0.02..=0.30).contains(&pit_ratio),
+        "pit-laps ratio {pit_ratio} drifted out of the Indy500 band"
+    );
+    let rank_changes = rank_changes_ratio(&race);
+    assert!(
+        rank_changes > 0.0 && rank_changes < 1.0,
+        "rank-changes ratio {rank_changes} degenerate"
+    );
+
+    // Determinism: the same seed replays the identical race; a different
+    // seed does not.
+    let replay = simulate_race(&cfg, 42);
+    assert_eq!(race.records.len(), replay.records.len());
+    for (a, b) in race.records.iter().zip(&replay.records) {
+        assert_eq!(a.car_id, b.car_id);
+        assert_eq!(a.lap, b.lap);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.lap_time.to_bits(), b.lap_time.to_bits());
+    }
+    let other = simulate_race(&cfg, 43);
+    let same = race
+        .records
+        .iter()
+        .zip(&other.records)
+        .all(|(a, b)| a.lap_time.to_bits() == b.lap_time.to_bits());
+    assert!(!same, "different seeds must not replay the same race");
+}

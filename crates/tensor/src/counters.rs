@@ -29,8 +29,14 @@ pub enum Kernel {
 }
 
 impl Kernel {
-    pub const ALL: [Kernel; 6] =
-        [Kernel::MatMul, Kernel::Mul, Kernel::Add, Kernel::Sigmoid, Kernel::Tanh, Kernel::Other];
+    pub const ALL: [Kernel; 6] = [
+        Kernel::MatMul,
+        Kernel::Mul,
+        Kernel::Add,
+        Kernel::Sigmoid,
+        Kernel::Tanh,
+        Kernel::Other,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -64,12 +70,42 @@ struct Cell {
 }
 
 static CELLS: [Cell; 6] = [
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
-    Cell { calls: AtomicU64::new(0), flops: AtomicU64::new(0), bytes: AtomicU64::new(0), nanos: AtomicU64::new(0) },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
+    Cell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+        bytes: AtomicU64::new(0),
+        nanos: AtomicU64::new(0),
+    },
 ];
 
 /// Record one kernel invocation. `flops` is fused-multiply-adds counted as
@@ -89,7 +125,8 @@ pub fn record_timed(kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
     cell.calls.fetch_add(1, Ordering::Relaxed);
     cell.flops.fetch_add(flops, Ordering::Relaxed);
     cell.bytes.fetch_add(bytes, Ordering::Relaxed);
-    cell.nanos.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    cell.nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// Snapshot of a kernel's accumulated statistics.

@@ -27,12 +27,20 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create a matrix of ones.
@@ -64,12 +72,20 @@ impl Matrix {
 
     /// A 1xN row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// An Nx1 column vector from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
-        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -123,13 +139,21 @@ impl Matrix {
 
     #[inline(always)]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols, "get({r},{c}) out of {:?}", self.shape());
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "get({r},{c}) out of {:?}",
+            self.shape()
+        );
         self.data[r * self.cols + c]
     }
 
     #[inline(always)]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "set({r},{c}) out of {:?}", self.shape());
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "set({r},{c}) out of {:?}",
+            self.shape()
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -172,7 +196,12 @@ impl Matrix {
 
     /// Reshape without copying the buffer. Panics if the element count changes.
     pub fn reshape(mut self, rows: usize, cols: usize) -> Matrix {
-        assert_eq!(self.data.len(), rows * cols, "reshape: {:?} -> {rows}x{cols}", self.shape());
+        assert_eq!(
+            self.data.len(),
+            rows * cols,
+            "reshape: {:?} -> {rows}x{cols}",
+            self.shape()
+        );
         self.rows = rows;
         self.cols = cols;
         self
@@ -201,8 +230,7 @@ impl Matrix {
         for m in parts {
             assert_eq!(m.rows, rows, "hstack: row mismatch {} vs {rows}", m.rows);
             for r in 0..rows {
-                out.data[r * cols + offset..r * cols + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * cols + offset..r * cols + offset + m.cols].copy_from_slice(m.row(r));
             }
             offset += m.cols;
         }
@@ -211,7 +239,11 @@ impl Matrix {
 
     /// Extract columns `[start, end)` into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "slice_cols {start}..{end} of {:?}", self.shape());
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols {start}..{end} of {:?}",
+            self.shape()
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
@@ -221,7 +253,11 @@ impl Matrix {
 
     /// Extract rows `[start, end)` into a new matrix.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows {start}..{end} of {:?}", self.shape());
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows {start}..{end} of {:?}",
+            self.shape()
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -233,7 +269,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather_rows: index {idx} out of {} rows", self.rows);
+            assert!(
+                idx < self.rows,
+                "gather_rows: index {idx} out of {} rows",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out
@@ -270,8 +310,7 @@ impl fmt::Debug for Matrix {
         let show_rows = self.rows.min(6);
         for r in 0..show_rows {
             let row = self.row(r);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:9.4}")).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }
@@ -410,7 +449,11 @@ impl<'de> serde::Deserialize<'de> for Matrix {
                 raw.cols
             )));
         }
-        Ok(Matrix { rows: raw.rows, cols: raw.cols, data: raw.data })
+        Ok(Matrix {
+            rows: raw.rows,
+            cols: raw.cols,
+            data: raw.data,
+        })
     }
 }
 

@@ -9,7 +9,13 @@ use crate::matrix::Matrix;
 use std::time::Instant;
 
 fn assert_same_shape(a: &Matrix, b: &Matrix, op: &str) {
-    assert_eq!(a.shape(), b.shape(), "{op}: shape mismatch {:?} vs {:?}", a.shape(), b.shape());
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "{op}: shape mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
 }
 
 /// Elementwise addition: `a + b`.
@@ -264,7 +270,7 @@ mod tests {
         let a = Matrix::from_vec(1, 3, vec![0.0, 1.0, -1.0]);
         let t = tanh(&a);
         assert_eq!(t.get(0, 0), 0.0);
-        assert!((t.get(0, 1) - 0.76159416).abs() < 1e-5);
+        assert!((t.get(0, 1) - 0.761_594_2).abs() < 1e-5);
         let r = relu(&a);
         assert_eq!(r.as_slice(), &[0.0, 1.0, 0.0]);
     }

@@ -21,7 +21,10 @@ pub fn num_threads() -> usize {
     if cached != 0 {
         return cached;
     }
-    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16);
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16);
     CACHED.store(n, Ordering::Relaxed);
     n
 }
@@ -163,7 +166,7 @@ mod tests {
     fn num_threads_is_stable_and_positive() {
         let a = num_threads();
         let b = num_threads();
-        assert!(a >= 1 && a <= 16);
+        assert!((1..=16).contains(&a));
         assert_eq!(a, b);
     }
 }

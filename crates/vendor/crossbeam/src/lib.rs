@@ -1,0 +1,102 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn` + handle
+//! `join`, which maps directly onto `std::thread::scope` (stable since Rust
+//! 1.63). The wrapper preserves crossbeam's call shape: the spawn closure
+//! receives a `&Scope` argument, `scope` returns a `Result`, and `join`
+//! returns a `thread::Result`.
+
+pub use crate::thread::{scope, Scope, ScopedJoinHandle};
+
+pub mod thread {
+    use std::marker::PhantomData;
+    use std::thread as std_thread;
+
+    /// Matches `crossbeam::thread::Scope`: the handle worker closures
+    /// receive.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// A spawned worker handle.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. As in crossbeam, the closure receives the scope
+        /// so it could spawn further workers; callers here ignore it
+        /// (`|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = self.inner.spawn(move || {
+                let scope = Scope { inner: inner_scope };
+                f(&scope)
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads, mirroring
+    /// `crossbeam::scope`. Always returns `Ok` — panics in unjoined workers
+    /// propagate as panics, matching how this workspace consumes the API
+    /// (`.expect(...)` on the result).
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<usize> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| {
+                    let sum = &sum;
+                    s.spawn(move |_| {
+                        sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::SeqCst), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn results_returned_through_join() {
+        let out = super::scope(|s| {
+            let h1 = s.spawn(|_| 21usize);
+            let h2 = s.spawn(|_| 21usize);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

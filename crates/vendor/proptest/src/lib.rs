@@ -1,0 +1,86 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `boxed`, range and tuple
+//! strategies, `collection::vec`, `sample::select`, `Just`, the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` /
+//! `prop_oneof!` macros, and `ProptestConfig`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its values via the assertion
+//!   message instead of a minimized input;
+//! * the RNG seed is derived from the test's module path and name, so runs
+//!   are fully deterministic (no persistence file needed).
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — the only import the tests use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn vec_strategy() -> impl Strategy<Value = Vec<u32>> {
+        crate::collection::vec(0u32..100, 2..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in vec_strategy()) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn oneof_and_select_produce_members(
+            pick in prop_oneof![Just(1u8), Just(2), 10u8..20],
+            chosen in prop::sample::select(vec!["a", "b", "c"]),
+        ) {
+            prop_assert!(pick == 1 || pick == 2 || (10..20).contains(&pick));
+            prop_assert!(["a", "b", "c"].contains(&chosen));
+        }
+
+        #[test]
+        fn flat_map_links_dimensions(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0i32..10, n).prop_map(move |v| (n, v)))) {
+            let (n, items) = v;
+            prop_assert_eq!(items.len(), n);
+        }
+
+        #[test]
+        fn assume_rejections_are_retried(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        let gen = |seed: u64| {
+            let mut runner = TestRunner::new(ProptestConfig::default(), seed);
+            (0..16)
+                .map(|_| (0u64..1000).generate(runner.rng()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+}

@@ -1,0 +1,26 @@
+//! `prop::sample` — choosing from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].clone()
+    }
+}
+
+/// Uniformly select one of the given values.
+pub fn select<T: Clone>(values: impl Into<Vec<T>>) -> Select<T> {
+    let values = values.into();
+    assert!(
+        !values.is_empty(),
+        "sample::select needs at least one value"
+    );
+    Select(values)
+}

@@ -1,0 +1,193 @@
+//! Test execution: config, deterministic RNG, case errors, and the
+//! `proptest!` / `prop_assert*` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Display;
+
+/// The RNG handed to strategies. Deterministic per test function.
+pub type TestRng = StdRng;
+
+/// Runner configuration. Only `cases` matters to this stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — generate a fresh case instead.
+    Reject(String),
+    /// `prop_assert*!` failed — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn reject(msg: impl Display) -> Self {
+        TestCaseError::Reject(msg.to_string())
+    }
+
+    pub fn fail(msg: impl Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Drives one property test: holds the config and the seeded RNG.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, seed: u64) -> Self {
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a over the test's full path: a stable per-test RNG seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.cases;
+            let seed = $crate::test_runner::seed_from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut runner = $crate::test_runner::TestRunner::new(config, seed);
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cases.saturating_mul(20).max(1024);
+            while executed < cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest {}: too many prop_assume! rejections ({} attempts for {} cases)",
+                    stringify!($name), attempts, cases,
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strategy), runner.rng());
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => executed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed on case {} (seed {:#x}): {}",
+                            stringify!($name), executed, seed, msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($left), stringify!($right), l, r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({:?} vs {:?}): {}",
+            stringify!($left), stringify!($right), l, r, ::std::format!($($fmt)+),
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

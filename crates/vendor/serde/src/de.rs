@@ -1,0 +1,233 @@
+//! Deserialization half of the stub. Real serde drives a visitor through
+//! the deserializer; here a [`Deserializer`] simply surrenders a complete
+//! [`Content`] tree and `Deserialize` impls convert out of it. Everything
+//! this workspace deserializes (derived structs/enums, primitives,
+//! collections) goes through this one path.
+
+use crate::Content;
+use std::fmt::Display;
+
+/// Error constraint for deserializers, mirroring `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+///
+/// The `'de` lifetime is kept for signature compatibility with real serde;
+/// this stub's data model is always owned.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The driver side: yields the parsed value tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    /// Surrender the complete value. (This stub's replacement for serde's
+    /// visitor protocol.)
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Generic deserialization error for in-memory conversion.
+#[derive(Clone, Debug)]
+pub struct DeError(pub String);
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A deserializer over an in-memory [`Content`] tree, generic in the error
+/// type so derived code can thread through the outer deserializer's error.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a value out of an in-memory [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Remove `key` from a struct's field map and deserialize it. Used by
+/// derived `Deserialize` impls.
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    fields: &mut Vec<(String, Content)>,
+    key: &str,
+) -> Result<T, E> {
+    match fields.iter().position(|(k, _)| k == key) {
+        Some(idx) => from_content(fields.swap_remove(idx).1),
+        None => Err(E::custom(format!("missing field `{key}`"))),
+    }
+}
+
+// ---- Deserialize impls for std types --------------------------------------
+
+fn number_as_f64(content: &Content) -> Option<f64> {
+    match content {
+        Content::U64(v) => Some(*v as f64),
+        Content::I64(v) => Some(*v as f64),
+        Content::F64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::U64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(D::Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::I64(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    Content::U64(v) => i64::try_from(v)
+                        .ok()
+                        .and_then(|v| <$t>::try_from(v).ok())
+                        .ok_or_else(|| D::Error::custom(format!(
+                            "integer {v} out of range for {}", stringify!($t)
+                        ))),
+                    other => Err(D::Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        number_as_f64(&content)
+            .map(|v| v as f32)
+            .ok_or_else(|| D::Error::custom(format!("expected number, got {content:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        number_as_f64(&content)
+            .ok_or_else(|| D::Error::custom(format!("expected number, got {content:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(D::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(D::Error::custom(format!(
+                "expected sequence, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_content::<$t, D::Error>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(D::Error::custom(format!(
+                        "expected {}-tuple, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+}

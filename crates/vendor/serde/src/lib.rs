@@ -1,0 +1,78 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `serde` to this local implementation. It keeps the *trait shape* of real
+//! serde that this repository uses — `Serialize` / `Serializer` /
+//! `SerializeStruct`, `Deserialize` / `Deserializer` / `de::Error::custom`,
+//! and the `#[derive(Serialize, Deserialize)]` macros — but replaces the
+//! visitor-based data model with a concrete [`Content`] tree that the JSON
+//! backend (`serde_json`) prints and parses.
+//!
+//! Anything outside the used subset is intentionally absent: new call sites
+//! should fail to compile here rather than silently diverge from upstream
+//! serde semantics.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The concrete data model every value serializes into: a JSON-shaped tree.
+///
+/// Maps preserve insertion order so serialized output is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::to_content;
+    use super::Content;
+
+    #[test]
+    fn primitives_serialize_to_expected_content() {
+        assert_eq!(to_content(&true).unwrap(), Content::Bool(true));
+        assert_eq!(to_content(&7u16).unwrap(), Content::U64(7));
+        assert_eq!(to_content(&-3i32).unwrap(), Content::I64(-3));
+        assert_eq!(to_content(&1.5f32).unwrap(), Content::F64(1.5));
+        assert_eq!(
+            to_content(&"hi".to_string()).unwrap(),
+            Content::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn collections_serialize_structurally() {
+        assert_eq!(
+            to_content(&vec![1u32, 2]).unwrap(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        assert_eq!(to_content(&Option::<u32>::None).unwrap(), Content::Null);
+        assert_eq!(to_content(&Some(3u32)).unwrap(), Content::U64(3));
+        assert_eq!(
+            to_content(&("a".to_string(), 1u32)).unwrap(),
+            Content::Seq(vec![Content::Str("a".into()), Content::U64(1)])
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_content() {
+        let v: Vec<(String, f32)> = vec![("x".into(), 1.25), ("y".into(), -2.0)];
+        let content = to_content(&v).unwrap();
+        let back: Vec<(String, f32)> =
+            crate::de::from_content::<_, crate::de::DeError>(content).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,338 @@
+//! Serialization half of the stub: real serde's trait shape over the
+//! concrete [`Content`] tree.
+
+use crate::Content;
+use std::fmt::Display;
+
+/// Error constraint for serializers, mirroring `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can serialize itself through any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The driver side. Only the methods this workspace's (derived or manual)
+/// impls call are present.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+pub trait SerializeSeq {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeTuple {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeStruct {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---- the one concrete serializer: into Content ----------------------------
+
+/// Error type of [`ContentSerializer`]. Serializing into a tree cannot
+/// actually fail in this stub, but the trait shape requires the plumbing.
+#[derive(Clone, Debug)]
+pub struct SerError(pub String);
+
+impl Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl Error for SerError {
+    fn custom<T: Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}
+
+/// Serializes any `Serialize` value into a [`Content`] tree.
+pub struct ContentSerializer;
+
+/// Convenience entry point used by `serde_json`.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, SerError> {
+    value.serialize(ContentSerializer)
+}
+
+pub struct ContentSeq(Vec<Content>);
+pub struct ContentStruct(Vec<(String, Content)>);
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = SerError;
+    type SerializeSeq = ContentSeq;
+    type SerializeTuple = ContentSeq;
+    type SerializeStruct = ContentStruct;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, SerError> {
+        Ok(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Content, SerError> {
+        Ok(Content::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Content, SerError> {
+        Ok(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Content, SerError> {
+        Ok(Content::F64(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Content, SerError> {
+        Ok(Content::Str(v.to_string()))
+    }
+
+    fn serialize_unit(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Content, SerError> {
+        Ok(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Content, SerError> {
+        value.serialize(ContentSerializer)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Content, SerError> {
+        // Externally tagged, like real serde: a unit variant is its name.
+        Ok(Content::Str(variant.to_string()))
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, SerError> {
+        Ok(Content::Map(vec![(
+            variant.to_string(),
+            to_content(value)?,
+        )]))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq, SerError> {
+        Ok(ContentSeq(Vec::with_capacity(len.unwrap_or(0))))
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<ContentSeq, SerError> {
+        Ok(ContentSeq(Vec::with_capacity(len)))
+    }
+
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentStruct, SerError> {
+        Ok(ContentStruct(Vec::with_capacity(len)))
+    }
+}
+
+impl SerializeSeq for ContentSeq {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        self.0.push(to_content(value)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Seq(self.0))
+    }
+}
+
+impl SerializeTuple for ContentSeq {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), SerError> {
+        self.0.push(to_content(value)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Seq(self.0))
+    }
+}
+
+impl SerializeStruct for ContentStruct {
+    type Ok = Content;
+    type Error = SerError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerError> {
+        self.0.push((key.to_string(), to_content(value)?));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Content, SerError> {
+        Ok(Content::Map(self.0))
+    }
+}
+
+// ---- Serialize impls for std types ----------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple(0 $(+ { let _ = stringify!($t); 1 })+)?;
+                $(tup.serialize_element(&self.$n)?;)+
+                tup.end()
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

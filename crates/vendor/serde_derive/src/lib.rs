@@ -1,0 +1,355 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize` / `Deserialize` impls targeting the stub `serde`
+//! crate's [`Content`] data model. Since `syn`/`quote` are unavailable
+//! offline, parsing walks the raw token stream and code generation formats
+//! Rust source which is re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit or tuple variants of arity ≤ 4.
+//!
+//! Anything else panics with a clear message at compile time rather than
+//! generating subtly wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Input {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Skip one attribute (`#[...]`) if present at `i`; returns the new index.
+fn skip_attr(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(...)`) if present.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_attr(&tokens, i);
+        i = skip_vis(&tokens, i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+                };
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream(), trait_name);
+                        return Input::Struct { name, fields };
+                    }
+                    other => panic!(
+                        "derive({trait_name}) on `{name}`: only non-generic structs with \
+                         named fields are supported, got {other:?}"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive({trait_name}): expected enum name, got {other:?}"),
+                };
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let variants = parse_variants(g.stream(), trait_name);
+                        return Input::Enum { name, variants };
+                    }
+                    other => panic!(
+                        "derive({trait_name}) on `{name}`: generics are not supported, \
+                         got {other:?}"
+                    ),
+                }
+            }
+            Some(_) => i += 1,
+            None => panic!("derive({trait_name}): no struct or enum found"),
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, trait_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attr(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({trait_name}): expected field name, got {other:?}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("derive({trait_name}): expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, trait_name: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attr(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive({trait_name}): expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("derive({trait_name}): struct variants are not supported ({name})")
+                }
+                _ => {}
+            }
+        }
+        if arity > 4 {
+            panic!("derive({trait_name}): variant {name} arity {arity} > 4 unsupported");
+        }
+        variants.push((name, arity));
+        // Skip to and over the separating comma, tolerating discriminants.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Number of top-level fields inside a tuple-variant's parens.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input, "Serialize") {
+        Input::Struct { name, fields } => {
+            let mut body = format!(
+                "let mut __state = serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in &fields {
+                body.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            body.push_str("serde::ser::SerializeStruct::end(__state)\n");
+            impl_serialize(&name, &body)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, (v, arity)) in variants.iter().enumerate() {
+                if *arity == 0 {
+                    arms.push_str(&format!(
+                        "{name}::{v} => serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{v}\"),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                    let bind_list = binds.join(", ");
+                    let value = if *arity == 1 {
+                        "__f0".to_string()
+                    } else {
+                        format!("&({bind_list})")
+                    };
+                    arms.push_str(&format!(
+                        "{name}::{v}({bind_list}) => \
+                         serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{v}\", {value}),\n"
+                    ));
+                }
+            }
+            impl_serialize(&name, &format!("match self {{\n{arms}}}\n"))
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input, "Deserialize") {
+        Input::Struct { name, fields } => {
+            let mut ctor = String::new();
+            for f in &fields {
+                ctor.push_str(&format!(
+                    "{f}: serde::de::take_field(&mut __fields, \"{f}\")?,\n"
+                ));
+            }
+            impl_deserialize(
+                &name,
+                &format!(
+                    "match serde::Deserializer::deserialize_content(__deserializer)? {{\n\
+                     serde::Content::Map(mut __fields) => {{\n\
+                     let _ = &mut __fields;\n\
+                     ::std::result::Result::Ok({name} {{\n{ctor}}})\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\
+                     <__D::Error as serde::de::Error>::custom(::std::format!(\
+                     \"expected map for struct {name}, got {{:?}}\", __other))),\n\
+                     }}\n"
+                ),
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, arity) in &variants {
+                if *arity == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                    let bind_list = binds.join(", ");
+                    // A newtype (arity-1) variant holds its value directly;
+                    // higher arities round-trip through a tuple.
+                    let pattern = if *arity == 1 {
+                        bind_list.clone()
+                    } else {
+                        format!("({bind_list})")
+                    };
+                    data_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let {pattern} = serde::de::from_content(__value)?;\n\
+                         ::std::result::Result::Ok({name}::{v}({bind_list}))\n\
+                         }}\n"
+                    ));
+                }
+            }
+            impl_deserialize(
+                &name,
+                &format!(
+                    "match serde::Deserializer::deserialize_content(__deserializer)? {{\n\
+                     serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(\
+                     <__D::Error as serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                     let (__k, __value) = __m.pop().expect(\"length checked\");\n\
+                     let _ = &__value;\n\
+                     match __k.as_str() {{\n\
+                     {data_arms}\
+                     __other => ::std::result::Result::Err(\
+                     <__D::Error as serde::de::Error>::custom(::std::format!(\
+                     \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(\
+                     <__D::Error as serde::de::Error>::custom(::std::format!(\
+                     \"expected variant of {name}, got {{:?}}\", __other))),\n\
+                     }}\n"
+                ),
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}}}\n}}\n"
+    )
+}

@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes any stub-`serde` `Serialize` type to JSON text and parses
+//! JSON text back into the stub's `Content` tree for `Deserialize`. The
+//! public surface matches the subset this workspace calls: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`Error`].
+
+use serde::de::{from_content, DeError};
+use serde::ser::to_content;
+use serde::Content;
+use std::fmt::{Display, Write as _};
+
+/// JSON serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_content(&mut out, &content, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let content = to_content(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_content(&mut out, &content, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", parser.pos)));
+    }
+    from_content::<T, DeError>(content).map_err(|e| Error(e.to_string()))
+}
+
+// ---- printer ---------------------------------------------------------------
+
+fn write_content(out: &mut String, content: &Content, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                // Rust's shortest-roundtrip Display; ensure a decimal marker
+                // so the value parses back as a float.
+                let start = out.len();
+                let _ = write!(out, "{v}");
+                if !out[start..].contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no non-finite numbers; match serde_json's `null`.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_json_string(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn consume_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b't') => {
+                if self.consume_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'f') => {
+                if self.consume_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => self.err(&format!("unexpected character `{}`", b as char)),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar from the source.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    let c = s.chars().next().expect("non-empty checked");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid utf-8 in number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| Error(format!("invalid number `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v: Vec<(String, f64)> = vec![("a".into(), 1.5), ("b".into(), -2.0)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<(String, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        let xs: Vec<f32> = vec![0.1, -3.4028235e38, 1.1754944e-38, 42.0, 0.0];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let json = r#"{ "name": "x", "data": [1, 2.5, -3], "flag": true, "opt": null }"#;
+        let content: Vec<(String, serde::Content)> = match from_str::<TestProbe>(json) {
+            Ok(TestProbe(c)) => match c {
+                serde::Content::Map(m) => m,
+                other => panic!("expected map, got {other:?}"),
+            },
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(content.len(), 4);
+        assert_eq!(content[0].0, "name");
+    }
+
+    struct TestProbe(serde::Content);
+
+    impl<'de> serde::Deserialize<'de> for TestProbe {
+        fn deserialize<D: serde::Deserializer<'de>>(
+            deserializer: D,
+        ) -> std::result::Result<Self, D::Error> {
+            deserializer.deserialize_content().map(TestProbe)
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nwith \"quotes\" and \\ unicode é";
+        let json = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_contains_newlines() {
+        let v = vec![1u32, 2];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<u32> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Vec<u32>>("[1,2] extra").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+    }
+}

@@ -6,13 +6,12 @@
 //! cargo run --release --example live_forecast
 //! ```
 
+use ranknet::core::engine::ForecastEngine;
 use ranknet::core::features::extract_sequences;
 use ranknet::core::metrics::quantile;
 use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
 use ranknet::core::RankNetConfig;
 use ranknet::racesim::{Dataset, Event, Split};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let dataset = Dataset::generate_event(Event::Indy500, 7);
@@ -28,7 +27,10 @@ fn main() {
         .collect();
     let live = extract_sequences(dataset.race(Event::Indy500, 2019));
 
-    let cfg = RankNetConfig { max_epochs: 10, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: 10,
+        ..Default::default()
+    };
     println!("Training RankNet-MLP for live duty ...");
     let (model, _) = RankNet::fit(train, val, cfg, RankNetVariant::Mlp, 14);
 
@@ -46,11 +48,14 @@ fn main() {
         "  {:>5} {:>12} {:>14} {:>16} {:>12}",
         "lap", "cur leader", "pred leader+2", "tracked med+2", "tracked act+2"
     );
-    let mut rng = StdRng::seed_from_u64(3);
+    // The engine replaces the hand-threaded rng: draws derive from
+    // (seed, race, origin), so a re-run — or a differently-threaded run —
+    // reprints this table exactly.
+    let engine = ForecastEngine::new(&model, 3);
     let mut leader_hits = 0usize;
     let mut calls = 0usize;
     for origin in (70..190).step_by(12) {
-        let samples = model.forecast(&live, origin, 2, 20, &mut rng);
+        let samples = engine.forecast(&live, origin, 2, 20);
         let ranked = ranks_by_sorting(&samples, 1);
 
         // Predicted leader: most frequent rank-1 car across samples.
@@ -90,5 +95,17 @@ fn main() {
         leader_hits,
         calls,
         100.0 * leader_hits as f32 / calls as f32
+    );
+
+    let t = engine.timings();
+    println!(
+        "Engine: {} calls on {} thread(s) — encode {:.1}ms, covariates {:.1}ms, \
+         decode {:.1}ms ({:.0} trajectories/s)",
+        t.calls,
+        engine.threads(),
+        t.encode.as_secs_f64() * 1e3,
+        t.covariates.as_secs_f64() * 1e3,
+        t.decode.as_secs_f64() * 1e3,
+        t.trajectories_per_sec()
     );
 }

@@ -9,18 +9,23 @@
 //! extraction, and the CurRank baseline that every model in the paper is
 //! measured against.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ranknet::core::baseline_adapters::{CurRankForecaster, Forecaster};
 use ranknet::core::eval::{eval_short_term, EvalConfig};
 use ranknet::core::features::extract_sequences;
 use ranknet::racesim::{simulate_race, Event, EventConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     // 1. Simulate the Indy500: 33 cars, 200 laps, pit stops, cautions.
     let cfg = EventConfig::for_race(Event::Indy500, 2019);
     let race = simulate_race(&cfg, 42);
-    println!("Simulated {}-{}: {} records", cfg.event.name(), cfg.year, race.records.len());
+    println!(
+        "Simulated {}-{}: {} records",
+        cfg.event.name(),
+        cfg.year,
+        race.records.len()
+    );
     println!("Winner: car {}", race.winner());
     println!("Caution laps: {}", race.caution_lap_count());
 

@@ -12,6 +12,8 @@
 //! cargo run --release --example race_strategy
 //! ```
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ranknet::core::features::extract_sequences;
 use ranknet::core::instances::Covariates;
 use ranknet::core::metrics::quantile;
@@ -19,8 +21,6 @@ use ranknet::core::rank_model::{oracle_covariates, CovariateFuture};
 use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
 use ranknet::core::RankNetConfig;
 use ranknet::racesim::{Dataset, Event, Split};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let dataset = Dataset::generate_event(Event::Indy500, 7);
@@ -36,7 +36,10 @@ fn main() {
         .collect();
     let test = extract_sequences(dataset.race(Event::Indy500, 2019));
 
-    let cfg = RankNetConfig { max_epochs: 12, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: 12,
+        ..Default::default()
+    };
     println!("Training RankNet-Oracle (conditions on future race status) ...");
     let (model, _) = RankNet::fit(train, val, cfg.clone(), RankNetVariant::Oracle, 12);
 
@@ -64,7 +67,10 @@ fn main() {
     // OUR car's plan with each scenario.
     let base = oracle_covariates(&test, origin, horizon, cfg.prediction_len);
 
-    println!("\n  {:>16} {:>12} {:>10} {:>10}", "scenario", "median rank", "q10", "q90");
+    println!(
+        "\n  {:>16} {:>12} {:>10} {:>10}",
+        "scenario", "median rank", "q10", "q90"
+    );
     for pit_in in [2usize, 5, 8] {
         let mut cov: CovariateFuture = base.clone();
         // Rewrite this car's future: one stop, `pit_in` laps from now.
@@ -75,7 +81,11 @@ fn main() {
                 let c = Covariates {
                     lap_status: if pit { 1.0 } else { 0.0 },
                     pit_age: age,
-                    shift_lap_status: if s + cfg.prediction_len == pit_in { 1.0 } else { 0.0 },
+                    shift_lap_status: if s + cfg.prediction_len == pit_in {
+                        1.0
+                    } else {
+                        0.0
+                    },
                     ..cov.rows[car][s]
                 };
                 if pit {
@@ -88,7 +98,9 @@ fn main() {
             .collect();
 
         let mut rng = StdRng::seed_from_u64(9);
-        let samples = model.rank_model.forecast(&test, &cov, origin, horizon, 40, &mut rng);
+        let samples = model
+            .rank_model
+            .forecast(&test, &cov, origin, horizon, 40, &mut rng);
         let ranked = ranks_by_sorting(&samples, horizon - 1);
         let med = quantile(&ranked[car], 0.5);
         let q10 = quantile(&ranked[car], 0.1);

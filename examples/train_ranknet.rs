@@ -29,7 +29,10 @@ fn main() {
 
     // A reduced configuration so this example finishes in ~2 minutes;
     // `crates/bench` has the full-scale version.
-    let cfg = RankNetConfig { max_epochs: 12, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: 12,
+        ..Default::default()
+    };
     println!("Training RankNet-MLP (PitModel + RankModel) ...");
     let (model, report) = RankNet::fit(train, val, cfg, RankNetVariant::Mlp, 12);
     println!(
@@ -39,15 +42,25 @@ fn main() {
         report.rank_model.us_per_sample
     );
     if let Some(pit) = &report.pit_model {
-        println!("  pit model:  {} epochs, best validation NLL {:.4}", pit.epochs_run, pit.best_val_loss);
+        println!(
+            "  pit model:  {} epochs, best validation NLL {:.4}",
+            pit.epochs_run, pit.best_val_loss
+        );
     }
 
-    let eval_cfg = EvalConfig { n_samples: 30, origin_step: 8, ..Default::default() };
+    let eval_cfg = EvalConfig {
+        n_samples: 30,
+        origin_step: 8,
+        ..Default::default()
+    };
     let ranknet_row = eval_short_term(&model, &test, &eval_cfg);
     let currank_row = eval_short_term(&CurRankForecaster, &test, &eval_cfg);
 
     println!("\nTwo-lap forecasting on Indy500-2019 (paper Table V protocol):");
-    println!("  {:<12} {:>8} {:>8} {:>10} {:>10}", "model", "Top1Acc", "MAE", "pit MAE", "90-risk");
+    println!(
+        "  {:<12} {:>8} {:>8} {:>10} {:>10}",
+        "model", "Top1Acc", "MAE", "pit MAE", "90-risk"
+    );
     for row in [&currank_row, &ranknet_row] {
         println!(
             "  {:<12} {:>8.2} {:>8.2} {:>10.2} {:>10.3}",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+#
+#   scripts/ci.sh            # fmt --check, clippy -D warnings, tests
+#
+# Runs offline: all external crates resolve to the local stubs under
+# crates/vendor/ via [patch.crates-io] (see CHANGES.md for why).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace --offline
+
+echo "CI green."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-d52b1c80fdc96679.d: crates/bench/benches/baselines.rs
+
+/root/repo/target/debug/deps/baselines-d52b1c80fdc96679: crates/bench/benches/baselines.rs
+
+crates/bench/benches/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-690b1edb242e464d.d: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-690b1edb242e464d.rmeta: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+crates/vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

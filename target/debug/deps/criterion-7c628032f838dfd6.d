@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7c628032f838dfd6.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7c628032f838dfd6.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7c628032f838dfd6.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

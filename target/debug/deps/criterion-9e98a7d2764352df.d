@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9e98a7d2764352df.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-9e98a7d2764352df: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-dca00a7bf443539b.d: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-dca00a7bf443539b.rmeta: crates/vendor/criterion/src/lib.rs Cargo.toml
+
+crates/vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-003dba3c52345ace.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-003dba3c52345ace.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-003dba3c52345ace.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-8530b59f78e1f743.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-8530b59f78e1f743: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

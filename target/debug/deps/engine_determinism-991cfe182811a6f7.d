@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_determinism-991cfe182811a6f7.d: crates/core/tests/engine_determinism.rs
+
+/root/repo/target/debug/deps/engine_determinism-991cfe182811a6f7: crates/core/tests/engine_determinism.rs
+
+crates/core/tests/engine_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecast_props-6c7e52db3f968fdc.d: crates/core/tests/forecast_props.rs
+
+/root/repo/target/debug/deps/forecast_props-6c7e52db3f968fdc: crates/core/tests/forecast_props.rs
+
+crates/core/tests/forecast_props.rs:

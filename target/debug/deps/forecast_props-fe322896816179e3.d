@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forecast_props-fe322896816179e3.d: crates/core/tests/forecast_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforecast_props-fe322896816179e3.rmeta: crates/core/tests/forecast_props.rs Cargo.toml
+
+crates/core/tests/forecast_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forecasting-ae5dee8c81ec0425.d: crates/bench/benches/forecasting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforecasting-ae5dee8c81ec0425.rmeta: crates/bench/benches/forecasting.rs Cargo.toml
+
+crates/bench/benches/forecasting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecasting-fa81be030e459bef.d: crates/bench/benches/forecasting.rs
+
+/root/repo/target/debug/deps/forecasting-fa81be030e459bef: crates/bench/benches/forecasting.rs
+
+crates/bench/benches/forecasting.rs:

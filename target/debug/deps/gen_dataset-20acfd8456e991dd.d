@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_dataset-20acfd8456e991dd.d: crates/racesim/src/bin/gen-dataset.rs
+
+/root/repo/target/debug/deps/gen_dataset-20acfd8456e991dd: crates/racesim/src/bin/gen-dataset.rs
+
+crates/racesim/src/bin/gen-dataset.rs:

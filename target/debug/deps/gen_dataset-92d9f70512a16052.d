@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_dataset-92d9f70512a16052.d: crates/racesim/src/bin/gen-dataset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_dataset-92d9f70512a16052.rmeta: crates/racesim/src/bin/gen-dataset.rs Cargo.toml
+
+crates/racesim/src/bin/gen-dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_dataset-f1010a0f4305b4cf.d: crates/racesim/src/bin/gen-dataset.rs
+
+/root/repo/target/debug/deps/gen_dataset-f1010a0f4305b4cf: crates/racesim/src/bin/gen-dataset.rs
+
+crates/racesim/src/bin/gen-dataset.rs:

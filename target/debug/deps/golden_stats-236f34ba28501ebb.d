@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_stats-236f34ba28501ebb.d: crates/racesim/tests/golden_stats.rs
+
+/root/repo/target/debug/deps/golden_stats-236f34ba28501ebb: crates/racesim/tests/golden_stats.rs
+
+crates/racesim/tests/golden_stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_stats-95d29c94dd4bd88a.d: crates/racesim/tests/golden_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_stats-95d29c94dd4bd88a.rmeta: crates/racesim/tests/golden_stats.rs Cargo.toml
+
+crates/racesim/tests/golden_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradients-2ac045455909544c.d: crates/autodiff/tests/gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradients-2ac045455909544c.rmeta: crates/autodiff/tests/gradients.rs Cargo.toml
+
+crates/autodiff/tests/gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

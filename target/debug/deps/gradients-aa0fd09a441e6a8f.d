@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradients-aa0fd09a441e6a8f.d: crates/autodiff/tests/gradients.rs
+
+/root/repo/target/debug/deps/gradients-aa0fd09a441e6a8f: crates/autodiff/tests/gradients.rs
+
+crates/autodiff/tests/gradients.rs:

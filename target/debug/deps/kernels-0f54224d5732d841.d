@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-0f54224d5732d841.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-0f54224d5732d841: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_properties-02c08c822fbda584.d: tests/paper_properties.rs
+
+/root/repo/target/debug/deps/paper_properties-02c08c822fbda584: tests/paper_properties.rs
+
+tests/paper_properties.rs:

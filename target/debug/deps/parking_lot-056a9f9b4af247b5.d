@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-056a9f9b4af247b5.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-056a9f9b4af247b5.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-056a9f9b4af247b5.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-27cdb9d8a32d03ac.d: crates/vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-27cdb9d8a32d03ac.rmeta: crates/vendor/parking_lot/src/lib.rs Cargo.toml
+
+crates/vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7dc1e6a8daddef9b.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-7dc1e6a8daddef9b: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-2f62592cf27cb120.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-2f62592cf27cb120: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-2acd106f9acb680b.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-2acd106f9acb680b: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/collection.rs:
+crates/vendor/proptest/src/sample.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:

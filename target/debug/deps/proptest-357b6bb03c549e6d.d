@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-357b6bb03c549e6d.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-357b6bb03c549e6d.rlib: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-357b6bb03c549e6d.rmeta: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/collection.rs:
+crates/vendor/proptest/src/sample.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-06a013d78aadc959.d: crates/racesim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-06a013d78aadc959: crates/racesim/tests/proptests.rs
+
+crates/racesim/tests/proptests.rs:

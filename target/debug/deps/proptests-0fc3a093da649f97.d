@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0fc3a093da649f97.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0fc3a093da649f97: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

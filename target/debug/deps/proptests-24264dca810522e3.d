@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-24264dca810522e3.d: crates/racesim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-24264dca810522e3.rmeta: crates/racesim/tests/proptests.rs Cargo.toml
+
+crates/racesim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

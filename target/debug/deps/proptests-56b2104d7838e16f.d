@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-56b2104d7838e16f.d: crates/nn/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-56b2104d7838e16f.rmeta: crates/nn/tests/proptests.rs Cargo.toml
+
+crates/nn/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

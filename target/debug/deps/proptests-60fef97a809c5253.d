@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-60fef97a809c5253.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-60fef97a809c5253: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

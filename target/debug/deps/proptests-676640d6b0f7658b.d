@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-676640d6b0f7658b.d: crates/autodiff/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-676640d6b0f7658b: crates/autodiff/tests/proptests.rs
+
+crates/autodiff/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-99c7673a67fc5700.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-99c7673a67fc5700: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

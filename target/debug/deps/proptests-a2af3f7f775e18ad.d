@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a2af3f7f775e18ad.d: crates/autodiff/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a2af3f7f775e18ad.rmeta: crates/autodiff/tests/proptests.rs Cargo.toml
+
+crates/autodiff/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

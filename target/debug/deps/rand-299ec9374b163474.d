@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-299ec9374b163474.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-299ec9374b163474: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2b170a40f5fc9a9e.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2b170a40f5fc9a9e.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2b170a40f5fc9a9e.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

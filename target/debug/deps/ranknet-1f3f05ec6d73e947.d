@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ranknet-1f3f05ec6d73e947.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libranknet-1f3f05ec6d73e947.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ranknet-2d1a1a58b21c6565.d: src/lib.rs
+
+/root/repo/target/debug/deps/libranknet-2d1a1a58b21c6565.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libranknet-2d1a1a58b21c6565.rmeta: src/lib.rs
+
+src/lib.rs:

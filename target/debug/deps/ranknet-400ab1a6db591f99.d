@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ranknet-400ab1a6db591f99.d: src/lib.rs
+
+/root/repo/target/debug/deps/ranknet-400ab1a6db591f99: src/lib.rs
+
+src/lib.rs:

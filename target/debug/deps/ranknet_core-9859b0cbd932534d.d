@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ranknet_core-9859b0cbd932534d.d: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libranknet_core-9859b0cbd932534d.rmeta: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_adapters.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/eval.rs:
+crates/core/src/features.rs:
+crates/core/src/instances.rs:
+crates/core/src/metrics.rs:
+crates/core/src/persist.rs:
+crates/core/src/pit_model.rs:
+crates/core/src/rank_model.rs:
+crates/core/src/ranknet.rs:
+crates/core/src/transformer_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

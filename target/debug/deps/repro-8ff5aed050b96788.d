@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/repro-8ff5aed050b96788.d: crates/bench/src/main.rs crates/bench/src/ablations.rs crates/bench/src/ascii.rs crates/bench/src/dataset.rs crates/bench/src/figures.rs crates/bench/src/models.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-8ff5aed050b96788.rmeta: crates/bench/src/main.rs crates/bench/src/ablations.rs crates/bench/src/ascii.rs crates/bench/src/dataset.rs crates/bench/src/figures.rs crates/bench/src/models.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/main.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/ascii.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/models.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

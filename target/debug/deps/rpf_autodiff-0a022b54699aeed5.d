@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rpf_autodiff-0a022b54699aeed5.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/rpf_autodiff-0a022b54699aeed5: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/tape.rs:

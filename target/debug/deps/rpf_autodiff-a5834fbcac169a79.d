@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpf_autodiff-a5834fbcac169a79.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/librpf_autodiff-a5834fbcac169a79.rlib: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/debug/deps/librpf_autodiff-a5834fbcac169a79.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/tape.rs:

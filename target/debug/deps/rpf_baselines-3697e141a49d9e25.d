@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rpf_baselines-3697e141a49d9e25.d: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/rpf_baselines-3697e141a49d9e25: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/arima.rs:
+crates/baselines/src/currank.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbt.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/svr.rs:
+crates/baselines/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rpf_baselines-7dab98d2a22af1d2.d: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_baselines-7dab98d2a22af1d2.rmeta: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/arima.rs:
+crates/baselines/src/currank.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbt.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/svr.rs:
+crates/baselines/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

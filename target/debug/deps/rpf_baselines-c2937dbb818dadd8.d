@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpf_baselines-c2937dbb818dadd8.d: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/librpf_baselines-c2937dbb818dadd8.rlib: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+/root/repo/target/debug/deps/librpf_baselines-c2937dbb818dadd8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/arima.rs:
+crates/baselines/src/currank.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbt.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/svr.rs:
+crates/baselines/src/tree.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rpf_nn-18212b5eeb5fe365.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_nn-18212b5eeb5fe365.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/data.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/gaussian.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/params.rs:
+crates/nn/src/stream.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpf_perfmodel-444c5a4a694bbe00.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/debug/deps/rpf_perfmodel-444c5a4a694bbe00: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/breakdown.rs:
+crates/perfmodel/src/devices.rs:
+crates/perfmodel/src/roofline.rs:
+crates/perfmodel/src/workload.rs:

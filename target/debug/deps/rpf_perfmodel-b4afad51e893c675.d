@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rpf_perfmodel-b4afad51e893c675.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_perfmodel-b4afad51e893c675.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/breakdown.rs:
+crates/perfmodel/src/devices.rs:
+crates/perfmodel/src/roofline.rs:
+crates/perfmodel/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

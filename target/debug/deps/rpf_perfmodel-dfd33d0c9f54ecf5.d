@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rpf_perfmodel-dfd33d0c9f54ecf5.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/debug/deps/librpf_perfmodel-dfd33d0c9f54ecf5.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/debug/deps/librpf_perfmodel-dfd33d0c9f54ecf5.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/breakdown.rs:
+crates/perfmodel/src/devices.rs:
+crates/perfmodel/src/roofline.rs:
+crates/perfmodel/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rpf_racesim-3fe7b8ce82728411.d: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+/root/repo/target/debug/deps/librpf_racesim-3fe7b8ce82728411.rlib: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+/root/repo/target/debug/deps/librpf_racesim-3fe7b8ce82728411.rmeta: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+crates/racesim/src/lib.rs:
+crates/racesim/src/car.rs:
+crates/racesim/src/dataset.rs:
+crates/racesim/src/sim.rs:
+crates/racesim/src/stats.rs:
+crates/racesim/src/track.rs:
+crates/racesim/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rpf_racesim-60a3f8033d529590.d: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_racesim-60a3f8033d529590.rmeta: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs Cargo.toml
+
+crates/racesim/src/lib.rs:
+crates/racesim/src/car.rs:
+crates/racesim/src/dataset.rs:
+crates/racesim/src/sim.rs:
+crates/racesim/src/stats.rs:
+crates/racesim/src/track.rs:
+crates/racesim/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

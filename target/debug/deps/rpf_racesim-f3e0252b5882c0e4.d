@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rpf_racesim-f3e0252b5882c0e4.d: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+/root/repo/target/debug/deps/rpf_racesim-f3e0252b5882c0e4: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+crates/racesim/src/lib.rs:
+crates/racesim/src/car.rs:
+crates/racesim/src/dataset.rs:
+crates/racesim/src/sim.rs:
+crates/racesim/src/stats.rs:
+crates/racesim/src/track.rs:
+crates/racesim/src/types.rs:

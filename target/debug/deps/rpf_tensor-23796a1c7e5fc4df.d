@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpf_tensor-23796a1c7e5fc4df.d: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_tensor-23796a1c7e5fc4df.rmeta: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/counters.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rpf_tensor-4382347633ac3f33.d: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/debug/deps/librpf_tensor-4382347633ac3f33.rlib: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/debug/deps/librpf_tensor-4382347633ac3f33.rmeta: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/counters.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/par.rs:

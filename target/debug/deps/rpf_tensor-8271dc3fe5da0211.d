@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rpf_tensor-8271dc3fe5da0211.d: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpf_tensor-8271dc3fe5da0211.rmeta: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/counters.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/par.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scratch_eval-04ef0f705db9e3ab.d: tests/scratch_eval.rs
+
+/root/repo/target/debug/deps/scratch_eval-04ef0f705db9e3ab: tests/scratch_eval.rs
+
+tests/scratch_eval.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/serde-1b644f837fa78564.d: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-1b644f837fa78564.rmeta: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs Cargo.toml
+
+crates/vendor/serde/src/lib.rs:
+crates/vendor/serde/src/de.rs:
+crates/vendor/serde/src/ser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6137fdcead2719ec.d: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/serde-6137fdcead2719ec: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+crates/vendor/serde/src/lib.rs:
+crates/vendor/serde/src/de.rs:
+crates/vendor/serde/src/ser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-d3cb7ec594542f88.d: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-d3cb7ec594542f88.rlib: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-d3cb7ec594542f88.rmeta: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+crates/vendor/serde/src/lib.rs:
+crates/vendor/serde/src/de.rs:
+crates/vendor/serde/src/ser.rs:

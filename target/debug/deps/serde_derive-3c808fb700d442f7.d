@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3c808fb700d442f7.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-3c808fb700d442f7: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-5a2ec8425f1618f5.d: crates/vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-5a2ec8425f1618f5.rmeta: crates/vendor/serde_derive/src/lib.rs Cargo.toml
+
+crates/vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

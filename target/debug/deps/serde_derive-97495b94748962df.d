@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-97495b94748962df.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-97495b94748962df.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-4aaea58f0cfc7bdd.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-4aaea58f0cfc7bdd: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

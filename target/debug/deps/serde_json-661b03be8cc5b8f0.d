@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-661b03be8cc5b8f0.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-661b03be8cc5b8f0.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-661b03be8cc5b8f0.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator-4a314f17f463afb2.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/debug/deps/simulator-4a314f17f463afb2: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

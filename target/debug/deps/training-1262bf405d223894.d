@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training-1262bf405d223894.d: crates/bench/benches/training.rs
+
+/root/repo/target/debug/deps/training-1262bf405d223894: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_forecast-c618ad03caa42f15.d: examples/live_forecast.rs
+
+/root/repo/target/debug/examples/live_forecast-c618ad03caa42f15: examples/live_forecast.rs
+
+examples/live_forecast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/live_forecast-ced07abdcad0ed64.d: examples/live_forecast.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblive_forecast-ced07abdcad0ed64.rmeta: examples/live_forecast.rs Cargo.toml
+
+examples/live_forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-51b70e16136f37f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-51b70e16136f37f5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/race_strategy-40328ab3573956aa.d: examples/race_strategy.rs
+
+/root/repo/target/debug/examples/race_strategy-40328ab3573956aa: examples/race_strategy.rs
+
+examples/race_strategy.rs:

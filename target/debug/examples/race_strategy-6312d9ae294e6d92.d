@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/race_strategy-6312d9ae294e6d92.d: examples/race_strategy.rs Cargo.toml
+
+/root/repo/target/debug/examples/librace_strategy-6312d9ae294e6d92.rmeta: examples/race_strategy.rs Cargo.toml
+
+examples/race_strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

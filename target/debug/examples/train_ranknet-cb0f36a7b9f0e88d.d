@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_ranknet-cb0f36a7b9f0e88d.d: examples/train_ranknet.rs
+
+/root/repo/target/debug/examples/train_ranknet-cb0f36a7b9f0e88d: examples/train_ranknet.rs
+
+examples/train_ranknet.rs:

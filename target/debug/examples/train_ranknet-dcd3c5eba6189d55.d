@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_ranknet-dcd3c5eba6189d55.d: examples/train_ranknet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_ranknet-dcd3c5eba6189d55.rmeta: examples/train_ranknet.rs Cargo.toml
+
+examples/train_ranknet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

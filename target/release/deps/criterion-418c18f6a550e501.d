@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-418c18f6a550e501.d: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-418c18f6a550e501.rlib: crates/vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-418c18f6a550e501.rmeta: crates/vendor/criterion/src/lib.rs
+
+crates/vendor/criterion/src/lib.rs:

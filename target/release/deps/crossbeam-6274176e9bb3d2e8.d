@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-6274176e9bb3d2e8.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6274176e9bb3d2e8.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6274176e9bb3d2e8.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-d64b0ec4d081e040.d: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d64b0ec4d081e040.rlib: crates/vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-d64b0ec4d081e040.rmeta: crates/vendor/crossbeam/src/lib.rs
+
+crates/vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/forecasting-b1efc2a9ef4fc3b7.d: crates/bench/benches/forecasting.rs
+
+/root/repo/target/release/deps/forecasting-b1efc2a9ef4fc3b7: crates/bench/benches/forecasting.rs
+
+crates/bench/benches/forecasting.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-0e91ea5e63da3536.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0e91ea5e63da3536.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-0e91ea5e63da3536.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

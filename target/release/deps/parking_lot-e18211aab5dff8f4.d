@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e18211aab5dff8f4.d: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e18211aab5dff8f4.rlib: crates/vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e18211aab5dff8f4.rmeta: crates/vendor/parking_lot/src/lib.rs
+
+crates/vendor/parking_lot/src/lib.rs:

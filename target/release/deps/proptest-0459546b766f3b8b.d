@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-0459546b766f3b8b.d: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-0459546b766f3b8b.rlib: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-0459546b766f3b8b.rmeta: crates/vendor/proptest/src/lib.rs crates/vendor/proptest/src/collection.rs crates/vendor/proptest/src/sample.rs crates/vendor/proptest/src/strategy.rs crates/vendor/proptest/src/test_runner.rs
+
+crates/vendor/proptest/src/lib.rs:
+crates/vendor/proptest/src/collection.rs:
+crates/vendor/proptest/src/sample.rs:
+crates/vendor/proptest/src/strategy.rs:
+crates/vendor/proptest/src/test_runner.rs:

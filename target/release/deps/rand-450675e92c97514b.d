@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-450675e92c97514b.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-450675e92c97514b.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-450675e92c97514b.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

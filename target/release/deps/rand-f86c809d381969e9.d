@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f86c809d381969e9.d: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f86c809d381969e9.rlib: crates/vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f86c809d381969e9.rmeta: crates/vendor/rand/src/lib.rs
+
+crates/vendor/rand/src/lib.rs:

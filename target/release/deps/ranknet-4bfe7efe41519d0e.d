@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ranknet-4bfe7efe41519d0e.d: src/lib.rs
+
+/root/repo/target/release/deps/libranknet-4bfe7efe41519d0e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libranknet-4bfe7efe41519d0e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/ranknet_core-c9908808d3b2d919.d: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+/root/repo/target/release/deps/libranknet_core-c9908808d3b2d919.rlib: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+/root/repo/target/release/deps/libranknet_core-c9908808d3b2d919.rmeta: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_adapters.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/eval.rs:
+crates/core/src/features.rs:
+crates/core/src/instances.rs:
+crates/core/src/metrics.rs:
+crates/core/src/persist.rs:
+crates/core/src/pit_model.rs:
+crates/core/src/rank_model.rs:
+crates/core/src/ranknet.rs:
+crates/core/src/transformer_model.rs:

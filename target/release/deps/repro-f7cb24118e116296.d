@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/repro-f7cb24118e116296.d: crates/bench/src/main.rs crates/bench/src/ablations.rs crates/bench/src/ascii.rs crates/bench/src/dataset.rs crates/bench/src/figures.rs crates/bench/src/models.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/repro-f7cb24118e116296: crates/bench/src/main.rs crates/bench/src/ablations.rs crates/bench/src/ascii.rs crates/bench/src/dataset.rs crates/bench/src/figures.rs crates/bench/src/models.rs crates/bench/src/tables.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/ascii.rs:
+crates/bench/src/dataset.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/models.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rpf_autodiff-607e0ce50f2f9e5a.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/librpf_autodiff-607e0ce50f2f9e5a.rlib: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/librpf_autodiff-607e0ce50f2f9e5a.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/tape.rs:

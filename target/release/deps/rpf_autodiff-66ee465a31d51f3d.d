@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rpf_autodiff-66ee465a31d51f3d.d: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/librpf_autodiff-66ee465a31d51f3d.rlib: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+/root/repo/target/release/deps/librpf_autodiff-66ee465a31d51f3d.rmeta: crates/autodiff/src/lib.rs crates/autodiff/src/gradcheck.rs crates/autodiff/src/tape.rs
+
+crates/autodiff/src/lib.rs:
+crates/autodiff/src/gradcheck.rs:
+crates/autodiff/src/tape.rs:

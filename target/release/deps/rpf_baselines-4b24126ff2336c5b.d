@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rpf_baselines-4b24126ff2336c5b.d: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/librpf_baselines-4b24126ff2336c5b.rlib: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+/root/repo/target/release/deps/librpf_baselines-4b24126ff2336c5b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/arima.rs crates/baselines/src/currank.rs crates/baselines/src/forest.rs crates/baselines/src/gbt.rs crates/baselines/src/linalg.rs crates/baselines/src/svr.rs crates/baselines/src/tree.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/arima.rs:
+crates/baselines/src/currank.rs:
+crates/baselines/src/forest.rs:
+crates/baselines/src/gbt.rs:
+crates/baselines/src/linalg.rs:
+crates/baselines/src/svr.rs:
+crates/baselines/src/tree.rs:

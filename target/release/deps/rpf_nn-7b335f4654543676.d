@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/rpf_nn-7b335f4654543676.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/librpf_nn-7b335f4654543676.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/librpf_nn-7b335f4654543676.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/data.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/gaussian.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/params.rs:
+crates/nn/src/stream.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rpf_perfmodel-12afccd08a70aaf1.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/release/deps/librpf_perfmodel-12afccd08a70aaf1.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/release/deps/librpf_perfmodel-12afccd08a70aaf1.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/breakdown.rs:
+crates/perfmodel/src/devices.rs:
+crates/perfmodel/src/roofline.rs:
+crates/perfmodel/src/workload.rs:

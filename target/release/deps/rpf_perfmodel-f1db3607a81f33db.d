@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rpf_perfmodel-f1db3607a81f33db.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/release/deps/librpf_perfmodel-f1db3607a81f33db.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+/root/repo/target/release/deps/librpf_perfmodel-f1db3607a81f33db.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/breakdown.rs crates/perfmodel/src/devices.rs crates/perfmodel/src/roofline.rs crates/perfmodel/src/workload.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/breakdown.rs:
+crates/perfmodel/src/devices.rs:
+crates/perfmodel/src/roofline.rs:
+crates/perfmodel/src/workload.rs:

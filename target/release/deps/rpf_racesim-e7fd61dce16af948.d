@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rpf_racesim-e7fd61dce16af948.d: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+/root/repo/target/release/deps/librpf_racesim-e7fd61dce16af948.rlib: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+/root/repo/target/release/deps/librpf_racesim-e7fd61dce16af948.rmeta: crates/racesim/src/lib.rs crates/racesim/src/car.rs crates/racesim/src/dataset.rs crates/racesim/src/sim.rs crates/racesim/src/stats.rs crates/racesim/src/track.rs crates/racesim/src/types.rs
+
+crates/racesim/src/lib.rs:
+crates/racesim/src/car.rs:
+crates/racesim/src/dataset.rs:
+crates/racesim/src/sim.rs:
+crates/racesim/src/stats.rs:
+crates/racesim/src/track.rs:
+crates/racesim/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rpf_tensor-95bd5539b9826626.d: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/release/deps/librpf_tensor-95bd5539b9826626.rlib: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/release/deps/librpf_tensor-95bd5539b9826626.rmeta: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/counters.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/par.rs:

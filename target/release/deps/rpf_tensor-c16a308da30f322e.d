@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rpf_tensor-c16a308da30f322e.d: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/release/deps/librpf_tensor-c16a308da30f322e.rlib: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+/root/repo/target/release/deps/librpf_tensor-c16a308da30f322e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/counters.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/par.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/counters.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/par.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-4defbb150c23a3d0.d: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-4defbb150c23a3d0.rlib: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-4defbb150c23a3d0.rmeta: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+crates/vendor/serde/src/lib.rs:
+crates/vendor/serde/src/de.rs:
+crates/vendor/serde/src/ser.rs:

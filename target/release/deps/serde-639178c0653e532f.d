@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-639178c0653e532f.d: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-639178c0653e532f.rlib: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-639178c0653e532f.rmeta: crates/vendor/serde/src/lib.rs crates/vendor/serde/src/de.rs crates/vendor/serde/src/ser.rs
+
+crates/vendor/serde/src/lib.rs:
+crates/vendor/serde/src/de.rs:
+crates/vendor/serde/src/ser.rs:

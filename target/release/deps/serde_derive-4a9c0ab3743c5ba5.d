@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4a9c0ab3743c5ba5.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4a9c0ab3743c5ba5.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

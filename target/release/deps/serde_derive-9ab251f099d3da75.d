@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-9ab251f099d3da75.d: crates/vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-9ab251f099d3da75.so: crates/vendor/serde_derive/src/lib.rs
+
+crates/vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-61e96d24c26e9906.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-61e96d24c26e9906.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-61e96d24c26e9906.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

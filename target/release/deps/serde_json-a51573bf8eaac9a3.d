@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a51573bf8eaac9a3.d: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a51573bf8eaac9a3.rlib: crates/vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a51573bf8eaac9a3.rmeta: crates/vendor/serde_json/src/lib.rs
+
+crates/vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/live_forecast-7a4c5ad626967645.d: examples/live_forecast.rs
+
+/root/repo/target/release/examples/live_forecast-7a4c5ad626967645: examples/live_forecast.rs
+
+examples/live_forecast.rs:

@@ -2,14 +2,14 @@
 //! crates: forecast distributions, data statistics, and metric relations.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use ranknet::core::baseline_adapters::{ArimaForecaster, CurRankForecaster, Forecaster};
 use ranknet::core::eval::{window_has_pit, EvalConfig};
 use ranknet::core::features::extract_sequences;
 use ranknet::core::metrics::{quantile, rho_risk_from_samples};
 use ranknet::core::ranknet::{median_ranks, ranks_by_sorting};
 use ranknet::racesim::{simulate_race, Event, EventConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -88,7 +88,10 @@ fn median_ranks_align_with_forecast_cars() {
 #[test]
 fn pit_windows_are_a_minority_of_iowa_but_common_at_indy() {
     // Fig 6's qualitative claim as a cross-crate check.
-    let indy = extract_sequences(&simulate_race(&EventConfig::for_race(Event::Indy500, 2018), 8));
+    let indy = extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2018),
+        8,
+    ));
     let iowa = extract_sequences(&simulate_race(&EventConfig::for_race(Event::Iowa, 2018), 8));
     let count = |ctx: &ranknet::core::features::RaceContext| {
         let lo = 25;
@@ -96,7 +99,10 @@ fn pit_windows_are_a_minority_of_iowa_but_common_at_indy() {
         let n = (lo..hi).filter(|&o| window_has_pit(ctx, o, 2)).count();
         n as f32 / (hi - lo) as f32
     };
-    assert!(count(&indy) > count(&iowa), "Indy500 should have more pit-covered windows");
+    assert!(
+        count(&indy) > count(&iowa),
+        "Indy500 should have more pit-covered windows"
+    );
 }
 
 #[test]

@@ -1,14 +1,14 @@
 //! End-to-end integration: simulate → featurize → train → forecast → score,
 //! crossing every crate in the workspace.
 
-use ranknet::core::baseline_adapters::{CurRankForecaster, Forecaster};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranknet::core::baseline_adapters::CurRankForecaster;
 use ranknet::core::eval::{eval_short_term, eval_stint, EvalConfig};
 use ranknet::core::features::extract_sequences;
 use ranknet::core::ranknet::{ranks_by_sorting, RankNet, RankNetVariant};
 use ranknet::core::RankNetConfig;
 use ranknet::racesim::{simulate_race, Dataset, Event, EventConfig, Split};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn tiny_cfg() -> RankNetConfig {
     let mut cfg = RankNetConfig::tiny();
@@ -39,7 +39,10 @@ fn full_pipeline_ranknet_mlp() {
     let mut rng = StdRng::seed_from_u64(1);
     let samples = model.forecast(&test, 60, 2, 8, &mut rng);
     let covered = samples.iter().filter(|s| !s.is_empty()).count();
-    assert!(covered > 20, "forecast should cover most of the field, got {covered}");
+    assert!(
+        covered > 20,
+        "forecast should cover most of the field, got {covered}"
+    );
 
     // The sorted samples are valid rank permutations.
     let ranked = ranks_by_sorting(&samples, 1);
@@ -69,10 +72,20 @@ fn oracle_beats_currank_on_pit_laps_when_trained() {
         .collect();
     let test = extract_sequences(dataset.race(Event::Indy500, 2019));
 
-    let cfg = RankNetConfig { max_epochs: 6, context_len: 40, ..Default::default() };
+    let cfg = RankNetConfig {
+        max_epochs: 6,
+        context_len: 40,
+        ..Default::default()
+    };
     let (oracle, _) = RankNet::fit(train, val, cfg, RankNetVariant::Oracle, 12);
 
-    let eval_cfg = EvalConfig { n_samples: 16, origin_step: 14, ..EvalConfig::fast() };
+    // 48 samples: at 16 the Monte-Carlo error on pit-lap MAE (~±0.07) is
+    // as large as the Oracle-vs-CurRank margin this asserts.
+    let eval_cfg = EvalConfig {
+        n_samples: 48,
+        origin_step: 14,
+        ..EvalConfig::fast()
+    };
     let oracle_row = eval_short_term(&oracle, &test, &eval_cfg);
     let currank_row = eval_short_term(&CurRankForecaster, &test, &eval_cfg);
 
