@@ -15,6 +15,11 @@
 //!   encoder once.
 //! * **Observability** — per-phase wall-clock counters (encode / covariate
 //!   sampling / decode) and a trajectory count, for throughput reporting.
+//! * **Graceful degradation** (DESIGN.md §9) — requests are validated up
+//!   front into a typed [`EngineError`]; decoder trajectories that come
+//!   back non-finite (a crashed worker, numerically broken weights, an
+//!   injected fault) are replaced with the CurRank baseline and flagged,
+//!   so a serving engine returns a usable answer instead of panicking.
 
 use crate::features::RaceContext;
 use crate::rank_model::{EncoderState, ForecastSamples};
@@ -22,7 +27,7 @@ use crate::ranknet::RankNet;
 use rpf_nn::RngStreams;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// One forecast of a batch: `race` indexes the context slice handed to
@@ -33,6 +38,55 @@ pub struct ForecastRequest {
     pub origin: usize,
     pub horizon: usize,
     pub n_samples: usize,
+}
+
+/// Why the engine rejected a forecast request (before running the model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// `request.race` does not index the supplied context slice.
+    RaceOutOfRange { race: usize, n_contexts: usize },
+    /// The forecast origin must be at least lap 1 (the decoder conditions
+    /// on the lap before the origin).
+    BadOrigin { origin: usize },
+    /// A forecast needs at least one step ahead.
+    BadHorizon,
+    /// A Monte-Carlo forecast needs at least one sample.
+    BadSampleCount,
+    /// An input feature of a car still in the race is NaN or infinite.
+    NonFiniteFeature { car: usize, lap: usize },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::RaceOutOfRange { race, n_contexts } => {
+                write!(f, "race index {race} out of range ({n_contexts} contexts)")
+            }
+            EngineError::BadOrigin { origin } => {
+                write!(f, "forecast origin {origin} must be >= 1")
+            }
+            EngineError::BadHorizon => write!(f, "forecast horizon must be >= 1"),
+            EngineError::BadSampleCount => write!(f, "sample count must be >= 1"),
+            EngineError::NonFiniteFeature { car, lap } => {
+                write!(
+                    f,
+                    "non-finite feature for car slot {car} at lap index {lap}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A forecast plus its degradation report.
+#[derive(Clone, Debug)]
+pub struct EngineForecast {
+    pub samples: ForecastSamples,
+    /// True when at least one trajectory fell back to the CurRank baseline.
+    pub degraded: bool,
+    /// How many trajectories fell back.
+    pub degraded_trajectories: u64,
 }
 
 /// Snapshot of the engine's accumulated phase counters.
@@ -50,6 +104,10 @@ pub struct PhaseTimings {
     pub encoder_reuses: u64,
     /// Trajectories sampled (`active cars × n_samples`, summed over calls).
     pub trajectories: u64,
+    /// Trajectories that came back non-finite and fell back to CurRank.
+    pub degraded_trajectories: u64,
+    /// Requests rejected by validation (never reached the model).
+    pub rejected_requests: u64,
 }
 
 impl PhaseTimings {
@@ -77,6 +135,8 @@ pub struct ForecastEngine<'m> {
     calls: AtomicU64,
     encoder_reuses: AtomicU64,
     trajectories: AtomicU64,
+    degraded_trajectories: AtomicU64,
+    rejected_requests: AtomicU64,
 }
 
 impl<'m> ForecastEngine<'m> {
@@ -93,6 +153,8 @@ impl<'m> ForecastEngine<'m> {
             calls: AtomicU64::new(0),
             encoder_reuses: AtomicU64::new(0),
             trajectories: AtomicU64::new(0),
+            degraded_trajectories: AtomicU64::new(0),
+            rejected_requests: AtomicU64::new(0),
         }
     }
 
@@ -107,7 +169,15 @@ impl<'m> ForecastEngine<'m> {
         self.threads
     }
 
-    /// Forecast a single race (race key 0).
+    /// The encoder cache holds plain data (no invariants a panicking writer
+    /// could break mid-update), so a poisoned lock is recovered rather than
+    /// propagated — one crashed caller must not take the cache down.
+    fn cache_lock(&self) -> MutexGuard<'_, HashMap<(usize, usize), EncoderState>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Forecast a single race (race key 0). Panics on an invalid request —
+    /// the historical API; prefer [`ForecastEngine::try_forecast`].
     pub fn forecast(
         &self,
         ctx: &RaceContext,
@@ -118,11 +188,24 @@ impl<'m> ForecastEngine<'m> {
         self.forecast_keyed(0, ctx, origin, horizon, n_samples)
     }
 
+    /// Validating [`ForecastEngine::forecast`]: returns a typed error for a
+    /// bad request and a degradation report alongside the samples.
+    pub fn try_forecast(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+    ) -> Result<EngineForecast, EngineError> {
+        self.try_forecast_keyed(0, ctx, origin, horizon, n_samples)
+    }
+
     /// Forecast with an explicit race key. The key scopes both the encoder
     /// cache and the RNG streams: calls with the same
     /// `(race, origin)` reuse the cached encoder state and replay the same
     /// random draws (common random numbers across horizons and sample
-    /// counts), while distinct keys are independent.
+    /// counts), while distinct keys are independent. Panics on an invalid
+    /// request; prefer [`ForecastEngine::try_forecast_keyed`].
     pub fn forecast_keyed(
         &self,
         race: usize,
@@ -131,6 +214,33 @@ impl<'m> ForecastEngine<'m> {
         horizon: usize,
         n_samples: usize,
     ) -> ForecastSamples {
+        match self.try_forecast_keyed(race, ctx, origin, horizon, n_samples) {
+            Ok(out) => out.samples,
+            Err(e) => panic!("forecast_keyed: {e}"),
+        }
+    }
+
+    /// Validating [`ForecastEngine::forecast_keyed`].
+    ///
+    /// Degradation: any trajectory containing a non-finite value (crashed
+    /// decoder worker, numerically broken weights, injected fault) is
+    /// replaced with the CurRank persistence baseline — the car's last
+    /// observed rank repeated over the horizon — and counted in
+    /// [`EngineForecast::degraded_trajectories`]. Healthy trajectories are
+    /// untouched, so degradation never changes a healthy forecast.
+    pub fn try_forecast_keyed(
+        &self,
+        race: usize,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+    ) -> Result<EngineForecast, EngineError> {
+        if let Err(e) = validate_request(ctx, origin, horizon, n_samples) {
+            self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+
         // Seed derived from the call's identity, not from call order, so
         // one-at-a-time and batched execution agree.
         let call_seed = RngStreams::new(self.seed)
@@ -138,12 +248,7 @@ impl<'m> ForecastEngine<'m> {
             .seed(origin as u64);
 
         let enc = {
-            let cached = self
-                .cache
-                .lock()
-                .expect("engine cache")
-                .get(&(race, origin))
-                .cloned();
+            let cached = self.cache_lock().get(&(race, origin)).cloned();
             match cached {
                 Some(enc) => {
                     self.encoder_reuses.fetch_add(1, Ordering::Relaxed);
@@ -153,10 +258,7 @@ impl<'m> ForecastEngine<'m> {
                     let t0 = Instant::now();
                     let enc = self.model.rank_model.encode(ctx, origin);
                     self.add_ns(&self.encode_ns, t0);
-                    self.cache
-                        .lock()
-                        .expect("engine cache")
-                        .insert((race, origin), enc.clone());
+                    self.cache_lock().insert((race, origin), enc.clone());
                     enc
                 }
             }
@@ -169,7 +271,7 @@ impl<'m> ForecastEngine<'m> {
         self.add_ns(&self.covariate_ns, t0);
 
         let t0 = Instant::now();
-        let out = self.model.decode_groups(
+        let mut samples = self.model.decode_groups(
             ctx,
             &enc,
             &groups,
@@ -181,24 +283,60 @@ impl<'m> ForecastEngine<'m> {
         );
         self.add_ns(&self.decode_ns, t0);
 
+        let degraded_trajectories = degrade_non_finite(ctx, &mut samples, origin, horizon);
+        self.degraded_trajectories
+            .fetch_add(degraded_trajectories, Ordering::Relaxed);
+
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.trajectories
             .fetch_add((enc.cars.len() * n_samples) as u64, Ordering::Relaxed);
-        out
+        Ok(EngineForecast {
+            samples,
+            degraded: degraded_trajectories > 0,
+            degraded_trajectories,
+        })
     }
 
     /// Serve a batch of forecasts over several races. `requests[i].race`
     /// indexes `contexts`; results come back in request order. Requests
-    /// sharing a `(race, origin)` pay the encoder once.
+    /// sharing a `(race, origin)` pay the encoder once. Panics on an
+    /// invalid request; prefer [`ForecastEngine::try_forecast_batch`].
     pub fn forecast_batch(
         &self,
         contexts: &[&RaceContext],
         requests: &[ForecastRequest],
     ) -> Vec<ForecastSamples> {
+        match self.try_forecast_batch(contexts, requests) {
+            Ok(out) => out.into_iter().map(|f| f.samples).collect(),
+            Err(e) => panic!("forecast_batch: {e}"),
+        }
+    }
+
+    /// Validating [`ForecastEngine::forecast_batch`]: the whole batch is
+    /// validated before any model work runs, so a bad request costs nothing
+    /// and cannot leave a partially-served batch.
+    pub fn try_forecast_batch(
+        &self,
+        contexts: &[&RaceContext],
+        requests: &[ForecastRequest],
+    ) -> Result<Vec<EngineForecast>, EngineError> {
+        for r in requests {
+            if r.race >= contexts.len() {
+                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                return Err(EngineError::RaceOutOfRange {
+                    race: r.race,
+                    n_contexts: contexts.len(),
+                });
+            }
+            if let Err(e) = validate_request(contexts[r.race], r.origin, r.horizon, r.n_samples) {
+                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        }
         requests
             .iter()
             .map(|r| {
-                self.forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
+                self.try_forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
             })
             .collect()
     }
@@ -206,7 +344,7 @@ impl<'m> ForecastEngine<'m> {
     /// Drop cached encoder states (e.g. after fine-tuning the model the
     /// engine borrows — required, since states are weight-dependent).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("engine cache").clear();
+        self.cache_lock().clear();
     }
 
     /// Accumulated phase counters since construction (or the last
@@ -219,6 +357,8 @@ impl<'m> ForecastEngine<'m> {
             calls: self.calls.load(Ordering::Relaxed),
             encoder_reuses: self.encoder_reuses.load(Ordering::Relaxed),
             trajectories: self.trajectories.load(Ordering::Relaxed),
+            degraded_trajectories: self.degraded_trajectories.load(Ordering::Relaxed),
+            rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -229,9 +369,79 @@ impl<'m> ForecastEngine<'m> {
         self.calls.store(0, Ordering::Relaxed);
         self.encoder_reuses.store(0, Ordering::Relaxed);
         self.trajectories.store(0, Ordering::Relaxed);
+        self.degraded_trajectories.store(0, Ordering::Relaxed);
+        self.rejected_requests.store(0, Ordering::Relaxed);
     }
 
     fn add_ns(&self, counter: &AtomicU64, since: Instant) {
         counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
+}
+
+/// Request validation shared by the single and batched entry points.
+fn validate_request(
+    ctx: &RaceContext,
+    origin: usize,
+    horizon: usize,
+    n_samples: usize,
+) -> Result<(), EngineError> {
+    if origin == 0 {
+        return Err(EngineError::BadOrigin { origin });
+    }
+    if horizon == 0 {
+        return Err(EngineError::BadHorizon);
+    }
+    if n_samples == 0 {
+        return Err(EngineError::BadSampleCount);
+    }
+    // Scan the observed history the encoder will consume: a single NaN
+    // feature silently contaminates every trajectory of that car.
+    for (car, seq) in ctx.sequences.iter().enumerate() {
+        if seq.len() < origin {
+            continue; // retired before the origin: not encoded
+        }
+        let cols: [&[f32]; 9] = [
+            &seq.rank,
+            &seq.lap_time,
+            &seq.time_behind,
+            &seq.lap_status,
+            &seq.track_status,
+            &seq.caution_laps,
+            &seq.pit_age,
+            &seq.leader_pit_count,
+            &seq.total_pit_count,
+        ];
+        for col in cols {
+            for (lap, &v) in col.iter().take(origin).enumerate() {
+                if !v.is_finite() {
+                    return Err(EngineError::NonFiniteFeature { car, lap });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Replace non-finite trajectories with the CurRank persistence baseline
+/// (last observed rank, repeated). Returns how many were replaced.
+fn degrade_non_finite(
+    ctx: &RaceContext,
+    samples: &mut ForecastSamples,
+    origin: usize,
+    horizon: usize,
+) -> u64 {
+    let mut degraded = 0u64;
+    for (car, per_car) in samples.iter_mut().enumerate() {
+        if per_car.is_empty() {
+            continue;
+        }
+        let cur = ctx.sequences[car].rank[origin - 1];
+        for path in per_car.iter_mut() {
+            if path.iter().any(|v| !v.is_finite()) {
+                *path = vec![cur; horizon];
+                degraded += 1;
+            }
+        }
+    }
+    degraded
 }

@@ -40,7 +40,7 @@ pub mod ranknet;
 pub mod transformer_model;
 
 pub use config::RankNetConfig;
-pub use engine::{ForecastEngine, ForecastRequest, PhaseTimings};
+pub use engine::{EngineError, EngineForecast, ForecastEngine, ForecastRequest, PhaseTimings};
 pub use features::{extract_sequences, CarSequence, RaceContext};
 pub use pit_model::PitModel;
 pub use rank_model::RankModel;

@@ -59,7 +59,7 @@ fn sign_of(v: f32) -> i8 {
 pub fn quantile(samples: &[f32], rho: f32) -> f32 {
     assert!(!samples.is_empty(), "quantile of empty sample set");
     let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    s.sort_by(f32::total_cmp); // NaN-safe: NaN sorts last instead of panicking
     let pos = (rho.clamp(0.0, 1.0) * (s.len() - 1) as f32).round() as usize;
     s[pos]
 }

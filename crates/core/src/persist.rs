@@ -1,17 +1,34 @@
-//! Model persistence: save a trained RankNet to JSON and load it back.
+//! Model persistence: save a trained RankNet to JSON and load it back,
+//! plus crash-safe training checkpoints.
 //!
 //! The paper (§IV-J) motivates continuous learning in the field —
 //! "keeping updating the model with newest racing data" — which requires
 //! carrying trained weights between sessions. The format is deliberately
 //! plain: config + variant + named weight tensors, so files stay
 //! inspectable and survive refactors that keep parameter names stable.
+//!
+//! Robustness (DESIGN.md §9):
+//!
+//! * every file is written atomically — serialize to a `.tmp` sibling,
+//!   `fsync`, then `rename` — so a crash mid-write never leaves a torn
+//!   file where a good one used to be,
+//! * every file carries an FNV-1a content checksum over the weight bits,
+//!   so silent corruption (truncation, bit rot) is a clean `Err`, never a
+//!   panic or a silently-wrong model,
+//! * training can checkpoint each epoch ([`RankModel::train_checkpointed`])
+//!   and resume a killed run to bit-identical final weights: the checkpoint
+//!   carries the Adam moments, the batch-iterator position and the
+//!   early-stopping bookkeeping alongside the weights.
 
 use crate::config::RankNetConfig;
 use crate::pit_model::PitModel;
 use crate::rank_model::{RankModel, TargetKind};
 use crate::ranknet::{RankNet, RankNetVariant};
+use rpf_nn::train::{DivergenceCause, RecoveryEvent, TrainCheckpoint, TrainReport};
+use rpf_nn::AdamState;
 use rpf_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::io::Write as _;
 use std::path::Path;
 
 /// The serialized form of a trained RankNet.
@@ -27,9 +44,99 @@ pub struct SavedRankNet {
     /// Present only for the MLP variant.
     pub pit_weights: Option<Vec<(String, Matrix)>>,
     pub pit_scale: Option<f32>,
+    /// FNV-1a over the weight content (see [`SavedRankNet::content_checksum`]).
+    pub checksum: u64,
 }
 
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added the content checksum.
+pub const FORMAT_VERSION: u32 = 2;
+
+// ---- content hashing -------------------------------------------------------
+
+/// Incremental FNV-1a (64-bit): small, dependency-free, and plenty to catch
+/// truncation and bit-flips — this guards against corruption, not attackers.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f32(&mut self, v: f32) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn write_matrix(&mut self, m: &Matrix) {
+        let (r, c) = m.shape();
+        self.write_u64(r as u64);
+        self.write_u64(c as u64);
+        for &v in m.as_slice() {
+            self.write_f32(v);
+        }
+    }
+
+    fn write_named(&mut self, entries: &[(String, Matrix)]) {
+        self.write_u64(entries.len() as u64);
+        for (name, m) in entries {
+            self.write(name.as_bytes());
+            self.write_matrix(m);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl SavedRankNet {
+    /// Checksum of everything that determines model behaviour: the variant,
+    /// vocabulary and every weight tensor's name, shape and value bits.
+    pub fn content_checksum(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.variant.as_bytes());
+        h.write_u64(self.vocab as u64);
+        h.write_named(&self.rank_weights);
+        match &self.pit_weights {
+            Some(w) => h.write_named(w),
+            None => h.write_u64(u64::MAX),
+        }
+        h.write_f32(self.pit_scale.unwrap_or(0.0));
+        h.finish()
+    }
+}
+
+// ---- atomic file writes ----------------------------------------------------
+
+/// Crash-safe write: serialize to a `.tmp` sibling in the same directory,
+/// `fsync` it, then `rename` over the destination. A crash at any point
+/// leaves either the old file or the new one — never a torn mixture.
+pub fn atomic_write(path: impl AsRef<Path>, data: &[u8]) -> Result<(), String> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| format!("atomic_write: path '{}' has no file name", path.display()))?;
+    let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+    let mut f = std::fs::File::create(&tmp)
+        .map_err(|e| format!("atomic_write: create {}: {e}", tmp.display()))?;
+    f.write_all(data)
+        .map_err(|e| format!("atomic_write: write {}: {e}", tmp.display()))?;
+    f.sync_all()
+        .map_err(|e| format!("atomic_write: fsync {}: {e}", tmp.display()))?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("atomic_write: rename to {}: {e}", path.display()))
+}
 
 fn variant_name(v: RankNetVariant) -> &'static str {
     match v {
@@ -51,7 +158,7 @@ fn variant_from(name: &str) -> Result<RankNetVariant, String> {
 impl RankNet {
     /// Snapshot the trained model into its serializable form.
     pub fn to_saved(&self) -> SavedRankNet {
-        SavedRankNet {
+        let mut saved = SavedRankNet {
             version: FORMAT_VERSION,
             variant: variant_name(self.variant).to_string(),
             cfg: self.cfg.clone(),
@@ -59,15 +166,28 @@ impl RankNet {
             rank_weights: self.rank_model.store.export(),
             pit_weights: self.pit_model.as_ref().map(|p| p.export()),
             pit_scale: self.pit_model.as_ref().map(|p| p.scale()),
-        }
+            checksum: 0,
+        };
+        saved.checksum = saved.content_checksum();
+        saved
     }
 
-    /// Rebuild a model from a snapshot.
+    /// Rebuild a model from a snapshot. Rejects version mismatches, checksum
+    /// mismatches and non-finite weights with a descriptive error — a
+    /// corrupted snapshot can never become a silently-broken model.
     pub fn from_saved(saved: &SavedRankNet) -> Result<RankNet, String> {
         if saved.version != FORMAT_VERSION {
             return Err(format!(
                 "unsupported format version {} (expected {FORMAT_VERSION})",
                 saved.version
+            ));
+        }
+        let expect = saved.content_checksum();
+        if saved.checksum != expect {
+            return Err(format!(
+                "checksum mismatch: file says {:#018x}, content hashes to {expect:#018x} \
+                 — the snapshot is corrupted",
+                saved.checksum
             ));
         }
         let variant = variant_from(&saved.variant)?;
@@ -100,10 +220,10 @@ impl RankNet {
         })
     }
 
-    /// Save to a JSON file.
+    /// Save to a JSON file (atomic: tmp + fsync + rename).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), String> {
         let json = serde_json::to_string(&self.to_saved()).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| e.to_string())
+        atomic_write(path, json.as_bytes())
     }
 
     /// Load from a JSON file written by [`RankNet::save`].
@@ -111,6 +231,219 @@ impl RankNet {
         let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         let saved: SavedRankNet = serde_json::from_str(&json).map_err(|e| e.to_string())?;
         Self::from_saved(&saved)
+    }
+}
+
+// ---- training checkpoints --------------------------------------------------
+
+/// On-disk form of [`TrainCheckpoint`]: everything a killed training run
+/// needs to continue to bit-identical final weights. Weight tensors are
+/// stored positionally (registration order is deterministic per
+/// architecture), recoveries as `(epoch, batch, cause code, lr_after)`.
+#[derive(Serialize, Deserialize)]
+pub struct SavedTrainCheckpoint {
+    pub version: u32,
+    pub next_epoch: u64,
+    pub epochs_drawn: u64,
+    pub weights: Vec<Matrix>,
+    pub adam_lr: f32,
+    pub adam_t: u64,
+    pub adam_m: Vec<Matrix>,
+    pub adam_v: Vec<Matrix>,
+    pub best_weights: Vec<Matrix>,
+    pub best_val: f32,
+    pub best_epoch: u64,
+    pub since_improve: u64,
+    pub epoch_losses: Vec<(f32, f32)>,
+    pub samples_seen: u64,
+    /// `(epoch, batch, cause, lr_after)`; cause 0 = loss, 1 = gradient.
+    pub recoveries: Vec<(u64, u64, u8, f32)>,
+    pub checksum: u64,
+}
+
+impl SavedTrainCheckpoint {
+    fn content_checksum(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.next_epoch);
+        h.write_u64(self.epochs_drawn);
+        for group in [
+            &self.weights,
+            &self.adam_m,
+            &self.adam_v,
+            &self.best_weights,
+        ] {
+            h.write_u64(group.len() as u64);
+            for m in group.iter() {
+                h.write_matrix(m);
+            }
+        }
+        h.write_f32(self.adam_lr);
+        h.write_u64(self.adam_t);
+        h.write_f32(self.best_val);
+        h.write_u64(self.best_epoch);
+        h.write_u64(self.since_improve);
+        h.write_u64(self.epoch_losses.len() as u64);
+        for &(t, v) in &self.epoch_losses {
+            h.write_f32(t);
+            h.write_f32(v);
+        }
+        h.write_u64(self.samples_seen);
+        h.write_u64(self.recoveries.len() as u64);
+        for &(e, b, c, lr) in &self.recoveries {
+            h.write_u64(e);
+            h.write_u64(b);
+            h.write(&[c]);
+            h.write_f32(lr);
+        }
+        h.finish()
+    }
+
+    /// Convert the in-memory checkpoint the training loop hands out.
+    pub fn from_checkpoint(ckpt: &TrainCheckpoint) -> SavedTrainCheckpoint {
+        let mut saved = SavedTrainCheckpoint {
+            version: FORMAT_VERSION,
+            next_epoch: ckpt.next_epoch as u64,
+            epochs_drawn: ckpt.epochs_drawn,
+            weights: ckpt.weights.clone(),
+            adam_lr: ckpt.adam.lr,
+            adam_t: ckpt.adam.t,
+            adam_m: ckpt.adam.m.clone(),
+            adam_v: ckpt.adam.v.clone(),
+            best_weights: ckpt.best_weights.clone(),
+            best_val: ckpt.best_val,
+            best_epoch: ckpt.best_epoch as u64,
+            since_improve: ckpt.since_improve as u64,
+            epoch_losses: ckpt.epoch_losses.clone(),
+            samples_seen: ckpt.samples_seen,
+            recoveries: ckpt
+                .recoveries
+                .iter()
+                .map(|r| {
+                    let cause = match r.cause {
+                        DivergenceCause::NonFiniteLoss => 0u8,
+                        DivergenceCause::NonFiniteGradient => 1u8,
+                    };
+                    (r.epoch as u64, r.batch as u64, cause, r.lr_after)
+                })
+                .collect(),
+            checksum: 0,
+        };
+        saved.checksum = saved.content_checksum();
+        saved
+    }
+
+    /// Convert back, verifying the checksum and that every tensor is finite.
+    pub fn into_checkpoint(self) -> Result<TrainCheckpoint, String> {
+        if self.version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {} (expected {FORMAT_VERSION})",
+                self.version
+            ));
+        }
+        let expect = self.content_checksum();
+        if self.checksum != expect {
+            return Err(format!(
+                "checkpoint checksum mismatch: file says {:#018x}, content hashes to \
+                 {expect:#018x} — the checkpoint is corrupted",
+                self.checksum
+            ));
+        }
+        for (label, group) in [
+            ("weights", &self.weights),
+            ("adam_m", &self.adam_m),
+            ("adam_v", &self.adam_v),
+            ("best_weights", &self.best_weights),
+        ] {
+            if group.iter().any(|m| m.has_non_finite()) {
+                return Err(format!("checkpoint '{label}' contain non-finite values"));
+            }
+        }
+        let mut recoveries = Vec::with_capacity(self.recoveries.len());
+        for (epoch, batch, cause, lr_after) in &self.recoveries {
+            let cause = match cause {
+                0 => DivergenceCause::NonFiniteLoss,
+                1 => DivergenceCause::NonFiniteGradient,
+                other => return Err(format!("unknown divergence cause code {other}")),
+            };
+            recoveries.push(RecoveryEvent {
+                epoch: *epoch as usize,
+                batch: *batch as usize,
+                cause,
+                lr_after: *lr_after,
+            });
+        }
+        Ok(TrainCheckpoint {
+            next_epoch: self.next_epoch as usize,
+            epochs_drawn: self.epochs_drawn,
+            weights: self.weights,
+            adam: AdamState {
+                lr: self.adam_lr,
+                t: self.adam_t,
+                m: self.adam_m,
+                v: self.adam_v,
+            },
+            best_weights: self.best_weights,
+            best_val: self.best_val,
+            best_epoch: self.best_epoch as usize,
+            since_improve: self.since_improve as usize,
+            epoch_losses: self.epoch_losses,
+            samples_seen: self.samples_seen,
+            recoveries,
+        })
+    }
+}
+
+/// Atomically write a training checkpoint to `path`.
+pub fn save_train_checkpoint(path: impl AsRef<Path>, ckpt: &TrainCheckpoint) -> Result<(), String> {
+    let json = serde_json::to_string(&SavedTrainCheckpoint::from_checkpoint(ckpt))
+        .map_err(|e| e.to_string())?;
+    atomic_write(path, json.as_bytes())
+}
+
+/// Load a training checkpoint written by [`save_train_checkpoint`]. Any
+/// corruption — truncation, bit-flips, non-finite tensors — comes back as a
+/// descriptive `Err`, never a panic.
+pub fn load_train_checkpoint(path: impl AsRef<Path>) -> Result<TrainCheckpoint, String> {
+    let json = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+    let saved: SavedTrainCheckpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    saved.into_checkpoint()
+}
+
+impl RankModel {
+    /// Crash-safe training: resume from the checkpoint at `path` if one
+    /// exists, and atomically rewrite it every `every` epochs. Kill the
+    /// process at any point and rerunning continues to final weights
+    /// bit-identical to an uninterrupted run (pinned by the kill–resume
+    /// test).
+    pub fn train_checkpointed(
+        &mut self,
+        ts: &crate::instances::TrainingSet,
+        val: &crate::instances::TrainingSet,
+        path: impl AsRef<Path>,
+        every: usize,
+    ) -> Result<TrainReport, String> {
+        let path = path.as_ref();
+        let every = every.max(1);
+        let resume = if path.exists() {
+            Some(load_train_checkpoint(path)?)
+        } else {
+            None
+        };
+        let io_error = std::cell::RefCell::new(None::<String>);
+        let mut on_epoch = |ckpt: &TrainCheckpoint| {
+            if ckpt.next_epoch.is_multiple_of(every) {
+                if let Err(e) = save_train_checkpoint(path, ckpt) {
+                    io_error.borrow_mut().get_or_insert(e);
+                }
+            }
+        };
+        let report = self
+            .train_resumable(ts, val, resume.as_ref(), Some(&mut on_epoch))
+            .map_err(|e| e.to_string())?;
+        if let Some(e) = io_error.into_inner() {
+            return Err(format!("training finished but checkpointing failed: {e}"));
+        }
+        Ok(report)
     }
 }
 
@@ -173,6 +506,7 @@ mod tests {
         let (model, _) = trained_mlp();
         let mut saved = model.to_saved();
         saved.pit_weights = None;
+        saved.checksum = saved.content_checksum();
         assert!(RankNet::from_saved(&saved).is_err());
     }
 
@@ -181,7 +515,30 @@ mod tests {
         let (model, _) = trained_mlp();
         let mut saved = model.to_saved();
         saved.variant = "quantum".into();
+        saved.checksum = saved.content_checksum();
         let err = RankNet::from_saved(&saved).err().expect("should fail");
         assert!(err.contains("variant"));
+    }
+
+    #[test]
+    fn tampered_weights_fail_checksum() {
+        let (model, _) = trained_mlp();
+        let mut saved = model.to_saved();
+        // Flip one weight value without refreshing the checksum.
+        saved.rank_weights[0].1.as_mut_slice()[0] += 1.0;
+        let err = RankNet::from_saved(&saved).err().expect("should fail");
+        assert!(err.contains("checksum"), "got: {err}");
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("ranknet_atomic_write_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.json");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!path.with_file_name("file.json.tmp").exists());
+        std::fs::remove_file(&path).ok();
     }
 }

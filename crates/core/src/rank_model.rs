@@ -23,7 +23,9 @@ use rpf_nn::embedding::Embedding;
 use rpf_nn::gaussian::{
     draw_gaussian, draw_student_t, gaussian_nll, student_t_nll, GaussianParams,
 };
-use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
+use rpf_nn::train::{
+    shard_indices, try_train_resumable, TrainCheckpoint, TrainConfig, TrainError, TrainReport,
+};
 use rpf_nn::{Binding, GaussianHead, ParamStore, RngStreams, StackedLstm};
 use rpf_tensor::Matrix;
 
@@ -138,8 +140,27 @@ impl RankModel {
 
     // ---- training ------------------------------------------------------
 
-    /// Train per Algorithm 1 on `ts`, early-stopping on `val`.
+    /// Train per Algorithm 1 on `ts`, early-stopping on `val`. Panics if
+    /// training diverges beyond recovery; prefer
+    /// [`RankModel::train_resumable`] for fallible, crash-safe training.
     pub fn train(&mut self, ts: &TrainingSet, val: &TrainingSet) -> TrainReport {
+        match self.train_resumable(ts, val, None, None) {
+            Ok(report) => report,
+            Err(e) => panic!("RankModel::train: {e}"),
+        }
+    }
+
+    /// Fallible training with crash-safe hooks: optionally resume from a
+    /// [`TrainCheckpoint`] and receive a fresh checkpoint after every epoch
+    /// (see [`crate::persist::save_train_checkpoint`]). A resumed run
+    /// continues to final weights bit-identical to an uninterrupted one.
+    pub fn train_resumable(
+        &mut self,
+        ts: &TrainingSet,
+        val: &TrainingSet,
+        resume: Option<&TrainCheckpoint>,
+        on_epoch_end: Option<&mut dyn FnMut(&TrainCheckpoint)>,
+    ) -> Result<TrainReport, TrainError> {
         let cfg = self.cfg.clone();
         let kind = self.kind;
         let lstm = self.lstm.clone();
@@ -159,7 +180,7 @@ impl RankModel {
         // early-stopping signal deterministic.
         let val_take = val.len().min(512);
 
-        let report = train(
+        let report = try_train_resumable(
             &mut store,
             ts.len(),
             &train_cfg,
@@ -172,6 +193,8 @@ impl RankModel {
                 let idx: Vec<usize> = (0..val_take).collect();
                 Self::batch_loss_eval(&cfg, kind, &lstm, &heads, emb, base_dim, val, store, &idx)
             },
+            resume,
+            on_epoch_end,
         );
         self.store = store;
         report
@@ -211,10 +234,17 @@ impl RankModel {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("training shard panicked"))
+                    .zip(&shards)
+                    // A crashed worker becomes a NaN-loss shard: the training
+                    // loop's divergence recovery rolls the epoch back instead
+                    // of the whole process dying.
+                    .map(|(h, shard)| {
+                        h.join()
+                            .unwrap_or_else(|_| (Vec::new(), f32::NAN, shard.len()))
+                    })
                     .collect()
             })
-            .expect("training scope failed")
+            .unwrap_or_default()
         };
         let mut total_loss = 0.0f64;
         let mut total_n = 0usize;
@@ -231,7 +261,10 @@ impl RankModel {
             total_loss += loss as f64 * n as f64;
             total_n += n;
         }
-        (total_loss / total_n.max(1) as f64) as f32
+        if total_n == 0 {
+            return f32::NAN;
+        }
+        (total_loss / total_n as f64) as f32
     }
 
     /// Loss without gradients (validation).
@@ -560,6 +593,11 @@ impl RankModel {
                 0..bs,
             )]
         } else {
+            // A crashed worker yields NaN paths for its chunk instead of
+            // killing the process; the engine's degradation pass replaces
+            // them with the CurRank baseline and flags the forecast.
+            let chunk_lens: Vec<usize> = chunks.iter().map(|r| r.len()).collect();
+            let nan_chunk = |n: usize| vec![vec![f32::NAN; horizon]; n];
             crossbeam::scope(|s| {
                 let handles: Vec<_> = chunks
                     .into_iter()
@@ -573,10 +611,11 @@ impl RankModel {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("decoder worker panicked"))
+                    .zip(&chunk_lens)
+                    .map(|(h, &n)| h.join().unwrap_or_else(|_| nan_chunk(n)))
                     .collect()
             })
-            .expect("decoder scope failed")
+            .unwrap_or_else(|_| chunk_lens.iter().map(|&n| nan_chunk(n)).collect())
         };
 
         // Regroup rows into [car][sample][step]; chunks are contiguous and in
@@ -607,6 +646,7 @@ impl RankModel {
         rows: std::ops::Range<usize>,
     ) -> Vec<Vec<f32>> {
         let cb = rows.len();
+        let row0 = rows.start;
         // Encoder row (= car index within `enc.cars`) backing each local row.
         let src: Vec<usize> = rows.clone().map(|ri| ri / n_samples).collect();
         let mut h_states: Vec<(Matrix, Matrix)> = enc
@@ -691,6 +731,9 @@ impl RankModel {
                         draw_student_t(&mut rngs[li], mu.as_slice()[li], sigma.as_slice()[li], nu)
                     }
                 };
+                let z = fault_hook_decoder((row0 + li) as u64, z);
+                // NaN survives the clamp, so a poisoned draw degrades the
+                // trajectory instead of silently pinning it to a bound.
                 let rank = ctx.denorm_rank(z).clamp(0.5, ctx.field_size as f32 + 0.5);
                 step_outputs[li].push(rank);
                 last_rank[li] = rank;
@@ -746,6 +789,20 @@ impl RankModel {
         let p: GaussianParams = self.heads[hi].forward(&bind, h);
         (tape.value(p.mu), tape.value(p.sigma))
     }
+}
+
+/// Fault-injection seam on decoder draws, keyed by the trajectory's global
+/// row index (stable across thread counts): identity unless the
+/// `fault-inject` feature is on AND a plan poisons this row.
+#[cfg(feature = "fault-inject")]
+fn fault_hook_decoder(row: u64, z: f32) -> f32 {
+    rpf_nn::fault::poison_decoder_sample(row, z)
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn fault_hook_decoder(_row: u64, z: f32) -> f32 {
+    z
 }
 
 /// Covariate layout used inside Joint mode: race-status columns move from

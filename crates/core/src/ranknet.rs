@@ -188,10 +188,17 @@ impl RankNet {
                 )]
             }
             RankNetVariant::Mlp => {
-                let pm = self
-                    .pit_model
-                    .as_ref()
-                    .expect("MLP variant carries a PitModel");
+                // An MLP RankNet always carries a PitModel; if a hand-built
+                // one doesn't, degrade to empty covariates (Joint treatment)
+                // rather than killing the serving process.
+                let Some(pm) = self.pit_model.as_ref() else {
+                    return vec![(
+                        CovariateFuture {
+                            rows: vec![Vec::new(); ctx.sequences.len()],
+                        },
+                        n_samples,
+                    )];
+                };
                 let groups = n_samples.clamp(1, 8);
                 let per_group = n_samples.div_ceil(groups);
                 let cov_streams = RngStreams::new(seed).child(COV_STREAM_TAG);
@@ -379,7 +386,9 @@ pub fn ranks_by_sorting(samples: &ForecastSamples, step: usize) -> Vec<Vec<f32>>
                     .map(|&v| (c, v))
             })
             .collect();
-        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // total_cmp: NaN-safe (NaN sorts last) — sample values come from
+        // possibly-degraded decoder output, so no unwrap on partial_cmp.
+        vals.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (pos, (c, _)) in vals.iter().enumerate() {
             out[*c].push((pos + 1) as f32);
         }

@@ -251,8 +251,12 @@ impl TransformerModel {
                                     None => l,
                                 });
                             }
-                            let loss =
-                                tape.scale(total.expect("empty shard"), 1.0 / shard.len() as f32);
+                            // shard_indices never yields empty shards; treat
+                            // one as a NaN-loss shard rather than panicking.
+                            let Some(total) = total else {
+                                return (Vec::new(), f32::NAN, 0);
+                            };
+                            let loss = tape.scale(total, 1.0 / shard.len() as f32);
                             let v = tape.scalar(loss);
                             (bind.into_grads(loss), v, shard.len())
                         })
@@ -260,10 +264,16 @@ impl TransformerModel {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("tx shard panicked"))
+                    .zip(&shards)
+                    // A crashed worker becomes a NaN-loss shard: divergence
+                    // recovery rolls the epoch back instead of aborting.
+                    .map(|(h, shard)| {
+                        h.join()
+                            .unwrap_or_else(|_| (Vec::new(), f32::NAN, shard.len()))
+                    })
                     .collect()
             })
-            .expect("tx training scope failed")
+            .unwrap_or_default()
         };
         let mut sum = 0.0f64;
         let mut n = 0usize;
@@ -277,7 +287,10 @@ impl TransformerModel {
             sum += loss as f64 * count as f64;
             n += count;
         }
-        (sum / n.max(1) as f64) as f32
+        if n == 0 {
+            return f32::NAN;
+        }
+        (sum / n as f64) as f32
     }
 
     fn batch_loss_eval(&self, store: &ParamStore, ts: &TrainingSet, batch: &[usize]) -> f32 {

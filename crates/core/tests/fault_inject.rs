@@ -1,0 +1,82 @@
+//! Serving-side fault-injection matrix (requires the `fault-inject`
+//! feature): a deterministically poisoned decoder trajectory must degrade
+//! to the CurRank baseline — flagged and counted, all outputs finite, every
+//! healthy trajectory bit-identical to a fault-free run. Zero panics.
+#![cfg(feature = "fault-inject")]
+
+use ranknet_core::features::extract_sequences;
+use ranknet_core::{ForecastEngine, RankNet, RankNetConfig, RankNetVariant};
+use rpf_nn::fault::{self, FaultPlan};
+use rpf_racesim::{simulate_race, Event, EventConfig};
+use std::sync::Mutex;
+
+// The fault plan is process-global: tests installing plans serialize here.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    match TEST_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+const ORIGIN: usize = 60;
+const HORIZON: usize = 3;
+const N_SAMPLES: usize = 4;
+
+#[test]
+fn poisoned_decoder_trajectory_degrades_to_cur_rank() {
+    let _g = locked();
+    let ctx = extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2016),
+        11,
+    ));
+    let mut cfg = RankNetConfig::tiny();
+    cfg.max_epochs = 1;
+    let (model, _) = RankNet::fit(
+        vec![ctx.clone()],
+        vec![ctx.clone()],
+        cfg,
+        RankNetVariant::Oracle,
+        40,
+    );
+
+    // Fault-free baseline with the same seed.
+    fault::clear();
+    let engine = ForecastEngine::new(&model, 7);
+    let healthy = engine
+        .try_forecast(&ctx, ORIGIN, HORIZON, N_SAMPLES)
+        .expect("baseline forecast");
+    assert!(!healthy.degraded, "baseline must be healthy");
+
+    // Poison global trajectory row 1: active-car slot 0, sample 1.
+    fault::install(FaultPlan::new().poison_decoder_row(1));
+    let engine = ForecastEngine::new(&model, 7);
+    let faulty = engine.try_forecast(&ctx, ORIGIN, HORIZON, N_SAMPLES);
+    fault::clear();
+    let faulty = faulty.expect("a poisoned trajectory must still be served");
+
+    assert!(faulty.degraded, "the fault must be flagged");
+    assert_eq!(faulty.degraded_trajectories, 1, "exactly one row poisoned");
+    assert_eq!(engine.timings().degraded_trajectories, 1);
+
+    // Every served value is finite even though the decoder emitted NaN.
+    let mut diffs = Vec::new();
+    for (car, (h, f)) in healthy.samples.iter().zip(&faulty.samples).enumerate() {
+        assert_eq!(h.len(), f.len());
+        for (sample, (hp, fp)) in h.iter().zip(f).enumerate() {
+            assert!(fp.iter().all(|v| v.is_finite()), "non-finite output");
+            if hp != fp {
+                diffs.push((car, sample, fp.clone()));
+            }
+        }
+    }
+
+    // Exactly one trajectory changed, and it is the CurRank fallback:
+    // the car's last observed rank, repeated across the horizon.
+    assert_eq!(diffs.len(), 1, "only the poisoned row may change");
+    let (car, sample, path) = &diffs[0];
+    assert_eq!(*sample, 1, "row 1 is sample 1 of the first active car");
+    let cur = ctx.sequences[*car].rank[ORIGIN - 1];
+    assert_eq!(path, &vec![cur; HORIZON]);
+}

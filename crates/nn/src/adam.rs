@@ -4,6 +4,18 @@
 use crate::params::ParamStore;
 use rpf_tensor::Matrix;
 
+/// A snapshot of Adam's mutable state: first/second moments, step count and
+/// current learning rate. Captured for divergence rollback (restore the
+/// last-good optimizer alongside the last-good weights) and persisted inside
+/// training checkpoints so a killed run resumes bit-identically.
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    pub lr: f32,
+    pub t: u64,
+    pub m: Vec<Matrix>,
+    pub v: Vec<Matrix>,
+}
+
 /// Adam with optional global-norm gradient clipping.
 pub struct Adam {
     pub lr: f32,
@@ -44,6 +56,48 @@ impl Adam {
     /// Number of update steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Snapshot the full optimizer state (moments, step count, LR) for
+    /// divergence rollback and crash-safe checkpointing.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restore a state captured by [`Adam::state`]. Shapes must match the
+    /// store this optimizer was built for.
+    pub fn restore(&mut self, state: &AdamState) -> Result<(), String> {
+        if state.m.len() != self.m.len() || state.v.len() != self.v.len() {
+            return Err(format!(
+                "Adam state has {} moment tensors, optimizer has {}",
+                state.m.len(),
+                self.m.len()
+            ));
+        }
+        for (cur, new) in self
+            .m
+            .iter()
+            .zip(&state.m)
+            .chain(self.v.iter().zip(&state.v))
+        {
+            if cur.shape() != new.shape() {
+                return Err(format!(
+                    "Adam moment shape mismatch: {:?} vs {:?}",
+                    cur.shape(),
+                    new.shape()
+                ));
+            }
+        }
+        self.lr = state.lr;
+        self.t = state.t;
+        self.m = state.m.clone();
+        self.v = state.v.clone();
+        Ok(())
     }
 
     /// Halve (or otherwise scale) the learning rate — the paper's LR decay

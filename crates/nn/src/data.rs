@@ -12,10 +12,17 @@ use rand::SeedableRng;
 pub type Batch = Vec<usize>;
 
 /// Yields shuffled minibatches of indices, reshuffling every epoch.
+///
+/// The shuffle RNG advances one fixed amount per [`BatchIter::epoch`] call,
+/// so the iterator's position is fully described by `(n, batch_size, seed,
+/// epochs_drawn)`. [`BatchIter::skip_epochs`] replays that advancement,
+/// which is how a resumed training run re-synchronises its batch order with
+/// the uninterrupted run it is continuing.
 pub struct BatchIter {
     n: usize,
     batch_size: usize,
     rng: StdRng,
+    epochs_drawn: u64,
 }
 
 impl BatchIter {
@@ -25,6 +32,7 @@ impl BatchIter {
             n,
             batch_size,
             rng: StdRng::seed_from_u64(seed),
+            epochs_drawn: 0,
         }
     }
 
@@ -33,7 +41,24 @@ impl BatchIter {
     pub fn epoch(&mut self) -> Vec<Batch> {
         let mut idx: Vec<usize> = (0..self.n).collect();
         idx.shuffle(&mut self.rng);
+        self.epochs_drawn += 1;
         idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Number of epochs drawn so far (the checkpointable position).
+    pub fn epochs_drawn(&self) -> u64 {
+        self.epochs_drawn
+    }
+
+    /// Fast-forward a fresh iterator past `n` epochs by replaying their
+    /// shuffles, so the next [`BatchIter::epoch`] returns exactly what the
+    /// `(n+1)`-th call on an uninterrupted iterator would have.
+    pub fn skip_epochs(&mut self, n: u64) {
+        for _ in 0..n {
+            let mut idx: Vec<usize> = (0..self.n).collect();
+            idx.shuffle(&mut self.rng);
+            self.epochs_drawn += 1;
+        }
     }
 }
 
@@ -69,6 +94,23 @@ mod tests {
         let a = it.epoch();
         let b = it.epoch();
         assert_ne!(a[0], b[0], "two epochs should not repeat the same order");
+    }
+
+    #[test]
+    fn skip_epochs_resynchronises_batch_order() {
+        let mut straight = BatchIter::new(64, 8, 7);
+        let _ = straight.epoch();
+        let _ = straight.epoch();
+        let third = straight.epoch();
+
+        let mut resumed = BatchIter::new(64, 8, 7);
+        resumed.skip_epochs(2);
+        assert_eq!(resumed.epochs_drawn(), 2);
+        assert_eq!(
+            resumed.epoch(),
+            third,
+            "a skipped iterator must replay the uninterrupted order"
+        );
     }
 
     #[test]

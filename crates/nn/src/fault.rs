@@ -1,0 +1,172 @@
+//! Deterministic fault injection (behind the `fault-inject` feature).
+//!
+//! Robustness code that is never executed is hope, not engineering. This
+//! module lets tests *plan* faults at exact, reproducible points — "the loss
+//! of batch 3 is NaN", "decoder trajectory row 7 is poisoned" — and have the
+//! production code paths hit them for real. Plans are keyed by counters the
+//! caller already owns (batch index, global trajectory row), never by wall
+//! clock or thread schedule, so an injected fault fires at the same place on
+//! every run and on every thread count.
+//!
+//! The hooks compile to nothing without the feature: `train` and the decoder
+//! call [`corrupt_loss`] / [`poison_decoder_sample`] only under
+//! `#[cfg(feature = "fault-inject")]`.
+//!
+//! File-corruption helpers ([`truncate_file`], [`flip_byte`]) are plain
+//! utilities for checkpoint-corruption tests; they don't consult the plan.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A reproducible set of faults to inject, keyed by deterministic counters.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    nan_loss_batches: BTreeSet<u64>,
+    poisoned_decoder_rows: BTreeSet<u64>,
+}
+
+impl FaultPlan {
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Poison the training loss of global batch `k` (counted across epochs
+    /// and retries) to NaN.
+    pub fn nan_loss_at_batch(mut self, k: u64) -> FaultPlan {
+        self.nan_loss_batches.insert(k);
+        self
+    }
+
+    /// Poison every draw of decoder trajectory row `row` (the stable global
+    /// row index `car_slot * n_samples + sample`) to NaN.
+    pub fn poison_decoder_row(mut self, row: u64) -> FaultPlan {
+        self.poisoned_decoder_rows.insert(row);
+        self
+    }
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+fn with_plan<T>(f: impl FnOnce(Option<&FaultPlan>) -> T) -> T {
+    // A test that panicked while holding the lock must not take every later
+    // test down with it: recover the (plain-data) plan from the poison.
+    let guard = match PLAN.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(guard.as_ref())
+}
+
+/// Install `plan` for the whole process. Tests sharing a binary must
+/// serialize themselves around this global (take a shared test mutex).
+pub fn install(plan: FaultPlan) {
+    let mut guard = match PLAN.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = Some(plan);
+}
+
+/// Remove any installed plan; subsequent hooks pass values through.
+pub fn clear() {
+    let mut guard = match PLAN.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    *guard = None;
+}
+
+/// Training-loop hook: returns NaN if the plan poisons global batch
+/// `batch`, otherwise passes `loss` through.
+pub fn corrupt_loss(batch: u64, loss: f32) -> f32 {
+    with_plan(|p| match p {
+        Some(plan) if plan.nan_loss_batches.contains(&batch) => f32::NAN,
+        _ => loss,
+    })
+}
+
+/// Decoder hook: returns NaN if the plan poisons trajectory `row`,
+/// otherwise passes the drawn value through.
+pub fn poison_decoder_sample(row: u64, value: f32) -> f32 {
+    with_plan(|p| match p {
+        Some(plan) if plan.poisoned_decoder_rows.contains(&row) => f32::NAN,
+        _ => value,
+    })
+}
+
+/// Truncate the file at `path` to its first `keep_bytes` bytes — a torn
+/// (partially written) checkpoint.
+pub fn truncate_file(path: impl AsRef<Path>, keep_bytes: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep_bytes)?;
+    f.sync_all()
+}
+
+/// XOR the byte at `offset` with `mask` — a single-bit (or few-bit) flip of
+/// an on-disk checkpoint.
+pub fn flip_byte(path: impl AsRef<Path>, offset: u64, mask: u8) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    let mut byte = [0u8; 1];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut byte)?;
+    byte[0] ^= mask;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&byte)?;
+    f.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The plan is process-global; these tests all touch it, so they share
+    // one lock to stay order-independent.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    #[test]
+    fn hooks_pass_through_without_a_plan() {
+        let _g = locked();
+        clear();
+        assert_eq!(corrupt_loss(3, 1.25), 1.25);
+        assert_eq!(poison_decoder_sample(7, -0.5), -0.5);
+    }
+
+    #[test]
+    fn planned_faults_fire_exactly_on_their_counter() {
+        let _g = locked();
+        install(FaultPlan::new().nan_loss_at_batch(2).poison_decoder_row(5));
+        assert_eq!(corrupt_loss(1, 0.5), 0.5);
+        assert!(corrupt_loss(2, 0.5).is_nan());
+        assert_eq!(poison_decoder_sample(4, 1.0), 1.0);
+        assert!(poison_decoder_sample(5, 1.0).is_nan());
+        clear();
+        assert!(corrupt_loss(2, 0.5).is_finite());
+    }
+
+    #[test]
+    fn file_corruption_helpers_modify_bytes() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join("rpf_fault_helpers");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("victim.json");
+        std::fs::write(&path, b"0123456789").expect("write");
+        flip_byte(&path, 3, 0xFF).expect("flip");
+        let flipped = std::fs::read(&path).expect("read");
+        assert_eq!(flipped[3], b'3' ^ 0xFF);
+        truncate_file(&path, 4).expect("truncate");
+        assert_eq!(std::fs::read(&path).expect("read").len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+}

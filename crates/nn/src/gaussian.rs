@@ -16,6 +16,22 @@ use rpf_tensor::Matrix;
 /// Lower bound on sigma to keep the likelihood finite.
 pub const SIGMA_FLOOR: f32 = 1e-3;
 
+/// Numerically stable scalar softplus `log(1 + e^x)`.
+///
+/// The naive form `(1.0 + x.exp()).ln()` overflows to `inf` once `x ≳ 88`
+/// (`e^88` exceeds `f32::MAX`); the equivalent `max(x, 0) + ln1p(e^{-|x|})`
+/// never exponentiates a positive argument, so it is exact for large `x`
+/// and returns `e^x`-accurate values for very negative `x`.
+pub fn softplus(x: f32) -> f32 {
+    x.max(0.0) + (-x.abs()).exp().ln_1p()
+}
+
+/// The paper's sigma link on a concrete pre-activation:
+/// `σ = softplus(raw) + SIGMA_FLOOR`, overflow-safe at any `raw`.
+pub fn sigma_from_raw(raw: f32) -> f32 {
+    softplus(raw) + SIGMA_FLOOR
+}
+
 /// Gaussian distribution parameters for a batch, as tape nodes.
 #[derive(Clone, Copy, Debug)]
 pub struct GaussianParams {
@@ -208,12 +224,33 @@ mod tests {
             store.update_each(|_, v, g| rpf_tensor::ops::axpy(v, -0.05, g));
         }
         let mu = store.value(mu_p).get(0, 0);
-        let sigma = {
-            let raw = store.value(s_p).get(0, 0);
-            (1.0 + raw.exp()).ln() + SIGMA_FLOOR
-        };
+        let sigma = sigma_from_raw(store.value(s_p).get(0, 0));
         assert!((mu - 3.0).abs() < 0.15, "mu {mu}");
         assert!((sigma - 0.5).abs() < 0.15, "sigma {sigma}");
+    }
+
+    #[test]
+    fn softplus_survives_extreme_preactivations() {
+        // The naive (1 + e^x).ln() overflows at x ≈ 88.73; the stable form
+        // must stay finite and near-identity far beyond it.
+        for raw in [88.0f32, 100.0, 500.0, 1e4, f32::MAX.ln()] {
+            let s = softplus(raw);
+            assert!(s.is_finite(), "softplus({raw}) = {s}");
+            assert!((s - raw).abs() < 1e-3, "softplus({raw}) = {s} should ≈ x");
+            assert!(sigma_from_raw(raw).is_finite());
+        }
+        // Deep negative tail: positive, tiny, finite.
+        for raw in [-88.0f32, -500.0, -1e4] {
+            let s = softplus(raw);
+            assert!(s.is_finite() && s >= 0.0, "softplus({raw}) = {s}");
+        }
+        // Agreement with the naive form where that form is safe.
+        for raw in [-5.0f32, -0.5, 0.0, 0.5, 5.0, 20.0] {
+            let naive = (1.0 + raw.exp()).ln();
+            assert!((softplus(raw) - naive).abs() < 1e-5);
+        }
+        // sigma_from_raw is floored everywhere.
+        assert!(sigma_from_raw(-1e4) >= SIGMA_FLOOR);
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub mod adam;
 pub mod attention;
 pub mod data;
 pub mod embedding;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod gaussian;
 pub mod init;
 pub mod linear;
@@ -34,7 +36,7 @@ pub mod params;
 pub mod stream;
 pub mod train;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use data::{Batch, BatchIter};
 pub use gaussian::GaussianHead;
 pub use linear::Linear;

@@ -57,7 +57,8 @@ impl Mlp {
     }
 
     pub fn out_dim(&self) -> usize {
-        self.layers.last().unwrap().out_dim
+        // The constructor guarantees at least one layer.
+        self.layers.last().map_or(0, |l| l.out_dim)
     }
 
     /// Forward pass over a `(batch, input)` matrix.

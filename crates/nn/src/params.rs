@@ -305,7 +305,10 @@ impl ParamStore {
     }
 
     /// Import values exported by [`ParamStore::export`] into a store with
-    /// the *same architecture* (matched by name; shapes must agree).
+    /// the *same architecture* (matched by name; shapes must agree). Values
+    /// must be finite: a corrupted-but-parseable checkpoint with NaN or
+    /// infinite weights is rejected here rather than silently poisoning
+    /// every forecast downstream.
     pub fn import(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
         for (name, value) in entries {
             let idx = self
@@ -318,6 +321,11 @@ impl ParamStore {
                     "parameter '{name}' shape mismatch: {:?} vs {:?}",
                     self.values[idx].shape(),
                     value.shape()
+                ));
+            }
+            if value.has_non_finite() {
+                return Err(format!(
+                    "parameter '{name}' contains non-finite values (corrupted checkpoint?)"
                 ));
             }
             self.values[idx] = value.clone();
@@ -359,5 +367,17 @@ mod persist_tests {
         store.register("w", Matrix::zeros(1, 2));
         let err = store.import(&[("w".to_string(), Matrix::zeros(2, 2))]);
         assert!(err.unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn import_rejects_non_finite_values() {
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::zeros(1, 2));
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = store.import(&[("w".to_string(), Matrix::from_vec(1, 2, vec![1.0, bad]))]);
+            assert!(err.unwrap_err().contains("non-finite"), "{bad} accepted");
+        }
+        // Untouched by the failed imports.
+        assert_eq!(store.value(ParamId(0)).as_slice(), &[0.0, 0.0]);
     }
 }

@@ -8,9 +8,10 @@
 //! batch across crossbeam threads, each with its own tape) lives in the
 //! model's closure; [`shard_indices`] is the helper both models use.
 
-use crate::adam::Adam;
+use crate::adam::{Adam, AdamState};
 use crate::data::BatchIter;
 use crate::params::ParamStore;
+use rpf_tensor::Matrix;
 use std::time::Instant;
 
 /// Hyper-parameters of a training run (defaults follow Table IV).
@@ -28,6 +29,13 @@ pub struct TrainConfig {
     /// Stop when the LR would fall below this.
     pub min_lr: f32,
     pub seed: u64,
+    /// Divergence recovery: how many times a non-finite epoch may be rolled
+    /// back and retried at a reduced LR before training gives up.
+    pub max_divergence_retries: usize,
+    /// LR multiplier applied on each divergence rollback.
+    pub retry_lr_factor: f32,
+    /// Global-norm gradient clip handed to Adam (0 disables clipping).
+    pub grad_clip_norm: f32,
 }
 
 impl Default for TrainConfig {
@@ -40,9 +48,69 @@ impl Default for TrainConfig {
             patience: 10,
             min_lr: 1e-5,
             seed: 0,
+            max_divergence_retries: 3,
+            retry_lr_factor: 0.5,
+            grad_clip_norm: 10.0,
         }
     }
 }
+
+/// Why a divergence rollback fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// The batch loss came back NaN or infinite.
+    NonFiniteLoss,
+    /// The accumulated gradients contained NaN or infinite values.
+    NonFiniteGradient,
+}
+
+/// One recovery action taken by the training loop: the epoch was rolled
+/// back to its entry snapshot (weights + optimizer moments) and retried
+/// with the learning rate scaled by `retry_lr_factor`.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    pub epoch: usize,
+    /// Batch index within the epoch where the fault was detected.
+    pub batch: usize,
+    pub cause: DivergenceCause,
+    /// Learning rate in effect after the rollback.
+    pub lr_after: f32,
+}
+
+/// Why a training run failed (no panics: callers decide policy).
+#[derive(Clone, Debug)]
+pub enum TrainError {
+    /// `n_instances` was zero — there is nothing to iterate.
+    NoInstances,
+    /// An epoch stayed non-finite through every allowed rollback retry.
+    Diverged {
+        epoch: usize,
+        batch: usize,
+        retries: usize,
+    },
+    /// A resume checkpoint did not match the model being trained.
+    BadCheckpoint(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NoInstances => write!(f, "no training instances"),
+            TrainError::Diverged {
+                epoch,
+                batch,
+                retries,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch}, batch {batch}: loss/gradients stayed \
+                 non-finite after {retries} rollback retries"
+            ),
+            TrainError::BadCheckpoint(msg) => write!(f, "bad training checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// What a training run produced.
 #[derive(Clone, Debug)]
@@ -57,9 +125,35 @@ pub struct TrainReport {
     /// Total wall-clock training time, seconds.
     pub wall_s: f64,
     pub epochs_run: usize,
+    /// Divergence rollbacks performed (empty on a healthy run).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
-/// Run the training loop.
+/// Everything needed to continue a training run exactly where it stopped:
+/// current + best weights, optimizer moments, the batch iterator position
+/// and the early-stopping bookkeeping. Plain data — `core::persist` handles
+/// (de)serialization and crash-safe writes.
+#[derive(Clone, Debug)]
+pub struct TrainCheckpoint {
+    /// Epoch the resumed run will execute next.
+    pub next_epoch: usize,
+    /// Epoch shuffles consumed from the batch iterator so far.
+    pub epochs_drawn: u64,
+    /// Store values at the end of `next_epoch - 1`.
+    pub weights: Vec<Matrix>,
+    pub adam: AdamState,
+    pub best_weights: Vec<Matrix>,
+    pub best_val: f32,
+    pub best_epoch: usize,
+    pub since_improve: usize,
+    pub epoch_losses: Vec<(f32, f32)>,
+    pub samples_seen: u64,
+    pub recoveries: Vec<RecoveryEvent>,
+}
+
+/// Run the training loop, panicking on error — the historical API, kept for
+/// call sites that treat failure as a bug. New code should prefer
+/// [`try_train`].
 ///
 /// * `n_instances` — number of training instances the index batches draw from.
 /// * `batch_loss` — computes the loss of a batch, *accumulating gradients
@@ -69,11 +163,52 @@ pub fn train(
     store: &mut ParamStore,
     n_instances: usize,
     cfg: &TrainConfig,
+    batch_loss: impl FnMut(&mut ParamStore, &[usize]) -> f32,
+    val_loss: impl FnMut(&ParamStore) -> f32,
+) -> TrainReport {
+    match try_train(store, n_instances, cfg, batch_loss, val_loss) {
+        Ok(report) => report,
+        Err(e) => panic!("train: {e}"),
+    }
+}
+
+/// Fallible training loop: returns a typed [`TrainError`] instead of
+/// asserting, and transparently recovers from non-finite losses or
+/// gradients by rolling the epoch back and retrying at a reduced LR (see
+/// [`TrainConfig::max_divergence_retries`]). Recoveries are recorded in
+/// [`TrainReport::recoveries`].
+pub fn try_train(
+    store: &mut ParamStore,
+    n_instances: usize,
+    cfg: &TrainConfig,
+    batch_loss: impl FnMut(&mut ParamStore, &[usize]) -> f32,
+    val_loss: impl FnMut(&ParamStore) -> f32,
+) -> Result<TrainReport, TrainError> {
+    try_train_resumable(store, n_instances, cfg, batch_loss, val_loss, None, None)
+}
+
+/// The full training loop: [`try_train`] plus crash-safe hooks.
+///
+/// * `resume` — continue from a [`TrainCheckpoint`] instead of from scratch.
+///   The weights, optimizer moments and batch-iterator position are restored
+///   exactly, so a killed-and-resumed run produces weights bit-identical to
+///   an uninterrupted one (pinned by the kill–resume tests).
+/// * `on_epoch_end` — called with a fresh checkpoint after every epoch;
+///   `core::persist` uses it to write periodic crash-safe checkpoints.
+pub fn try_train_resumable(
+    store: &mut ParamStore,
+    n_instances: usize,
+    cfg: &TrainConfig,
     mut batch_loss: impl FnMut(&mut ParamStore, &[usize]) -> f32,
     mut val_loss: impl FnMut(&ParamStore) -> f32,
-) -> TrainReport {
-    assert!(n_instances > 0, "no training instances");
+    resume: Option<&TrainCheckpoint>,
+    mut on_epoch_end: Option<&mut dyn FnMut(&TrainCheckpoint)>,
+) -> Result<TrainReport, TrainError> {
+    if n_instances == 0 {
+        return Err(TrainError::NoInstances);
+    }
     let mut adam = Adam::new(store, cfg.lr);
+    adam.clip_norm = cfg.grad_clip_norm;
     let mut batches = BatchIter::new(n_instances, cfg.batch_size, cfg.seed);
 
     let mut best_val = f32::INFINITY;
@@ -81,22 +216,96 @@ pub fn train(
     let mut best_weights = store.snapshot();
     let mut since_improve = 0usize;
     let mut epoch_losses = Vec::new();
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut samples_seen = 0u64;
+    let mut start_epoch = 0usize;
+
+    if let Some(ckpt) = resume {
+        restore_weights(store, &ckpt.weights).map_err(TrainError::BadCheckpoint)?;
+        adam.restore(&ckpt.adam)
+            .map_err(TrainError::BadCheckpoint)?;
+        if ckpt.best_weights.len() != store.len() {
+            return Err(TrainError::BadCheckpoint(format!(
+                "best-weight snapshot has {} tensors, model has {}",
+                ckpt.best_weights.len(),
+                store.len()
+            )));
+        }
+        batches.skip_epochs(ckpt.epochs_drawn);
+        best_val = ckpt.best_val;
+        best_epoch = ckpt.best_epoch;
+        best_weights = ckpt.best_weights.clone();
+        since_improve = ckpt.since_improve;
+        epoch_losses = ckpt.epoch_losses.clone();
+        samples_seen = ckpt.samples_seen;
+        start_epoch = ckpt.next_epoch;
+        recoveries = ckpt.recoveries.clone();
+    }
 
     let started = Instant::now();
-    let mut samples_seen = 0usize;
+    let mut batch_counter = 0u64;
 
-    for epoch in 0..cfg.max_epochs {
-        let mut epoch_sum = 0.0f64;
-        let mut epoch_batches = 0usize;
-        for batch in batches.epoch() {
-            store.zero_grads();
-            let loss = batch_loss(store, &batch);
-            adam.step(store);
-            samples_seen += batch.len();
-            epoch_sum += loss as f64;
-            epoch_batches += 1;
-        }
-        let train_loss = (epoch_sum / epoch_batches.max(1) as f64) as f32;
+    'epochs: for epoch in start_epoch..cfg.max_epochs {
+        let epoch_batches = batches.epoch();
+        // Entry snapshot: the rollback target if this epoch diverges.
+        let entry_weights = store.snapshot();
+        let entry_adam = adam.state();
+        let mut attempts = 0usize;
+
+        let train_loss = 'retry: loop {
+            let mut epoch_sum = 0.0f64;
+            let mut epoch_n = 0usize;
+            let mut epoch_samples = 0u64;
+            for (bi, batch) in epoch_batches.iter().enumerate() {
+                store.zero_grads();
+                let loss = fault_hook_loss(batch_counter, batch_loss(store, batch));
+                batch_counter += 1;
+                let cause = if !loss.is_finite() {
+                    Some(DivergenceCause::NonFiniteLoss)
+                } else if !store.grad_norm().is_finite() {
+                    Some(DivergenceCause::NonFiniteGradient)
+                } else {
+                    None
+                };
+                if let Some(cause) = cause {
+                    // Roll back to the epoch-entry snapshot and retry the
+                    // whole epoch at a reduced LR, a bounded number of times.
+                    attempts += 1;
+                    if attempts > cfg.max_divergence_retries {
+                        return Err(TrainError::Diverged {
+                            epoch,
+                            batch: bi,
+                            retries: cfg.max_divergence_retries,
+                        });
+                    }
+                    restore_weights(store, &entry_weights).map_err(TrainError::BadCheckpoint)?;
+                    if adam.restore(&entry_adam).is_err() {
+                        // Cannot happen: the snapshot came from this adam.
+                        return Err(TrainError::BadCheckpoint(
+                            "optimizer rollback failed".into(),
+                        ));
+                    }
+                    // Compounding halving: restore() reset the LR to the
+                    // epoch-entry value, so re-apply one factor per attempt.
+                    adam.lr = entry_adam.lr * cfg.retry_lr_factor.powi(attempts as i32);
+                    recoveries.push(RecoveryEvent {
+                        epoch,
+                        batch: bi,
+                        cause,
+                        lr_after: adam.lr,
+                    });
+                    store.zero_grads();
+                    continue 'retry;
+                }
+                adam.step(store);
+                epoch_samples += batch.len() as u64;
+                epoch_sum += loss as f64;
+                epoch_n += 1;
+            }
+            samples_seen += epoch_samples;
+            break (epoch_sum / epoch_n.max(1) as f64) as f32;
+        };
+
         let v = val_loss(store);
         epoch_losses.push((train_loss, v));
 
@@ -112,15 +321,31 @@ pub fn train(
                 adam.decay_lr(cfg.lr_decay);
                 since_improve = 0;
                 if adam.lr < cfg.min_lr {
-                    break;
+                    break 'epochs;
                 }
             }
+        }
+
+        if let Some(cb) = on_epoch_end.as_deref_mut() {
+            cb(&TrainCheckpoint {
+                next_epoch: epoch + 1,
+                epochs_drawn: batches.epochs_drawn(),
+                weights: store.snapshot(),
+                adam: adam.state(),
+                best_weights: best_weights.clone(),
+                best_val,
+                best_epoch,
+                since_improve,
+                epoch_losses: epoch_losses.clone(),
+                samples_seen,
+                recoveries: recoveries.clone(),
+            });
         }
     }
 
     store.restore(&best_weights);
     let wall_s = started.elapsed().as_secs_f64();
-    TrainReport {
+    Ok(TrainReport {
         epochs_run: epoch_losses.len(),
         epoch_losses,
         best_epoch,
@@ -131,7 +356,44 @@ pub fn train(
             wall_s * 1e6 / samples_seen as f64
         },
         wall_s,
+        recoveries,
+    })
+}
+
+/// Fault-injection seam on the batch loss: identity unless the
+/// `fault-inject` feature is on AND a plan poisons this batch counter.
+#[cfg(feature = "fault-inject")]
+fn fault_hook_loss(batch: u64, loss: f32) -> f32 {
+    crate::fault::corrupt_loss(batch, loss)
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+fn fault_hook_loss(_batch: u64, loss: f32) -> f32 {
+    loss
+}
+
+/// `ParamStore::restore` without the asserts: checkpoint data is untrusted.
+fn restore_weights(store: &mut ParamStore, snapshot: &[Matrix]) -> Result<(), String> {
+    if snapshot.len() != store.len() {
+        return Err(format!(
+            "weight snapshot has {} tensors, model has {}",
+            snapshot.len(),
+            store.len()
+        ));
     }
+    for (id, s) in store.iter_ids().zip(snapshot.iter()) {
+        if store.value(id).shape() != s.shape() {
+            return Err(format!(
+                "weight tensor '{}' shape mismatch: {:?} vs {:?}",
+                store.name(id),
+                store.value(id).shape(),
+                s.shape()
+            ));
+        }
+    }
+    store.restore(snapshot);
+    Ok(())
 }
 
 /// Split a batch of indices into up to `shards` roughly equal pieces for

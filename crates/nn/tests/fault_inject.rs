@@ -1,0 +1,146 @@
+//! Fault-injection matrix for the training loop (requires the
+//! `fault-inject` feature): planned NaN losses must trigger divergence
+//! recovery — rollback, LR halving, a recorded [`RecoveryEvent`] — and
+//! exhausting the retry budget must surface as a typed error, never a
+//! panic.
+#![cfg(feature = "fault-inject")]
+
+use rpf_autodiff::Tape;
+use rpf_nn::fault::{self, FaultPlan};
+use rpf_nn::train::{try_train, DivergenceCause, TrainConfig, TrainError};
+use rpf_nn::{Binding, ParamStore};
+use rpf_tensor::Matrix;
+use std::sync::Mutex;
+
+// The fault plan is process-global: tests installing plans serialize here.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    match TEST_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+const N: usize = 64;
+
+/// Linear-regression training run under whatever fault plan is installed.
+fn train_linear(cfg: &TrainConfig) -> Result<rpf_nn::train::TrainReport, TrainError> {
+    let xs: Vec<f32> = (0..N).map(|i| i as f32 / 32.0 - 1.0).collect();
+    let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+    let mut store = ParamStore::new();
+    let w = store.register("w", Matrix::zeros(1, 1));
+    let b = store.register("b", Matrix::zeros(1, 1));
+    try_train(
+        &mut store,
+        N,
+        cfg,
+        |store, batch| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, store);
+            let x = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| xs[i]).collect(),
+            ));
+            let t = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| ys[i]).collect(),
+            ));
+            let ones = tape.leaf(Matrix::ones(batch.len(), 1));
+            let pred = tape.add(tape.matmul(x, bind.var(w)), tape.matmul(ones, bind.var(b)));
+            let loss = tape.mean(tape.square(tape.sub(pred, t)));
+            let out = tape.scalar(loss);
+            let grads = bind.into_grads(loss);
+            store.apply_grads(grads);
+            out
+        },
+        |store| {
+            let wv = store.value(w).get(0, 0);
+            let bv = store.value(b).get(0, 0);
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (wv * x + bv - y) * (wv * x + bv - y))
+                .sum::<f32>()
+                / xs.len() as f32
+        },
+    )
+}
+
+fn cfg(max_epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs,
+        batch_size: 16,
+        lr: 0.05,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn single_nan_loss_is_recovered_and_recorded() {
+    let _g = locked();
+    // Poison the loss of global batch 2 (epoch 0, third batch).
+    fault::install(FaultPlan::new().nan_loss_at_batch(2));
+    // The rollback halves the LR for good, so give the run enough epochs
+    // to converge at the reduced rate.
+    let report = train_linear(&cfg(60));
+    fault::clear();
+
+    let report = report.expect("one injected NaN must be survivable");
+    assert_eq!(report.recoveries.len(), 1, "exactly one rollback");
+    let r = &report.recoveries[0];
+    assert_eq!(r.epoch, 0);
+    assert_eq!(r.batch, 2);
+    assert_eq!(r.cause, DivergenceCause::NonFiniteLoss);
+    assert!(r.lr_after < 0.05, "LR must be reduced after rollback");
+    assert!(
+        report.best_val_loss < 0.05,
+        "training must still converge after recovery: {}",
+        report.best_val_loss
+    );
+}
+
+#[test]
+fn persistent_nan_loss_exhausts_retries_without_panicking() {
+    let _g = locked();
+    // Every batch of the first epoch (across all retries) is poisoned:
+    // rollback can never help, so the loop must give up cleanly.
+    let mut plan = FaultPlan::new();
+    for k in 0..64 {
+        plan = plan.nan_loss_at_batch(k);
+    }
+    fault::install(plan);
+    let err = train_linear(&cfg(4)).err();
+    fault::clear();
+
+    match err.expect("persistent NaN must fail training") {
+        TrainError::Diverged { epoch, retries, .. } => {
+            assert_eq!(epoch, 0);
+            assert_eq!(retries, TrainConfig::default().max_divergence_retries);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_halves_lr_per_attempt() {
+    let _g = locked();
+    // Three poisoned batches early in epoch 0: each retry trips the next
+    // one, so three rollbacks land with compounding LR cuts.
+    fault::install(
+        FaultPlan::new()
+            .nan_loss_at_batch(0)
+            .nan_loss_at_batch(4)
+            .nan_loss_at_batch(8),
+    );
+    let report = train_linear(&cfg(6));
+    fault::clear();
+
+    let report = report.expect("three faults fit inside the retry budget");
+    assert_eq!(report.recoveries.len(), 3);
+    let lrs: Vec<f32> = report.recoveries.iter().map(|r| r.lr_after).collect();
+    assert!((lrs[0] - 0.025).abs() < 1e-6, "lrs {lrs:?}");
+    assert!((lrs[1] - 0.0125).abs() < 1e-6, "lrs {lrs:?}");
+    assert!((lrs[2] - 0.00625).abs() < 1e-6, "lrs {lrs:?}");
+}

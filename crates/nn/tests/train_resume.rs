@@ -1,0 +1,148 @@
+//! Kill–resume bit-identity: a training run checkpointed mid-way and
+//! continued in a fresh process-state must end with weights bit-identical
+//! to an uninterrupted run. This is the contract `core::persist` builds its
+//! crash-safe checkpoints on.
+
+use rpf_autodiff::Tape;
+use rpf_nn::train::{try_train_resumable, TrainCheckpoint, TrainConfig, TrainError};
+use rpf_nn::{Binding, ParamStore};
+use rpf_tensor::Matrix;
+
+const N: usize = 64;
+
+fn data() -> (Vec<f32>, Vec<f32>) {
+    let xs: Vec<f32> = (0..N).map(|i| i as f32 / 32.0 - 1.0).collect();
+    let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+    (xs, ys)
+}
+
+fn fresh_store() -> (ParamStore, rpf_nn::ParamId, rpf_nn::ParamId) {
+    let mut store = ParamStore::new();
+    let w = store.register("w", Matrix::zeros(1, 1));
+    let b = store.register("b", Matrix::zeros(1, 1));
+    (store, w, b)
+}
+
+fn cfg(max_epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs,
+        batch_size: 16,
+        lr: 0.05,
+        ..Default::default()
+    }
+}
+
+/// Run the loop on a fresh store; returns the final weight snapshot and the
+/// last checkpoint the loop handed out.
+fn run(
+    max_epochs: usize,
+    resume: Option<&TrainCheckpoint>,
+    store_override: Option<(ParamStore, rpf_nn::ParamId, rpf_nn::ParamId)>,
+) -> (Vec<Matrix>, Option<TrainCheckpoint>) {
+    let (xs, ys) = data();
+    let (mut store, w, b) = store_override.unwrap_or_else(fresh_store);
+    let mut last_ckpt: Option<TrainCheckpoint> = None;
+    let mut on_epoch = |c: &TrainCheckpoint| last_ckpt = Some(c.clone());
+    let report = try_train_resumable(
+        &mut store,
+        N,
+        &cfg(max_epochs),
+        |store, batch| {
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, store);
+            let x = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| xs[i]).collect(),
+            ));
+            let t = tape.leaf(Matrix::from_vec(
+                batch.len(),
+                1,
+                batch.iter().map(|&i| ys[i]).collect(),
+            ));
+            let ones = tape.leaf(Matrix::ones(batch.len(), 1));
+            let pred = tape.add(tape.matmul(x, bind.var(w)), tape.matmul(ones, bind.var(b)));
+            let loss = tape.mean(tape.square(tape.sub(pred, t)));
+            let out = tape.scalar(loss);
+            let grads = bind.into_grads(loss);
+            store.apply_grads(grads);
+            out
+        },
+        |store| {
+            let wv = store.value(w).get(0, 0);
+            let bv = store.value(b).get(0, 0);
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (wv * x + bv - y) * (wv * x + bv - y))
+                .sum::<f32>()
+                / xs.len() as f32
+        },
+        resume,
+        Some(&mut on_epoch),
+    );
+    assert!(report.is_ok(), "training failed: {:?}", report.err());
+    (store.snapshot(), last_ckpt)
+}
+
+fn bits(snapshot: &[Matrix]) -> Vec<Vec<u32>> {
+    snapshot
+        .iter()
+        .map(|m| m.as_slice().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_bit_for_bit() {
+    // Uninterrupted reference: 6 epochs straight through.
+    let (reference, _) = run(6, None, None);
+
+    // "Killed" run: 3 epochs, keep the last checkpoint, drop everything else.
+    let (_, ckpt) = run(3, None, None);
+    let ckpt = ckpt.expect("checkpoint after 3 epochs");
+    assert_eq!(ckpt.next_epoch, 3);
+
+    // Resume on a completely fresh store (fresh optimizer, fresh iterator).
+    let (resumed, _) = run(6, Some(&ckpt), Some(fresh_store()));
+
+    assert_eq!(
+        bits(&reference),
+        bits(&resumed),
+        "resumed weights must be bit-identical to the uninterrupted run"
+    );
+}
+
+#[test]
+fn resume_checkpoint_records_loop_bookkeeping() {
+    let (_, ckpt) = run(4, None, None);
+    let ckpt = ckpt.expect("checkpoint");
+    assert_eq!(ckpt.next_epoch, 4);
+    assert_eq!(ckpt.epochs_drawn, 4);
+    assert_eq!(ckpt.epoch_losses.len(), 4);
+    assert!(ckpt.samples_seen >= (N * 4) as u64);
+    assert!(
+        ckpt.recoveries.is_empty(),
+        "healthy run records no recoveries"
+    );
+}
+
+#[test]
+fn mismatched_checkpoint_is_a_clean_error() {
+    // Checkpoint from the 2-tensor linear model...
+    let (_, ckpt) = run(2, None, None);
+    let ckpt = ckpt.expect("checkpoint");
+
+    // ...resumed into a model with a different tensor count.
+    let mut store = ParamStore::new();
+    let _ = store.register("only", Matrix::zeros(1, 1));
+    let err = try_train_resumable(
+        &mut store,
+        N,
+        &cfg(4),
+        |_, _| 0.0,
+        |_| 0.0,
+        Some(&ckpt),
+        None,
+    )
+    .expect_err("shape-mismatched checkpoint must be rejected");
+    assert!(matches!(err, TrainError::BadCheckpoint(_)), "got {err:?}");
+}

@@ -55,7 +55,23 @@ fn main() {
     let mut leader_hits = 0usize;
     let mut calls = 0usize;
     for origin in (70..190).step_by(12) {
-        let samples = engine.forecast(&live, origin, 2, 20);
+        // A live loop can't afford a panic mid-race: the validating API
+        // returns a typed error for a bad request, and flags trajectories
+        // that degraded to the CurRank fallback instead of failing.
+        let forecast = match engine.try_forecast(&live, origin, 2, 20) {
+            Ok(f) => f,
+            Err(e) => {
+                println!("  {origin:>5} request rejected: {e}");
+                continue;
+            }
+        };
+        if forecast.degraded {
+            println!(
+                "  {:>5} serving degraded: {} trajectorie(s) on CurRank fallback",
+                origin, forecast.degraded_trajectories
+            );
+        }
+        let samples = forecast.samples;
         let ranked = ranks_by_sorting(&samples, 1);
 
         // Predicted leader: most frequent rank-1 car across samples.
@@ -107,5 +123,9 @@ fn main() {
         t.covariates.as_secs_f64() * 1e3,
         t.decode.as_secs_f64() * 1e3,
         t.trajectories_per_sec()
+    );
+    println!(
+        "Health: {} rejected request(s), {} degraded trajectorie(s)",
+        t.rejected_requests, t.degraded_trajectories
     );
 }

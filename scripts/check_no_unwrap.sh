@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Robustness gate: production code in the core and nn crates must not
+# call `.unwrap()` / `.expect(` — failures there have typed error paths
+# (TrainError, EngineError, Result-returning persist). Test modules are
+# exempt: the awk pass strips `#[cfg(test)] mod ... { }` bodies by brace
+# tracking before grepping.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+strip_test_mods() {
+  awk '
+    /#\[cfg\(test\)\]/ { intest = 1 }
+    intest {
+      n = gsub(/\{/, "{"); m = gsub(/\}/, "}")
+      if (!entered && n > 0) entered = 1
+      depth += n - m
+      if (entered && depth <= 0) { intest = 0; entered = 0; depth = 0 }
+      next
+    }
+    { print FILENAME ":" FNR ":" $0 }
+  ' "$1"
+}
+
+fail=0
+for f in crates/core/src/*.rs crates/nn/src/*.rs; do
+  hits=$(strip_test_mods "$f" | grep -E '\.unwrap\(\)|\.expect\(' || true)
+  if [ -n "$hits" ]; then
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "error: .unwrap()/.expect( in non-test core/nn code (use a typed error path)" >&2
+  exit 1
+fi
+echo "no-unwrap gate clean."

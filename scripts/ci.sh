@@ -14,7 +14,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== no-unwrap gate (core/nn non-test code) =="
+bash scripts/check_no_unwrap.sh
+
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline
+
+echo "== cargo test (fault-inject matrix) =="
+cargo test -q -p rpf-nn --features fault-inject --offline
+cargo test -q -p ranknet-core --features fault-inject --offline
 
 echo "CI green."

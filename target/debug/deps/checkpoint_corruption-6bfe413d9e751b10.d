@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_corruption-6bfe413d9e751b10.d: crates/core/tests/checkpoint_corruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_corruption-6bfe413d9e751b10.rmeta: crates/core/tests/checkpoint_corruption.rs Cargo.toml
+
+crates/core/tests/checkpoint_corruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_corruption-dac5fc5961b379f8.d: crates/core/tests/checkpoint_corruption.rs
+
+/root/repo/target/debug/deps/checkpoint_corruption-dac5fc5961b379f8: crates/core/tests/checkpoint_corruption.rs
+
+crates/core/tests/checkpoint_corruption.rs:

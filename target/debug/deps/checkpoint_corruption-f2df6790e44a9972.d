@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_corruption-f2df6790e44a9972.d: crates/core/tests/checkpoint_corruption.rs
+
+/root/repo/target/debug/deps/checkpoint_corruption-f2df6790e44a9972: crates/core/tests/checkpoint_corruption.rs
+
+crates/core/tests/checkpoint_corruption.rs:

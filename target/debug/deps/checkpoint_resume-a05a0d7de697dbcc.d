@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkpoint_resume-a05a0d7de697dbcc.d: crates/core/tests/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckpoint_resume-a05a0d7de697dbcc.rmeta: crates/core/tests/checkpoint_resume.rs Cargo.toml
+
+crates/core/tests/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

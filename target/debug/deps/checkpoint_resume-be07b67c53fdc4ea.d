@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-be07b67c53fdc4ea.d: crates/core/tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-be07b67c53fdc4ea: crates/core/tests/checkpoint_resume.rs
+
+crates/core/tests/checkpoint_resume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkpoint_resume-ef961ba8813be293.d: crates/core/tests/checkpoint_resume.rs
+
+/root/repo/target/debug/deps/checkpoint_resume-ef961ba8813be293: crates/core/tests/checkpoint_resume.rs
+
+crates/core/tests/checkpoint_resume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_determinism-cf2f986e5810cd23.d: crates/core/tests/engine_determinism.rs
+
+/root/repo/target/debug/deps/engine_determinism-cf2f986e5810cd23: crates/core/tests/engine_determinism.rs
+
+crates/core/tests/engine_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_robustness-61e4a6bcc92b05e1.d: crates/core/tests/engine_robustness.rs
+
+/root/repo/target/debug/deps/engine_robustness-61e4a6bcc92b05e1: crates/core/tests/engine_robustness.rs
+
+crates/core/tests/engine_robustness.rs:

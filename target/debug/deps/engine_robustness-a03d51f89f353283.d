@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_robustness-a03d51f89f353283.d: crates/core/tests/engine_robustness.rs
+
+/root/repo/target/debug/deps/engine_robustness-a03d51f89f353283: crates/core/tests/engine_robustness.rs
+
+crates/core/tests/engine_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_robustness-a300327a4f7d5724.d: crates/core/tests/engine_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_robustness-a300327a4f7d5724.rmeta: crates/core/tests/engine_robustness.rs Cargo.toml
+
+crates/core/tests/engine_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

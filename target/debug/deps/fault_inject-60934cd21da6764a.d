@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_inject-60934cd21da6764a.d: crates/nn/tests/fault_inject.rs
+
+/root/repo/target/debug/deps/fault_inject-60934cd21da6764a: crates/nn/tests/fault_inject.rs
+
+crates/nn/tests/fault_inject.rs:

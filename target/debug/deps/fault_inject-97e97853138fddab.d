@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_inject-97e97853138fddab.d: crates/nn/tests/fault_inject.rs
+
+/root/repo/target/debug/deps/fault_inject-97e97853138fddab: crates/nn/tests/fault_inject.rs
+
+crates/nn/tests/fault_inject.rs:

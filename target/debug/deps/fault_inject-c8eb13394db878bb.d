@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_inject-c8eb13394db878bb.d: crates/core/tests/fault_inject.rs
+
+/root/repo/target/debug/deps/fault_inject-c8eb13394db878bb: crates/core/tests/fault_inject.rs
+
+crates/core/tests/fault_inject.rs:

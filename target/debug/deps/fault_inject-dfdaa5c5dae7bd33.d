@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_inject-dfdaa5c5dae7bd33.d: crates/core/tests/fault_inject.rs
+
+/root/repo/target/debug/deps/fault_inject-dfdaa5c5dae7bd33: crates/core/tests/fault_inject.rs
+
+crates/core/tests/fault_inject.rs:

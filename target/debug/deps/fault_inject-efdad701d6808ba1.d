@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_inject-efdad701d6808ba1.d: crates/core/tests/fault_inject.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_inject-efdad701d6808ba1.rmeta: crates/core/tests/fault_inject.rs Cargo.toml
+
+crates/core/tests/fault_inject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_inject-f209b25c0a4c9ce7.d: crates/nn/tests/fault_inject.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_inject-f209b25c0a4c9ce7.rmeta: crates/nn/tests/fault_inject.rs Cargo.toml
+
+crates/nn/tests/fault_inject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

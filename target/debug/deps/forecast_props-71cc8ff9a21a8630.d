@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecast_props-71cc8ff9a21a8630.d: crates/core/tests/forecast_props.rs
+
+/root/repo/target/debug/deps/forecast_props-71cc8ff9a21a8630: crates/core/tests/forecast_props.rs
+
+crates/core/tests/forecast_props.rs:

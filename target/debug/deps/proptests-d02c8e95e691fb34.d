@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d02c8e95e691fb34.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d02c8e95e691fb34: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ranknet_core-35baecd8c390a4d3.d: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+/root/repo/target/debug/deps/libranknet_core-35baecd8c390a4d3.rlib: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+/root/repo/target/debug/deps/libranknet_core-35baecd8c390a4d3.rmeta: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_adapters.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/eval.rs:
+crates/core/src/features.rs:
+crates/core/src/instances.rs:
+crates/core/src/metrics.rs:
+crates/core/src/persist.rs:
+crates/core/src/pit_model.rs:
+crates/core/src/rank_model.rs:
+crates/core/src/ranknet.rs:
+crates/core/src/transformer_model.rs:

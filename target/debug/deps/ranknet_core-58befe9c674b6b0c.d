@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ranknet_core-58befe9c674b6b0c.d: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+/root/repo/target/debug/deps/ranknet_core-58befe9c674b6b0c: crates/core/src/lib.rs crates/core/src/baseline_adapters.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/eval.rs crates/core/src/features.rs crates/core/src/instances.rs crates/core/src/metrics.rs crates/core/src/persist.rs crates/core/src/pit_model.rs crates/core/src/rank_model.rs crates/core/src/ranknet.rs crates/core/src/transformer_model.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_adapters.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/eval.rs:
+crates/core/src/features.rs:
+crates/core/src/instances.rs:
+crates/core/src/metrics.rs:
+crates/core/src/persist.rs:
+crates/core/src/pit_model.rs:
+crates/core/src/rank_model.rs:
+crates/core/src/ranknet.rs:
+crates/core/src/transformer_model.rs:

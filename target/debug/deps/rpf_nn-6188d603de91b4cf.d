@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rpf_nn-6188d603de91b4cf.d: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/fault.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/librpf_nn-6188d603de91b4cf.rlib: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/fault.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/librpf_nn-6188d603de91b4cf.rmeta: crates/nn/src/lib.rs crates/nn/src/adam.rs crates/nn/src/attention.rs crates/nn/src/data.rs crates/nn/src/embedding.rs crates/nn/src/fault.rs crates/nn/src/gaussian.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/lstm.rs crates/nn/src/mlp.rs crates/nn/src/params.rs crates/nn/src/stream.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/adam.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/data.rs:
+crates/nn/src/embedding.rs:
+crates/nn/src/fault.rs:
+crates/nn/src/gaussian.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/params.rs:
+crates/nn/src/stream.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/train_resume-0851a8552a193917.d: crates/nn/tests/train_resume.rs
+
+/root/repo/target/debug/deps/train_resume-0851a8552a193917: crates/nn/tests/train_resume.rs
+
+crates/nn/tests/train_resume.rs:

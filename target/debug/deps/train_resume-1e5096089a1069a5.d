@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/train_resume-1e5096089a1069a5.d: crates/nn/tests/train_resume.rs
+
+/root/repo/target/debug/deps/train_resume-1e5096089a1069a5: crates/nn/tests/train_resume.rs
+
+crates/nn/tests/train_resume.rs:

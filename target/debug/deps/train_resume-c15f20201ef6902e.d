@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/train_resume-c15f20201ef6902e.d: crates/nn/tests/train_resume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrain_resume-c15f20201ef6902e.rmeta: crates/nn/tests/train_resume.rs Cargo.toml
+
+crates/nn/tests/train_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR
