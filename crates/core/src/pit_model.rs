@@ -19,8 +19,9 @@ use rpf_autodiff::Tape;
 use rpf_nn::gaussian::{gaussian_nll, GaussianParams, SIGMA_FLOOR};
 use rpf_nn::mlp::Activation;
 use rpf_nn::train::{train, TrainConfig, TrainReport};
-use rpf_nn::{Binding, Mlp, ParamStore, RngStreams};
-use rpf_tensor::Matrix;
+use rpf_nn::{Binding, InferMlp, Mlp, MlpScratch, ParamStore, RngStreams};
+use rpf_tensor::{ops, Matrix};
+use std::sync::OnceLock;
 
 /// Training floor on stint length: the paper identifies the <10% short-pit
 /// tail (mechanical issues) as noise for the pit model.
@@ -34,6 +35,14 @@ struct PitExample {
     laps_to_pit: f32,
 }
 
+/// Tape-free serving nets for [`PitModel::predict`], built lazily on first
+/// use and dropped on any weight mutation (train / import). `OnceLock`
+/// keeps `predict` callable through `&self` from parallel forecast workers.
+struct PitRuntime {
+    mu_net: InferMlp,
+    sigma_net: InferMlp,
+}
+
 /// The probabilistic next-pit-lap model.
 pub struct PitModel {
     store: ParamStore,
@@ -41,6 +50,7 @@ pub struct PitModel {
     sigma_net: Mlp,
     /// Normalisation constant for ages (the fuel window).
     scale: f32,
+    runtime: OnceLock<PitRuntime>,
 }
 
 impl PitModel {
@@ -66,6 +76,7 @@ impl PitModel {
             mu_net,
             sigma_net,
             scale: fuel_window,
+            runtime: OnceLock::new(),
         }
     }
 
@@ -168,6 +179,8 @@ impl PitModel {
             },
         );
         self.store = store;
+        // New weights: the cached serving runtime is stale.
+        self.runtime = OnceLock::new();
         report
     }
 
@@ -184,24 +197,29 @@ impl PitModel {
     /// Import weights exported by [`PitModel::export`] into a model built
     /// with the same constructor arguments.
     pub fn import(&mut self, entries: &[(String, rpf_tensor::Matrix)]) -> Result<(), String> {
+        // Invalidate unconditionally: a failed import may still have written
+        // some entries before erroring.
+        self.runtime = OnceLock::new();
         self.store.import(entries)
     }
 
     /// Distribution over laps-until-next-pit for a car with the given state.
+    /// Runs on the cached tape-free runtime; bit-identical to the tape
+    /// forward (`softplus` floor included) that trains the same nets.
     pub fn predict(&self, caution_laps: f32, pit_age: f32) -> (f32, f32) {
-        let tape = Tape::new();
-        let bind = Binding::new(&tape, &self.store);
-        let x = tape.leaf(Matrix::from_vec(
-            1,
-            2,
-            self.features(caution_laps, pit_age).to_vec(),
-        ));
-        let mu = self.mu_net.forward(&bind, x);
-        let sigma = tape.add_scalar(tape.softplus(self.sigma_net.forward(&bind, x)), SIGMA_FLOOR);
-        (
-            tape.value(mu).get(0, 0) * self.scale,
-            tape.value(sigma).get(0, 0) * self.scale,
-        )
+        let rt = self.runtime.get_or_init(|| PitRuntime {
+            mu_net: InferMlp::from_store(&self.store, &self.mu_net),
+            sigma_net: InferMlp::from_store(&self.store, &self.sigma_net),
+        });
+        let x = Matrix::from_vec(1, 2, self.features(caution_laps, pit_age).to_vec());
+        let mut scratch = MlpScratch::new();
+        let mut mu = Matrix::zeros(0, 0);
+        let mut sigma = Matrix::zeros(0, 0);
+        rt.mu_net.forward_into(&x, &mut scratch, &mut mu);
+        rt.sigma_net.forward_into(&x, &mut scratch, &mut sigma);
+        ops::softplus_assign(&mut sigma);
+        ops::add_scalar_assign(&mut sigma, SIGMA_FLOOR);
+        (mu.get(0, 0) * self.scale, sigma.get(0, 0) * self.scale)
     }
 
     /// Sample the lap offset (≥ 1) of the next pit stop.
@@ -330,6 +348,54 @@ mod tests {
             any_pit >= 15,
             "expected pits in most 40-lap windows, got {any_pit}/20"
         );
+    }
+
+    /// Tape reference for `predict`: the exact graph `train` optimises.
+    fn predict_tape(model: &PitModel, caution: f32, age: f32) -> (f32, f32) {
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &model.store);
+        let x = tape.leaf(Matrix::from_vec(
+            1,
+            2,
+            model.features(caution, age).to_vec(),
+        ));
+        let mu = model.mu_net.forward(&bind, x);
+        let sigma = tape.add_scalar(
+            tape.softplus(model.sigma_net.forward(&bind, x)),
+            SIGMA_FLOOR,
+        );
+        (
+            tape.value(mu).get(0, 0) * model.scale,
+            tape.value(sigma).get(0, 0) * model.scale,
+        )
+    }
+
+    #[test]
+    fn predict_matches_tape_reference_and_refreshes_after_train() {
+        let ctxs = contexts();
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 2;
+        let mut model = PitModel::new(7, 50.0);
+        let _ = model.train(&ctxs, &cfg);
+        for (caution, age) in [(0.0f32, 0.0f32), (3.0, 20.0), (8.0, 45.0)] {
+            let (mu, sigma) = model.predict(caution, age);
+            let (mu_t, sigma_t) = predict_tape(&model, caution, age);
+            assert_eq!(mu.to_bits(), mu_t.to_bits(), "mu at ({caution}, {age})");
+            assert_eq!(
+                sigma.to_bits(),
+                sigma_t.to_bits(),
+                "sigma at ({caution}, {age})"
+            );
+        }
+        // Retraining must rebuild the cached runtime, not serve stale
+        // weights: predict after a second train still matches the tape on
+        // the *new* store.
+        cfg.max_epochs = 4;
+        let _ = model.train(&ctxs, &cfg);
+        let (mu, sigma) = model.predict(2.0, 15.0);
+        let (mu_t, sigma_t) = predict_tape(&model, 2.0, 15.0);
+        assert_eq!(mu.to_bits(), mu_t.to_bits());
+        assert_eq!(sigma.to_bits(), sigma_t.to_bits());
     }
 
     #[test]

@@ -26,7 +26,10 @@ use rpf_nn::gaussian::{
 use rpf_nn::train::{
     shard_indices, try_train_resumable, TrainCheckpoint, TrainConfig, TrainError, TrainReport,
 };
-use rpf_nn::{Binding, GaussianHead, ParamStore, RngStreams, StackedLstm};
+use rpf_nn::{
+    Binding, GaussianHead, InferEmbedding, InferGaussianHead, InferStackedLstm, LstmScratch,
+    ParamStore, RngStreams, StackedLstm,
+};
 use rpf_tensor::Matrix;
 
 /// What the decoder predicts.
@@ -63,6 +66,52 @@ pub struct EncoderState {
     pub car_ids: Vec<usize>,
     /// Per-layer `(h, c)`, each `(cars.len() × hidden_dim)`.
     pub states: Vec<(Matrix, Matrix)>,
+}
+
+/// Tape-free serving runtime for one [`RankModel`]: forward-only mirrors of
+/// the LSTM stack, Gaussian heads and car embedding, converted one-shot from
+/// the trained store (weights cloned once, at conversion time). Read-only
+/// and `Sync`: [`RankModel::decode`] builds one per call and shares it
+/// across every worker thread, while each worker owns its own
+/// [`RankScratch`].
+pub struct RankRuntime {
+    lstm: InferStackedLstm,
+    heads: Vec<InferGaussianHead>,
+    emb: InferEmbedding,
+}
+
+/// Per-thread scratch arena for the serving loops: the LSTM pre-activation
+/// buffers, the persistent input matrix (embedding columns written once per
+/// chunk — they never change across steps — regressive/covariate columns
+/// rewritten in place each step) and the head output buffers. Every buffer
+/// reaches its final size on the first step, so subsequent steps allocate
+/// nothing.
+struct RankScratch {
+    lstm: LstmScratch,
+    input: Matrix,
+    mu: Matrix,
+    sigma: Matrix,
+    // Joint mode draws heads 1 and 2 in the same per-row pass, so both
+    // output pairs must be live at once.
+    mu1: Matrix,
+    sigma1: Matrix,
+    mu2: Matrix,
+    sigma2: Matrix,
+}
+
+impl RankScratch {
+    fn new(batch: usize, input_dim: usize) -> RankScratch {
+        RankScratch {
+            lstm: LstmScratch::new(),
+            input: Matrix::zeros(batch, input_dim),
+            mu: Matrix::zeros(0, 0),
+            sigma: Matrix::zeros(0, 0),
+            mu1: Matrix::zeros(0, 0),
+            sigma1: Matrix::zeros(0, 0),
+            mu2: Matrix::zeros(0, 0),
+            sigma2: Matrix::zeros(0, 0),
+        }
+    }
 }
 
 pub struct RankModel {
@@ -459,6 +508,21 @@ impl RankModel {
 
     // ---- forecasting (Algorithm 2) --------------------------------------
 
+    /// Build the tape-free serving runtime: a one-shot conversion of the
+    /// current weights into forward-only layers. Rebuild after any weight
+    /// mutation (the runtime holds its own copies).
+    pub fn runtime(&self) -> RankRuntime {
+        RankRuntime {
+            lstm: InferStackedLstm::from_store(&self.store, &self.lstm),
+            heads: self
+                .heads
+                .iter()
+                .map(|h| InferGaussianHead::from_store(&self.store, h))
+                .collect(),
+            emb: InferEmbedding::from_store(&self.store, &self.emb),
+        }
+    }
+
     /// Probabilistic forecast for every car of `ctx` from `origin`
     /// (sequence index) `horizon` steps ahead. `cov_future.rows[car][step]`
     /// supplies the decoder covariates (ground truth for Oracle, PitModel
@@ -521,10 +585,16 @@ impl RankModel {
                 states,
             };
         }
+        let runtime = self.runtime();
         let enc_start = origin.saturating_sub(self.cfg.context_len).max(1);
+        let mut scratch = RankScratch::new(b, self.base_dim + self.cfg.embedding_dim);
+        // The embedding columns are constant across time steps (the tape
+        // path re-gathers and re-hstacks them every step); write them once.
+        for (bi, &id) in car_ids.iter().enumerate() {
+            scratch.input.row_mut(bi)[self.base_dim..].copy_from_slice(runtime.emb.row(id));
+        }
         let mut row = Vec::with_capacity(self.base_dim);
         for idx in enc_start..origin {
-            let mut x = Matrix::zeros(b, self.base_dim);
             for (bi, &c) in cars.iter().enumerate() {
                 let seq = &ctx.sequences[c];
                 let reg = Regressive {
@@ -534,9 +604,11 @@ impl RankModel {
                 };
                 let cov = Covariates::from_seq(seq, idx, self.cfg.prediction_len);
                 Self::assemble(&self.cfg, self.kind, ctx, &reg, &cov, seq, idx, &mut row);
-                x.row_mut(bi).copy_from_slice(&row);
+                scratch.input.row_mut(bi)[..self.base_dim].copy_from_slice(&row);
             }
-            self.step_concrete(&x, &car_ids, &mut states);
+            runtime
+                .lstm
+                .step(&scratch.input, &mut states, &mut scratch.lstm);
         }
         EncoderState {
             cars,
@@ -568,6 +640,49 @@ impl RankModel {
         streams: &RngStreams,
         threads: usize,
     ) -> ForecastSamples {
+        let runtime = self.runtime();
+        self.decode_chunked(ctx, horizon, n_samples, enc, threads, &|rows| {
+            self.decode_rows_infer(
+                ctx, cov_future, origin, horizon, n_samples, enc, streams, &runtime, rows,
+            )
+        })
+    }
+
+    /// Reference backend: the same ancestral sampling decoded step-by-step
+    /// through the autodiff tape (the pre-runtime serving path). Kept so the
+    /// parity suites and benchmarks can pin [`RankModel::decode`] against
+    /// it — the two are bit-identical for any thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_tape(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        streams: &RngStreams,
+        threads: usize,
+    ) -> ForecastSamples {
+        self.decode_chunked(ctx, horizon, n_samples, enc, threads, &|rows| {
+            self.decode_rows_tape(
+                ctx, cov_future, origin, horizon, n_samples, enc, streams, rows,
+            )
+        })
+    }
+
+    /// Shared decode harness: split the `b · n_samples` replicated rows into
+    /// contiguous chunks, run `run` per chunk on scoped worker threads, and
+    /// regroup the resulting paths into `[car][sample][step]`.
+    fn decode_chunked(
+        &self,
+        ctx: &RaceContext,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        threads: usize,
+        run: &(dyn Fn(std::ops::Range<usize>) -> Vec<Vec<f32>> + Sync),
+    ) -> ForecastSamples {
         let b = enc.cars.len();
         let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
         let bs = b * n_samples;
@@ -582,16 +697,7 @@ impl RankModel {
             .collect();
 
         let chunk_paths: Vec<Vec<Vec<f32>>> = if chunks.len() == 1 {
-            vec![self.decode_rows(
-                ctx,
-                cov_future,
-                origin,
-                horizon,
-                n_samples,
-                enc,
-                streams,
-                0..bs,
-            )]
+            vec![run(0..bs)]
         } else {
             // A crashed worker yields NaN paths for its chunk instead of
             // killing the process; the engine's degradation pass replaces
@@ -601,13 +707,7 @@ impl RankModel {
             crossbeam::scope(|s| {
                 let handles: Vec<_> = chunks
                     .into_iter()
-                    .map(|rows| {
-                        s.spawn(move |_| {
-                            self.decode_rows(
-                                ctx, cov_future, origin, horizon, n_samples, enc, streams, rows,
-                            )
-                        })
-                    })
+                    .map(|rows| s.spawn(move |_| run(rows)))
                     .collect();
                 handles
                     .into_iter()
@@ -630,11 +730,158 @@ impl RankModel {
         samples
     }
 
-    /// Decode one contiguous block of replicated rows (global indices
-    /// `rows`); returns each row's sampled path. Row `ri` belongs to car
-    /// slot `enc.cars[ri / n_samples]` and draws from `streams.stream(ri)`.
+    /// Decode one contiguous block of replicated rows on the tape-free
+    /// runtime. Same row→car / row→stream mapping as
+    /// [`RankModel::decode_rows_tape`]; the kernels differ only in writing
+    /// into this worker's scratch arena instead of allocating tape nodes, so
+    /// every path is bit-identical to the tape backend.
     #[allow(clippy::too_many_arguments)]
-    fn decode_rows(
+    fn decode_rows_infer(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        streams: &RngStreams,
+        runtime: &RankRuntime,
+        rows: std::ops::Range<usize>,
+    ) -> Vec<Vec<f32>> {
+        let cb = rows.len();
+        let row0 = rows.start;
+        // Encoder row (= car index within `enc.cars`) backing each local row.
+        let src: Vec<usize> = rows.clone().map(|ri| ri / n_samples).collect();
+        let mut h_states: Vec<(Matrix, Matrix)> = enc
+            .states
+            .iter()
+            .map(|(h, c)| (h.gather_rows(&src), c.gather_rows(&src)))
+            .collect();
+        let mut rngs: Vec<StdRng> = rows.map(|ri| streams.stream(ri as u64)).collect();
+
+        // Last observed regressive values per row.
+        let mut last_rank: Vec<f32> = src
+            .iter()
+            .map(|&c| ctx.sequences[enc.cars[c]].rank[origin - 1])
+            .collect();
+        let frozen: Vec<(f32, f32)> = src
+            .iter()
+            .map(|&c| {
+                let seq = &ctx.sequences[enc.cars[c]];
+                (seq.lap_time[origin - 1], seq.time_behind[origin - 1])
+            })
+            .collect();
+        // Joint mode: lagged sampled status flags.
+        let mut last_lap_status: Vec<f32> = src
+            .iter()
+            .map(|&c| ctx.sequences[enc.cars[c]].lap_status[origin - 1])
+            .collect();
+        let mut last_track_status: Vec<f32> = src
+            .iter()
+            .map(|&c| ctx.sequences[enc.cars[c]].track_status[origin - 1])
+            .collect();
+
+        let top = self.cfg.num_layers - 1;
+        let mut scratch = RankScratch::new(cb, self.base_dim + self.cfg.embedding_dim);
+        for (li, &c) in src.iter().enumerate() {
+            scratch.input.row_mut(li)[self.base_dim..]
+                .copy_from_slice(runtime.emb.row(enc.car_ids[c]));
+        }
+
+        let mut step_outputs: Vec<Vec<f32>> = vec![Vec::with_capacity(horizon); cb];
+        let mut row = Vec::with_capacity(self.base_dim);
+        for step in 0..horizon {
+            for (li, &c) in src.iter().enumerate() {
+                let seq = &ctx.sequences[enc.cars[c]];
+                let reg = Regressive {
+                    rank: last_rank[li],
+                    lap_time: frozen[li].0,
+                    time_behind: frozen[li].1,
+                };
+                let cov = match self.kind {
+                    TargetKind::RankOnly => cov_future
+                        .rows
+                        .get(enc.cars[c])
+                        .and_then(|r| r.get(step))
+                        .copied()
+                        .unwrap_or_default(),
+                    TargetKind::Joint => Covariates::default(),
+                };
+                // Joint regressive flags are injected by `assemble` reading
+                // the sequence; at forecast time we overwrite them below.
+                Self::assemble(
+                    &self.cfg,
+                    self.kind,
+                    ctx,
+                    &reg,
+                    &cov,
+                    seq,
+                    origin + step,
+                    &mut row,
+                );
+                if self.kind == TargetKind::Joint {
+                    let n = row.len();
+                    row[n - 2] = last_lap_status[li];
+                    row[n - 1] = last_track_status[li];
+                }
+                scratch.input.row_mut(li)[..self.base_dim].copy_from_slice(&row);
+            }
+            runtime
+                .lstm
+                .step(&scratch.input, &mut h_states, &mut scratch.lstm);
+            let hidden = &h_states[top].0;
+
+            // Heads → one draw per row from its own stream.
+            runtime.heads[0].forward_into(hidden, &mut scratch.mu, &mut scratch.sigma);
+            for li in 0..cb {
+                let z = match self.cfg.likelihood {
+                    Likelihood::Gaussian => draw_gaussian(
+                        &mut rngs[li],
+                        scratch.mu.as_slice()[li],
+                        scratch.sigma.as_slice()[li],
+                    ),
+                    Likelihood::StudentT(nu) => draw_student_t(
+                        &mut rngs[li],
+                        scratch.mu.as_slice()[li],
+                        scratch.sigma.as_slice()[li],
+                        nu,
+                    ),
+                };
+                let z = fault_hook_decoder((row0 + li) as u64, z);
+                // NaN survives the clamp, so a poisoned draw degrades the
+                // trajectory instead of silently pinning it to a bound.
+                let rank = ctx.denorm_rank(z).clamp(0.5, ctx.field_size as f32 + 0.5);
+                step_outputs[li].push(rank);
+                last_rank[li] = rank;
+            }
+            if self.kind == TargetKind::Joint {
+                runtime.heads[1].forward_into(hidden, &mut scratch.mu1, &mut scratch.sigma1);
+                runtime.heads[2].forward_into(hidden, &mut scratch.mu2, &mut scratch.sigma2);
+                for li in 0..cb {
+                    let lap_s = draw_gaussian(
+                        &mut rngs[li],
+                        scratch.mu1.as_slice()[li],
+                        scratch.sigma1.as_slice()[li],
+                    );
+                    let track_s = draw_gaussian(
+                        &mut rngs[li],
+                        scratch.mu2.as_slice()[li],
+                        scratch.sigma2.as_slice()[li],
+                    );
+                    last_lap_status[li] = if lap_s > 0.5 { 1.0 } else { 0.0 };
+                    last_track_status[li] = if track_s > 0.5 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        step_outputs
+    }
+
+    /// Decode one contiguous block of replicated rows (global indices
+    /// `rows`) through the autodiff tape; returns each row's sampled path.
+    /// Row `ri` belongs to car slot `enc.cars[ri / n_samples]` and draws
+    /// from `streams.stream(ri)`.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_rows_tape(
         &self,
         ctx: &RaceContext,
         cov_future: &CovariateFuture,
@@ -925,6 +1172,42 @@ mod tests {
         assert!(filled > 20);
         for s in samples.iter().filter(|s| !s.is_empty()) {
             assert!(s.iter().flatten().all(|v| v.is_finite()));
+        }
+    }
+
+    fn flat_bits(s: &ForecastSamples) -> Vec<u32> {
+        s.iter().flatten().flatten().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn decode_matches_tape_backend_bitwise() {
+        let ts = tiny_training_set(5);
+        for (kind, likelihood) in [
+            (TargetKind::RankOnly, Likelihood::Gaussian),
+            (TargetKind::RankOnly, Likelihood::StudentT(5.0)),
+            (TargetKind::Joint, Likelihood::Gaussian),
+        ] {
+            let mut cfg = RankNetConfig::tiny();
+            cfg.max_epochs = 1;
+            cfg.likelihood = likelihood;
+            let mut model = RankModel::new(cfg.clone(), kind, 40);
+            let _ = model.train(&ts, &ts);
+            let ctx = &ts.contexts[0];
+            let (origin, horizon) = (60, 3);
+            let cov = oracle_covariates(ctx, origin, horizon, cfg.prediction_len);
+            let enc = model.encode(ctx, origin);
+            let mut rng = StdRng::seed_from_u64(21);
+            let streams = RngStreams::from_rng(&mut rng);
+            let reference = model.decode_tape(ctx, &cov, origin, horizon, 4, &enc, &streams, 1);
+            assert!(flat_bits(&reference).len() > 20);
+            for threads in [1usize, 3] {
+                let got = model.decode(ctx, &cov, origin, horizon, 4, &enc, &streams, threads);
+                assert_eq!(
+                    flat_bits(&got),
+                    flat_bits(&reference),
+                    "runtime decode diverged from tape: kind {kind:?}, {threads} threads"
+                );
+            }
         }
     }
 

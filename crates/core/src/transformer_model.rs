@@ -20,9 +20,12 @@ use rpf_autodiff::{Tape, Var};
 use rpf_nn::attention::{positional_encoding, DecoderLayer, EncoderLayer};
 use rpf_nn::embedding::Embedding;
 use rpf_nn::gaussian::{gaussian_nll, sample_gaussian, GaussianParams};
+use rpf_nn::infer::{
+    InferDecoderLayer, InferEmbedding, InferEncoderLayer, InferGaussianHead, InferLinear,
+};
 use rpf_nn::train::{shard_indices, train, TrainConfig, TrainReport};
 use rpf_nn::{Binding, GaussianHead, Linear, ParamStore};
-use rpf_tensor::Matrix;
+use rpf_tensor::{ops, Matrix};
 
 /// One gradient shard: accumulated `(param, grad)` pairs, loss sum, count.
 type ShardGrads = (Vec<(rpf_nn::ParamId, Matrix)>, f32, usize);
@@ -42,6 +45,44 @@ pub struct TransformerModel {
     head: GaussianHead,
     emb: Embedding,
     base_dim: usize,
+}
+
+/// Tape-free serving runtime for the Transformer: forward-only mirrors of
+/// the projection, encoder/decoder stacks, head and car embedding,
+/// converted one-shot per forecast call. The autoregressive decode re-runs
+/// the decoder over the whole accumulated prefix each step, so the win here
+/// is dropping the tape's node bookkeeping and per-op weight clones, not
+/// scratch reuse; outputs stay bit-identical to the tape path.
+struct TransformerRuntime {
+    proj: InferLinear,
+    enc_layers: Vec<InferEncoderLayer>,
+    dec_layers: Vec<InferDecoderLayer>,
+    head: InferGaussianHead,
+    emb: InferEmbedding,
+}
+
+impl TransformerRuntime {
+    /// Project, add positional encoding, run the encoder stack.
+    fn encode(&self, rows: &Matrix) -> Matrix {
+        let len = rows.rows();
+        let mut h = self.proj.forward(rows);
+        h = ops::add(&h, &positional_encoding(len, D_MODEL));
+        for layer in &self.enc_layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Decoder over `rows` with causal masking against `memory`.
+    fn decode(&self, rows: &Matrix, memory: &Matrix) -> Matrix {
+        let len = rows.rows();
+        let mut h = self.proj.forward(rows);
+        h = ops::add(&h, &positional_encoding(len, D_MODEL));
+        for layer in &self.dec_layers {
+            h = layer.forward(&h, memory);
+        }
+        h
+    }
 }
 
 impl TransformerModel {
@@ -307,8 +348,29 @@ impl TransformerModel {
         sum / batch.len() as f32
     }
 
+    /// Build the tape-free serving runtime (one-shot weight conversion).
+    fn runtime(&self) -> TransformerRuntime {
+        TransformerRuntime {
+            proj: InferLinear::from_store(&self.store, &self.proj),
+            enc_layers: self
+                .enc_layers
+                .iter()
+                .map(|l| InferEncoderLayer::from_store(&self.store, l))
+                .collect(),
+            dec_layers: self
+                .dec_layers
+                .iter()
+                .map(|l| InferDecoderLayer::from_store(&self.store, l))
+                .collect(),
+            head: InferGaussianHead::from_store(&self.store, &self.head),
+            emb: InferEmbedding::from_store(&self.store, &self.emb),
+        }
+    }
+
     /// Forecast per Algorithm 2 with autoregressive decoding. Same
-    /// semantics as `RankModel::forecast` but one sequence at a time.
+    /// semantics as `RankModel::forecast` but one sequence at a time, on the
+    /// tape-free runtime (bit-identical to the tape reference pinned in the
+    /// test suite).
     pub fn forecast(
         &self,
         ctx: &RaceContext,
@@ -319,6 +381,8 @@ impl TransformerModel {
         rng: &mut StdRng,
     ) -> ForecastSamples {
         let cfg = &self.cfg;
+        let rt = self.runtime();
+        let input_dim = self.base_dim + cfg.embedding_dim;
         let mut out: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
         for (c, seq) in ctx.sequences.iter().enumerate() {
             if seq.len() < origin {
@@ -328,8 +392,9 @@ impl TransformerModel {
             let enc_len = origin - enc_start;
             let car_id = seq.car_id as usize;
 
-            // Encoder rows from actual history.
-            let mut enc_rows = Matrix::zeros(enc_len, self.base_dim);
+            // Encoder rows from actual history, base features plus the
+            // constant car-embedding columns (the tape path hstacks these).
+            let mut enc_in = Matrix::zeros(enc_len, input_dim);
             let mut row = Vec::with_capacity(self.base_dim);
             for (r, idx) in (enc_start..origin).enumerate() {
                 let reg = Regressive {
@@ -339,24 +404,20 @@ impl TransformerModel {
                 };
                 let cov = Covariates::from_seq(seq, idx, cfg.prediction_len);
                 assemble_row(cfg, ctx, &reg, &cov, &mut row);
-                enc_rows.row_mut(r).copy_from_slice(&row);
+                enc_in.row_mut(r)[..self.base_dim].copy_from_slice(&row);
+                enc_in.row_mut(r)[self.base_dim..].copy_from_slice(rt.emb.row(car_id));
             }
 
             // Encode once; reuse the memory across samples.
-            let tape = Tape::new();
-            let bind = Binding::new(&tape, &self.store);
-            let enc_ids = vec![car_id; enc_len];
-            let enc_in = tape.hstack(&[
-                tape.leaf(enc_rows.clone()),
-                self.emb.forward(&bind, &enc_ids),
-            ]);
-            let memory_val = tape.value(self.encode(&bind, enc_in));
+            let memory = rt.encode(&enc_in);
 
             let frozen = (seq.lap_time[origin - 1], seq.time_behind[origin - 1]);
             for _s in 0..n_samples {
                 let mut path = Vec::with_capacity(horizon);
                 let mut last_rank = seq.rank[origin - 1];
                 let mut dec_inputs: Vec<Vec<f32>> = Vec::with_capacity(horizon);
+                let mut mu = Matrix::zeros(0, 0);
+                let mut sigma = Matrix::zeros(0, 0);
                 for step in 0..horizon {
                     let reg = Regressive {
                         rank: last_rank,
@@ -373,21 +434,15 @@ impl TransformerModel {
                     dec_inputs.push(row.clone());
 
                     // Re-run the decoder over the accumulated inputs.
-                    let tape = Tape::new();
-                    let bind = Binding::new(&tape, &self.store);
-                    let mut dec_rows = Matrix::zeros(dec_inputs.len(), self.base_dim);
+                    let t_len = dec_inputs.len();
+                    let mut dec_in = Matrix::zeros(t_len, input_dim);
                     for (r, d) in dec_inputs.iter().enumerate() {
-                        dec_rows.row_mut(r).copy_from_slice(d);
+                        dec_in.row_mut(r)[..self.base_dim].copy_from_slice(d);
+                        dec_in.row_mut(r)[self.base_dim..].copy_from_slice(rt.emb.row(car_id));
                     }
-                    let dec_ids = vec![car_id; dec_inputs.len()];
-                    let dec_in =
-                        tape.hstack(&[tape.leaf(dec_rows), self.emb.forward(&bind, &dec_ids)]);
-                    let memory = tape.leaf(memory_val.clone());
-                    let h = self.decode(&bind, dec_in, memory);
-                    let last = tape.slice_rows(h, dec_inputs.len() - 1, dec_inputs.len());
-                    let params = self.head.forward(&bind, last);
-                    let mu = tape.value(params.mu);
-                    let sigma = tape.value(params.sigma);
+                    let h = rt.decode(&dec_in, &memory);
+                    let last = h.slice_rows(t_len - 1, t_len);
+                    rt.head.forward_into(&last, &mut mu, &mut sigma);
                     let z = sample_gaussian(rng, &mu, &sigma).get(0, 0);
                     let rank = ctx.denorm_rank(z).clamp(0.5, ctx.field_size as f32 + 0.5);
                     path.push(rank);
@@ -501,6 +556,114 @@ mod tests {
             last <= first * 1.5,
             "loss should not explode: {first} -> {last}"
         );
+    }
+
+    /// The pre-runtime serving path — encode and decode on a fresh tape
+    /// each step — kept verbatim as the parity reference for `forecast`.
+    fn tape_forecast(
+        model: &TransformerModel,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        rng: &mut StdRng,
+    ) -> ForecastSamples {
+        let cfg = &model.cfg;
+        let mut out: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+        for (c, seq) in ctx.sequences.iter().enumerate() {
+            if seq.len() < origin {
+                continue;
+            }
+            let enc_start = origin.saturating_sub(cfg.context_len).max(1);
+            let enc_len = origin - enc_start;
+            let car_id = seq.car_id as usize;
+            let mut enc_rows = Matrix::zeros(enc_len, model.base_dim);
+            let mut row = Vec::with_capacity(model.base_dim);
+            for (r, idx) in (enc_start..origin).enumerate() {
+                let reg = Regressive {
+                    rank: seq.rank[idx - 1],
+                    lap_time: seq.lap_time[idx - 1],
+                    time_behind: seq.time_behind[idx - 1],
+                };
+                let cov = Covariates::from_seq(seq, idx, cfg.prediction_len);
+                assemble_row(cfg, ctx, &reg, &cov, &mut row);
+                enc_rows.row_mut(r).copy_from_slice(&row);
+            }
+            let tape = Tape::new();
+            let bind = Binding::new(&tape, &model.store);
+            let enc_ids = vec![car_id; enc_len];
+            let enc_in = tape.hstack(&[
+                tape.leaf(enc_rows.clone()),
+                model.emb.forward(&bind, &enc_ids),
+            ]);
+            let memory_val = tape.value(model.encode(&bind, enc_in));
+
+            let frozen = (seq.lap_time[origin - 1], seq.time_behind[origin - 1]);
+            for _s in 0..n_samples {
+                let mut path = Vec::with_capacity(horizon);
+                let mut last_rank = seq.rank[origin - 1];
+                let mut dec_inputs: Vec<Vec<f32>> = Vec::with_capacity(horizon);
+                for step in 0..horizon {
+                    let reg = Regressive {
+                        rank: last_rank,
+                        lap_time: frozen.0,
+                        time_behind: frozen.1,
+                    };
+                    let cov = cov_future
+                        .rows
+                        .get(c)
+                        .and_then(|r| r.get(step))
+                        .copied()
+                        .unwrap_or_default();
+                    assemble_row(cfg, ctx, &reg, &cov, &mut row);
+                    dec_inputs.push(row.clone());
+
+                    let tape = Tape::new();
+                    let bind = Binding::new(&tape, &model.store);
+                    let mut dec_rows = Matrix::zeros(dec_inputs.len(), model.base_dim);
+                    for (r, d) in dec_inputs.iter().enumerate() {
+                        dec_rows.row_mut(r).copy_from_slice(d);
+                    }
+                    let dec_ids = vec![car_id; dec_inputs.len()];
+                    let dec_in =
+                        tape.hstack(&[tape.leaf(dec_rows), model.emb.forward(&bind, &dec_ids)]);
+                    let memory = tape.leaf(memory_val.clone());
+                    let h = model.decode(&bind, dec_in, memory);
+                    let last = tape.slice_rows(h, dec_inputs.len() - 1, dec_inputs.len());
+                    let params = model.head.forward(&bind, last);
+                    let mu = tape.value(params.mu);
+                    let sigma = tape.value(params.sigma);
+                    let z = sample_gaussian(rng, &mu, &sigma).get(0, 0);
+                    let rank = ctx.denorm_rank(z).clamp(0.5, ctx.field_size as f32 + 0.5);
+                    path.push(rank);
+                    last_rank = rank;
+                }
+                out[c].push(path);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forecast_matches_tape_reference_bitwise() {
+        let ts = tiny_ts(5);
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 1;
+        cfg.batch_size = 16;
+        let mut model = TransformerModel::new(cfg.clone(), 40);
+        let _ = model.train(&ts, &ts);
+        let ctx = &ts.contexts[0];
+        let cov = oracle_covariates(ctx, 60, 2, cfg.prediction_len);
+        let mut rng_runtime = StdRng::seed_from_u64(17);
+        let mut rng_tape = StdRng::seed_from_u64(17);
+        let got = model.forecast(ctx, &cov, 60, 2, 2, &mut rng_runtime);
+        let want = tape_forecast(&model, ctx, &cov, 60, 2, 2, &mut rng_tape);
+        let bits = |s: &ForecastSamples| -> Vec<u32> {
+            s.iter().flatten().flatten().map(|v| v.to_bits()).collect()
+        };
+        assert!(bits(&got).len() > 20);
+        assert_eq!(bits(&got), bits(&want));
     }
 
     #[test]

@@ -63,6 +63,41 @@ fn decode_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn runtime_decode_matches_tape_reference_across_thread_counts() {
+    // The serving path runs tape-free; the training-graph decode survives as
+    // `decode_tape`. The two must agree bit-for-bit, at every thread count.
+    let ctx = race_ctx(51);
+    let cfg = tiny_cfg();
+    let ts = TrainingSet::build(vec![ctx.clone()], &cfg, 24);
+    let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, ts.max_car_id);
+    let _ = model.train(&ts, &ts);
+
+    let origin = 80;
+    let horizon = 3;
+    let n_samples = 6;
+    let cov = oracle_covariates(&ctx, origin, horizon, cfg.prediction_len);
+    let enc = model.encode(&ctx, origin);
+    let streams = RngStreams::new(0xBEEF);
+
+    let reference = model.decode_tape(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 1);
+    assert!(!bits(&reference).is_empty());
+    for threads in [1, 2, 8] {
+        let got = model.decode(
+            &ctx, &cov, origin, horizon, n_samples, &enc, &streams, threads,
+        );
+        assert_eq!(
+            bits(&reference),
+            bits(&got),
+            "tape-free decode with {threads} threads must match the tape reference"
+        );
+    }
+    // The tape backend is itself thread invariant, so either backend at any
+    // thread count yields the same forecast.
+    let tape_par = model.decode_tape(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 8);
+    assert_eq!(bits(&reference), bits(&tape_par));
+}
+
+#[test]
 fn mlp_forecast_seeded_is_thread_invariant_and_seed_sensitive() {
     // The MLP variant exercises both parallel layers: covariate-future
     // groups and decoder row chunks.

@@ -13,6 +13,10 @@
 //!   implementation in GluonTS it builds on),
 //! * [`attention`] — multi-head attention and the Transformer
 //!   encoder/decoder layers of the §IV-I comparison,
+//! * [`infer`] — the tape-free inference runtime: forward-only mirrors of
+//!   the layers above, converted one-shot from a trained [`ParamStore`] and
+//!   stepping on reusable scratch buffers; bit-identical to the tape
+//!   forward pass but without its per-step allocation and bookkeeping,
 //! * [`gaussian`] — the probabilistic output: a network predicts
 //!   `θ = (µ, σ)` with `σ = softplus(...)`, trained by Gaussian negative
 //!   log-likelihood (paper Eq. 1) and sampled ancestrally at forecast time,
@@ -28,6 +32,7 @@ pub mod embedding;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod gaussian;
+pub mod infer;
 pub mod init;
 pub mod linear;
 pub mod lstm;
@@ -39,6 +44,10 @@ pub mod train;
 pub use adam::{Adam, AdamState};
 pub use data::{Batch, BatchIter};
 pub use gaussian::GaussianHead;
+pub use infer::{
+    InferEmbedding, InferGaussianHead, InferLinear, InferLstmCell, InferMlp, InferStackedLstm,
+    LstmScratch, MlpScratch,
+};
 pub use linear::Linear;
 pub use lstm::{LstmCell, StackedLstm};
 pub use mlp::Mlp;

@@ -1,0 +1,133 @@
+//! Property-based parity suite for the tape-free inference runtime: for
+//! arbitrary weight seeds (→ arbitrary `ParamStore` contents) and arbitrary
+//! inputs, every `Infer*` forward must be **bit-identical** to the tape
+//! forward of the layer it mirrors. Comparisons are on `f32::to_bits`, not
+//! tolerances — the runtime's whole contract is that splitting serving off
+//! the training graph changes no output at all.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpf_autodiff::Tape;
+use rpf_nn::mlp::Activation;
+use rpf_nn::{
+    Binding, GaussianHead, InferGaussianHead, InferLinear, InferMlp, InferStackedLstm, Linear,
+    LstmScratch, Mlp, MlpScratch, ParamStore, StackedLstm,
+};
+use rpf_tensor::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn assert_bits(got: &Matrix, want: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn linear_parity(x in matrix(4, 6), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lin = Linear::new(&mut store, &mut rng, "l", 6, 3);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let want = tape.value(lin.forward(&bind, tape.leaf(x.clone())));
+
+        let inf = InferLinear::from_store(&store, &lin);
+        let mut out = Matrix::zeros(0, 0);
+        inf.forward_into(&x, &mut out);
+        assert_bits(&out, &want)?;
+        assert_bits(&inf.forward(&x), &want)?;
+    }
+
+    #[test]
+    fn stacked_lstm_parity(
+        x0 in matrix(3, 5),
+        x1 in matrix(3, 5),
+        x2 in matrix(3, 5),
+        seed in 0u64..1000,
+    ) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = StackedLstm::new(&mut store, &mut rng, "s", 5, 4, 2);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let mut tape_states = stack.zero_state(&bind, 3);
+
+        let inf = InferStackedLstm::from_store(&store, &stack);
+        let mut states = inf.zero_state(3);
+        let mut scratch = LstmScratch::new();
+
+        // Multi-step: state feedback means a single first-step divergence
+        // would compound, so agreement here pins the whole recurrence.
+        for x in [&x0, &x1, &x2] {
+            let (_, new_states) = stack.step(&bind, tape.leaf(x.clone()), &tape_states);
+            tape_states = new_states;
+            inf.step(x, &mut states, &mut scratch);
+        }
+        for (l, s) in tape_states.iter().enumerate() {
+            assert_bits(&states[l].0, &tape.value(s.h))?;
+            assert_bits(&states[l].1, &tape.value(s.c))?;
+        }
+    }
+
+    #[test]
+    fn mlp_parity(x in matrix(5, 3), seed in 0u64..1000, relu in 0u8..2) {
+        let act = if relu == 1 { Activation::Relu } else { Activation::Tanh };
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&mut store, &mut rng, "m", &[3, 16, 16, 1], act);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let want = tape.value(mlp.forward(&bind, tape.leaf(x.clone())));
+
+        let inf = InferMlp::from_store(&store, &mlp);
+        let mut scratch = MlpScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        inf.forward_into(&x, &mut scratch, &mut out);
+        assert_bits(&out, &want)?;
+    }
+
+    #[test]
+    fn gaussian_head_parity(h in matrix(6, 7), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = GaussianHead::new(&mut store, &mut rng, "g", 7);
+        let tape = Tape::new();
+        let bind = Binding::new(&tape, &store);
+        let p = head.forward(&bind, tape.leaf(h.clone()));
+
+        let inf = InferGaussianHead::from_store(&store, &head);
+        let mut mu = Matrix::zeros(0, 0);
+        let mut sigma = Matrix::zeros(0, 0);
+        inf.forward_into(&h, &mut mu, &mut sigma);
+        assert_bits(&mu, &tape.value(p.mu))?;
+        assert_bits(&sigma, &tape.value(p.sigma))?;
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean(
+        a in matrix(2, 6),
+        b in matrix(7, 6),
+        seed in 0u64..1000,
+    ) {
+        // A scratch buffer warmed at one batch size must not leak stale
+        // values into a differently-sized call.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lin = Linear::new(&mut store, &mut rng, "l", 6, 4);
+        let inf = InferLinear::from_store(&store, &lin);
+        let mut out = Matrix::zeros(0, 0);
+        inf.forward_into(&a, &mut out);
+        inf.forward_into(&b, &mut out);
+        assert_bits(&out, &inf.forward(&b))?;
+    }
+}

@@ -129,6 +129,38 @@ pub fn record_timed(kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
+/// Record one *fused* kernel invocation whose work spans several kernel
+/// classes, attributing the measured walltime proportionally to each part's
+/// FLOP share. A fused LSTM gate activation, for example, is three sigmoid
+/// blocks and one tanh block executed in a single pass; lumping it under one
+/// variant would skew the Fig 12 operator breakdown, so each `(kernel,
+/// flops, bytes)` part gets its own call/flop/byte tally and a time slice
+/// `elapsed * part_flops / total_flops` (the last part absorbs rounding
+/// remainder so the total is preserved).
+pub fn record_timed_split(parts: &[(Kernel, u64, u64)], started: Instant) {
+    let elapsed = started.elapsed().as_nanos() as u64;
+    let total_flops: u64 = parts.iter().map(|&(_, f, _)| f).sum();
+    let mut remaining = elapsed;
+    for (i, &(kernel, flops, bytes)) in parts.iter().enumerate() {
+        let share = if total_flops == 0 {
+            elapsed / parts.len().max(1) as u64
+        } else {
+            ((elapsed as u128 * flops as u128) / total_flops as u128) as u64
+        };
+        let nanos = if i == parts.len() - 1 {
+            remaining
+        } else {
+            share.min(remaining)
+        };
+        remaining -= nanos;
+        let cell = &CELLS[kernel.index()];
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.flops.fetch_add(flops, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
 /// Snapshot of a kernel's accumulated statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelStats {
@@ -214,6 +246,50 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(2));
         record_timed(Kernel::Tanh, 10, 10, t);
         assert!(stats(Kernel::Tanh).nanos >= 1_000_000);
+        reset();
+    }
+
+    #[test]
+    fn timed_split_attributes_by_flop_share() {
+        let _g = LOCK.lock();
+        reset();
+        let t = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        record_timed_split(
+            &[
+                (Kernel::Sigmoid, 30, 16),
+                (Kernel::Tanh, 10, 8),
+                (Kernel::Mul, 4, 12),
+                (Kernel::Add, 2, 12),
+            ],
+            t,
+        );
+        let sig = stats(Kernel::Sigmoid);
+        let tanh = stats(Kernel::Tanh);
+        let mul = stats(Kernel::Mul);
+        let add = stats(Kernel::Add);
+        assert_eq!(sig.calls, 1);
+        assert_eq!(sig.flops, 30);
+        assert_eq!(sig.bytes, 16);
+        assert_eq!(tanh.flops, 10);
+        assert_eq!(mul.bytes, 12);
+        // The sigmoid block did 3x the tanh FLOPs, so it should get roughly
+        // 3x the time slice; totals must add up to the elapsed window.
+        assert!(sig.nanos > tanh.nanos);
+        let total = sig.nanos + tanh.nanos + mul.nanos + add.nanos;
+        assert!(total >= 1_000_000, "split nanos lost: {total}");
+        reset();
+    }
+
+    #[test]
+    fn timed_split_zero_flops_splits_evenly() {
+        let _g = LOCK.lock();
+        reset();
+        let t = Instant::now();
+        record_timed_split(&[(Kernel::Other, 0, 8), (Kernel::Other, 0, 8)], t);
+        let s = stats(Kernel::Other);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.bytes, 16);
         reset();
     }
 

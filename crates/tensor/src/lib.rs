@@ -19,6 +19,7 @@ pub mod matmul;
 pub mod matrix;
 pub mod ops;
 pub mod par;
+pub mod scalar;
 
 pub use counters::{Kernel, KernelStats};
 pub use matrix::Matrix;

@@ -22,13 +22,15 @@ strip_test_mods() {
 }
 
 fail=0
-for f in crates/core/src/*.rs crates/nn/src/*.rs; do
+# Recursive so new submodules (e.g. a split-out nn::infer) stay covered
+# without touching this script.
+while IFS= read -r f; do
   hits=$(strip_test_mods "$f" | grep -E '\.unwrap\(\)|\.expect\(' || true)
   if [ -n "$hits" ]; then
     echo "$hits"
     fail=1
   fi
-done
+done < <(find crates/core/src crates/nn/src -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then
   echo "error: .unwrap()/.expect( in non-test core/nn code (use a typed error path)" >&2

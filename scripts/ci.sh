@@ -17,6 +17,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== no-unwrap gate (core/nn non-test code) =="
 bash scripts/check_no_unwrap.sh
 
+echo "== backend parity (tape-free runtime vs tape forward, bitwise) =="
+cargo test -q -p rpf-nn --test infer_parity --offline
+
+echo "== engine determinism (tape vs tape-free across thread counts) =="
+cargo test -q -p ranknet-core --test engine_determinism --offline
+
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline
 
