@@ -1,0 +1,216 @@
+//! Serving-layer throughput: the micro-batching scheduler versus
+//! one-request-per-call dispatch, swept over offered load (closed-loop
+//! client counts). The workload is the live-race hot spot — many clients
+//! asking a small pool of distinct questions — which is exactly where
+//! coalescing pays: identical requests in a batch share one model run and
+//! the clones are bit-identical by the determinism contract, so the win is
+//! free of accuracy cost.
+//!
+//! Besides the criterion timings, each load level prints a one-line
+//! summary with req/s, p50 and p99 request latency for both dispatch
+//! modes (criterion's stub reports only mean wall-clock per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ranknet_core::engine::ForecastEngine;
+use ranknet_core::features::{extract_sequences, RaceContext};
+use ranknet_core::ranknet::{RankNet, RankNetVariant};
+use ranknet_core::RankNetConfig;
+use rpf_nn::RngStreams;
+use rpf_serve::loadgen::LoadMix;
+use rpf_serve::{serve, ServeConfig};
+use std::time::{Duration, Instant};
+
+const ENGINE_SEED: u64 = 5;
+const PER_CLIENT: usize = 8;
+/// Closed-loop client counts: the three offered-load levels.
+const LOADS: [usize; 3] = [2, 8, 32];
+
+fn fixture() -> (RankNet, Vec<RaceContext>) {
+    let race = |seed| extract_sequences(&simulate(seed));
+    let mut cfg = RankNetConfig::tiny();
+    cfg.max_epochs = 1;
+    let train = vec![race(301)];
+    let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 40);
+    (model, vec![race(302), race(303)])
+}
+
+fn simulate(seed: u64) -> rpf_racesim::RaceResult {
+    rpf_racesim::simulate_race(
+        &rpf_racesim::EventConfig::for_race(rpf_racesim::Event::Indy500, 2017),
+        seed,
+    )
+}
+
+/// The hot-spot mix: a pool of 4 distinct queries with a decode-heavy
+/// sample count, so duplicated work dominates and coalescing matters.
+fn hot_mix() -> LoadMix {
+    LoadMix {
+        sample_counts: vec![8],
+        unique_queries: Some(4),
+        ..LoadMix::standard(2, (60, 100))
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        max_batch: 16,
+        max_delay: Duration::from_micros(500),
+        queue_capacity: 4096,
+    }
+}
+
+/// Closed-loop pass through the serving layer; returns per-request
+/// latencies (submission to response).
+fn run_batched(
+    engine: &ForecastEngine<'_>,
+    refs: &[&RaceContext],
+    clients: usize,
+) -> Vec<Duration> {
+    let mix = hot_mix();
+    let streams = RngStreams::new(0xBE7C);
+    let (lat, _) = serve(engine, refs, &serve_cfg(), |client| {
+        let mut all = Vec::with_capacity(clients * PER_CLIENT);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    // Every client draws from the SAME stream base: the
+                    // 4-query hot pool is shared across clients, so
+                    // concurrent callers really do ask the same questions.
+                    let streams = &streams;
+                    let mix = &mix;
+                    s.spawn(move || {
+                        let mut lats = Vec::with_capacity(PER_CLIENT);
+                        for i in 0..PER_CLIENT {
+                            let req = mix.request_at(streams, (c * PER_CLIENT + i) as u64);
+                            let t0 = Instant::now();
+                            let out = client.forecast(req).expect("queue sized for the load");
+                            criterion::black_box(&out);
+                            lats.push(t0.elapsed());
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(lats) => all.extend(lats),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        all
+    });
+    lat
+}
+
+/// The same closed-loop load, but every client calls the engine directly —
+/// one request, one model run, no batching and no coalescing.
+fn run_direct(
+    engine: &ForecastEngine<'_>,
+    contexts: &[RaceContext],
+    clients: usize,
+) -> Vec<Duration> {
+    let mix = hot_mix();
+    let streams = RngStreams::new(0xBE7C);
+    let mut all = Vec::with_capacity(clients * PER_CLIENT);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                // Same shared hot pool as the batched runner, for fairness.
+                let streams = &streams;
+                let mix = &mix;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(PER_CLIENT);
+                    for i in 0..PER_CLIENT {
+                        let req = mix.request_at(streams, (c * PER_CLIENT + i) as u64);
+                        let t0 = Instant::now();
+                        let out = engine.try_forecast_keyed(
+                            req.race,
+                            &contexts[req.race],
+                            req.origin,
+                            req.horizon,
+                            req.n_samples,
+                        );
+                        criterion::black_box(&out);
+                        lats.push(t0.elapsed());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(lats) => all.extend(lats),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    all
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn report(mode: &str, clients: usize, wall: Duration, mut lats: Vec<Duration>) {
+    lats.sort();
+    let n = lats.len();
+    let rps = n as f64 / wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "serving {mode:>7} load={clients:>2} clients: {rps:>9.1} req/s  \
+         p50={:?}  p99={:?}",
+        percentile(&lats, 0.50),
+        percentile(&lats, 0.99),
+    );
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (model, contexts) = fixture();
+    let refs: Vec<&RaceContext> = contexts.iter().collect();
+
+    let mut group = c.benchmark_group("serving_throughput");
+    group.sample_size(10);
+    for clients in LOADS {
+        group.throughput(Throughput::Elements((clients * PER_CLIENT) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batched", clients),
+            &clients,
+            |b, &clients| {
+                let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+                b.iter(|| criterion::black_box(run_batched(&engine, &refs, clients)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("direct", clients),
+            &clients,
+            |b, &clients| {
+                let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+                b.iter(|| criterion::black_box(run_direct(&engine, &contexts, clients)));
+            },
+        );
+    }
+    group.finish();
+
+    // Percentile summary at every load level, one measured pass each. At
+    // the highest load the batched mode must come out ahead: 32 clients
+    // over a 4-deep query pool hand the scheduler ~8-way coalescing.
+    for clients in LOADS {
+        let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+        let t0 = Instant::now();
+        let lats = run_batched(&engine, &refs, clients);
+        report("batched", clients, t0.elapsed(), lats);
+
+        let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+        let t0 = Instant::now();
+        let lats = run_direct(&engine, &contexts, clients);
+        report("direct", clients, t0.elapsed(), lats);
+    }
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

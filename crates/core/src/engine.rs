@@ -21,11 +21,13 @@
 //!   injected fault) are replaced with the CurRank baseline and flagged,
 //!   so a serving engine returns a usable answer instead of panicking.
 
+use crate::config::EngineConfig;
 use crate::features::RaceContext;
 use crate::rank_model::{EncoderState, ForecastSamples};
 use crate::ranknet::RankNet;
 use rpf_nn::RngStreams;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -108,6 +110,11 @@ pub struct PhaseTimings {
     pub degraded_trajectories: u64,
     /// Requests rejected by validation (never reached the model).
     pub rejected_requests: u64,
+    /// Encoder states evicted from the bounded LRU cache.
+    pub cache_evictions: u64,
+    /// Batch-entry requests answered by cloning an identical neighbour's
+    /// result instead of running the model again.
+    pub coalesced_requests: u64,
 }
 
 impl PhaseTimings {
@@ -122,13 +129,114 @@ impl PhaseTimings {
     }
 }
 
+/// Maximum shard count of the encoder cache. The shard for a key is picked
+/// by hash, so concurrent forecasts of different `(race, origin)` pairs
+/// rarely contend on one lock.
+const CACHE_SHARDS: usize = 8;
+
+/// One shard of the bounded encoder cache: a map from `(race, origin)` to
+/// the cached state stamped with a per-shard logical tick. Eviction scans
+/// for the minimum stamp — O(shard len), which is at most
+/// `capacity / shards` and far cheaper than the encoder run it replaces.
+struct CacheShard {
+    map: HashMap<(usize, usize), (u64, EncoderState)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl CacheShard {
+    fn get(&mut self, key: &(usize, usize)) -> Option<EncoderState> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert, evicting the least-recently-used entry if the shard is at
+    /// capacity. Returns how many entries were evicted (0 or 1).
+    fn insert(&mut self, key: (usize, usize), state: EncoderState) -> u64 {
+        if self.capacity == 0 {
+            return 0; // caching disabled: nothing stored, nothing evicted
+        }
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+                evicted = 1;
+            }
+        }
+        self.map.insert(key, (self.tick, state));
+        evicted
+    }
+}
+
+/// The sharded, LRU-bounded encoder cache. Total occupancy never exceeds
+/// the configured capacity: the capacity is split exactly across shards
+/// (shard `i` gets `cap/n + (i < cap % n)`), so the per-shard caps sum to
+/// the global one. Eviction only changes *whether* an encoder state is
+/// recomputed — `encode` is deterministic, so a recompute yields a
+/// bit-identical state and forecasts are unaffected.
+struct EncoderCache {
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+impl EncoderCache {
+    fn new(capacity: usize) -> EncoderCache {
+        let n = CACHE_SHARDS.min(capacity.max(1));
+        let shards = (0..n)
+            .map(|i| {
+                Mutex::new(CacheShard {
+                    map: HashMap::new(),
+                    tick: 0,
+                    capacity: capacity / n + usize::from(i < capacity % n),
+                })
+            })
+            .collect();
+        EncoderCache { shards }
+    }
+
+    /// Shard holding `key`. Uses the std sip hasher — the shard choice
+    /// only affects which lock is taken and which neighbours compete for
+    /// eviction, never a forecast value.
+    fn shard(&self, key: &(usize, usize)) -> MutexGuard<'_, CacheShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let idx = (h.finish() % self.shards.len() as u64) as usize;
+        // Shards hold plain data (no invariants a panicking writer could
+        // break mid-update), so a poisoned lock is recovered rather than
+        // propagated — one crashed caller must not take the cache down.
+        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|p| p.into_inner()).map.clear();
+        }
+    }
+}
+
 /// Deterministic parallel Monte-Carlo forecast engine over a trained
 /// [`RankNet`].
 pub struct ForecastEngine<'m> {
     model: &'m RankNet,
     seed: u64,
     threads: usize,
-    cache: Mutex<HashMap<(usize, usize), EncoderState>>,
+    cache: EncoderCache,
     encode_ns: AtomicU64,
     covariate_ns: AtomicU64,
     decode_ns: AtomicU64,
@@ -137,16 +245,19 @@ pub struct ForecastEngine<'m> {
     trajectories: AtomicU64,
     degraded_trajectories: AtomicU64,
     rejected_requests: AtomicU64,
+    cache_evictions: AtomicU64,
+    coalesced_requests: AtomicU64,
 }
 
 impl<'m> ForecastEngine<'m> {
-    /// Build an engine with the machine's default thread count.
+    /// Build an engine with the machine's default thread count and the
+    /// default encoder cache capacity.
     pub fn new(model: &'m RankNet, seed: u64) -> ForecastEngine<'m> {
         ForecastEngine {
             model,
             seed,
             threads: rpf_tensor::par::num_threads(),
-            cache: Mutex::new(HashMap::new()),
+            cache: EncoderCache::new(crate::config::DEFAULT_ENCODER_CACHE_CAPACITY),
             encode_ns: AtomicU64::new(0),
             covariate_ns: AtomicU64::new(0),
             decode_ns: AtomicU64::new(0),
@@ -155,7 +266,19 @@ impl<'m> ForecastEngine<'m> {
             trajectories: AtomicU64::new(0),
             degraded_trajectories: AtomicU64::new(0),
             rejected_requests: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            coalesced_requests: AtomicU64::new(0),
         }
+    }
+
+    /// Build an engine from an [`EngineConfig`].
+    pub fn with_config(model: &'m RankNet, cfg: &EngineConfig) -> ForecastEngine<'m> {
+        let mut engine = ForecastEngine::new(model, cfg.seed);
+        if let Some(t) = cfg.threads {
+            engine.threads = t.max(1);
+        }
+        engine.cache = EncoderCache::new(cfg.encoder_cache_capacity);
+        engine
     }
 
     /// Override the decoder worker count (≥ 1). Changes scheduling only;
@@ -165,15 +288,22 @@ impl<'m> ForecastEngine<'m> {
         self
     }
 
+    /// Override the encoder cache capacity (entries; 0 disables caching).
+    /// Eviction only forces deterministic recomputes — never different
+    /// samples.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ForecastEngine<'m> {
+        self.cache = EncoderCache::new(capacity);
+        self
+    }
+
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// The encoder cache holds plain data (no invariants a panicking writer
-    /// could break mid-update), so a poisoned lock is recovered rather than
-    /// propagated — one crashed caller must not take the cache down.
-    fn cache_lock(&self) -> MutexGuard<'_, HashMap<(usize, usize), EncoderState>> {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    /// Encoder states currently resident across all cache shards. Never
+    /// exceeds the configured capacity.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Forecast a single race (race key 0). Panics on an invalid request —
@@ -247,8 +377,9 @@ impl<'m> ForecastEngine<'m> {
             .child(race as u64)
             .seed(origin as u64);
 
+        let key = (race, origin);
         let enc = {
-            let cached = self.cache_lock().get(&(race, origin)).cloned();
+            let cached = self.cache.shard(&key).get(&key);
             match cached {
                 Some(enc) => {
                     self.encoder_reuses.fetch_add(1, Ordering::Relaxed);
@@ -258,7 +389,8 @@ impl<'m> ForecastEngine<'m> {
                     let t0 = Instant::now();
                     let enc = self.model.rank_model.encode(ctx, origin);
                     self.add_ns(&self.encode_ns, t0);
-                    self.cache_lock().insert((race, origin), enc.clone());
+                    let evicted = self.cache.shard(&key).insert(key, enc.clone());
+                    self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
                     enc
                 }
             }
@@ -341,10 +473,47 @@ impl<'m> ForecastEngine<'m> {
             .collect()
     }
 
+    /// The batch-entry API the serving layer dispatches on: per-request
+    /// outcomes (an invalid request becomes its own `Err` without failing
+    /// its neighbours), with identical requests — same
+    /// `(race, origin, horizon, n_samples)` — coalesced onto a single model
+    /// run. Coalescing is legal because a forecast is a pure function of
+    /// request identity (the determinism contract): the cloned result is
+    /// bit-identical to what a fresh [`ForecastEngine::try_forecast_keyed`]
+    /// call would have produced.
+    pub fn forecast_batch_entries(
+        &self,
+        contexts: &[&RaceContext],
+        requests: &[ForecastRequest],
+    ) -> Vec<Result<EngineForecast, EngineError>> {
+        let mut first_at: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+        let mut out: Vec<Result<EngineForecast, EngineError>> = Vec::with_capacity(requests.len());
+        for r in requests {
+            let key = (r.race, r.origin, r.horizon, r.n_samples);
+            if let Some(&j) = first_at.get(&key) {
+                self.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+                out.push(out[j].clone());
+                continue;
+            }
+            let res = if r.race >= contexts.len() {
+                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                Err(EngineError::RaceOutOfRange {
+                    race: r.race,
+                    n_contexts: contexts.len(),
+                })
+            } else {
+                self.try_forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
+            };
+            first_at.insert(key, out.len());
+            out.push(res);
+        }
+        out
+    }
+
     /// Drop cached encoder states (e.g. after fine-tuning the model the
     /// engine borrows — required, since states are weight-dependent).
     pub fn clear_cache(&self) {
-        self.cache_lock().clear();
+        self.cache.clear();
     }
 
     /// Accumulated phase counters since construction (or the last
@@ -359,6 +528,8 @@ impl<'m> ForecastEngine<'m> {
             trajectories: self.trajectories.load(Ordering::Relaxed),
             degraded_trajectories: self.degraded_trajectories.load(Ordering::Relaxed),
             rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -371,6 +542,8 @@ impl<'m> ForecastEngine<'m> {
         self.trajectories.store(0, Ordering::Relaxed);
         self.degraded_trajectories.store(0, Ordering::Relaxed);
         self.rejected_requests.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
+        self.coalesced_requests.store(0, Ordering::Relaxed);
     }
 
     fn add_ns(&self, counter: &AtomicU64, since: Instant) {
@@ -420,6 +593,36 @@ fn validate_request(
         }
     }
     Ok(())
+}
+
+/// The CurRank persistence forecast in engine output shape: every car
+/// still running at `origin` gets `n_samples` identical paths repeating
+/// its last observed rank. This is the degraded answer a serving layer
+/// returns when a deadline expires or a worker crashes mid-batch — it
+/// needs no model, cannot fail past validation, and is trivially
+/// deterministic. The whole forecast is flagged degraded.
+pub fn currank_forecast(
+    ctx: &RaceContext,
+    origin: usize,
+    horizon: usize,
+    n_samples: usize,
+) -> Result<EngineForecast, EngineError> {
+    validate_request(ctx, origin, horizon, n_samples)?;
+    let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+    let mut degraded = 0u64;
+    for (car, seq) in ctx.sequences.iter().enumerate() {
+        if seq.len() < origin {
+            continue;
+        }
+        let cur = seq.rank[origin - 1];
+        samples[car] = vec![vec![cur; horizon]; n_samples];
+        degraded += n_samples as u64;
+    }
+    Ok(EngineForecast {
+        samples,
+        degraded: degraded > 0,
+        degraded_trajectories: degraded,
+    })
 }
 
 /// Replace non-finite trajectories with the CurRank persistence baseline

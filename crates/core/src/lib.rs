@@ -39,8 +39,10 @@ pub mod rank_model;
 pub mod ranknet;
 pub mod transformer_model;
 
-pub use config::RankNetConfig;
-pub use engine::{EngineError, EngineForecast, ForecastEngine, ForecastRequest, PhaseTimings};
+pub use config::{EngineConfig, RankNetConfig};
+pub use engine::{
+    currank_forecast, EngineError, EngineForecast, ForecastEngine, ForecastRequest, PhaseTimings,
+};
 pub use features::{extract_sequences, CarSequence, RaceContext};
 pub use pit_model::PitModel;
 pub use rank_model::RankModel;

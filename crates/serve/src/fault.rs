@@ -1,0 +1,85 @@
+//! Deterministic fault injection for the serving scheduler (behind the
+//! `fault-inject` feature), mirroring `rpf_nn::fault`: tests *plan* faults
+//! at exact request ids, and the production scheduler paths hit them for
+//! real — a worker panic mid-batch, a queue mutex poisoned while held.
+//! Plans are keyed by the admission id (assigned in submission order),
+//! never by wall clock, so a fault fires at the same request on every run.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// A reproducible set of scheduler faults.
+#[derive(Clone, Debug, Default)]
+pub struct ServeFaultPlan {
+    panic_requests: BTreeSet<u64>,
+    poison_queue_once: bool,
+}
+
+impl ServeFaultPlan {
+    pub fn new() -> ServeFaultPlan {
+        ServeFaultPlan::default()
+    }
+
+    /// Panic the worker while it is forecasting admission id `id` — both
+    /// in the batched attempt and in the one-at-a-time retry, so the
+    /// request degrades to the flagged fallback.
+    pub fn panic_on_request(mut self, id: u64) -> ServeFaultPlan {
+        self.panic_requests.insert(id);
+        self
+    }
+
+    /// Panic the next worker that takes the queue lock, while it holds the
+    /// guard — poisoning the mutex for everyone after it. Fires once.
+    pub fn poison_queue_once(mut self) -> ServeFaultPlan {
+        self.poison_queue_once = true;
+        self
+    }
+}
+
+static PLAN: Mutex<Option<ServeFaultPlan>> = Mutex::new(None);
+
+fn plan_lock() -> std::sync::MutexGuard<'static, Option<ServeFaultPlan>> {
+    // A test that panicked holding the lock must not poison every later
+    // test: the plan is plain data, recover it.
+    PLAN.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Install `plan` process-wide. Tests sharing a binary must serialize
+/// around this global.
+pub fn install(plan: ServeFaultPlan) {
+    *plan_lock() = Some(plan);
+}
+
+/// Remove any installed plan; subsequent hooks are no-ops.
+pub fn clear() {
+    *plan_lock() = None;
+}
+
+/// Worker hook: panics if the plan targets admission id `id`. Called
+/// inside the scheduler's `catch_unwind` region.
+pub fn maybe_panic_request(id: u64) {
+    let planned = plan_lock()
+        .as_ref()
+        .is_some_and(|p| p.panic_requests.contains(&id));
+    if planned {
+        panic!("injected fault: worker panic on request {id}");
+    }
+}
+
+/// Queue hook: consumes the poison-once flag and panics while the caller
+/// holds the queue guard, leaving the mutex poisoned behind it.
+pub fn maybe_poison_queue_lock() {
+    let fire = {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(p) if p.poison_queue_once => {
+                p.poison_queue_once = false;
+                true
+            }
+            _ => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: poisoning the queue mutex");
+    }
+}

@@ -1,0 +1,55 @@
+//! # rpf-serve — concurrent request-batching serving for RankNet
+//!
+//! A multi-threaded serving front-end over
+//! [`ranknet_core::engine::ForecastEngine`] (DESIGN.md §11). Many small
+//! `(race, origin)` forecast queries arrive concurrently; this layer turns
+//! them into few large engine calls without changing a single output bit:
+//!
+//! * **Bounded admission** — a full submission queue rejects with a typed
+//!   [`SubmitError::QueueFull`] instead of blocking or growing without
+//!   bound.
+//! * **Dynamic micro-batching** — workers coalesce up to
+//!   [`ServeConfig::max_batch`] queued requests, holding an under-full
+//!   batch open at most [`ServeConfig::max_delay`]; identical requests in
+//!   a batch share one model run (the engine's coalescing batch-entry
+//!   API).
+//! * **Deadlines** — a request queued past its deadline degrades to the
+//!   CurRank persistence fallback, flagged, instead of blocking its
+//!   caller.
+//! * **Determinism** — every response is bit-identical to a direct
+//!   `try_forecast_keyed` call, regardless of batch placement, worker
+//!   count, or arrival order; the engine keys its RNG streams on request
+//!   identity, and the scheduler never re-keys anything.
+//! * **Verification harness** — deterministic load generation
+//!   ([`loadgen`]), a virtual-clock scheduler replay for golden metrics
+//!   ([`replay`]), and (behind `fault-inject`) planned scheduler faults
+//!   ([`fault`]).
+//!
+//! ```no_run
+//! use rpf_serve::{serve, ServeConfig, ServeRequest};
+//! # fn demo(engine: &ranknet_core::ForecastEngine<'_>,
+//! #         ctx: &ranknet_core::RaceContext) {
+//! let cfg = ServeConfig::default();
+//! let (_, metrics) = serve(engine, &[ctx], &cfg, |client| {
+//!     let resp = client.forecast(ServeRequest::new(0, 90, 2, 100));
+//!     // ... fan client out to as many threads as you like ...
+//! });
+//! println!("{}", metrics.render());
+//! # }
+//! ```
+
+pub mod config;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod loadgen;
+pub mod metrics;
+pub mod replay;
+pub mod server;
+
+pub use config::ServeConfig;
+pub use metrics::{MetricsSnapshot, BATCH_EDGES, LATENCY_EDGES_NS};
+pub use replay::{replay, ServiceModel};
+pub use server::{
+    serve, FallbackReason, Pending, ServeClient, ServeError, ServeRequest, ServeResponse,
+    ServeResult, SubmitError,
+};

@@ -1,0 +1,250 @@
+//! Serving metrics: lock-free counters the scheduler updates on the hot
+//! path, snapshotted into a plain struct for reporting and golden tests.
+//!
+//! Histograms use *fixed* bucket edges (powers-of-ten latency ladder,
+//! powers-of-two batch sizes) so a snapshot is comparable across runs and
+//! machines, and so the deterministic replay harness
+//! ([`crate::replay`]) can pin exact bucket counts in a checked-in file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Latency bucket upper edges in nanoseconds; a final overflow bucket
+/// catches everything slower. Bucket `i` counts responses with
+/// `latency <= LATENCY_EDGES_NS[i]` that missed every earlier bucket.
+pub const LATENCY_EDGES_NS: [u64; 11] = [
+    10_000,        // 10 µs
+    50_000,        // 50 µs
+    100_000,       // 100 µs
+    500_000,       // 500 µs
+    1_000_000,     // 1 ms
+    5_000_000,     // 5 ms
+    10_000_000,    // 10 ms
+    50_000_000,    // 50 ms
+    100_000_000,   // 100 ms
+    500_000_000,   // 500 ms
+    1_000_000_000, // 1 s
+];
+
+/// Batch-size bucket upper edges; final overflow bucket beyond.
+pub const BATCH_EDGES: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+const LAT_BUCKETS: usize = LATENCY_EDGES_NS.len() + 1;
+const BATCH_BUCKETS: usize = BATCH_EDGES.len() + 1;
+
+fn bucket_index(edges: &[u64], value: u64) -> usize {
+    edges
+        .iter()
+        .position(|&e| value <= e)
+        .unwrap_or(edges.len())
+}
+
+/// Shared scheduler counters. Every mutation is a relaxed atomic: the
+/// counters are monotone tallies, not synchronization.
+#[derive(Default)]
+pub struct ServeMetrics {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    completed: AtomicU64,
+    ok_responses: AtomicU64,
+    invalid: AtomicU64,
+    fallback_deadline: AtomicU64,
+    fallback_panic: AtomicU64,
+    worker_panics: AtomicU64,
+    queue_poison_recoveries: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    queue_depth_max: AtomicU64,
+    latency: [AtomicU64; LAT_BUCKETS],
+    batch_sizes: [AtomicU64; BATCH_BUCKETS],
+}
+
+impl ServeMetrics {
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    pub(crate) fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_accepted(&self, queue_depth: u64) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth_max
+            .fetch_max(queue_depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size, Ordering::Relaxed);
+        self.batch_sizes[bucket_index(&BATCH_EDGES, size)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self, outcome: ResponseKind, latency_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            ResponseKind::Ok => &self.ok_responses,
+            ResponseKind::Invalid => &self.invalid,
+            ResponseKind::FallbackDeadline => &self.fallback_deadline,
+            ResponseKind::FallbackPanic => &self.fallback_panic,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency[bucket_index(&LATENCY_EDGES_NS, latency_ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_queue_poison_recovery(&self) {
+        self.queue_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            accepted: load(&self.accepted),
+            rejected_queue_full: load(&self.rejected_queue_full),
+            rejected_shutdown: load(&self.rejected_shutdown),
+            completed: load(&self.completed),
+            ok_responses: load(&self.ok_responses),
+            invalid: load(&self.invalid),
+            fallback_deadline: load(&self.fallback_deadline),
+            fallback_panic: load(&self.fallback_panic),
+            worker_panics: load(&self.worker_panics),
+            queue_poison_recoveries: load(&self.queue_poison_recoveries),
+            batches: load(&self.batches),
+            batched_requests: load(&self.batched_requests),
+            queue_depth_max: load(&self.queue_depth_max),
+            latency: self.latency.each_ref().map(load),
+            batch_sizes: self.batch_sizes.each_ref().map(load),
+        }
+    }
+}
+
+/// How a response left the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ResponseKind {
+    Ok,
+    Invalid,
+    FallbackDeadline,
+    FallbackPanic,
+}
+
+/// A plain copy of every counter, taken at one instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub accepted: u64,
+    pub rejected_queue_full: u64,
+    pub rejected_shutdown: u64,
+    pub completed: u64,
+    pub ok_responses: u64,
+    pub invalid: u64,
+    pub fallback_deadline: u64,
+    pub fallback_panic: u64,
+    pub worker_panics: u64,
+    pub queue_poison_recoveries: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
+    pub queue_depth_max: u64,
+    /// Latency histogram: one count per [`LATENCY_EDGES_NS`] bucket plus a
+    /// final overflow bucket.
+    pub latency: [u64; LAT_BUCKETS],
+    /// Batch-size histogram: one count per [`BATCH_EDGES`] bucket plus a
+    /// final overflow bucket.
+    pub batch_sizes: [u64; BATCH_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Mean formed-batch size, the batching efficiency headline.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Stable text rendering, one counter per line — the golden-test
+    /// format. Any widening of the counter set shows up as a diff.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: u64| out.push_str(&format!("{k:<28} {v}\n"));
+        line("submitted", self.submitted);
+        line("accepted", self.accepted);
+        line("rejected_queue_full", self.rejected_queue_full);
+        line("rejected_shutdown", self.rejected_shutdown);
+        line("completed", self.completed);
+        line("ok_responses", self.ok_responses);
+        line("invalid", self.invalid);
+        line("fallback_deadline", self.fallback_deadline);
+        line("fallback_panic", self.fallback_panic);
+        line("worker_panics", self.worker_panics);
+        line("queue_poison_recoveries", self.queue_poison_recoveries);
+        line("batches", self.batches);
+        line("batched_requests", self.batched_requests);
+        line("queue_depth_max", self.queue_depth_max);
+        for (i, &count) in self.batch_sizes.iter().enumerate() {
+            let label = match BATCH_EDGES.get(i) {
+                Some(e) => format!("batch_size<={e}"),
+                None => "batch_size_overflow".to_string(),
+            };
+            line(&label, count);
+        }
+        for (i, &count) in self.latency.iter().enumerate() {
+            let label = match LATENCY_EDGES_NS.get(i) {
+                Some(e) => format!("latency_ns<={e}"),
+                None => "latency_overflow".to_string(),
+            };
+            line(&label, count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_walks_the_ladder() {
+        assert_eq!(bucket_index(&BATCH_EDGES, 1), 0);
+        assert_eq!(bucket_index(&BATCH_EDGES, 2), 1);
+        assert_eq!(bucket_index(&BATCH_EDGES, 3), 2);
+        assert_eq!(bucket_index(&BATCH_EDGES, 32), 5);
+        assert_eq!(bucket_index(&BATCH_EDGES, 33), 6);
+        assert_eq!(bucket_index(&LATENCY_EDGES_NS, 0), 0);
+        assert_eq!(bucket_index(&LATENCY_EDGES_NS, 2_000_000_000), 11);
+    }
+
+    #[test]
+    fn render_covers_every_bucket_and_roundtrips_counts() {
+        let m = ServeMetrics::new();
+        m.record_submitted();
+        m.record_accepted(3);
+        m.record_batch(4);
+        m.record_response(ResponseKind::Ok, 7_000);
+        let snap = m.snapshot();
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.queue_depth_max, 3);
+        assert_eq!(snap.batch_sizes[2], 1);
+        assert_eq!(snap.latency[0], 1);
+        let text = snap.render();
+        assert_eq!(
+            text.lines().count(),
+            14 + BATCH_EDGES.len() + 1 + LATENCY_EDGES_NS.len() + 1
+        );
+        assert!(text.contains("latency_ns<=10000"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic scheduler replay on a virtual clock.
+//!
+//! Wall-clock latency histograms can never be golden-tested — the numbers
+//! move with the machine. This module replays a scripted arrival schedule
+//! through the *same* admission, micro-batching and deadline policy as the
+//! threaded scheduler (`server.rs`), but on a virtual nanosecond clock with
+//! a fixed service-time model and a single virtual worker. Every counter in
+//! the resulting [`MetricsSnapshot`] — latency buckets, queue-depth
+//! high-water mark, rejection and fallback tallies — is then an exact,
+//! machine-independent function of the script, which is what the checked-in
+//! golden snapshot pins.
+//!
+//! Tie-break rule: an arrival scheduled at exactly a dispatch instant is
+//! ingested *before* the batch forms (it can join the batch). This makes
+//! simultaneous events deterministic.
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsSnapshot, ResponseKind, ServeMetrics};
+use crate::server::{deadline_expired, ServeRequest};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Fixed virtual cost of serving a batch: `batch_overhead_ns` once per
+/// dispatch plus `per_request_ns` per live (non-expired) request.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceModel {
+    pub batch_overhead_ns: u64,
+    pub per_request_ns: u64,
+}
+
+/// Replay `schedule` — `(arrival_ns, request)` pairs — through the
+/// scheduler policy under `cfg` and `svc`, returning the exact metrics a
+/// single-worker server would have produced on this virtual timeline.
+pub fn replay(
+    cfg: &ServeConfig,
+    schedule: &[(u64, ServeRequest)],
+    svc: &ServiceModel,
+) -> MetricsSnapshot {
+    let cfg = cfg.normalized();
+    let metrics = ServeMetrics::new();
+    let max_delay_ns = cfg.max_delay.as_nanos() as u64;
+
+    let mut arrivals: Vec<(u64, ServeRequest)> = schedule.to_vec();
+    arrivals.sort_by_key(|(t, _)| *t); // stable: equal times keep script order
+
+    let mut queue: VecDeque<(u64, ServeRequest)> = VecDeque::new();
+    let mut next = 0usize; // index of the next un-ingested arrival
+    let mut t_free = 0u64; // virtual worker is idle from this instant
+
+    loop {
+        let next_arrival = arrivals.get(next).map(|(t, _)| *t);
+        let dispatch_at = queue.front().map(|&(oldest, _)| {
+            let gated = if queue.len() >= cfg.max_batch || next >= arrivals.len() {
+                oldest // ready now; the worker just has to be free
+            } else {
+                oldest + max_delay_ns // hold open for company
+            };
+            gated.max(t_free)
+        });
+
+        match (next_arrival, dispatch_at) {
+            (None, None) => break,
+            (Some(ta), Some(tb)) if ta <= tb => {
+                ingest(&cfg, &metrics, &mut queue, &mut next, &arrivals)
+            }
+            (Some(_), None) => ingest(&cfg, &metrics, &mut queue, &mut next, &arrivals),
+            (_, Some(tb)) => dispatch(&cfg, &metrics, &mut queue, svc, tb, &mut t_free),
+        }
+    }
+    metrics.snapshot()
+}
+
+fn ingest(
+    cfg: &ServeConfig,
+    metrics: &ServeMetrics,
+    queue: &mut VecDeque<(u64, ServeRequest)>,
+    next: &mut usize,
+    arrivals: &[(u64, ServeRequest)],
+) {
+    let (t, req) = arrivals[*next];
+    *next += 1;
+    metrics.record_submitted();
+    if queue.len() >= cfg.queue_capacity {
+        metrics.record_rejected_full();
+    } else {
+        queue.push_back((t, req));
+        metrics.record_accepted(queue.len() as u64);
+    }
+}
+
+fn dispatch(
+    cfg: &ServeConfig,
+    metrics: &ServeMetrics,
+    queue: &mut VecDeque<(u64, ServeRequest)>,
+    svc: &ServiceModel,
+    start: u64,
+    t_free: &mut u64,
+) {
+    let k = queue.len().min(cfg.max_batch);
+    let batch: Vec<(u64, ServeRequest)> = queue.drain(..k).collect();
+    metrics.record_batch(k as u64);
+
+    let mut live: Vec<u64> = Vec::with_capacity(k);
+    for (arrive, req) in &batch {
+        let waited = Duration::from_nanos(start - arrive);
+        if deadline_expired(waited, req.deadline) {
+            metrics.record_response(ResponseKind::FallbackDeadline, start - arrive);
+        } else {
+            live.push(*arrive);
+        }
+    }
+    let completion = if live.is_empty() {
+        start
+    } else {
+        start + svc.batch_overhead_ns + svc.per_request_ns * live.len() as u64
+    };
+    for arrive in live {
+        metrics.record_response(ResponseKind::Ok, completion - arrive);
+    }
+    *t_free = completion;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> ServeRequest {
+        ServeRequest::new(0, 50, 2, 4)
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_delay: Duration::from_nanos(1_000),
+            queue_capacity: 8,
+        }
+    }
+
+    const SVC: ServiceModel = ServiceModel {
+        batch_overhead_ns: 100,
+        per_request_ns: 50,
+    };
+
+    #[test]
+    fn a_burst_coalesces_into_one_batch() {
+        let sched: Vec<(u64, ServeRequest)> = (0..4).map(|_| (0, req())).collect();
+        let snap = replay(&cfg(), &sched, &SVC);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.batch_sizes[2], 1); // one batch of size <= 4
+        assert_eq!(snap.completed, 4);
+        // Completion at 0 + 100 + 4*50 = 300 ns for all four.
+        assert_eq!(snap.latency[0], 4);
+    }
+
+    #[test]
+    fn underfull_batch_waits_max_delay_then_flushes() {
+        let sched = vec![(0u64, req()), (5_000u64, req())];
+        let snap = replay(&cfg(), &sched, &SVC);
+        // First request dispatches alone at t=1000 (max_delay), second
+        // arrives later and dispatches alone too.
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_sizes[0], 2);
+    }
+
+    #[test]
+    fn overload_rejects_beyond_capacity_and_bounds_depth() {
+        let sched: Vec<(u64, ServeRequest)> = (0..20).map(|_| (0, req())).collect();
+        let snap = replay(&cfg(), &sched, &SVC);
+        // Capacity 8: twelve arrivals bounce, depth never exceeds 8.
+        assert_eq!(snap.rejected_queue_full, 12);
+        assert_eq!(snap.accepted, 8);
+        assert_eq!(snap.queue_depth_max, 8);
+        assert_eq!(snap.completed, 8);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_fallback() {
+        let sched = vec![(0u64, req().with_deadline(Duration::ZERO))];
+        let snap = replay(&cfg(), &sched, &SVC);
+        assert_eq!(snap.fallback_deadline, 1);
+        assert_eq!(snap.ok_responses, 0);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn conservation_holds_on_every_script() {
+        let sched: Vec<(u64, ServeRequest)> = (0..13)
+            .map(|i| (i * 700, req().with_deadline(Duration::from_nanos(900))))
+            .collect();
+        let snap = replay(&cfg(), &sched, &SVC);
+        assert_eq!(snap.accepted + snap.rejected_queue_full, snap.submitted);
+        assert_eq!(snap.completed, snap.accepted);
+        assert_eq!(snap.ok_responses + snap.fallback_deadline, snap.completed);
+    }
+}

@@ -1,0 +1,517 @@
+//! The scheduler: bounded admission, dynamic micro-batching, worker
+//! threads, per-request deadlines, and panic containment.
+//!
+//! # Determinism contract
+//!
+//! The engine derives every random draw from `(engine seed, race, origin)`
+//! — request identity, never batch position or worker id. The scheduler
+//! therefore has one hard invariant to preserve and it preserves it by
+//! construction: a request's result is bit-identical to a direct
+//! [`ForecastEngine::try_forecast_keyed`] call no matter which batch it
+//! lands in, which worker runs it, or in what order requests arrived.
+//! Batching, worker count and arrival jitter move *time*, never bits.
+//!
+//! # Failure model
+//!
+//! * **Queue full** — admission rejects with [`SubmitError::QueueFull`];
+//!   the queue never exceeds its configured depth.
+//! * **Deadline expiry** — a request still queued past its deadline is
+//!   answered with the CurRank persistence fallback, flagged
+//!   [`FallbackReason::DeadlineExpired`]; it never blocks the caller
+//!   further and never runs the model.
+//! * **Worker panic mid-batch** — the engine call runs under
+//!   `catch_unwind`; on a panic the batch is retried one request at a
+//!   time, so the poisoned request degrades to a flagged CurRank fallback
+//!   while its neighbours still get real forecasts. Nothing hangs, nothing
+//!   is dropped.
+//! * **Poisoned queue mutex** — every queue lock recovers a poisoned
+//!   guard (`into_inner`); queue state is plain data, so recovery is safe.
+//! * **Shutdown** — when the body closure returns, admission closes
+//!   ([`SubmitError::ShuttingDown`]) and workers drain every queued
+//!   request before exiting: accepted always implies answered.
+
+use crate::config::ServeConfig;
+use crate::metrics::{MetricsSnapshot, ResponseKind, ServeMetrics};
+use ranknet_core::engine::{
+    currank_forecast, EngineError, EngineForecast, ForecastEngine, ForecastRequest,
+};
+use ranknet_core::features::RaceContext;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A forecast query addressed to the serving layer. `race` indexes the
+/// context slice handed to [`serve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ServeRequest {
+    pub race: usize,
+    pub origin: usize,
+    pub horizon: usize,
+    pub n_samples: usize,
+    /// Time budget measured from submission. A request still queued once
+    /// this much time has passed degrades to the CurRank fallback instead
+    /// of blocking the caller on the model. `Some(ZERO)` always degrades —
+    /// useful for forcing the fallback path in tests. `None` never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    pub fn new(race: usize, origin: usize, horizon: usize, n_samples: usize) -> ServeRequest {
+        ServeRequest {
+            race,
+            origin,
+            horizon,
+            n_samples,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Duration) -> ServeRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a response carries the CurRank fallback instead of a model forecast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The request sat in the queue past its deadline.
+    DeadlineExpired,
+    /// The worker panicked while forecasting this request.
+    WorkerPanic,
+}
+
+/// A served forecast.
+#[derive(Clone, Debug)]
+pub struct ServeResponse {
+    /// Admission id — unique, assigned in submission order.
+    pub id: u64,
+    pub forecast: EngineForecast,
+    /// `Some` when the model never ran and the CurRank fallback answered.
+    pub fallback: Option<FallbackReason>,
+    /// How many requests shared this response's engine batch.
+    pub batch_size: usize,
+}
+
+/// A request the scheduler could not answer at all.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Engine validation rejected the request (also returned when a
+    /// fallback was needed but the request was too malformed to build one).
+    Invalid(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+pub type ServeResult = Result<ServeResponse, ServeError>;
+
+/// Why a submission was refused at the door (the request never entered the
+/// queue and will get no response).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control: the queue is at capacity.
+    QueueFull { capacity: usize },
+    /// The serving scope is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One-shot response slot a worker fills and a caller waits on.
+struct Slot {
+    state: Mutex<Option<ServeResult>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn deliver(&self, result: ServeResult) {
+        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *guard = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to a submitted request; [`Pending::wait`] blocks until the
+/// scheduler answers (workers drain the queue on shutdown, so an accepted
+/// request is always answered).
+pub struct Pending {
+    id: u64,
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn wait(self) -> ServeResult {
+        let mut guard = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+struct Entry {
+    id: u64,
+    req: ServeRequest,
+    enqueued: Instant,
+    slot: Arc<Slot>,
+}
+
+struct QueueState {
+    entries: VecDeque<Entry>,
+    shutdown: bool,
+    next_id: u64,
+}
+
+struct Shared<'a> {
+    engine: &'a ForecastEngine<'a>,
+    contexts: &'a [&'a RaceContext],
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    wakeup: Condvar,
+    metrics: ServeMetrics,
+}
+
+impl<'a> Shared<'a> {
+    /// Queue state is plain data; recover a poisoned guard instead of
+    /// propagating — one crashed lock-holder must not wedge the scheduler.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// Submission handle passed to the [`serve`] body; `Copy`, so it can be
+/// handed to any number of client threads inside the scope.
+#[derive(Clone, Copy)]
+pub struct ServeClient<'s, 'a> {
+    shared: &'s Shared<'a>,
+}
+
+impl ServeClient<'_, '_> {
+    /// Submit without blocking on the forecast. Admission is all-or-nothing:
+    /// `Ok` means the request is queued and will be answered; `Err` means
+    /// it never entered the queue.
+    pub fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError> {
+        let shared = self.shared;
+        shared.metrics.record_submitted();
+        let mut q = shared.lock_queue();
+        if q.shutdown {
+            shared.metrics.record_rejected_shutdown();
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.entries.len() >= shared.cfg.queue_capacity {
+            shared.metrics.record_rejected_full();
+            return Err(SubmitError::QueueFull {
+                capacity: shared.cfg.queue_capacity,
+            });
+        }
+        q.next_id += 1;
+        let id = q.next_id;
+        let slot = Arc::new(Slot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        q.entries.push_back(Entry {
+            id,
+            req,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        });
+        shared.metrics.record_accepted(q.entries.len() as u64);
+        drop(q);
+        shared.wakeup.notify_one();
+        Ok(Pending { id, slot })
+    }
+
+    /// Submit and block until the response arrives.
+    pub fn forecast(&self, req: ServeRequest) -> Result<ServeResult, SubmitError> {
+        self.submit(req).map(Pending::wait)
+    }
+
+    /// Live counter snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current submission-queue depth (requests admitted, not yet picked
+    /// up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_queue().entries.len()
+    }
+}
+
+/// Has `entry` outlived its deadline after waiting `waited`? Shared by the
+/// threaded scheduler and the deterministic replay so the two agree.
+pub(crate) fn deadline_expired(waited: Duration, deadline: Option<Duration>) -> bool {
+    deadline.is_some_and(|d| waited >= d)
+}
+
+/// Run a serving scope: spawn `cfg.workers` scheduler threads over
+/// `engine`, hand the body a [`ServeClient`], and on return close
+/// admission, drain the queue, join the workers, and report the final
+/// metrics. Requests reference `contexts` by index, exactly like
+/// [`ForecastEngine::try_forecast_batch`].
+pub fn serve<'m, R>(
+    engine: &ForecastEngine<'m>,
+    contexts: &[&RaceContext],
+    cfg: &ServeConfig,
+    body: impl FnOnce(ServeClient<'_, '_>) -> R,
+) -> (R, MetricsSnapshot) {
+    let cfg = cfg.normalized();
+    let shared = Shared {
+        engine,
+        contexts,
+        cfg,
+        queue: Mutex::new(QueueState {
+            entries: VecDeque::new(),
+            shutdown: false,
+            next_id: 0,
+        }),
+        wakeup: Condvar::new(),
+        metrics: ServeMetrics::new(),
+    };
+
+    let out = std::thread::scope(|s| {
+        for _ in 0..cfg.workers {
+            s.spawn(|| worker_loop(&shared));
+        }
+        let out = body(ServeClient { shared: &shared });
+        shared.lock_queue().shutdown = true;
+        shared.wakeup.notify_all();
+        out
+    });
+    (out, shared.metrics.snapshot())
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    loop {
+        // `next_batch` can only panic via an injected queue-lock fault (the
+        // fault-inject matrix); it mutates nothing before its final drain,
+        // so catching here loses no entries — the mutex is merely poisoned,
+        // and the next lock recovers it.
+        let batch = match catch_unwind(AssertUnwindSafe(|| next_batch(shared))) {
+            Ok(batch) => batch,
+            Err(_) => {
+                shared.metrics.record_queue_poison_recovery();
+                continue;
+            }
+        };
+        match batch {
+            Some(batch) => serve_batch(shared, batch),
+            None => return,
+        }
+    }
+}
+
+/// Block until a batch can be formed (or shutdown empties the world).
+/// Dynamic micro-batching: once at least one request is queued, hold the
+/// batch open until it reaches `max_batch` or the oldest request has
+/// waited `max_delay`, then drain up to `max_batch` entries. During
+/// shutdown the hold is skipped so the queue drains immediately.
+fn next_batch(shared: &Shared<'_>) -> Option<Vec<Entry>> {
+    let mut q = shared.lock_queue();
+    #[cfg(feature = "fault-inject")]
+    crate::fault::maybe_poison_queue_lock();
+    'outer: loop {
+        while q.entries.is_empty() {
+            if q.shutdown {
+                return None;
+            }
+            q = shared.wakeup.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        while q.entries.len() < shared.cfg.max_batch && !q.shutdown {
+            let oldest = match q.entries.front() {
+                Some(e) => e.enqueued,
+                None => continue 'outer,
+            };
+            let waited = oldest.elapsed();
+            if waited >= shared.cfg.max_delay {
+                break;
+            }
+            q = shared
+                .wakeup
+                .wait_timeout(q, shared.cfg.max_delay - waited)
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+            if q.entries.is_empty() {
+                // A sibling worker drained the queue while we waited.
+                continue 'outer;
+            }
+        }
+        let n = q.entries.len().min(shared.cfg.max_batch);
+        return Some(q.entries.drain(..n).collect());
+    }
+}
+
+fn serve_batch(shared: &Shared<'_>, batch: Vec<Entry>) {
+    let batch_size = batch.len();
+    shared.metrics.record_batch(batch_size as u64);
+
+    // Deadline triage: expired requests answer immediately with the
+    // fallback instead of holding a seat in the engine batch.
+    let mut live: Vec<Entry> = Vec::with_capacity(batch_size);
+    for e in batch {
+        if deadline_expired(e.enqueued.elapsed(), e.req.deadline) {
+            deliver_fallback(shared, e, FallbackReason::DeadlineExpired, batch_size);
+        } else {
+            live.push(e);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let requests: Vec<ForecastRequest> = live
+        .iter()
+        .map(|e| ForecastRequest {
+            race: e.req.race,
+            origin: e.req.origin,
+            horizon: e.req.horizon,
+            n_samples: e.req.n_samples,
+        })
+        .collect();
+
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "fault-inject")]
+        for e in &live {
+            crate::fault::maybe_panic_request(e.id);
+        }
+        shared
+            .engine
+            .forecast_batch_entries(shared.contexts, &requests)
+    }));
+
+    match attempt {
+        Ok(results) => {
+            for (e, res) in live.into_iter().zip(results) {
+                deliver_engine_result(shared, e, res, batch_size);
+            }
+        }
+        Err(_) => {
+            // A panic mid-batch: contain it, then retry one request at a
+            // time so only the poisoned request degrades.
+            shared.metrics.record_worker_panic();
+            for e in live {
+                let single = catch_unwind(AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-inject")]
+                    crate::fault::maybe_panic_request(e.id);
+                    let req = &e.req;
+                    if req.race >= shared.contexts.len() {
+                        Err(EngineError::RaceOutOfRange {
+                            race: req.race,
+                            n_contexts: shared.contexts.len(),
+                        })
+                    } else {
+                        shared.engine.try_forecast_keyed(
+                            req.race,
+                            shared.contexts[req.race],
+                            req.origin,
+                            req.horizon,
+                            req.n_samples,
+                        )
+                    }
+                }));
+                match single {
+                    Ok(res) => deliver_engine_result(shared, e, res, 1),
+                    Err(_) => {
+                        shared.metrics.record_worker_panic();
+                        deliver_fallback(shared, e, FallbackReason::WorkerPanic, 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn deliver_engine_result(
+    shared: &Shared<'_>,
+    e: Entry,
+    res: Result<EngineForecast, EngineError>,
+    batch_size: usize,
+) {
+    let (kind, result) = match res {
+        Ok(forecast) => (
+            ResponseKind::Ok,
+            Ok(ServeResponse {
+                id: e.id,
+                forecast,
+                fallback: None,
+                batch_size,
+            }),
+        ),
+        Err(err) => (ResponseKind::Invalid, Err(ServeError::Invalid(err))),
+    };
+    shared
+        .metrics
+        .record_response(kind, e.enqueued.elapsed().as_nanos() as u64);
+    e.slot.deliver(result);
+}
+
+/// Answer with the model-free CurRank persistence forecast, flagged with
+/// `reason`. If even the fallback is impossible (malformed request), the
+/// typed validation error goes out instead — the caller is never left
+/// waiting.
+fn deliver_fallback(shared: &Shared<'_>, e: Entry, reason: FallbackReason, batch_size: usize) {
+    let req = &e.req;
+    let built = if req.race >= shared.contexts.len() {
+        Err(EngineError::RaceOutOfRange {
+            race: req.race,
+            n_contexts: shared.contexts.len(),
+        })
+    } else {
+        currank_forecast(
+            shared.contexts[req.race],
+            req.origin,
+            req.horizon,
+            req.n_samples,
+        )
+    };
+    let (kind, result) = match built {
+        Ok(forecast) => (
+            match reason {
+                FallbackReason::DeadlineExpired => ResponseKind::FallbackDeadline,
+                FallbackReason::WorkerPanic => ResponseKind::FallbackPanic,
+            },
+            Ok(ServeResponse {
+                id: e.id,
+                forecast,
+                fallback: Some(reason),
+                batch_size,
+            }),
+        ),
+        Err(err) => (ResponseKind::Invalid, Err(ServeError::Invalid(err))),
+    };
+    shared
+        .metrics
+        .record_response(kind, e.enqueued.elapsed().as_nanos() as u64);
+    e.slot.deliver(result);
+}

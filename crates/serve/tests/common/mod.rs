@@ -1,0 +1,90 @@
+//! Shared fixture: one tiny trained RankNet and a pair of unseen races,
+//! built once per test binary (training dominates test wall-clock).
+
+use ranknet_core::engine::{EngineForecast, ForecastEngine};
+use ranknet_core::features::{extract_sequences, RaceContext};
+use ranknet_core::ranknet::{RankNet, RankNetVariant};
+use ranknet_core::RankNetConfig;
+use rpf_racesim::{simulate_race, Event, EventConfig};
+use rpf_serve::{ServeRequest, ServeResult};
+use std::sync::OnceLock;
+
+pub fn race_ctx(seed: u64) -> RaceContext {
+    extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2017),
+        seed,
+    ))
+}
+
+pub fn fixture() -> &'static (RankNet, Vec<RaceContext>) {
+    static FIX: OnceLock<(RankNet, Vec<RaceContext>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg = RankNetConfig {
+            max_epochs: 1,
+            ..RankNetConfig::tiny()
+        };
+        let train = vec![race_ctx(101)];
+        let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 40);
+        (model, vec![race_ctx(102), race_ctx(103)])
+    })
+}
+
+/// Engine seed shared by the served and the reference engines — parity
+/// only means something when both derive draws from the same base.
+pub const ENGINE_SEED: u64 = 5;
+
+/// Flatten a forecast to bit patterns so comparisons are exact.
+pub fn bits(f: &EngineForecast) -> Vec<u32> {
+    f.samples
+        .iter()
+        .flat_map(|car| car.iter().flat_map(|path| path.iter().map(|v| v.to_bits())))
+        .collect()
+}
+
+/// The reference answer: a direct engine call on a fresh engine with the
+/// same seed, completely outside the serving layer.
+pub fn direct(req: &ServeRequest) -> Result<EngineForecast, ranknet_core::EngineError> {
+    let (model, contexts) = fixture();
+    if req.race >= contexts.len() {
+        return Err(ranknet_core::EngineError::RaceOutOfRange {
+            race: req.race,
+            n_contexts: contexts.len(),
+        });
+    }
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    engine.try_forecast_keyed(
+        req.race,
+        &contexts[req.race],
+        req.origin,
+        req.horizon,
+        req.n_samples,
+    )
+}
+
+/// Assert a served outcome matches the direct reference bit-for-bit
+/// (model responses only; fallbacks are checked against the CurRank
+/// builder by their own tests).
+pub fn assert_parity(req: &ServeRequest, outcome: &ServeResult) {
+    match outcome {
+        Ok(resp) => {
+            assert!(
+                resp.fallback.is_none(),
+                "unexpected fallback {:?} for {req:?}",
+                resp.fallback
+            );
+            let reference = direct(req).expect("direct call must accept what serving accepted");
+            assert_eq!(
+                bits(&reference),
+                bits(&resp.forecast),
+                "served forecast diverged from direct call for {req:?}"
+            );
+        }
+        Err(e) => {
+            let reference = direct(req);
+            assert!(
+                reference.is_err(),
+                "serving rejected {req:?} as {e:?} but the direct call accepted it"
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Fault-injection matrix for the serving scheduler (requires the
+//! `fault-inject` feature): a worker panic mid-batch must degrade only the
+//! poisoned request to a flagged CurRank fallback, a poisoned queue mutex
+//! must be recovered without hanging or dropping anything, and deadline
+//! expiry must answer with the flagged fallback — never a hang, never a
+//! lost response.
+#![cfg(feature = "fault-inject")]
+
+mod common;
+
+use common::{assert_parity, bits, fixture, ENGINE_SEED};
+use ranknet_core::engine::{currank_forecast, ForecastEngine};
+use rpf_serve::fault::{self, ServeFaultPlan};
+use rpf_serve::{serve, FallbackReason, ServeConfig, ServeRequest};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// The fault plan is process-global: tests installing plans serialize here.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    match TEST_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Submit `reqs` in order, wait for everything, return (request, outcome)
+/// pairs. Admission ids are assigned in submission order starting at 1, so
+/// fault plans can target exact requests.
+fn serve_all(
+    cfg: &ServeConfig,
+    reqs: &[ServeRequest],
+) -> (
+    Vec<(ServeRequest, rpf_serve::ServeResult)>,
+    rpf_serve::MetricsSnapshot,
+) {
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    serve(&engine, &refs, cfg, |client| {
+        let pending: Vec<_> = reqs
+            .iter()
+            .map(|&req| (req, client.submit(req).expect("queue sized for the load")))
+            .collect();
+        pending
+            .into_iter()
+            .map(|(req, p)| (req, p.wait()))
+            .collect::<Vec<_>>()
+    })
+}
+
+/// A planned panic while forecasting one request of a batch: that request
+/// degrades to the flagged CurRank fallback, its batch neighbours still
+/// get bit-exact model forecasts, and nothing hangs or is dropped.
+#[test]
+fn worker_panic_mid_batch_degrades_only_the_poisoned_request() {
+    let _guard = locked();
+    // Ids are assigned in submission order starting at 1: target the 2nd.
+    fault::install(ServeFaultPlan::new().panic_on_request(2));
+
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_delay: Duration::from_millis(200),
+        queue_capacity: 64,
+    };
+    let reqs: Vec<ServeRequest> = (0..4)
+        .map(|i| ServeRequest::new(i % 2, 60 + 5 * i, 2, 3))
+        .collect();
+    let (outcomes, metrics) = serve_all(&cfg, &reqs);
+    fault::clear();
+
+    assert_eq!(outcomes.len(), 4, "a panic must not drop responses");
+    let (_, contexts) = fixture();
+    let mut degraded = 0;
+    for (req, outcome) in &outcomes {
+        let resp = outcome.as_ref().expect("all requests here are valid");
+        if resp.id == 2 {
+            degraded += 1;
+            assert_eq!(resp.fallback, Some(FallbackReason::WorkerPanic));
+            assert!(resp.forecast.degraded);
+            let reference =
+                currank_forecast(&contexts[req.race], req.origin, req.horizon, req.n_samples)
+                    .expect("valid request");
+            assert_eq!(bits(&reference), bits(&resp.forecast));
+        } else {
+            // Neighbours of the poisoned request are retried one at a time
+            // and must still match the direct call exactly.
+            assert_parity(req, outcome);
+        }
+    }
+    assert_eq!(degraded, 1);
+    assert_eq!(metrics.fallback_panic, 1);
+    assert_eq!(metrics.ok_responses, 3);
+    assert_eq!(metrics.completed, 4);
+    // The batch attempt panics once, then the per-request retry panics
+    // again on the poisoned request.
+    assert!(
+        metrics.worker_panics >= 2,
+        "expected batch + retry panics, saw {}",
+        metrics.worker_panics
+    );
+}
+
+/// A worker panicking while it *holds the queue mutex* poisons the lock
+/// for every thread after it. The scheduler must recover the poison and
+/// keep serving: no hang, no lost response.
+#[test]
+fn poisoned_queue_mutex_is_recovered_and_service_continues() {
+    let _guard = locked();
+    fault::install(ServeFaultPlan::new().poison_queue_once());
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_delay: Duration::from_micros(200),
+        queue_capacity: 64,
+    };
+    let reqs: Vec<ServeRequest> = (0..6)
+        .map(|i| ServeRequest::new(i % 2, 70 + 3 * i, 1, 2))
+        .collect();
+    let (outcomes, metrics) = serve_all(&cfg, &reqs);
+    fault::clear();
+
+    assert_eq!(outcomes.len(), 6, "poisoned mutex must not drop requests");
+    for (req, outcome) in &outcomes {
+        assert_parity(req, outcome);
+    }
+    assert_eq!(metrics.completed, 6);
+    assert_eq!(metrics.ok_responses, 6);
+    assert_eq!(
+        metrics.queue_poison_recoveries, 1,
+        "the injected poison fires exactly once and is recovered"
+    );
+}
+
+/// A zero deadline always expires in the queue: the response must be the
+/// flagged CurRank fallback with exactly the persistence bits — delivered,
+/// not dropped, and never blocking on the model.
+#[test]
+fn expired_deadline_degrades_to_flagged_currank_fallback() {
+    let _guard = locked();
+    fault::clear(); // no scheduler faults — deadline expiry is config-driven
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_delay: Duration::from_micros(100),
+        queue_capacity: 64,
+    };
+    let expired = ServeRequest::new(0, 80, 3, 4).with_deadline(Duration::ZERO);
+    let live = ServeRequest::new(1, 90, 2, 2);
+    let (outcomes, metrics) = serve_all(&cfg, &[expired, live]);
+
+    assert_eq!(outcomes.len(), 2);
+    let (_, contexts) = fixture();
+    for (req, outcome) in &outcomes {
+        let resp = outcome.as_ref().expect("both requests are valid");
+        if req.deadline.is_some() {
+            assert_eq!(resp.fallback, Some(FallbackReason::DeadlineExpired));
+            assert!(resp.forecast.degraded);
+            let reference =
+                currank_forecast(&contexts[req.race], req.origin, req.horizon, req.n_samples)
+                    .expect("valid request");
+            assert_eq!(bits(&reference), bits(&resp.forecast));
+        } else {
+            assert_parity(req, outcome);
+        }
+    }
+    assert_eq!(metrics.fallback_deadline, 1);
+    assert_eq!(metrics.ok_responses, 1);
+    assert_eq!(metrics.completed, 2);
+    assert_eq!(metrics.worker_panics, 0);
+}

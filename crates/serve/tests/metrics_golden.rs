@@ -1,0 +1,127 @@
+//! Golden test for serving metrics: a fixed scripted load replayed on the
+//! virtual clock must reproduce the checked-in counter snapshot *exactly* —
+//! every latency bucket, the queue-depth high-water mark, every rejection
+//! and fallback tally. Any change to the admission, batching or deadline
+//! policy shows up as a diff against `golden/metrics_replay.txt`.
+//!
+//! Regenerate (after deliberate policy changes only) with:
+//! `UPDATE_GOLDEN=1 cargo test -p rpf-serve --test metrics_golden`
+
+use rpf_nn::RngStreams;
+use rpf_serve::loadgen::{self, LoadMix};
+use rpf_serve::{replay, ServeConfig, ServiceModel};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("metrics_replay.txt")
+}
+
+/// The pinned scenario: a thundering-herd burst that overflows the queue,
+/// a ramp, a deadline-budgeted trickle arriving while the worker is still
+/// digging out, and a late second burst. Everything below is a constant.
+fn scripted_load() -> (
+    ServeConfig,
+    Vec<(u64, rpf_serve::ServeRequest)>,
+    ServiceModel,
+) {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_delay: Duration::from_micros(500),
+        queue_capacity: 16,
+    };
+    let svc = ServiceModel {
+        batch_overhead_ns: 200_000, // 200 µs per dispatch
+        per_request_ns: 100_000,    // +100 µs per live request
+    };
+
+    let streams = RngStreams::new(0x601D);
+    let hot = LoadMix {
+        unique_queries: Some(4),
+        ..LoadMix::standard(2, (50, 100))
+    };
+    let plain = LoadMix::standard(2, (40, 120));
+    let budgeted = LoadMix {
+        deadline: Some(Duration::from_millis(1)),
+        ..LoadMix::standard(2, (40, 120))
+    };
+
+    let ms = Duration::from_millis;
+    let script = loadgen::merge(vec![
+        // 32 at t=0 against a 16-deep queue: half must bounce.
+        loadgen::schedule(&loadgen::burst(ms(0), 32), &hot, &streams.child(0), 0),
+        loadgen::schedule(
+            &loadgen::ramp(ms(2), ms(10), 24),
+            &plain,
+            &streams.child(1),
+            1_000,
+        ),
+        // 1 ms deadlines arriving while the worker is still digging out of
+        // the opening burst backlog: the early ones expire in the queue.
+        loadgen::schedule(
+            &loadgen::uniform(Duration::from_micros(500), Duration::from_micros(250), 16),
+            &budgeted,
+            &streams.child(2),
+            2_000,
+        ),
+        loadgen::schedule(&loadgen::burst(ms(15), 8), &hot, &streams.child(3), 3_000),
+    ]);
+    let script_ns = script
+        .into_iter()
+        .map(|(t, req)| (t.as_nanos() as u64, req))
+        .collect();
+    (cfg, script_ns, svc)
+}
+
+#[test]
+fn replayed_metrics_match_golden_snapshot_exactly() {
+    let (cfg, script, svc) = scripted_load();
+    let snap = replay(&cfg, &script, &svc);
+
+    // The snapshot must at least be internally consistent before we pin it.
+    assert_eq!(snap.submitted, 80);
+    assert_eq!(snap.accepted + snap.rejected_queue_full, snap.submitted);
+    assert_eq!(snap.completed, snap.accepted);
+    assert_eq!(snap.ok_responses + snap.fallback_deadline, snap.completed);
+    assert!(
+        snap.rejected_queue_full > 0,
+        "scenario must overflow the queue"
+    );
+    assert!(snap.fallback_deadline > 0, "scenario must expire deadlines");
+    assert!(snap.queue_depth_max <= cfg.queue_capacity as u64);
+    assert!(snap.mean_batch_size() > 1.0, "scenario must batch");
+
+    let rendered = snap.render();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "serving metrics diverged from the golden snapshot; if the policy \
+         change is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The replay itself is a pure function: same script, same counters,
+/// bit-for-bit, run-to-run.
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let (cfg, script, svc) = scripted_load();
+    let a = replay(&cfg, &script, &svc);
+    let b = replay(&cfg, &script, &svc);
+    assert_eq!(a, b);
+    assert_eq!(a.render(), b.render());
+}

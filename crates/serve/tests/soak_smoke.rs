@@ -1,0 +1,107 @@
+//! Short mixed-load soak (kept well under 10 s — it is a named CI gate):
+//! bursts, a ramp and a steady trickle over two interleaved races, some
+//! requests deadline-budgeted, served over a deliberately tiny encoder
+//! cache. Asserts the full contract at once: conservation, bitwise parity
+//! for model responses, CurRank bits for fallbacks, and a bounded cache.
+
+mod common;
+
+use common::{assert_parity, bits, fixture, ENGINE_SEED};
+use ranknet_core::engine::{currank_forecast, ForecastEngine};
+use rpf_nn::RngStreams;
+use rpf_serve::loadgen::{self, LoadMix};
+use rpf_serve::{serve, FallbackReason, ServeConfig};
+use std::collections::HashSet;
+use std::time::Duration;
+
+#[test]
+fn mixed_load_soak_preserves_every_contract() {
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let cache_cap = 4;
+    let engine = ForecastEngine::new(model, ENGINE_SEED)
+        .with_threads(1)
+        .with_cache_capacity(cache_cap);
+    let cfg = ServeConfig {
+        workers: 4,
+        max_batch: 8,
+        max_delay: Duration::from_micros(500),
+        queue_capacity: 512,
+    };
+
+    let streams = RngStreams::new(0x50AC);
+    let plain = LoadMix::standard(2, (40, 120));
+    let hot = LoadMix {
+        unique_queries: Some(4),
+        ..LoadMix::standard(2, (60, 90))
+    };
+    let budgeted = LoadMix {
+        deadline: Some(Duration::from_millis(1)),
+        ..LoadMix::standard(2, (40, 120))
+    };
+
+    let ms = Duration::from_millis;
+    let script = loadgen::merge(vec![
+        loadgen::schedule(&loadgen::burst(ms(0), 16), &hot, &streams.child(0), 0),
+        loadgen::schedule(
+            &loadgen::ramp(ms(5), ms(400), 24),
+            &plain,
+            &streams.child(1),
+            1_000,
+        ),
+        loadgen::schedule(
+            &loadgen::uniform(ms(10), ms(25), 16),
+            &budgeted,
+            &streams.child(2),
+            2_000,
+        ),
+        loadgen::schedule(&loadgen::burst(ms(200), 12), &hot, &streams.child(3), 3_000),
+    ]);
+    let total = script.len();
+
+    let (report, metrics) = serve(&engine, &refs, &cfg, |client| {
+        loadgen::run_open_loop(client, &script)
+    });
+
+    // Conservation: every submission is accounted for, exactly once.
+    assert_eq!(report.submitted(), total);
+    assert!(report.rejected.is_empty(), "queue sized for this soak");
+    assert_eq!(report.outcomes.len(), total);
+    let ids: HashSet<u64> = report
+        .outcomes
+        .iter()
+        .filter_map(|(_, o)| o.as_ref().ok().map(|r| r.id))
+        .collect();
+    assert_eq!(ids.len(), total, "duplicated or lost responses");
+    assert_eq!(metrics.completed, total as u64);
+    assert_eq!(
+        metrics.ok_responses + metrics.fallback_deadline + metrics.fallback_panic + metrics.invalid,
+        metrics.completed
+    );
+    assert_eq!(metrics.worker_panics, 0);
+
+    // Bitwise contract: model responses replay the direct call; deadline
+    // fallbacks carry exactly the CurRank persistence forecast.
+    for (req, outcome) in &report.outcomes {
+        match outcome {
+            Ok(resp) if resp.fallback == Some(FallbackReason::DeadlineExpired) => {
+                let reference =
+                    currank_forecast(&contexts[req.race], req.origin, req.horizon, req.n_samples)
+                        .expect("fallback implies a valid request");
+                assert_eq!(bits(&reference), bits(&resp.forecast));
+                assert!(resp.forecast.degraded);
+            }
+            _ => assert_parity(req, outcome),
+        }
+    }
+
+    // The tiny encoder cache stayed bounded and actually evicted: the mix
+    // spans far more than `cache_cap` distinct (race, origin) pairs.
+    assert!(
+        engine.cache_len() <= cache_cap,
+        "cache grew to {} past its cap {cache_cap}",
+        engine.cache_len()
+    );
+    let t = engine.timings();
+    assert!(t.cache_evictions > 0, "soak must exercise eviction");
+}

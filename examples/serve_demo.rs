@@ -1,0 +1,108 @@
+//! Serving-layer walkthrough — stand up the micro-batching scheduler over
+//! a trained model, throw a burst of duplicated live-race queries at it,
+//! watch one request degrade on a deadline, and read the metrics.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! The one property to take away: every non-degraded response below is
+//! **bit-identical** to a direct `ForecastEngine` call — batching, worker
+//! scheduling and arrival order move time, never bits (DESIGN.md §11).
+
+use ranknet::core::engine::ForecastEngine;
+use ranknet::core::features::extract_sequences;
+use ranknet::core::ranknet::{RankNet, RankNetVariant};
+use ranknet::core::RankNetConfig;
+use ranknet::racesim::{simulate_race, Event, EventConfig};
+use ranknet::serve::{serve, ServeConfig, ServeRequest};
+use std::time::Duration;
+
+fn main() {
+    // A quickly trained model and one unseen race to serve forecasts for.
+    let ctx = |seed| {
+        extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2018),
+            seed,
+        ))
+    };
+    let cfg = RankNetConfig {
+        max_epochs: 2,
+        ..RankNetConfig::tiny()
+    };
+    println!("Training a small RankNet ...");
+    let train = vec![ctx(1)];
+    let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 33);
+    let live = ctx(2);
+
+    let engine = ForecastEngine::new(&model, 42);
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        max_delay: Duration::from_millis(5),
+        queue_capacity: 256,
+    };
+
+    // The live-race hot spot: many clients asking the same two questions
+    // (leader forecast at lap 90), plus one caller with a zero time budget
+    // who gets the flagged CurRank fallback instead of waiting.
+    let questions: Vec<ServeRequest> = (0..12)
+        .map(|i| ServeRequest::new(0, 90 + (i % 2), 2, 50))
+        .chain(std::iter::once(
+            ServeRequest::new(0, 95, 2, 50).with_deadline(Duration::ZERO),
+        ))
+        .collect();
+
+    let (responses, metrics) = serve(&engine, &[&live], &serve_cfg, |client| {
+        let pending: Vec<_> = questions
+            .iter()
+            .map(|&q| client.submit(q).expect("queue has room"))
+            .collect();
+        pending.into_iter().map(|p| p.wait()).collect::<Vec<_>>()
+    });
+
+    for (req, resp) in questions.iter().zip(&responses) {
+        match resp {
+            Ok(r) => {
+                // Mean predicted rank of the current leader, over samples.
+                let leader = r
+                    .forecast
+                    .samples
+                    .iter()
+                    .filter(|car| !car.is_empty())
+                    .min_by_key(|car| car[0].last().map(|v| *v as i64).unwrap_or(i64::MAX));
+                let mean_rank = leader
+                    .map(|car| {
+                        car.iter().filter_map(|path| path.last()).sum::<f32>() / car.len() as f32
+                    })
+                    .unwrap_or(f32::NAN);
+                println!(
+                    "origin {:>2}: leader mean rank {:>5.2} over {} samples, \
+                     batch of {}{}",
+                    req.origin,
+                    mean_rank,
+                    req.n_samples,
+                    r.batch_size,
+                    match r.fallback {
+                        Some(reason) => format!("  [degraded: {reason:?}]"),
+                        None => String::new(),
+                    }
+                );
+            }
+            Err(e) => println!("origin {:>2}: rejected ({e})", req.origin),
+        }
+    }
+
+    // The scoreboard: 13 submissions, 12 of them over 2 distinct queries
+    // (coalesced inside batches), 1 deadline fallback.
+    println!(
+        "\nmean batch size {:.2}\n{}",
+        metrics.mean_batch_size(),
+        metrics.render()
+    );
+    let t = engine.timings();
+    println!(
+        "engine: {} calls, {} coalesced, {} encoder reuses, {} evictions",
+        t.calls, t.coalesced_requests, t.encoder_reuses, t.cache_evictions
+    );
+}

@@ -14,7 +14,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== no-unwrap gate (core/nn non-test code) =="
+echo "== no-unwrap gate (core/nn/serve non-test code) =="
 bash scripts/check_no_unwrap.sh
 
 echo "== backend parity (tape-free runtime vs tape forward, bitwise) =="
@@ -23,11 +23,27 @@ cargo test -q -p rpf-nn --test infer_parity --offline
 echo "== engine determinism (tape vs tape-free across thread counts) =="
 cargo test -q -p ranknet-core --test engine_determinism --offline
 
+echo "== engine cache bounds (LRU cap + eviction bit-determinism) =="
+cargo test -q -p ranknet-core --test engine_cache --offline
+
+echo "== serving equivalence (batched == direct, bitwise) =="
+cargo test -q -p rpf-serve --test serve_equivalence --offline
+
+echo "== serving conservation properties =="
+cargo test -q -p rpf-serve --test scheduler_props --offline
+
+echo "== serving metrics golden (virtual-clock replay) =="
+cargo test -q -p rpf-serve --test metrics_golden --offline
+
+echo "== serving soak smoke (<= 10 s) =="
+cargo test -q -p rpf-serve --test soak_smoke --offline
+
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline
 
 echo "== cargo test (fault-inject matrix) =="
 cargo test -q -p rpf-nn --features fault-inject --offline
 cargo test -q -p ranknet-core --features fault-inject --offline
+cargo test -q -p rpf-serve --features fault-inject --offline
 
 echo "CI green."

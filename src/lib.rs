@@ -18,6 +18,7 @@
 //! * [`baselines`] — CurRank, ARIMA, RandomForest, SVR, gradient boosting
 //! * [`core`] — RankNet itself, features, metrics, experiment runners
 //! * [`perfmodel`] — analytic CPU/GPU/VE device models for the systems study
+//! * [`serve`] — concurrent request-batching serving layer over the engine
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -27,4 +28,5 @@ pub use rpf_baselines as baselines;
 pub use rpf_nn as nn;
 pub use rpf_perfmodel as perfmodel;
 pub use rpf_racesim as racesim;
+pub use rpf_serve as serve;
 pub use rpf_tensor as tensor;
