@@ -26,9 +26,9 @@ use crate::features::RaceContext;
 use crate::rank_model::{EncoderState, ForecastSamples};
 use crate::ranknet::RankNet;
 use rpf_nn::RngStreams;
+use rpf_obs::{span_name, Counter, MetricsSnapshot, Registry, SpanName, Tracer};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -232,42 +232,59 @@ impl EncoderCache {
 
 /// Deterministic parallel Monte-Carlo forecast engine over a trained
 /// [`RankNet`].
+///
+/// Phase counters live in an owned [`rpf_obs::Registry`] (one per engine —
+/// two engines never share cells); [`ForecastEngine::timings`] is the
+/// typed view over the same handles, and [`ForecastEngine::obs_snapshot`]
+/// the mergeable one. Phase spans (encode / covariates / decode) record
+/// into an embedded [`Tracer`], disabled by default.
 pub struct ForecastEngine<'m> {
     model: &'m RankNet,
     seed: u64,
     threads: usize,
     cache: EncoderCache,
-    encode_ns: AtomicU64,
-    covariate_ns: AtomicU64,
-    decode_ns: AtomicU64,
-    calls: AtomicU64,
-    encoder_reuses: AtomicU64,
-    trajectories: AtomicU64,
-    degraded_trajectories: AtomicU64,
-    rejected_requests: AtomicU64,
-    cache_evictions: AtomicU64,
-    coalesced_requests: AtomicU64,
+    registry: Registry,
+    tracer: Tracer,
+    span_encode: SpanName,
+    span_covariates: SpanName,
+    span_decode: SpanName,
+    encode_ns: Counter,
+    covariate_ns: Counter,
+    decode_ns: Counter,
+    calls: Counter,
+    encoder_reuses: Counter,
+    trajectories: Counter,
+    degraded_trajectories: Counter,
+    rejected_requests: Counter,
+    cache_evictions: Counter,
+    coalesced_requests: Counter,
 }
 
 impl<'m> ForecastEngine<'m> {
     /// Build an engine with the machine's default thread count and the
     /// default encoder cache capacity.
     pub fn new(model: &'m RankNet, seed: u64) -> ForecastEngine<'m> {
+        let registry = Registry::new();
         ForecastEngine {
             model,
             seed,
             threads: rpf_tensor::par::num_threads(),
             cache: EncoderCache::new(crate::config::DEFAULT_ENCODER_CACHE_CAPACITY),
-            encode_ns: AtomicU64::new(0),
-            covariate_ns: AtomicU64::new(0),
-            decode_ns: AtomicU64::new(0),
-            calls: AtomicU64::new(0),
-            encoder_reuses: AtomicU64::new(0),
-            trajectories: AtomicU64::new(0),
-            degraded_trajectories: AtomicU64::new(0),
-            rejected_requests: AtomicU64::new(0),
-            cache_evictions: AtomicU64::new(0),
-            coalesced_requests: AtomicU64::new(0),
+            tracer: Tracer::new(),
+            span_encode: span_name("engine_encode"),
+            span_covariates: span_name("engine_covariates"),
+            span_decode: span_name("engine_decode"),
+            encode_ns: registry.counter("engine_encode_ns"),
+            covariate_ns: registry.counter("engine_covariates_ns"),
+            decode_ns: registry.counter("engine_decode_ns"),
+            calls: registry.counter("engine_calls"),
+            encoder_reuses: registry.counter("engine_encoder_reuses"),
+            trajectories: registry.counter("engine_trajectories"),
+            degraded_trajectories: registry.counter("engine_degraded_trajectories"),
+            rejected_requests: registry.counter("engine_rejected_requests"),
+            cache_evictions: registry.counter("engine_cache_evictions"),
+            coalesced_requests: registry.counter("engine_coalesced_requests"),
+            registry,
         }
     }
 
@@ -367,7 +384,7 @@ impl<'m> ForecastEngine<'m> {
         n_samples: usize,
     ) -> Result<EngineForecast, EngineError> {
         if let Err(e) = validate_request(ctx, origin, horizon, n_samples) {
-            self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+            self.rejected_requests.inc();
             return Err(e);
         }
 
@@ -382,46 +399,53 @@ impl<'m> ForecastEngine<'m> {
             let cached = self.cache.shard(&key).get(&key);
             match cached {
                 Some(enc) => {
-                    self.encoder_reuses.fetch_add(1, Ordering::Relaxed);
+                    self.encoder_reuses.inc();
                     enc
                 }
                 None => {
+                    let _span = self.tracer.span(self.span_encode);
                     let t0 = Instant::now();
                     let enc = self.model.rank_model.encode(ctx, origin);
                     self.add_ns(&self.encode_ns, t0);
                     let evicted = self.cache.shard(&key).insert(key, enc.clone());
-                    self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    self.cache_evictions.add(evicted);
                     enc
                 }
             }
         };
 
-        let t0 = Instant::now();
-        let groups = self
-            .model
-            .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
-        self.add_ns(&self.covariate_ns, t0);
+        let groups = {
+            let _span = self.tracer.span(self.span_covariates);
+            let t0 = Instant::now();
+            let groups = self
+                .model
+                .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
+            self.add_ns(&self.covariate_ns, t0);
+            groups
+        };
 
-        let t0 = Instant::now();
-        let mut samples = self.model.decode_groups(
-            ctx,
-            &enc,
-            &groups,
-            origin,
-            horizon,
-            n_samples,
-            call_seed,
-            self.threads,
-        );
-        self.add_ns(&self.decode_ns, t0);
+        let mut samples = {
+            let _span = self.tracer.span(self.span_decode);
+            let t0 = Instant::now();
+            let samples = self.model.decode_groups(
+                ctx,
+                &enc,
+                &groups,
+                origin,
+                horizon,
+                n_samples,
+                call_seed,
+                self.threads,
+            );
+            self.add_ns(&self.decode_ns, t0);
+            samples
+        };
 
         let degraded_trajectories = degrade_non_finite(ctx, &mut samples, origin, horizon);
-        self.degraded_trajectories
-            .fetch_add(degraded_trajectories, Ordering::Relaxed);
+        self.degraded_trajectories.add(degraded_trajectories);
 
-        self.calls.fetch_add(1, Ordering::Relaxed);
-        self.trajectories
-            .fetch_add((enc.cars.len() * n_samples) as u64, Ordering::Relaxed);
+        self.calls.inc();
+        self.trajectories.add((enc.cars.len() * n_samples) as u64);
         Ok(EngineForecast {
             samples,
             degraded: degraded_trajectories > 0,
@@ -454,14 +478,14 @@ impl<'m> ForecastEngine<'m> {
     ) -> Result<Vec<EngineForecast>, EngineError> {
         for r in requests {
             if r.race >= contexts.len() {
-                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                self.rejected_requests.inc();
                 return Err(EngineError::RaceOutOfRange {
                     race: r.race,
                     n_contexts: contexts.len(),
                 });
             }
             if let Err(e) = validate_request(contexts[r.race], r.origin, r.horizon, r.n_samples) {
-                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                self.rejected_requests.inc();
                 return Err(e);
             }
         }
@@ -491,12 +515,12 @@ impl<'m> ForecastEngine<'m> {
         for r in requests {
             let key = (r.race, r.origin, r.horizon, r.n_samples);
             if let Some(&j) = first_at.get(&key) {
-                self.coalesced_requests.fetch_add(1, Ordering::Relaxed);
+                self.coalesced_requests.inc();
                 out.push(out[j].clone());
                 continue;
             }
             let res = if r.race >= contexts.len() {
-                self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                self.rejected_requests.inc();
                 Err(EngineError::RaceOutOfRange {
                     race: r.race,
                     n_contexts: contexts.len(),
@@ -517,37 +541,54 @@ impl<'m> ForecastEngine<'m> {
     }
 
     /// Accumulated phase counters since construction (or the last
-    /// [`ForecastEngine::reset_timings`]).
+    /// [`ForecastEngine::reset_timings`]) — the typed view over the
+    /// engine's registry handles.
     pub fn timings(&self) -> PhaseTimings {
         PhaseTimings {
-            encode: Duration::from_nanos(self.encode_ns.load(Ordering::Relaxed)),
-            covariates: Duration::from_nanos(self.covariate_ns.load(Ordering::Relaxed)),
-            decode: Duration::from_nanos(self.decode_ns.load(Ordering::Relaxed)),
-            calls: self.calls.load(Ordering::Relaxed),
-            encoder_reuses: self.encoder_reuses.load(Ordering::Relaxed),
-            trajectories: self.trajectories.load(Ordering::Relaxed),
-            degraded_trajectories: self.degraded_trajectories.load(Ordering::Relaxed),
-            rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
-            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
-            coalesced_requests: self.coalesced_requests.load(Ordering::Relaxed),
+            encode: Duration::from_nanos(self.encode_ns.value()),
+            covariates: Duration::from_nanos(self.covariate_ns.value()),
+            decode: Duration::from_nanos(self.decode_ns.value()),
+            calls: self.calls.value(),
+            encoder_reuses: self.encoder_reuses.value(),
+            trajectories: self.trajectories.value(),
+            degraded_trajectories: self.degraded_trajectories.value(),
+            rejected_requests: self.rejected_requests.value(),
+            cache_evictions: self.cache_evictions.value(),
+            coalesced_requests: self.coalesced_requests.value(),
         }
     }
 
     pub fn reset_timings(&self) {
-        self.encode_ns.store(0, Ordering::Relaxed);
-        self.covariate_ns.store(0, Ordering::Relaxed);
-        self.decode_ns.store(0, Ordering::Relaxed);
-        self.calls.store(0, Ordering::Relaxed);
-        self.encoder_reuses.store(0, Ordering::Relaxed);
-        self.trajectories.store(0, Ordering::Relaxed);
-        self.degraded_trajectories.store(0, Ordering::Relaxed);
-        self.rejected_requests.store(0, Ordering::Relaxed);
-        self.cache_evictions.store(0, Ordering::Relaxed);
-        self.coalesced_requests.store(0, Ordering::Relaxed);
+        self.registry.reset();
+        self.tracer.reset();
     }
 
-    fn add_ns(&self, counter: &AtomicU64, since: Instant) {
-        counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    /// Enable or disable phase-span tracing (encode / covariates /
+    /// decode). Off by default; a disabled span is one relaxed load.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// The engine's phase-span tracer (ring buffer + per-name totals).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The engine's metrics registry, for callers that want to scrape it
+    /// directly or register adjacent metrics under the same snapshot.
+    pub fn obs_registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mergeable snapshot of the engine's counters plus span totals —
+    /// combine with serving and training snapshots via
+    /// [`MetricsSnapshot::merge`] for one exposition.
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot().with_spans(self.tracer.totals())
+    }
+
+    fn add_ns(&self, counter: &Counter, since: Instant) {
+        counter.add(since.elapsed().as_nanos() as u64);
     }
 }
 

@@ -275,6 +275,9 @@ impl InferGaussianHead {
 
     /// `h` is `(batch, hidden)`; fills `(batch, 1)` `mu_out` / `sigma_out`.
     pub fn forward_into(&self, h: &Matrix, mu_out: &mut Matrix, sigma_out: &mut Matrix) {
+        // The head's constituent kernels (two GEMVs, softplus, floor add)
+        // profile as one `gaussian_head` row in the operator breakdown.
+        let _scope = rpf_obs::ops::class_scope(rpf_obs::ops::OpClass::GaussianHead);
         self.mu.forward_into(h, mu_out);
         self.sigma.forward_into(h, sigma_out);
         ops::softplus_assign(sigma_out);

@@ -127,6 +127,11 @@ pub struct TrainReport {
     pub epochs_run: usize,
     /// Divergence rollbacks performed (empty on a healthy run).
     pub recoveries: Vec<RecoveryEvent>,
+    /// Observability snapshot of the run: epoch/batch/sample counters, an
+    /// epoch-duration histogram and rollback timing, in the same
+    /// [`rpf_obs::MetricsSnapshot`] form the engine and serving layers
+    /// report, so all three merge into one exposition.
+    pub metrics: rpf_obs::MetricsSnapshot,
 }
 
 /// Everything needed to continue a training run exactly where it stopped:
@@ -242,10 +247,22 @@ pub fn try_train_resumable(
         recoveries = ckpt.recoveries.clone();
     }
 
+    // Per-run registry: the report carries a snapshot, so two concurrent
+    // training runs never share cells (unlike the process-global kernel
+    // counters).
+    let registry = rpf_obs::Registry::new();
+    let m_epochs = registry.counter("train_epochs");
+    let m_batches = registry.counter("train_batches");
+    let m_samples = registry.counter("train_samples");
+    let m_recoveries = registry.counter("train_recoveries");
+    let m_rollback_ns = registry.counter("train_rollback_ns");
+    let h_epoch_ns = registry.histogram("train_epoch_ns", &rpf_obs::DURATION_EDGES_NS);
+
     let started = Instant::now();
     let mut batch_counter = 0u64;
 
     'epochs: for epoch in start_epoch..cfg.max_epochs {
+        let epoch_started = Instant::now();
         let epoch_batches = batches.epoch();
         // Entry snapshot: the rollback target if this epoch diverges.
         let entry_weights = store.snapshot();
@@ -256,6 +273,9 @@ pub fn try_train_resumable(
             let mut epoch_sum = 0.0f64;
             let mut epoch_n = 0usize;
             let mut epoch_samples = 0u64;
+            // Batch tallies go through a mergeable local handle: one shared
+            // fetch-add per epoch instead of one per batch.
+            let mut local_batches = m_batches.local();
             for (bi, batch) in epoch_batches.iter().enumerate() {
                 store.zero_grads();
                 let loss = fault_hook_loss(batch_counter, batch_loss(store, batch));
@@ -278,6 +298,7 @@ pub fn try_train_resumable(
                             retries: cfg.max_divergence_retries,
                         });
                     }
+                    let rollback_started = Instant::now();
                     restore_weights(store, &entry_weights).map_err(TrainError::BadCheckpoint)?;
                     if adam.restore(&entry_adam).is_err() {
                         // Cannot happen: the snapshot came from this adam.
@@ -285,6 +306,8 @@ pub fn try_train_resumable(
                             "optimizer rollback failed".into(),
                         ));
                     }
+                    m_recoveries.inc();
+                    m_rollback_ns.add(rollback_started.elapsed().as_nanos() as u64);
                     // Compounding halving: restore() reset the LR to the
                     // epoch-entry value, so re-apply one factor per attempt.
                     adam.lr = entry_adam.lr * cfg.retry_lr_factor.powi(attempts as i32);
@@ -298,13 +321,17 @@ pub fn try_train_resumable(
                     continue 'retry;
                 }
                 adam.step(store);
+                local_batches.inc();
                 epoch_samples += batch.len() as u64;
                 epoch_sum += loss as f64;
                 epoch_n += 1;
             }
             samples_seen += epoch_samples;
+            m_samples.add(epoch_samples);
             break (epoch_sum / epoch_n.max(1) as f64) as f32;
         };
+        m_epochs.inc();
+        h_epoch_ns.observe(epoch_started.elapsed().as_nanos() as u64);
 
         let v = val_loss(store);
         epoch_losses.push((train_loss, v));
@@ -357,6 +384,7 @@ pub fn try_train_resumable(
         },
         wall_s,
         recoveries,
+        metrics: registry.snapshot(),
     })
 }
 

@@ -1,0 +1,166 @@
+//! Golden test for the exporter formats and the shared bucket layouts.
+//! The Prometheus exposition, the plain-text render and the JSONL line
+//! for one fully-populated deterministic snapshot are pinned byte-for-
+//! byte, and the three shared edge tables are pinned as values — dashboards
+//! and the bench-snapshot parser depend on both staying put.
+//!
+//! Regenerate (after deliberate format changes only) with:
+//! `UPDATE_GOLDEN=1 cargo test -p rpf-obs --test export_golden`
+
+use rpf_obs::{
+    MetricsSnapshot, OpSample, Registry, SpanSample, BATCH_EDGES, DURATION_EDGES_NS,
+    LATENCY_EDGES_NS,
+};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "{name} diverged from the golden file; if the format change is \
+         deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// A snapshot exercising every sample kind with fixed values: one
+/// observation per latency bucket edge (plus one overflow), a batch-size
+/// histogram, counters, a gauge, two op classes and two spans.
+fn pinned_snapshot() -> MetricsSnapshot {
+    let registry = Registry::new();
+    let requests = registry.counter("demo_requests");
+    let errors = registry.counter("demo_errors");
+    let depth = registry.gauge("demo_queue_depth_max");
+    let latency = registry.histogram("demo_latency_ns", &LATENCY_EDGES_NS);
+    let batch = registry.histogram("demo_batch_size", &BATCH_EDGES);
+    let epoch = registry.histogram("demo_epoch_ns", &DURATION_EDGES_NS);
+
+    requests.add(42);
+    errors.inc();
+    depth.set_max(7);
+    // One sample landing exactly ON each edge (inclusive upper bound, so
+    // each occupies its own bucket) and one past the last edge.
+    for &edge in LATENCY_EDGES_NS.iter() {
+        latency.observe(edge);
+    }
+    latency.observe(LATENCY_EDGES_NS[LATENCY_EDGES_NS.len() - 1] + 1);
+    for size in [1u64, 2, 3, 8, 33] {
+        batch.observe(size);
+    }
+    epoch.observe(2_500_000); // 2.5 ms epoch
+    epoch.observe(40_000_000_000); // 40 s epoch
+
+    let mut snap = registry.snapshot();
+    snap.ops = vec![
+        OpSample {
+            class: "matmul_into",
+            calls: 10,
+            flops: 4_000_000,
+            bytes: 120_000,
+            nanos: 750_000,
+        },
+        OpSample {
+            class: "lstm_gates_fused",
+            calls: 5,
+            flops: 1_000_000,
+            bytes: 60_000,
+            nanos: 250_000,
+        },
+    ];
+    snap.spans = vec![
+        SpanSample {
+            name: "engine_encode",
+            count: 3,
+            total_ns: 300_000,
+        },
+        SpanSample {
+            name: "engine_decode",
+            count: 3,
+            total_ns: 900_000,
+        },
+    ];
+    snap
+}
+
+/// The shared edge tables are part of the exporter contract: serving's
+/// golden metrics replay, the bench-snapshot JSON and any scrape-side
+/// dashboards all assume these exact boundaries.
+#[test]
+fn bucket_boundaries_are_pinned() {
+    assert_eq!(
+        LATENCY_EDGES_NS,
+        [
+            10_000,
+            50_000,
+            100_000,
+            500_000,
+            1_000_000,
+            5_000_000,
+            10_000_000,
+            50_000_000,
+            100_000_000,
+            500_000_000,
+            1_000_000_000
+        ]
+    );
+    assert_eq!(BATCH_EDGES, [1, 2, 4, 8, 16, 32]);
+    assert_eq!(
+        DURATION_EDGES_NS,
+        [
+            1_000_000,
+            10_000_000,
+            100_000_000,
+            1_000_000_000,
+            10_000_000_000,
+            100_000_000_000
+        ]
+    );
+}
+
+/// Edge semantics pinned alongside the boundaries: a value equal to an
+/// edge lands IN that edge's bucket, one past it spills to the next.
+#[test]
+fn edge_values_land_in_their_own_bucket() {
+    use rpf_obs::registry::bucket_index;
+    for (i, &edge) in LATENCY_EDGES_NS.iter().enumerate() {
+        assert_eq!(bucket_index(&LATENCY_EDGES_NS, edge), i);
+        assert_eq!(bucket_index(&LATENCY_EDGES_NS, edge + 1), i + 1);
+    }
+    assert_eq!(
+        bucket_index(&LATENCY_EDGES_NS, 0),
+        0,
+        "zero belongs to the first bucket"
+    );
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    check_golden("exposition.prom", &pinned_snapshot().render_prometheus());
+}
+
+#[test]
+fn text_render_matches_golden() {
+    check_golden("render.txt", &pinned_snapshot().render());
+}
+
+#[test]
+fn jsonl_line_matches_golden() {
+    check_golden("snapshot.jsonl", &pinned_snapshot().to_jsonl());
+}

@@ -1,133 +1,164 @@
-//! Serving metrics: lock-free counters the scheduler updates on the hot
-//! path, snapshotted into a plain struct for reporting and golden tests.
+//! Serving metrics on the shared observability registry: the scheduler
+//! records through `rpf-obs` counter/histogram handles, snapshotted into
+//! a plain struct for reporting and golden tests.
 //!
 //! Histograms use *fixed* bucket edges (powers-of-ten latency ladder,
-//! powers-of-two batch sizes) so a snapshot is comparable across runs and
+//! powers-of-two batch sizes — the workspace-wide ladders re-exported
+//! from [`rpf_obs`]) so a snapshot is comparable across runs and
 //! machines, and so the deterministic replay harness
 //! ([`crate::replay`]) can pin exact bucket counts in a checked-in file.
+//! [`MetricsSnapshot::render`] is byte-stable: migrating the backing
+//! store onto the registry changed no output line.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rpf_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Latency bucket upper edges in nanoseconds; a final overflow bucket
 /// catches everything slower. Bucket `i` counts responses with
 /// `latency <= LATENCY_EDGES_NS[i]` that missed every earlier bucket.
-pub const LATENCY_EDGES_NS: [u64; 11] = [
-    10_000,        // 10 µs
-    50_000,        // 50 µs
-    100_000,       // 100 µs
-    500_000,       // 500 µs
-    1_000_000,     // 1 ms
-    5_000_000,     // 5 ms
-    10_000_000,    // 10 ms
-    50_000_000,    // 50 ms
-    100_000_000,   // 100 ms
-    500_000_000,   // 500 ms
-    1_000_000_000, // 1 s
-];
+pub const LATENCY_EDGES_NS: [u64; 11] = rpf_obs::LATENCY_EDGES_NS;
 
 /// Batch-size bucket upper edges; final overflow bucket beyond.
-pub const BATCH_EDGES: [u64; 6] = [1, 2, 4, 8, 16, 32];
+pub const BATCH_EDGES: [u64; 6] = rpf_obs::BATCH_EDGES;
 
 const LAT_BUCKETS: usize = LATENCY_EDGES_NS.len() + 1;
 const BATCH_BUCKETS: usize = BATCH_EDGES.len() + 1;
 
-fn bucket_index(edges: &[u64], value: u64) -> usize {
-    edges
-        .iter()
-        .position(|&e| value <= e)
-        .unwrap_or(edges.len())
+/// Shared scheduler counters, backed by an owned [`Registry`] so the
+/// serving layer reports through the same snapshot type as the engine
+/// and the training loop. Every mutation is a relaxed atomic on a
+/// thread-sharded cell: the counters are monotone tallies, not
+/// synchronization.
+pub struct ServeMetrics {
+    registry: Registry,
+    submitted: Counter,
+    accepted: Counter,
+    rejected_queue_full: Counter,
+    rejected_shutdown: Counter,
+    completed: Counter,
+    ok_responses: Counter,
+    invalid: Counter,
+    fallback_deadline: Counter,
+    fallback_panic: Counter,
+    worker_panics: Counter,
+    queue_poison_recoveries: Counter,
+    batches: Counter,
+    batched_requests: Counter,
+    queue_depth_max: Gauge,
+    latency: Histogram,
+    batch_sizes: Histogram,
 }
 
-/// Shared scheduler counters. Every mutation is a relaxed atomic: the
-/// counters are monotone tallies, not synchronization.
-#[derive(Default)]
-pub struct ServeMetrics {
-    submitted: AtomicU64,
-    accepted: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    completed: AtomicU64,
-    ok_responses: AtomicU64,
-    invalid: AtomicU64,
-    fallback_deadline: AtomicU64,
-    fallback_panic: AtomicU64,
-    worker_panics: AtomicU64,
-    queue_poison_recoveries: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    queue_depth_max: AtomicU64,
-    latency: [AtomicU64; LAT_BUCKETS],
-    batch_sizes: [AtomicU64; BATCH_BUCKETS],
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics::new()
+    }
 }
 
 impl ServeMetrics {
     pub fn new() -> ServeMetrics {
-        ServeMetrics::default()
+        let registry = Registry::new();
+        ServeMetrics {
+            submitted: registry.counter("serve_submitted"),
+            accepted: registry.counter("serve_accepted"),
+            rejected_queue_full: registry.counter("serve_rejected_queue_full"),
+            rejected_shutdown: registry.counter("serve_rejected_shutdown"),
+            completed: registry.counter("serve_completed"),
+            ok_responses: registry.counter("serve_ok_responses"),
+            invalid: registry.counter("serve_invalid"),
+            fallback_deadline: registry.counter("serve_fallback_deadline"),
+            fallback_panic: registry.counter("serve_fallback_panic"),
+            worker_panics: registry.counter("serve_worker_panics"),
+            queue_poison_recoveries: registry.counter("serve_queue_poison_recoveries"),
+            batches: registry.counter("serve_batches"),
+            batched_requests: registry.counter("serve_batched_requests"),
+            queue_depth_max: registry.gauge("serve_queue_depth_max"),
+            batch_sizes: registry.histogram("serve_batch_size", &BATCH_EDGES),
+            latency: registry.histogram("serve_latency_ns", &LATENCY_EDGES_NS),
+            registry,
+        }
     }
 
     pub(crate) fn record_submitted(&self) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.submitted.inc();
     }
 
     pub(crate) fn record_accepted(&self, queue_depth: u64) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth_max
-            .fetch_max(queue_depth, Ordering::Relaxed);
+        self.accepted.inc();
+        self.queue_depth_max.set_max(queue_depth);
     }
 
     pub(crate) fn record_rejected_full(&self) {
-        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+        self.rejected_queue_full.inc();
     }
 
     pub(crate) fn record_rejected_shutdown(&self) {
-        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+        self.rejected_shutdown.inc();
     }
 
     pub(crate) fn record_batch(&self, size: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(size, Ordering::Relaxed);
-        self.batch_sizes[bucket_index(&BATCH_EDGES, size)].fetch_add(1, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_requests.add(size);
+        self.batch_sizes.observe(size);
     }
 
     pub(crate) fn record_response(&self, outcome: ResponseKind, latency_ns: u64) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.inc();
         match outcome {
             ResponseKind::Ok => &self.ok_responses,
             ResponseKind::Invalid => &self.invalid,
             ResponseKind::FallbackDeadline => &self.fallback_deadline,
             ResponseKind::FallbackPanic => &self.fallback_panic,
         }
-        .fetch_add(1, Ordering::Relaxed);
-        self.latency[bucket_index(&LATENCY_EDGES_NS, latency_ns)].fetch_add(1, Ordering::Relaxed);
+        .inc();
+        self.latency.observe(latency_ns);
     }
 
     pub(crate) fn record_worker_panic(&self) {
-        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+        self.worker_panics.inc();
     }
 
     pub(crate) fn record_queue_poison_recovery(&self) {
-        self.queue_poison_recoveries.fetch_add(1, Ordering::Relaxed);
+        self.queue_poison_recoveries.inc();
+    }
+
+    /// The backing registry, for scraping alongside other subsystems.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mergeable snapshot in the workspace-wide form — combine with the
+    /// engine's and the training report's via
+    /// [`rpf_obs::MetricsSnapshot::merge`].
+    pub fn obs_snapshot(&self) -> rpf_obs::MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    fn hist_array<const N: usize>(h: &Histogram) -> [u64; N] {
+        let mut out = [0u64; N];
+        for (slot, v) in out.iter_mut().zip(h.buckets()) {
+            *slot = v;
+        }
+        out
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         MetricsSnapshot {
-            submitted: load(&self.submitted),
-            accepted: load(&self.accepted),
-            rejected_queue_full: load(&self.rejected_queue_full),
-            rejected_shutdown: load(&self.rejected_shutdown),
-            completed: load(&self.completed),
-            ok_responses: load(&self.ok_responses),
-            invalid: load(&self.invalid),
-            fallback_deadline: load(&self.fallback_deadline),
-            fallback_panic: load(&self.fallback_panic),
-            worker_panics: load(&self.worker_panics),
-            queue_poison_recoveries: load(&self.queue_poison_recoveries),
-            batches: load(&self.batches),
-            batched_requests: load(&self.batched_requests),
-            queue_depth_max: load(&self.queue_depth_max),
-            latency: self.latency.each_ref().map(load),
-            batch_sizes: self.batch_sizes.each_ref().map(load),
+            submitted: self.submitted.value(),
+            accepted: self.accepted.value(),
+            rejected_queue_full: self.rejected_queue_full.value(),
+            rejected_shutdown: self.rejected_shutdown.value(),
+            completed: self.completed.value(),
+            ok_responses: self.ok_responses.value(),
+            invalid: self.invalid.value(),
+            fallback_deadline: self.fallback_deadline.value(),
+            fallback_panic: self.fallback_panic.value(),
+            worker_panics: self.worker_panics.value(),
+            queue_poison_recoveries: self.queue_poison_recoveries.value(),
+            batches: self.batches.value(),
+            batched_requests: self.batched_requests.value(),
+            queue_depth_max: self.queue_depth_max.value(),
+            latency: Self::hist_array(&self.latency),
+            batch_sizes: Self::hist_array(&self.batch_sizes),
         }
     }
 }
@@ -211,11 +242,63 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// The same snapshot in the workspace-wide mergeable form, for callers
+    /// holding the typed struct rather than live [`ServeMetrics`].
+    pub fn to_obs(&self) -> rpf_obs::MetricsSnapshot {
+        let counter = |name: &str, value: u64| rpf_obs::CounterSample {
+            name: name.to_string(),
+            value,
+        };
+        rpf_obs::MetricsSnapshot {
+            counters: vec![
+                counter("serve_submitted", self.submitted),
+                counter("serve_accepted", self.accepted),
+                counter("serve_rejected_queue_full", self.rejected_queue_full),
+                counter("serve_rejected_shutdown", self.rejected_shutdown),
+                counter("serve_completed", self.completed),
+                counter("serve_ok_responses", self.ok_responses),
+                counter("serve_invalid", self.invalid),
+                counter("serve_fallback_deadline", self.fallback_deadline),
+                counter("serve_fallback_panic", self.fallback_panic),
+                counter("serve_worker_panics", self.worker_panics),
+                counter(
+                    "serve_queue_poison_recoveries",
+                    self.queue_poison_recoveries,
+                ),
+                counter("serve_batches", self.batches),
+                counter("serve_batched_requests", self.batched_requests),
+            ],
+            gauges: vec![rpf_obs::GaugeSample {
+                name: "serve_queue_depth_max".to_string(),
+                value: self.queue_depth_max,
+            }],
+            histograms: vec![
+                rpf_obs::HistogramSample {
+                    name: "serve_batch_size".to_string(),
+                    edges: BATCH_EDGES.to_vec(),
+                    buckets: self.batch_sizes.to_vec(),
+                    count: self.batch_sizes.iter().sum(),
+                    sum: 0,
+                },
+                rpf_obs::HistogramSample {
+                    name: "serve_latency_ns".to_string(),
+                    edges: LATENCY_EDGES_NS.to_vec(),
+                    buckets: self.latency.to_vec(),
+                    count: self.latency.iter().sum(),
+                    sum: 0,
+                },
+            ],
+            ops: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rpf_obs::registry::bucket_index;
 
     #[test]
     fn bucket_index_walks_the_ladder() {
@@ -246,5 +329,36 @@ mod tests {
             14 + BATCH_EDGES.len() + 1 + LATENCY_EDGES_NS.len() + 1
         );
         assert!(text.contains("latency_ns<=10000"));
+    }
+
+    #[test]
+    fn obs_snapshot_carries_the_same_tallies() {
+        let m = ServeMetrics::new();
+        m.record_submitted();
+        m.record_accepted(2);
+        m.record_batch(3);
+        m.record_response(ResponseKind::Ok, 60_000);
+        let obs = m.obs_snapshot();
+        let submitted = obs
+            .counters
+            .iter()
+            .find(|c| c.name == "serve_submitted")
+            .map(|c| c.value);
+        assert_eq!(submitted, Some(1));
+        let lat = obs
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve_latency_ns")
+            .expect("latency histogram registered");
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.buckets[2], 1, "60 µs lands in the <=100 µs bucket");
+        // The typed snapshot converts to the same bucket counts.
+        let typed = m.snapshot().to_obs();
+        let lat2 = typed
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve_latency_ns")
+            .expect("latency histogram in typed conversion");
+        assert_eq!(lat2.buckets, lat.buckets);
     }
 }

@@ -7,6 +7,7 @@
 //! cheap enough to leave permanently enabled (one fetch-add per kernel call,
 //! not per element).
 
+use rpf_obs::ops::OpClass;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -118,15 +119,36 @@ pub fn record(kernel: Kernel, flops: u64, bytes: u64) {
     cell.bytes.fetch_add(bytes, Ordering::Relaxed);
 }
 
+/// The operator class a bare kernel maps to when the call site does not
+/// name one: GEMMs profile as `matmul`, elementwise kernels as `scalar`.
+/// Sites on the paper's breakdown table (preallocated decode GEMM, fused
+/// LSTM kernels, the gaussian head) use the `_for` variants instead.
+fn default_class(kernel: Kernel) -> OpClass {
+    match kernel {
+        Kernel::MatMul => OpClass::Matmul,
+        Kernel::Mul | Kernel::Add | Kernel::Sigmoid | Kernel::Tanh => OpClass::Scalar,
+        Kernel::Other => OpClass::Other,
+    }
+}
+
 /// Record a kernel invocation with its measured walltime.
 #[inline]
 pub fn record_timed(kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
+    record_timed_for(default_class(kernel), kernel, flops, bytes, started);
+}
+
+/// Record a kernel invocation under an explicit operator class for the
+/// `rpf-obs` profile (kernel counters tally under `kernel` as always; the
+/// elapsed time is read once and shared with the obs layer).
+#[inline]
+pub fn record_timed_for(class: OpClass, kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
+    let elapsed = started.elapsed().as_nanos() as u64;
     let cell = &CELLS[kernel.index()];
     cell.calls.fetch_add(1, Ordering::Relaxed);
     cell.flops.fetch_add(flops, Ordering::Relaxed);
     cell.bytes.fetch_add(bytes, Ordering::Relaxed);
-    cell.nanos
-        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    cell.nanos.fetch_add(elapsed, Ordering::Relaxed);
+    rpf_obs::ops::record_nanos(class, flops, bytes, elapsed);
 }
 
 /// Record one *fused* kernel invocation whose work spans several kernel
@@ -139,6 +161,32 @@ pub fn record_timed(kernel: Kernel, flops: u64, bytes: u64, started: Instant) {
 /// remainder so the total is preserved).
 pub fn record_timed_split(parts: &[(Kernel, u64, u64)], started: Instant) {
     let elapsed = started.elapsed().as_nanos() as u64;
+    let class = parts
+        .first()
+        .map(|&(k, _, _)| default_class(k))
+        .unwrap_or(OpClass::Other);
+    split_into_cells(parts, elapsed);
+    record_split_ops(class, parts, elapsed);
+}
+
+/// Like [`record_timed_split`], but the fused kernel profiles as one
+/// `class` entry in `rpf-obs` (e.g. the whole fused gate pass is a single
+/// `lstm_gates_fused` row) while the kernel counters still split by FLOP
+/// share for the Fig 12 table.
+pub fn record_timed_split_for(class: OpClass, parts: &[(Kernel, u64, u64)], started: Instant) {
+    let elapsed = started.elapsed().as_nanos() as u64;
+    split_into_cells(parts, elapsed);
+    record_split_ops(class, parts, elapsed);
+}
+
+/// One obs entry for a fused kernel: summed work, total elapsed.
+fn record_split_ops(class: OpClass, parts: &[(Kernel, u64, u64)], elapsed: u64) {
+    let flops: u64 = parts.iter().map(|&(_, f, _)| f).sum();
+    let bytes: u64 = parts.iter().map(|&(_, _, b)| b).sum();
+    rpf_obs::ops::record_nanos(class, flops, bytes, elapsed);
+}
+
+fn split_into_cells(parts: &[(Kernel, u64, u64)], elapsed: u64) {
     let total_flops: u64 = parts.iter().map(|&(_, f, _)| f).sum();
     let mut remaining = elapsed;
     for (i, &(kernel, flops, bytes)) in parts.iter().enumerate() {

@@ -8,6 +8,7 @@
 
 use crate::counters::{self, Kernel};
 use crate::matrix::Matrix;
+use rpf_obs::ops::OpClass;
 use std::time::Instant;
 
 /// `C = A * B`. Panics on inner-dimension mismatch.
@@ -322,7 +323,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
         });
         let flops = 2 * (m as u64) * (k as u64);
         let bytes = 4 * ((m * k) as u64 + k as u64 + m as u64);
-        counters::record_timed(Kernel::MatMul, flops, bytes, started);
+        counters::record_timed_for(OpClass::MatmulInto, Kernel::MatMul, flops, bytes, started);
         return;
     }
     if n.is_multiple_of(TILE) {
@@ -375,7 +376,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
     let flops = 2 * (m as u64) * (n as u64) * (k as u64);
     let bytes = 4 * ((m * k) as u64 + (k * n) as u64 + (m * n) as u64);
-    counters::record_timed(Kernel::MatMul, flops, bytes, started);
+    counters::record_timed_for(OpClass::MatmulInto, Kernel::MatMul, flops, bytes, started);
 }
 
 /// Reference triple-loop multiply used to validate [`matmul`] in tests.

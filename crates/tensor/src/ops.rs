@@ -6,6 +6,7 @@
 
 use crate::counters::{self, Kernel};
 use crate::matrix::Matrix;
+use rpf_obs::ops::OpClass;
 use std::time::Instant;
 
 fn assert_same_shape(a: &Matrix, b: &Matrix, op: &str) {
@@ -337,7 +338,8 @@ pub fn lstm_gates_activate(gates: &mut Matrix, hidden: usize) {
     }
     let b = gates.rows() as u64;
     let h = hidden as u64;
-    counters::record_timed_split(
+    counters::record_timed_split_for(
+        OpClass::LstmGatesFused,
         &[
             (Kernel::Sigmoid, 10 * 3 * b * h, 8 * 3 * b * h),
             (Kernel::Tanh, 10 * b * h, 8 * b * h),
@@ -402,7 +404,8 @@ pub fn lstm_gates_fused(gates: &mut Matrix, gh: &Matrix, bias: &Matrix, hidden: 
     let bt = gates.rows() as u64;
     let h = hidden as u64;
     let n = bt * 4 * h;
-    counters::record_timed_split(
+    counters::record_timed_split_for(
+        OpClass::LstmGatesFused,
         &[
             (Kernel::Add, 2 * n, 12 * n),
             (Kernel::Sigmoid, 10 * 3 * bt * h, 8 * 3 * bt * h),
@@ -453,7 +456,8 @@ pub fn lstm_state_update(gates: &Matrix, c: &mut Matrix, h: &mut Matrix, hidden:
         }
     }
     let n = (gates.rows() * hidden) as u64;
-    counters::record_timed_split(
+    counters::record_timed_split_for(
+        OpClass::LstmStateUpdate,
         &[
             (Kernel::Mul, 3 * n, 3 * 12 * n),
             (Kernel::Add, n, 12 * n),

@@ -9,6 +9,11 @@
 //! The one property to take away: every non-degraded response below is
 //! **bit-identical** to a direct `ForecastEngine` call — batching, worker
 //! scheduling and arrival order move time, never bits (DESIGN.md §11).
+//!
+//! The run ends with one unified Prometheus exposition: training counters
+//! (from the fit report), engine phase counters and spans, serving
+//! scheduler metrics, and the per-kernel operator breakdown with time
+//! shares — all merged through `rpf_obs::MetricsSnapshot` (DESIGN.md §12).
 
 use ranknet::core::engine::ForecastEngine;
 use ranknet::core::features::extract_sequences;
@@ -32,10 +37,16 @@ fn main() {
     };
     println!("Training a small RankNet ...");
     let train = vec![ctx(1)];
-    let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 33);
+    let (model, report) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 33);
     let live = ctx(2);
 
+    // Operator-level profiling is off by default (near-zero disabled
+    // overhead); turn it on for the serving burst so the exposition below
+    // carries the paper's per-kernel breakdown. Same for phase spans.
+    ranknet::obs::ops::reset();
+    ranknet::obs::ops::set_enabled(true);
     let engine = ForecastEngine::new(&model, 42);
+    engine.set_tracing(true);
     let serve_cfg = ServeConfig {
         workers: 2,
         max_batch: 16,
@@ -105,4 +116,14 @@ fn main() {
         "engine: {} calls, {} coalesced, {} encoder reuses, {} evictions",
         t.calls, t.coalesced_requests, t.encoder_reuses, t.cache_evictions
     );
+
+    // One exposition across every layer: training counters from the fit
+    // report, engine phase counters + spans, serving scheduler metrics,
+    // and the operator breakdown captured while profiling was on.
+    let mut unified = report.rank_model.metrics.clone();
+    unified.merge(&engine.obs_snapshot());
+    unified.merge(&metrics.to_obs());
+    let unified = unified.with_ops();
+    println!("\n--- unified Prometheus exposition ---");
+    print!("{}", unified.render_prometheus());
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Machine-readable perf snapshot: runs the forecasting + serving criterion
+# groups and writes BENCH_<date>.json with the headline numbers (decode
+# ms/iter per backend, serving req/s with p50/p99 latency per mode/load),
+# so the perf trajectory is diffable across PRs.
+#
+#   scripts/bench_snapshot.sh            # writes BENCH_YYYY-MM-DD.json
+#   scripts/bench_snapshot.sh out.json   # explicit output path
+#
+# Runs offline against the vendored criterion stub, whose output format is
+# stable: stdout bench lines `label  <t>/iter  [lo .. hi]` and the serving
+# summary on stderr `serving <mode> load=<n> clients: <r> req/s  p50=..`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date +%F).json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== cargo bench -p rpf-bench --bench forecasting ==" >&2
+cargo bench -q -p rpf-bench --bench forecasting --offline \
+  >"$tmp/forecasting.out" 2>"$tmp/forecasting.err"
+
+echo "== cargo bench -p rpf-bench --bench serving ==" >&2
+cargo bench -q -p rpf-bench --bench serving --offline \
+  >"$tmp/serving.out" 2>"$tmp/serving.err"
+
+# "1.234 ms" / "567 µs" / "2.3 s" (criterion stub) and "1.234ms" /
+# "567.8µs" (Duration debug) all normalise to milliseconds.
+to_ms='
+function to_ms(v, u) {
+  if (u == "s")  return v * 1000.0
+  if (u == "ms") return v
+  if (u ~ /^(µs|us)$/) return v / 1000.0
+  if (u == "ns") return v / 1e6
+  return v
+}'
+
+# Decode bench lines: `decode_backend/<backend>/<threads>  <t> <unit>/iter ...`
+decode_json=$(awk -v q='"' "$to_ms"'
+  $1 ~ /^decode_backend\// {
+    split($1, parts, "/")
+    t = $2; unit = $3; sub(/\/iter.*/, "", unit)
+    ms = to_ms(t + 0, unit)
+    if (n++) printf ",\n"
+    printf "    {%sbackend%s: %s%s%s, %sthreads%s: %s, %sms_per_iter%s: %.4f}", \
+      q, q, q, parts[2], q, q, q, parts[3] + 0, q, q, ms
+  }
+  END { if (n) printf "\n" }
+' "$tmp/forecasting.out")
+
+# Serving summary lines (stderr): `serving <mode> load=<n> clients:
+# <r> req/s  p50=<d>  p99=<d>` where <d> is a Duration debug string.
+# The mode and load columns are right-aligned (`load= 4` vs `load=32`),
+# so extract by regex match rather than by field position.
+serving_json=$(awk -v q='"' "$to_ms"'
+function dur_ms(s,   v, u) {
+  u = s; sub(/^[0-9.]+/, "", u)
+  v = s; sub(/[^0-9.].*$/, "", v)
+  return to_ms(v + 0, u)
+}
+  /^serving / {
+    mode = $2
+    load = $0;  sub(/^.*load= */, "", load);  sub(/ .*$/, "", load)
+    rps = $0;   sub(/^.*clients: */, "", rps); sub(/ .*$/, "", rps)
+    p50 = $0;   sub(/^.*p50=/, "", p50);      sub(/ .*$/, "", p50)
+    p99 = $0;   sub(/^.*p99=/, "", p99);      sub(/ .*$/, "", p99)
+    if (n++) printf ",\n"
+    printf "    {%smode%s: %s%s%s, %sclients%s: %s, %sreq_per_s%s: %.1f, %sp50_ms%s: %.4f, %sp99_ms%s: %.4f}", \
+      q, q, q, mode, q, q, q, load + 0, q, q, rps + 0, q, q, dur_ms(p50), q, q, dur_ms(p99)
+  }
+  END { if (n) printf "\n" }
+' "$tmp/serving.err")
+
+# The serving summary parse feeds the perf trajectory; an empty result
+# means the bench output format drifted and the script must be updated.
+if [ -z "$serving_json" ] || [ -z "$decode_json" ]; then
+  echo "error: failed to parse bench output (format drift?); raw output in $tmp kept" >&2
+  trap - EXIT
+  exit 1
+fi
+
+{
+  echo "{"
+  echo "  \"date\": \"$(date +%F)\","
+  echo "  \"git\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"decode\": ["
+  printf '%s\n' "$decode_json"
+  echo "  ],"
+  echo "  \"serving\": ["
+  printf '%s\n' "$serving_json"
+  echo "  ]"
+  echo "}"
+} >"$out"
+
+echo "wrote $out" >&2

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Robustness gate: production code in the core, nn and serve crates must
-# not call `.unwrap()` / `.expect(` — failures there have typed error paths
-# (TrainError, EngineError, ServeError, Result-returning persist), and the
-# serving scheduler recovers poisoned locks instead of unwrapping them.
+# Robustness gate: production code in the core, nn, serve and obs crates
+# must not call `.unwrap()` / `.expect(` — failures there have typed error
+# paths (TrainError, EngineError, ServeError, Result-returning persist),
+# and the serving scheduler and the obs registry recover poisoned locks
+# instead of unwrapping them.
 # Test modules are
 # exempt: the awk pass strips `#[cfg(test)] mod ... { }` bodies by brace
 # tracking before grepping.
@@ -32,10 +33,10 @@ while IFS= read -r f; do
     echo "$hits"
     fail=1
   fi
-done < <(find crates/core/src crates/nn/src crates/serve/src -name '*.rs' | sort)
+done < <(find crates/core/src crates/nn/src crates/serve/src crates/obs/src -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then
-  echo "error: .unwrap()/.expect( in non-test core/nn/serve code (use a typed error path)" >&2
+  echo "error: .unwrap()/.expect( in non-test core/nn/serve/obs code (use a typed error path)" >&2
   exit 1
 fi
 echo "no-unwrap gate clean."

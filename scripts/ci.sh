@@ -14,7 +14,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== no-unwrap gate (core/nn/serve non-test code) =="
+echo "== no-unwrap gate (core/nn/serve/obs non-test code) =="
 bash scripts/check_no_unwrap.sh
 
 echo "== backend parity (tape-free runtime vs tape forward, bitwise) =="
@@ -37,6 +37,21 @@ cargo test -q -p rpf-serve --test metrics_golden --offline
 
 echo "== serving soak smoke (<= 10 s) =="
 cargo test -q -p rpf-serve --test soak_smoke --offline
+
+echo "== obs unit suite (registry, spans, ops, exporters) =="
+cargo test -q -p rpf-obs --offline
+
+echo "== obs recording properties (concurrent == sequential totals) =="
+cargo test -q -p rpf-obs --test registry_props --offline
+
+echo "== obs export golden (bucket edges + exporter bytes) =="
+cargo test -q -p rpf-obs --test export_golden --offline
+
+echo "== engine observability (registry counters, phase spans) =="
+cargo test -q -p ranknet-core --test engine_obs --offline
+
+echo "== obs disabled-overhead gate (< 1% of decode, release) =="
+cargo test -q -p rpf-bench --test obs_overhead --release --offline
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline

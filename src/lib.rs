@@ -19,6 +19,8 @@
 //! * [`core`] — RankNet itself, features, metrics, experiment runners
 //! * [`perfmodel`] — analytic CPU/GPU/VE device models for the systems study
 //! * [`serve`] — concurrent request-batching serving layer over the engine
+//! * [`obs`] — unified observability: metrics registry, span tracing,
+//!   operator profiling, Prometheus/JSONL exporters
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,6 +28,7 @@ pub use ranknet_core as core;
 pub use rpf_autodiff as autodiff;
 pub use rpf_baselines as baselines;
 pub use rpf_nn as nn;
+pub use rpf_obs as obs;
 pub use rpf_perfmodel as perfmodel;
 pub use rpf_racesim as racesim;
 pub use rpf_serve as serve;
