@@ -1,0 +1,91 @@
+//! Release-mode perf gate for the batched decode backend: at micro-batch
+//! sizes the serving layer actually forms (≥ 16 trajectories per car), the
+//! lock-step FMA backend must beat the per-row infer reference — otherwise
+//! the tolerance contract it trades away buys nothing and the regression
+//! should fail CI loudly.
+//!
+//! CI runs this with `--release` (scripts/ci.sh, gate `decode_perf_gate`).
+//! Debug builds skip the timing assertion: unoptimised relative timings of
+//! the two kernel sets are not meaningful.
+//!
+//! The gate pins ≥ 2× at the paper's operating point (100 trajectories per
+//! car); the criterion `decode_backend` group and the committed
+//! `BENCH_<date>.json` quantify the full margin (~3× measured).
+
+use ranknet_core::features::extract_sequences;
+use ranknet_core::instances::TrainingSet;
+use ranknet_core::rank_model::{oracle_covariates, RankModel, TargetKind};
+use ranknet_core::RankNetConfig;
+use rpf_nn::RngStreams;
+use rpf_racesim::{simulate_race, Event, EventConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-N wall time of one decode closure (minimum shaves scheduler
+/// noise, which only ever inflates a sample).
+fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn batched_beats_per_row_at_serving_batch_sizes() {
+    if cfg!(debug_assertions) {
+        eprintln!("decode_perf_gate: skipped (debug build; CI runs it with --release)");
+        return;
+    }
+
+    // The paper's operating shape: full-size network, full Indy500 field.
+    let cfg = RankNetConfig {
+        max_epochs: 1,
+        ..Default::default()
+    };
+    let ctx = extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2019),
+        1,
+    ));
+    let ts = TrainingSet::build(vec![ctx.clone()], &cfg, 16);
+    let mut model = RankModel::new(cfg.clone(), TargetKind::RankOnly, ts.max_car_id);
+    let _ = model.train(&ts, &ts);
+
+    let (origin, horizon) = (100, 2);
+    let cov = oracle_covariates(&ctx, origin, horizon, cfg.prediction_len);
+    let enc = model.encode(&ctx, origin);
+    let streams = RngStreams::new(0x6A7E);
+
+    // (trajectories per car, required speedup). Measured ~3x at both sizes
+    // (fused tile step + compacted first step); the floors leave ~30%
+    // headroom for machine noise while still failing loudly if either the
+    // kernels or the step-0 compaction regress.
+    for (n_samples, floor) in [(16usize, 1.8f64), (100, 2.0)] {
+        // Warm both paths once (first call pays lazy allocations).
+        black_box(model.decode(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 1));
+        black_box(model.decode_batched(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 1));
+
+        let per_row = best_of(5, || {
+            black_box(model.decode(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 1));
+        });
+        let batched = best_of(5, || {
+            black_box(
+                model.decode_batched(&ctx, &cov, origin, horizon, n_samples, &enc, &streams, 1),
+            );
+        });
+        let speedup = per_row / batched;
+        eprintln!(
+            "decode_perf_gate: n_samples={n_samples} per_row={:.2}ms batched={:.2}ms \
+             speedup={speedup:.2}x (floor {floor}x)",
+            per_row / 1e6,
+            batched / 1e6,
+        );
+        assert!(
+            speedup > floor,
+            "batched decode ({batched:.0} ns) must beat per-row ({per_row:.0} ns) \
+             by more than {floor}x at {n_samples} trajectories/car, got {speedup:.2}x"
+        );
+    }
+}

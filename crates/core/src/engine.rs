@@ -21,10 +21,10 @@
 //!   injected fault) are replaced with the CurRank baseline and flagged,
 //!   so a serving engine returns a usable answer instead of panicking.
 
-use crate::config::EngineConfig;
+use crate::config::{DecodeBackend, EngineConfig};
 use crate::features::RaceContext;
-use crate::rank_model::{EncoderState, ForecastSamples};
-use crate::ranknet::RankNet;
+use crate::rank_model::{CovariateFuture, EncoderState, ForecastSamples};
+use crate::ranknet::{DecodeJob, RankNet};
 use rpf_nn::RngStreams;
 use rpf_obs::{span_name, Counter, MetricsSnapshot, Registry, SpanName, Tracer};
 use std::collections::HashMap;
@@ -242,6 +242,7 @@ pub struct ForecastEngine<'m> {
     model: &'m RankNet,
     seed: u64,
     threads: usize,
+    backend: DecodeBackend,
     cache: EncoderCache,
     registry: Registry,
     tracer: Tracer,
@@ -269,6 +270,7 @@ impl<'m> ForecastEngine<'m> {
             model,
             seed,
             threads: rpf_tensor::par::num_threads(),
+            backend: DecodeBackend::default(),
             cache: EncoderCache::new(crate::config::DEFAULT_ENCODER_CACHE_CAPACITY),
             tracer: Tracer::new(),
             span_encode: span_name("engine_encode"),
@@ -295,7 +297,20 @@ impl<'m> ForecastEngine<'m> {
             engine.threads = t.max(1);
         }
         engine.cache = EncoderCache::new(cfg.encoder_cache_capacity);
+        engine.backend = cfg.decode_backend;
         engine
+    }
+
+    /// Override the decode backend (see [`DecodeBackend`]). Switching
+    /// between `Tape`/`PerRow` never changes samples; switching to or from
+    /// `Batched` may move them within the pinned decode tolerance.
+    pub fn with_backend(mut self, backend: DecodeBackend) -> ForecastEngine<'m> {
+        self.backend = backend;
+        self
+    }
+
+    pub fn backend(&self) -> DecodeBackend {
+        self.backend
     }
 
     /// Override the decoder worker count (≥ 1). Changes scheduling only;
@@ -394,35 +409,8 @@ impl<'m> ForecastEngine<'m> {
             .child(race as u64)
             .seed(origin as u64);
 
-        let key = (race, origin);
-        let enc = {
-            let cached = self.cache.shard(&key).get(&key);
-            match cached {
-                Some(enc) => {
-                    self.encoder_reuses.inc();
-                    enc
-                }
-                None => {
-                    let _span = self.tracer.span(self.span_encode);
-                    let t0 = Instant::now();
-                    let enc = self.model.rank_model.encode(ctx, origin);
-                    self.add_ns(&self.encode_ns, t0);
-                    let evicted = self.cache.shard(&key).insert(key, enc.clone());
-                    self.cache_evictions.add(evicted);
-                    enc
-                }
-            }
-        };
-
-        let groups = {
-            let _span = self.tracer.span(self.span_covariates);
-            let t0 = Instant::now();
-            let groups = self
-                .model
-                .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
-            self.add_ns(&self.covariate_ns, t0);
-            groups
-        };
+        let enc = self.encoder_for(race, ctx, origin);
+        let groups = self.covariates_for(ctx, origin, horizon, n_samples, call_seed);
 
         let mut samples = {
             let _span = self.tracer.span(self.span_decode);
@@ -436,6 +424,7 @@ impl<'m> ForecastEngine<'m> {
                 n_samples,
                 call_seed,
                 self.threads,
+                self.backend,
             );
             self.add_ns(&self.decode_ns, t0);
             samples
@@ -451,6 +440,46 @@ impl<'m> ForecastEngine<'m> {
             degraded: degraded_trajectories > 0,
             degraded_trajectories,
         })
+    }
+
+    /// Cache-aware encoder lookup: reuse the `(race, origin)` state if
+    /// resident, otherwise encode under the encode span and insert.
+    fn encoder_for(&self, race: usize, ctx: &RaceContext, origin: usize) -> EncoderState {
+        let key = (race, origin);
+        let cached = self.cache.shard(&key).get(&key);
+        match cached {
+            Some(enc) => {
+                self.encoder_reuses.inc();
+                enc
+            }
+            None => {
+                let _span = self.tracer.span(self.span_encode);
+                let t0 = Instant::now();
+                let enc = self.model.rank_model.encode(ctx, origin);
+                self.add_ns(&self.encode_ns, t0);
+                let evicted = self.cache.shard(&key).insert(key, enc.clone());
+                self.cache_evictions.add(evicted);
+                enc
+            }
+        }
+    }
+
+    /// Covariate-group sampling under its span and phase counter.
+    fn covariates_for(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        call_seed: u64,
+    ) -> Vec<(CovariateFuture, usize)> {
+        let _span = self.tracer.span(self.span_covariates);
+        let t0 = Instant::now();
+        let groups = self
+            .model
+            .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
+        self.add_ns(&self.covariate_ns, t0);
+        groups
     }
 
     /// Serve a batch of forecasts over several races. `requests[i].race`
@@ -505,11 +534,21 @@ impl<'m> ForecastEngine<'m> {
     /// request identity (the determinism contract): the cloned result is
     /// bit-identical to what a fresh [`ForecastEngine::try_forecast_keyed`]
     /// call would have produced.
+    ///
+    /// Under the `Batched` backend the distinct requests additionally fold
+    /// into **one** lock-step decode ([`RankNet::decode_jobs_batched`]):
+    /// every batched kernel computes each trajectory row independently and
+    /// each request keeps its own stream families, so the folded results
+    /// stay bit-identical to per-request calls — folding changes wall-clock
+    /// time, never a response.
     pub fn forecast_batch_entries(
         &self,
         contexts: &[&RaceContext],
         requests: &[ForecastRequest],
     ) -> Vec<Result<EngineForecast, EngineError>> {
+        if self.backend == DecodeBackend::Batched {
+            return self.forecast_batch_entries_folded(contexts, requests);
+        }
         let mut first_at: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
         let mut out: Vec<Result<EngineForecast, EngineError>> = Vec::with_capacity(requests.len());
         for r in requests {
@@ -532,6 +571,124 @@ impl<'m> ForecastEngine<'m> {
             out.push(res);
         }
         out
+    }
+
+    /// [`ForecastEngine::forecast_batch_entries`] for the `Batched`
+    /// backend: validate + encode + covariate-sample each distinct request,
+    /// decode them all as one lock-step batch, then degrade and fan the
+    /// results back out in request order.
+    fn forecast_batch_entries_folded(
+        &self,
+        contexts: &[&RaceContext],
+        requests: &[ForecastRequest],
+    ) -> Vec<Result<EngineForecast, EngineError>> {
+        // Distinct requests in first-appearance order; duplicates point at
+        // their representative's slot.
+        let mut first_at: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(requests.len());
+        let mut uniq: Vec<ForecastRequest> = Vec::new();
+        for r in requests {
+            let key = (r.race, r.origin, r.horizon, r.n_samples);
+            match first_at.get(&key) {
+                Some(&u) => {
+                    self.coalesced_requests.inc();
+                    slot_of.push(u);
+                }
+                None => {
+                    first_at.insert(key, uniq.len());
+                    slot_of.push(uniq.len());
+                    uniq.push(*r);
+                }
+            }
+        }
+
+        // Per-distinct-request inputs for the fold (validation errors keep
+        // their slot so neighbours still decode).
+        struct Prepared {
+            enc: EncoderState,
+            groups: Vec<(CovariateFuture, usize)>,
+            seed: u64,
+        }
+        let prepared: Vec<Result<Prepared, EngineError>> = uniq
+            .iter()
+            .map(|r| {
+                if r.race >= contexts.len() {
+                    self.rejected_requests.inc();
+                    return Err(EngineError::RaceOutOfRange {
+                        race: r.race,
+                        n_contexts: contexts.len(),
+                    });
+                }
+                let ctx = contexts[r.race];
+                if let Err(e) = validate_request(ctx, r.origin, r.horizon, r.n_samples) {
+                    self.rejected_requests.inc();
+                    return Err(e);
+                }
+                let call_seed = RngStreams::new(self.seed)
+                    .child(r.race as u64)
+                    .seed(r.origin as u64);
+                let enc = self.encoder_for(r.race, ctx, r.origin);
+                let groups = self.covariates_for(ctx, r.origin, r.horizon, r.n_samples, call_seed);
+                Ok(Prepared {
+                    enc,
+                    groups,
+                    seed: call_seed,
+                })
+            })
+            .collect();
+
+        // One decode for every valid distinct request.
+        let jobs: Vec<DecodeJob<'_>> = prepared
+            .iter()
+            .zip(&uniq)
+            .filter_map(|(p, r)| {
+                p.as_ref().ok().map(|p| DecodeJob {
+                    ctx: contexts[r.race],
+                    enc: &p.enc,
+                    groups: &p.groups,
+                    origin: r.origin,
+                    horizon: r.horizon,
+                    n_samples: r.n_samples,
+                    seed: p.seed,
+                })
+            })
+            .collect();
+        let decoded: Vec<ForecastSamples> = if jobs.is_empty() {
+            Vec::new()
+        } else {
+            let _span = self.tracer.span(self.span_decode);
+            let t0 = Instant::now();
+            let decoded = self.model.decode_jobs_batched(&jobs, self.threads);
+            self.add_ns(&self.decode_ns, t0);
+            decoded
+        };
+
+        // Degrade and package per distinct request (decoded results are in
+        // valid-request order), then fan out in request order.
+        let mut decoded = decoded.into_iter();
+        let unique_results: Vec<Result<EngineForecast, EngineError>> = prepared
+            .into_iter()
+            .zip(&uniq)
+            .map(|(p, r)| {
+                let p = p?;
+                let ctx = contexts[r.race];
+                let mut samples = decoded
+                    .next()
+                    .unwrap_or_else(|| vec![Vec::new(); ctx.sequences.len()]);
+                let degraded_trajectories =
+                    degrade_non_finite(ctx, &mut samples, r.origin, r.horizon);
+                self.degraded_trajectories.add(degraded_trajectories);
+                self.calls.inc();
+                self.trajectories
+                    .add((p.enc.cars.len() * r.n_samples) as u64);
+                Ok(EngineForecast {
+                    samples,
+                    degraded: degraded_trajectories > 0,
+                    degraded_trajectories,
+                })
+            })
+            .collect();
+        slot_of.iter().map(|&u| unique_results[u].clone()).collect()
     }
 
     /// Drop cached encoder states (e.g. after fine-tuning the model the

@@ -27,8 +27,8 @@ use rpf_nn::train::{
     shard_indices, try_train_resumable, TrainCheckpoint, TrainConfig, TrainError, TrainReport,
 };
 use rpf_nn::{
-    Binding, GaussianHead, InferEmbedding, InferGaussianHead, InferStackedLstm, LstmScratch,
-    ParamStore, RngStreams, StackedLstm,
+    BatchScratch, Binding, GaussianHead, InferEmbedding, InferGaussianHead, InferStackedLstm,
+    LstmScratch, ParamStore, RngStreams, StackedLstm,
 };
 use rpf_tensor::Matrix;
 
@@ -66,6 +66,33 @@ pub struct EncoderState {
     pub car_ids: Vec<usize>,
     /// Per-layer `(h, c)`, each `(cars.len() × hidden_dim)`.
     pub states: Vec<(Matrix, Matrix)>,
+}
+
+/// One decode unit of the batched backend: a `(request, covariate group)`
+/// pair contributing `enc.cars.len() × rows_per` lock-step rows to a shared
+/// GEMM batch (see [`RankModel::decode_runs_batched`]). Holds the same
+/// read-only inputs a [`RankModel::decode`] call would take; `streams` is
+/// the run's own family, so its draws are independent of batch-mates.
+#[derive(Clone, Copy)]
+pub struct BatchedRun<'a> {
+    pub ctx: &'a RaceContext,
+    pub enc: &'a EncoderState,
+    pub cov: &'a CovariateFuture,
+    pub origin: usize,
+    pub horizon: usize,
+    /// Trajectories per car in this run (a covariate group's sample share).
+    pub rows_per: usize,
+    /// Stream family; run-local row `ri` draws from `streams.stream(ri)`.
+    pub streams: RngStreams,
+}
+
+/// One row of the flattened batched-decode plan: which run it belongs to,
+/// its run-local row index (RNG / fault-hook key) and its encoder row.
+#[derive(Clone, Copy)]
+struct BatchedRowPlan {
+    run: usize,
+    ri: usize,
+    src: usize,
 }
 
 /// Tape-free serving runtime for one [`RankModel`]: forward-only mirrors of
@@ -669,6 +696,361 @@ impl RankModel {
                 ctx, cov_future, origin, horizon, n_samples, enc, streams, rows,
             )
         })
+    }
+
+    /// Batched backend: the same ancestral sampling with every trajectory
+    /// advanced lock-step through the FMA GEMM / fast-activation kernels of
+    /// `rpf_tensor::batched` (see `DESIGN.md` §13).
+    ///
+    /// Contract: *tolerance-pinned*, not bitwise — outputs track
+    /// [`RankModel::decode`] within the bound the `decode_parity` suite
+    /// pins, and are bit-deterministic for a fixed `(enc, streams,
+    /// n_samples)` layout. Because every batched kernel computes each output
+    /// row as a pure function of its own input row and the weights, the
+    /// per-row bits are invariant to thread count and to folding additional
+    /// rows into the same batch — which is what lets the serving layer
+    /// coalesce micro-batches into one GEMM without changing any response.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decode_batched(
+        &self,
+        ctx: &RaceContext,
+        cov_future: &CovariateFuture,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        enc: &EncoderState,
+        streams: &RngStreams,
+        threads: usize,
+    ) -> ForecastSamples {
+        let runs = [BatchedRun {
+            ctx,
+            enc,
+            cov: cov_future,
+            origin,
+            horizon,
+            rows_per: n_samples,
+            streams: *streams,
+        }];
+        let mut per_run = self.decode_runs_batched(&runs, threads);
+        let paths = per_run.pop().unwrap_or_default();
+        let mut samples: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
+        for (ri, path) in paths.into_iter().enumerate() {
+            samples[enc.cars[ri / n_samples]].push(path);
+        }
+        samples
+    }
+
+    /// Decode several [`BatchedRun`]s in one lock-step batch: the union of
+    /// all runs' replicated rows advances through shared GEMMs, split into
+    /// `threads` contiguous chunks. Returns each run's sampled paths in row
+    /// order (row `ri` of a run is trajectory `ri % rows_per` of car slot
+    /// `enc.cars[ri / rows_per]`, drawing from `streams.stream(ri)` — the
+    /// same mapping as [`RankModel::decode`], so a run's bits never depend
+    /// on what else shares the batch).
+    pub fn decode_runs_batched(
+        &self,
+        runs: &[BatchedRun<'_>],
+        threads: usize,
+    ) -> Vec<Vec<Vec<f32>>> {
+        let runtime = self.runtime();
+        let mut plan: Vec<BatchedRowPlan> = Vec::new();
+        let mut run_rows: Vec<usize> = Vec::with_capacity(runs.len());
+        for (r, run) in runs.iter().enumerate() {
+            let n = run.enc.cars.len() * run.rows_per;
+            run_rows.push(n);
+            for ri in 0..n {
+                plan.push(BatchedRowPlan {
+                    run: r,
+                    ri,
+                    src: ri / run.rows_per,
+                });
+            }
+        }
+        let total = plan.len();
+        if total == 0 {
+            return runs.iter().map(|_| Vec::new()).collect();
+        }
+        let threads = threads.clamp(1, total);
+        let rows_per_chunk = total.div_ceil(threads);
+        let chunks: Vec<&[BatchedRowPlan]> = plan.chunks(rows_per_chunk).collect();
+
+        let chunk_paths: Vec<Vec<Vec<f32>>> = if chunks.len() == 1 {
+            vec![self.decode_rows_batched(runs, &runtime, &plan)]
+        } else {
+            // Same crash containment as `decode_chunked`: a dead worker
+            // yields NaN paths for its rows, which the engine degrades.
+            let nan_chunk = |chunk: &[BatchedRowPlan]| -> Vec<Vec<f32>> {
+                chunk
+                    .iter()
+                    .map(|p| vec![f32::NAN; runs[p.run].horizon])
+                    .collect()
+            };
+            crossbeam::scope(|s| {
+                let runtime = &runtime;
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&chunk| s.spawn(move |_| self.decode_rows_batched(runs, runtime, chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(&chunks)
+                    .map(|(h, &chunk)| h.join().unwrap_or_else(|_| nan_chunk(chunk)))
+                    .collect()
+            })
+            .unwrap_or_else(|_| chunks.iter().map(|&c| nan_chunk(c)).collect())
+        };
+
+        let mut flat = chunk_paths.into_iter().flatten();
+        run_rows
+            .iter()
+            .map(|&n| (0..n).filter_map(|_| flat.next()).collect())
+            .collect()
+    }
+
+    /// Decode one contiguous slice of the batched row plan. Mirrors
+    /// [`RankModel::decode_rows_infer`] row for row — same feedback, RNG
+    /// stream, fault-hook key and clamp — but steps every row at once
+    /// through the batched kernels, and assembles inputs from a
+    /// per-`(run, car)` template: within a car's trajectory block only the
+    /// rank-feedback column (and, for Joint, the two lagged status flags)
+    /// varies per row, so the rest of the row is built once per step.
+    ///
+    /// The first step is *compacted*: before any draw has been fed back,
+    /// every trajectory of a `(run, car)` group carries the same input row
+    /// and the same encoder state, so step 0 advances one representative
+    /// row per group and broadcasts the resulting state (and mu/sigma) to
+    /// the group. Row independence of the batched kernels makes the
+    /// broadcast bit-identical to stepping every replica — the trajectories
+    /// only diverge once the per-row RNG streams draw from the shared
+    /// distribution.
+    fn decode_rows_batched(
+        &self,
+        runs: &[BatchedRun<'_>],
+        runtime: &RankRuntime,
+        plan: &[BatchedRowPlan],
+    ) -> Vec<Vec<f32>> {
+        let cb = plan.len();
+        let hid = self.cfg.hidden_dim;
+        // Replica rows of one (run, car) group are contiguous in the plan;
+        // `groups` holds each group's first row index.
+        let mut groups: Vec<usize> = Vec::new();
+        let mut group_of: Vec<usize> = vec![0; cb];
+        for (li, p) in plan.iter().enumerate() {
+            if li == 0 || (p.run, p.src) != (plan[li - 1].run, plan[li - 1].src) {
+                groups.push(li);
+            }
+            group_of[li] = groups.len() - 1;
+        }
+        let ng = groups.len();
+        // Full-size states start empty: step 0 runs on the compact group
+        // batch seeded from the encoder, and its result is broadcast here —
+        // the same copies the per-row seeding would have cost.
+        let mut h_states: Vec<(Matrix, Matrix)> = (0..self.cfg.num_layers)
+            .map(|_| (Matrix::zeros(cb, hid), Matrix::zeros(cb, hid)))
+            .collect();
+        let mut g_states: Vec<(Matrix, Matrix)> = (0..self.cfg.num_layers)
+            .map(|l| {
+                let mut h = Matrix::zeros(ng, hid);
+                let mut c = Matrix::zeros(ng, hid);
+                for (gi, &li) in groups.iter().enumerate() {
+                    let p = &plan[li];
+                    let (eh, ec) = &runs[p.run].enc.states[l];
+                    h.row_mut(gi).copy_from_slice(eh.row(p.src));
+                    c.row_mut(gi).copy_from_slice(ec.row(p.src));
+                }
+                (h, c)
+            })
+            .collect();
+        let mut rngs: Vec<StdRng> = plan
+            .iter()
+            .map(|p| runs[p.run].streams.stream(p.ri as u64))
+            .collect();
+
+        // Last observed regressive values per row (lap_time / time_behind
+        // are frozen per car; rank is the sampled feedback).
+        let mut last_rank: Vec<f32> = plan
+            .iter()
+            .map(|p| {
+                let run = &runs[p.run];
+                run.ctx.sequences[run.enc.cars[p.src]].rank[run.origin - 1]
+            })
+            .collect();
+        let mut last_lap_status: Vec<f32> = plan
+            .iter()
+            .map(|p| {
+                let run = &runs[p.run];
+                run.ctx.sequences[run.enc.cars[p.src]].lap_status[run.origin - 1]
+            })
+            .collect();
+        let mut last_track_status: Vec<f32> = plan
+            .iter()
+            .map(|p| {
+                let run = &runs[p.run];
+                run.ctx.sequences[run.enc.cars[p.src]].track_status[run.origin - 1]
+            })
+            .collect();
+
+        let top = self.cfg.num_layers - 1;
+        let mut input = Matrix::zeros(cb, self.base_dim + self.cfg.embedding_dim);
+        let mut g_input = Matrix::zeros(ng, self.base_dim + self.cfg.embedding_dim);
+        let mut scratch = BatchScratch::new();
+        let mut mu = Matrix::zeros(0, 0);
+        let mut sigma = Matrix::zeros(0, 0);
+        let mut mu1 = Matrix::zeros(0, 0);
+        let mut sigma1 = Matrix::zeros(0, 0);
+        let mut mu2 = Matrix::zeros(0, 0);
+        let mut sigma2 = Matrix::zeros(0, 0);
+        for (li, p) in plan.iter().enumerate() {
+            let run = &runs[p.run];
+            input.row_mut(li)[self.base_dim..]
+                .copy_from_slice(runtime.emb.row(run.enc.car_ids[p.src]));
+        }
+        for (gi, &li) in groups.iter().enumerate() {
+            let p = &plan[li];
+            let run = &runs[p.run];
+            g_input.row_mut(gi)[self.base_dim..]
+                .copy_from_slice(runtime.emb.row(run.enc.car_ids[p.src]));
+        }
+
+        let max_horizon = runs.iter().map(|r| r.horizon).max().unwrap_or(0);
+        let mut step_outputs: Vec<Vec<f32>> = plan
+            .iter()
+            .map(|p| Vec::with_capacity(runs[p.run].horizon))
+            .collect();
+        let mut template = Vec::with_capacity(self.base_dim);
+        for step in 0..max_horizon {
+            // Step 0 is degenerate (no feedback has diverged yet): assemble
+            // and step one row per group, then fan the state out below.
+            let compact = step == 0;
+            // Rows of a run that already reached its horizon keep their last
+            // inputs: the GEMM still computes them (row independence makes
+            // that harmless) but they draw and emit nothing further.
+            let mut cur: Option<(usize, usize)> = None;
+            let n_assembly = if compact { ng } else { cb };
+            let dst_input = if compact { &mut g_input } else { &mut input };
+            // `row` indexes `dst_input` and (when compact) `groups` — an
+            // iterator form would need the same dual indexing.
+            #[allow(clippy::needless_range_loop)]
+            for row in 0..n_assembly {
+                let li = if compact { groups[row] } else { row };
+                let p = &plan[li];
+                let run = &runs[p.run];
+                if step >= run.horizon {
+                    continue;
+                }
+                let seq = &run.ctx.sequences[run.enc.cars[p.src]];
+                if cur != Some((p.run, p.src)) {
+                    let reg = Regressive {
+                        // Placeholder — the rank column is per-row and
+                        // patched below with the row's own feedback.
+                        rank: seq.rank[run.origin - 1],
+                        lap_time: seq.lap_time[run.origin - 1],
+                        time_behind: seq.time_behind[run.origin - 1],
+                    };
+                    let cov = match self.kind {
+                        TargetKind::RankOnly => run
+                            .cov
+                            .rows
+                            .get(run.enc.cars[p.src])
+                            .and_then(|r| r.get(step))
+                            .copied()
+                            .unwrap_or_default(),
+                        TargetKind::Joint => Covariates::default(),
+                    };
+                    Self::assemble(
+                        &self.cfg,
+                        self.kind,
+                        run.ctx,
+                        &reg,
+                        &cov,
+                        seq,
+                        run.origin + step,
+                        &mut template,
+                    );
+                    cur = Some((p.run, p.src));
+                }
+                let dst = &mut dst_input.row_mut(row)[..self.base_dim];
+                dst.copy_from_slice(&template);
+                dst[0] = run.ctx.norm_rank(last_rank[li]);
+                if self.kind == TargetKind::Joint {
+                    dst[self.base_dim - 2] = last_lap_status[li];
+                    dst[self.base_dim - 1] = last_track_status[li];
+                }
+            }
+            let hidden = if compact {
+                runtime
+                    .lstm
+                    .step_batch(&g_input, &mut g_states, &mut scratch);
+                // Fan the stepped group state out to every replica row —
+                // bit-identical to having stepped each replica, and the
+                // same copy volume the per-row encoder seeding would cost.
+                for (l, (gh, gc)) in g_states.iter().enumerate() {
+                    let (fh, fc) = &mut h_states[l];
+                    for (li, &gi) in group_of.iter().enumerate() {
+                        fh.row_mut(li).copy_from_slice(gh.row(gi));
+                        fc.row_mut(li).copy_from_slice(gc.row(gi));
+                    }
+                }
+                &g_states[top].0
+            } else {
+                runtime.lstm.step_batch(&input, &mut h_states, &mut scratch);
+                &h_states[top].0
+            };
+            // Index of a row's mu/sigma entry in this step's head output.
+            let oi = |li: usize| if compact { group_of[li] } else { li };
+
+            runtime.heads[0].forward_batch(hidden, &mut mu, &mut sigma);
+            for (li, p) in plan.iter().enumerate() {
+                let run = &runs[p.run];
+                if step >= run.horizon {
+                    continue;
+                }
+                let z = match self.cfg.likelihood {
+                    Likelihood::Gaussian => draw_gaussian(
+                        &mut rngs[li],
+                        mu.as_slice()[oi(li)],
+                        sigma.as_slice()[oi(li)],
+                    ),
+                    Likelihood::StudentT(nu) => draw_student_t(
+                        &mut rngs[li],
+                        mu.as_slice()[oi(li)],
+                        sigma.as_slice()[oi(li)],
+                        nu,
+                    ),
+                };
+                let z = fault_hook_decoder(p.ri as u64, z);
+                // NaN survives the clamp, so a poisoned draw degrades the
+                // trajectory instead of silently pinning it to a bound.
+                let rank = run
+                    .ctx
+                    .denorm_rank(z)
+                    .clamp(0.5, run.ctx.field_size as f32 + 0.5);
+                step_outputs[li].push(rank);
+                last_rank[li] = rank;
+            }
+            if self.kind == TargetKind::Joint {
+                runtime.heads[1].forward_batch(hidden, &mut mu1, &mut sigma1);
+                runtime.heads[2].forward_batch(hidden, &mut mu2, &mut sigma2);
+                for (li, p) in plan.iter().enumerate() {
+                    if step >= runs[p.run].horizon {
+                        continue;
+                    }
+                    let lap_s = draw_gaussian(
+                        &mut rngs[li],
+                        mu1.as_slice()[oi(li)],
+                        sigma1.as_slice()[oi(li)],
+                    );
+                    let track_s = draw_gaussian(
+                        &mut rngs[li],
+                        mu2.as_slice()[oi(li)],
+                        sigma2.as_slice()[oi(li)],
+                    );
+                    last_lap_status[li] = if lap_s > 0.5 { 1.0 } else { 0.0 };
+                    last_track_status[li] = if track_s > 0.5 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        step_outputs
     }
 
     /// Shared decode harness: split the `b · n_samples` replicated rows into

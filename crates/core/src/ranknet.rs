@@ -12,12 +12,13 @@
 //! * `Joint` — the ablation that trains the multivariate target jointly and
 //!   fails from data sparsity.
 
-use crate::config::RankNetConfig;
+use crate::config::{DecodeBackend, RankNetConfig};
 use crate::features::RaceContext;
 use crate::instances::{Covariates, TrainingSet};
 use crate::pit_model::PitModel;
 use crate::rank_model::{
-    oracle_covariates, CovariateFuture, EncoderState, ForecastSamples, RankModel, TargetKind,
+    oracle_covariates, BatchedRun, CovariateFuture, EncoderState, ForecastSamples, RankModel,
+    TargetKind,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -151,10 +152,36 @@ impl RankNet {
         seed: u64,
         threads: usize,
     ) -> ForecastSamples {
+        self.forecast_seeded_backend(
+            ctx,
+            origin,
+            horizon,
+            n_samples,
+            seed,
+            threads,
+            DecodeBackend::default(),
+        )
+    }
+
+    /// [`RankNet::forecast_seeded`] with an explicit decode backend. `Tape`
+    /// and `PerRow` are bit-identical to each other; `Batched` (the
+    /// default) is tolerance-equal to them and bit-deterministic in its own
+    /// right — still a pure function of the non-`threads` arguments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forecast_seeded_backend(
+        &self,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+        seed: u64,
+        threads: usize,
+        backend: DecodeBackend,
+    ) -> ForecastSamples {
         let enc = self.rank_model.encode(ctx, origin);
         let groups = self.covariate_groups(ctx, origin, horizon, n_samples, seed);
         self.decode_groups(
-            ctx, &enc, &groups, origin, horizon, n_samples, seed, threads,
+            ctx, &enc, &groups, origin, horizon, n_samples, seed, threads, backend,
         )
     }
 
@@ -224,6 +251,12 @@ impl RankNet {
     /// Decode every covariate group from a shared encoder state and merge
     /// the trajectories, truncating the MLP variant's rounded-up group
     /// product back to `n_samples`.
+    ///
+    /// `Tape` / `PerRow` decode the groups one after another through the
+    /// reference backends; `Batched` folds all groups into a single
+    /// lock-step batch ([`RankModel::decode_runs_batched`]) — legal because
+    /// each group keeps its own stream family and batched rows never
+    /// influence each other.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn decode_groups(
         &self,
@@ -235,20 +268,35 @@ impl RankNet {
         n_samples: usize,
         seed: u64,
         threads: usize,
+        backend: DecodeBackend,
     ) -> ForecastSamples {
+        if backend == DecodeBackend::Batched {
+            let job = DecodeJob {
+                ctx,
+                enc,
+                groups,
+                origin,
+                horizon,
+                n_samples,
+                seed,
+            };
+            return self
+                .decode_jobs_batched(&[job], threads)
+                .pop()
+                .unwrap_or_default();
+        }
         let rank_streams = RngStreams::new(seed).child(RANK_STREAM_TAG);
         let mut all: ForecastSamples = vec![Vec::new(); ctx.sequences.len()];
         for (g, (cov, per_group)) in groups.iter().enumerate() {
-            let got = self.rank_model.decode(
-                ctx,
-                cov,
-                origin,
-                horizon,
-                *per_group,
-                enc,
-                &rank_streams.child(g as u64),
-                threads,
-            );
+            let streams = rank_streams.child(g as u64);
+            let got = match backend {
+                DecodeBackend::Tape => self.rank_model.decode_tape(
+                    ctx, cov, origin, horizon, *per_group, enc, &streams, threads,
+                ),
+                _ => self.rank_model.decode(
+                    ctx, cov, origin, horizon, *per_group, enc, &streams, threads,
+                ),
+            };
             for (slot, paths) in all.iter_mut().zip(got) {
                 slot.extend(paths);
             }
@@ -258,6 +306,66 @@ impl RankNet {
         }
         all
     }
+
+    /// Fold several decode jobs — typically the distinct requests of one
+    /// serving micro-batch, each already encoded and covariate-sampled —
+    /// into one batched decode. Every `(job, covariate group)` pair becomes
+    /// a [`BatchedRun`] with the stream family the per-job path would have
+    /// used, so each job's samples are bit-identical to decoding it alone
+    /// with the batched backend.
+    pub(crate) fn decode_jobs_batched(
+        &self,
+        jobs: &[DecodeJob<'_>],
+        threads: usize,
+    ) -> Vec<ForecastSamples> {
+        let mut runs: Vec<BatchedRun<'_>> = Vec::new();
+        for job in jobs {
+            let rank_streams = RngStreams::new(job.seed).child(RANK_STREAM_TAG);
+            for (g, (cov, per_group)) in job.groups.iter().enumerate() {
+                runs.push(BatchedRun {
+                    ctx: job.ctx,
+                    enc: job.enc,
+                    cov,
+                    origin: job.origin,
+                    horizon: job.horizon,
+                    rows_per: *per_group,
+                    streams: rank_streams.child(g as u64),
+                });
+            }
+        }
+        let mut per_run = self
+            .rank_model
+            .decode_runs_batched(&runs, threads)
+            .into_iter();
+        jobs.iter()
+            .map(|job| {
+                let mut all: ForecastSamples = vec![Vec::new(); job.ctx.sequences.len()];
+                for (cov_g, paths) in job.groups.iter().zip(&mut per_run) {
+                    let per_group = cov_g.1;
+                    for (ri, path) in paths.into_iter().enumerate() {
+                        all[job.enc.cars[ri / per_group]].push(path);
+                    }
+                }
+                for slot in all.iter_mut() {
+                    slot.truncate(job.n_samples);
+                }
+                all
+            })
+            .collect()
+    }
+}
+
+/// One request's worth of decode work, ready to fold into a batched decode:
+/// the encoder state and covariate groups are already computed; `seed` is
+/// the per-call seed [`RankNet::decode_groups`] would have received.
+pub(crate) struct DecodeJob<'a> {
+    pub ctx: &'a RaceContext,
+    pub enc: &'a EncoderState,
+    pub groups: &'a [(CovariateFuture, usize)],
+    pub origin: usize,
+    pub horizon: usize,
+    pub n_samples: usize,
+    pub seed: u64,
 }
 
 /// Sample one joint future of the race status for every car (PitModel step

@@ -9,7 +9,7 @@ use ranknet_core::features::{extract_sequences, RaceContext};
 use ranknet_core::instances::TrainingSet;
 use ranknet_core::rank_model::{oracle_covariates, ForecastSamples, RankModel, TargetKind};
 use ranknet_core::ranknet::{RankNet, RankNetVariant};
-use ranknet_core::RankNetConfig;
+use ranknet_core::{DecodeBackend, RankNetConfig};
 use rpf_nn::RngStreams;
 use rpf_racesim::{simulate_race, Event, EventConfig};
 
@@ -150,6 +150,38 @@ fn engine_matches_seeded_path_reuses_encoder_and_counts_phases() {
     let d = par_engine.forecast(&test, 91, 2, 8);
     assert_ne!(bits(&c), bits(&d));
     assert_eq!(par_engine.timings().encoder_reuses, 1);
+}
+
+#[test]
+fn every_backend_is_thread_invariant() {
+    // Each decode backend must produce bit-identical samples at 1, 2 and 8
+    // decoder threads — including the batched backend, whose lock-step
+    // rows are chunked across workers (row independence keeps the bits).
+    let train = vec![race_ctx(33)];
+    let (model, _) = RankNet::fit(train.clone(), train, tiny_cfg(), RankNetVariant::Oracle, 40);
+    let test = race_ctx(34);
+
+    for backend in [
+        DecodeBackend::Tape,
+        DecodeBackend::PerRow,
+        DecodeBackend::Batched,
+    ] {
+        let base = ForecastEngine::new(&model, 5)
+            .with_threads(1)
+            .with_backend(backend);
+        let want = base.forecast(&test, 85, 2, 8);
+        for threads in [2, 8] {
+            let engine = ForecastEngine::new(&model, 5)
+                .with_threads(threads)
+                .with_backend(backend);
+            let got = engine.forecast(&test, 85, 2, 8);
+            assert_eq!(
+                bits(&want),
+                bits(&got),
+                "{backend:?} backend with {threads} threads changed the samples"
+            );
+        }
+    }
 }
 
 #[test]

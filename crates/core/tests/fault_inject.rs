@@ -5,7 +5,7 @@
 #![cfg(feature = "fault-inject")]
 
 use ranknet_core::features::extract_sequences;
-use ranknet_core::{ForecastEngine, RankNet, RankNetConfig, RankNetVariant};
+use ranknet_core::{DecodeBackend, ForecastEngine, RankNet, RankNetConfig, RankNetVariant};
 use rpf_nn::fault::{self, FaultPlan};
 use rpf_racesim::{simulate_race, Event, EventConfig};
 use std::sync::Mutex;
@@ -79,4 +79,68 @@ fn poisoned_decoder_trajectory_degrades_to_cur_rank() {
     assert_eq!(*sample, 1, "row 1 is sample 1 of the first active car");
     let cur = ctx.sequences[*car].rank[ORIGIN - 1];
     assert_eq!(path, &vec![cur; HORIZON]);
+}
+
+/// Backend-mismatch regression gate under the fault matrix: with the same
+/// poisoned row, the batched and reference backends must degrade the
+/// *same* trajectory to the identical CurRank fallback, and every healthy
+/// trajectory must agree within the pinned decode tolerance. A kernel
+/// change that drives the backends apart — or shifts which row a fault key
+/// hits — fails here loudly.
+#[test]
+fn batched_and_reference_backends_agree_under_faults() {
+    let _g = locked();
+    let ctx = extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2016),
+        13,
+    ));
+    let mut cfg = RankNetConfig::tiny();
+    cfg.max_epochs = 1;
+    let (model, _) = RankNet::fit(
+        vec![ctx.clone()],
+        vec![ctx.clone()],
+        cfg,
+        RankNetVariant::Oracle,
+        40,
+    );
+
+    // Same decode-tolerance bound the decode_parity suite pins.
+    const RANK_TOL: f32 = 0.05;
+
+    fault::install(FaultPlan::new().poison_decoder_row(1));
+    let reference = ForecastEngine::new(&model, 7).with_backend(DecodeBackend::PerRow);
+    let f_ref = reference.try_forecast(&ctx, ORIGIN, HORIZON, N_SAMPLES);
+    let batched = ForecastEngine::new(&model, 7).with_backend(DecodeBackend::Batched);
+    let f_bat = batched.try_forecast(&ctx, ORIGIN, HORIZON, N_SAMPLES);
+    fault::clear();
+    let f_ref = f_ref.expect("reference backend must serve through the fault");
+    let f_bat = f_bat.expect("batched backend must serve through the fault");
+
+    assert!(f_ref.degraded && f_bat.degraded);
+    assert_eq!(f_ref.degraded_trajectories, 1);
+    assert_eq!(
+        f_bat.degraded_trajectories, 1,
+        "the fault key must hit the same single row in the batched layout"
+    );
+
+    let mut worst = 0.0f32;
+    for (h, f) in f_ref.samples.iter().zip(&f_bat.samples) {
+        assert_eq!(h.len(), f.len());
+        for (hp, fp) in h.iter().zip(f) {
+            for (x, y) in hp.iter().zip(fp) {
+                assert!(x.is_finite() && y.is_finite());
+                worst = worst.max((x - y).abs());
+            }
+        }
+    }
+    assert!(
+        worst <= RANK_TOL,
+        "backends diverged by {worst} rank units under faults (bound {RANK_TOL})"
+    );
+
+    // The degraded row itself is the deterministic CurRank fallback, so the
+    // two backends serve it bit-identically.
+    let cur = ctx.sequences[0].rank[ORIGIN - 1];
+    assert_eq!(f_ref.samples[0][1], vec![cur; HORIZON]);
+    assert_eq!(f_bat.samples[0][1], vec![cur; HORIZON]);
 }

@@ -33,6 +33,7 @@ use crate::linear::Linear;
 use crate::lstm::{LstmCell, StackedLstm};
 use crate::mlp::{Activation, Mlp};
 use crate::params::ParamStore;
+use rpf_tensor::batched::{dual_affine_into, lstm_step_fused_batched};
 use rpf_tensor::matmul::{matmul, matmul_into};
 use rpf_tensor::{ops, Matrix};
 
@@ -90,6 +91,33 @@ impl Default for LstmScratch {
     }
 }
 
+/// Pre-activation buffer for the batched lock-step decode path
+/// ([`InferStackedLstm::step_batch`]). Caller-owned like [`LstmScratch`]
+/// and allocation-free once warm; kept as a distinct type so a call site
+/// can hold both backends' scratch without the buffers thrashing each
+/// other's shapes. `gates` holds only a `4 × 4·hidden` tile: the fused
+/// step kernel ([`lstm_step_fused_batched`]) runs GEMM, activation, and
+/// state update tile-by-tile, so the batch-sized pre-activation block is
+/// never materialised.
+#[derive(Clone, Debug)]
+pub struct BatchScratch {
+    gates: Matrix,
+}
+
+impl BatchScratch {
+    pub fn new() -> BatchScratch {
+        BatchScratch {
+            gates: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Forward-only LSTM cell. Gate layout `[i f g o]`, matching
 /// [`LstmCell`](crate::lstm::LstmCell).
 #[derive(Clone, Debug)]
@@ -125,6 +153,31 @@ impl InferLstmCell {
         matmul_into(h, &self.w_hh, gh);
         ops::lstm_gates_fused(gates, gh, &self.bias, self.hidden_dim);
         ops::lstm_state_update(gates, c, h, self.hidden_dim);
+    }
+
+    /// Batched lock-step variant of [`InferLstmCell::step`] on the FMA /
+    /// fast-activation kernels (`rpf_tensor::batched`). Not bit-identical
+    /// to the tape — within a few ulps per element — but row-independent
+    /// and bit-deterministic for a fixed batch layout; see the batched
+    /// decode tolerance contract in `DESIGN.md` §13.
+    pub fn step_batch(
+        &self,
+        x: &Matrix,
+        h: &mut Matrix,
+        c: &mut Matrix,
+        scratch: &mut BatchScratch,
+    ) {
+        let BatchScratch { gates } = scratch;
+        lstm_step_fused_batched(
+            x,
+            &self.w_ih,
+            &self.w_hh,
+            &self.bias,
+            h,
+            c,
+            self.hidden_dim,
+            gates,
+        );
     }
 }
 
@@ -176,6 +229,28 @@ impl InferStackedLstm {
             let (prev, rest) = states.split_at_mut(l);
             let (h, c) = &mut rest[0];
             self.layers[l].step(&prev[l - 1].0, h, c, scratch);
+        }
+    }
+
+    /// Batched lock-step mirror of [`InferStackedLstm::step`] on a
+    /// caller-owned [`BatchScratch`] — zero per-step allocation once the
+    /// scratch is warm. Same stacking semantics; kernels are the
+    /// tolerance-pinned `rpf_tensor::batched` set.
+    pub fn step_batch(
+        &self,
+        x: &Matrix,
+        states: &mut [(Matrix, Matrix)],
+        scratch: &mut BatchScratch,
+    ) {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        {
+            let (h, c) = &mut states[0];
+            self.layers[0].step_batch(x, h, c, scratch);
+        }
+        for l in 1..self.layers.len() {
+            let (prev, rest) = states.split_at_mut(l);
+            let (h, c) = &mut rest[0];
+            self.layers[l].step_batch(&prev[l - 1].0, h, c, scratch);
         }
     }
 }
@@ -280,6 +355,27 @@ impl InferGaussianHead {
         let _scope = rpf_obs::ops::class_scope(rpf_obs::ops::OpClass::GaussianHead);
         self.mu.forward_into(h, mu_out);
         self.sigma.forward_into(h, sigma_out);
+        ops::softplus_assign(sigma_out);
+        ops::add_scalar_assign(sigma_out, SIGMA_FLOOR);
+    }
+
+    /// Batched mirror of [`InferGaussianHead::forward_into`] for the
+    /// lock-step decode backend: the mu/sigma projections run as one fused
+    /// pass over the `(batch, hidden)` block (`dual_affine_into`) instead
+    /// of two `n == 1` GEMVs, then the same softplus + floor sweeps. Within
+    /// a few ulps of the tape head; row-independent, so each row's output
+    /// is invariant to the rest of the batch.
+    pub fn forward_batch(&self, h: &Matrix, mu_out: &mut Matrix, sigma_out: &mut Matrix) {
+        let _scope = rpf_obs::ops::class_scope(rpf_obs::ops::OpClass::GaussianHead);
+        dual_affine_into(
+            h,
+            &self.mu.w,
+            self.mu.b.as_slice()[0],
+            &self.sigma.w,
+            self.sigma.b.as_slice()[0],
+            mu_out,
+            sigma_out,
+        );
         ops::softplus_assign(sigma_out);
         ops::add_scalar_assign(sigma_out, SIGMA_FLOOR);
     }

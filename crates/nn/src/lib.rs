@@ -45,8 +45,8 @@ pub use adam::{Adam, AdamState};
 pub use data::{Batch, BatchIter};
 pub use gaussian::GaussianHead;
 pub use infer::{
-    InferEmbedding, InferGaussianHead, InferLinear, InferLstmCell, InferMlp, InferStackedLstm,
-    LstmScratch, MlpScratch,
+    BatchScratch, InferEmbedding, InferGaussianHead, InferLinear, InferLstmCell, InferMlp,
+    InferStackedLstm, LstmScratch, MlpScratch,
 };
 pub use linear::Linear;
 pub use lstm::{LstmCell, StackedLstm};

@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use rpf_autodiff::Tape;
 use rpf_nn::mlp::Activation;
 use rpf_nn::{
-    Binding, GaussianHead, InferGaussianHead, InferLinear, InferMlp, InferStackedLstm, Linear,
-    LstmScratch, Mlp, MlpScratch, ParamStore, StackedLstm,
+    BatchScratch, Binding, GaussianHead, InferGaussianHead, InferLinear, InferMlp,
+    InferStackedLstm, Linear, LstmScratch, Mlp, MlpScratch, ParamStore, StackedLstm,
 };
 use rpf_tensor::Matrix;
 
@@ -130,4 +130,213 @@ proptest! {
         inf.forward_into(&b, &mut out);
         assert_bits(&out, &inf.forward(&b))?;
     }
+}
+
+// ---- batched backend parity --------------------------------------------
+//
+// The batched mirrors (`step_batch` / `forward_batch`) run FMA-contracted
+// GEMMs and polynomial fast activations, so their contract is *tolerance*,
+// not bits: outputs track the bitwise reference path within `BATCH_TOL`,
+// and are bit-deterministic / row-independent in their own right.
+
+/// Pinned batched-vs-reference bound. Headroom decomposition: the fast
+/// tanh/sigmoid rationals are within 2e-6 of libm, FMA contraction differs
+/// from separate mul/add by a few ulps per dot product, and the LSTM state
+/// feedback compounds those over `STEPS` steps — comfortably under 1e-4
+/// for unit-scale activations. Tightening kernels may never loosen this.
+const BATCH_TOL: f32 = 1e-4;
+
+/// Recurrent steps run in the batched parity tests (feedback compounds any
+/// first-step divergence, so multi-step agreement pins the recurrence).
+const STEPS: usize = 3;
+
+const IN_DIM: usize = 5;
+const HID_DIM: usize = 4;
+
+fn assert_close(got: &Matrix, want: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        prop_assert!((x - y).abs() <= tol, "{} vs {} (tol {})", x, y, tol);
+    }
+    Ok(())
+}
+
+/// The ISSUE-pinned batch sizes plus `STEPS` input matrices for each.
+fn batch_inputs() -> impl Strategy<Value = (usize, Vec<Matrix>)> {
+    prop::sample::select(vec![1usize, 2, 7, 100])
+        .prop_flat_map(|b| (Just(b), prop::collection::vec(matrix(b, IN_DIM), STEPS)))
+}
+
+fn head_inputs() -> impl Strategy<Value = Matrix> {
+    prop::sample::select(vec![1usize, 2, 7, 100]).prop_flat_map(|b| matrix(b, 7))
+}
+
+fn lstm_fixture(seed: u64) -> (ParamStore, StackedLstm) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stack = StackedLstm::new(&mut store, &mut rng, "s", IN_DIM, HID_DIM, 2);
+    (store, stack)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn step_batch_tracks_per_row_reference(
+        (b, xs) in batch_inputs(),
+        seed in 0u64..1000,
+    ) {
+        let (store, stack) = lstm_fixture(seed);
+        let inf = InferStackedLstm::from_store(&store, &stack);
+        let mut ref_states = inf.zero_state(b);
+        let mut bat_states = inf.zero_state(b);
+        let mut ref_scratch = LstmScratch::new();
+        let mut bat_scratch = BatchScratch::new();
+        for x in &xs {
+            inf.step(x, &mut ref_states, &mut ref_scratch);
+            inf.step_batch(x, &mut bat_states, &mut bat_scratch);
+        }
+        for l in 0..ref_states.len() {
+            assert_close(&bat_states[l].0, &ref_states[l].0, BATCH_TOL)?;
+            assert_close(&bat_states[l].1, &ref_states[l].1, BATCH_TOL)?;
+        }
+    }
+
+    #[test]
+    fn forward_batch_tracks_reference(h in head_inputs(), seed in 0u64..1000) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = GaussianHead::new(&mut store, &mut rng, "g", 7);
+        let inf = InferGaussianHead::from_store(&store, &head);
+        let (mut mu, mut sigma) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        inf.forward_into(&h, &mut mu, &mut sigma);
+        let (mut mu_b, mut sigma_b) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        inf.forward_batch(&h, &mut mu_b, &mut sigma_b);
+        assert_close(&mu_b, &mu, BATCH_TOL)?;
+        assert_close(&sigma_b, &sigma, BATCH_TOL)?;
+        // Sigma keeps the head's positivity floor through the batched path.
+        for &s in sigma_b.as_slice() {
+            prop_assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn step_batch_rows_are_layout_independent(
+        (b, xs) in batch_inputs(),
+        seed in 0u64..1000,
+    ) {
+        // The serving fold depends on this: a row's bits may not change
+        // when it is decoded alone vs inside a larger lock-step batch.
+        let (store, stack) = lstm_fixture(seed);
+        let inf = InferStackedLstm::from_store(&store, &stack);
+        let mut full = inf.zero_state(b);
+        let mut scratch = BatchScratch::new();
+        for x in &xs {
+            inf.step_batch(x, &mut full, &mut scratch);
+        }
+        for r in 0..b {
+            let mut solo = inf.zero_state(1);
+            let mut solo_scratch = BatchScratch::new();
+            for x in &xs {
+                let xr = Matrix::from_vec(1, IN_DIM, x.row(r).to_vec());
+                inf.step_batch(&xr, &mut solo, &mut solo_scratch);
+            }
+            for l in 0..full.len() {
+                for (got, want) in solo[l].0.row(0).iter().zip(full[l].0.row(r)) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                }
+                for (got, want) in solo[l].1.row(0).iter().zip(full[l].1.row(r)) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// Repeated batched runs at a fixed layout are bit-identical — the batched
+/// contract's own determinism half (the other half, tolerance against the
+/// reference, is the proptests above).
+#[test]
+fn batched_runs_are_bit_deterministic_for_fixed_layout() {
+    let (store, stack) = lstm_fixture(7);
+    let inf = InferStackedLstm::from_store(&store, &stack);
+    let mut head_store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    let head = GaussianHead::new(&mut head_store, &mut rng, "g", HID_DIM);
+    let inf_head = InferGaussianHead::from_store(&head_store, &head);
+
+    let xs: Vec<Matrix> = (0..STEPS)
+        .map(|s| {
+            Matrix::from_vec(
+                100,
+                IN_DIM,
+                (0..100 * IN_DIM)
+                    .map(|i| ((i * 37 + s * 101) % 97) as f32 / 48.5 - 1.0)
+                    .collect(),
+            )
+        })
+        .collect();
+
+    let run = || {
+        let mut states = inf.zero_state(100);
+        let mut scratch = BatchScratch::new();
+        for x in &xs {
+            inf.step_batch(x, &mut states, &mut scratch);
+        }
+        let (mut mu, mut sigma) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        inf_head.forward_batch(&states[1].0, &mut mu, &mut sigma);
+        (states, mu, sigma)
+    };
+    let (s1, mu1, sig1) = run();
+    let (s2, mu2, sig2) = run();
+    for l in 0..s1.len() {
+        assert_eq!(
+            s1[l]
+                .0
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            s2[l]
+                .0
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(
+            s1[l]
+                .1
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            s2[l]
+                .1
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(
+        mu1.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        mu2.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        sig1.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        sig2.as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+    );
 }

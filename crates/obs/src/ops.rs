@@ -24,6 +24,8 @@ use std::time::Instant;
 pub enum OpClass {
     /// Preallocated-output GEMM — the decode hot path.
     MatmulInto,
+    /// FMA-contracted lock-step GEMM (batched decode backend).
+    MatmulBatched,
     /// Allocating GEMM variants (training path).
     Matmul,
     /// Fused LSTM gate bias+activation kernel.
@@ -38,8 +40,9 @@ pub enum OpClass {
     Other,
 }
 
-pub const OP_CLASSES: [OpClass; 7] = [
+pub const OP_CLASSES: [OpClass; 8] = [
     OpClass::MatmulInto,
+    OpClass::MatmulBatched,
     OpClass::Matmul,
     OpClass::LstmGatesFused,
     OpClass::LstmStateUpdate,
@@ -52,6 +55,7 @@ impl OpClass {
     pub fn name(self) -> &'static str {
         match self {
             OpClass::MatmulInto => "matmul_into",
+            OpClass::MatmulBatched => "matmul_batched",
             OpClass::Matmul => "matmul",
             OpClass::LstmGatesFused => "lstm_gates_fused",
             OpClass::LstmStateUpdate => "lstm_state_update",
@@ -64,12 +68,13 @@ impl OpClass {
     fn index(self) -> usize {
         match self {
             OpClass::MatmulInto => 0,
-            OpClass::Matmul => 1,
-            OpClass::LstmGatesFused => 2,
-            OpClass::LstmStateUpdate => 3,
-            OpClass::GaussianHead => 4,
-            OpClass::Scalar => 5,
-            OpClass::Other => 6,
+            OpClass::MatmulBatched => 1,
+            OpClass::Matmul => 2,
+            OpClass::LstmGatesFused => 3,
+            OpClass::LstmStateUpdate => 4,
+            OpClass::GaussianHead => 5,
+            OpClass::Scalar => 6,
+            OpClass::Other => 7,
         }
     }
 }
@@ -89,7 +94,7 @@ const ZERO_CELL: OpCell = OpCell {
     nanos: AtomicU64::new(0),
 };
 
-static CELLS: [OpCell; 7] = [ZERO_CELL; 7];
+static CELLS: [OpCell; 8] = [ZERO_CELL; 8];
 
 /// Global profiling switch; off by default so the hot path stays a single
 /// relaxed load + branch in every shipped configuration.

@@ -77,6 +77,13 @@ fn pinned_snapshot() -> MetricsSnapshot {
             nanos: 750_000,
         },
         OpSample {
+            class: "matmul_batched",
+            calls: 4,
+            flops: 8_000_000,
+            bytes: 96_000,
+            nanos: 500_000,
+        },
+        OpSample {
             class: "lstm_gates_fused",
             calls: 5,
             flops: 1_000_000,

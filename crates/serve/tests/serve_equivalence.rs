@@ -7,6 +7,7 @@ mod common;
 use common::{assert_parity, bits, fixture, ENGINE_SEED};
 use ranknet_core::engine::ForecastEngine;
 use ranknet_core::features::RaceContext;
+use ranknet_core::DecodeBackend;
 use rpf_nn::RngStreams;
 use rpf_serve::loadgen::{self, LoadMix};
 use rpf_serve::{serve, ServeConfig, ServeRequest, SubmitError};
@@ -53,6 +54,65 @@ fn batched_serving_matches_direct_calls_across_worker_counts() {
         assert_eq!(metrics.completed, 40);
         assert_eq!(metrics.accepted, 40);
         assert_eq!(metrics.ok_responses, 40);
+    }
+}
+
+/// The worker sweep above pins the engine's *default* backend — which is
+/// the batched one, so lock-step serving is what the parity suite
+/// exercises. Backend choice must be orthogonal to serving: a reference
+/// (per-row) served engine replays a reference direct engine's bits at
+/// every worker count too.
+#[test]
+fn reference_backend_serving_matches_reference_direct_calls() {
+    let (model, contexts) = fixture();
+    let refs = ctx_refs(contexts);
+    assert_eq!(
+        ForecastEngine::new(model, ENGINE_SEED).backend(),
+        DecodeBackend::Batched,
+        "serving parity must be exercising the batched backend by default"
+    );
+
+    let requests = [
+        ServeRequest::new(0, 60, 2, 5),
+        ServeRequest::new(1, 75, 3, 4),
+        ServeRequest::new(0, 60, 2, 5),
+    ];
+    for workers in [1usize, 2, 8] {
+        let engine = ForecastEngine::new(model, ENGINE_SEED)
+            .with_threads(1)
+            .with_backend(DecodeBackend::PerRow);
+        let cfg = ServeConfig {
+            workers,
+            max_batch: 4,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 64,
+        };
+        let (outcomes, _) = serve(&engine, &refs, &cfg, |client| {
+            requests
+                .iter()
+                .map(|r| client.forecast(*r).expect("admitted"))
+                .collect::<Vec<_>>()
+        });
+        for (req, outcome) in requests.iter().zip(outcomes) {
+            let served = outcome.expect("valid request");
+            let reference = ForecastEngine::new(model, ENGINE_SEED)
+                .with_threads(1)
+                .with_backend(DecodeBackend::PerRow);
+            let want = reference
+                .try_forecast_keyed(
+                    req.race,
+                    &contexts[req.race],
+                    req.origin,
+                    req.horizon,
+                    req.n_samples,
+                )
+                .expect("direct call must accept what serving accepted");
+            assert_eq!(
+                bits(&want),
+                bits(&served.forecast),
+                "per-row served forecast diverged ({workers} workers)"
+            );
+        }
     }
 }
 

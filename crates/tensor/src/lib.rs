@@ -14,6 +14,7 @@
 //! The kernel set mirrors the five operations the paper identifies inside an
 //! LSTM cell: `MatMul`, elementwise `Mul`, `Add`, `Sigmoid` and `Tanh`.
 
+pub mod batched;
 pub mod counters;
 pub mod matmul;
 pub mod matrix;

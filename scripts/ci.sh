@@ -17,10 +17,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== no-unwrap gate (core/nn/serve/obs non-test code) =="
 bash scripts/check_no_unwrap.sh
 
-echo "== backend parity (tape-free runtime vs tape forward, bitwise) =="
+echo "== backend parity (tape-free bitwise + batched mirrors vs per-row) =="
 cargo test -q -p rpf-nn --test infer_parity --offline
 
-echo "== engine determinism (tape vs tape-free across thread counts) =="
+echo "== decode parity (batched vs tape within tolerance, bit-deterministic) =="
+cargo test -q -p ranknet-core --test decode_parity --offline
+
+echo "== engine determinism (every backend across thread counts) =="
 cargo test -q -p ranknet-core --test engine_determinism --offline
 
 echo "== engine cache bounds (LRU cap + eviction bit-determinism) =="
@@ -52,6 +55,9 @@ cargo test -q -p ranknet-core --test engine_obs --offline
 
 echo "== obs disabled-overhead gate (< 1% of decode, release) =="
 cargo test -q -p rpf-bench --test obs_overhead --release --offline
+
+echo "== decode perf gate (batched beats per-row at batch >= 16, release) =="
+cargo test -q -p rpf-bench --test decode_perf_gate --release --offline
 
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline
