@@ -13,11 +13,14 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ranknet_core::engine::ForecastEngine;
 use ranknet_core::features::{extract_sequences, RaceContext};
+use ranknet_core::lifecycle::VersionedModel;
 use ranknet_core::ranknet::{RankNet, RankNetVariant};
 use ranknet_core::RankNetConfig;
 use rpf_nn::RngStreams;
 use rpf_serve::loadgen::LoadMix;
 use rpf_serve::{serve, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const ENGINE_SEED: u64 = 5;
@@ -62,11 +65,7 @@ fn serve_cfg() -> ServeConfig {
 
 /// Closed-loop pass through the serving layer; returns per-request
 /// latencies (submission to response).
-fn run_batched(
-    engine: &ForecastEngine<'_>,
-    refs: &[&RaceContext],
-    clients: usize,
-) -> Vec<Duration> {
+fn run_batched(engine: &ForecastEngine, refs: &[&RaceContext], clients: usize) -> Vec<Duration> {
     let mix = hot_mix();
     let streams = RngStreams::new(0xBE7C);
     let (lat, _) = serve(engine, refs, &serve_cfg(), |client| {
@@ -104,13 +103,67 @@ fn run_batched(
     lat
 }
 
+/// The batched closed-loop load with a hot-swap thread flipping the live
+/// model slot the whole time (~every 200 µs, alternating two bit-identical
+/// weight sets so outputs stay comparable): the p99 under continuous swap
+/// is the price of the lock-free slot read in the serving hot path.
+fn run_swapped(
+    engine: &ForecastEngine,
+    refs: &[&RaceContext],
+    clients: usize,
+    weights: &[Arc<RankNet>; 2],
+) -> Vec<Duration> {
+    let mix = hot_mix();
+    let streams = RngStreams::new(0xBE7C);
+    let stop = AtomicBool::new(false);
+    let (lat, _) = serve(engine, refs, &serve_cfg(), |client| {
+        let mut all = Vec::with_capacity(clients * PER_CLIENT);
+        std::thread::scope(|s| {
+            let swapper = s.spawn(|| {
+                let mut version = 1u64;
+                while !stop.load(Ordering::Acquire) {
+                    let next = Arc::clone(&weights[(version % 2) as usize]);
+                    engine.swap_model(VersionedModel::new(version, next));
+                    version += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                version - 1
+            });
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let streams = &streams;
+                    let mix = &mix;
+                    s.spawn(move || {
+                        let mut lats = Vec::with_capacity(PER_CLIENT);
+                        for i in 0..PER_CLIENT {
+                            let req = mix.request_at(streams, (c * PER_CLIENT + i) as u64);
+                            let t0 = Instant::now();
+                            let out = client.forecast(req).expect("queue sized for the load");
+                            criterion::black_box(&out);
+                            lats.push(t0.elapsed());
+                        }
+                        lats
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(lats) => all.extend(lats),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+            stop.store(true, Ordering::Release);
+            let swaps = swapper.join().expect("swapper never panics");
+            criterion::black_box(swaps);
+        });
+        all
+    });
+    lat
+}
+
 /// The same closed-loop load, but every client calls the engine directly —
 /// one request, one model run, no batching and no coalescing.
-fn run_direct(
-    engine: &ForecastEngine<'_>,
-    contexts: &[RaceContext],
-    clients: usize,
-) -> Vec<Duration> {
+fn run_direct(engine: &ForecastEngine, contexts: &[RaceContext], clients: usize) -> Vec<Duration> {
     let mix = hot_mix();
     let streams = RngStreams::new(0xBE7C);
     let mut all = Vec::with_capacity(clients * PER_CLIENT);
@@ -198,7 +251,10 @@ fn bench_serving(c: &mut Criterion) {
 
     // Percentile summary at every load level, one measured pass each. At
     // the highest load the batched mode must come out ahead: 32 clients
-    // over a 4-deep query pool hand the scheduler ~8-way coalescing.
+    // over a 4-deep query pool hand the scheduler ~8-way coalescing. The
+    // swap mode repeats the batched run under a continuous hot-swap thread
+    // — its p99 against batched is the model-lifecycle serving overhead.
+    let weights = [Arc::new(model.clone()), Arc::new(model.clone())];
     for clients in LOADS {
         let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
         let t0 = Instant::now();
@@ -209,6 +265,11 @@ fn bench_serving(c: &mut Criterion) {
         let t0 = Instant::now();
         let lats = run_direct(&engine, &contexts, clients);
         report("direct", clients, t0.elapsed(), lats);
+
+        let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+        let t0 = Instant::now();
+        let lats = run_swapped(&engine, &refs, clients, &weights);
+        report("swap", clients, t0.elapsed(), lats);
     }
 }
 

@@ -12,6 +12,7 @@ use ranknet_core::rank_model::{RankModel, TargetKind};
 use ranknet_core::ranknet::{RankNet, RankNetVariant};
 use ranknet_core::RankNetConfig;
 use rpf_racesim::Event;
+use std::sync::Arc;
 
 /// Loss-weight sweep (Fig 7 step 1: "set optimal weight to 9").
 pub fn weight_sweep(profile: &Profile) {
@@ -342,7 +343,7 @@ pub fn engine_report(profile: &Profile) {
     );
     let mut reference: Option<Vec<u32>> = None;
     for threads in [1usize, 2, 4, 8] {
-        let engine = ForecastEngine::new(&model, 7).with_threads(threads);
+        let engine = ForecastEngine::new(Arc::clone(&model), 7).with_threads(threads);
         let cold = engine.forecast_batch(&[test], &requests);
         let first = engine.timings();
         engine.reset_timings();

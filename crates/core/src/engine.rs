@@ -23,13 +23,14 @@
 
 use crate::config::{DecodeBackend, EngineConfig};
 use crate::features::RaceContext;
+use crate::lifecycle::{ModelSlot, VersionedModel};
 use crate::rank_model::{CovariateFuture, EncoderState, ForecastSamples};
 use crate::ranknet::{DecodeJob, RankNet};
 use rpf_nn::RngStreams;
-use rpf_obs::{span_name, Counter, MetricsSnapshot, Registry, SpanName, Tracer};
+use rpf_obs::{span_name, Counter, Gauge, MetricsSnapshot, Registry, SpanName, Tracer};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// One forecast of a batch: `race` indexes the context slice handed to
@@ -89,6 +90,10 @@ pub struct EngineForecast {
     pub degraded: bool,
     /// How many trajectories fell back.
     pub degraded_trajectories: u64,
+    /// Lifecycle version of the model that produced this forecast
+    /// (0 = unversioned: an engine built from a bare model, or the
+    /// model-free [`currank_forecast`] fallback).
+    pub model_version: u64,
 }
 
 /// Snapshot of the engine's accumulated phase counters.
@@ -134,18 +139,25 @@ impl PhaseTimings {
 /// rarely contend on one lock.
 const CACHE_SHARDS: usize = 8;
 
-/// One shard of the bounded encoder cache: a map from `(race, origin)` to
-/// the cached state stamped with a per-shard logical tick. Eviction scans
-/// for the minimum stamp — O(shard len), which is at most
-/// `capacity / shards` and far cheaper than the encoder run it replaces.
+/// Encoder-cache key: `(model version, race, origin)`. The version
+/// component makes a hot-swap safe without a cache flush — an encoder
+/// state is weight-dependent, so a state computed under the old model must
+/// never serve the new one. Old-version entries age out via LRU.
+type CacheKey = (u64, usize, usize);
+
+/// One shard of the bounded encoder cache: a map from
+/// `(version, race, origin)` to the cached state stamped with a per-shard
+/// logical tick. Eviction scans for the minimum stamp — O(shard len),
+/// which is at most `capacity / shards` and far cheaper than the encoder
+/// run it replaces.
 struct CacheShard {
-    map: HashMap<(usize, usize), (u64, EncoderState)>,
+    map: HashMap<CacheKey, (u64, EncoderState)>,
     tick: u64,
     capacity: usize,
 }
 
 impl CacheShard {
-    fn get(&mut self, key: &(usize, usize)) -> Option<EncoderState> {
+    fn get(&mut self, key: &CacheKey) -> Option<EncoderState> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(key).map(|slot| {
@@ -156,7 +168,7 @@ impl CacheShard {
 
     /// Insert, evicting the least-recently-used entry if the shard is at
     /// capacity. Returns how many entries were evicted (0 or 1).
-    fn insert(&mut self, key: (usize, usize), state: EncoderState) -> u64 {
+    fn insert(&mut self, key: CacheKey, state: EncoderState) -> u64 {
         if self.capacity == 0 {
             return 0; // caching disabled: nothing stored, nothing evicted
         }
@@ -206,7 +218,7 @@ impl EncoderCache {
     /// Shard holding `key`. Uses the std sip hasher — the shard choice
     /// only affects which lock is taken and which neighbours compete for
     /// eviction, never a forecast value.
-    fn shard(&self, key: &(usize, usize)) -> MutexGuard<'_, CacheShard> {
+    fn shard(&self, key: &CacheKey) -> MutexGuard<'_, CacheShard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         let idx = (h.finish() % self.shards.len() as u64) as usize;
@@ -233,13 +245,21 @@ impl EncoderCache {
 /// Deterministic parallel Monte-Carlo forecast engine over a trained
 /// [`RankNet`].
 ///
+/// The model is owned through an [`Arc`]-based [`ModelSlot`], so a
+/// lifecycle controller can hot-swap weights under live traffic: each
+/// forecast (or batch) loads the slot once and runs entirely on that
+/// version — in-flight work finishes on the old model, later admissions
+/// see the new one, and the version-keyed encoder cache never serves a
+/// stale state across a swap. Engines built from a bare model get version
+/// 0 and behave exactly as before the slot existed.
+///
 /// Phase counters live in an owned [`rpf_obs::Registry`] (one per engine —
 /// two engines never share cells); [`ForecastEngine::timings`] is the
 /// typed view over the same handles, and [`ForecastEngine::obs_snapshot`]
 /// the mergeable one. Phase spans (encode / covariates / decode) record
 /// into an embedded [`Tracer`], disabled by default.
-pub struct ForecastEngine<'m> {
-    model: &'m RankNet,
+pub struct ForecastEngine {
+    slot: Arc<ModelSlot>,
     seed: u64,
     threads: usize,
     backend: DecodeBackend,
@@ -259,15 +279,38 @@ pub struct ForecastEngine<'m> {
     rejected_requests: Counter,
     cache_evictions: Counter,
     coalesced_requests: Counter,
+    model_swaps: Counter,
+    model_version_gauge: Gauge,
 }
 
-impl<'m> ForecastEngine<'m> {
+/// Ergonomics shim for the slot refactor: historical call sites pass
+/// `&model`, which now clones the model into shared ownership. Callers
+/// that already hold an `Arc<RankNet>` (or can move the model) pass it
+/// directly and pay nothing.
+impl From<&RankNet> for Arc<RankNet> {
+    fn from(model: &RankNet) -> Arc<RankNet> {
+        Arc::new(model.clone())
+    }
+}
+
+impl ForecastEngine {
     /// Build an engine with the machine's default thread count and the
-    /// default encoder cache capacity.
-    pub fn new(model: &'m RankNet, seed: u64) -> ForecastEngine<'m> {
+    /// default encoder cache capacity. Accepts `&RankNet` (cloned into the
+    /// slot), an owned `RankNet`, or an `Arc<RankNet>`; the model gets
+    /// lifecycle version 0 ("unversioned").
+    pub fn new(model: impl Into<Arc<RankNet>>, seed: u64) -> ForecastEngine {
+        ForecastEngine::with_slot(ModelSlot::new(VersionedModel::new(0, model)), seed)
+    }
+
+    /// Build an engine over an existing [`ModelSlot`] — the lifecycle
+    /// entry point: the controller keeps a clone of the slot (or of the
+    /// engine's [`ForecastEngine::slot`]) and swaps versions through it.
+    pub fn with_slot(slot: Arc<ModelSlot>, seed: u64) -> ForecastEngine {
         let registry = Registry::new();
+        let model_version_gauge = registry.gauge("engine_model_version");
+        model_version_gauge.set(slot.version());
         ForecastEngine {
-            model,
+            slot,
             seed,
             threads: rpf_tensor::par::num_threads(),
             backend: DecodeBackend::default(),
@@ -286,12 +329,14 @@ impl<'m> ForecastEngine<'m> {
             rejected_requests: registry.counter("engine_rejected_requests"),
             cache_evictions: registry.counter("engine_cache_evictions"),
             coalesced_requests: registry.counter("engine_coalesced_requests"),
+            model_swaps: registry.counter("engine_model_swaps"),
+            model_version_gauge,
             registry,
         }
     }
 
     /// Build an engine from an [`EngineConfig`].
-    pub fn with_config(model: &'m RankNet, cfg: &EngineConfig) -> ForecastEngine<'m> {
+    pub fn with_config(model: impl Into<Arc<RankNet>>, cfg: &EngineConfig) -> ForecastEngine {
         let mut engine = ForecastEngine::new(model, cfg.seed);
         if let Some(t) = cfg.threads {
             engine.threads = t.max(1);
@@ -301,10 +346,39 @@ impl<'m> ForecastEngine<'m> {
         engine
     }
 
+    /// The shared model slot — clone it to hot-swap versions from a
+    /// lifecycle controller while this engine serves.
+    pub fn slot(&self) -> &Arc<ModelSlot> {
+        &self.slot
+    }
+
+    /// The currently installed versioned model.
+    pub fn current_model(&self) -> Arc<VersionedModel> {
+        self.slot.load()
+    }
+
+    /// Lifecycle version of the currently installed model.
+    pub fn model_version(&self) -> u64 {
+        self.slot.version()
+    }
+
+    /// Atomically install a new model version; returns the one it
+    /// replaced. In-flight forecasts that already loaded the slot finish
+    /// on the old version; every forecast admitted after this call runs on
+    /// the new one. No cache flush is needed — encoder states are keyed by
+    /// version, so old entries can never serve the new model.
+    pub fn swap_model(&self, next: VersionedModel) -> Arc<VersionedModel> {
+        let version = next.version;
+        let prev = self.slot.swap(next);
+        self.model_swaps.inc();
+        self.model_version_gauge.set(version);
+        prev
+    }
+
     /// Override the decode backend (see [`DecodeBackend`]). Switching
     /// between `Tape`/`PerRow` never changes samples; switching to or from
     /// `Batched` may move them within the pinned decode tolerance.
-    pub fn with_backend(mut self, backend: DecodeBackend) -> ForecastEngine<'m> {
+    pub fn with_backend(mut self, backend: DecodeBackend) -> ForecastEngine {
         self.backend = backend;
         self
     }
@@ -315,7 +389,7 @@ impl<'m> ForecastEngine<'m> {
 
     /// Override the decoder worker count (≥ 1). Changes scheduling only;
     /// the samples are identical for every setting.
-    pub fn with_threads(mut self, threads: usize) -> ForecastEngine<'m> {
+    pub fn with_threads(mut self, threads: usize) -> ForecastEngine {
         self.threads = threads.max(1);
         self
     }
@@ -323,13 +397,21 @@ impl<'m> ForecastEngine<'m> {
     /// Override the encoder cache capacity (entries; 0 disables caching).
     /// Eviction only forces deterministic recomputes — never different
     /// samples.
-    pub fn with_cache_capacity(mut self, capacity: usize) -> ForecastEngine<'m> {
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ForecastEngine {
         self.cache = EncoderCache::new(capacity);
         self
     }
 
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The engine seed every call's RNG streams derive from. A shadow
+    /// engine built with the same seed (and backend) over a candidate
+    /// model produces exactly what that candidate would serve after
+    /// promotion.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Encoder states currently resident across all cache shards. Never
@@ -398,6 +480,23 @@ impl<'m> ForecastEngine<'m> {
         horizon: usize,
         n_samples: usize,
     ) -> Result<EngineForecast, EngineError> {
+        let vm = self.slot.load();
+        self.try_forecast_on(&vm, race, ctx, origin, horizon, n_samples)
+    }
+
+    /// [`ForecastEngine::try_forecast_keyed`] pinned to one loaded model
+    /// version. Batch entry points load the slot once and run every
+    /// request through here, so a swap landing mid-batch can never produce
+    /// a torn batch (some requests old, some new).
+    fn try_forecast_on(
+        &self,
+        vm: &VersionedModel,
+        race: usize,
+        ctx: &RaceContext,
+        origin: usize,
+        horizon: usize,
+        n_samples: usize,
+    ) -> Result<EngineForecast, EngineError> {
         if let Err(e) = validate_request(ctx, origin, horizon, n_samples) {
             self.rejected_requests.inc();
             return Err(e);
@@ -409,13 +508,13 @@ impl<'m> ForecastEngine<'m> {
             .child(race as u64)
             .seed(origin as u64);
 
-        let enc = self.encoder_for(race, ctx, origin);
-        let groups = self.covariates_for(ctx, origin, horizon, n_samples, call_seed);
+        let enc = self.encoder_for(vm, race, ctx, origin);
+        let groups = self.covariates_for(vm, ctx, origin, horizon, n_samples, call_seed);
 
         let mut samples = {
             let _span = self.tracer.span(self.span_decode);
             let t0 = Instant::now();
-            let samples = self.model.decode_groups(
+            let samples = vm.model.decode_groups(
                 ctx,
                 &enc,
                 &groups,
@@ -439,13 +538,21 @@ impl<'m> ForecastEngine<'m> {
             samples,
             degraded: degraded_trajectories > 0,
             degraded_trajectories,
+            model_version: vm.version,
         })
     }
 
-    /// Cache-aware encoder lookup: reuse the `(race, origin)` state if
-    /// resident, otherwise encode under the encode span and insert.
-    fn encoder_for(&self, race: usize, ctx: &RaceContext, origin: usize) -> EncoderState {
-        let key = (race, origin);
+    /// Cache-aware encoder lookup: reuse the `(version, race, origin)`
+    /// state if resident, otherwise encode under the encode span and
+    /// insert.
+    fn encoder_for(
+        &self,
+        vm: &VersionedModel,
+        race: usize,
+        ctx: &RaceContext,
+        origin: usize,
+    ) -> EncoderState {
+        let key = (vm.version, race, origin);
         let cached = self.cache.shard(&key).get(&key);
         match cached {
             Some(enc) => {
@@ -455,7 +562,7 @@ impl<'m> ForecastEngine<'m> {
             None => {
                 let _span = self.tracer.span(self.span_encode);
                 let t0 = Instant::now();
-                let enc = self.model.rank_model.encode(ctx, origin);
+                let enc = vm.model.rank_model.encode(ctx, origin);
                 self.add_ns(&self.encode_ns, t0);
                 let evicted = self.cache.shard(&key).insert(key, enc.clone());
                 self.cache_evictions.add(evicted);
@@ -467,6 +574,7 @@ impl<'m> ForecastEngine<'m> {
     /// Covariate-group sampling under its span and phase counter.
     fn covariates_for(
         &self,
+        vm: &VersionedModel,
         ctx: &RaceContext,
         origin: usize,
         horizon: usize,
@@ -475,7 +583,7 @@ impl<'m> ForecastEngine<'m> {
     ) -> Vec<(CovariateFuture, usize)> {
         let _span = self.tracer.span(self.span_covariates);
         let t0 = Instant::now();
-        let groups = self
+        let groups = vm
             .model
             .covariate_groups(ctx, origin, horizon, n_samples, call_seed);
         self.add_ns(&self.covariate_ns, t0);
@@ -518,10 +626,18 @@ impl<'m> ForecastEngine<'m> {
                 return Err(e);
             }
         }
+        let vm = self.slot.load();
         requests
             .iter()
             .map(|r| {
-                self.try_forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
+                self.try_forecast_on(
+                    &vm,
+                    r.race,
+                    contexts[r.race],
+                    r.origin,
+                    r.horizon,
+                    r.n_samples,
+                )
             })
             .collect()
     }
@@ -546,8 +662,11 @@ impl<'m> ForecastEngine<'m> {
         contexts: &[&RaceContext],
         requests: &[ForecastRequest],
     ) -> Vec<Result<EngineForecast, EngineError>> {
+        // One slot load per batch: the whole batch runs on one model
+        // version, so a concurrent swap can never split it.
+        let vm = self.slot.load();
         if self.backend == DecodeBackend::Batched {
-            return self.forecast_batch_entries_folded(contexts, requests);
+            return self.forecast_batch_entries_folded(&vm, contexts, requests);
         }
         let mut first_at: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
         let mut out: Vec<Result<EngineForecast, EngineError>> = Vec::with_capacity(requests.len());
@@ -565,7 +684,14 @@ impl<'m> ForecastEngine<'m> {
                     n_contexts: contexts.len(),
                 })
             } else {
-                self.try_forecast_keyed(r.race, contexts[r.race], r.origin, r.horizon, r.n_samples)
+                self.try_forecast_on(
+                    &vm,
+                    r.race,
+                    contexts[r.race],
+                    r.origin,
+                    r.horizon,
+                    r.n_samples,
+                )
             };
             first_at.insert(key, out.len());
             out.push(res);
@@ -579,6 +705,7 @@ impl<'m> ForecastEngine<'m> {
     /// results back out in request order.
     fn forecast_batch_entries_folded(
         &self,
+        vm: &VersionedModel,
         contexts: &[&RaceContext],
         requests: &[ForecastRequest],
     ) -> Vec<Result<EngineForecast, EngineError>> {
@@ -627,8 +754,9 @@ impl<'m> ForecastEngine<'m> {
                 let call_seed = RngStreams::new(self.seed)
                     .child(r.race as u64)
                     .seed(r.origin as u64);
-                let enc = self.encoder_for(r.race, ctx, r.origin);
-                let groups = self.covariates_for(ctx, r.origin, r.horizon, r.n_samples, call_seed);
+                let enc = self.encoder_for(vm, r.race, ctx, r.origin);
+                let groups =
+                    self.covariates_for(vm, ctx, r.origin, r.horizon, r.n_samples, call_seed);
                 Ok(Prepared {
                     enc,
                     groups,
@@ -658,7 +786,7 @@ impl<'m> ForecastEngine<'m> {
         } else {
             let _span = self.tracer.span(self.span_decode);
             let t0 = Instant::now();
-            let decoded = self.model.decode_jobs_batched(&jobs, self.threads);
+            let decoded = vm.model.decode_jobs_batched(&jobs, self.threads);
             self.add_ns(&self.decode_ns, t0);
             decoded
         };
@@ -685,6 +813,7 @@ impl<'m> ForecastEngine<'m> {
                     samples,
                     degraded: degraded_trajectories > 0,
                     degraded_trajectories,
+                    model_version: vm.version,
                 })
             })
             .collect();
@@ -820,6 +949,7 @@ pub fn currank_forecast(
         samples,
         degraded: degraded > 0,
         degraded_trajectories: degraded,
+        model_version: 0,
     })
 }
 

@@ -32,6 +32,7 @@ pub mod engine;
 pub mod eval;
 pub mod features;
 pub mod instances;
+pub mod lifecycle;
 pub mod metrics;
 pub mod persist;
 pub mod pit_model;
@@ -44,6 +45,10 @@ pub use engine::{
     currank_forecast, EngineError, EngineForecast, ForecastEngine, ForecastRequest, PhaseTimings,
 };
 pub use features::{extract_sequences, CarSequence, RaceContext};
+pub use lifecycle::{
+    rank_divergence_milli, FineTuneConfig, LifecycleError, Manifest, ModelSlot, ModelStore,
+    OnlineFineTuner, VersionedModel,
+};
 pub use pit_model::PitModel;
 pub use rank_model::RankModel;
 pub use ranknet::{RankNet, RankNetVariant};

@@ -55,14 +55,14 @@ pub const FORMAT_VERSION: u32 = 2;
 
 /// Incremental FNV-1a (64-bit): small, dependency-free, and plenty to catch
 /// truncation and bit-flips — this guards against corruption, not attackers.
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
@@ -94,7 +94,7 @@ impl Fnv1a {
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -53,6 +53,22 @@ pub struct PitModel {
     runtime: OnceLock<PitRuntime>,
 }
 
+impl Clone for PitModel {
+    /// Deep-copies the weights but NOT the cached serving runtime: the
+    /// clone starts with an empty `OnceLock` and rebuilds its nets from its
+    /// own store on first `predict`. Sharing the runtime would be a
+    /// stale-weight hazard the moment either copy trains or imports.
+    fn clone(&self) -> PitModel {
+        PitModel {
+            store: self.store.clone(),
+            mu_net: self.mu_net.clone(),
+            sigma_net: self.sigma_net.clone(),
+            scale: self.scale,
+            runtime: OnceLock::new(),
+        }
+    }
+}
+
 impl PitModel {
     pub fn new(seed: u64, fuel_window: f32) -> PitModel {
         let mut store = ParamStore::new();

@@ -141,6 +141,7 @@ impl RankScratch {
     }
 }
 
+#[derive(Clone)]
 pub struct RankModel {
     pub cfg: RankNetConfig,
     pub kind: TargetKind,

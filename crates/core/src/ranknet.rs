@@ -53,6 +53,11 @@ impl RankNetVariant {
 }
 
 /// The composed forecaster.
+///
+/// `Clone` deep-copies both sub-models (the lifecycle layer clones a live
+/// version to fine-tune a candidate off to the side); any cached serving
+/// runtime is rebuilt lazily by the clone, never shared.
+#[derive(Clone)]
 pub struct RankNet {
     pub variant: RankNetVariant,
     pub cfg: RankNetConfig,

@@ -127,7 +127,7 @@ fn zero_capacity_disables_the_cache_without_changing_bits() {
     assert_eq!(bits(&a), bits(&c));
 }
 
-fn engine_len_zero(engine: &ForecastEngine<'_>) -> usize {
+fn engine_len_zero(engine: &ForecastEngine) -> usize {
     engine.cache_len()
 }
 

@@ -15,6 +15,11 @@ use std::cell::RefCell;
 pub struct ParamId(usize);
 
 /// Values + gradient accumulators for every parameter of a model.
+///
+/// `Clone` copies values, gradients and names — the model-lifecycle layer
+/// clones a live store to fine-tune a candidate without touching the
+/// weights a serving engine is reading.
+#[derive(Clone)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Matrix>,

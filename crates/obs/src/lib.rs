@@ -61,6 +61,13 @@ pub const DURATION_EDGES_NS: [u64; 6] = [
     100_000_000_000,
 ];
 
+/// Shadow-evaluation rank-divergence edges in milli-rank units
+/// (`1000 × mean |live − candidate|` over a forecast pair; see
+/// `ranknet_core::lifecycle::rank_divergence_milli`). The ladder spans
+/// "bit-close" (≤1 = a rounding wiggle) through "moves cars whole
+/// positions" (≥4000), with overflow beyond.
+pub const DIVERGENCE_EDGES_MILLI: [u64; 8] = [1, 10, 50, 100, 250, 500, 1_000, 4_000];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +77,7 @@ mod tests {
         assert!(LATENCY_EDGES_NS.windows(2).all(|w| w[0] < w[1]));
         assert!(BATCH_EDGES.windows(2).all(|w| w[0] < w[1]));
         assert!(DURATION_EDGES_NS.windows(2).all(|w| w[0] < w[1]));
+        assert!(DIVERGENCE_EDGES_MILLI.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

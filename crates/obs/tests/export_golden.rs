@@ -8,8 +8,8 @@
 //! `UPDATE_GOLDEN=1 cargo test -p rpf-obs --test export_golden`
 
 use rpf_obs::{
-    MetricsSnapshot, OpSample, Registry, SpanSample, BATCH_EDGES, DURATION_EDGES_NS,
-    LATENCY_EDGES_NS,
+    MetricsSnapshot, OpSample, Registry, SpanSample, BATCH_EDGES, DIVERGENCE_EDGES_MILLI,
+    DURATION_EDGES_NS, LATENCY_EDGES_NS,
 };
 use std::path::PathBuf;
 
@@ -51,10 +51,23 @@ fn pinned_snapshot() -> MetricsSnapshot {
     let latency = registry.histogram("demo_latency_ns", &LATENCY_EDGES_NS);
     let batch = registry.histogram("demo_batch_size", &BATCH_EDGES);
     let epoch = registry.histogram("demo_epoch_ns", &DURATION_EDGES_NS);
+    // Model-lifecycle metrics (DESIGN.md §14): the serving layer registers
+    // these same shapes, so their export formats are pinned here too.
+    let swaps = registry.counter("demo_swaps");
+    let rollbacks = registry.counter("demo_rollbacks");
+    let version = registry.gauge("rpf_model_version");
+    let divergence = registry.histogram("demo_shadow_divergence_milli", &DIVERGENCE_EDGES_MILLI);
 
     requests.add(42);
     errors.inc();
     depth.set_max(7);
+    swaps.add(3);
+    rollbacks.inc();
+    version.set(12);
+    for &edge in DIVERGENCE_EDGES_MILLI.iter() {
+        divergence.observe(edge);
+    }
+    divergence.observe(DIVERGENCE_EDGES_MILLI[DIVERGENCE_EDGES_MILLI.len() - 1] + 1);
     // One sample landing exactly ON each edge (inclusive upper bound, so
     // each occupies its own bucket) and one past the last edge.
     for &edge in LATENCY_EDGES_NS.iter() {
@@ -128,6 +141,10 @@ fn bucket_boundaries_are_pinned() {
         ]
     );
     assert_eq!(BATCH_EDGES, [1, 2, 4, 8, 16, 32]);
+    assert_eq!(
+        DIVERGENCE_EDGES_MILLI,
+        [1, 10, 50, 100, 250, 500, 1_000, 4_000]
+    );
     assert_eq!(
         DURATION_EDGES_NS,
         [

@@ -6,13 +6,27 @@
 //! never by wall clock, so a fault fires at the same request on every run.
 
 use std::collections::BTreeSet;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A reproducible set of scheduler faults.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ServeFaultPlan {
     panic_requests: BTreeSet<u64>,
     poison_queue_once: bool,
+    /// `(admission id, hook)` — fire the hook once, from the worker thread,
+    /// while the batch containing that admission sits between formation
+    /// and its engine call.
+    swap_hook: Option<(u64, Arc<dyn Fn() + Send + Sync>)>,
+}
+
+impl std::fmt::Debug for ServeFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeFaultPlan")
+            .field("panic_requests", &self.panic_requests)
+            .field("poison_queue_once", &self.poison_queue_once)
+            .field("swap_at", &self.swap_hook.as_ref().map(|(id, _)| *id))
+            .finish()
+    }
 }
 
 impl ServeFaultPlan {
@@ -32,6 +46,22 @@ impl ServeFaultPlan {
     /// guard — poisoning the mutex for everyone after it. Fires once.
     pub fn poison_queue_once(mut self) -> ServeFaultPlan {
         self.poison_queue_once = true;
+        self
+    }
+
+    /// Run `hook` from the worker thread serving admission id `id`, while
+    /// that batch is mid-flight (formed, engine not yet called). The hook
+    /// typically performs a model hot-swap — pair it with
+    /// `ranknet_core::lifecycle::fault::arm_panic_next_swap` for the
+    /// "panic mid-swap under traffic" matrix entries. Fires once. The hook
+    /// runs *outside* the scheduler's panic containment: it must catch its
+    /// own panics (`LifecycleController::swap_now_slot` does).
+    pub fn swap_on_request(
+        mut self,
+        id: u64,
+        hook: impl Fn() + Send + Sync + 'static,
+    ) -> ServeFaultPlan {
+        self.swap_hook = Some((id, Arc::new(hook)));
         self
     }
 }
@@ -63,6 +93,24 @@ pub fn maybe_panic_request(id: u64) {
         .is_some_and(|p| p.panic_requests.contains(&id));
     if planned {
         panic!("injected fault: worker panic on request {id}");
+    }
+}
+
+/// Batch hook: consumes and fires the planned swap hook if it targets
+/// admission id `id`. Called per live batch entry, after batch formation
+/// and before the engine attempt.
+pub fn maybe_fire_swap(id: u64) {
+    let hook = {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(p) if p.swap_hook.as_ref().is_some_and(|(at, _)| *at == id) => {
+                p.swap_hook.take().map(|(_, h)| h)
+            }
+            _ => None,
+        }
+    };
+    if let Some(h) = hook {
+        h();
     }
 }
 

@@ -27,7 +27,7 @@
 //!
 //! ```no_run
 //! use rpf_serve::{serve, ServeConfig, ServeRequest};
-//! # fn demo(engine: &ranknet_core::ForecastEngine<'_>,
+//! # fn demo(engine: &ranknet_core::ForecastEngine,
 //! #         ctx: &ranknet_core::RaceContext) {
 //! let cfg = ServeConfig::default();
 //! let (_, metrics) = serve(engine, &[ctx], &cfg, |client| {
@@ -41,15 +41,17 @@
 pub mod config;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod lifecycle;
 pub mod loadgen;
 pub mod metrics;
 pub mod replay;
 pub mod server;
 
 pub use config::ServeConfig;
-pub use metrics::{MetricsSnapshot, BATCH_EDGES, LATENCY_EDGES_NS};
-pub use replay::{replay, ServiceModel};
+pub use lifecycle::{CandidateDecision, LifecycleConfig, LifecycleController};
+pub use metrics::{MetricsSnapshot, BATCH_EDGES, DIVERGENCE_EDGES_MILLI, LATENCY_EDGES_NS};
+pub use replay::{replay, replay_with_events, ReplayEvent, ServiceModel};
 pub use server::{
-    serve, FallbackReason, Pending, ServeClient, ServeError, ServeRequest, ServeResponse,
-    ServeResult, SubmitError,
+    serve, serve_with_lifecycle, FallbackReason, Pending, ServeClient, ServeError, ServeRequest,
+    ServeResponse, ServeResult, SubmitError,
 };

@@ -20,8 +20,13 @@ pub const LATENCY_EDGES_NS: [u64; 11] = rpf_obs::LATENCY_EDGES_NS;
 /// Batch-size bucket upper edges; final overflow bucket beyond.
 pub const BATCH_EDGES: [u64; 6] = rpf_obs::BATCH_EDGES;
 
+/// Shadow-evaluation divergence edges (milli-rank units); final overflow
+/// bucket beyond.
+pub const DIVERGENCE_EDGES_MILLI: [u64; 8] = rpf_obs::DIVERGENCE_EDGES_MILLI;
+
 const LAT_BUCKETS: usize = LATENCY_EDGES_NS.len() + 1;
 const BATCH_BUCKETS: usize = BATCH_EDGES.len() + 1;
+const DIV_BUCKETS: usize = DIVERGENCE_EDGES_MILLI.len() + 1;
 
 /// Shared scheduler counters, backed by an owned [`Registry`] so the
 /// serving layer reports through the same snapshot type as the engine
@@ -43,9 +48,14 @@ pub struct ServeMetrics {
     queue_poison_recoveries: Counter,
     batches: Counter,
     batched_requests: Counter,
+    swaps: Counter,
+    rollbacks: Counter,
+    shadow_comparisons: Counter,
     queue_depth_max: Gauge,
+    model_version: Gauge,
     latency: Histogram,
     batch_sizes: Histogram,
+    shadow_divergence: Histogram,
 }
 
 impl Default for ServeMetrics {
@@ -71,9 +81,15 @@ impl ServeMetrics {
             queue_poison_recoveries: registry.counter("serve_queue_poison_recoveries"),
             batches: registry.counter("serve_batches"),
             batched_requests: registry.counter("serve_batched_requests"),
+            swaps: registry.counter("serve_swaps"),
+            rollbacks: registry.counter("serve_rollbacks"),
+            shadow_comparisons: registry.counter("serve_shadow_comparisons"),
             queue_depth_max: registry.gauge("serve_queue_depth_max"),
+            model_version: registry.gauge("rpf_model_version"),
             batch_sizes: registry.histogram("serve_batch_size", &BATCH_EDGES),
             latency: registry.histogram("serve_latency_ns", &LATENCY_EDGES_NS),
+            shadow_divergence: registry
+                .histogram("serve_shadow_divergence_milli", &DIVERGENCE_EDGES_MILLI),
             registry,
         }
     }
@@ -121,6 +137,28 @@ impl ServeMetrics {
         self.queue_poison_recoveries.inc();
     }
 
+    /// Fold a lifecycle controller's tallies into this region's metrics
+    /// (see `LifecycleController::flush_into`).
+    pub(crate) fn record_lifecycle(
+        &self,
+        swaps: u64,
+        rollbacks: u64,
+        comparisons: u64,
+        divergences: &[u64],
+    ) {
+        self.swaps.add(swaps);
+        self.rollbacks.add(rollbacks);
+        self.shadow_comparisons.add(comparisons);
+        for &d in divergences {
+            self.shadow_divergence.observe(d);
+        }
+    }
+
+    /// Stamp the serving model's lifecycle version (0 = unversioned).
+    pub(crate) fn set_model_version(&self, version: u64) {
+        self.model_version.set(version);
+    }
+
     /// The backing registry, for scraping alongside other subsystems.
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -156,9 +194,14 @@ impl ServeMetrics {
             queue_poison_recoveries: self.queue_poison_recoveries.value(),
             batches: self.batches.value(),
             batched_requests: self.batched_requests.value(),
+            swaps: self.swaps.value(),
+            rollbacks: self.rollbacks.value(),
+            shadow_comparisons: self.shadow_comparisons.value(),
             queue_depth_max: self.queue_depth_max.value(),
+            model_version: self.model_version.value(),
             latency: Self::hist_array(&self.latency),
             batch_sizes: Self::hist_array(&self.batch_sizes),
+            shadow_divergence: Self::hist_array(&self.shadow_divergence),
         }
     }
 }
@@ -188,13 +231,24 @@ pub struct MetricsSnapshot {
     pub queue_poison_recoveries: u64,
     pub batches: u64,
     pub batched_requests: u64,
+    /// Model hot-swaps performed by a lifecycle controller.
+    pub swaps: u64,
+    /// Candidate rollbacks (divergence gate or a panicked swap).
+    pub rollbacks: u64,
+    /// Shadow live-vs-candidate comparisons run.
+    pub shadow_comparisons: u64,
     pub queue_depth_max: u64,
+    /// Lifecycle version of the serving model (0 = unversioned).
+    pub model_version: u64,
     /// Latency histogram: one count per [`LATENCY_EDGES_NS`] bucket plus a
     /// final overflow bucket.
     pub latency: [u64; LAT_BUCKETS],
     /// Batch-size histogram: one count per [`BATCH_EDGES`] bucket plus a
     /// final overflow bucket.
     pub batch_sizes: [u64; BATCH_BUCKETS],
+    /// Shadow-divergence histogram: one count per
+    /// [`DIVERGENCE_EDGES_MILLI`] bucket plus a final overflow bucket.
+    pub shadow_divergence: [u64; DIV_BUCKETS],
 }
 
 impl MetricsSnapshot {
@@ -225,7 +279,11 @@ impl MetricsSnapshot {
         line("queue_poison_recoveries", self.queue_poison_recoveries);
         line("batches", self.batches);
         line("batched_requests", self.batched_requests);
+        line("swaps", self.swaps);
+        line("rollbacks", self.rollbacks);
+        line("shadow_comparisons", self.shadow_comparisons);
         line("queue_depth_max", self.queue_depth_max);
+        line("model_version", self.model_version);
         for (i, &count) in self.batch_sizes.iter().enumerate() {
             let label = match BATCH_EDGES.get(i) {
                 Some(e) => format!("batch_size<={e}"),
@@ -237,6 +295,13 @@ impl MetricsSnapshot {
             let label = match LATENCY_EDGES_NS.get(i) {
                 Some(e) => format!("latency_ns<={e}"),
                 None => "latency_overflow".to_string(),
+            };
+            line(&label, count);
+        }
+        for (i, &count) in self.shadow_divergence.iter().enumerate() {
+            let label = match DIVERGENCE_EDGES_MILLI.get(i) {
+                Some(e) => format!("shadow_divergence<={e}"),
+                None => "shadow_divergence_overflow".to_string(),
             };
             line(&label, count);
         }
@@ -268,11 +333,20 @@ impl MetricsSnapshot {
                 ),
                 counter("serve_batches", self.batches),
                 counter("serve_batched_requests", self.batched_requests),
+                counter("serve_swaps", self.swaps),
+                counter("serve_rollbacks", self.rollbacks),
+                counter("serve_shadow_comparisons", self.shadow_comparisons),
             ],
-            gauges: vec![rpf_obs::GaugeSample {
-                name: "serve_queue_depth_max".to_string(),
-                value: self.queue_depth_max,
-            }],
+            gauges: vec![
+                rpf_obs::GaugeSample {
+                    name: "serve_queue_depth_max".to_string(),
+                    value: self.queue_depth_max,
+                },
+                rpf_obs::GaugeSample {
+                    name: "rpf_model_version".to_string(),
+                    value: self.model_version,
+                },
+            ],
             histograms: vec![
                 rpf_obs::HistogramSample {
                     name: "serve_batch_size".to_string(),
@@ -286,6 +360,13 @@ impl MetricsSnapshot {
                     edges: LATENCY_EDGES_NS.to_vec(),
                     buckets: self.latency.to_vec(),
                     count: self.latency.iter().sum(),
+                    sum: 0,
+                },
+                rpf_obs::HistogramSample {
+                    name: "serve_shadow_divergence_milli".to_string(),
+                    edges: DIVERGENCE_EDGES_MILLI.to_vec(),
+                    buckets: self.shadow_divergence.to_vec(),
+                    count: self.shadow_divergence.iter().sum(),
                     sum: 0,
                 },
             ],
@@ -326,7 +407,12 @@ mod tests {
         let text = snap.render();
         assert_eq!(
             text.lines().count(),
-            14 + BATCH_EDGES.len() + 1 + LATENCY_EDGES_NS.len() + 1
+            18 + BATCH_EDGES.len()
+                + 1
+                + LATENCY_EDGES_NS.len()
+                + 1
+                + DIVERGENCE_EDGES_MILLI.len()
+                + 1
         );
         assert!(text.contains("latency_ns<=10000"));
     }

@@ -28,6 +28,20 @@ pub struct ServiceModel {
     pub per_request_ns: u64,
 }
 
+/// A scripted lifecycle event on the replay's virtual timeline. Events
+/// mutate the lifecycle counters exactly as the threaded scheduler's
+/// controller would, so a swap-bearing trace replays to a bit-exact
+/// [`MetricsSnapshot`] that golden tests can pin.
+#[derive(Clone, Copy, Debug)]
+pub enum ReplayEvent {
+    /// A candidate was promoted and hot-swapped in as `version`.
+    Swap { version: u64 },
+    /// A shadow comparison ran with this divergence (milli-rank units).
+    ShadowComparison { divergence_milli: u64 },
+    /// A candidate was rolled back; the serving version is unchanged.
+    Rollback,
+}
+
 /// Replay `schedule` — `(arrival_ns, request)` pairs — through the
 /// scheduler policy under `cfg` and `svc`, returning the exact metrics a
 /// single-worker server would have produced on this virtual timeline.
@@ -36,15 +50,31 @@ pub fn replay(
     schedule: &[(u64, ServeRequest)],
     svc: &ServiceModel,
 ) -> MetricsSnapshot {
+    replay_with_events(cfg, schedule, &[], svc)
+}
+
+/// [`replay`] over a trace that also carries lifecycle events —
+/// `(event_ns, event)` pairs interleaved with the arrivals on the same
+/// virtual clock. Tie-break: an event at exactly an arrival or dispatch
+/// instant is applied *before* that action, mirroring the arrival rule.
+pub fn replay_with_events(
+    cfg: &ServeConfig,
+    schedule: &[(u64, ServeRequest)],
+    events: &[(u64, ReplayEvent)],
+    svc: &ServiceModel,
+) -> MetricsSnapshot {
     let cfg = cfg.normalized();
     let metrics = ServeMetrics::new();
     let max_delay_ns = cfg.max_delay.as_nanos() as u64;
 
     let mut arrivals: Vec<(u64, ServeRequest)> = schedule.to_vec();
     arrivals.sort_by_key(|(t, _)| *t); // stable: equal times keep script order
+    let mut lifecycle: Vec<(u64, ReplayEvent)> = events.to_vec();
+    lifecycle.sort_by_key(|(t, _)| *t);
 
     let mut queue: VecDeque<(u64, ServeRequest)> = VecDeque::new();
     let mut next = 0usize; // index of the next un-ingested arrival
+    let mut next_event = 0usize; // index of the next unapplied event
     let mut t_free = 0u64; // virtual worker is idle from this instant
 
     loop {
@@ -58,6 +88,22 @@ pub fn replay(
             gated.max(t_free)
         });
 
+        // Lifecycle events apply ahead of any arrival/dispatch at the
+        // same instant (and unconditionally once the trace is drained).
+        if let Some(&(te, ev)) = lifecycle.get(next_event) {
+            let horizon = match (next_arrival, dispatch_at) {
+                (Some(ta), Some(tb)) => Some(ta.min(tb)),
+                (Some(ta), None) => Some(ta),
+                (None, Some(tb)) => Some(tb),
+                (None, None) => None,
+            };
+            if horizon.is_none_or(|h| te <= h) {
+                apply_event(&metrics, ev);
+                next_event += 1;
+                continue;
+            }
+        }
+
         match (next_arrival, dispatch_at) {
             (None, None) => break,
             (Some(ta), Some(tb)) if ta <= tb => {
@@ -68,6 +114,21 @@ pub fn replay(
         }
     }
     metrics.snapshot()
+}
+
+fn apply_event(metrics: &ServeMetrics, ev: ReplayEvent) {
+    match ev {
+        ReplayEvent::Swap { version } => {
+            metrics.record_lifecycle(1, 0, 0, &[]);
+            metrics.set_model_version(version);
+        }
+        ReplayEvent::ShadowComparison { divergence_milli } => {
+            metrics.record_lifecycle(0, 0, 1, &[divergence_milli]);
+        }
+        ReplayEvent::Rollback => {
+            metrics.record_lifecycle(0, 1, 0, &[]);
+        }
+    }
 }
 
 fn ingest(

@@ -31,6 +31,7 @@
 //!   request before exiting: accepted always implies answered.
 
 use crate::config::ServeConfig;
+use crate::lifecycle::LifecycleController;
 use crate::metrics::{MetricsSnapshot, ResponseKind, ServeMetrics};
 use ranknet_core::engine::{
     currank_forecast, EngineError, EngineForecast, ForecastEngine, ForecastRequest,
@@ -193,12 +194,15 @@ struct QueueState {
 }
 
 struct Shared<'a> {
-    engine: &'a ForecastEngine<'a>,
+    engine: &'a ForecastEngine,
     contexts: &'a [&'a RaceContext],
     cfg: ServeConfig,
     queue: Mutex<QueueState>,
     wakeup: Condvar,
     metrics: ServeMetrics,
+    /// Shadow-evaluation / hot-swap controller, when serving under
+    /// [`serve_with_lifecycle`].
+    lifecycle: Option<&'a LifecycleController>,
 }
 
 impl<'a> Shared<'a> {
@@ -280,10 +284,37 @@ pub(crate) fn deadline_expired(waited: Duration, deadline: Option<Duration>) -> 
 /// admission, drain the queue, join the workers, and report the final
 /// metrics. Requests reference `contexts` by index, exactly like
 /// [`ForecastEngine::try_forecast_batch`].
-pub fn serve<'m, R>(
-    engine: &ForecastEngine<'m>,
+pub fn serve<R>(
+    engine: &ForecastEngine,
     contexts: &[&RaceContext],
     cfg: &ServeConfig,
+    body: impl FnOnce(ServeClient<'_, '_>) -> R,
+) -> (R, MetricsSnapshot) {
+    serve_inner(engine, contexts, cfg, None, body)
+}
+
+/// [`serve`] with a model-lifecycle controller attached: while a candidate
+/// is staged, sampled healthy responses are shadow-compared against it,
+/// and the controller's promote / rollback decisions (including hot-swaps
+/// of `engine`'s model slot) happen inside the region. The controller's
+/// swap / rollback / divergence tallies are folded into the returned
+/// metrics, and the `rpf_model_version` gauge reports the version serving
+/// at region end.
+pub fn serve_with_lifecycle<R>(
+    engine: &ForecastEngine,
+    contexts: &[&RaceContext],
+    cfg: &ServeConfig,
+    lifecycle: &LifecycleController,
+    body: impl FnOnce(ServeClient<'_, '_>) -> R,
+) -> (R, MetricsSnapshot) {
+    serve_inner(engine, contexts, cfg, Some(lifecycle), body)
+}
+
+fn serve_inner<R>(
+    engine: &ForecastEngine,
+    contexts: &[&RaceContext],
+    cfg: &ServeConfig,
+    lifecycle: Option<&LifecycleController>,
     body: impl FnOnce(ServeClient<'_, '_>) -> R,
 ) -> (R, MetricsSnapshot) {
     let cfg = cfg.normalized();
@@ -298,6 +329,7 @@ pub fn serve<'m, R>(
         }),
         wakeup: Condvar::new(),
         metrics: ServeMetrics::new(),
+        lifecycle,
     };
 
     let out = std::thread::scope(|s| {
@@ -309,6 +341,11 @@ pub fn serve<'m, R>(
         shared.wakeup.notify_all();
         out
     });
+    if let Some(lc) = lifecycle {
+        lc.flush_into(&shared.metrics, engine);
+    } else {
+        shared.metrics.set_model_version(engine.model_version());
+    }
     (out, shared.metrics.snapshot())
 }
 
@@ -400,6 +437,17 @@ fn serve_batch(shared: &Shared<'_>, batch: Vec<Entry>) {
         })
         .collect();
 
+    // Lifecycle fault hook: fire a planned swap while this batch is
+    // between formation and its engine call ("swap mid-batch" /
+    // "swap during shutdown-drain" in the fault matrix). The hook runs
+    // outside the catch_unwind below, so a hook that lets a swap panic
+    // escape would kill the worker — planned hooks guard their own swaps
+    // (see `LifecycleController::swap_now_slot`).
+    #[cfg(feature = "fault-inject")]
+    for e in &live {
+        crate::fault::maybe_fire_swap(e.id);
+    }
+
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         #[cfg(feature = "fault-inject")]
         for e in &live {
@@ -458,6 +506,13 @@ fn deliver_engine_result(
     res: Result<EngineForecast, EngineError>,
     batch_size: usize,
 ) {
+    // Shadow evaluation (sampled): compare the live answer against a
+    // staged candidate before delivery, so the decision sequence is a pure
+    // function of the admission order. Only sampled admissions pay the
+    // candidate's inline forecast.
+    if let (Some(lc), Ok(forecast)) = (shared.lifecycle, &res) {
+        lc.observe(shared.engine, shared.contexts, e.id, &e.req, forecast);
+    }
     let (kind, result) = match res {
         Ok(forecast) => (
             ResponseKind::Ok,

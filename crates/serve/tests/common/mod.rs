@@ -1,5 +1,8 @@
 //! Shared fixture: one tiny trained RankNet and a pair of unseen races,
 //! built once per test binary (training dominates test wall-clock).
+//!
+//! Not every test binary uses every helper.
+#![allow(dead_code)]
 
 use ranknet_core::engine::{EngineForecast, ForecastEngine};
 use ranknet_core::features::{extract_sequences, RaceContext};
@@ -27,6 +30,30 @@ pub fn fixture() -> &'static (RankNet, Vec<RaceContext>) {
         let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 40);
         (model, vec![race_ctx(102), race_ctx(103)])
     })
+}
+
+/// A second trained model with different init — weights (and forecasts)
+/// differ from [`fixture`]'s model, which is what version-parity and
+/// shadow-divergence tests need.
+pub fn alt_model() -> &'static RankNet {
+    static ALT: OnceLock<RankNet> = OnceLock::new();
+    ALT.get_or_init(|| {
+        let cfg = RankNetConfig {
+            max_epochs: 1,
+            ..RankNetConfig::tiny()
+        };
+        let train = vec![race_ctx(101)];
+        let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 41);
+        model
+    })
+}
+
+/// Fresh (pre-wiped) per-test model-store root under the system temp dir.
+pub fn store_root(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rpf_lifecycle_serve_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// Engine seed shared by the served and the reference engines — parity

@@ -8,11 +8,15 @@
 
 mod common;
 
-use common::{assert_parity, bits, fixture, ENGINE_SEED};
+use common::{alt_model, assert_parity, bits, fixture, store_root, ENGINE_SEED};
 use ranknet_core::engine::{currank_forecast, ForecastEngine};
+use ranknet_core::lifecycle::{fault as core_fault, LifecycleError, ModelStore};
 use rpf_serve::fault::{self, ServeFaultPlan};
-use rpf_serve::{serve, FallbackReason, ServeConfig, ServeRequest};
-use std::sync::Mutex;
+use rpf_serve::{
+    serve, serve_with_lifecycle, CandidateDecision, FallbackReason, LifecycleConfig,
+    LifecycleController, ServeConfig, ServeRequest,
+};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 // The fault plan is process-global: tests installing plans serialize here.
@@ -172,4 +176,286 @@ fn expired_deadline_degrades_to_flagged_currank_fallback() {
     assert_eq!(metrics.ok_responses, 1);
     assert_eq!(metrics.completed, 2);
     assert_eq!(metrics.worker_panics, 0);
+}
+
+// ---- lifecycle fault matrix (DESIGN.md §14) --------------------------------
+
+/// Panic injected *inside* the hot-swap, fired from a worker thread while
+/// a batch is mid-flight: the swap must abort atomically — the old version
+/// keeps serving every request bit-exactly, the candidate's artifact is
+/// quarantined, and the rollback is visible in the region metrics.
+#[test]
+fn panic_mid_swap_under_traffic_keeps_old_version_serving() {
+    let _guard = locked();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let root = store_root("panic_mid_swap");
+    let store = ModelStore::open(&root).expect("store opens");
+    let candidate = store
+        .publish(alt_model(), None, "candidate")
+        .expect("publish");
+    let lc = Arc::new(LifecycleController::new(LifecycleConfig::default()).with_store(store));
+
+    // The swap hook runs from the worker thread, mid-batch; it owns Arc
+    // clones because the fault plan is process-global ('static).
+    let hook_lc = Arc::clone(&lc);
+    let hook_slot = Arc::clone(engine.slot());
+    let version = candidate.version;
+    core_fault::arm_panic_next_swap();
+    fault::install(ServeFaultPlan::new().swap_on_request(2, move || {
+        hook_lc.swap_now_slot(&hook_slot, version, Arc::new(alt_model().clone()));
+    }));
+
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_delay: Duration::from_millis(200),
+        queue_capacity: 64,
+    };
+    let reqs: Vec<ServeRequest> = (0..4)
+        .map(|i| ServeRequest::new(i % 2, 60 + 5 * i, 2, 3))
+        .collect();
+    let (outcomes, metrics) = serve_with_lifecycle(&engine, &refs, &cfg, &lc, |client| {
+        let pending: Vec<_> = reqs
+            .iter()
+            .map(|&req| (req, client.submit(req).expect("queue sized for the load")))
+            .collect();
+        pending
+            .into_iter()
+            .map(|(req, p)| (req, p.wait()))
+            .collect::<Vec<_>>()
+    });
+    fault::clear();
+    core_fault::clear();
+
+    assert_eq!(outcomes.len(), 4, "an aborted swap must not drop responses");
+    for (req, outcome) in &outcomes {
+        let resp = outcome.as_ref().expect("all requests here are valid");
+        assert!(resp.fallback.is_none(), "aborted swap degraded {req:?}");
+        assert_eq!(resp.forecast.model_version, 0, "old version must serve");
+        assert_parity(req, outcome);
+    }
+    assert_eq!(engine.model_version(), 0);
+    assert_eq!(
+        lc.decisions(),
+        vec![CandidateDecision::RolledBack {
+            version,
+            samples: 0,
+            mean_divergence_milli: 0,
+        }]
+    );
+    assert_eq!(metrics.rollbacks, 1);
+    assert_eq!(metrics.swaps, 0);
+    assert_eq!(metrics.model_version, 0);
+    let quarantined = lc
+        .store()
+        .expect("attached")
+        .quarantined()
+        .expect("readable");
+    assert!(
+        quarantined.iter().any(|q| q.contains("swap-panic")),
+        "candidate must be quarantined after the aborted swap, saw {quarantined:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The same aborted swap fired while the region is already draining its
+/// queue after shutdown: every drained request is still answered on the
+/// old version, nothing hangs, and the candidate is quarantined.
+#[test]
+fn panic_mid_swap_during_shutdown_drain_answers_everything_on_old_version() {
+    let _guard = locked();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let root = store_root("drain_swap");
+    let store = ModelStore::open(&root).expect("store opens");
+    let candidate = store
+        .publish(alt_model(), None, "candidate")
+        .expect("publish");
+    let lc = Arc::new(LifecycleController::new(LifecycleConfig::default()).with_store(store));
+
+    let hook_lc = Arc::clone(&lc);
+    let hook_slot = Arc::clone(engine.slot());
+    let version = candidate.version;
+    core_fault::arm_panic_next_swap();
+    fault::install(ServeFaultPlan::new().swap_on_request(3, move || {
+        hook_lc.swap_now_slot(&hook_slot, version, Arc::new(alt_model().clone()));
+    }));
+
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 2,
+        max_delay: Duration::from_millis(50),
+        queue_capacity: 64,
+    };
+    let reqs: Vec<ServeRequest> = (0..5)
+        .map(|i| ServeRequest::new(i % 2, 62 + 4 * i, 2, 3))
+        .collect();
+    // Submit everything and return immediately: the region shuts down with
+    // the queue full, and the drain path serves (and swaps) after close.
+    let (pending, metrics) = serve_with_lifecycle(&engine, &refs, &cfg, &lc, |client| {
+        reqs.iter()
+            .map(|&req| (req, client.submit(req).expect("queue sized for the load")))
+            .collect::<Vec<_>>()
+    });
+    fault::clear();
+    core_fault::clear();
+
+    assert_eq!(pending.len(), 5, "drain must answer every accepted request");
+    for (req, p) in pending {
+        let outcome = p.wait();
+        let resp = outcome.as_ref().expect("all requests here are valid");
+        assert!(resp.fallback.is_none());
+        assert_eq!(resp.forecast.model_version, 0, "old version must serve");
+        assert_parity(&req, &outcome);
+    }
+    assert_eq!(engine.model_version(), 0);
+    assert_eq!(metrics.completed, 5);
+    assert_eq!(metrics.rollbacks, 1);
+    assert_eq!(metrics.swaps, 0);
+    let quarantined = lc
+        .store()
+        .expect("attached")
+        .quarantined()
+        .expect("readable");
+    assert!(
+        quarantined.iter().any(|q| q.contains("swap-panic")),
+        "candidate must be quarantined, saw {quarantined:?}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A crash between the artifact write and the manifest write (torn
+/// publish): the publish fails, the next store open quarantines the torn
+/// directory, its version id is never reused, and the serving region keeps
+/// answering on the old version throughout.
+#[test]
+fn torn_publish_is_quarantined_and_old_version_keeps_serving() {
+    let _guard = locked();
+    fault::clear();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let root = store_root("torn_publish");
+    let store = ModelStore::open(&root).expect("store opens");
+    let live = store.publish(model, None, "baseline").expect("publish");
+    store.set_current(live.version).expect("promote baseline");
+
+    core_fault::arm_tear_next_publish();
+    let torn = store.publish(alt_model(), Some(live.version), "candidate");
+    core_fault::clear();
+    let torn_version = match torn {
+        Err(LifecycleError::Torn { version }) => version,
+        other => panic!("expected torn publish, got {other:?}"),
+    };
+
+    // Reopen = crash recovery: the sweep moves the torn directory aside.
+    let store = ModelStore::open(&root).expect("reopen sweeps");
+    let quarantined = store.quarantined().expect("readable");
+    assert!(
+        quarantined.iter().any(|q| q.contains("torn")),
+        "torn artifact must be quarantined, saw {quarantined:?}"
+    );
+    assert!(!store.versions().expect("readable").contains(&torn_version));
+    assert_eq!(store.current().expect("readable"), Some(live.version));
+    // The torn id is burnt, never recycled for a later publish.
+    let next = store
+        .publish(alt_model(), Some(live.version), "retry")
+        .expect("publish");
+    assert!(
+        next.version > torn_version,
+        "version ids must never be reused"
+    );
+
+    let lc = LifecycleController::new(LifecycleConfig::default()).with_store(store);
+    let (_, metrics) = serve_with_lifecycle(&engine, &refs, &serve_cfg_small(), &lc, |client| {
+        for i in 0..3 {
+            let resp = client
+                .forecast(ServeRequest::new(i % 2, 75 + i, 2, 3))
+                .expect("accepted")
+                .expect("valid");
+            assert!(resp.fallback.is_none());
+            assert_eq!(resp.forecast.model_version, 0);
+        }
+    });
+    assert_eq!(metrics.completed, 3);
+    assert_eq!(metrics.model_version, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Bit rot in a published candidate: the checksum mismatch is detected at
+/// load, the artifact is quarantined (at most one hit), and the serving
+/// region never sees the bad weights.
+#[test]
+fn checksum_corrupt_candidate_is_quarantined_before_it_can_serve() {
+    let _guard = locked();
+    fault::clear();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let root = store_root("corrupt_candidate");
+    let store = ModelStore::open(&root).expect("store opens");
+    let candidate = store
+        .publish(alt_model(), None, "candidate")
+        .expect("publish");
+
+    // Flip bytes in the committed artifact behind the manifest's back.
+    let artifact = root
+        .join("versions")
+        .join(format!("v{:06}", candidate.version))
+        .join("model.json");
+    let mut bytes = std::fs::read(&artifact).expect("artifact readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&artifact, &bytes).expect("artifact writable");
+
+    match store.load(candidate.version) {
+        Err(LifecycleError::Corrupt { version, .. }) => assert_eq!(version, candidate.version),
+        Err(other) => panic!("expected checksum failure, got {other:?}"),
+        Ok(_) => panic!("corrupt artifact must not load"),
+    }
+    let quarantined = store.quarantined().expect("readable");
+    assert!(
+        quarantined.iter().any(|q| q.contains("corrupt")),
+        "corrupt artifact must be quarantined, saw {quarantined:?}"
+    );
+    assert!(
+        matches!(
+            store.load(candidate.version),
+            Err(LifecycleError::NotFound(v)) if v == candidate.version
+        ),
+        "a quarantined artifact can be hit at most once"
+    );
+
+    // The region never staged the corrupt candidate: old version serves.
+    let lc = LifecycleController::new(LifecycleConfig::default()).with_store(store);
+    let (_, metrics) = serve_with_lifecycle(&engine, &refs, &serve_cfg_small(), &lc, |client| {
+        for i in 0..3 {
+            let resp = client
+                .forecast(ServeRequest::new(i % 2, 68 + 2 * i, 2, 3))
+                .expect("accepted")
+                .expect("valid");
+            assert!(resp.fallback.is_none());
+            assert_eq!(resp.forecast.model_version, 0);
+        }
+    });
+    assert_eq!(metrics.completed, 3);
+    assert_eq!(metrics.swaps + metrics.rollbacks, 0);
+    assert_eq!(metrics.model_version, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+fn serve_cfg_small() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        max_batch: 4,
+        max_delay: Duration::from_micros(200),
+        queue_capacity: 64,
+    }
 }

@@ -9,15 +9,38 @@
 
 use rpf_nn::RngStreams;
 use rpf_serve::loadgen::{self, LoadMix};
-use rpf_serve::{replay, ServeConfig, ServiceModel};
+use rpf_serve::{replay, replay_with_events, ReplayEvent, ServeConfig, ServiceModel};
 use std::path::PathBuf;
 use std::time::Duration;
 
-fn golden_path() -> PathBuf {
+fn golden_path_named(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("metrics_replay.txt")
+        .join(name)
+}
+
+fn golden_path() -> PathBuf {
+    golden_path_named("metrics_replay.txt")
+}
+
+fn check_golden(path: &PathBuf, rendered: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "serving metrics diverged from the golden snapshot; if the policy \
+         change is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
 }
 
 /// The pinned scenario: a thundering-herd burst that overflows the queue,
@@ -95,24 +118,87 @@ fn replayed_metrics_match_golden_snapshot_exactly() {
     assert!(snap.queue_depth_max <= cfg.queue_capacity as u64);
     assert!(snap.mean_batch_size() > 1.0, "scenario must batch");
 
-    let rendered = snap.render();
-    let path = golden_path();
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
-        std::fs::write(&path, &rendered).expect("write golden");
-        return;
-    }
-    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); generate with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        golden, rendered,
-        "serving metrics diverged from the golden snapshot; if the policy \
-         change is deliberate, regenerate with UPDATE_GOLDEN=1"
+    check_golden(&golden_path(), &snap.render());
+}
+
+/// The swap-bearing trace: the same scripted load with lifecycle events —
+/// shadow comparisons, a promotion mid-burst, a later rollback — pinned on
+/// the virtual clock (DESIGN.md §14). Any drift in how lifecycle events
+/// fold into the counters shows up as a diff.
+fn scripted_swap_events() -> Vec<(u64, ReplayEvent)> {
+    vec![
+        // Shadow comparisons during the opening burst's digest.
+        (
+            1_000_000,
+            ReplayEvent::ShadowComparison {
+                divergence_milli: 0,
+            },
+        ),
+        (
+            2_000_000,
+            ReplayEvent::ShadowComparison {
+                divergence_milli: 12,
+            },
+        ),
+        (
+            3_000_000,
+            ReplayEvent::ShadowComparison {
+                divergence_milli: 7,
+            },
+        ),
+        // Promote mid-ramp: the gauge must stick at the new version.
+        (5_000_000, ReplayEvent::Swap { version: 2 }),
+        // A later candidate diverges hard and is rolled back.
+        (
+            12_000_000,
+            ReplayEvent::ShadowComparison {
+                divergence_milli: 800,
+            },
+        ),
+        (
+            13_000_000,
+            ReplayEvent::ShadowComparison {
+                divergence_milli: 1_200,
+            },
+        ),
+        (14_000_000, ReplayEvent::Rollback),
+    ]
+}
+
+#[test]
+fn swap_bearing_replay_matches_golden_snapshot_exactly() {
+    let (cfg, script, svc) = scripted_load();
+    let snap = replay_with_events(&cfg, &script, &scripted_swap_events(), &svc);
+
+    // Lifecycle events must not perturb the scheduling counters at all:
+    // the same script serves identically with and without the events.
+    let base = replay(&cfg, &script, &svc);
+    assert_eq!(snap.submitted, base.submitted);
+    assert_eq!(snap.completed, base.completed);
+    assert_eq!(snap.latency, base.latency);
+    assert_eq!(snap.batch_sizes, base.batch_sizes);
+
+    assert_eq!(snap.swaps, 1);
+    assert_eq!(snap.rollbacks, 1);
+    assert_eq!(snap.shadow_comparisons, 5);
+    assert_eq!(snap.model_version, 2);
+
+    check_golden(
+        &golden_path_named("metrics_replay_swap.txt"),
+        &snap.render(),
     );
+}
+
+/// A swap-bearing trace is as deterministic as a plain one: same script,
+/// same events, same counters, bit-for-bit, run-to-run.
+#[test]
+fn swap_bearing_replay_is_deterministic_across_runs() {
+    let (cfg, script, svc) = scripted_load();
+    let events = scripted_swap_events();
+    let a = replay_with_events(&cfg, &script, &events, &svc);
+    let b = replay_with_events(&cfg, &script, &events, &svc);
+    assert_eq!(a, b);
+    assert_eq!(a.render(), b.render());
 }
 
 /// The replay itself is a pure function: same script, same counters,

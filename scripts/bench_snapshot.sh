@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable perf snapshot: runs the forecasting + serving criterion
 # groups and writes BENCH_<date>.json with the headline numbers (decode
-# ms/iter per backend, serving req/s with p50/p99 latency per mode/load),
+# ms/iter per backend, serving req/s with p50/p99 latency per mode/load —
+# including the `swap` mode, p99 under a continuous model hot-swap thread),
 # so the perf trajectory is diffable across PRs.
 #
 #   scripts/bench_snapshot.sh            # writes BENCH_YYYY-MM-DD.json
@@ -76,6 +77,14 @@ function dur_ms(s,   v, u) {
 # means the bench output format drifted and the script must be updated.
 if [ -z "$serving_json" ] || [ -z "$decode_json" ]; then
   echo "error: failed to parse bench output (format drift?); raw output in $tmp kept" >&2
+  trap - EXIT
+  exit 1
+fi
+
+# The lifecycle PR's headline figure is p99 under continuous hot-swap; a
+# snapshot without the swap mode silently loses that trajectory.
+if ! printf '%s' "$serving_json" | grep -q '"mode": "swap"'; then
+  echo "error: serving bench emitted no swap-mode summary lines; raw output in $tmp kept" >&2
   trap - EXIT
   exit 1
 fi

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Robustness gate: production code in the core, nn, serve and obs crates
 # must not call `.unwrap()` / `.expect(` — failures there have typed error
-# paths (TrainError, EngineError, ServeError, Result-returning persist),
-# and the serving scheduler and the obs registry recover poisoned locks
-# instead of unwrapping them.
+# paths (TrainError, EngineError, ServeError, LifecycleError,
+# Result-returning persist), and the serving scheduler and the obs registry
+# recover poisoned locks instead of unwrapping them. The model-lifecycle
+# modules (core::lifecycle and serve::lifecycle — the versioned store, the
+# hot-swap slot, the shadow controller) sit inside the recursive core/serve
+# walks below, so they are covered without listing them.
 # Test modules are
 # exempt: the awk pass strips `#[cfg(test)] mod ... { }` bodies by brace
 # tracking before grepping.

@@ -29,14 +29,23 @@ cargo test -q -p ranknet-core --test engine_determinism --offline
 echo "== engine cache bounds (LRU cap + eviction bit-determinism) =="
 cargo test -q -p ranknet-core --test engine_cache --offline
 
+echo "== lifecycle store (versioned artifacts, torn/corrupt quarantine) =="
+cargo test -q -p ranknet-core --test lifecycle_store --offline
+
+echo "== pit runtime rebuild (import invalidates the cached runtime) =="
+cargo test -q -p ranknet-core --test pit_runtime_rebuild --offline
+
 echo "== serving equivalence (batched == direct, bitwise) =="
 cargo test -q -p rpf-serve --test serve_equivalence --offline
 
 echo "== serving conservation properties =="
 cargo test -q -p rpf-serve --test scheduler_props --offline
 
-echo "== serving metrics golden (virtual-clock replay) =="
+echo "== serving metrics golden (virtual-clock replay, incl. swap trace) =="
 cargo test -q -p rpf-serve --test metrics_golden --offline
+
+echo "== lifecycle hot-swap (zero-downtime swap, shadow promote/rollback) =="
+cargo test -q -p rpf-serve --test lifecycle_swap --offline
 
 echo "== serving soak smoke (<= 10 s) =="
 cargo test -q -p rpf-serve --test soak_smoke --offline
@@ -66,5 +75,8 @@ echo "== cargo test (fault-inject matrix) =="
 cargo test -q -p rpf-nn --features fault-inject --offline
 cargo test -q -p ranknet-core --features fault-inject --offline
 cargo test -q -p rpf-serve --features fault-inject --offline
+
+echo "== lifecycle fault matrix (panic mid-swap, torn publish, corrupt checksum) =="
+cargo test -q -p rpf-serve --test fault_inject --features fault-inject --offline
 
 echo "CI green."
