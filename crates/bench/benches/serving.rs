@@ -17,8 +17,8 @@ use ranknet_core::lifecycle::VersionedModel;
 use ranknet_core::ranknet::{RankNet, RankNetVariant};
 use ranknet_core::RankNetConfig;
 use rpf_nn::RngStreams;
-use rpf_serve::loadgen::LoadMix;
-use rpf_serve::{serve, ServeConfig};
+use rpf_serve::loadgen::{LoadMix, MultiRaceMix};
+use rpf_serve::{serve, serve_sharded, ServeConfig, ShardTopology};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -34,7 +34,7 @@ fn fixture() -> (RankNet, Vec<RaceContext>) {
     cfg.max_epochs = 1;
     let train = vec![race(301)];
     let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 40);
-    (model, vec![race(302), race(303)])
+    (model, vec![race(302), race(303), race(304), race(305)])
 }
 
 fn simulate(seed: u64) -> rpf_racesim::RaceResult {
@@ -161,6 +161,68 @@ fn run_swapped(
     lat
 }
 
+/// The scale-out mix: the same decode-heavy hot pool, spread over four
+/// races with a Zipf-skewed popularity so the shard router has real
+/// multi-race traffic to spread.
+fn shard_mix() -> MultiRaceMix {
+    MultiRaceMix {
+        mix: LoadMix {
+            sample_counts: vec![8],
+            unique_queries: Some(4),
+            ..LoadMix::standard(4, (60, 100))
+        },
+        zipf_exponent: 1.0,
+    }
+}
+
+/// Closed-loop pass through the sharded front router: requests hash to
+/// per-race serving shards, each with its own forked engine and workers.
+fn run_sharded(
+    engine: &ForecastEngine,
+    refs: &[&RaceContext],
+    clients: usize,
+    shards: usize,
+) -> Vec<Duration> {
+    let mix = shard_mix();
+    let streams = RngStreams::new(0xBE7C);
+    let (lat, _) = serve_sharded(
+        engine,
+        refs,
+        &serve_cfg(),
+        ShardTopology::new(shards),
+        |client| {
+            let mut all = Vec::with_capacity(clients * PER_CLIENT);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let streams = &streams;
+                        let mix = &mix;
+                        s.spawn(move || {
+                            let mut lats = Vec::with_capacity(PER_CLIENT);
+                            for i in 0..PER_CLIENT {
+                                let req = mix.request_at(streams, (c * PER_CLIENT + i) as u64);
+                                let t0 = Instant::now();
+                                let out = client.forecast(req).expect("queue sized for the load");
+                                criterion::black_box(&out);
+                                lats.push(t0.elapsed());
+                            }
+                            lats
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(lats) => all.extend(lats),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            });
+            all
+        },
+    );
+    lat
+}
+
 /// The same closed-loop load, but every client calls the engine directly —
 /// one request, one model run, no batching and no coalescing.
 fn run_direct(engine: &ForecastEngine, contexts: &[RaceContext], clients: usize) -> Vec<Duration> {
@@ -270,6 +332,17 @@ fn bench_serving(c: &mut Criterion) {
         let t0 = Instant::now();
         let lats = run_swapped(&engine, &refs, clients, &weights);
         report("swap", clients, t0.elapsed(), lats);
+    }
+
+    // Scale-out summary at the heaviest load: the same multi-race mix
+    // through 1, 2 and 4 serving shards. `bench_snapshot.sh shards` pins
+    // these three lines; the machine-independent scaling gate itself lives
+    // on the virtual clock in `rpf-serve`'s shard_scaling_gate test.
+    for shards in [1usize, 2, 4] {
+        let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+        let t0 = Instant::now();
+        let lats = run_sharded(&engine, &refs, 32, shards);
+        report(&format!("shard{shards}"), 32, t0.elapsed(), lats);
     }
 }
 

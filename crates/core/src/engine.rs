@@ -235,6 +235,16 @@ impl EncoderCache {
             .sum()
     }
 
+    /// Total configured capacity across shards — the value handed to
+    /// [`EncoderCache::new`], reconstructed so an engine can be forked
+    /// with an identically sized cache.
+    fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).capacity)
+            .sum()
+    }
+
     fn clear(&self) {
         for s in &self.shards {
             s.lock().unwrap_or_else(|p| p.into_inner()).map.clear();
@@ -404,6 +414,23 @@ impl ForecastEngine {
 
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Clone this engine's *configuration* into a fresh engine for one
+    /// serving shard: same seed, backend, thread budget and encoder-cache
+    /// capacity — so the fork's forecasts are bit-identical to this
+    /// engine's by the determinism contract — but its own [`ModelSlot`]
+    /// (seeded with the currently installed versioned model), its own
+    /// empty encoder cache and its own obs registry. Shards built this way
+    /// share no locks, no cache lines and no metric cells, and a lifecycle
+    /// controller can roll model versions across them one slot at a time.
+    pub fn fork(&self) -> ForecastEngine {
+        let vm = self.slot.load();
+        let slot = ModelSlot::new(VersionedModel::new(vm.version, Arc::clone(&vm.model)));
+        ForecastEngine::with_slot(slot, self.seed)
+            .with_backend(self.backend)
+            .with_threads(self.threads)
+            .with_cache_capacity(self.cache.capacity())
     }
 
     /// The engine seed every call's RNG streams derive from. A shadow

@@ -233,19 +233,39 @@ impl MetricsSnapshot {
     /// become `rpf_op_*_total{class="..."}` plus the derived
     /// `rpf_op_time_share` gauge — the paper's operator-breakdown table
     /// as scrape output.
+    ///
+    /// A sample name may embed a label set as `base{key="value"}` (the
+    /// sharded serving layer emits `serve_submitted{shard="0"}` and
+    /// friends): labels stay inside the braces — suffixes like `_total`
+    /// and `_bucket` attach to the *base* name, a histogram's `le` label
+    /// merges into the existing set, and the `# TYPE` header is emitted
+    /// once per base name across all of its label variants.
     pub fn render_prometheus(&self) -> String {
+        use std::collections::HashSet;
         let mut out = String::new();
+        let mut typed: HashSet<String> = HashSet::new();
         for c in &self.counters {
-            let name = format!("rpf_{}_total", c.name);
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.value));
+            let (base, labels) = split_labels(&c.name);
+            let name = format!("rpf_{base}_total");
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+            }
+            out.push_str(&format!("{name}{} {}\n", brace(labels), c.value));
         }
         for g in &self.gauges {
-            let name = format!("rpf_{}", g.name);
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
+            let (base, labels) = split_labels(&g.name);
+            let name = format!("rpf_{base}");
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+            }
+            out.push_str(&format!("{name}{} {}\n", brace(labels), g.value));
         }
         for h in &self.histograms {
-            let name = format!("rpf_{}", h.name);
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let (base, labels) = split_labels(&h.name);
+            let name = format!("rpf_{base}");
+            if typed.insert(name.clone()) {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+            }
             let mut cumulative = 0u64;
             for (i, &count) in h.buckets.iter().enumerate() {
                 cumulative += count;
@@ -253,10 +273,14 @@ impl MetricsSnapshot {
                     Some(e) => e.to_string(),
                     None => "+Inf".to_string(),
                 };
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                let le_labels = match labels {
+                    Some(l) => format!("{{{l},le=\"{le}\"}}"),
+                    None => format!("{{le=\"{le}\"}}"),
+                };
+                out.push_str(&format!("{name}_bucket{le_labels} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_count {}\n", h.count));
-            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count{} {}\n", brace(labels), h.count));
+            out.push_str(&format!("{name}_sum{} {}\n", brace(labels), h.sum));
         }
         if !self.ops.is_empty() {
             let total = self.op_total_nanos();
@@ -355,6 +379,24 @@ impl MetricsSnapshot {
 
 /// JSON string escape for the name fields (metric names are ASCII
 /// identifiers, but escape defensively).
+/// Split a sample name into `(base, labels)` at the first `{`: a name
+/// like `serve_submitted{shard="0"}` carries its label set inline so
+/// merged snapshots can hold the same metric under many label variants.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Re-brace a label set for exposition (empty string when unlabelled).
+fn brace(labels: Option<&str>) -> String {
+    match labels {
+        Some(l) => format!("{{{l}}}"),
+        None => String::new(),
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -484,6 +526,50 @@ mod tests {
         assert!(text.contains("rpf_lat_bucket{le=\"+Inf\"} 10"));
         assert!(text.contains("rpf_lat_count 10"));
         assert!(text.contains("rpf_lat_sum 500"));
+    }
+
+    #[test]
+    fn prometheus_renders_inline_labels_with_one_type_header() {
+        let snap = MetricsSnapshot {
+            counters: vec![
+                CounterSample {
+                    name: "serve_submitted".to_string(),
+                    value: 9,
+                },
+                CounterSample {
+                    name: "serve_submitted{shard=\"0\"}".to_string(),
+                    value: 4,
+                },
+                CounterSample {
+                    name: "serve_submitted{shard=\"1\"}".to_string(),
+                    value: 5,
+                },
+            ],
+            gauges: vec![GaugeSample {
+                name: "queue_depth{shard=\"1\"}".to_string(),
+                value: 3,
+            }],
+            histograms: vec![HistogramSample {
+                name: "lat{shard=\"0\"}".to_string(),
+                edges: vec![10, 100],
+                buckets: vec![1, 2, 3],
+                count: 6,
+                sum: 60,
+            }],
+            ..Default::default()
+        };
+        let text = snap.render_prometheus();
+        // Suffixes attach to the base name, labels stay braced.
+        assert!(text.contains("rpf_serve_submitted_total 9"));
+        assert!(text.contains("rpf_serve_submitted_total{shard=\"0\"} 4"));
+        assert!(text.contains("rpf_serve_submitted_total{shard=\"1\"} 5"));
+        assert!(text.contains("rpf_queue_depth{shard=\"1\"} 3"));
+        // `le` merges into the existing label set.
+        assert!(text.contains("rpf_lat_bucket{shard=\"0\",le=\"10\"} 1"));
+        assert!(text.contains("rpf_lat_bucket{shard=\"0\",le=\"+Inf\"} 6"));
+        assert!(text.contains("rpf_lat_count{shard=\"0\"} 6"));
+        // One TYPE header per base name across every label variant.
+        assert_eq!(text.matches("# TYPE rpf_serve_submitted_total").count(), 1);
     }
 
     #[test]

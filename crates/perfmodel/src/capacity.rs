@@ -1,0 +1,390 @@
+//! Shard-count capacity planning: "how many race shards for N users at
+//! p99 below X ms?" (DESIGN.md §15).
+//!
+//! The paper's systems section sizes *one* device against the roofline
+//! (Fig 11); this module generalizes that single-device analysis into a
+//! fleet-sizing tool for the sharded serving layer. A shard is profiled
+//! as a single-server queue with service rate `μ` (req/s) and a fixed
+//! latency floor; under offered load `λ` per shard (utilisation
+//! `ρ = λ/μ`) the M/M/1 sojourn-time tail gives
+//!
+//! ```text
+//! p99 ≈ floor + ln(100) · S / (1 − ρ),    S = 1/μ
+//! ```
+//!
+//! because `P(T > t) = e^{−t(μ−λ)}`, so the 99th percentile sits at
+//! `ln(100)` mean sojourn times. The planner inverts that analytically:
+//! the largest utilisation that still meets a target `T` is
+//!
+//! ```text
+//! ρ_max = 1 − ln(100) · S / (T − floor)
+//! ```
+//!
+//! and the shard count is `ceil(λ_total / (ρ_max · μ))`. The inverse is
+//! exact with respect to the forward model (unit-tested below), and the
+//! round-trip against the deterministic virtual-clock replay — plan a
+//! shard count, replay the trace at that count, check the simulated p99 —
+//! lives in `tests/capacity.rs`. Real traffic is burstier than D/D/1 and
+//! smoother than M/M/1, so the planner exposes `max_utilisation` as a
+//! safety cap on top of the analytic bound.
+//!
+//! A profile can come from three places, in decreasing order of truth:
+//! measured loadgen traces ([`ShardProfile::from_trace`]), a scraped
+//! latency histogram ([`ShardProfile::from_latency_histogram`]), or the
+//! calibrated device roofline ([`ShardProfile::from_device`]).
+
+use crate::devices::Device;
+use crate::workload::LstmWorkload;
+use serde::Serialize;
+
+/// `ln(100)`: the 99th-percentile multiplier of an exponential tail.
+pub const LN_100: f64 = 4.605_170_185_988_092;
+
+/// One shard's measured (or modelled) serving capability.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ShardProfile {
+    /// Sustained service rate of one shard, requests/second.
+    pub service_rps: f64,
+    /// Load-independent latency floor (routing, admission, batch hold),
+    /// nanoseconds.
+    pub floor_ns: f64,
+}
+
+impl ShardProfile {
+    /// Profile from a measured trace: `completed` requests finished in
+    /// `busy_ns` of shard-busy time (a loadgen run against one shard at
+    /// saturation, or a virtual-clock replay's makespan).
+    pub fn from_trace(completed: u64, busy_ns: u64) -> ShardProfile {
+        let service_rps = if busy_ns == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / busy_ns as f64
+        };
+        ShardProfile {
+            service_rps,
+            floor_ns: 0.0,
+        }
+    }
+
+    /// Profile from a *lightly loaded* shard's latency histogram (e.g. the
+    /// scraped `serve_latency_ns`): with no queueing, the mean latency is
+    /// the service time, so `μ = 1e9 / mean`. The mean is reconstructed
+    /// from bucket midpoints (the serving histograms carry no exact sum);
+    /// the overflow bucket is pessimistically priced at twice the last
+    /// edge.
+    pub fn from_latency_histogram(h: &rpf_obs::HistogramSample) -> ShardProfile {
+        let mut weighted = 0.0f64;
+        let mut count = 0.0f64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let mid = match (
+                i.checked_sub(1).and_then(|p| h.edges.get(p)),
+                h.edges.get(i),
+            ) {
+                (Some(&lo), Some(&hi)) => (lo + hi) as f64 / 2.0,
+                (None, Some(&hi)) => hi as f64 / 2.0,
+                _ => h.edges.last().map_or(0.0, |&e| e as f64 * 2.0),
+            };
+            weighted += mid * n as f64;
+            count += n as f64;
+        }
+        let mean_ns = if count == 0.0 { 0.0 } else { weighted / count };
+        ShardProfile {
+            service_rps: if mean_ns == 0.0 { 0.0 } else { 1e9 / mean_ns },
+            floor_ns: 0.0,
+        }
+    }
+
+    /// Profile from the calibrated device roofline: one request is one
+    /// sample through the decode pipeline, so a shard on `device` serves
+    /// `1 / us_per_sample` requests per microsecond — the link from
+    /// Fig 10/11's single-device analysis to fleet sizing.
+    pub fn from_device(device: &Device, workload: &LstmWorkload) -> ShardProfile {
+        let us = device.us_per_sample(workload);
+        ShardProfile {
+            service_rps: if us <= 0.0 { 0.0 } else { 1e6 / us },
+            floor_ns: 0.0,
+        }
+    }
+
+    /// Attach a latency floor (routing + admission + batch hold).
+    pub fn with_floor_ns(mut self, floor_ns: f64) -> ShardProfile {
+        self.floor_ns = floor_ns;
+        self
+    }
+
+    /// Mean service time, nanoseconds.
+    pub fn service_ns(&self) -> f64 {
+        if self.service_rps <= 0.0 {
+            f64::INFINITY
+        } else {
+            1e9 / self.service_rps
+        }
+    }
+}
+
+/// The offered load: `users` each issuing `rps_per_user` requests/second.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Demand {
+    pub users: u64,
+    pub rps_per_user: f64,
+}
+
+impl Demand {
+    pub fn offered_rps(&self) -> f64 {
+        self.users as f64 * self.rps_per_user
+    }
+}
+
+/// The service objective.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Target {
+    /// p99 latency budget, nanoseconds.
+    pub p99_ns: u64,
+    /// Utilisation safety cap in `(0, 1]` — real traffic is burstier than
+    /// the analytic model assumes, so never plan a shard hotter than this.
+    pub max_utilisation: f64,
+}
+
+/// The planner's answer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct CapacityPlan {
+    /// Shards needed (≥ 1 when feasible).
+    pub shards: u64,
+    /// Per-shard utilisation at that count.
+    pub utilisation: f64,
+    /// Forward-model p99 at that count, nanoseconds.
+    pub predicted_p99_ns: f64,
+    /// `false` when no shard count can meet the target (the zero-load
+    /// latency `floor + ln(100)·S` already exceeds the budget).
+    pub feasible: bool,
+}
+
+/// Forward model: p99 sojourn time of one shard under `offered_rps`
+/// spread over `shards`. Infinite at or beyond saturation.
+pub fn predicted_p99_ns(profile: &ShardProfile, shards: u64, offered_rps: f64) -> f64 {
+    if shards == 0 || profile.service_rps <= 0.0 {
+        return f64::INFINITY;
+    }
+    let rho = offered_rps / shards as f64 / profile.service_rps;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    profile.floor_ns + LN_100 * profile.service_ns() / (1.0 - rho)
+}
+
+/// The analytic inverse: fewest shards meeting `target` under `demand`.
+///
+/// When infeasible (budget below the zero-load latency) the plan reports
+/// `feasible: false` with the shard count that at least keeps every shard
+/// under the utilisation cap — the least-bad fleet.
+pub fn shards_for(profile: &ShardProfile, demand: &Demand, target: &Target) -> CapacityPlan {
+    let offered = demand.offered_rps();
+    let cap = target.max_utilisation.clamp(f64::MIN_POSITIVE, 1.0);
+    if profile.service_rps <= 0.0 {
+        return CapacityPlan {
+            shards: 0,
+            utilisation: 0.0,
+            predicted_p99_ns: f64::INFINITY,
+            feasible: false,
+        };
+    }
+    let s_ns = profile.service_ns();
+    let headroom = target.p99_ns as f64 - profile.floor_ns;
+    // p99(ρ→0) = floor + ln(100)·S: below that no fleet size helps.
+    let feasible = headroom > LN_100 * s_ns;
+    let rho_max = if feasible {
+        (1.0 - LN_100 * s_ns / headroom).min(cap)
+    } else {
+        cap
+    };
+    let shards = if offered <= 0.0 {
+        1
+    } else {
+        (offered / (rho_max * profile.service_rps)).ceil().max(1.0) as u64
+    };
+    CapacityPlan {
+        shards,
+        utilisation: offered / shards as f64 / profile.service_rps,
+        predicted_p99_ns: predicted_p99_ns(profile, shards, offered),
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ShardProfile {
+        // 10k req/s per shard, 50 µs floor.
+        ShardProfile {
+            service_rps: 10_000.0,
+            floor_ns: 50_000.0,
+        }
+    }
+
+    fn target() -> Target {
+        Target {
+            p99_ns: 2_000_000, // 2 ms
+            max_utilisation: 0.9,
+        }
+    }
+
+    #[test]
+    fn inverse_is_consistent_with_the_forward_model() {
+        let p = profile();
+        let t = target();
+        for users in [100u64, 1_000, 10_000, 100_000] {
+            let d = Demand {
+                users,
+                rps_per_user: 0.5,
+            };
+            let plan = shards_for(&p, &d, &t);
+            assert!(plan.feasible);
+            assert!(
+                plan.predicted_p99_ns <= t.p99_ns as f64 + 1e-6,
+                "{users} users: planned {} shards but p99 {} > target {}",
+                plan.shards,
+                plan.predicted_p99_ns,
+                t.p99_ns
+            );
+            assert!(plan.utilisation <= t.max_utilisation + 1e-12);
+            // Minimality: one shard fewer must break the target or the cap.
+            if plan.shards > 1 {
+                let fewer = plan.shards - 1;
+                let p99 = predicted_p99_ns(&p, fewer, d.offered_rps());
+                let rho = d.offered_rps() / fewer as f64 / p.service_rps;
+                assert!(
+                    p99 > t.p99_ns as f64 || rho > t.max_utilisation,
+                    "{users} users: {fewer} shards would also meet the target"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_users_never_need_fewer_shards() {
+        let p = profile();
+        let t = target();
+        let mut last = 0u64;
+        for users in (0..40).map(|i| 1_000u64 * (i + 1)) {
+            let plan = shards_for(
+                &p,
+                &Demand {
+                    users,
+                    rps_per_user: 1.0,
+                },
+                &t,
+            );
+            assert!(
+                plan.shards >= last,
+                "{users} users planned {} shards after {last}",
+                plan.shards
+            );
+            last = plan.shards;
+        }
+    }
+
+    #[test]
+    fn tighter_budget_never_needs_fewer_shards() {
+        let p = profile();
+        let d = Demand {
+            users: 50_000,
+            rps_per_user: 1.0,
+        };
+        let mut last = u64::MAX;
+        for p99_ms in [50u64, 20, 10, 5, 3] {
+            let plan = shards_for(
+                &p,
+                &d,
+                &Target {
+                    p99_ns: p99_ms * 1_000_000,
+                    max_utilisation: 0.95,
+                },
+            );
+            assert!(plan.feasible);
+            assert!(
+                plan.shards <= last,
+                "tightening the budget shrank the fleet"
+            );
+            last = plan.shards;
+        }
+    }
+
+    #[test]
+    fn impossible_budget_reports_infeasible() {
+        let p = profile();
+        // Zero-load p99 = 50µs + 4.6 * 100µs ≈ 510µs: a 200µs budget is
+        // unreachable at any fleet size.
+        let plan = shards_for(
+            &p,
+            &Demand {
+                users: 1_000,
+                rps_per_user: 1.0,
+            },
+            &Target {
+                p99_ns: 200_000,
+                max_utilisation: 0.9,
+            },
+        );
+        assert!(!plan.feasible);
+        assert!(plan.utilisation <= 0.9 + 1e-12, "still respects the cap");
+    }
+
+    #[test]
+    fn zero_rate_profile_is_unplannable() {
+        let plan = shards_for(
+            &ShardProfile {
+                service_rps: 0.0,
+                floor_ns: 0.0,
+            },
+            &Demand {
+                users: 10,
+                rps_per_user: 1.0,
+            },
+            &target(),
+        );
+        assert!(!plan.feasible);
+        assert_eq!(plan.shards, 0);
+    }
+
+    #[test]
+    fn profiles_from_trace_histogram_and_device_agree_on_form() {
+        let t = ShardProfile::from_trace(1_000, 1_000_000_000);
+        assert!((t.service_rps - 1_000.0).abs() < 1e-9);
+        assert_eq!(ShardProfile::from_trace(5, 0).service_rps, 0.0);
+
+        // All mass in the 100–1000ns bucket → mean 550ns → ~1.8M req/s.
+        let h = rpf_obs::HistogramSample {
+            name: "serve_latency_ns".to_string(),
+            edges: vec![100, 1_000],
+            buckets: vec![0, 10, 0],
+            count: 10,
+            sum: 0,
+        };
+        let p = ShardProfile::from_latency_histogram(&h);
+        assert!((p.service_rps - 1e9 / 550.0).abs() < 1.0);
+
+        let d = ShardProfile::from_device(&Device::cpu(), &LstmWorkload::default().with_batch(32));
+        assert!(d.service_rps > 0.0);
+
+        let floored = p.with_floor_ns(42.0);
+        assert_eq!(floored.floor_ns, 42.0);
+        assert_eq!(floored.service_rps, p.service_rps);
+    }
+
+    #[test]
+    fn p99_grows_with_load_and_saturates_to_infinity() {
+        let p = profile();
+        let a = predicted_p99_ns(&p, 4, 10_000.0);
+        let b = predicted_p99_ns(&p, 4, 30_000.0);
+        assert!(b > a, "more load must mean a fatter tail");
+        assert!(
+            predicted_p99_ns(&p, 1, 10_000.0).is_infinite(),
+            "ρ=1 saturates"
+        );
+        assert!(predicted_p99_ns(&p, 0, 1.0).is_infinite());
+    }
+}

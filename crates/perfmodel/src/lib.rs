@@ -23,11 +23,13 @@
 //! claims being reproduced are the crossover shapes, not absolute times.
 
 pub mod breakdown;
+pub mod capacity;
 pub mod devices;
 pub mod roofline;
 pub mod workload;
 
 pub use breakdown::{hybrid_breakdown, BreakdownSlice};
+pub use capacity::{predicted_p99_ns, shards_for, CapacityPlan, Demand, ShardProfile, Target};
 pub use devices::{Device, DeviceKind};
 pub use roofline::{Roofline, RooflinePoint};
 pub use workload::{KernelCounts, LstmWorkload};

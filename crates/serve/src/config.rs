@@ -44,9 +44,49 @@ impl ServeConfig {
     }
 }
 
+/// Shard layout for [`crate::serve_sharded`]: how many race shards the
+/// region splits into. Kept separate from [`ServeConfig`] (which applies
+/// per shard) so the flat scheduler's configuration surface is untouched.
+///
+/// Like the scheduler knobs, the topology cannot change a forecast value:
+/// every shard runs a fork of the same engine with the same seed, and the
+/// router only decides *where* a request is served, never *what* it
+/// answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardTopology {
+    /// Number of race shards (each with its own engine, mailbox, workers
+    /// and supervisor).
+    pub shards: usize,
+}
+
+impl Default for ShardTopology {
+    fn default() -> Self {
+        ShardTopology { shards: 1 }
+    }
+}
+
+impl ShardTopology {
+    pub fn new(shards: usize) -> ShardTopology {
+        ShardTopology { shards }
+    }
+
+    /// Clamp to at least one shard.
+    pub fn normalized(mut self) -> ShardTopology {
+        self.shards = self.shards.max(1);
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_topology_normalizes_to_one() {
+        assert_eq!(ShardTopology::new(0).normalized().shards, 1);
+        assert_eq!(ShardTopology::default().shards, 1);
+        assert_eq!(ShardTopology::new(4).normalized().shards, 4);
+    }
 
     #[test]
     fn normalized_enforces_minimums() {

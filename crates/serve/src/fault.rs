@@ -17,6 +17,14 @@ pub struct ServeFaultPlan {
     /// while the batch containing that admission sits between formation
     /// and its engine call.
     swap_hook: Option<(u64, Arc<dyn Fn() + Send + Sync>)>,
+    /// `(shard, admission id)` — kill the worker on that shard when it is
+    /// about to drain a batch containing that admission id (the entries
+    /// stay queued; the supervisor fallback-drains them).
+    kill_worker: Option<(usize, u64)>,
+    /// Poison the mailbox mutex of this shard, once.
+    poison_shard: Option<usize>,
+    /// Panic the slot-swap at this shard index during a rolling hot-swap.
+    rolling_panic_shard: Option<usize>,
 }
 
 impl std::fmt::Debug for ServeFaultPlan {
@@ -25,6 +33,9 @@ impl std::fmt::Debug for ServeFaultPlan {
             .field("panic_requests", &self.panic_requests)
             .field("poison_queue_once", &self.poison_queue_once)
             .field("swap_at", &self.swap_hook.as_ref().map(|(id, _)| *id))
+            .field("kill_worker", &self.kill_worker)
+            .field("poison_shard", &self.poison_shard)
+            .field("rolling_panic_shard", &self.rolling_panic_shard)
             .finish()
     }
 }
@@ -62,6 +73,30 @@ impl ServeFaultPlan {
         hook: impl Fn() + Send + Sync + 'static,
     ) -> ServeFaultPlan {
         self.swap_hook = Some((id, Arc::new(hook)));
+        self
+    }
+
+    /// Kill the worker on `shard` as it is about to drain a batch holding
+    /// admission id `id`: the worker dies with the entries still queued, so
+    /// the shard's supervisor must fallback-drain the backlog and respawn.
+    /// Fires once.
+    pub fn kill_shard_worker(mut self, shard: usize, id: u64) -> ServeFaultPlan {
+        self.kill_worker = Some((shard, id));
+        self
+    }
+
+    /// Poison the mailbox mutex of `shard` — the sharded analogue of
+    /// [`ServeFaultPlan::poison_queue_once`]. Fires once.
+    pub fn poison_shard_mailbox(mut self, shard: usize) -> ServeFaultPlan {
+        self.poison_shard = Some(shard);
+        self
+    }
+
+    /// Panic the per-shard slot swap at shard index `shard` during a
+    /// rolling hot-swap (`LifecycleController::rolling_swap`), forcing the
+    /// reverse-order unwind of the shards already swapped. Fires once.
+    pub fn panic_on_rolling_shard(mut self, shard: usize) -> ServeFaultPlan {
+        self.rolling_panic_shard = Some(shard);
         self
     }
 }
@@ -114,9 +149,11 @@ pub fn maybe_fire_swap(id: u64) {
     }
 }
 
-/// Queue hook: consumes the poison-once flag and panics while the caller
-/// holds the queue guard, leaving the mutex poisoned behind it.
-pub fn maybe_poison_queue_lock() {
+/// Queue hook: panics while the caller holds its mailbox guard, leaving
+/// the mutex poisoned behind it. Fires on the legacy region-wide
+/// `poison_queue_once` flag, or — under sharded serving — when the plan
+/// targets this worker's shard. Consumes whichever flag fired.
+pub fn maybe_poison_queue_lock(shard: Option<usize>) {
     let fire = {
         let mut guard = plan_lock();
         match guard.as_mut() {
@@ -124,10 +161,51 @@ pub fn maybe_poison_queue_lock() {
                 p.poison_queue_once = false;
                 true
             }
+            Some(p) if p.poison_shard.is_some() && p.poison_shard == shard => {
+                p.poison_shard = None;
+                true
+            }
             _ => false,
         }
     };
     if fire {
         panic!("injected fault: poisoning the queue mutex");
+    }
+}
+
+/// Batch hook: does the plan kill the worker on `shard` for a batch that
+/// would drain these admission ids? Consumes the fault on a match. Called
+/// *before* the drain, so the targeted entries stay queued for the
+/// supervisor's fallback drain.
+pub fn should_kill_worker(shard: Option<usize>, ids: &[u64]) -> bool {
+    let mut guard = plan_lock();
+    match guard.as_mut() {
+        Some(p)
+            if p.kill_worker
+                .is_some_and(|(s, id)| Some(s) == shard && ids.contains(&id)) =>
+        {
+            p.kill_worker = None;
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Rolling-swap hook: panics if the plan targets shard index `shard` of a
+/// rolling hot-swap. Consumes the fault. Called inside
+/// `LifecycleController::rolling_swap`'s per-shard panic guard.
+pub fn maybe_panic_rolling_shard(shard: usize) {
+    let fire = {
+        let mut guard = plan_lock();
+        match guard.as_mut() {
+            Some(p) if p.rolling_panic_shard == Some(shard) => {
+                p.rolling_panic_shard = None;
+                true
+            }
+            _ => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: rolling swap panic at shard {shard}");
     }
 }

@@ -24,6 +24,13 @@
 //!   ([`loadgen`]), a virtual-clock scheduler replay for golden metrics
 //!   ([`replay`]), and (behind `fault-inject`) planned scheduler faults
 //!   ([`fault`]).
+//! * **Race-sharded scale-out** — [`serve_sharded`] splits the region
+//!   into shards (DESIGN.md §15), each an actor owning a forked engine,
+//!   model slot and encoder cache behind its own bounded mailbox with a
+//!   supervisor; a front router ([`shard_of`]) hashes `(race, origin)`
+//!   keys to shards. For a fixed layout every response stays bit-identical
+//!   to the flat path; a failed shard degrades to flagged CurRank
+//!   fallbacks and restarts while the others serve untouched.
 //!
 //! ```no_run
 //! use rpf_serve::{serve, ServeConfig, ServeRequest};
@@ -43,15 +50,27 @@ pub mod config;
 pub mod fault;
 pub mod lifecycle;
 pub mod loadgen;
+pub(crate) mod mailbox;
 pub mod metrics;
 pub mod replay;
+pub mod router;
 pub mod server;
+pub(crate) mod shard;
+pub(crate) mod supervisor;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, ShardTopology};
 pub use lifecycle::{CandidateDecision, LifecycleConfig, LifecycleController};
-pub use metrics::{MetricsSnapshot, BATCH_EDGES, DIVERGENCE_EDGES_MILLI, LATENCY_EDGES_NS};
-pub use replay::{replay, replay_with_events, ReplayEvent, ServiceModel};
+pub use loadgen::{MultiRaceMix, Submitter};
+pub use mailbox::Pending;
+pub use metrics::{
+    MetricsSnapshot, ShardedSnapshot, BATCH_EDGES, DIVERGENCE_EDGES_MILLI, LATENCY_EDGES_NS,
+};
+pub use replay::{
+    percentile_ns, replay, replay_sharded, replay_with_events, ReplayEvent, ServiceModel,
+    ShardedReplay,
+};
+pub use router::{serve_sharded, shard_of, ShardedClient};
 pub use server::{
-    serve, serve_with_lifecycle, FallbackReason, Pending, ServeClient, ServeError, ServeRequest,
+    serve, serve_with_lifecycle, FallbackReason, ServeClient, ServeError, ServeRequest,
     ServeResponse, ServeResult, SubmitError,
 };

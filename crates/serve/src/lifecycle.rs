@@ -189,6 +189,68 @@ impl LifecycleController {
         })
     }
 
+    /// Rolling hot-swap across a sharded region: walk every shard's
+    /// [`ModelSlot`] in shard order, swapping `model` in as `version`.
+    /// All-or-nothing at the fleet level — a panic at shard `k` (real, or
+    /// injected via `panic_on_rolling_shard`) swaps shards `0..k` *back*
+    /// to their previous versions in reverse order, quarantines the
+    /// candidate, and records one rollback; only a fully successful walk
+    /// advances `CURRENT` and counts one swap. In-flight batches on each
+    /// shard finish on whichever version their engine loaded — the slot
+    /// swap is atomic per shard, so no request ever sees a torn model.
+    pub fn rolling_swap(
+        &self,
+        slots: &[Arc<ModelSlot>],
+        version: u64,
+        model: Arc<RankNet>,
+    ) -> CandidateDecision {
+        let mut prev: Vec<Arc<VersionedModel>> = Vec::with_capacity(slots.len());
+        let mut failed = false;
+        for (i, slot) in slots.iter().enumerate() {
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                crate::fault::maybe_panic_rolling_shard(i);
+                let _ = i;
+                slot.swap(VersionedModel::new(version, Arc::clone(&model)))
+            }));
+            match attempt {
+                Ok(old) => prev.push(old),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        let decision = if failed {
+            // Unwind the shards already swapped, newest first, so the
+            // fleet converges back to a single serving version.
+            for (slot, old) in slots.iter().zip(&prev).rev() {
+                slot.swap(VersionedModel::new(old.version, Arc::clone(&old.model)));
+            }
+            self.quarantine_candidate(version, "rolling-swap-panic");
+            self.lock_tallies().rollbacks += 1;
+            CandidateDecision::RolledBack {
+                version,
+                samples: 0,
+                mean_divergence_milli: 0,
+            }
+        } else {
+            if let Some(store) = &self.store {
+                // Best-effort, as in `guarded_swap`: an unwritable CURRENT
+                // must not undo in-memory swaps that already happened.
+                let _ = store.set_current(version);
+            }
+            self.lock_tallies().swaps += 1;
+            CandidateDecision::Promoted {
+                version,
+                samples: 0,
+                mean_divergence_milli: 0,
+            }
+        };
+        self.lock_decisions().push(decision.clone());
+        decision
+    }
+
     fn guarded_swap(
         &self,
         version: u64,

@@ -9,10 +9,24 @@
 //! determinism contract makes that variation invisible in the response
 //! bits.
 
-use crate::server::{Pending, ServeClient, ServeRequest, ServeResult, SubmitError};
+use crate::mailbox::Pending;
+use crate::server::{ServeClient, ServeRequest, ServeResult, SubmitError};
 use rand::Rng;
 use rpf_nn::RngStreams;
 use std::time::{Duration, Instant};
+
+/// Anything a load driver can submit to: the flat [`ServeClient`] or the
+/// sharded router client. `Copy` so closed-loop drivers can hand the
+/// handle to every client thread.
+pub trait Submitter: Copy + Send + Sync {
+    fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError>;
+}
+
+impl Submitter for ServeClient<'_, '_> {
+    fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError> {
+        ServeClient::submit(self, req)
+    }
+}
 
 /// The request population of a load script.
 #[derive(Clone, Debug)]
@@ -124,6 +138,84 @@ pub fn merge(parts: Vec<Vec<(Duration, ServeRequest)>>) -> Vec<(Duration, ServeR
     all
 }
 
+/// Stream-space child id reserved for the Zipf race re-draw, so the
+/// popularity draw never shares a counter stream with the base request
+/// fields.
+pub const ZIPF_STREAM: u64 = 0x5a1f;
+
+/// A multi-race trace with skewed race popularity: request fields come
+/// from the inner [`LoadMix`], but the race is re-drawn from a Zipf
+/// distribution (race `r` gets weight `1/(r+1)^s`), modelling the live
+/// Sunday-race hot spot next to a tail of replayed historical races.
+/// Deterministic like everything here: the draw at index `i` is a pure
+/// function of `(stream seed, i)` via a dedicated counter stream
+/// ([`ZIPF_STREAM`]), so shard-imbalance scenarios replay bit-identically.
+#[derive(Clone, Debug)]
+pub struct MultiRaceMix {
+    pub mix: LoadMix,
+    /// Zipf exponent `s`; 0 = uniform, larger = more skew toward race 0.
+    pub zipf_exponent: f64,
+}
+
+impl MultiRaceMix {
+    pub fn new(races: usize, origins: (usize, usize), zipf_exponent: f64) -> MultiRaceMix {
+        MultiRaceMix {
+            mix: LoadMix::standard(races, origins),
+            zipf_exponent,
+        }
+    }
+
+    /// Normalised race weights, `w_r ∝ 1/(r+1)^s`.
+    pub fn weights(&self) -> Vec<f64> {
+        let n = self.mix.races.max(1);
+        let raw: Vec<f64> = (0..n)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(self.zipf_exponent))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// The deterministic request at global index `index`: the inner mix's
+    /// request with its race replaced by the Zipf draw. The
+    /// `unique_queries` pool folding applies to the race draw too, so a
+    /// duplicated query stays one query.
+    pub fn request_at(&self, streams: &RngStreams, index: u64) -> ServeRequest {
+        let mut req = self.mix.request_at(streams, index);
+        let key = match self.mix.unique_queries {
+            Some(n) if n > 0 => index % n,
+            _ => index,
+        };
+        let mut rng = streams.child(ZIPF_STREAM).stream(key);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        let weights = self.weights();
+        let mut race = weights.len() - 1;
+        for (r, w) in weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                race = r;
+                break;
+            }
+        }
+        req.race = race;
+        req
+    }
+
+    /// [`schedule`] over this mix.
+    pub fn schedule(
+        &self,
+        times: &[Duration],
+        streams: &RngStreams,
+        first_index: u64,
+    ) -> Vec<(Duration, ServeRequest)> {
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, self.request_at(streams, first_index + i as u64)))
+            .collect()
+    }
+}
+
 /// Everything a load run observed, for assertions.
 #[derive(Debug, Default)]
 pub struct LoadReport {
@@ -143,10 +235,7 @@ impl LoadReport {
 /// completions (offered load is independent of service rate — the regime
 /// where admission control and deadlines matter), then wait for every
 /// accepted response.
-pub fn run_open_loop(
-    client: ServeClient<'_, '_>,
-    script: &[(Duration, ServeRequest)],
-) -> LoadReport {
+pub fn run_open_loop(client: impl Submitter, script: &[(Duration, ServeRequest)]) -> LoadReport {
     let start = Instant::now();
     let mut pending: Vec<(ServeRequest, Pending)> = Vec::with_capacity(script.len());
     let mut report = LoadReport::default();
@@ -171,7 +260,7 @@ pub fn run_open_loop(
 /// tracks service rate). Client `c`'s `i`-th request is
 /// `mix.request_at(streams.child(c), i)` — fully deterministic.
 pub fn run_closed_loop(
-    client: ServeClient<'_, '_>,
+    client: impl Submitter,
     clients: usize,
     per_client: usize,
     mix: &LoadMix,
@@ -244,6 +333,30 @@ mod tests {
         assert_eq!(a[1], a[9]);
         let distinct = a.iter().collect::<std::collections::HashSet<_>>().len();
         assert!(distinct <= 4);
+    }
+
+    #[test]
+    fn zipf_mix_is_deterministic_and_skewed() {
+        let mix = MultiRaceMix::new(4, (40, 90), 1.1);
+        let s = RngStreams::new(11);
+        let a = mix.request_at(&s, 3);
+        assert_eq!(a, mix.request_at(&s, 3), "pure function of (seed, index)");
+        let mut counts = [0usize; 4];
+        for i in 0..512 {
+            counts[mix.request_at(&s, i).race] += 1;
+        }
+        assert!(
+            counts[0] > counts[3],
+            "race 0 must dominate the tail: {counts:?}"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every race must still appear: {counts:?}"
+        );
+        // Weights are a proper distribution, most popular first.
+        let w = mix.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub struct ServeMetrics {
     invalid: Counter,
     fallback_deadline: Counter,
     fallback_panic: Counter,
+    fallback_shard: Counter,
     worker_panics: Counter,
+    shard_restarts: Counter,
     queue_poison_recoveries: Counter,
     batches: Counter,
     batched_requests: Counter,
@@ -77,7 +79,9 @@ impl ServeMetrics {
             invalid: registry.counter("serve_invalid"),
             fallback_deadline: registry.counter("serve_fallback_deadline"),
             fallback_panic: registry.counter("serve_fallback_panic"),
+            fallback_shard: registry.counter("serve_fallback_shard"),
             worker_panics: registry.counter("serve_worker_panics"),
+            shard_restarts: registry.counter("serve_shard_restarts"),
             queue_poison_recoveries: registry.counter("serve_queue_poison_recoveries"),
             batches: registry.counter("serve_batches"),
             batched_requests: registry.counter("serve_batched_requests"),
@@ -124,6 +128,7 @@ impl ServeMetrics {
             ResponseKind::Invalid => &self.invalid,
             ResponseKind::FallbackDeadline => &self.fallback_deadline,
             ResponseKind::FallbackPanic => &self.fallback_panic,
+            ResponseKind::FallbackShard => &self.fallback_shard,
         }
         .inc();
         self.latency.observe(latency_ns);
@@ -135,6 +140,11 @@ impl ServeMetrics {
 
     pub(crate) fn record_queue_poison_recovery(&self) {
         self.queue_poison_recoveries.inc();
+    }
+
+    /// A shard supervisor restarted this region's worker after a death.
+    pub(crate) fn record_shard_restart(&self) {
+        self.shard_restarts.inc();
     }
 
     /// Fold a lifecycle controller's tallies into this region's metrics
@@ -190,7 +200,9 @@ impl ServeMetrics {
             invalid: self.invalid.value(),
             fallback_deadline: self.fallback_deadline.value(),
             fallback_panic: self.fallback_panic.value(),
+            fallback_shard: self.fallback_shard.value(),
             worker_panics: self.worker_panics.value(),
+            shard_restarts: self.shard_restarts.value(),
             queue_poison_recoveries: self.queue_poison_recoveries.value(),
             batches: self.batches.value(),
             batched_requests: self.batched_requests.value(),
@@ -213,10 +225,11 @@ pub(crate) enum ResponseKind {
     Invalid,
     FallbackDeadline,
     FallbackPanic,
+    FallbackShard,
 }
 
 /// A plain copy of every counter, taken at one instant.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub submitted: u64,
     pub accepted: u64,
@@ -227,7 +240,11 @@ pub struct MetricsSnapshot {
     pub invalid: u64,
     pub fallback_deadline: u64,
     pub fallback_panic: u64,
+    /// Fallback answers produced by a supervisor draining a failed shard.
+    pub fallback_shard: u64,
     pub worker_panics: u64,
+    /// Worker respawns performed by shard supervisors.
+    pub shard_restarts: u64,
     pub queue_poison_recoveries: u64,
     pub batches: u64,
     pub batched_requests: u64,
@@ -275,7 +292,9 @@ impl MetricsSnapshot {
         line("invalid", self.invalid);
         line("fallback_deadline", self.fallback_deadline);
         line("fallback_panic", self.fallback_panic);
+        line("fallback_shard", self.fallback_shard);
         line("worker_panics", self.worker_panics);
+        line("shard_restarts", self.shard_restarts);
         line("queue_poison_recoveries", self.queue_poison_recoveries);
         line("batches", self.batches);
         line("batched_requests", self.batched_requests);
@@ -326,7 +345,9 @@ impl MetricsSnapshot {
                 counter("serve_invalid", self.invalid),
                 counter("serve_fallback_deadline", self.fallback_deadline),
                 counter("serve_fallback_panic", self.fallback_panic),
+                counter("serve_fallback_shard", self.fallback_shard),
                 counter("serve_worker_panics", self.worker_panics),
+                counter("serve_shard_restarts", self.shard_restarts),
                 counter(
                     "serve_queue_poison_recoveries",
                     self.queue_poison_recoveries,
@@ -374,6 +395,106 @@ impl MetricsSnapshot {
             spans: Vec::new(),
         }
     }
+
+    /// Fold another region's counters into this one: counters and
+    /// histogram buckets add; `queue_depth_max` and `model_version` take
+    /// the max (depth is a high-water mark; versions only move forward
+    /// under rolling swaps, so the max is the fleet's newest).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.submitted += other.submitted;
+        self.accepted += other.accepted;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_shutdown += other.rejected_shutdown;
+        self.completed += other.completed;
+        self.ok_responses += other.ok_responses;
+        self.invalid += other.invalid;
+        self.fallback_deadline += other.fallback_deadline;
+        self.fallback_panic += other.fallback_panic;
+        self.fallback_shard += other.fallback_shard;
+        self.worker_panics += other.worker_panics;
+        self.shard_restarts += other.shard_restarts;
+        self.queue_poison_recoveries += other.queue_poison_recoveries;
+        self.batches += other.batches;
+        self.batched_requests += other.batched_requests;
+        self.swaps += other.swaps;
+        self.rollbacks += other.rollbacks;
+        self.shadow_comparisons += other.shadow_comparisons;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.model_version = self.model_version.max(other.model_version);
+        for (a, b) in self.latency.iter_mut().zip(other.latency) {
+            *a += b;
+        }
+        for (a, b) in self.batch_sizes.iter_mut().zip(other.batch_sizes) {
+            *a += b;
+        }
+        for (a, b) in self
+            .shadow_divergence
+            .iter_mut()
+            .zip(other.shadow_divergence)
+        {
+            *a += b;
+        }
+    }
+
+    /// [`MetricsSnapshot::to_obs`] with every sample name labelled
+    /// `name{shard="i"}` — the exposition form of one shard's region, so a
+    /// scrape can tell shards apart while `rpf_obs` renders the label
+    /// inside the metric's brace set (see `rpf_obs::render_prometheus`).
+    pub fn to_obs_labeled(&self, shard: usize) -> rpf_obs::MetricsSnapshot {
+        let mut obs = self.to_obs();
+        let tag = |name: &str| format!("{name}{{shard=\"{shard}\"}}");
+        for c in &mut obs.counters {
+            c.name = tag(&c.name);
+        }
+        for g in &mut obs.gauges {
+            g.name = tag(&g.name);
+        }
+        for h in &mut obs.histograms {
+            h.name = tag(&h.name);
+        }
+        obs
+    }
+}
+
+/// The metrics of one sharded serving region: every shard's snapshot in
+/// shard order, merged on demand. Returned by [`crate::serve_sharded`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedSnapshot {
+    pub per_shard: Vec<MetricsSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// The fleet-wide totals (see [`MetricsSnapshot::merge`]).
+    pub fn merged(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for s in &self.per_shard {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Golden-stable rendering: the merged block first, then one block per
+    /// shard, each introduced by a `-- merged --` / `-- shard N --` header.
+    pub fn render(&self) -> String {
+        let mut out = String::from("-- merged --\n");
+        out.push_str(&self.merged().render());
+        for (i, s) in self.per_shard.iter().enumerate() {
+            out.push_str(&format!("-- shard {i} --\n"));
+            out.push_str(&s.render());
+        }
+        out
+    }
+
+    /// Workspace-wide exposition form: merged samples unlabelled (the
+    /// fleet totals, name-compatible with the unsharded region) plus every
+    /// shard's samples labelled `{shard="i"}`.
+    pub fn to_obs(&self) -> rpf_obs::MetricsSnapshot {
+        let mut obs = self.merged().to_obs();
+        for (i, s) in self.per_shard.iter().enumerate() {
+            obs.merge(&s.to_obs_labeled(i));
+        }
+        obs
+    }
 }
 
 #[cfg(test)]
@@ -407,7 +528,7 @@ mod tests {
         let text = snap.render();
         assert_eq!(
             text.lines().count(),
-            18 + BATCH_EDGES.len()
+            20 + BATCH_EDGES.len()
                 + 1
                 + LATENCY_EDGES_NS.len()
                 + 1
@@ -446,5 +567,57 @@ mod tests {
             .find(|h| h.name == "serve_latency_ns")
             .expect("latency histogram in typed conversion");
         assert_eq!(lat2.buckets, lat.buckets);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsSnapshot {
+            submitted: 3,
+            queue_depth_max: 2,
+            model_version: 7,
+            ..MetricsSnapshot::default()
+        };
+        a.latency[0] = 1;
+        let mut b = MetricsSnapshot {
+            submitted: 4,
+            queue_depth_max: 5,
+            model_version: 6,
+            ..MetricsSnapshot::default()
+        };
+        b.latency[0] = 2;
+        a.merge(&b);
+        assert_eq!(a.submitted, 7);
+        assert_eq!(a.queue_depth_max, 5, "depth is a high-water mark");
+        assert_eq!(a.model_version, 7, "version takes the newest");
+        assert_eq!(a.latency[0], 3);
+    }
+
+    #[test]
+    fn sharded_snapshot_renders_merged_then_per_shard() {
+        let s0 = MetricsSnapshot {
+            submitted: 1,
+            ..MetricsSnapshot::default()
+        };
+        let s1 = MetricsSnapshot {
+            submitted: 2,
+            ..MetricsSnapshot::default()
+        };
+        let sharded = ShardedSnapshot {
+            per_shard: vec![s0, s1],
+        };
+        assert_eq!(sharded.merged().submitted, 3);
+        let text = sharded.render();
+        assert!(text.starts_with("-- merged --\n"));
+        assert!(text.contains("-- shard 0 --\n"));
+        assert!(text.contains("-- shard 1 --\n"));
+        let obs = sharded.to_obs();
+        assert!(obs
+            .counters
+            .iter()
+            .any(|c| c.name == "serve_submitted" && c.value == 3));
+        assert!(obs
+            .counters
+            .iter()
+            .any(|c| c.name == "serve_submitted{shard=\"1\"}" && c.value == 2));
     }
 }

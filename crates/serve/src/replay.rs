@@ -63,6 +63,27 @@ pub fn replay_with_events(
     events: &[(u64, ReplayEvent)],
     svc: &ServiceModel,
 ) -> MetricsSnapshot {
+    replay_core(cfg, schedule, events, svc).snapshot
+}
+
+/// Everything one virtual region's replay produced: the golden-testable
+/// snapshot plus the exact response latencies and the virtual makespan —
+/// the raw material the capacity planner validates against.
+pub(crate) struct ReplayOutcome {
+    pub(crate) snapshot: MetricsSnapshot,
+    /// Every response's latency, in completion order (fallbacks included —
+    /// a deadline fallback is still an answer the caller waited for).
+    pub(crate) latencies_ns: Vec<u64>,
+    /// Instant the last work finished (or the last arrival, if later).
+    pub(crate) t_end_ns: u64,
+}
+
+fn replay_core(
+    cfg: &ServeConfig,
+    schedule: &[(u64, ServeRequest)],
+    events: &[(u64, ReplayEvent)],
+    svc: &ServiceModel,
+) -> ReplayOutcome {
     let cfg = cfg.normalized();
     let metrics = ServeMetrics::new();
     let max_delay_ns = cfg.max_delay.as_nanos() as u64;
@@ -76,14 +97,21 @@ pub fn replay_with_events(
     let mut next = 0usize; // index of the next un-ingested arrival
     let mut next_event = 0usize; // index of the next unapplied event
     let mut t_free = 0u64; // virtual worker is idle from this instant
+    let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut t_end = arrivals.last().map_or(0, |(t, _)| *t);
 
     loop {
         let next_arrival = arrivals.get(next).map(|(t, _)| *t);
         let dispatch_at = queue.front().map(|&(oldest, _)| {
+            // A batch cannot dispatch before its newest member arrived —
+            // `newest` floors every arm so the virtual clock never serves
+            // a request that is still in flight.
+            let k = queue.len().min(cfg.max_batch);
+            let newest = queue[k - 1].0;
             let gated = if queue.len() >= cfg.max_batch || next >= arrivals.len() {
-                oldest // ready now; the worker just has to be free
+                newest // ready now; the worker just has to be free
             } else {
-                oldest + max_delay_ns // hold open for company
+                (oldest + max_delay_ns).max(newest) // hold open for company
             };
             gated.max(t_free)
         });
@@ -110,10 +138,109 @@ pub fn replay_with_events(
                 ingest(&cfg, &metrics, &mut queue, &mut next, &arrivals)
             }
             (Some(_), None) => ingest(&cfg, &metrics, &mut queue, &mut next, &arrivals),
-            (_, Some(tb)) => dispatch(&cfg, &metrics, &mut queue, svc, tb, &mut t_free),
+            (_, Some(tb)) => {
+                dispatch(
+                    &cfg,
+                    &metrics,
+                    &mut queue,
+                    svc,
+                    tb,
+                    &mut t_free,
+                    &mut latencies,
+                );
+                t_end = t_end.max(t_free);
+            }
         }
     }
-    metrics.snapshot()
+    ReplayOutcome {
+        snapshot: metrics.snapshot(),
+        latencies_ns: latencies,
+        t_end_ns: t_end,
+    }
+}
+
+/// The outcome of [`replay_sharded`]: per-shard snapshots plus the
+/// fleet-wide latency population and virtual makespan. Deterministic —
+/// the same script and layout replay to these exact numbers on any
+/// machine, which is what lets a scaling gate and the capacity planner's
+/// round-trip test run in CI without touching the wall clock.
+#[derive(Clone, Debug)]
+pub struct ShardedReplay {
+    pub per_shard: Vec<MetricsSnapshot>,
+    /// Every shard's response latencies, merged and sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Virtual end-to-end duration: the latest instant any shard finished
+    /// work (shards run concurrently on the virtual timeline).
+    pub makespan_ns: u64,
+}
+
+impl ShardedReplay {
+    /// Fleet-wide counter totals.
+    pub fn merged(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for s in &self.per_shard {
+            out.merge(s);
+        }
+        out
+    }
+
+    /// Virtual throughput: completed responses per virtual second.
+    pub fn completed_per_sec(&self) -> f64 {
+        let completed = self.merged().completed;
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            completed as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Exact p99 of the merged latency population (0 when empty).
+    pub fn p99_ns(&self) -> u64 {
+        percentile_ns(&self.latencies_ns, 0.99)
+    }
+}
+
+/// Exact percentile over an ascending-sorted latency population
+/// (nearest-rank; 0 when empty).
+pub fn percentile_ns(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Replay `schedule` across `shards` virtual regions: each arrival goes to
+/// the shard [`crate::shard_of`] routes it to (preserving script order
+/// within a shard), each shard replays independently under `cfg` and
+/// `svc` — one virtual worker per shard, exactly as [`replay`] models the
+/// flat scheduler — and the outcomes merge into a [`ShardedReplay`].
+pub fn replay_sharded(
+    cfg: &ServeConfig,
+    shards: usize,
+    schedule: &[(u64, ServeRequest)],
+    svc: &ServiceModel,
+) -> ShardedReplay {
+    let shards = shards.max(1);
+    let mut parts: Vec<Vec<(u64, ServeRequest)>> = vec![Vec::new(); shards];
+    for &(t, req) in schedule {
+        parts[crate::router::shard_of(req.race, req.origin, shards)].push((t, req));
+    }
+    let mut per_shard = Vec::with_capacity(shards);
+    let mut latencies = Vec::with_capacity(schedule.len());
+    let mut makespan = 0u64;
+    for part in &parts {
+        let out = replay_core(cfg, part, &[], svc);
+        per_shard.push(out.snapshot);
+        latencies.extend(out.latencies_ns);
+        makespan = makespan.max(out.t_end_ns);
+    }
+    latencies.sort_unstable();
+    ShardedReplay {
+        per_shard,
+        latencies_ns: latencies,
+        makespan_ns: makespan,
+    }
 }
 
 fn apply_event(metrics: &ServeMetrics, ev: ReplayEvent) {
@@ -149,6 +276,7 @@ fn ingest(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     cfg: &ServeConfig,
     metrics: &ServeMetrics,
@@ -156,6 +284,7 @@ fn dispatch(
     svc: &ServiceModel,
     start: u64,
     t_free: &mut u64,
+    latencies: &mut Vec<u64>,
 ) {
     let k = queue.len().min(cfg.max_batch);
     let batch: Vec<(u64, ServeRequest)> = queue.drain(..k).collect();
@@ -166,6 +295,7 @@ fn dispatch(
         let waited = Duration::from_nanos(start - arrive);
         if deadline_expired(waited, req.deadline) {
             metrics.record_response(ResponseKind::FallbackDeadline, start - arrive);
+            latencies.push(start - arrive);
         } else {
             live.push(*arrive);
         }
@@ -177,6 +307,7 @@ fn dispatch(
     };
     for arrive in live {
         metrics.record_response(ResponseKind::Ok, completion - arrive);
+        latencies.push(completion - arrive);
     }
     *t_free = completion;
 }
@@ -242,6 +373,48 @@ mod tests {
         assert_eq!(snap.fallback_deadline, 1);
         assert_eq!(snap.ok_responses, 0);
         assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn one_shard_replay_matches_the_flat_replay() {
+        let sched: Vec<(u64, ServeRequest)> = (0..10).map(|i| (i * 400, req())).collect();
+        let flat = replay(&cfg(), &sched, &SVC);
+        let sharded = replay_sharded(&cfg(), 1, &sched, &SVC);
+        assert_eq!(sharded.per_shard.len(), 1);
+        assert_eq!(sharded.merged(), flat);
+    }
+
+    #[test]
+    fn sharded_replay_conserves_across_shards() {
+        let sched: Vec<(u64, ServeRequest)> = (0..40)
+            .map(|i| {
+                (
+                    i * 200,
+                    ServeRequest::new((i % 4) as usize, 40 + (i % 16) as usize, 2, 4),
+                )
+            })
+            .collect();
+        let sharded = replay_sharded(&cfg(), 4, &sched, &SVC);
+        let merged = sharded.merged();
+        assert_eq!(merged.submitted, 40);
+        assert_eq!(merged.completed, merged.accepted);
+        assert_eq!(sharded.latencies_ns.len() as u64, merged.completed);
+        assert!(sharded.latencies_ns.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sharded.makespan_ns > 0);
+        assert!(sharded.p99_ns() >= percentile_ns(&sharded.latencies_ns, 0.5));
+        // Determinism: replaying the identical script is bit-identical.
+        let again = replay_sharded(&cfg(), 4, &sched, &SVC);
+        assert_eq!(again.per_shard, sharded.per_shard);
+        assert_eq!(again.latencies_ns, sharded.latencies_ns);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 0.99), 0);
+        assert_eq!(percentile_ns(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 0.99), 99);
+        assert_eq!(percentile_ns(&v, 1.0), 100);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! [`ForecastEngine::try_forecast_keyed`] call no matter which batch it
 //! lands in, which worker runs it, or in what order requests arrived.
 //! Batching, worker count and arrival jitter move *time*, never bits.
+//! The same invariant extends to shard placement: the sharded front
+//! ([`crate::serve_sharded`]) runs this exact scheduler once per shard
+//! over a forked engine with the same seed, so which shard a request
+//! hashes to is equally invisible in the output bits.
 //!
 //! # Failure model
 //!
@@ -26,21 +30,26 @@
 //!   is dropped.
 //! * **Poisoned queue mutex** — every queue lock recovers a poisoned
 //!   guard (`into_inner`); queue state is plain data, so recovery is safe.
+//! * **Shard worker death** — under sharded serving, a panic that escapes
+//!   the containment above (only an injected kill can produce one — every
+//!   real unwind path inside a batch is caught) reaches the shard's
+//!   supervisor, which fallback-drains the backlog with
+//!   [`FallbackReason::ShardFailure`] and respawns the worker
+//!   (`supervisor.rs`); other shards are untouched.
 //! * **Shutdown** — when the body closure returns, admission closes
 //!   ([`SubmitError::ShuttingDown`]) and workers drain every queued
 //!   request before exiting: accepted always implies answered.
 
 use crate::config::ServeConfig;
 use crate::lifecycle::LifecycleController;
+use crate::mailbox::{Entry, Mailbox, Pending};
 use crate::metrics::{MetricsSnapshot, ResponseKind, ServeMetrics};
 use ranknet_core::engine::{
     currank_forecast, EngineError, EngineForecast, ForecastEngine, ForecastRequest,
 };
 use ranknet_core::features::RaceContext;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A forecast query addressed to the serving layer. `race` indexes the
 /// context slice handed to [`serve`].
@@ -81,12 +90,16 @@ pub enum FallbackReason {
     DeadlineExpired,
     /// The worker panicked while forecasting this request.
     WorkerPanic,
+    /// The request was queued on a shard whose worker died; the
+    /// supervisor answered the backlog while restarting the shard.
+    ShardFailure,
 }
 
 /// A served forecast.
 #[derive(Clone, Debug)]
 pub struct ServeResponse {
-    /// Admission id — unique, assigned in submission order.
+    /// Admission id — unique within its region (per shard, under sharded
+    /// serving), assigned in submission order.
     pub id: u64,
     pub forecast: EngineForecast,
     /// `Some` when the model never ran and the CurRank fallback answered.
@@ -138,78 +151,40 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// One-shot response slot a worker fills and a caller waits on.
-struct Slot {
-    state: Mutex<Option<ServeResult>>,
-    ready: Condvar,
-}
-
-impl Slot {
-    fn deliver(&self, result: ServeResult) {
-        let mut guard = self.state.lock().unwrap_or_else(|p| p.into_inner());
-        *guard = Some(result);
-        self.ready.notify_all();
-    }
-}
-
-/// Handle to a submitted request; [`Pending::wait`] blocks until the
-/// scheduler answers (workers drain the queue on shutdown, so an accepted
-/// request is always answered).
-pub struct Pending {
-    id: u64,
-    slot: Arc<Slot>,
-}
-
-impl Pending {
-    pub fn id(&self) -> u64 {
-        self.id
-    }
-
-    pub fn wait(self) -> ServeResult {
-        let mut guard = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
-        loop {
-            if let Some(result) = guard.take() {
-                return result;
-            }
-            guard = self
-                .slot
-                .ready
-                .wait(guard)
-                .unwrap_or_else(|p| p.into_inner());
-        }
-    }
-}
-
-struct Entry {
-    id: u64,
-    req: ServeRequest,
-    enqueued: Instant,
-    slot: Arc<Slot>,
-}
-
-struct QueueState {
-    entries: VecDeque<Entry>,
-    shutdown: bool,
-    next_id: u64,
-}
-
-struct Shared<'a> {
-    engine: &'a ForecastEngine,
-    contexts: &'a [&'a RaceContext],
-    cfg: ServeConfig,
-    queue: Mutex<QueueState>,
-    wakeup: Condvar,
-    metrics: ServeMetrics,
+/// One serving region's shared state: the flat region or one race shard.
+pub(crate) struct Shared<'a> {
+    pub(crate) engine: &'a ForecastEngine,
+    pub(crate) contexts: &'a [&'a RaceContext],
+    pub(crate) cfg: ServeConfig,
+    pub(crate) mailbox: Mailbox,
+    pub(crate) metrics: ServeMetrics,
     /// Shadow-evaluation / hot-swap controller, when serving under
     /// [`serve_with_lifecycle`].
-    lifecycle: Option<&'a LifecycleController>,
+    pub(crate) lifecycle: Option<&'a LifecycleController>,
+    /// Shard index under sharded serving; `None` in the flat region. Used
+    /// only for fault targeting — never for scheduling decisions, which is
+    /// what keeps placement invisible in the output bits.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    pub(crate) shard: Option<usize>,
 }
 
 impl<'a> Shared<'a> {
-    /// Queue state is plain data; recover a poisoned guard instead of
-    /// propagating — one crashed lock-holder must not wedge the scheduler.
-    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
-        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    pub(crate) fn new(
+        engine: &'a ForecastEngine,
+        contexts: &'a [&'a RaceContext],
+        cfg: ServeConfig,
+        lifecycle: Option<&'a LifecycleController>,
+        shard: Option<usize>,
+    ) -> Shared<'a> {
+        Shared {
+            engine,
+            contexts,
+            cfg,
+            mailbox: Mailbox::new(cfg.queue_capacity),
+            metrics: ServeMetrics::new(),
+            lifecycle,
+            shard,
+        }
     }
 }
 
@@ -225,35 +200,7 @@ impl ServeClient<'_, '_> {
     /// `Ok` means the request is queued and will be answered; `Err` means
     /// it never entered the queue.
     pub fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError> {
-        let shared = self.shared;
-        shared.metrics.record_submitted();
-        let mut q = shared.lock_queue();
-        if q.shutdown {
-            shared.metrics.record_rejected_shutdown();
-            return Err(SubmitError::ShuttingDown);
-        }
-        if q.entries.len() >= shared.cfg.queue_capacity {
-            shared.metrics.record_rejected_full();
-            return Err(SubmitError::QueueFull {
-                capacity: shared.cfg.queue_capacity,
-            });
-        }
-        q.next_id += 1;
-        let id = q.next_id;
-        let slot = Arc::new(Slot {
-            state: Mutex::new(None),
-            ready: Condvar::new(),
-        });
-        q.entries.push_back(Entry {
-            id,
-            req,
-            enqueued: Instant::now(),
-            slot: Arc::clone(&slot),
-        });
-        shared.metrics.record_accepted(q.entries.len() as u64);
-        drop(q);
-        shared.wakeup.notify_one();
-        Ok(Pending { id, slot })
+        self.shared.mailbox.submit(req, &self.shared.metrics)
     }
 
     /// Submit and block until the response arrives.
@@ -269,7 +216,7 @@ impl ServeClient<'_, '_> {
     /// Current submission-queue depth (requests admitted, not yet picked
     /// up by a worker).
     pub fn queue_depth(&self) -> usize {
-        self.shared.lock_queue().entries.len()
+        self.shared.mailbox.depth()
     }
 }
 
@@ -318,27 +265,14 @@ fn serve_inner<R>(
     body: impl FnOnce(ServeClient<'_, '_>) -> R,
 ) -> (R, MetricsSnapshot) {
     let cfg = cfg.normalized();
-    let shared = Shared {
-        engine,
-        contexts,
-        cfg,
-        queue: Mutex::new(QueueState {
-            entries: VecDeque::new(),
-            shutdown: false,
-            next_id: 0,
-        }),
-        wakeup: Condvar::new(),
-        metrics: ServeMetrics::new(),
-        lifecycle,
-    };
+    let shared = Shared::new(engine, contexts, cfg, lifecycle, None);
 
     let out = std::thread::scope(|s| {
         for _ in 0..cfg.workers {
             s.spawn(|| worker_loop(&shared));
         }
         let out = body(ServeClient { shared: &shared });
-        shared.lock_queue().shutdown = true;
-        shared.wakeup.notify_all();
+        shared.mailbox.close();
         out
     });
     if let Some(lc) = lifecycle {
@@ -349,22 +283,35 @@ fn serve_inner<R>(
     (out, shared.metrics.snapshot())
 }
 
-fn worker_loop(shared: &Shared<'_>) {
+/// What a worker found when it asked the mailbox for work.
+pub(crate) enum NextStep {
+    Batch(Vec<Entry>),
+    Shutdown,
+    /// An injected shard-kill fault targets this worker: the entries it
+    /// was about to drain stay queued, and the worker must die *outside*
+    /// the poison-recovery catch so the supervisor sees a real death.
+    #[cfg(feature = "fault-inject")]
+    Kill,
+}
+
+pub(crate) fn worker_loop(shared: &Shared<'_>) {
     loop {
         // `next_batch` can only panic via an injected queue-lock fault (the
         // fault-inject matrix); it mutates nothing before its final drain,
         // so catching here loses no entries — the mutex is merely poisoned,
         // and the next lock recovers it.
-        let batch = match catch_unwind(AssertUnwindSafe(|| next_batch(shared))) {
-            Ok(batch) => batch,
+        let step = match catch_unwind(AssertUnwindSafe(|| next_batch(shared))) {
+            Ok(step) => step,
             Err(_) => {
                 shared.metrics.record_queue_poison_recovery();
                 continue;
             }
         };
-        match batch {
-            Some(batch) => serve_batch(shared, batch),
-            None => return,
+        match step {
+            NextStep::Batch(batch) => serve_batch(shared, batch),
+            NextStep::Shutdown => return,
+            #[cfg(feature = "fault-inject")]
+            NextStep::Kill => panic!("injected fault: shard worker killed"),
         }
     }
 }
@@ -374,16 +321,20 @@ fn worker_loop(shared: &Shared<'_>) {
 /// batch open until it reaches `max_batch` or the oldest request has
 /// waited `max_delay`, then drain up to `max_batch` entries. During
 /// shutdown the hold is skipped so the queue drains immediately.
-fn next_batch(shared: &Shared<'_>) -> Option<Vec<Entry>> {
-    let mut q = shared.lock_queue();
+fn next_batch(shared: &Shared<'_>) -> NextStep {
+    let mut q = shared.mailbox.lock();
     #[cfg(feature = "fault-inject")]
-    crate::fault::maybe_poison_queue_lock();
+    crate::fault::maybe_poison_queue_lock(shared.shard);
     'outer: loop {
         while q.entries.is_empty() {
             if q.shutdown {
-                return None;
+                return NextStep::Shutdown;
             }
-            q = shared.wakeup.wait(q).unwrap_or_else(|p| p.into_inner());
+            q = shared
+                .mailbox
+                .wakeup
+                .wait(q)
+                .unwrap_or_else(|p| p.into_inner());
         }
         while q.entries.len() < shared.cfg.max_batch && !q.shutdown {
             let oldest = match q.entries.front() {
@@ -395,6 +346,7 @@ fn next_batch(shared: &Shared<'_>) -> Option<Vec<Entry>> {
                 break;
             }
             q = shared
+                .mailbox
                 .wakeup
                 .wait_timeout(q, shared.cfg.max_delay - waited)
                 .unwrap_or_else(|p| p.into_inner())
@@ -405,7 +357,14 @@ fn next_batch(shared: &Shared<'_>) -> Option<Vec<Entry>> {
             }
         }
         let n = q.entries.len().min(shared.cfg.max_batch);
-        return Some(q.entries.drain(..n).collect());
+        #[cfg(feature = "fault-inject")]
+        {
+            let ids: Vec<u64> = q.entries.iter().take(n).map(|e| e.id).collect();
+            if crate::fault::should_kill_worker(shared.shard, &ids) {
+                return NextStep::Kill;
+            }
+        }
+        return NextStep::Batch(q.entries.drain(..n).collect());
     }
 }
 
@@ -535,7 +494,12 @@ fn deliver_engine_result(
 /// `reason`. If even the fallback is impossible (malformed request), the
 /// typed validation error goes out instead — the caller is never left
 /// waiting.
-fn deliver_fallback(shared: &Shared<'_>, e: Entry, reason: FallbackReason, batch_size: usize) {
+pub(crate) fn deliver_fallback(
+    shared: &Shared<'_>,
+    e: Entry,
+    reason: FallbackReason,
+    batch_size: usize,
+) {
     let req = &e.req;
     let built = if req.race >= shared.contexts.len() {
         Err(EngineError::RaceOutOfRange {
@@ -555,6 +519,7 @@ fn deliver_fallback(shared: &Shared<'_>, e: Entry, reason: FallbackReason, batch
             match reason {
                 FallbackReason::DeadlineExpired => ResponseKind::FallbackDeadline,
                 FallbackReason::WorkerPanic => ResponseKind::FallbackPanic,
+                FallbackReason::ShardFailure => ResponseKind::FallbackShard,
             },
             Ok(ServeResponse {
                 id: e.id,

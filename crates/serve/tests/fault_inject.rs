@@ -13,8 +13,8 @@ use ranknet_core::engine::{currank_forecast, ForecastEngine};
 use ranknet_core::lifecycle::{fault as core_fault, LifecycleError, ModelStore};
 use rpf_serve::fault::{self, ServeFaultPlan};
 use rpf_serve::{
-    serve, serve_with_lifecycle, CandidateDecision, FallbackReason, LifecycleConfig,
-    LifecycleController, ServeConfig, ServeRequest,
+    serve, serve_sharded, serve_with_lifecycle, shard_of, CandidateDecision, FallbackReason,
+    LifecycleConfig, LifecycleController, ServeConfig, ServeRequest, ShardTopology,
 };
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -448,6 +448,202 @@ fn checksum_corrupt_candidate_is_quarantined_before_it_can_serve() {
     assert_eq!(metrics.completed, 3);
     assert_eq!(metrics.swaps + metrics.rollbacks, 0);
     assert_eq!(metrics.model_version, 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+// ---- shard fault matrix (DESIGN.md §15) ------------------------------------
+
+/// A worker killed on one shard under multi-race traffic: the killed
+/// shard's backlog degrades to flagged CurRank fallbacks, the supervisor
+/// restarts the worker, and every other shard keeps serving bit-identical
+/// model forecasts. Accounting must cover every accepted request.
+#[test]
+fn shard_worker_kill_degrades_only_the_killed_shard() {
+    let _guard = locked();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_delay: Duration::from_millis(200),
+        queue_capacity: 64,
+    };
+    let topo = ShardTopology::new(2);
+    let reqs: Vec<ServeRequest> = (0..8)
+        .map(|i| ServeRequest::new(i % 2, 60 + 3 * i, 2, 3))
+        .collect();
+    // The first request admitted to its shard gets per-shard id 1: target it.
+    let killed = shard_of(reqs[0].race, reqs[0].origin, 2);
+    fault::install(ServeFaultPlan::new().kill_shard_worker(killed, 1));
+
+    let (outcomes, sharded) = serve_sharded(&engine, &refs, &cfg, topo, |client| {
+        let pending: Vec<_> = reqs
+            .iter()
+            .map(|&req| {
+                let shard = client.shard_of(&req);
+                (req, shard, client.submit(req).expect("queue sized"))
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|(req, shard, p)| (req, shard, p.wait()))
+            .collect::<Vec<_>>()
+    });
+    fault::clear();
+
+    assert_eq!(outcomes.len(), 8, "a killed shard must not drop responses");
+    let mut shard_fallbacks = 0u64;
+    for (req, shard, outcome) in &outcomes {
+        let resp = outcome.as_ref().expect("all requests here are valid");
+        if resp.fallback == Some(FallbackReason::ShardFailure) {
+            assert_eq!(*shard, killed, "only the killed shard may degrade");
+            assert!(resp.forecast.degraded);
+            let reference =
+                currank_forecast(&contexts[req.race], req.origin, req.horizon, req.n_samples)
+                    .expect("valid request");
+            assert_eq!(bits(&reference), bits(&resp.forecast));
+            shard_fallbacks += 1;
+        } else {
+            // Survivor shards — and post-restart service on the killed one —
+            // stay bit-identical to the direct engine call.
+            assert_parity(req, outcome);
+        }
+    }
+    assert!(shard_fallbacks >= 1, "the killed batch must degrade");
+    let merged = sharded.merged();
+    assert_eq!(merged.completed, 8, "every accepted request is answered");
+    assert_eq!(merged.fallback_shard, shard_fallbacks);
+    assert_eq!(merged.ok_responses, 8 - shard_fallbacks);
+    assert!(
+        merged.shard_restarts >= 1,
+        "the supervisor must restart the killed worker"
+    );
+    let survivor = &sharded.per_shard[killed ^ 1];
+    assert_eq!(survivor.fallback_shard, 0);
+    assert_eq!(survivor.shard_restarts, 0);
+    assert_eq!(survivor.worker_panics, 0);
+}
+
+/// A poisoned mailbox mutex on one shard: that shard recovers the poison
+/// and keeps serving, no request is dropped anywhere, and the other
+/// shard's metrics never see the fault.
+#[test]
+fn poisoned_shard_mailbox_is_recovered_and_other_shards_unaffected() {
+    let _guard = locked();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_delay: Duration::from_micros(200),
+        queue_capacity: 64,
+    };
+    let topo = ShardTopology::new(2);
+    let reqs: Vec<ServeRequest> = (0..8)
+        .map(|i| ServeRequest::new(i % 2, 70 + 3 * i, 1, 2))
+        .collect();
+    let poisoned = shard_of(reqs[0].race, reqs[0].origin, 2);
+    fault::install(ServeFaultPlan::new().poison_shard_mailbox(poisoned));
+
+    let (outcomes, sharded) = serve_sharded(&engine, &refs, &cfg, topo, |client| {
+        let pending: Vec<_> = reqs
+            .iter()
+            .map(|&req| (req, client.submit(req).expect("queue sized")))
+            .collect();
+        pending
+            .into_iter()
+            .map(|(req, p)| (req, p.wait()))
+            .collect::<Vec<_>>()
+    });
+    fault::clear();
+
+    assert_eq!(outcomes.len(), 8, "poisoned mailbox must not drop requests");
+    for (req, outcome) in &outcomes {
+        assert_parity(req, outcome);
+    }
+    let merged = sharded.merged();
+    assert_eq!(merged.completed, 8);
+    assert_eq!(merged.ok_responses, 8);
+    assert_eq!(
+        sharded.per_shard[poisoned].queue_poison_recoveries, 1,
+        "the injected poison fires exactly once on the target shard"
+    );
+    assert_eq!(sharded.per_shard[poisoned ^ 1].queue_poison_recoveries, 0);
+}
+
+/// A panic while rolling a new model across the shard fleet: the rollout
+/// unwinds every shard already swapped, all shards converge back to the
+/// old version, the candidate is quarantined, and post-roll traffic stays
+/// bit-identical to the pre-roll bits.
+#[test]
+fn rolling_swap_panic_unwinds_every_shard_to_the_old_version() {
+    let _guard = locked();
+    let (model, contexts) = fixture();
+    let refs: Vec<_> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+
+    let root = store_root("rolling_swap_panic");
+    let store = ModelStore::open(&root).expect("store opens");
+    let candidate = store
+        .publish(alt_model(), None, "candidate")
+        .expect("publish");
+    let lc = LifecycleController::new(LifecycleConfig::default()).with_store(store);
+    let version = candidate.version;
+
+    // Shards 0 and 1 swap, shard 2 panics mid-roll, shard 3 is never reached.
+    fault::install(ServeFaultPlan::new().panic_on_rolling_shard(2));
+
+    let topo = ShardTopology::new(4);
+    let (decision, sharded) = serve_sharded(&engine, &refs, &serve_cfg_small(), topo, |client| {
+        for i in 0..4 {
+            let resp = client
+                .forecast(ServeRequest::new(i % 2, 64 + 2 * i, 1, 2))
+                .expect("accepted")
+                .expect("valid");
+            assert_eq!(resp.forecast.model_version, 0);
+        }
+        let slots = client.slots();
+        assert_eq!(slots.len(), 4);
+        let decision = lc.rolling_swap(&slots, version, Arc::new(alt_model().clone()));
+        // After the aborted roll every shard must serve the old bits again.
+        for i in 0..4 {
+            let req = ServeRequest::new(i % 2, 80 + 2 * i, 1, 2);
+            let outcome = client.forecast(req).expect("accepted");
+            let resp = outcome.as_ref().expect("valid");
+            assert!(resp.fallback.is_none(), "aborted roll degraded {req:?}");
+            assert_eq!(resp.forecast.model_version, 0, "old version must serve");
+            assert_parity(&req, &outcome);
+        }
+        decision
+    });
+    fault::clear();
+
+    assert_eq!(
+        decision,
+        CandidateDecision::RolledBack {
+            version,
+            samples: 0,
+            mean_divergence_milli: 0,
+        }
+    );
+    assert_eq!(lc.decisions(), vec![decision]);
+    let merged = sharded.merged();
+    assert_eq!(merged.completed, 8);
+    assert_eq!(merged.ok_responses, 8);
+    assert_eq!(merged.model_version, 0, "no shard may keep the candidate");
+    let quarantined = lc
+        .store()
+        .expect("attached")
+        .quarantined()
+        .expect("readable");
+    assert!(
+        quarantined.iter().any(|q| q.contains("rolling-swap-panic")),
+        "candidate must be quarantined after the aborted roll, saw {quarantined:?}"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -8,8 +8,11 @@
 //! `UPDATE_GOLDEN=1 cargo test -p rpf-serve --test metrics_golden`
 
 use rpf_nn::RngStreams;
-use rpf_serve::loadgen::{self, LoadMix};
-use rpf_serve::{replay, replay_with_events, ReplayEvent, ServeConfig, ServiceModel};
+use rpf_serve::loadgen::{self, LoadMix, MultiRaceMix};
+use rpf_serve::{
+    replay, replay_sharded, replay_with_events, ReplayEvent, ServeConfig, ServiceModel,
+    ShardedSnapshot,
+};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -199,6 +202,81 @@ fn swap_bearing_replay_is_deterministic_across_runs() {
     let b = replay_with_events(&cfg, &script, &events, &svc);
     assert_eq!(a, b);
     assert_eq!(a.render(), b.render());
+}
+
+/// The pinned multi-race scenario for the sharded replay: a Zipf-skewed
+/// four-race mix whose bursts land unevenly across two shards. The golden
+/// pins the per-shard counter split *and* the merged totals, so any drift
+/// in the router hash, the Zipf draw, or the per-shard scheduler shows up
+/// as a diff against `golden/metrics_replay_sharded.txt`.
+fn sharded_script() -> (
+    ServeConfig,
+    Vec<(u64, rpf_serve::ServeRequest)>,
+    ServiceModel,
+) {
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 8,
+        max_delay: Duration::from_micros(500),
+        queue_capacity: 16,
+    };
+    let svc = ServiceModel {
+        batch_overhead_ns: 200_000,
+        per_request_ns: 100_000,
+    };
+
+    let streams = RngStreams::new(0x5EED);
+    let mix = MultiRaceMix::new(4, (50, 100), 1.0);
+    let ms = Duration::from_millis;
+    let script = loadgen::merge(vec![
+        mix.schedule(&loadgen::burst(ms(0), 24), &streams.child(0), 0),
+        mix.schedule(&loadgen::ramp(ms(2), ms(10), 24), &streams.child(1), 1_000),
+        mix.schedule(&loadgen::burst(ms(12), 16), &streams.child(2), 2_000),
+    ]);
+    let script_ns = script
+        .into_iter()
+        .map(|(t, req)| (t.as_nanos() as u64, req))
+        .collect();
+    (cfg, script_ns, svc)
+}
+
+#[test]
+fn sharded_replay_matches_golden_snapshot_exactly() {
+    let (cfg, script, svc) = sharded_script();
+    let sharded = replay_sharded(&cfg, 2, &script, &svc);
+
+    // Conservation before pinning: every scripted request is accounted for
+    // on exactly one shard, and both shards see traffic.
+    let submitted: u64 = sharded.per_shard.iter().map(|s| s.submitted).sum();
+    assert_eq!(submitted, 64);
+    let merged = sharded.merged();
+    assert_eq!(merged.submitted, 64);
+    assert_eq!(merged.accepted + merged.rejected_queue_full, 64);
+    assert_eq!(merged.completed, merged.accepted);
+    assert!(
+        sharded.per_shard.iter().all(|s| s.submitted > 0),
+        "the Zipf mix must load every shard"
+    );
+
+    let snap = ShardedSnapshot {
+        per_shard: sharded.per_shard.clone(),
+    };
+    check_golden(
+        &golden_path_named("metrics_replay_sharded.txt"),
+        &snap.render(),
+    );
+}
+
+/// The sharded replay is a pure function of (config, shard count, script):
+/// same inputs, same per-shard counters and latencies, bit-for-bit.
+#[test]
+fn sharded_replay_is_deterministic_across_runs() {
+    let (cfg, script, svc) = sharded_script();
+    let a = replay_sharded(&cfg, 2, &script, &svc);
+    let b = replay_sharded(&cfg, 2, &script, &svc);
+    assert_eq!(a.per_shard, b.per_shard);
+    assert_eq!(a.latencies_ns, b.latencies_ns);
+    assert_eq!(a.makespan_ns, b.makespan_ns);
 }
 
 /// The replay itself is a pure function: same script, same counters,

@@ -9,8 +9,10 @@ use ranknet_core::engine::ForecastEngine;
 use ranknet_core::features::RaceContext;
 use ranknet_core::DecodeBackend;
 use rpf_nn::RngStreams;
-use rpf_serve::loadgen::{self, LoadMix};
-use rpf_serve::{serve, ServeConfig, ServeRequest, SubmitError};
+use rpf_serve::loadgen::{self, LoadMix, MultiRaceMix};
+use rpf_serve::{
+    serve, serve_sharded, shard_of, ServeConfig, ServeRequest, ShardTopology, SubmitError,
+};
 use std::collections::HashSet;
 use std::time::Duration;
 
@@ -256,6 +258,158 @@ fn shutdown_drains_every_accepted_request() {
     assert_eq!(answered, 10);
     assert_eq!(metrics.completed, 10, "drain must answer everything");
     assert_eq!(metrics.accepted, 10);
+}
+
+/// The sharded tentpole pin: for every fixed layout in 1/2/4 shards ×
+/// 1/2/8 workers, every sharded response must replay the *direct call's*
+/// exact bits — which is the same reference the unsharded suite pins, so
+/// sharded == unsharded == direct, bitwise. Routing must agree with the
+/// public hash, conservation must hold across the fleet, and nothing may
+/// be lost or duplicated within a shard.
+#[test]
+fn sharded_serving_matches_direct_calls_across_layouts() {
+    let (model, contexts) = fixture();
+    let refs = ctx_refs(contexts);
+    let mix = MultiRaceMix::new(2, (40, 110), 1.0);
+    let streams = RngStreams::new(0xC0FFEE);
+
+    for shards in [1usize, 2, 4] {
+        for workers in [1usize, 2, 8] {
+            let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+            let cfg = ServeConfig {
+                workers,
+                max_batch: 4,
+                max_delay: Duration::from_millis(2),
+                queue_capacity: 256,
+            };
+            let script: Vec<ServeRequest> = (0..40).map(|i| mix.request_at(&streams, i)).collect();
+            let (report, sharded) =
+                serve_sharded(&engine, &refs, &cfg, ShardTopology::new(shards), |client| {
+                    assert_eq!(client.shard_count(), shards);
+                    let mut outcomes = Vec::new();
+                    for req in &script {
+                        assert_eq!(
+                            client.shard_of(req),
+                            shard_of(req.race, req.origin, shards),
+                            "router must expose its real layout"
+                        );
+                        outcomes.push((*req, client.forecast(*req).expect("admitted")));
+                    }
+                    outcomes
+                });
+
+            for (req, outcome) in &report {
+                assert_parity(req, outcome);
+            }
+            // Per-shard admission ids: unique within each shard.
+            for (i, shard_snap) in sharded.per_shard.iter().enumerate() {
+                let ids: HashSet<u64> = report
+                    .iter()
+                    .filter(|(req, _)| shard_of(req.race, req.origin, shards) == i)
+                    .map(|(_, o)| o.as_ref().map(|r| r.id).unwrap_or(0))
+                    .collect();
+                assert_eq!(
+                    ids.len() as u64,
+                    shard_snap.completed,
+                    "shard {i} duplicated or dropped ids ({shards} shards, {workers} workers)"
+                );
+                assert_eq!(shard_snap.completed, shard_snap.accepted);
+            }
+            let merged = sharded.merged();
+            assert_eq!(merged.submitted, 40);
+            assert_eq!(merged.completed, 40);
+            assert_eq!(merged.ok_responses, 40);
+        }
+    }
+}
+
+/// Run-to-run determinism of the sharded region: the same script over the
+/// same layout replays identical bits (common random numbers across
+/// forked engines).
+#[test]
+fn repeated_sharded_runs_replay_identical_bits() {
+    let (model, contexts) = fixture();
+    let refs = ctx_refs(contexts);
+    let reqs = [
+        ServeRequest::new(0, 80, 2, 6),
+        ServeRequest::new(1, 95, 3, 4),
+        ServeRequest::new(0, 45, 1, 2),
+    ];
+
+    let run = || {
+        let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(2);
+        let cfg = ServeConfig::default();
+        let (out, _) = serve_sharded(&engine, &refs, &cfg, ShardTopology::new(4), |client| {
+            reqs.iter()
+                .map(|r| {
+                    client
+                        .forecast(*r)
+                        .expect("admitted")
+                        .expect("valid request")
+                })
+                .collect::<Vec<_>>()
+        });
+        out
+    };
+    let a = run();
+    let b = run();
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(bits(&ra.forecast), bits(&rb.forecast));
+        assert_eq!(ra.id, rb.id, "per-shard admission order must be stable");
+    }
+}
+
+/// Per-shard backpressure: flooding one shard's key must reject with the
+/// flat scheduler's typed `QueueFull` while the merged books still
+/// balance.
+#[test]
+fn hot_shard_overflow_maps_to_queue_full() {
+    let (model, contexts) = fixture();
+    let refs = ctx_refs(contexts);
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    let capacity = 4;
+    let cfg = ServeConfig {
+        workers: 1,
+        max_batch: 1,
+        max_delay: Duration::ZERO,
+        queue_capacity: capacity,
+    };
+
+    let (report, sharded) = serve_sharded(&engine, &refs, &cfg, ShardTopology::new(2), |client| {
+        let mut report = loadgen::LoadReport::default();
+        // Pin one shard's worker with a heavy request, then flood the
+        // same (race, origin) key — all of it routes to that shard.
+        let heavy = ServeRequest::new(0, 100, 3, 64);
+        let mut pending = vec![(heavy, client.submit(heavy))];
+        for _ in 0..40 {
+            let req = ServeRequest::new(0, 100, 1, 1);
+            pending.push((req, client.submit(req)));
+        }
+        for (req, sub) in pending {
+            match sub {
+                Ok(p) => report.outcomes.push((req, p.wait())),
+                Err(e) => report.rejected.push((req, e)),
+            }
+        }
+        report
+    });
+
+    assert!(
+        !report.rejected.is_empty(),
+        "flooding one shard's 4-deep mailbox must reject"
+    );
+    for (_, err) in &report.rejected {
+        assert_eq!(*err, SubmitError::QueueFull { capacity });
+    }
+    let merged = sharded.merged();
+    assert_eq!(
+        merged.accepted + merged.rejected_queue_full,
+        merged.submitted
+    );
+    assert_eq!(merged.completed, merged.accepted);
+    // The cold shard never saw a request, let alone a rejection.
+    let cold = shard_of(0, 100, 2) ^ 1;
+    assert_eq!(sharded.per_shard[cold].submitted, 0);
 }
 
 /// Serving results agree with the engine's own batch API and with each

@@ -5,8 +5,12 @@
 # including the `swap` mode, p99 under a continuous model hot-swap thread),
 # so the perf trajectory is diffable across PRs.
 #
-#   scripts/bench_snapshot.sh            # writes BENCH_YYYY-MM-DD.json
-#   scripts/bench_snapshot.sh out.json   # explicit output path
+#   scripts/bench_snapshot.sh                  # writes BENCH_YYYY-MM-DD.json
+#   scripts/bench_snapshot.sh out.json         # explicit output path
+#   scripts/bench_snapshot.sh shards [out]     # scale-out snapshot only:
+#                                              # the shard1/shard2/shard4
+#                                              # serving lines, written to
+#                                              # BENCH_YYYY-MM-DD_shards.json
 #
 # Runs offline against the vendored criterion stub, whose output format is
 # stable: stdout bench lines `label  <t>/iter  [lo .. hi]` and the serving
@@ -14,13 +18,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_$(date +%F).json}"
+mode="full"
+if [ "${1:-}" = "shards" ]; then
+  mode="shards"
+  shift
+fi
+if [ "$mode" = "shards" ]; then
+  out="${1:-BENCH_$(date +%F)_shards.json}"
+else
+  out="${1:-BENCH_$(date +%F).json}"
+fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== cargo bench -p rpf-bench --bench forecasting ==" >&2
-cargo bench -q -p rpf-bench --bench forecasting --offline \
-  >"$tmp/forecasting.out" 2>"$tmp/forecasting.err"
+if [ "$mode" = "full" ]; then
+  echo "== cargo bench -p rpf-bench --bench forecasting ==" >&2
+  cargo bench -q -p rpf-bench --bench forecasting --offline \
+    >"$tmp/forecasting.out" 2>"$tmp/forecasting.err"
+fi
 
 echo "== cargo bench -p rpf-bench --bench serving ==" >&2
 cargo bench -q -p rpf-bench --bench serving --offline \
@@ -38,17 +53,20 @@ function to_ms(v, u) {
 }'
 
 # Decode bench lines: `decode_backend/<backend>/<threads>  <t> <unit>/iter ...`
-decode_json=$(awk -v q='"' "$to_ms"'
-  $1 ~ /^decode_backend\// {
-    split($1, parts, "/")
-    t = $2; unit = $3; sub(/\/iter.*/, "", unit)
-    ms = to_ms(t + 0, unit)
-    if (n++) printf ",\n"
-    printf "    {%sbackend%s: %s%s%s, %sthreads%s: %s, %sms_per_iter%s: %.4f}", \
-      q, q, q, parts[2], q, q, q, parts[3] + 0, q, q, ms
-  }
-  END { if (n) printf "\n" }
-' "$tmp/forecasting.out")
+decode_json=""
+if [ "$mode" = "full" ]; then
+  decode_json=$(awk -v q='"' "$to_ms"'
+    $1 ~ /^decode_backend\// {
+      split($1, parts, "/")
+      t = $2; unit = $3; sub(/\/iter.*/, "", unit)
+      ms = to_ms(t + 0, unit)
+      if (n++) printf ",\n"
+      printf "    {%sbackend%s: %s%s%s, %sthreads%s: %s, %sms_per_iter%s: %.4f}", \
+        q, q, q, parts[2], q, q, q, parts[3] + 0, q, q, ms
+    }
+    END { if (n) printf "\n" }
+  ' "$tmp/forecasting.out")
+fi
 
 # Serving summary lines (stderr): `serving <mode> load=<n> clients:
 # <r> req/s  p50=<d>  p99=<d>` where <d> is a Duration debug string.
@@ -75,7 +93,41 @@ function dur_ms(s,   v, u) {
 
 # The serving summary parse feeds the perf trajectory; an empty result
 # means the bench output format drifted and the script must be updated.
-if [ -z "$serving_json" ] || [ -z "$decode_json" ]; then
+if [ -z "$serving_json" ]; then
+  echo "error: failed to parse bench output (format drift?); raw output in $tmp kept" >&2
+  trap - EXIT
+  exit 1
+fi
+
+if [ "$mode" = "shards" ]; then
+  # Scale-out drift guard: the snapshot is meaningless unless all three
+  # fleet sizes reported — a missing line means the bench format or the
+  # shard summary loop drifted.
+  shards_json=$(printf '%s\n' "$serving_json" | grep '"mode": "shard' || true)
+  for want in shard1 shard2 shard4; do
+    if ! printf '%s' "$shards_json" | grep -q "\"mode\": \"$want\""; then
+      echo "error: serving bench emitted no $want summary line; raw output in $tmp kept" >&2
+      trap - EXIT
+      exit 1
+    fi
+  done
+  # Re-join the filtered entries with commas (grep stripped the trailing
+  # ones from all but the last line).
+  shards_json=$(printf '%s\n' "$shards_json" | sed 's/,$//' | sed '$!s/$/,/')
+  {
+    echo "{"
+    echo "  \"date\": \"$(date +%F)\","
+    echo "  \"git\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"shards\": ["
+    printf '%s\n' "$shards_json"
+    echo "  ]"
+    echo "}"
+  } >"$out"
+  echo "wrote $out" >&2
+  exit 0
+fi
+
+if [ -z "$decode_json" ]; then
   echo "error: failed to parse bench output (format drift?); raw output in $tmp kept" >&2
   trap - EXIT
   exit 1

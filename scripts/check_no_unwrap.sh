@@ -39,8 +39,11 @@ while IFS= read -r f; do
 # crates/tensor stays excluded as a whole (par.rs joins worker threads with
 # an intentional panic), but the batched decode kernels are serving-path
 # production code and follow the typed-error discipline.
+# The serve walk picks up the sharding modules (mailbox, shard, supervisor,
+# router) recursively; perfmodel is modelling code and exempt except for the
+# capacity planner, which feeds production fleet-sizing decisions.
 done < <(find crates/core/src crates/nn/src crates/serve/src crates/obs/src \
-  crates/tensor/src/batched.rs -name '*.rs' | sort)
+  crates/tensor/src/batched.rs crates/perfmodel/src/capacity.rs -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then
   echo "error: .unwrap()/.expect( in non-test core/nn/serve/obs code (use a typed error path)" >&2

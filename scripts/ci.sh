@@ -14,7 +14,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== no-unwrap gate (core/nn/serve/obs non-test code) =="
+echo "== no-unwrap gate (core/nn/serve/obs + capacity planner non-test code) =="
 bash scripts/check_no_unwrap.sh
 
 echo "== backend parity (tape-free bitwise + batched mirrors vs per-row) =="
@@ -35,8 +35,14 @@ cargo test -q -p ranknet-core --test lifecycle_store --offline
 echo "== pit runtime rebuild (import invalidates the cached runtime) =="
 cargo test -q -p ranknet-core --test pit_runtime_rebuild --offline
 
-echo "== serving equivalence (batched == direct, bitwise) =="
+echo "== serving equivalence (batched + sharded == direct, bitwise) =="
 cargo test -q -p rpf-serve --test serve_equivalence --offline
+
+echo "== shard scaling gate (4 shards >= 1.6x one shard, virtual clock, release) =="
+cargo test -q -p rpf-serve --test shard_scaling_gate --release --offline
+
+echo "== capacity planner round-trip (perfmodel plan vs sharded replay) =="
+cargo test -q -p rpf-perfmodel --test capacity --offline
 
 echo "== serving conservation properties =="
 cargo test -q -p rpf-serve --test scheduler_props --offline
@@ -76,7 +82,7 @@ cargo test -q -p rpf-nn --features fault-inject --offline
 cargo test -q -p ranknet-core --features fault-inject --offline
 cargo test -q -p rpf-serve --features fault-inject --offline
 
-echo "== lifecycle fault matrix (panic mid-swap, torn publish, corrupt checksum) =="
+echo "== lifecycle + shard fault matrix (panic mid-swap, torn publish, corrupt checksum, shard kill/poison, aborted rolling swap) =="
 cargo test -q -p rpf-serve --test fault_inject --features fault-inject --offline
 
 echo "CI green."
