@@ -223,6 +223,67 @@ fn run_sharded(
     lat
 }
 
+/// The batched closed-loop load taken over real loopback sockets: the
+/// gateway's HTTP front-end nests inside the serving region and every
+/// client keeps one keep-alive connection, so the delta against the
+/// `batched` mode is the whole network edge — parse, JSON codec, TCP
+/// round-trip — at the same offered load.
+fn run_gateway(engine: &ForecastEngine, refs: &[&RaceContext], clients: usize) -> Vec<Duration> {
+    use rpf_gateway::routes::render_forecast_body;
+    let mix = hot_mix();
+    let streams = RngStreams::new(0xBE7C);
+    let bus = rpf_gateway::LapBus::new();
+    // One worker per client: every keep-alive connection pins a worker for
+    // its lifetime, and the bench measures codec+transport cost, not
+    // worker-pool queueing.
+    let gw_cfg = rpf_gateway::GatewayConfig {
+        conn_workers: clients,
+        pending_conns: clients + 8,
+        ..rpf_gateway::GatewayConfig::default()
+    };
+    let ((lat, _), _) = serve(engine, refs, &serve_cfg(), |client| {
+        rpf_gateway::serve_http(client, refs.len(), &bus, &gw_cfg, None, |gw| {
+            let addr = gw.addr();
+            let mut all = Vec::with_capacity(clients * PER_CLIENT);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let streams = &streams;
+                        let mix = &mix;
+                        s.spawn(move || {
+                            let mut http =
+                                rpf_gateway::HttpClient::connect(addr, Duration::from_secs(10))
+                                    .expect("gateway on loopback");
+                            let mut lats = Vec::with_capacity(PER_CLIENT);
+                            for i in 0..PER_CLIENT {
+                                let req = mix.request_at(streams, (c * PER_CLIENT + i) as u64);
+                                let body = render_forecast_body(&req);
+                                let t0 = Instant::now();
+                                let resp = http
+                                    .post_json("/forecast", &body)
+                                    .expect("queue sized for the load");
+                                assert_eq!(resp.status, 200, "{}", resp.body_str());
+                                criterion::black_box(resp.body.len());
+                                lats.push(t0.elapsed());
+                            }
+                            lats
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(lats) => all.extend(lats),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            });
+            all
+        })
+        .expect("gateway binds loopback")
+    });
+    lat
+}
+
 /// The same closed-loop load, but every client calls the engine directly —
 /// one request, one model run, no batching and no coalescing.
 fn run_direct(engine: &ForecastEngine, contexts: &[RaceContext], clients: usize) -> Vec<Duration> {
@@ -332,6 +393,13 @@ fn bench_serving(c: &mut Criterion) {
         let t0 = Instant::now();
         let lats = run_swapped(&engine, &refs, clients, &weights);
         report("swap", clients, t0.elapsed(), lats);
+
+        // The network edge at the same load: closed-loop keep-alive HTTP
+        // clients through the gateway. gateway vs batched is the wire tax.
+        let engine = ForecastEngine::new(&model, ENGINE_SEED).with_threads(1);
+        let t0 = Instant::now();
+        let lats = run_gateway(&engine, &refs, clients);
+        report("gateway", clients, t0.elapsed(), lats);
     }
 
     // Scale-out summary at the heaviest load: the same multi-race mix

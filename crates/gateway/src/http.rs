@@ -1,0 +1,401 @@
+//! Incremental HTTP/1.1 request parsing and response serialization.
+//!
+//! The parser is a pure function over a byte buffer: [`try_parse`] either
+//! finds one complete request at the front of the buffer (returning how
+//! many bytes it consumed), reports that more bytes are needed, or rejects
+//! with a typed error that maps to a 4xx status. Because it never consumes
+//! partial requests and never keeps internal state, torn reads are safe by
+//! construction — the connection loop appends whatever the socket
+//! delivered and re-parses — and pipelined requests fall out for free: the
+//! leftover bytes after `consumed` are simply the front of the next
+//! request.
+//!
+//! Bounds are explicit and enforced before buffering: a head that exceeds
+//! [`HttpLimits::max_header_bytes`] without terminating rejects with 431,
+//! a declared `Content-Length` above [`HttpLimits::max_body_bytes`]
+//! rejects with 413 *before* the body is read, so a hostile client cannot
+//! make the gateway allocate unbounded memory.
+
+/// Parser bounds. Everything a client can grow is capped.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Maximum bytes in the request line + headers (incl. terminator).
+    pub max_header_bytes: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body_bytes: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> HttpLimits {
+        HttpLimits {
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// Why a request was rejected. [`HttpError::status`] gives the response
+/// code the connection loop sends before closing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically invalid request (bad request line, bad header field,
+    /// bad or duplicate `Content-Length`, unsupported transfer coding).
+    Malformed(&'static str),
+    /// The head grew past [`HttpLimits::max_header_bytes`] without
+    /// terminating, or carries more than [`HttpLimits::max_headers`]
+    /// fields.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeds [`HttpLimits::max_body_bytes`].
+    BodyTooLarge,
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+        }
+    }
+
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::Malformed(m) => m,
+            HttpError::HeadersTooLarge => "request head too large",
+            HttpError::BodyTooLarge => "request body too large",
+        }
+    }
+}
+
+/// One parsed request. Header names are lowercased; values are trimmed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Request target as sent (path plus optional `?query`).
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0.
+    pub http11: bool,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First header value under `name` (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path component of the target (query stripped).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// Query string, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Whether the connection persists after this exchange: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`; HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Try to parse one complete request from the front of `buf`.
+///
+/// * `Ok(Some((req, consumed)))` — a full request; the caller drains
+///   `consumed` bytes (any remainder is the next pipelined request).
+/// * `Ok(None)` — incomplete; read more bytes and call again.
+/// * `Err(e)` — reject with `e.status()` and close.
+pub fn try_parse(
+    buf: &[u8],
+    limits: &HttpLimits,
+) -> Result<Option<(HttpRequest, usize)>, HttpError> {
+    let head_len = match find_terminator(buf) {
+        Some(end) => end,
+        None => {
+            // No terminator yet. If the head alone already exceeds the
+            // cap it never will fit — reject instead of buffering more.
+            if buf.len() > limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            return Ok(None);
+        }
+    };
+    if head_len + 4 > limits.max_header_bytes {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let head =
+        std::str::from_utf8(&buf[..head_len]).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let (method, target, http11) = parse_request_line(request_line)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = parse_header_line(line)?;
+        if name == "content-length" {
+            if content_length.is_some() {
+                return Err(HttpError::Malformed("duplicate content-length"));
+            }
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?;
+            if n > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge);
+            }
+            content_length = Some(n);
+        }
+        if name == "transfer-encoding" {
+            return Err(HttpError::Malformed("transfer-encoding unsupported"));
+        }
+        headers.push((name, value));
+    }
+
+    let body_len = content_length.unwrap_or(0);
+    let total = head_len + 4 + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[head_len + 4..total].to_vec();
+    Ok(Some((
+        HttpRequest {
+            method,
+            target,
+            http11,
+            headers,
+            body,
+        },
+        total,
+    )))
+}
+
+/// Offset of the `\r\n\r\n` head terminator, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("bad method"));
+    }
+    if !target.starts_with('/') || target.bytes().any(|b| b <= b' ' || b == 0x7f) {
+        return Err(HttpError::Malformed("bad request target"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("bad http version")),
+    };
+    Ok((method.to_string(), target.to_string(), http11))
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpError::Malformed("header missing colon"))?;
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return Err(HttpError::Malformed("bad header name"));
+    }
+    let value = value.trim_matches(|c| c == ' ' || c == '\t');
+    if value.bytes().any(|b| b < 0x20 || b == 0x7f) {
+        return Err(HttpError::Malformed("control byte in header value"));
+    }
+    Ok((name.to_ascii_lowercase(), value.to_string()))
+}
+
+/// RFC 7230 `tchar`.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// A response under construction. Serialization is deterministic (fixed
+/// header order, no date stamp), so full response bytes can be pinned by
+/// golden tests.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers, emitted after `Content-Length` in insertion order.
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn json(status: u16, body: String) -> Response {
+        Response::new(status, "application/json", body)
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.extra.push((name, value));
+        self
+    }
+
+    /// Serialize, stamping the connection disposition.
+    pub fn to_bytes(&self, close: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        for (name, value) in &self.extra {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(if close {
+            b"Connection: close\r\n\r\n"
+        } else {
+            b"Connection: keep-alive\r\n\r\n"
+        });
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Canonical reason phrase for every status the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(raw: &[u8]) -> (HttpRequest, usize) {
+        try_parse(raw, &HttpLimits::default())
+            .expect("valid")
+            .expect("complete")
+    }
+
+    #[test]
+    fn parses_a_minimal_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, used) = parse_all(raw);
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert!(req.http11);
+        assert!(req.keep_alive());
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(used, raw.len());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_body_waits_for_content_length() {
+        let raw = b"POST /forecast HTTP/1.1\r\nContent-Length: 4\r\n\r\nab";
+        assert_eq!(try_parse(raw, &HttpLimits::default()), Ok(None));
+        let full = b"POST /forecast HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        let (req, used) = parse_all(full);
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(used, full.len());
+    }
+
+    #[test]
+    fn connection_close_and_http10_defaults() {
+        let (req, _) = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive());
+        let (req, _) = parse_all(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive());
+        let (req, _) = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn limits_reject_oversized_heads_and_bodies() {
+        let limits = HttpLimits {
+            max_header_bytes: 64,
+            max_body_bytes: 8,
+            max_headers: 4,
+        };
+        let long = vec![b'a'; 100];
+        assert_eq!(try_parse(&long, &limits), Err(HttpError::HeadersTooLarge));
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert_eq!(try_parse(big, &limits), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let limits = HttpLimits::default();
+        for raw in [
+            b"GET /\r\n\r\n".to_vec(),
+            b"GET / HTTP/2\r\n\r\n".to_vec(),
+            b"get / HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\nNoColon\r\n\r\n".to_vec(),
+            b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n".to_vec(),
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+        ] {
+            match try_parse(&raw, &limits) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("{:?} for {:?}", other, String::from_utf8_lossy(&raw)),
+            }
+        }
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let r = Response::text(200, "ok\n").with_header("Cache-Control", "no-cache".to_string());
+        let bytes = r.to_bytes(false);
+        let s = String::from_utf8(bytes).expect("ascii");
+        assert_eq!(
+            s,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: 3\r\nCache-Control: no-cache\r\nConnection: keep-alive\r\n\r\nok\n"
+        );
+    }
+}

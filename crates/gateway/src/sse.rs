@@ -1,0 +1,193 @@
+//! Server-sent events: a per-race lap update bus and the SSE framing.
+//!
+//! Publishers (the race-state side of a deployment, or a test harness)
+//! push [`LapUpdate`]s onto a [`LapBus`]; each `/races/{race}/stream`
+//! subscriber holds a cursor into the bus log and is woken by a condvar
+//! whenever anything new lands. The log is append-only and retained for
+//! the bus lifetime — a live race is a few hundred laps, so a late
+//! subscriber replaying from the start is a feature (it sees every lap),
+//! not a leak.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One per-lap forecast update, already rendered to a JSON payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LapUpdate {
+    /// Race index the update belongs to (matches the context slice).
+    pub race: usize,
+    /// Lap number the update describes.
+    pub lap: u64,
+    /// JSON object payload for the SSE `data:` line. Must not contain
+    /// newlines (enforced at publish by replacing them with spaces).
+    pub data: String,
+}
+
+struct BusState {
+    events: Vec<LapUpdate>,
+    closed: bool,
+}
+
+/// Broadcast log of lap updates, one per publish, in publish order.
+pub struct LapBus {
+    state: Mutex<BusState>,
+    wakeup: Condvar,
+}
+
+impl Default for LapBus {
+    fn default() -> LapBus {
+        LapBus::new()
+    }
+}
+
+impl LapBus {
+    pub fn new() -> LapBus {
+        LapBus {
+            state: Mutex::new(BusState {
+                events: Vec::new(),
+                closed: false,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Bus state is plain data; recover a poisoned lock instead of
+    /// propagating — a panicking publisher must not take streaming down.
+    fn lock(&self) -> MutexGuard<'_, BusState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Append one update and wake every subscriber.
+    pub fn publish(&self, mut update: LapUpdate) {
+        if update.data.contains('\n') {
+            update.data = update.data.replace('\n', " ");
+        }
+        let mut state = self.lock();
+        state.events.push(update);
+        drop(state);
+        self.wakeup.notify_all();
+    }
+
+    /// Mark the stream finished (race over); subscribers drain what is
+    /// left and receive a terminal `end` event.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Number of updates published so far (any race).
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collect updates for `race` past log position `cursor`, blocking up
+    /// to `timeout` for news. Returns the matching updates tagged with
+    /// their log sequence numbers (the SSE `id:`), the advanced cursor,
+    /// and whether the bus is closed. A timeout returns empty-handed with
+    /// the cursor unchanged — the caller's poll loop decides whether to
+    /// keep waiting (it also needs to notice gateway shutdown and dead
+    /// clients, which is why this never blocks indefinitely).
+    pub fn wait_after(
+        &self,
+        race: usize,
+        cursor: usize,
+        timeout: Duration,
+    ) -> (Vec<(usize, LapUpdate)>, usize, bool) {
+        let mut state = self.lock();
+        if state.events.len() <= cursor && !state.closed {
+            let (guard, _timed_out) = self
+                .wakeup
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(|p| p.into_inner());
+            state = guard;
+        }
+        let start = cursor.min(state.events.len());
+        let fresh: Vec<(usize, LapUpdate)> = state.events[start..]
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.race == race)
+            .map(|(i, u)| (start + i, u.clone()))
+            .collect();
+        (fresh, state.events.len(), state.closed)
+    }
+}
+
+/// Render one update as an SSE frame: `id:` carries the log sequence
+/// number so a reconnecting client knows what it has seen.
+pub fn frame(seq: usize, update: &LapUpdate) -> String {
+    format!("id: {}\nevent: lap\ndata: {}\n\n", seq, update.data)
+}
+
+/// Terminal frame after [`LapBus::close`].
+pub fn end_frame() -> &'static str {
+    "event: end\ndata: {}\n\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up(race: usize, lap: u64) -> LapUpdate {
+        LapUpdate {
+            race,
+            lap,
+            data: format!("{{\"lap\":{lap}}}"),
+        }
+    }
+
+    #[test]
+    fn subscribers_see_only_their_race_in_order() {
+        let bus = LapBus::new();
+        bus.publish(up(0, 50));
+        bus.publish(up(1, 50));
+        bus.publish(up(0, 51));
+        let (got, cursor, closed) = bus.wait_after(0, 0, Duration::from_millis(1));
+        assert_eq!(
+            got.iter().map(|(_, u)| u.lap).collect::<Vec<_>>(),
+            vec![50, 51]
+        );
+        assert_eq!(
+            got.iter().map(|(seq, _)| *seq).collect::<Vec<_>>(),
+            vec![0, 2],
+            "ids are log positions, so race-1 traffic leaves a gap"
+        );
+        assert_eq!(cursor, 3);
+        assert!(!closed);
+        // Nothing new past the cursor.
+        let (got, _, _) = bus.wait_after(0, cursor, Duration::from_millis(1));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_and_flags_subscribers() {
+        let bus = LapBus::new();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| bus.wait_after(0, 0, Duration::from_secs(5)));
+            std::thread::sleep(Duration::from_millis(20));
+            bus.close();
+            let (got, _, closed) = waiter.join().expect("no panic");
+            assert!(got.is_empty());
+            assert!(closed, "close must wake the blocked subscriber");
+        });
+    }
+
+    #[test]
+    fn newlines_in_payloads_cannot_break_framing() {
+        let bus = LapBus::new();
+        bus.publish(LapUpdate {
+            race: 0,
+            lap: 1,
+            data: "bad\npayload".to_string(),
+        });
+        let (got, _, _) = bus.wait_after(0, 0, Duration::from_millis(1));
+        assert_eq!(got[0].1.data, "bad payload");
+        assert_eq!(
+            frame(got[0].0, &got[0].1),
+            "id: 0\nevent: lap\ndata: bad payload\n\n"
+        );
+    }
+}

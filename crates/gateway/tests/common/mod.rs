@@ -1,0 +1,278 @@
+//! Shared fixture for gateway integration tests: the same tiny trained
+//! RankNet + unseen-race pattern the serving tests use, plus wire-side
+//! helpers (stub backends and a full engine→serve→gateway stack runner).
+//!
+//! Not every test binary uses every helper.
+#![allow(dead_code)]
+
+use ranknet_core::engine::{EngineForecast, ForecastEngine};
+use ranknet_core::features::{extract_sequences, RaceContext};
+use ranknet_core::ranknet::{RankNet, RankNetVariant};
+use ranknet_core::RankNetConfig;
+use rpf_gateway::{GatewayConfig, GatewayHandle, LapBus};
+use rpf_racesim::{simulate_race, Event, EventConfig};
+use rpf_serve::loadgen::Submitter;
+use rpf_serve::{ServeConfig, ServeRequest, ServeResponse, ServeResult, SubmitError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+pub fn race_ctx(seed: u64) -> RaceContext {
+    extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2017),
+        seed,
+    ))
+}
+
+pub fn fixture() -> &'static (RankNet, Vec<RaceContext>) {
+    static FIX: OnceLock<(RankNet, Vec<RaceContext>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg = RankNetConfig {
+            max_epochs: 1,
+            ..RankNetConfig::tiny()
+        };
+        let train = vec![race_ctx(101)];
+        let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 40);
+        (model, vec![race_ctx(102), race_ctx(103)])
+    })
+}
+
+/// Engine seed shared by the served and the reference engines.
+pub const ENGINE_SEED: u64 = 5;
+
+/// Flatten a forecast to bit patterns so comparisons are exact.
+pub fn bits(f: &EngineForecast) -> Vec<u32> {
+    f.samples
+        .iter()
+        .flat_map(|car| car.iter().flat_map(|path| path.iter().map(|v| v.to_bits())))
+        .collect()
+}
+
+/// The reference answer: a direct engine call on a fresh engine with the
+/// same seed, completely outside the serving layer and the wire.
+pub fn direct(req: &ServeRequest) -> Result<EngineForecast, ranknet_core::EngineError> {
+    let (model, contexts) = fixture();
+    if req.race >= contexts.len() {
+        return Err(ranknet_core::EngineError::RaceOutOfRange {
+            race: req.race,
+            n_contexts: contexts.len(),
+        });
+    }
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    engine.try_forecast_keyed(
+        req.race,
+        &contexts[req.race],
+        req.origin,
+        req.horizon,
+        req.n_samples,
+    )
+}
+
+/// Assert a wire outcome matches the direct reference bit-for-bit.
+pub fn assert_parity(req: &ServeRequest, outcome: &ServeResult) {
+    match outcome {
+        Ok(resp) => {
+            assert!(
+                resp.fallback.is_none(),
+                "unexpected fallback {:?} for {req:?}",
+                resp.fallback
+            );
+            let reference = direct(req).expect("direct call must accept what serving accepted");
+            assert_eq!(
+                bits(&reference),
+                bits(&resp.forecast),
+                "wire forecast diverged from direct call for {req:?}"
+            );
+        }
+        Err(e) => {
+            let reference = direct(req);
+            assert!(
+                reference.is_err(),
+                "wire rejected {req:?} as {e:?} but the direct call accepted it"
+            );
+        }
+    }
+}
+
+/// A serving config that never rejects under test loads.
+pub fn roomy_serve_cfg() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 8,
+        max_delay: Duration::from_micros(200),
+        queue_capacity: 256,
+    }
+}
+
+/// A gateway config with short timeouts so fault tests stay fast.
+pub fn fast_gateway_cfg() -> GatewayConfig {
+    GatewayConfig {
+        conn_workers: 4,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        pending_conns: 64,
+        ..GatewayConfig::default()
+    }
+}
+
+/// Run the full engine→serve→gateway stack and hand `body` the gateway
+/// handle. Returns the body's value.
+pub fn with_stack<R: Send>(
+    serve_cfg: &ServeConfig,
+    gw_cfg: &GatewayConfig,
+    bus: &LapBus,
+    body: impl FnOnce(&GatewayHandle<'_>) -> R + Send,
+) -> R {
+    let (model, contexts) = fixture();
+    let refs: Vec<&RaceContext> = contexts.iter().collect();
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    let ((out, _gw_snap), _serve_snap) = rpf_serve::serve(&engine, &refs, serve_cfg, |client| {
+        rpf_gateway::serve_http(client, refs.len(), bus, gw_cfg, None, body)
+            .expect("gateway binds loopback")
+    });
+    out
+}
+
+/// Stub backend: answers instantly with a canned forecast (no model), so
+/// wire-protocol tests don't pay for training or inference.
+#[derive(Clone, Copy)]
+pub struct EchoBackend;
+
+/// A tiny deterministic response the echo backend serves for any request.
+pub fn canned_response(id: u64) -> ServeResponse {
+    ServeResponse {
+        id,
+        forecast: EngineForecast {
+            samples: vec![vec![vec![1.5, 2.25], vec![3.5, 4.75]]],
+            degraded: false,
+            degraded_trajectories: 0,
+            model_version: 7,
+        },
+        fallback: None,
+        batch_size: 1,
+    }
+}
+
+static ECHO_IDS: AtomicU64 = AtomicU64::new(0);
+
+impl Submitter for EchoBackend {
+    type Pending = u64;
+
+    fn submit(&self, _req: ServeRequest) -> Result<u64, SubmitError> {
+        Ok(ECHO_IDS.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn wait(id: u64) -> Result<ServeResult, SubmitError> {
+        Ok(Ok(canned_response(id)))
+    }
+}
+
+/// Stub backend: rejects every submission with `QueueFull`, for
+/// deterministic 429 accounting.
+#[derive(Clone, Copy)]
+pub struct RejectAll {
+    pub capacity: usize,
+}
+
+/// Uninhabited pending type for backends that reject at submit.
+pub enum Never {}
+
+impl Submitter for RejectAll {
+    type Pending = Never;
+
+    fn submit(&self, _req: ServeRequest) -> Result<Never, SubmitError> {
+        Err(SubmitError::QueueFull {
+            capacity: self.capacity,
+        })
+    }
+
+    fn wait(pending: Never) -> Result<ServeResult, SubmitError> {
+        match pending {}
+    }
+}
+
+/// Stub backend: answers like [`EchoBackend`] but only after the
+/// [`SLOW_DELAY_MS`] delay, for shutdown-drain and saturation scenarios.
+#[derive(Clone, Copy)]
+pub struct SlowBackend;
+
+impl Submitter for SlowBackend {
+    type Pending = u64;
+
+    fn submit(&self, _req: ServeRequest) -> Result<u64, SubmitError> {
+        Ok(ECHO_IDS.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn wait(id: u64) -> Result<ServeResult, SubmitError> {
+        // The delay is stored globally per test binary via SLOW_DELAY_MS
+        // because `wait` is associated (no &self); set it before serving.
+        std::thread::sleep(Duration::from_millis(SLOW_DELAY_MS.load(Ordering::Relaxed)));
+        Ok(Ok(canned_response(id)))
+    }
+}
+
+/// Delay used by [`SlowBackend::wait`], in milliseconds.
+pub static SLOW_DELAY_MS: AtomicU64 = AtomicU64::new(50);
+
+/// Read an HTTP response head (everything up to the `\r\n\r\n`) off a raw
+/// stream, leaving any following bytes (the start of the streamed body) in
+/// `buf`. Returns `None` on EOF or timeout.
+pub fn read_http_head(stream: &mut std::net::TcpStream, buf: &mut Vec<u8>) -> Option<String> {
+    use std::io::Read;
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..pos]).to_string();
+            buf.drain(..pos + 4);
+            return Some(head);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// Read one SSE frame (everything up to a blank line) off a raw stream,
+/// carrying partial bytes in `buf` between calls. Returns `None` on EOF
+/// or timeout.
+pub fn read_sse_frame(stream: &mut std::net::TcpStream, buf: &mut Vec<u8>) -> Option<String> {
+    use std::io::Read;
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(pos) = buf.windows(2).position(|w| w == b"\n\n") {
+            let frame = String::from_utf8_lossy(&buf[..pos]).to_string();
+            buf.drain(..pos + 2);
+            return Some(frame);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+/// Split an SSE frame into its `field: value` lines.
+pub fn sse_fields(frame: &str) -> Vec<(String, String)> {
+    frame
+        .lines()
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// A canned valid forecast request body.
+pub fn valid_body() -> String {
+    "{\"race\":0,\"origin\":50,\"horizon\":2,\"n_samples\":2}".to_string()
+}
+
+/// A canned valid request as raw HTTP bytes.
+pub fn valid_request_bytes() -> Vec<u8> {
+    let body = valid_body();
+    format!(
+        "POST /forecast HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .into_bytes()
+}

@@ -1,0 +1,114 @@
+//! Soak smoke (<10 s): the deterministic load generator drives the full
+//! engine→serve→gateway stack over real sockets with a merged
+//! burst/ramp/uniform arrival script, then the test checks conservation
+//! (every scripted request has exactly one outcome), bit-level parity of
+//! every response against direct engine calls, and that the gateway's own
+//! metrics — read both from the handle and from a wire scrape — account
+//! for every request.
+
+mod common;
+
+use common::{assert_parity, fast_gateway_cfg, roomy_serve_cfg, with_stack};
+use rpf_gateway::{HttpClient, HttpSubmitter, LapBus};
+use rpf_nn::RngStreams;
+use rpf_serve::loadgen::{self, burst, merge, ramp, schedule, uniform, LoadMix};
+use rpf_serve::FallbackReason;
+use std::time::Duration;
+
+#[test]
+fn open_loop_soak_conserves_requests_and_keeps_parity() {
+    const TOTAL: usize = 26;
+    let bus = LapBus::new();
+    let (report, handle_requests, handle_200, scrape) =
+        with_stack(&roomy_serve_cfg(), &fast_gateway_cfg(), &bus, |gw| {
+            let submitter = HttpSubmitter::new(gw.addr());
+            let mix = LoadMix::standard(2, (40, 100));
+            let streams = RngStreams::new(0x50AC);
+            // Thundering herd + steady trickle + accelerating ramp, merged
+            // into one time-sorted script. Indices are disjoint per part so
+            // the request populations don't collide in stream space.
+            let script = merge(vec![
+                schedule(&burst(Duration::from_millis(5), 8), &mix, &streams, 0),
+                schedule(
+                    &uniform(Duration::ZERO, Duration::from_millis(2), 10),
+                    &mix,
+                    &streams,
+                    100,
+                ),
+                schedule(
+                    &ramp(Duration::ZERO, Duration::from_millis(30), 8),
+                    &mix,
+                    &streams,
+                    200,
+                ),
+            ]);
+            assert_eq!(script.len(), TOTAL);
+            let report = loadgen::run_open_loop(submitter, &script);
+
+            // Handle-side accounting before the scrape adds a request of
+            // its own.
+            let handle_requests = gw.metrics().requests.value();
+            let handle_200 = gw.metrics().status_count(200);
+
+            let mut client =
+                HttpClient::connect(gw.addr(), Duration::from_secs(3)).expect("connect");
+            let scrape = client
+                .get("/metrics")
+                .expect("scrape")
+                .body_str()
+                .to_string();
+            (report, handle_requests, handle_200, scrape)
+        });
+
+    // Conservation: the roomy queue admits everything, and every scripted
+    // request produced exactly one outcome.
+    assert!(
+        report.rejected.is_empty(),
+        "unexpected rejections: {:?}",
+        report.rejected
+    );
+    assert_eq!(report.outcomes.len(), TOTAL);
+    assert_eq!(report.submitted(), TOTAL);
+
+    // Parity: each wire response is bit-identical to a direct engine call.
+    for (req, outcome) in &report.outcomes {
+        assert_parity(req, outcome);
+    }
+
+    // Metrics accounting, from the handle and over the wire. The scrape
+    // request itself is counted at parse time, so the scraped body shows
+    // one more request than the load run but the same number of 200s.
+    assert_eq!(handle_requests, TOTAL as u64);
+    assert_eq!(handle_200, TOTAL as u64);
+    let requests_line = format!("rpf_gateway_requests_total {}", TOTAL + 1);
+    let status_line = format!("rpf_gateway_responses_total{{status=\"200\"}} {TOTAL}");
+    assert!(scrape.contains(&requests_line), "{scrape}");
+    assert!(scrape.contains(&status_line), "{scrape}");
+}
+
+#[test]
+fn expired_deadlines_surface_as_fallbacks_through_the_submitter() {
+    let bus = LapBus::new();
+    let report = with_stack(&roomy_serve_cfg(), &fast_gateway_cfg(), &bus, |gw| {
+        let submitter = HttpSubmitter::new(gw.addr());
+        let mix = LoadMix {
+            deadline: Some(Duration::ZERO),
+            ..LoadMix::standard(2, (40, 100))
+        };
+        let streams = RngStreams::new(0xDEAD);
+        let script = schedule(&burst(Duration::ZERO, 6), &mix, &streams, 0);
+        loadgen::run_open_loop(submitter, &script)
+    });
+    assert!(report.rejected.is_empty(), "{:?}", report.rejected);
+    assert_eq!(report.outcomes.len(), 6);
+    for (req, outcome) in &report.outcomes {
+        let resp = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{req:?} rejected: {e:?}"));
+        // An already-expired deadline still gets an answer — the CurRank
+        // fallback — and the degraded markers survive the wire.
+        assert_eq!(resp.fallback, Some(FallbackReason::DeadlineExpired));
+        assert!(resp.forecast.degraded);
+        assert!(resp.forecast.degraded_trajectories > 0);
+    }
+}

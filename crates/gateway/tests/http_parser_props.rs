@@ -1,0 +1,332 @@
+//! Property and fuzz suite for the HTTP front door: torn reads at every
+//! byte boundary, pipelined keep-alive requests, and oversized/malformed
+//! input must produce typed 4xx outcomes — never a panic, never a hung
+//! connection. The pure-parser half runs the exhaustive boundary sweeps;
+//! the wire half replays the same shapes over real sockets against a
+//! model-free stub backend.
+
+mod common;
+
+use common::{valid_request_bytes, EchoBackend};
+use proptest::prelude::*;
+use rpf_gateway::http::{try_parse, HttpError, HttpLimits};
+use rpf_gateway::{serve_http, GatewayConfig, HttpClient, LapBus};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+// ---------------------------------------------------------------------------
+// Pure parser: exhaustive boundary sweeps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_reads_at_every_byte_boundary_are_incomplete_never_errors() {
+    let raw = valid_request_bytes();
+    for split in 0..raw.len() {
+        match try_parse(&raw[..split], &limits()) {
+            Ok(None) => {}
+            other => panic!("prefix of {split} bytes parsed as {other:?}"),
+        }
+    }
+    let (req, consumed) = try_parse(&raw, &limits())
+        .expect("full request is valid")
+        .expect("full request is complete");
+    assert_eq!(consumed, raw.len());
+    assert_eq!(req.method, "POST");
+    assert_eq!(req.path(), "/forecast");
+}
+
+#[test]
+fn byte_by_byte_accumulation_converges_to_one_parse() {
+    let raw = valid_request_bytes();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut parsed = 0;
+    for &b in &raw {
+        buf.push(b);
+        if let Some((req, consumed)) = try_parse(&buf, &limits()).expect("never malformed") {
+            assert_eq!(consumed, buf.len(), "parse must land exactly on the end");
+            assert_eq!(req.path(), "/forecast");
+            buf.drain(..consumed);
+            parsed += 1;
+        }
+    }
+    assert_eq!(parsed, 1);
+    assert!(buf.is_empty());
+}
+
+#[test]
+fn pipelined_requests_parse_in_sequence_with_exact_consumption() {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n");
+    raw.extend_from_slice(&valid_request_bytes());
+    raw.extend_from_slice(b"GET /metrics HTTP/1.1\r\nHost: c\r\n\r\n");
+
+    let mut buf = raw.clone();
+    let mut paths = Vec::new();
+    while !buf.is_empty() {
+        let (req, consumed) = try_parse(&buf, &limits())
+            .expect("pipelined stream is valid")
+            .expect("complete request at the front");
+        paths.push(req.path().to_string());
+        buf.drain(..consumed);
+    }
+    assert_eq!(paths, vec!["/healthz", "/forecast", "/metrics"]);
+}
+
+#[test]
+fn oversized_heads_and_bodies_map_to_431_and_413() {
+    let tight = HttpLimits {
+        max_header_bytes: 128,
+        max_body_bytes: 32,
+        max_headers: 4,
+    };
+    // Unterminated head growing past the cap.
+    let mut creeping = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    creeping.extend(std::iter::repeat_n(b'a', 256));
+    assert_eq!(
+        try_parse(&creeping, &tight),
+        Err(HttpError::HeadersTooLarge)
+    );
+    // Terminated head over the cap.
+    let mut fat = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+    fat.extend(std::iter::repeat_n(b'a', 120));
+    fat.extend_from_slice(b"\r\n\r\n");
+    assert_eq!(try_parse(&fat, &tight), Err(HttpError::HeadersTooLarge));
+    // Too many header fields.
+    let many = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\nD: 4\r\nE: 5\r\n\r\n";
+    assert_eq!(try_parse(many, &tight), Err(HttpError::HeadersTooLarge));
+    // Declared body over the cap rejects before any body byte arrives.
+    let big = b"POST / HTTP/1.1\r\nContent-Length: 33\r\n\r\n";
+    assert_eq!(try_parse(big, &tight), Err(HttpError::BodyTooLarge));
+    for e in [
+        HttpError::HeadersTooLarge,
+        HttpError::BodyTooLarge,
+        HttpError::Malformed("x"),
+    ] {
+        assert!(matches!(e.status(), 400 | 413 | 431));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup: the parser returns *something* — complete,
+    /// incomplete, or a typed error — and never panics.
+    #[test]
+    fn random_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = try_parse(&bytes, &limits());
+        let tight = HttpLimits { max_header_bytes: 64, max_body_bytes: 16, max_headers: 2 };
+        let _ = try_parse(&bytes, &tight);
+    }
+
+    /// A single corrupted byte in a valid request never panics, and if it
+    /// still parses, consumption stays within the buffer.
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..120, byte in 0usize..256) {
+        let mut raw = valid_request_bytes();
+        let pos = pos % raw.len();
+        raw[pos] = byte as u8;
+        if let Ok(Some((_req, consumed))) = try_parse(&raw, &limits()) {
+            prop_assert!(consumed <= raw.len());
+        }
+    }
+
+    /// Splitting the stream at two random points and feeding the pieces
+    /// incrementally always reassembles the same request.
+    #[test]
+    fn double_tear_reassembles(a in 0usize..150, b in 0usize..150) {
+        let raw = valid_request_bytes();
+        let (a, b) = (a % raw.len(), b % raw.len());
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut buf = Vec::new();
+        for piece in [&raw[..lo], &raw[lo..hi], &raw[hi..]] {
+            buf.extend_from_slice(piece);
+        }
+        let (req, consumed) = try_parse(&buf, &limits())
+            .expect("valid")
+            .expect("complete");
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(req.path(), "/forecast");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire level: the same shapes against a live gateway
+// ---------------------------------------------------------------------------
+
+fn wire_cfg() -> GatewayConfig {
+    GatewayConfig {
+        read_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_millis(400),
+        max_header_bytes: 1024,
+        max_body_bytes: 512,
+        ..GatewayConfig::default()
+    }
+}
+
+/// Read everything until the server closes, with a client-side timeout so
+/// a hung connection fails the test instead of wedging it.
+fn read_to_eof(stream: &mut TcpStream) -> Vec<u8> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(3)));
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+fn status_of(bytes: &[u8]) -> Option<u16> {
+    let head = String::from_utf8_lossy(bytes);
+    head.split(' ').nth(1).and_then(|s| s.parse().ok())
+}
+
+#[test]
+fn wire_torn_reads_still_get_200_at_many_boundaries() {
+    let bus = LapBus::new();
+    let (_, _snap) = serve_http(EchoBackend, 1, &bus, &wire_cfg(), None, |gw| {
+        let raw = valid_request_bytes();
+        // Every 7th boundary plus the edges: 20-odd connections, each
+        // delivering the request in two separately-flushed writes.
+        let splits: Vec<usize> = (1..raw.len())
+            .step_by(7)
+            .chain([1, raw.len() - 1])
+            .collect();
+        for split in splits {
+            let mut stream = TcpStream::connect(gw.addr()).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.write_all(&raw[..split]).expect("first half");
+            std::thread::sleep(Duration::from_millis(2));
+            stream.write_all(&raw[split..]).expect("second half");
+            let mut client_buf = Vec::new();
+            let mut chunk = [0u8; 2048];
+            stream
+                .set_read_timeout(Some(Duration::from_secs(3)))
+                .expect("timeout");
+            // Read until the JSON body closes (Content-Length delimited;
+            // one response is well under 2 KiB).
+            let n = stream.read(&mut chunk).expect("response");
+            client_buf.extend_from_slice(&chunk[..n]);
+            assert_eq!(
+                status_of(&client_buf),
+                Some(200),
+                "split {split}: {:?}",
+                String::from_utf8_lossy(&client_buf)
+            );
+        }
+    })
+    .expect("gateway runs");
+}
+
+#[test]
+fn wire_pipelined_keepalive_answers_in_order_on_one_connection() {
+    let bus = LapBus::new();
+    let (_, snap) = serve_http(EchoBackend, 1, &bus, &wire_cfg(), None, |gw| {
+        let mut stream = TcpStream::connect(gw.addr()).expect("connect");
+        // Three pipelined requests in a single write.
+        let mut burst = Vec::new();
+        burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: a\r\n\r\n");
+        burst.extend_from_slice(&valid_request_bytes());
+        burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: c\r\nConnection: close\r\n\r\n");
+        stream.write_all(&burst).expect("pipelined write");
+        let all = read_to_eof(&mut stream);
+        let text = String::from_utf8_lossy(&all);
+        let statuses: Vec<&str> = text.split("HTTP/1.1 ").skip(1).map(|s| &s[..3]).collect();
+        assert_eq!(statuses, vec!["200", "200", "200"], "{text}");
+        // First two keep the connection, the final close-flagged one ends it.
+        assert_eq!(text.matches("Connection: keep-alive").count(), 2, "{text}");
+        assert_eq!(text.matches("Connection: close").count(), 1, "{text}");
+    })
+    .expect("gateway runs");
+    assert_eq!(
+        snap.counters
+            .iter()
+            .find(|c| c.name == "gateway_requests")
+            .map(|c| c.value),
+        Some(3)
+    );
+}
+
+#[test]
+fn wire_malformed_and_oversized_get_typed_4xx_and_a_close() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 1, &bus, &wire_cfg(), None, |gw| {
+        let cases: Vec<(Vec<u8>, u16)> = vec![
+            (b"BOGUS\r\n\r\n".to_vec(), 400),
+            (b"GET / HTTP/9.9\r\n\r\n".to_vec(), 400),
+            (
+                b"POST /forecast HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                b"POST /forecast HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+                400,
+            ),
+            (
+                format!(
+                    "POST /forecast HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    10_000
+                )
+                .into_bytes(),
+                413,
+            ),
+            (
+                {
+                    let mut v = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+                    v.extend(std::iter::repeat_n(b'a', 4096));
+                    v
+                },
+                431,
+            ),
+        ];
+        for (raw, want) in cases {
+            let mut stream = TcpStream::connect(gw.addr()).expect("connect");
+            stream.write_all(&raw).expect("write");
+            let all = read_to_eof(&mut stream);
+            assert_eq!(
+                status_of(&all),
+                Some(want),
+                "for {:?}",
+                String::from_utf8_lossy(&raw[..raw.len().min(60)])
+            );
+            // read_to_eof returning proves the server closed the
+            // connection rather than leaving it hanging.
+        }
+    })
+    .expect("gateway runs");
+}
+
+#[test]
+fn wire_random_garbage_never_hangs_the_gateway() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 1, &bus, &wire_cfg(), None, |gw| {
+        // Deterministic pseudo-garbage (no Date/now in tests either).
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        for round in 0..16 {
+            let mut garbage = Vec::new();
+            for _ in 0..(round * 17 + 5) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                garbage.push((state >> 33) as u8);
+            }
+            let mut stream = TcpStream::connect(gw.addr()).expect("connect");
+            let _ = stream.write_all(&garbage);
+            let _ = read_to_eof(&mut stream);
+        }
+        // The gateway still serves after the garbage storm.
+        let mut client = HttpClient::connect(gw.addr(), Duration::from_secs(3)).expect("connect");
+        let resp = client.get("/healthz").expect("healthz");
+        assert_eq!(resp.status, 200);
+    })
+    .expect("gateway runs");
+}

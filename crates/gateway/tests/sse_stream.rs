@@ -1,0 +1,166 @@
+//! SSE `/races/{race}/stream` behaviour over real sockets: a live client
+//! receives per-lap updates as they are published (the acceptance bar is
+//! at least two), a late subscriber replays the history it missed, events
+//! are filtered per race, and closing the bus terminates every stream
+//! with an `end` event followed by EOF.
+
+mod common;
+
+use common::{
+    direct, fast_gateway_cfg, read_http_head, read_sse_frame, roomy_serve_cfg, sse_fields,
+    with_stack, EchoBackend,
+};
+use rpf_gateway::routes::lap_payload;
+use rpf_gateway::{serve_http, LapBus, LapUpdate};
+use rpf_serve::ServeRequest;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn update(race: usize, lap: u64) -> LapUpdate {
+    LapUpdate {
+        race,
+        lap,
+        data: format!("{{\"race\":{race},\"lap\":{lap}}}"),
+    }
+}
+
+fn subscribe(addr: std::net::SocketAddr, race: usize) -> (TcpStream, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .expect("timeout");
+    stream
+        .write_all(format!("GET /races/{race}/stream HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+        .expect("subscribe");
+    let mut buf = Vec::new();
+    let head = read_http_head(&mut stream, &mut buf).expect("response head");
+    assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+    assert!(head.contains("Content-Type: text/event-stream"), "{head}");
+    (stream, buf)
+}
+
+/// Field value from an SSE frame, or a panic naming the frame.
+fn field<'f>(fields: &'f [(String, String)], name: &str) -> &'f str {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("no `{name}` field in {fields:?}"))
+}
+
+#[test]
+fn live_client_receives_at_least_two_lap_updates() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 2, &bus, &fast_gateway_cfg(), None, |gw| {
+        let (mut sub, mut buf) = subscribe(gw.addr(), 0);
+        // Publish after the subscription is established, interleaving an
+        // event for another race that must NOT reach this client.
+        bus.publish(update(0, 1));
+        bus.publish(update(1, 99));
+        bus.publish(update(0, 2));
+        bus.publish(update(0, 3));
+
+        let mut laps = Vec::new();
+        let mut ids = Vec::new();
+        while laps.len() < 3 {
+            let frame = read_sse_frame(&mut sub, &mut buf).expect("live event");
+            let fields = sse_fields(&frame);
+            assert_eq!(field(&fields, "event"), "lap");
+            let data = field(&fields, "data").to_string();
+            assert!(
+                !data.contains("\"lap\":99"),
+                "race-1 event leaked into the race-0 stream: {data}"
+            );
+            ids.push(field(&fields, "id").parse::<usize>().expect("numeric id"));
+            laps.push(data);
+        }
+        assert_eq!(
+            laps,
+            vec![
+                "{\"race\":0,\"lap\":1}",
+                "{\"race\":0,\"lap\":2}",
+                "{\"race\":0,\"lap\":3}"
+            ]
+        );
+        // Event ids are the bus log sequence numbers: strictly increasing,
+        // with a gap where the race-1 event sat between lap 1 and lap 2.
+        assert_eq!(ids, vec![0, 2, 3]);
+        assert!(gw.metrics().sse_events.value() >= 3);
+        assert_eq!(gw.metrics().sse_clients.value(), 1);
+    })
+    .expect("gateway runs");
+}
+
+#[test]
+fn late_subscriber_replays_missed_events() {
+    let bus = LapBus::new();
+    // Everything is published before the subscriber ever connects.
+    bus.publish(update(0, 1));
+    bus.publish(update(0, 2));
+    serve_http(EchoBackend, 1, &bus, &fast_gateway_cfg(), None, |gw| {
+        let (mut sub, mut buf) = subscribe(gw.addr(), 0);
+        let a = read_sse_frame(&mut sub, &mut buf).expect("replayed event");
+        let b = read_sse_frame(&mut sub, &mut buf).expect("replayed event");
+        assert_eq!(field(&sse_fields(&a), "data"), "{\"race\":0,\"lap\":1}");
+        assert_eq!(field(&sse_fields(&b), "data"), "{\"race\":0,\"lap\":2}");
+    })
+    .expect("gateway runs");
+}
+
+#[test]
+fn closing_the_bus_ends_streams_with_a_terminal_event_then_eof() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 1, &bus, &fast_gateway_cfg(), None, |gw| {
+        let (mut sub, mut buf) = subscribe(gw.addr(), 0);
+        bus.publish(update(0, 1));
+        let first = read_sse_frame(&mut sub, &mut buf).expect("lap event");
+        assert_eq!(field(&sse_fields(&first), "event"), "lap");
+
+        bus.close();
+        let last = read_sse_frame(&mut sub, &mut buf).expect("terminal event");
+        assert_eq!(field(&sse_fields(&last), "event"), "end");
+        // After the terminal frame the server closes the connection.
+        let mut rest = Vec::new();
+        sub.read_to_end(&mut rest).expect("EOF");
+        assert!(buf.is_empty() && rest.is_empty(), "bytes after end frame");
+    })
+    .expect("gateway runs");
+}
+
+#[test]
+fn out_of_range_race_stream_is_a_404_not_a_hang() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 2, &bus, &fast_gateway_cfg(), None, |gw| {
+        let mut client =
+            rpf_gateway::HttpClient::connect(gw.addr(), Duration::from_secs(3)).expect("connect");
+        let resp = client.get("/races/7/stream").expect("request");
+        assert_eq!(resp.status, 404, "{}", resp.body_str());
+    })
+    .expect("gateway runs");
+}
+
+/// Full stack: per-lap payloads rendered from real engine forecasts reach
+/// a live wire client while the same gateway serves POST /forecast.
+#[test]
+fn real_stack_streams_forecast_derived_payloads() {
+    let bus = LapBus::new();
+    with_stack(&roomy_serve_cfg(), &fast_gateway_cfg(), &bus, |gw| {
+        let (mut sub, mut buf) = subscribe(gw.addr(), 0);
+        for lap in [50u64, 51] {
+            let req = ServeRequest::new(0, lap as usize, 2, 2);
+            let forecast = direct(&req).expect("valid request");
+            bus.publish(lap_payload(0, lap, &forecast));
+        }
+        for lap in [50u64, 51] {
+            let frame = read_sse_frame(&mut sub, &mut buf).expect("lap event");
+            let fields = sse_fields(&frame);
+            assert_eq!(field(&fields, "event"), "lap");
+            let data = field(&fields, "data");
+            assert!(
+                data.contains(&format!("\"lap\":{lap}")) && data.contains("\"mean_final_rank\":["),
+                "unexpected payload: {data}"
+            );
+        }
+    });
+}

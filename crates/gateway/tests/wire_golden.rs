@@ -1,0 +1,170 @@
+//! Wire-level golden test for `GET /metrics`: the bytes served over TCP
+//! are exactly the exporter output of the snapshot the gateway was given
+//! — `MetricsSnapshot::render` for the plain format, `render_prometheus`
+//! for the default exposition — and the *complete* HTTP response (status
+//! line, headers, body) is pinned against a checked-in golden file.
+//! Response serialization is deterministic by design (fixed header order,
+//! no date stamp), which is what makes pinning full responses possible.
+//!
+//! The snapshot source is the test's own fixed fixture: `serve_http`'s
+//! `metrics_source` hook replaces the gateway's live (timing-dependent)
+//! counters with a constant, so the served bytes are a pure function of
+//! the exporter code. Regenerate after deliberate exporter/response
+//! changes with `UPDATE_GOLDEN=1 cargo test -p rpf-gateway --test
+//! wire_golden`.
+
+mod common;
+
+use common::EchoBackend;
+use rpf_gateway::{serve_http, GatewayConfig, HttpClient, LapBus};
+use rpf_obs::{MetricsSnapshot, Registry, LATENCY_EDGES_NS};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn check_golden(path: &PathBuf, rendered: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(path, rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden, rendered,
+        "gateway /metrics wire bytes diverged from the golden snapshot; \
+         if the exporter/response change is deliberate, regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+/// A fixed cross-layer snapshot, standing in for the merged
+/// engine+serve+gateway registries of a real deployment. Every value is a
+/// constant, so the rendered bytes are too.
+fn fixture_snapshot() -> MetricsSnapshot {
+    let r = Registry::new();
+    r.counter("engine_calls").add(7);
+    r.counter("engine_cache_hits").add(4);
+    r.counter("serve_submitted").add(21);
+    r.counter("serve_ok_responses").add(19);
+    r.counter("serve_rejected_queue_full").add(2);
+    r.counter("gateway_requests").add(23);
+    r.counter("gateway_responses{status=\"200\"}").add(19);
+    r.counter("gateway_responses{status=\"429\"}").add(2);
+    r.counter("gateway_parse_errors").add(1);
+    r.gauge("serve_queue_depth_max").set(3);
+    let h = r.histogram("gateway_request_latency_ns", &LATENCY_EDGES_NS);
+    for v in [40_000u64, 90_000, 400_000, 1_200_000, 40_000_000] {
+        h.observe(v);
+    }
+    r.snapshot()
+}
+
+fn gw_cfg() -> GatewayConfig {
+    GatewayConfig {
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_millis(500),
+        ..GatewayConfig::default()
+    }
+}
+
+/// Full raw exchange: one request, read to EOF (server closes).
+fn raw_exchange(addr: std::net::SocketAddr, request: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3)))
+        .expect("timeout");
+    stream.write_all(request.as_bytes()).expect("request");
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn metrics_wire_bytes_equal_snapshot_render_exactly() {
+    let snap = fixture_snapshot();
+    let source = {
+        let snap = snap.clone();
+        move |_own: MetricsSnapshot| snap.clone()
+    };
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 1, &bus, &gw_cfg(), Some(&source), |gw| {
+        // Default format: the Prometheus exposition, byte-for-byte.
+        let mut client = HttpClient::connect(gw.addr(), Duration::from_secs(3)).expect("connect");
+        let resp = client.get("/metrics").expect("scrape");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.header("content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(
+            resp.body_str(),
+            snap.render_prometheus(),
+            "prometheus body must be the exporter output, untouched"
+        );
+
+        // Plain format: exactly `MetricsSnapshot::render` output.
+        let resp = client.get("/metrics?format=plain").expect("scrape");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body_str(),
+            snap.render(),
+            "plain body must be MetricsSnapshot::render output, untouched"
+        );
+
+        // The complete response — status line, every header, body —
+        // pinned against the golden file.
+        let full = raw_exchange(
+            gw.addr(),
+            "GET /metrics HTTP/1.1\r\nHost: g\r\nConnection: close\r\n\r\n",
+        );
+        let full = String::from_utf8(full).expect("ascii response");
+        check_golden(&golden_path("gateway_metrics.http"), &full);
+
+        let full_plain = raw_exchange(
+            gw.addr(),
+            "GET /metrics?format=plain HTTP/1.1\r\nHost: g\r\nConnection: close\r\n\r\n",
+        );
+        let full_plain = String::from_utf8(full_plain).expect("ascii response");
+        check_golden(&golden_path("gateway_metrics_plain.http"), &full_plain);
+    })
+    .expect("gateway runs");
+}
+
+/// Without a source hook the gateway serves its own live registry — the
+/// request being served is itself counted, so the scrape must mention the
+/// gateway's own counters.
+#[test]
+fn metrics_without_source_serves_live_gateway_counters() {
+    let bus = LapBus::new();
+    serve_http(EchoBackend, 1, &bus, &gw_cfg(), None, |gw| {
+        let mut client = HttpClient::connect(gw.addr(), Duration::from_secs(3)).expect("connect");
+        client.get("/healthz").expect("probe");
+        let resp = client.get("/metrics").expect("scrape");
+        let body = resp.body_str().to_string();
+        assert!(
+            body.contains("rpf_gateway_requests_total 2"),
+            "scrape must see the probe and itself: {body}"
+        );
+    })
+    .expect("gateway runs");
+}

@@ -15,16 +15,38 @@ use rand::Rng;
 use rpf_nn::RngStreams;
 use std::time::{Duration, Instant};
 
-/// Anything a load driver can submit to: the flat [`ServeClient`] or the
-/// sharded router client. `Copy` so closed-loop drivers can hand the
-/// handle to every client thread.
+/// Anything a load driver can submit to: the flat [`ServeClient`], the
+/// sharded router client, or a wire transport (the HTTP submitter in
+/// `rpf-gateway`). `Copy` so closed-loop drivers can hand the handle to
+/// every client thread.
+///
+/// Submission is split into an admission step and a wait step because a
+/// remote transport may only learn the admission verdict when it reads the
+/// response off the socket: a gateway 429/503 surfaces from [`Submitter::wait`],
+/// not [`Submitter::submit`]. The drivers below count a rejection from
+/// either step in [`LoadReport::rejected`], so in-process and over-the-wire
+/// runs produce comparable reports.
 pub trait Submitter: Copy + Send + Sync {
-    fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError>;
+    /// Ticket for an in-flight request.
+    type Pending: Send;
+
+    /// Start a request. In-process clients resolve admission here; wire
+    /// clients may defer rejection to [`Submitter::wait`].
+    fn submit(&self, req: ServeRequest) -> Result<Self::Pending, SubmitError>;
+
+    /// Block until the ticket resolves.
+    fn wait(pending: Self::Pending) -> Result<ServeResult, SubmitError>;
 }
 
 impl Submitter for ServeClient<'_, '_> {
+    type Pending = Pending;
+
     fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError> {
         ServeClient::submit(self, req)
+    }
+
+    fn wait(pending: Pending) -> Result<ServeResult, SubmitError> {
+        Ok(pending.wait())
     }
 }
 
@@ -235,9 +257,9 @@ impl LoadReport {
 /// completions (offered load is independent of service rate — the regime
 /// where admission control and deadlines matter), then wait for every
 /// accepted response.
-pub fn run_open_loop(client: impl Submitter, script: &[(Duration, ServeRequest)]) -> LoadReport {
+pub fn run_open_loop<S: Submitter>(client: S, script: &[(Duration, ServeRequest)]) -> LoadReport {
     let start = Instant::now();
-    let mut pending: Vec<(ServeRequest, Pending)> = Vec::with_capacity(script.len());
+    let mut pending: Vec<(ServeRequest, S::Pending)> = Vec::with_capacity(script.len());
     let mut report = LoadReport::default();
     for &(at, req) in script {
         let now = start.elapsed();
@@ -250,7 +272,10 @@ pub fn run_open_loop(client: impl Submitter, script: &[(Duration, ServeRequest)]
         }
     }
     for (req, p) in pending {
-        report.outcomes.push((req, p.wait()));
+        match S::wait(p) {
+            Ok(result) => report.outcomes.push((req, result)),
+            Err(e) => report.rejected.push((req, e)),
+        }
     }
     report
 }
@@ -259,8 +284,8 @@ pub fn run_open_loop(client: impl Submitter, script: &[(Duration, ServeRequest)]
 /// next request only after the previous response arrives (offered load
 /// tracks service rate). Client `c`'s `i`-th request is
 /// `mix.request_at(streams.child(c), i)` — fully deterministic.
-pub fn run_closed_loop(
-    client: impl Submitter,
+pub fn run_closed_loop<S: Submitter>(
+    client: S,
     clients: usize,
     per_client: usize,
     mix: &LoadMix,
@@ -275,8 +300,8 @@ pub fn run_closed_loop(
                     let mut local = LoadReport::default();
                     for i in 0..per_client {
                         let req = mix.request_at(&child, i as u64);
-                        match client.submit(req) {
-                            Ok(p) => local.outcomes.push((req, p.wait())),
+                        match client.submit(req).and_then(S::wait) {
+                            Ok(result) => local.outcomes.push((req, result)),
                             Err(e) => local.rejected.push((req, e)),
                         }
                     }

@@ -109,8 +109,14 @@ impl<'s, 'a> ShardedClient<'s, 'a> {
 }
 
 impl Submitter for ShardedClient<'_, '_> {
+    type Pending = Pending;
+
     fn submit(&self, req: ServeRequest) -> Result<Pending, SubmitError> {
         ShardedClient::submit(self, req)
+    }
+
+    fn wait(pending: Pending) -> Result<ServeResult, SubmitError> {
+        Ok(pending.wait())
     }
 }
 

@@ -1,0 +1,158 @@
+//! Network-edge walkthrough — put the HTTP/1.1 gateway in front of the
+//! serving layer, then talk to it the way an operator would: POST a JSON
+//! forecast request, scrape `/metrics`, and tail a race's SSE lap stream.
+//!
+//! ```text
+//! cargo run --release --example gateway_demo
+//! ```
+//!
+//! The demo drives its own requests over real loopback sockets, but the
+//! gateway speaks plain HTTP/1.1 — while it runs you could equally point
+//! `curl` at the printed address. Every forecast answered over the wire is
+//! bit-identical to a direct `ForecastEngine` call: the JSON codec writes
+//! floats as shortest-round-trip decimals, so the network edge moves
+//! time, never bits (DESIGN.md §11, §16).
+
+use ranknet::core::engine::ForecastEngine;
+use ranknet::core::features::extract_sequences;
+use ranknet::core::ranknet::{RankNet, RankNetVariant};
+use ranknet::core::RankNetConfig;
+use ranknet::gateway::{routes, serve_http, GatewayConfig, HttpClient, LapBus};
+use ranknet::racesim::{simulate_race, Event, EventConfig};
+use ranknet::serve::{serve, ServeConfig, ServeRequest};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    // A quickly trained model and one unseen race to serve forecasts for.
+    let ctx = |seed| {
+        extract_sequences(&simulate_race(
+            &EventConfig::for_race(Event::Indy500, 2018),
+            seed,
+        ))
+    };
+    let cfg = RankNetConfig {
+        max_epochs: 2,
+        ..RankNetConfig::tiny()
+    };
+    println!("Training a small RankNet ...");
+    let train = vec![ctx(1)];
+    let (model, _) = RankNet::fit(train.clone(), train, cfg, RankNetVariant::Oracle, 33);
+    let live = ctx(2);
+
+    let engine = ForecastEngine::new(&model, 42);
+    let serve_cfg = ServeConfig {
+        workers: 2,
+        max_batch: 16,
+        max_delay: Duration::from_millis(5),
+        queue_capacity: 256,
+    };
+
+    // `/metrics` merges the engine's registry into the gateway's own, so
+    // one scrape shows the whole stack the way a real deployment would.
+    let engine_ref = &engine;
+    let source = move |own: ranknet::obs::MetricsSnapshot| {
+        let mut merged = engine_ref.obs_snapshot();
+        merged.merge(&own);
+        merged
+    };
+
+    let bus = LapBus::new();
+    let gw_cfg = GatewayConfig::default();
+    let ((), _serve_metrics) = serve(&engine, &[&live], &serve_cfg, |client| {
+        let ((), _gw_metrics) = serve_http(client, 1, &bus, &gw_cfg, Some(&source), |gw| {
+            let addr = gw.addr();
+            println!("\ngateway listening on http://{addr}");
+            println!("try it yourself while this demo runs:");
+            println!(
+                "  curl -s http://{addr}/forecast -d \
+                 '{{\"race\":0,\"origin\":90,\"horizon\":2,\"n_samples\":20}}'"
+            );
+            println!("  curl -s http://{addr}/metrics");
+            println!("  curl -sN http://{addr}/races/0/stream");
+
+            // --- POST /forecast ------------------------------------------
+            let mut http =
+                HttpClient::connect(addr, Duration::from_secs(5)).expect("gateway on loopback");
+            let req = ServeRequest::new(0, 90, 2, 20);
+            let resp = http
+                .post_json("/forecast", &routes::render_forecast_body(&req))
+                .expect("gateway answers");
+            println!("\nPOST /forecast -> {}", resp.status);
+            let served = routes::parse_forecast_response(&resp.body_str())
+                .expect("well-formed forecast body");
+            println!(
+                "  {} cars forecast from lap {} over {} laps, batch of {}",
+                served.forecast.samples.len(),
+                req.origin,
+                req.horizon,
+                served.batch_size
+            );
+
+            // A malformed request maps to a typed 400, not a dropped
+            // connection.
+            let resp = http
+                .post_json("/forecast", "{\"race\":0}")
+                .expect("gateway answers");
+            println!("POST /forecast (missing fields) -> {}", resp.status);
+
+            // --- GET /races/0/stream -------------------------------------
+            // Tail the lap stream from a raw socket while the main thread
+            // publishes per-lap payloads rendered from live forecasts.
+            let tail = std::thread::spawn(move || {
+                let mut sub = TcpStream::connect(addr).expect("connect");
+                sub.set_read_timeout(Some(Duration::from_secs(5)))
+                    .expect("timeout");
+                sub.write_all(b"GET /races/0/stream HTTP/1.1\r\nHost: demo\r\n\r\n")
+                    .expect("subscribe");
+                let mut seen = 0usize;
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while seen < 3 {
+                    match sub.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    }
+                    while let Some(pos) = buf.windows(2).position(|w| w == b"\n\n") {
+                        let frame = String::from_utf8_lossy(&buf[..pos]).to_string();
+                        buf.drain(..pos + 2);
+                        if let Some(data) = frame.lines().find_map(|l| l.strip_prefix("data: ")) {
+                            println!("  SSE <- {data}");
+                            seen += 1;
+                        }
+                    }
+                }
+                seen
+            });
+            for lap in [92u64, 94, 96] {
+                let forecast = engine_ref
+                    .try_forecast_keyed(0, &live, lap as usize, 2, 20)
+                    .expect("valid origin");
+                bus.publish(routes::lap_payload(0, lap, &forecast));
+                std::thread::sleep(Duration::from_millis(30));
+            }
+            let seen = tail.join().expect("tail thread");
+            println!("GET /races/0/stream -> {seen} lap updates");
+
+            // --- GET /metrics --------------------------------------------
+            let resp = http.get("/metrics").expect("gateway answers");
+            println!("\nGET /metrics -> {} (excerpt)", resp.status);
+            for line in resp
+                .body_str()
+                .lines()
+                .filter(|l| {
+                    l.starts_with("rpf_gateway_requests")
+                        || l.starts_with("rpf_gateway_responses")
+                        || l.starts_with("rpf_gateway_sse_events")
+                        || l.starts_with("rpf_engine_calls")
+                })
+                .take(8)
+            {
+                println!("  {line}");
+            }
+        })
+        .expect("gateway binds loopback");
+    });
+    println!("\ngateway drained; every accepted request was answered.");
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Robustness gate: production code in the core, nn, serve and obs crates
-# must not call `.unwrap()` / `.expect(` — failures there have typed error
-# paths (TrainError, EngineError, ServeError, LifecycleError,
-# Result-returning persist), and the serving scheduler and the obs registry
-# recover poisoned locks instead of unwrapping them. The model-lifecycle
+# Robustness gate: production code in the core, nn, serve, gateway and obs
+# crates must not call `.unwrap()` / `.expect(` — failures there have typed
+# error paths (TrainError, EngineError, ServeError, LifecycleError, HttpError,
+# Result-returning persist), and the serving scheduler, the gateway's
+# connection queue / lap bus and the obs registry recover poisoned locks
+# instead of unwrapping them. The model-lifecycle
 # modules (core::lifecycle and serve::lifecycle — the versioned store, the
 # hot-swap slot, the shadow controller) sit inside the recursive core/serve
 # walks below, so they are covered without listing them.
@@ -43,6 +44,7 @@ while IFS= read -r f; do
 # router) recursively; perfmodel is modelling code and exempt except for the
 # capacity planner, which feeds production fleet-sizing decisions.
 done < <(find crates/core/src crates/nn/src crates/serve/src crates/obs/src \
+  crates/gateway/src \
   crates/tensor/src/batched.rs crates/perfmodel/src/capacity.rs -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then

@@ -14,7 +14,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (workspace, -D warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== no-unwrap gate (core/nn/serve/obs + capacity planner non-test code) =="
+echo "== no-unwrap gate (core/nn/serve/gateway/obs + capacity planner non-test code) =="
 bash scripts/check_no_unwrap.sh
 
 echo "== backend parity (tape-free bitwise + batched mirrors vs per-row) =="
@@ -55,6 +55,24 @@ cargo test -q -p rpf-serve --test lifecycle_swap --offline
 
 echo "== serving soak smoke (<= 10 s) =="
 cargo test -q -p rpf-serve --test soak_smoke --offline
+
+echo "== gateway HTTP parser properties (torn reads, pipelining, byte soup) =="
+cargo test -q -p rpf-gateway --test http_parser_props --offline
+
+echo "== gateway wire golden (/metrics bytes == exporter output) =="
+cargo test -q -p rpf-gateway --test wire_golden --offline
+
+echo "== gateway response equivalence (JSON over TCP == direct engine, bitwise) =="
+cargo test -q -p rpf-gateway --test response_equivalence --offline
+
+echo "== gateway fault matrix (slow-loris, disconnect, 429 burst, drain) =="
+cargo test -q -p rpf-gateway --test gateway_faults --offline
+
+echo "== gateway SSE streams (live + replay + terminal event) =="
+cargo test -q -p rpf-gateway --test sse_stream --offline
+
+echo "== gateway soak smoke over real sockets (<= 10 s) =="
+cargo test -q -p rpf-gateway --test gateway_soak --offline
 
 echo "== obs unit suite (registry, spans, ops, exporters) =="
 cargo test -q -p rpf-obs --offline

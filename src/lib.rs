@@ -19,6 +19,8 @@
 //! * [`core`] — RankNet itself, features, metrics, experiment runners
 //! * [`perfmodel`] — analytic CPU/GPU/VE device models for the systems study
 //! * [`serve`] — concurrent request-batching serving layer over the engine
+//! * [`gateway`] — HTTP/1.1 network edge over the serving layer: JSON
+//!   forecast API, `/metrics` exposition, SSE per-lap streams
 //! * [`obs`] — unified observability: metrics registry, span tracing,
 //!   operator profiling, Prometheus/JSONL exporters
 //!
@@ -27,6 +29,7 @@
 pub use ranknet_core as core;
 pub use rpf_autodiff as autodiff;
 pub use rpf_baselines as baselines;
+pub use rpf_gateway as gateway;
 pub use rpf_nn as nn;
 pub use rpf_obs as obs;
 pub use rpf_perfmodel as perfmodel;
