@@ -172,6 +172,7 @@ fn shard_mix() -> MultiRaceMix {
             ..LoadMix::standard(4, (60, 100))
         },
         zipf_exponent: 1.0,
+        scenario_of: Vec::new(),
     }
 }
 

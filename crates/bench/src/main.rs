@@ -18,6 +18,7 @@ mod ascii;
 mod dataset;
 mod figures;
 mod models;
+mod scenarios;
 mod tables;
 
 use std::env;
@@ -48,6 +49,8 @@ fn main() {
         "table4" => tables::table4(&profile),
         "table5" => tables::table5(&profile),
         "table6" => tables::table6(&profile),
+        "scenarios" => scenarios::scenarios(&profile),
+        "scenarios-smoke" => scenarios::scenarios(&scenarios::smoke_profile()),
         "table7" => tables::table7(&profile),
         "table8" => tables::table8(),
         "weightsweep" => ablations::weight_sweep(&profile),
@@ -81,7 +84,7 @@ fn main() {
                 "usage: repro <fig1|fig2|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|\n\
                  \u{20}              table2|table3|table4|table5|table6|table7|table8|\n\
                  \u{20}              weightsweep|ctxsweep|batchacc|transfer|likelihood|calibration|\n\
-                 \u{20}              engine|all> [--full]"
+                 \u{20}              engine|scenarios|scenarios-smoke|all> [--full]"
             );
         }
     }

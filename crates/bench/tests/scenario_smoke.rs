@@ -1,0 +1,80 @@
+//! Fast cross-scenario bench smoke: runs the `repro scenarios-smoke`
+//! target end to end (dataset generation, four model families, four
+//! scenario families, stint evaluation) and checks the machine-parseable
+//! output is complete and well-formed. Accuracy is not judged at smoke
+//! scale — this gate catches wiring drift, not regressions in the numbers
+//! (those are the snapshot script's job).
+
+use std::collections::HashSet;
+use std::process::Command;
+
+const FAMILIES: [&str; 4] = ["IndyCar", "TyreStrategy", "CautionRegime", "WetDry"];
+const MODELS: [&str; 4] = ["CurRank", "ARIMA", "XGBoost", "RankNet-MLP"];
+
+#[test]
+fn cross_scenario_smoke_covers_every_family_and_model() {
+    if cfg!(debug_assertions) {
+        eprintln!("scenario_smoke: skipped (debug build; CI runs it with --release)");
+        return;
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("scenarios-smoke")
+        .output()
+        .expect("repro binary must run");
+    assert!(
+        out.status.success(),
+        "repro scenarios-smoke failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    for line in stdout.lines().filter(|l| l.starts_with("scenario ")) {
+        // scenario <family> model=<name> sign_acc=<v> mae=<v> n=<v>
+        let mut fields = line.split_whitespace();
+        let _tag = fields.next();
+        let family = fields.next().expect("family field").to_string();
+        let model = fields
+            .next()
+            .and_then(|f| f.strip_prefix("model="))
+            .expect("model field")
+            .to_string();
+        let sign_acc: f32 = fields
+            .next()
+            .and_then(|f| f.strip_prefix("sign_acc="))
+            .expect("sign_acc field")
+            .parse()
+            .expect("sign_acc parses");
+        let mae: f32 = fields
+            .next()
+            .and_then(|f| f.strip_prefix("mae="))
+            .expect("mae field")
+            .parse()
+            .expect("mae parses");
+        let n: usize = fields
+            .next()
+            .and_then(|f| f.strip_prefix("n="))
+            .expect("n field")
+            .parse()
+            .expect("n parses");
+        assert!(
+            (0.0..=1.0).contains(&sign_acc),
+            "sign_acc out of range: {line}"
+        );
+        assert!(mae.is_finite() && mae >= 0.0, "bad mae: {line}");
+        assert!(n > 0, "empty evaluation: {line}");
+        assert!(
+            FAMILIES.contains(&family.as_str()),
+            "unknown family: {line}"
+        );
+        assert!(MODELS.contains(&model.as_str()), "unknown model: {line}");
+        seen.insert((family, model));
+    }
+
+    assert_eq!(
+        seen.len(),
+        FAMILIES.len() * MODELS.len(),
+        "expected every (family, model) cell exactly once; got {seen:?}"
+    );
+}

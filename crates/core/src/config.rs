@@ -16,7 +16,11 @@ pub enum Likelihood {
 
 /// Hyper-parameters for RankNet and its ablations. Defaults reproduce
 /// Table IV; tests shrink them for speed.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (see below): `use_scenario_features` was
+/// added in saved-model format v3, and configs stored by v2 artifacts must
+/// keep loading with the flag defaulted off so their weight shapes match.
+#[derive(Clone, Debug, Serialize)]
 pub struct RankNetConfig {
     /// Encoder (context) length `C = L0 - 1`. Table IV / Fig 7 step 2: 60.
     pub context_len: usize,
@@ -39,6 +43,11 @@ pub struct RankNetConfig {
     pub use_context_features: bool,
     /// Use the Fig 7 step-4 shift features (race status at lap A+k).
     pub use_shift_features: bool,
+    /// Use the scenario covariates (compound, tyre age, track wetness,
+    /// fuel target) fed by the scenario engine. Off by default: the
+    /// IndyCar baseline carries them as all-zero columns, so enabling the
+    /// flag only pays off on scenario-family data. Feature-schema v2.
+    pub use_scenario_features: bool,
     /// Training epochs cap.
     pub max_epochs: usize,
     pub batch_size: usize,
@@ -117,6 +126,7 @@ impl Default for RankNetConfig {
             use_race_status: true,
             use_context_features: true,
             use_shift_features: true,
+            use_scenario_features: false,
             max_epochs: 60,
             batch_size: 64,
             learning_rate: 1e-3,
@@ -149,7 +159,58 @@ impl RankNetConfig {
         self.use_race_status = false;
         self.use_context_features = false;
         self.use_shift_features = false;
+        self.use_scenario_features = false;
         self
+    }
+
+    /// Version of the feature schema this config encodes rows under:
+    /// 1 = the paper's Table I + Fig 7 layout, 2 = with the scenario
+    /// covariate block appended. Stored artifacts record the input dims
+    /// implicitly through their weight shapes; this labels them for docs
+    /// and diagnostics.
+    pub fn feature_schema(&self) -> u32 {
+        if self.use_scenario_features {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+// Backward-compatible by hand: v2 artifacts predate
+// `use_scenario_features`, which must default to `false` (schema v1) so
+// stored weight shapes keep matching the encoder the config rebuilds. The
+// vendored derive errors on missing fields, hence the explicit impl over
+// `take_field_or`.
+impl<'de> Deserialize<'de> for RankNetConfig {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match serde::Deserializer::deserialize_content(deserializer)? {
+            serde::Content::Map(mut fields) => Ok(RankNetConfig {
+                context_len: serde::de::take_field(&mut fields, "context_len")?,
+                prediction_len: serde::de::take_field(&mut fields, "prediction_len")?,
+                loss_weight: serde::de::take_field(&mut fields, "loss_weight")?,
+                hidden_dim: serde::de::take_field(&mut fields, "hidden_dim")?,
+                num_layers: serde::de::take_field(&mut fields, "num_layers")?,
+                embedding_dim: serde::de::take_field(&mut fields, "embedding_dim")?,
+                num_samples: serde::de::take_field(&mut fields, "num_samples")?,
+                use_race_status: serde::de::take_field(&mut fields, "use_race_status")?,
+                use_context_features: serde::de::take_field(&mut fields, "use_context_features")?,
+                use_shift_features: serde::de::take_field(&mut fields, "use_shift_features")?,
+                use_scenario_features: serde::de::take_field_or(
+                    &mut fields,
+                    "use_scenario_features",
+                    false,
+                )?,
+                max_epochs: serde::de::take_field(&mut fields, "max_epochs")?,
+                batch_size: serde::de::take_field(&mut fields, "batch_size")?,
+                learning_rate: serde::de::take_field(&mut fields, "learning_rate")?,
+                seed: serde::de::take_field(&mut fields, "seed")?,
+                likelihood: serde::de::take_field(&mut fields, "likelihood")?,
+            }),
+            other => Err(<D::Error as serde::de::Error>::custom(format!(
+                "expected map for struct RankNetConfig, got {other:?}"
+            ))),
+        }
     }
 }
 
@@ -187,6 +248,31 @@ mod tests {
         let back: RankNetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.likelihood, Likelihood::StudentT(5.0));
         assert_eq!(RankNetConfig::default().likelihood, Likelihood::Gaussian);
+    }
+
+    #[test]
+    fn config_deserializes_pre_scenario_payloads() {
+        // A config serialized before `use_scenario_features` existed (v2
+        // artifacts): the flag must default off = feature schema v1.
+        let json = serde_json::to_string(&RankNetConfig::default()).unwrap();
+        let stripped = json
+            .replace("\"use_scenario_features\":false,", "")
+            .replace(",\"use_scenario_features\":false", "");
+        assert_ne!(json, stripped, "test must actually remove the field");
+        let back: RankNetConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(!back.use_scenario_features);
+        assert_eq!(back.feature_schema(), 1);
+        assert_eq!(back.context_len, 60);
+    }
+
+    #[test]
+    fn feature_schema_tracks_scenario_flag() {
+        assert_eq!(RankNetConfig::default().feature_schema(), 1);
+        let scen = RankNetConfig {
+            use_scenario_features: true,
+            ..Default::default()
+        };
+        assert_eq!(scen.feature_schema(), 2);
     }
 
     #[test]

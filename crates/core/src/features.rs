@@ -29,6 +29,15 @@ pub struct CarSequence {
     pub leader_pit_count: Vec<f32>,
     /// Fig 7 step 3: total # of cars pitting at lap L.
     pub total_pit_count: Vec<f32>,
+    /// Scenario covariate: tyre compound id fitted this lap (0 for
+    /// single-compound series like the IndyCar baseline).
+    pub compound: Vec<f32>,
+    /// Scenario covariate: laps since the current tyre set was fitted.
+    pub tyre_age: Vec<f32>,
+    /// Scenario covariate: track wetness in `[0, 1]`.
+    pub track_wetness: Vec<f32>,
+    /// Scenario covariate: fuel-saving pressure in `[0, 1]`.
+    pub fuel_target: Vec<f32>,
 }
 
 impl CarSequence {
@@ -112,6 +121,10 @@ pub fn extract_sequences(race: &RaceResult) -> RaceContext {
             pit_age: Vec::with_capacity(n),
             leader_pit_count: Vec::with_capacity(n),
             total_pit_count: Vec::with_capacity(n),
+            compound: Vec::with_capacity(n),
+            tyre_age: Vec::with_capacity(n),
+            track_wetness: Vec::with_capacity(n),
+            fuel_target: Vec::with_capacity(n),
         };
         let mut caution_count = 0.0f32;
         let mut pit_age = 0.0f32;
@@ -127,6 +140,13 @@ pub fn extract_sequences(race: &RaceResult) -> RaceContext {
             } else {
                 0.0
             });
+
+            // Scenario covariates come straight off the record — the
+            // simulator (or feed) owns their bookkeeping.
+            seq.compound.push(rec.compound as f32);
+            seq.tyre_age.push(rec.tyre_age as f32);
+            seq.track_wetness.push(rec.track_wetness);
+            seq.fuel_target.push(rec.fuel_target);
 
             // Accumulation-sum transforms (§III-C): ages reset at pit laps.
             if rec.track_status.is_caution() {

@@ -29,6 +29,13 @@ pub struct Covariates {
     pub shift_track_status: f32,
     pub shift_lap_status: f32,
     pub shift_total_pit_count: f32,
+    /// Scenario covariates (compound strategy / weather / fuel pressure),
+    /// encoded exactly as race status is: read off the sequence, gated by
+    /// `RankNetConfig::use_scenario_features`.
+    pub compound: f32,
+    pub tyre_age: f32,
+    pub track_wetness: f32,
+    pub fuel_target: f32,
 }
 
 impl Covariates {
@@ -46,6 +53,10 @@ impl Covariates {
             shift_track_status: get(&seq.track_status, t + shift),
             shift_lap_status: get(&seq.lap_status, t + shift),
             shift_total_pit_count: get(&seq.total_pit_count, t + shift),
+            compound: get(&seq.compound, t),
+            tyre_age: get(&seq.tyre_age, t),
+            track_wetness: get(&seq.track_wetness, t),
+            fuel_target: get(&seq.fuel_target, t),
         }
     }
 }
@@ -62,6 +73,9 @@ pub fn base_input_dim(cfg: &RankNetConfig) -> usize {
     }
     if cfg.use_shift_features {
         d += 3; // shifted track/lap status and total pit count
+    }
+    if cfg.use_scenario_features {
+        d += 4; // compound, tyre_age, track_wetness, fuel_target
     }
     d
 }
@@ -93,6 +107,12 @@ pub fn assemble_row(
         out.push(cov.shift_track_status);
         out.push(cov.shift_lap_status);
         out.push(cov.shift_total_pit_count / field);
+    }
+    if cfg.use_scenario_features {
+        out.push(cov.compound / 4.0);
+        out.push(cov.tyre_age / 50.0);
+        out.push(cov.track_wetness);
+        out.push(cov.fuel_target);
     }
     debug_assert_eq!(out.len(), base_input_dim(cfg));
 }

@@ -49,6 +49,6 @@ pub use lifecycle::{
     rank_divergence_milli, FineTuneConfig, LifecycleError, Manifest, ModelSlot, ModelStore,
     OnlineFineTuner, VersionedModel,
 };
-pub use pit_model::PitModel;
+pub use pit_model::{PitModel, PitState};
 pub use rank_model::RankModel;
 pub use ranknet::{RankNet, RankNetVariant};

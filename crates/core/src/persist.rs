@@ -48,8 +48,14 @@ pub struct SavedRankNet {
     pub checksum: u64,
 }
 
-/// Version 2 added the content checksum.
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 2 added the content checksum. Version 3 added
+/// `use_scenario_features` to the stored config (and with it the widened
+/// pit-model input); v2 files deserialize with the flag defaulted off, so
+/// their weight shapes still match the networks the config rebuilds.
+pub const FORMAT_VERSION: u32 = 3;
+
+/// Oldest format this build still loads.
+pub const MIN_FORMAT_VERSION: u32 = 2;
 
 // ---- content hashing -------------------------------------------------------
 
@@ -176,9 +182,9 @@ impl RankNet {
     /// mismatches and non-finite weights with a descriptive error — a
     /// corrupted snapshot can never become a silently-broken model.
     pub fn from_saved(saved: &SavedRankNet) -> Result<RankNet, String> {
-        if saved.version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&saved.version) {
             return Err(format!(
-                "unsupported format version {} (expected {FORMAT_VERSION})",
+                "unsupported format version {} (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})",
                 saved.version
             ));
         }
@@ -203,7 +209,11 @@ impl RankNet {
 
         let pit_model = match (&saved.pit_weights, saved.pit_scale, variant) {
             (Some(w), Some(scale), RankNetVariant::Mlp) => {
-                let mut pm = PitModel::new(saved.cfg.seed, scale);
+                // The stored config's feature flag picks the input width;
+                // a v2 file deserializes with the flag off, so the rebuilt
+                // shapes match its 2-input weights.
+                let mut pm =
+                    PitModel::with_features(saved.cfg.seed, scale, saved.cfg.use_scenario_features);
                 pm.import(w)?;
                 Some(pm)
             }
@@ -334,9 +344,10 @@ impl SavedTrainCheckpoint {
 
     /// Convert back, verifying the checksum and that every tensor is finite.
     pub fn into_checkpoint(self) -> Result<TrainCheckpoint, String> {
-        if self.version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&self.version) {
             return Err(format!(
-                "unsupported checkpoint version {} (expected {FORMAT_VERSION})",
+                "unsupported checkpoint version {} (supported: \
+                 {MIN_FORMAT_VERSION}..={FORMAT_VERSION})",
                 self.version
             ));
         }
@@ -490,6 +501,30 @@ mod tests {
         let b = loaded.forecast(&ctx, 50, 2, 3, &mut rng2);
         assert_eq!(a, b, "loaded model must forecast identically");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_artifact_without_scenario_flag_loads_and_serves() {
+        // Simulate a file written before format v3: version 2, no
+        // `use_scenario_features` key in the stored config. It must load
+        // (flag defaults off → 2-input pit model, matching shapes) and
+        // forecast bit-identically to the in-memory model.
+        let (model, ctx) = trained_mlp();
+        let json = serde_json::to_string(&model.to_saved()).unwrap();
+        let v2 = json
+            .replace("\"version\":3", "\"version\":2")
+            .replace("\"use_scenario_features\":false,", "")
+            .replace(",\"use_scenario_features\":false", "");
+        assert_ne!(json, v2, "test must actually rewrite the payload");
+        let saved: SavedRankNet = serde_json::from_str(&v2).unwrap();
+        assert_eq!(saved.version, 2);
+        assert!(!saved.cfg.use_scenario_features);
+        let loaded = RankNet::from_saved(&saved).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = model.forecast(&ctx, 50, 2, 3, &mut rng1);
+        let b = loaded.forecast(&ctx, 50, 2, 3, &mut rng2);
+        assert_eq!(a, b, "v2 artifact must serve identically");
     }
 
     #[test]

@@ -32,7 +32,49 @@ const MIN_TRAIN_STINT: f32 = 5.0;
 struct PitExample {
     caution_laps: f32,
     pit_age: f32,
+    tyre_age: f32,
+    track_wetness: f32,
     laps_to_pit: f32,
+}
+
+/// Everything the pit model can condition on at one lap. Legacy callers
+/// populate only the first two fields; the scenario covariates default to
+/// the single-compound dry-race values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PitState {
+    /// Caution laps since this car's last stop.
+    pub caution_laps: f32,
+    /// Laps since this car's last stop.
+    pub pit_age: f32,
+    /// Laps on the current tyre set (equals `pit_age` when tyres turn over
+    /// at every stop).
+    pub tyre_age: f32,
+    /// Track wetness in `[0, 1]`.
+    pub track_wetness: f32,
+}
+
+impl PitState {
+    /// The legacy two-feature state: tyre age rides along with pit age,
+    /// bone-dry track.
+    pub fn legacy(caution_laps: f32, pit_age: f32) -> PitState {
+        PitState {
+            caution_laps,
+            pit_age,
+            tyre_age: pit_age,
+            track_wetness: 0.0,
+        }
+    }
+}
+
+/// The normalised input row for a pit state under the given input width.
+/// Shared by training and serving so the two paths cannot drift.
+fn feature_row(input_dim: usize, scale: f32, state: &PitState) -> Vec<f32> {
+    let mut row = vec![state.caution_laps / 10.0, state.pit_age / scale];
+    if input_dim == 4 {
+        row.push(state.tyre_age / scale);
+        row.push(state.track_wetness);
+    }
+    row
 }
 
 /// Tape-free serving nets for [`PitModel::predict`], built lazily on first
@@ -50,6 +92,9 @@ pub struct PitModel {
     sigma_net: Mlp,
     /// Normalisation constant for ages (the fuel window).
     scale: f32,
+    /// Input width: 2 (paper: CautionLaps, PitAge) or 4 (+TyreAge,
+    /// TrackWetness under `use_scenario_features`).
+    input_dim: usize,
     runtime: OnceLock<PitRuntime>,
 }
 
@@ -64,27 +109,40 @@ impl Clone for PitModel {
             mu_net: self.mu_net.clone(),
             sigma_net: self.sigma_net.clone(),
             scale: self.scale,
+            input_dim: self.input_dim,
             runtime: OnceLock::new(),
         }
     }
 }
 
 impl PitModel {
+    /// The paper's two-feature model (CautionLaps, PitAge). Weight names,
+    /// shapes and initialisation are unchanged from before the scenario
+    /// covariates existed, so v2 artifacts import bit-identically.
     pub fn new(seed: u64, fuel_window: f32) -> PitModel {
+        Self::with_features(seed, fuel_window, false)
+    }
+
+    /// Constructor parameterised on the feature schema: with
+    /// `scenario_features` the input widens to `[CautionLaps, PitAge,
+    /// TyreAge, TrackWetness]` — the same covariates the RankModel encoder
+    /// receives under `use_scenario_features`.
+    pub fn with_features(seed: u64, fuel_window: f32, scenario_features: bool) -> PitModel {
+        let d = if scenario_features { 4 } else { 2 };
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9177);
         let mu_net = Mlp::new(
             &mut store,
             &mut rng,
             "pit.mu",
-            &[2, 16, 16, 1],
+            &[d, 16, 16, 1],
             Activation::Relu,
         );
         let sigma_net = Mlp::new(
             &mut store,
             &mut rng,
             "pit.sigma",
-            &[2, 16, 1],
+            &[d, 16, 1],
             Activation::Relu,
         );
         PitModel {
@@ -92,12 +150,18 @@ impl PitModel {
             mu_net,
             sigma_net,
             scale: fuel_window,
+            input_dim: d,
             runtime: OnceLock::new(),
         }
     }
 
-    fn features(&self, caution_laps: f32, pit_age: f32) -> [f32; 2] {
-        [caution_laps / 10.0, pit_age / self.scale]
+    /// Input width (2 legacy, 4 scenario).
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn features(&self, state: &PitState) -> Vec<f32> {
+        feature_row(self.input_dim, self.scale, state)
     }
 
     fn examples(sequences: &[&CarSequence]) -> Vec<PitExample> {
@@ -118,6 +182,8 @@ impl PitModel {
                     out.push(PitExample {
                         caution_laps: seq.caution_laps[i],
                         pit_age: seq.pit_age[i],
+                        tyre_age: seq.tyre_age.get(i).copied().unwrap_or(seq.pit_age[i]),
+                        track_wetness: seq.track_wetness.get(i).copied().unwrap_or(0.0),
                         laps_to_pit: (pit_idx - i) as f32,
                     });
                 }
@@ -137,9 +203,21 @@ impl PitModel {
         let (train_ex, val_ex) = examples.split_at(examples.len() - n_val);
 
         let scale = self.scale;
+        let input_dim = self.input_dim;
         let mu_net = self.mu_net.clone();
         let sigma_net = self.sigma_net.clone();
-        let features = |e: &PitExample| [e.caution_laps / 10.0, e.pit_age / scale];
+        let features = |e: &PitExample| {
+            feature_row(
+                input_dim,
+                scale,
+                &PitState {
+                    caution_laps: e.caution_laps,
+                    pit_age: e.pit_age,
+                    tyre_age: e.tyre_age,
+                    track_wetness: e.track_wetness,
+                },
+            )
+        };
 
         let mut store = std::mem::take(&mut self.store);
         let train_cfg = TrainConfig {
@@ -157,7 +235,7 @@ impl PitModel {
                 let tape = Tape::new();
                 let bind = Binding::new(&tape, store);
                 let b = batch.len();
-                let mut x = Matrix::zeros(b, 2);
+                let mut x = Matrix::zeros(b, input_dim);
                 let mut t = Matrix::zeros(b, 1);
                 for (i, &bi) in batch.iter().enumerate() {
                     let e = &train_ex[bi];
@@ -179,7 +257,7 @@ impl PitModel {
                 let tape = Tape::new();
                 let bind = Binding::new(&tape, store);
                 let b = val_ex.len();
-                let mut x = Matrix::zeros(b, 2);
+                let mut x = Matrix::zeros(b, input_dim);
                 let mut t = Matrix::zeros(b, 1);
                 for (i, e) in val_ex.iter().enumerate() {
                     x.row_mut(i).copy_from_slice(&features(e));
@@ -223,11 +301,18 @@ impl PitModel {
     /// Runs on the cached tape-free runtime; bit-identical to the tape
     /// forward (`softplus` floor included) that trains the same nets.
     pub fn predict(&self, caution_laps: f32, pit_age: f32) -> (f32, f32) {
+        self.predict_state(&PitState::legacy(caution_laps, pit_age))
+    }
+
+    /// [`PitModel::predict`] on a full [`PitState`]. On a legacy (2-input)
+    /// model the scenario fields are ignored, so the two entry points agree
+    /// bit-for-bit.
+    pub fn predict_state(&self, state: &PitState) -> (f32, f32) {
         let rt = self.runtime.get_or_init(|| PitRuntime {
             mu_net: InferMlp::from_store(&self.store, &self.mu_net),
             sigma_net: InferMlp::from_store(&self.store, &self.sigma_net),
         });
-        let x = Matrix::from_vec(1, 2, self.features(caution_laps, pit_age).to_vec());
+        let x = Matrix::from_vec(1, self.input_dim, self.features(state));
         let mut scratch = MlpScratch::new();
         let mut mu = Matrix::zeros(0, 0);
         let mut sigma = Matrix::zeros(0, 0);
@@ -240,7 +325,12 @@ impl PitModel {
 
     /// Sample the lap offset (≥ 1) of the next pit stop.
     pub fn sample_next_pit(&self, caution_laps: f32, pit_age: f32, rng: &mut StdRng) -> usize {
-        let (mu, sigma) = self.predict(caution_laps, pit_age);
+        self.sample_next_pit_state(&PitState::legacy(caution_laps, pit_age), rng)
+    }
+
+    /// [`PitModel::sample_next_pit`] on a full [`PitState`].
+    pub fn sample_next_pit_state(&self, state: &PitState, rng: &mut StdRng) -> usize {
+        let (mu, sigma) = self.predict_state(state);
         let u1: f32 = rng.gen_range(1e-7..1.0f32);
         let u2: f32 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
@@ -256,15 +346,34 @@ impl PitModel {
         horizon: usize,
         rng: &mut StdRng,
     ) -> Vec<bool> {
+        self.sample_future_pits_state(&PitState::legacy(caution_laps, pit_age), horizon, rng)
+    }
+
+    /// [`PitModel::sample_future_pits`] on a full [`PitState`]. After each
+    /// sampled stop the car restarts on fresh tyres (pit age, tyre age and
+    /// caution credit reset to zero); track wetness persists — the forecast
+    /// holds weather at its origin value, exactly as the rank decoder does.
+    pub fn sample_future_pits_state(
+        &self,
+        state: &PitState,
+        horizon: usize,
+        rng: &mut StdRng,
+    ) -> Vec<bool> {
+        let fresh = PitState {
+            caution_laps: 0.0,
+            pit_age: 0.0,
+            tyre_age: 0.0,
+            track_wetness: state.track_wetness,
+        };
         let mut pits = vec![false; horizon];
         // Countdown to the next stop; aging is implicit in the countdown, so
         // the model is only ever queried at a pit (age 0) or at the origin.
-        let mut next = self.sample_next_pit(caution_laps, pit_age, rng);
+        let mut next = self.sample_next_pit_state(state, rng);
         for slot in pits.iter_mut() {
             if next == 0 {
                 *slot = true;
                 // A freshly sampled stint must be at least one lap.
-                next = self.sample_next_pit(0.0, 0.0, rng).max(1);
+                next = self.sample_next_pit_state(&fresh, rng).max(1);
             }
             next = next.saturating_sub(1);
         }
@@ -285,6 +394,18 @@ impl PitModel {
     ) -> Vec<bool> {
         let mut rng = streams.stream(index);
         self.sample_future_pits(caution_laps, pit_age, horizon, &mut rng)
+    }
+
+    /// Stream-seeded variant of [`PitModel::sample_future_pits_state`].
+    pub fn sample_future_pits_stream_state(
+        &self,
+        state: &PitState,
+        horizon: usize,
+        streams: &RngStreams,
+        index: u64,
+    ) -> Vec<bool> {
+        let mut rng = streams.stream(index);
+        self.sample_future_pits_state(state, horizon, &mut rng)
     }
 }
 
@@ -372,8 +493,8 @@ mod tests {
         let bind = Binding::new(&tape, &model.store);
         let x = tape.leaf(Matrix::from_vec(
             1,
-            2,
-            model.features(caution, age).to_vec(),
+            model.input_dim,
+            model.features(&PitState::legacy(caution, age)),
         ));
         let mu = model.mu_net.forward(&bind, x);
         let sigma = tape.add_scalar(
@@ -412,6 +533,54 @@ mod tests {
         let (mu_t, sigma_t) = predict_tape(&model, 2.0, 15.0);
         assert_eq!(mu.to_bits(), mu_t.to_bits());
         assert_eq!(sigma.to_bits(), sigma_t.to_bits());
+    }
+
+    #[test]
+    fn scenario_model_widens_input_and_stays_compatible() {
+        // The 4-input model trains and serves on the same call paths; the
+        // legacy entry points keep working on it (scenario fields default
+        // to the dry single-compound values).
+        let ctxs = contexts();
+        let mut cfg = RankNetConfig::tiny();
+        cfg.max_epochs = 3;
+        let mut model = PitModel::with_features(9, 50.0, true);
+        assert_eq!(model.input_dim(), 4);
+        let report = model.train(&ctxs, &cfg);
+        assert!(report.best_val_loss.is_finite());
+        let (mu, sigma) = model.predict(0.0, 10.0);
+        assert!(mu.is_finite() && sigma > 0.0);
+        // A wet track is a real input on the 4-dim model: the prediction
+        // may move, but must stay finite and positive-sigma.
+        let (mu_wet, sigma_wet) = model.predict_state(&PitState {
+            caution_laps: 0.0,
+            pit_age: 10.0,
+            tyre_age: 10.0,
+            track_wetness: 0.9,
+        });
+        assert!(mu_wet.is_finite() && sigma_wet > 0.0);
+        // Export/import round-trips the widened shapes.
+        let entries = model.export();
+        let mut fresh = PitModel::with_features(1234, 50.0, true);
+        fresh.import(&entries).unwrap();
+        let (a, b) = fresh.predict(3.0, 20.0);
+        let (c, d) = model.predict(3.0, 20.0);
+        assert_eq!(a.to_bits(), c.to_bits());
+        assert_eq!(b.to_bits(), d.to_bits());
+    }
+
+    #[test]
+    fn legacy_model_ignores_scenario_fields() {
+        let model = PitModel::new(11, 50.0);
+        assert_eq!(model.input_dim(), 2);
+        let (mu_dry, sig_dry) = model.predict_state(&PitState::legacy(2.0, 15.0));
+        let (mu_wet, sig_wet) = model.predict_state(&PitState {
+            caution_laps: 2.0,
+            pit_age: 15.0,
+            tyre_age: 40.0,
+            track_wetness: 1.0,
+        });
+        assert_eq!(mu_dry.to_bits(), mu_wet.to_bits());
+        assert_eq!(sig_dry.to_bits(), sig_wet.to_bits());
     }
 
     #[test]

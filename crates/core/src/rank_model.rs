@@ -1442,6 +1442,7 @@ fn joint_cfg(cfg: &RankNetConfig) -> RankNetConfig {
     c.use_race_status = false;
     c.use_context_features = false;
     c.use_shift_features = false;
+    c.use_scenario_features = false;
     c
 }
 

@@ -15,7 +15,7 @@
 use crate::config::{DecodeBackend, RankNetConfig};
 use crate::features::RaceContext;
 use crate::instances::{Covariates, TrainingSet};
-use crate::pit_model::PitModel;
+use crate::pit_model::{PitModel, PitState};
 use crate::rank_model::{
     oracle_covariates, BatchedRun, CovariateFuture, EncoderState, ForecastSamples, RankModel,
     TargetKind,
@@ -89,7 +89,11 @@ impl RankNet {
         let fuel_window = train_ctx.first().map(|c| c.fuel_window).unwrap_or(50.0);
 
         let pit_model = if variant == RankNetVariant::Mlp {
-            let mut pm = PitModel::new(cfg.seed, fuel_window);
+            // The pit model's feature schema follows the rank model's:
+            // under `use_scenario_features` it also sees tyre age and
+            // track wetness (persisted artifacts record the flag in cfg,
+            // so rebuild-on-load picks the same shapes).
+            let mut pm = PitModel::with_features(cfg.seed, fuel_window, cfg.use_scenario_features);
             let report = pm.train(&train_ctx, &cfg);
             Some((pm, report))
         } else {
@@ -416,9 +420,17 @@ pub fn sample_covariate_future_streams(
             if seq.len() < origin {
                 return vec![false; horizon];
             }
-            let caution = seq.caution_laps[origin - 1];
-            let age = seq.pit_age[origin - 1];
-            pm.sample_future_pits_stream(caution, age, horizon, streams, c as u64)
+            let state = PitState {
+                caution_laps: seq.caution_laps[origin - 1],
+                pit_age: seq.pit_age[origin - 1],
+                tyre_age: seq
+                    .tyre_age
+                    .get(origin - 1)
+                    .copied()
+                    .unwrap_or(seq.pit_age[origin - 1]),
+                track_wetness: seq.track_wetness.get(origin - 1).copied().unwrap_or(0.0),
+            };
+            pm.sample_future_pits_stream_state(&state, horizon, streams, c as u64)
         });
 
         // Field-level context features from the sampled pits.
@@ -437,6 +449,15 @@ pub fn sample_covariate_future_streams(
                 let my_rank = seq.rank[origin - 1];
                 let mut age = seq.pit_age[origin - 1];
                 let caution = seq.caution_laps[origin - 1];
+                // Scenario covariates: tyre age evolves with the sampled
+                // pit pattern (tyres turn over at every stop); compound,
+                // wetness and fuel pressure are held at their origin
+                // values — the model knows no weather forecast, mirroring
+                // the §III-C zero-future-caution treatment.
+                let mut tyre = seq.tyre_age.get(origin - 1).copied().unwrap_or(0.0);
+                let compound = seq.compound.get(origin - 1).copied().unwrap_or(0.0);
+                let wetness = seq.track_wetness.get(origin - 1).copied().unwrap_or(0.0);
+                let fuel = seq.fuel_target.get(origin - 1).copied().unwrap_or(0.0);
                 (0..horizon)
                     .map(|s| {
                         let pit = future_pits[c][s];
@@ -466,11 +487,17 @@ pub fn sample_covariate_future_streams(
                                 .map(|&p| if p { 1.0 } else { 0.0 })
                                 .unwrap_or(0.0),
                             shift_total_pit_count: total_pits_at.get(shift).copied().unwrap_or(0.0),
+                            compound,
+                            tyre_age: tyre,
+                            track_wetness: wetness,
+                            fuel_target: fuel,
                         };
                         if pit {
                             age = 0.0;
+                            tyre = 0.0;
                         } else {
                             age += 1.0;
+                            tyre += 1.0;
                         }
                         cov
                     })

@@ -1,0 +1,125 @@
+//! Feature-schema backward compatibility: artifacts stored before the
+//! scenario covariates existed (persist format v2, no
+//! `use_scenario_features` in the config) must keep loading and serving —
+//! both through `RankNet::from_saved` and through a versioned
+//! [`ModelStore`] directory on disk.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ranknet_core::persist::{SavedRankNet, FORMAT_VERSION, MIN_FORMAT_VERSION};
+use ranknet_core::{
+    extract_sequences, Manifest, ModelStore, RaceContext, RankNet, RankNetConfig, RankNetVariant,
+};
+use rpf_racesim::{simulate_race, Event, EventConfig};
+
+/// FNV-1a over raw bytes — mirrors the store's manifest checksum so the
+/// test can hand-publish a v2-era artifact directory.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn trained_mlp() -> (RankNet, RaceContext) {
+    let ctx = extract_sequences(&simulate_race(
+        &EventConfig::for_race(Event::Indy500, 2016),
+        3,
+    ));
+    let mut cfg = RankNetConfig::tiny();
+    cfg.max_epochs = 1;
+    let (model, _) = RankNet::fit(
+        vec![ctx.clone()],
+        vec![ctx.clone()],
+        cfg,
+        RankNetVariant::Mlp,
+        40,
+    );
+    (model, ctx)
+}
+
+/// Rewrite a current-format snapshot into the exact JSON a v2-era build
+/// would have written: version 2, no `use_scenario_features` key.
+fn v2_json(model: &RankNet) -> String {
+    let json = serde_json::to_string(&model.to_saved()).unwrap();
+    let v2 = json
+        .replace(
+            &format!("\"version\":{FORMAT_VERSION}"),
+            &format!("\"version\":{MIN_FORMAT_VERSION}"),
+        )
+        .replace("\"use_scenario_features\":false,", "")
+        .replace(",\"use_scenario_features\":false", "");
+    assert_ne!(json, v2, "rewrite must actually change the payload");
+    v2
+}
+
+#[test]
+fn v2_file_loads_through_the_persist_path() {
+    let (model, ctx) = trained_mlp();
+    let dir = std::env::temp_dir().join("rpf_schema_compat_file");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model_v2.json");
+    std::fs::write(&path, v2_json(&model)).unwrap();
+
+    let loaded = RankNet::load(&path).unwrap();
+    let mut rng1 = StdRng::seed_from_u64(11);
+    let mut rng2 = StdRng::seed_from_u64(11);
+    assert_eq!(
+        model.forecast(&ctx, 50, 2, 3, &mut rng1),
+        loaded.forecast(&ctx, 50, 2, 3, &mut rng2),
+        "v2 file must forecast bit-identically"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_artifact_serves_from_a_model_store() {
+    let (model, ctx) = trained_mlp();
+    let root = std::env::temp_dir().join(format!("rpf_schema_compat_store_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+
+    // Hand-publish a v2-era version directory: model.json first, then the
+    // committing manifest — the layout an old build left behind.
+    let vdir = root.join("versions").join("v000001");
+    std::fs::create_dir_all(&vdir).unwrap();
+    let bytes = v2_json(&model).into_bytes();
+    std::fs::write(vdir.join("model.json"), &bytes).unwrap();
+    let manifest = Manifest {
+        format: 1,
+        version: 1,
+        checksum: fnv1a(&bytes),
+        bytes: bytes.len() as u64,
+        parent: None,
+        note: "pre-scenario artifact".to_string(),
+    };
+    std::fs::write(
+        vdir.join("manifest.json"),
+        serde_json::to_string(&manifest).unwrap(),
+    )
+    .unwrap();
+
+    let store = ModelStore::open(&root).unwrap();
+    let (loaded, m) = store.load(1).unwrap();
+    assert_eq!(m.version, 1);
+    assert!(!loaded.cfg.use_scenario_features);
+    let mut rng1 = StdRng::seed_from_u64(13);
+    let mut rng2 = StdRng::seed_from_u64(13);
+    assert_eq!(
+        model.forecast(&ctx, 50, 2, 3, &mut rng1),
+        loaded.forecast(&ctx, 50, 2, 3, &mut rng2),
+        "store-served v2 artifact must forecast bit-identically"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn future_versions_are_still_rejected() {
+    let (model, _) = trained_mlp();
+    let mut saved: SavedRankNet =
+        serde_json::from_str(&serde_json::to_string(&model.to_saved()).unwrap()).unwrap();
+    saved.version = FORMAT_VERSION + 1;
+    let err = RankNet::from_saved(&saved).err().expect("must fail");
+    assert!(err.contains("version"), "got: {err}");
+}

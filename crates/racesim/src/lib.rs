@@ -27,6 +27,7 @@
 
 pub mod car;
 pub mod dataset;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod track;
@@ -34,6 +35,7 @@ pub mod types;
 
 pub use car::CarProfile;
 pub use dataset::{Dataset, RaceKey, Split};
+pub use scenario::{generate_races, simulate_scenario, ScenarioConfig, ScenarioFamily};
 pub use sim::{simulate_race, RaceResult};
 pub use track::{Event, EventConfig};
 pub use types::{LapRecord, LapStatus, TrackStatus};

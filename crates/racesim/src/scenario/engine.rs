@@ -1,0 +1,478 @@
+//! The generalized scenario race loop.
+//!
+//! Structurally this is `sim::simulate_race` with the three strategy
+//! dimensions the families vary made explicit: the caution process (hazard
+//! multiplier, caution-length window, scheduled cautions), the tyre model
+//! (a set of [`CompoundSpec`]s with closed-form degradation), and weather
+//! (a per-lap wetness trajectory with crossover pit stops and fuel-saving
+//! pressure). It deliberately does NOT try to be byte-compatible with the
+//! legacy simulator — the IndyCar family bypasses this engine entirely and
+//! calls `simulate_race`, which is what the bit-identity golden pins.
+//!
+//! RNG discipline: one `(config salt, seed)` pair derives independent
+//! per-concern streams — weather, strategy (compound choice), and the main
+//! race dynamics — mirroring the counter-derived `RngStreams` layout used
+//! by the serving stack. Adding draws to the weather model can never shift
+//! the crash sequence, and vice versa.
+
+use crate::car::season_field;
+use crate::sim::RaceResult;
+use crate::track::EventConfig;
+use crate::types::{LapRecord, LapStatus, TrackStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::families::CompoundSpec;
+
+/// Compound id of the wet tyre (dry compounds use 1..=3; 0 is the
+/// single-compound baseline).
+pub const WET_COMPOUND: u8 = 4;
+
+/// Stream salt for the weather trajectory.
+const WEATHER_STREAM: u64 = 0x5745_5448; // "WETH"
+/// Stream salt for strategy (compound) choices.
+const STRATEGY_STREAM: u64 = 0x5354_5241; // "STRA"
+
+/// Closed-form tyre degradation: seconds of lap-time loss at tyre age
+/// `age` on compound `spec`. Monotone non-decreasing in `age` for any
+/// non-negative curve parameters — the property the scenario proptests pin.
+pub fn degradation_s(spec: &CompoundSpec, age: u16) -> f32 {
+    let a = age as f32;
+    spec.deg_linear_s * a + spec.deg_quad_s * a * a
+}
+
+/// Weather parameters of a wet/dry scenario (engine-internal form).
+#[derive(Clone, Debug)]
+pub(crate) struct WetParams {
+    /// Number of rain showers swept over the race.
+    pub showers: u16,
+    /// Lap-time penalty at full wetness for a car on dry tyres, as a
+    /// fraction of base lap time.
+    pub wet_slowdown_frac: f32,
+    /// Wetness decay per dry lap.
+    pub drying_per_lap: f32,
+    /// Wetness growth per raining lap.
+    pub rain_per_lap: f32,
+    /// Strength of fuel-saving pressure in `[0, 1]` (scales the
+    /// `fuel_target` covariate and its lap-time cost).
+    pub fuel_pressure: f32,
+}
+
+/// Everything the generalized loop needs, lowered from a family config.
+#[derive(Clone, Debug)]
+pub(crate) struct Dynamics {
+    pub base: EventConfig,
+    /// Family-specific stream salt so two families over the same event and
+    /// seed draw from unrelated streams.
+    pub salt: u64,
+    /// Multiplier on the per-car per-lap crash hazard.
+    pub hazard_mult: f64,
+    /// Caution length is drawn uniformly from this inclusive window.
+    pub caution_len: (u16, u16),
+    /// Laps at which a full-course caution is thrown regardless of crashes
+    /// (competition cautions); ignored if a caution is already running.
+    pub scheduled_cautions: Vec<u16>,
+    /// Available dry compounds; must be non-empty (family lowering
+    /// guarantees at least the event's implicit baseline compound).
+    pub compounds: Vec<CompoundSpec>,
+    /// F1-style rule: a car must run at least two distinct dry compounds.
+    pub mandatory_compound_change: bool,
+    /// Weather model; `None` = bone dry.
+    pub wet: Option<WetParams>,
+}
+
+struct CarState {
+    cum_time: f64,
+    /// Laps since the last stop (tyres and fuel turn over together).
+    age: u16,
+    planned_stint: u16,
+    /// Index into `Dynamics::compounds`, or `usize::MAX` for the wet tyre.
+    compound_idx: usize,
+    /// Bitmask of dry compound indices used so far.
+    used_dry: u32,
+    retired: Option<u16>,
+    laps: Vec<LapRecord>,
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    // Box–Muller, as in the legacy simulator.
+    let u1: f32 = rng.gen_range(1e-7..1.0);
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// The wet tyre's spec, derived from the event (generous life — wet stints
+/// end at crossovers, not from wear).
+fn wet_spec(cfg: &EventConfig) -> CompoundSpec {
+    CompoundSpec {
+        id: WET_COMPOUND,
+        pace_offset_s: 0.0,
+        deg_linear_s: 0.004,
+        deg_quad_s: 0.0,
+        max_life: cfg.fuel_window_laps,
+    }
+}
+
+/// Precompute the per-lap wetness trajectory from its dedicated stream.
+/// Index 0 is unused (laps are 1-based).
+fn wetness_trajectory(wet: Option<&WetParams>, total_laps: u16, mut rng: StdRng) -> Vec<f32> {
+    let mut w = vec![0.0f32; total_laps as usize + 1];
+    let Some(p) = wet else { return w };
+    let horizon = total_laps.saturating_sub(20).max(6);
+    let showers: Vec<(u16, u16)> = (0..p.showers)
+        .map(|_| {
+            let start = rng.gen_range(5..horizon);
+            let dur = rng.gen_range(8..=20);
+            (start, dur)
+        })
+        .collect();
+    let mut cur = 0.0f32;
+    for lap in 1..=total_laps {
+        let raining = showers.iter().any(|&(s, d)| lap >= s && lap < s + d);
+        cur = if raining {
+            (cur + p.rain_per_lap).min(1.0)
+        } else {
+            (cur - p.drying_per_lap).max(0.0)
+        };
+        w[lap as usize] = cur;
+    }
+    w
+}
+
+fn draw_stint(rng: &mut StdRng, cfg: &EventConfig, max_life: u16) -> u16 {
+    let s = cfg.stint_mean + cfg.stint_sd * gaussian(rng);
+    (s.round().max(8.0) as u16).min(cfg.fuel_window_laps.min(max_life).saturating_sub(1).max(8))
+}
+
+/// Pick the next dry compound: weight hards when many laps remain, softs
+/// near the end; under a mandatory-change rule a car that has only used one
+/// compound never re-fits it.
+fn choose_dry_compound(
+    rng: &mut StdRng,
+    dynamics: &Dynamics,
+    current: usize,
+    used_dry: u32,
+    laps_remaining: u16,
+) -> usize {
+    let n = dynamics.compounds.len();
+    if n <= 1 {
+        return 0;
+    }
+    let owes_change = dynamics.mandatory_compound_change && used_dry.count_ones() <= 1;
+    let frac = laps_remaining as f32 / dynamics.base.total_laps.max(1) as f32;
+    let weights: Vec<f32> = dynamics
+        .compounds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if owes_change && i == current {
+                return 0.0;
+            }
+            // Life coverage of the remaining distance biases the draw:
+            // durable compounds when far out, fast ones near the flag.
+            let durability = c.max_life as f32 / dynamics.base.fuel_window_laps.max(1) as f32;
+            let bias = 1.0 + 2.0 * (durability * frac + (1.0 - durability) * (1.0 - frac));
+            bias.max(0.05)
+        })
+        .collect();
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 {
+        return (current + 1) % n;
+    }
+    let mut u = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Run the generalized scenario loop. Pure in `(dynamics, seed)`.
+pub(crate) fn run(dynamics: &Dynamics, seed: u64) -> RaceResult {
+    let cfg = &dynamics.base;
+    let mut rng = StdRng::seed_from_u64(seed ^ dynamics.salt ^ 0xD00D_F00D);
+    let mut strategy_rng = StdRng::seed_from_u64(seed ^ dynamics.salt ^ STRATEGY_STREAM);
+    let weather_rng = StdRng::seed_from_u64(seed ^ dynamics.salt ^ WEATHER_STREAM);
+    let wetness = wetness_trajectory(dynamics.wet.as_ref(), cfg.total_laps, weather_rng);
+    let wet_tyre = wet_spec(cfg);
+
+    let field = season_field(cfg.year, cfg.participants, cfg.skill_spread_frac);
+    let n = field.len();
+    let base = cfg.base_lap_time_s();
+
+    // Qualifying: skill plus noise orders the grid, staggered start.
+    let mut grid: Vec<usize> = (0..n).collect();
+    let quali: Vec<f32> = field
+        .iter()
+        .map(|c| c.skill + 0.002 * gaussian(&mut rng))
+        .collect();
+    grid.sort_by(|&a, &b| quali[a].total_cmp(&quali[b]));
+
+    let mut cars: Vec<CarState> = (0..n)
+        .map(|i| {
+            let pos = grid.iter().position(|&g| g == i).unwrap_or(i);
+            CarState {
+                cum_time: pos as f64 * 0.18,
+                age: 0,
+                planned_stint: 0,
+                compound_idx: 0,
+                used_dry: 0,
+                retired: None,
+                laps: Vec::with_capacity(cfg.total_laps as usize),
+            }
+        })
+        .collect();
+    for car in cars.iter_mut() {
+        let idx = choose_dry_compound(&mut strategy_rng, dynamics, 0, 0, cfg.total_laps);
+        car.compound_idx = idx;
+        car.used_dry |= 1 << (idx as u32 % 32);
+        let life = dynamics
+            .compounds
+            .get(idx)
+            .map(|c| c.max_life)
+            .unwrap_or(cfg.fuel_window_laps);
+        car.planned_stint = draw_stint(&mut rng, cfg, life);
+    }
+
+    let mut caution_left: u16 = 0;
+    let mut laps_since_restart: u16 = 100;
+    let mut retired = vec![None; n];
+
+    for lap in 1..=cfg.total_laps {
+        let laps_remaining = cfg.total_laps - lap;
+        let wet_now = wetness[lap as usize];
+
+        // --- cautions: scheduled first, then crash-triggered --------------
+        if caution_left == 0 && dynamics.scheduled_cautions.contains(&lap) {
+            caution_left = rng.gen_range(dynamics.caution_len.0..=dynamics.caution_len.1);
+        }
+        if caution_left == 0 {
+            // Wet track raises the hazard alongside the family multiplier.
+            let hazard =
+                (cfg.crash_hazard * dynamics.hazard_mult * (1.0 + 2.0 * wet_now as f64)).min(0.5);
+            for i in 0..n {
+                if cars[i].retired.is_some() {
+                    continue;
+                }
+                if rng.gen_bool(hazard) {
+                    caution_left = rng.gen_range(dynamics.caution_len.0..=dynamics.caution_len.1);
+                    if rng.gen_bool(0.65) {
+                        cars[i].retired = Some(lap);
+                        retired[i] = Some(lap);
+                    }
+                    break;
+                }
+            }
+        }
+        let track_status = if caution_left > 0 {
+            TrackStatus::Yellow
+        } else {
+            TrackStatus::Green
+        };
+        let early_caution = caution_left >= 3;
+        if caution_left > 0 {
+            laps_since_restart = 0;
+        }
+
+        // --- pit decisions -------------------------------------------------
+        let mut pits = vec![false; n];
+        let mut to_wet = vec![false; n];
+        for (i, car) in cars.iter_mut().enumerate() {
+            if car.retired.is_some() {
+                continue;
+            }
+            let profile = &field[i];
+            let on_wet_tyre = car.compound_idx == usize::MAX;
+            let spec = if on_wet_tyre {
+                &wet_tyre
+            } else {
+                dynamics
+                    .compounds
+                    .get(car.compound_idx)
+                    .unwrap_or(&wet_tyre)
+            };
+            let window = cfg.fuel_window_laps.min(spec.max_life);
+            let must_pit = car.age + 1 >= window;
+            let stint_done = car.age >= car.planned_stint;
+            let can_reach_finish = laps_remaining < window - car.age.min(window);
+            let owes_change = dynamics.mandatory_compound_change
+                && car.used_dry.count_ones() <= 1
+                && dynamics.compounds.len() > 1;
+            let near_end_skip =
+                stint_done && can_reach_finish && laps_remaining <= 12 && !owes_change;
+
+            // Weather crossovers dominate every other consideration.
+            let needs_wets = wet_now >= 0.5 && !on_wet_tyre;
+            let needs_dries = wet_now <= 0.25 && on_wet_tyre;
+            let crossover = dynamics.wet.is_some() && car.age >= 2 && (needs_wets || needs_dries);
+
+            let pit = if must_pit || crossover {
+                true
+            } else if track_status.is_caution() {
+                let eager_enough =
+                    (car.age as f32) >= profile.caution_pit_eagerness * car.planned_stint as f32;
+                eager_enough && early_caution && !can_reach_finish && rng.gen_bool(0.92)
+            } else if stint_done && !near_end_skip && laps_remaining > 4 {
+                true
+            } else {
+                rng.gen_bool(0.0012) && laps_remaining > 4
+            };
+            pits[i] = pit;
+            to_wet[i] = pit && dynamics.wet.is_some() && wet_now >= 0.5;
+        }
+
+        // --- lap times -----------------------------------------------------
+        for (i, car) in cars.iter_mut().enumerate() {
+            if car.retired.is_some() {
+                continue;
+            }
+            let profile = &field[i];
+            let on_wet_tyre = car.compound_idx == usize::MAX;
+            let spec = if on_wet_tyre {
+                &wet_tyre
+            } else {
+                dynamics
+                    .compounds
+                    .get(car.compound_idx)
+                    .unwrap_or(&wet_tyre)
+            };
+            let window = cfg.fuel_window_laps.min(spec.max_life);
+
+            // Fuel-saving pressure grows through the stint (lift-and-coast
+            // deepens as the stretch target approaches).
+            let fuel_pressure = dynamics
+                .wet
+                .as_ref()
+                .map(|p| p.fuel_pressure)
+                .unwrap_or(0.0);
+            let stint_frac = car.age as f32 / window.max(1) as f32;
+            let fuel_target = (fuel_pressure * stint_frac * stint_frac).clamp(0.0, 1.0);
+
+            // Wrong-tyre penalty: dry tyres suffer the full wet slowdown;
+            // wets carve through standing water but scrub on a drying line.
+            let wet_penalty = match dynamics.wet.as_ref() {
+                Some(p) if on_wet_tyre => {
+                    base * (0.35 * p.wet_slowdown_frac * wet_now + 0.04 * (1.0 - wet_now))
+                }
+                Some(p) => base * p.wet_slowdown_frac * wet_now,
+                None => 0.0,
+            };
+
+            let lap_time = if track_status.is_caution() {
+                base * cfg.caution_slowdown + 0.3 * gaussian(&mut rng).abs()
+            } else {
+                let mut noise_frac = cfg.lap_noise_frac * profile.consistency;
+                if laps_since_restart <= 2 {
+                    noise_frac += cfg.restart_noise_frac;
+                }
+                base * (1.0 + profile.skill)
+                    + spec.pace_offset_s
+                    + degradation_s(spec, car.age)
+                    + wet_penalty
+                    + base * 0.008 * fuel_target
+                    + base * noise_frac * gaussian(&mut rng)
+            };
+            let mut lap_time = lap_time.max(base * 0.9);
+            if pits[i] {
+                lap_time += if track_status.is_caution() {
+                    cfg.pit_loss_s
+                } else {
+                    cfg.pit_loss_s + 2.0 * gaussian(&mut rng).abs()
+                };
+            }
+            car.cum_time += lap_time as f64;
+
+            let age_entering = car.age;
+            let compound_entering = if on_wet_tyre { WET_COMPOUND } else { spec.id };
+            if pits[i] {
+                car.age = 0;
+                if to_wet[i] {
+                    car.compound_idx = usize::MAX;
+                    car.planned_stint = draw_stint(&mut rng, cfg, wet_tyre.max_life);
+                } else {
+                    let idx = choose_dry_compound(
+                        &mut strategy_rng,
+                        dynamics,
+                        if on_wet_tyre { 0 } else { car.compound_idx },
+                        car.used_dry,
+                        laps_remaining,
+                    );
+                    car.compound_idx = idx;
+                    car.used_dry |= 1 << (idx as u32 % 32);
+                    let life = dynamics
+                        .compounds
+                        .get(idx)
+                        .map(|c| c.max_life)
+                        .unwrap_or(cfg.fuel_window_laps);
+                    car.planned_stint = draw_stint(&mut rng, cfg, life);
+                }
+            } else {
+                car.age += 1;
+            }
+
+            car.laps.push(LapRecord {
+                rank: 0,
+                car_id: profile.car_id,
+                lap,
+                lap_time,
+                time_behind_leader: 0.0,
+                lap_status: if pits[i] {
+                    LapStatus::Pit
+                } else {
+                    LapStatus::Normal
+                },
+                track_status,
+                compound: compound_entering,
+                tyre_age: age_entering,
+                track_wetness: wet_now,
+                fuel_target,
+            });
+        }
+
+        // --- field compression behind the pace car -------------------------
+        if track_status.is_caution() {
+            let mut order: Vec<usize> = (0..n).filter(|&i| cars[i].retired.is_none()).collect();
+            order.sort_by(|&a, &b| cars[a].cum_time.total_cmp(&cars[b].cum_time));
+            if let Some(&leader) = order.first() {
+                let leader_time = cars[leader].cum_time;
+                for (pos, &i) in order.iter().enumerate() {
+                    cars[i].cum_time = leader_time + pos as f64 * 1.1 + rng.gen_range(0.0..0.25);
+                }
+            }
+        }
+
+        // --- ranks and gaps -------------------------------------------------
+        let mut order: Vec<usize> = (0..n)
+            .filter(|&i| cars[i].laps.last().map(|r| r.lap) == Some(lap))
+            .collect();
+        order.sort_by(|&a, &b| cars[a].cum_time.total_cmp(&cars[b].cum_time));
+        if let Some(&leader) = order.first() {
+            let leader_time = cars[leader].cum_time;
+            for (pos, &i) in order.iter().enumerate() {
+                let gap = (cars[i].cum_time - leader_time) as f32;
+                if let Some(rec) = cars[i].laps.last_mut() {
+                    rec.rank = (pos + 1) as u16;
+                    rec.time_behind_leader = gap;
+                }
+            }
+        }
+
+        if caution_left > 0 {
+            caution_left -= 1;
+        } else {
+            laps_since_restart = laps_since_restart.saturating_add(1);
+        }
+    }
+
+    let mut records: Vec<LapRecord> = cars.iter().flat_map(|c| c.laps.iter().copied()).collect();
+    records.sort_by_key(|r| (r.lap, r.rank));
+
+    RaceResult {
+        config: cfg.clone(),
+        field,
+        records,
+        retired,
+    }
+}

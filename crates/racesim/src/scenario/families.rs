@@ -1,0 +1,218 @@
+//! The four scenario families and their lowering to engine [`Dynamics`].
+
+use crate::track::{Event, EventConfig};
+use serde::{Deserialize, Serialize};
+
+use super::engine::{Dynamics, WetParams};
+
+/// Per-family stream salts: two families over the same event and seed must
+/// draw from unrelated streams (see the module docs on RNG discipline).
+const TYRE_SALT: u64 = 0x7479_7265; // "tyre"
+const CAUTION_SALT: u64 = 0x6361_7574; // "caut"
+const WETDRY_SALT: u64 = 0x7765_7464; // "wetd"
+
+/// One tyre compound: a pace offset against the event's base lap time and
+/// a closed-form degradation curve (`deg_linear_s * age + deg_quad_s *
+/// age²` seconds — see [`super::degradation_s`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompoundSpec {
+    /// Covariate value recorded in `LapRecord::compound` (1..=3 dry,
+    /// [`super::WET_COMPOUND`] wet, 0 single-compound baseline).
+    pub id: u8,
+    /// Seconds added to the base lap time when fresh (soft compounds are
+    /// negative: faster than the reference).
+    pub pace_offset_s: f32,
+    /// Linear degradation, seconds per lap of tyre age.
+    pub deg_linear_s: f32,
+    /// Quadratic degradation, seconds per lap² — the "cliff".
+    pub deg_quad_s: f32,
+    /// Hard cap on stint length on this compound, laps.
+    pub max_life: u16,
+}
+
+/// The paper-baseline family: `event`/`year` straight through the legacy
+/// `simulate_race`, bit-identical by construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndyCarScenario {
+    pub event: Event,
+    pub year: u16,
+}
+
+impl IndyCarScenario {
+    pub fn event_config(&self) -> EventConfig {
+        EventConfig::for_race(self.event, self.year)
+    }
+}
+
+/// F1-style tyre strategy: compound choice against per-compound
+/// degradation curves drives pit timing instead of the fuel window alone.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TyreStrategyConfig {
+    pub event: Event,
+    pub year: u16,
+    /// Available dry compounds; must be non-empty.
+    pub compounds: Vec<CompoundSpec>,
+    /// F1 rule: every car must run at least two distinct dry compounds.
+    pub mandatory_compound_change: bool,
+}
+
+impl TyreStrategyConfig {
+    /// The standard three-compound set (soft/medium/hard), scaled so the
+    /// soft's cliff arrives well inside the event's fuel window.
+    pub fn standard(event: Event, year: u16) -> TyreStrategyConfig {
+        let cfg = EventConfig::for_race(event, year);
+        let w = cfg.fuel_window_laps as f32;
+        TyreStrategyConfig {
+            event,
+            year,
+            compounds: vec![
+                CompoundSpec {
+                    id: 1, // soft
+                    pace_offset_s: -0.45,
+                    deg_linear_s: 0.9 / w,
+                    deg_quad_s: 0.9 / (w * w),
+                    max_life: ((w * 0.55) as u16).max(10),
+                },
+                CompoundSpec {
+                    id: 2, // medium
+                    pace_offset_s: 0.0,
+                    deg_linear_s: 0.55 / w,
+                    deg_quad_s: 0.35 / (w * w),
+                    max_life: ((w * 0.8) as u16).max(12),
+                },
+                CompoundSpec {
+                    id: 3, // hard
+                    pace_offset_s: 0.4,
+                    deg_linear_s: 0.3 / w,
+                    deg_quad_s: 0.15 / (w * w),
+                    max_life: cfg.fuel_window_laps,
+                },
+            ],
+            mandatory_compound_change: true,
+        }
+    }
+
+    pub(crate) fn dynamics(&self) -> Dynamics {
+        let base = EventConfig::for_race(self.event, self.year);
+        Dynamics {
+            base,
+            salt: TYRE_SALT,
+            hazard_mult: 1.0,
+            caution_len: (4, 9),
+            scheduled_cautions: Vec::new(),
+            compounds: self.compounds.clone(),
+            mandatory_compound_change: self.mandatory_compound_change,
+            wet: None,
+        }
+    }
+}
+
+/// Safety-car/caution-regime variation: the IndyCar dynamics with the
+/// caution process re-parameterised.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CautionRegimeConfig {
+    pub event: Event,
+    pub year: u16,
+    /// Multiplier on the event's per-car per-lap crash hazard.
+    pub hazard_mult: f64,
+    /// Inclusive window the caution length is drawn from.
+    pub caution_len: (u16, u16),
+    /// Competition cautions thrown at these laps regardless of crashes.
+    pub scheduled_cautions: Vec<u16>,
+}
+
+impl CautionRegimeConfig {
+    /// A caution-heavy regime: 2.5× hazard, long cautions, one scheduled
+    /// competition caution a third of the way in.
+    pub fn standard(event: Event, year: u16) -> CautionRegimeConfig {
+        let cfg = EventConfig::for_race(event, year);
+        CautionRegimeConfig {
+            event,
+            year,
+            hazard_mult: 2.5,
+            caution_len: (6, 14),
+            scheduled_cautions: vec![cfg.total_laps / 3],
+        }
+    }
+
+    pub(crate) fn dynamics(&self) -> Dynamics {
+        let base = EventConfig::for_race(self.event, self.year);
+        Dynamics {
+            salt: CAUTION_SALT,
+            hazard_mult: self.hazard_mult,
+            caution_len: self.caution_len,
+            scheduled_cautions: self.scheduled_cautions.clone(),
+            compounds: vec![baseline_compound(&base)],
+            mandatory_compound_change: false,
+            wet: None,
+            base,
+        }
+    }
+}
+
+/// Wet/dry transitions: rain showers sweep a wetness trajectory across the
+/// race; crossovers force tyre swaps and fuel-saving pressure stretches
+/// stints.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WetDryConfig {
+    pub event: Event,
+    pub year: u16,
+    /// Number of rain showers swept over the race.
+    pub showers: u16,
+    /// Lap-time penalty at full wetness on dry tyres, fraction of base.
+    pub wet_slowdown_frac: f32,
+    /// Wetness decay per dry lap.
+    pub drying_per_lap: f32,
+    /// Wetness growth per raining lap.
+    pub rain_per_lap: f32,
+    /// Fuel-saving pressure in `[0, 1]`.
+    pub fuel_pressure: f32,
+}
+
+impl WetDryConfig {
+    /// Two showers, a 14% full-wet slowdown, and moderate fuel saving.
+    pub fn standard(event: Event, year: u16) -> WetDryConfig {
+        WetDryConfig {
+            event,
+            year,
+            showers: 2,
+            wet_slowdown_frac: 0.14,
+            drying_per_lap: 0.06,
+            rain_per_lap: 0.18,
+            fuel_pressure: 0.6,
+        }
+    }
+
+    pub(crate) fn dynamics(&self) -> Dynamics {
+        let base = EventConfig::for_race(self.event, self.year);
+        Dynamics {
+            salt: WETDRY_SALT,
+            hazard_mult: 1.0,
+            caution_len: (4, 9),
+            scheduled_cautions: Vec::new(),
+            compounds: vec![baseline_compound(&base)],
+            mandatory_compound_change: false,
+            wet: Some(WetParams {
+                showers: self.showers,
+                wet_slowdown_frac: self.wet_slowdown_frac,
+                drying_per_lap: self.drying_per_lap,
+                rain_per_lap: self.rain_per_lap,
+                fuel_pressure: self.fuel_pressure,
+            }),
+            base,
+        }
+    }
+}
+
+/// The event's implicit single compound: reproduces the legacy simulator's
+/// linear tyre term (`0.015 · base · age / fuel_window`) as a degradation
+/// curve, with the fuel window as its life.
+fn baseline_compound(cfg: &EventConfig) -> CompoundSpec {
+    CompoundSpec {
+        id: 0,
+        pace_offset_s: 0.0,
+        deg_linear_s: 0.015 * cfg.base_lap_time_s() / cfg.fuel_window_laps as f32,
+        deg_quad_s: 0.0,
+        max_life: cfg.fuel_window_laps,
+    }
+}

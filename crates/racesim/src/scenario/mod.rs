@@ -1,0 +1,144 @@
+//! Multi-series strategy scenario engine.
+//!
+//! The paper's simulator is calibrated to one series — IndyCar
+//! superspeedway pit/caution statistics — so every model-ordering claim
+//! rests on a single scenario family. This module generalizes the substrate
+//! behind one typed config API so the forecasting conclusions can be tested
+//! across racing regimes the related work names (F1 tyre-energy/compound
+//! degradation, weather transitions, caution-regime sensitivity):
+//!
+//! * [`ScenarioFamily::IndyCar`] — the paper's baseline. Selecting it
+//!   delegates to the untouched [`simulate_race`], so it is bit-identical
+//!   to the legacy path by construction (pinned by a golden test).
+//! * [`ScenarioFamily::TyreStrategy`] — F1-style compound choice: three dry
+//!   compounds with per-compound degradation curves
+//!   ([`engine::degradation_s`]) driving pit decisions, optional mandatory
+//!   compound change.
+//! * [`ScenarioFamily::CautionRegime`] — the IndyCar dynamics with the
+//!   caution process re-parameterised: hazard multiplier, longer caution
+//!   windows, scheduled (competition) cautions.
+//! * [`ScenarioFamily::WetDry`] — rain showers sweep a wetness trajectory
+//!   over the race; wet/dry crossovers force tyre swaps and fuel-saving
+//!   pressure stretches stints.
+//!
+//! Every family is a pure function of `(config, seed)`. The engine mirrors
+//! the counter-derived stream discipline of `rpf_nn::RngStreams` with
+//! per-concern salted streams (weather, strategy, race dynamics), so adding
+//! draws to one concern never shifts another family's trajectory.
+
+pub mod engine;
+pub mod families;
+
+pub use engine::{degradation_s, WET_COMPOUND};
+pub use families::{
+    CautionRegimeConfig, CompoundSpec, IndyCarScenario, TyreStrategyConfig, WetDryConfig,
+};
+
+use crate::sim::{simulate_race, RaceResult};
+use crate::track::Event;
+use serde::{Deserialize, Serialize};
+
+/// The scenario families the engine can generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioFamily {
+    /// Paper baseline: bit-identical to [`simulate_race`].
+    IndyCar,
+    /// F1-style compound strategy with per-compound degradation.
+    TyreStrategy,
+    /// Re-parameterised safety-car/caution process.
+    CautionRegime,
+    /// Wet/dry transitions with fuel-saving pressure.
+    WetDry,
+}
+
+impl ScenarioFamily {
+    pub const ALL: [ScenarioFamily; 4] = [
+        ScenarioFamily::IndyCar,
+        ScenarioFamily::TyreStrategy,
+        ScenarioFamily::CautionRegime,
+        ScenarioFamily::WetDry,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::IndyCar => "IndyCar",
+            ScenarioFamily::TyreStrategy => "TyreStrategy",
+            ScenarioFamily::CautionRegime => "CautionRegime",
+            ScenarioFamily::WetDry => "WetDry",
+        }
+    }
+}
+
+/// Typed configuration of one scenario: which family, over which base
+/// event, with which family-specific dynamics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioConfig {
+    IndyCar(IndyCarScenario),
+    TyreStrategy(TyreStrategyConfig),
+    CautionRegime(CautionRegimeConfig),
+    WetDry(WetDryConfig),
+}
+
+impl ScenarioConfig {
+    pub fn family(&self) -> ScenarioFamily {
+        match self {
+            ScenarioConfig::IndyCar(_) => ScenarioFamily::IndyCar,
+            ScenarioConfig::TyreStrategy(_) => ScenarioFamily::TyreStrategy,
+            ScenarioConfig::CautionRegime(_) => ScenarioFamily::CautionRegime,
+            ScenarioConfig::WetDry(_) => ScenarioFamily::WetDry,
+        }
+    }
+
+    /// The paper-baseline scenario for `event`/`year`.
+    pub fn indycar(event: Event, year: u16) -> ScenarioConfig {
+        ScenarioConfig::IndyCar(IndyCarScenario { event, year })
+    }
+
+    /// The standard F1-style tyre-strategy scenario over `event`/`year`.
+    pub fn tyre_strategy(event: Event, year: u16) -> ScenarioConfig {
+        ScenarioConfig::TyreStrategy(TyreStrategyConfig::standard(event, year))
+    }
+
+    /// The standard caution-heavy regime over `event`/`year`.
+    pub fn caution_regime(event: Event, year: u16) -> ScenarioConfig {
+        ScenarioConfig::CautionRegime(CautionRegimeConfig::standard(event, year))
+    }
+
+    /// The standard wet/dry transition scenario over `event`/`year`.
+    pub fn wet_dry(event: Event, year: u16) -> ScenarioConfig {
+        ScenarioConfig::WetDry(WetDryConfig::standard(event, year))
+    }
+
+    /// The standard scenario of `family` over `event`/`year`.
+    pub fn standard(family: ScenarioFamily, event: Event, year: u16) -> ScenarioConfig {
+        match family {
+            ScenarioFamily::IndyCar => ScenarioConfig::indycar(event, year),
+            ScenarioFamily::TyreStrategy => ScenarioConfig::tyre_strategy(event, year),
+            ScenarioFamily::CautionRegime => ScenarioConfig::caution_regime(event, year),
+            ScenarioFamily::WetDry => ScenarioConfig::wet_dry(event, year),
+        }
+    }
+}
+
+/// Simulate one race of `cfg` deterministically from `seed`.
+///
+/// The IndyCar family delegates to [`simulate_race`] verbatim — same RNG
+/// stream, same call order — so its output is byte-equal to the legacy
+/// simulator. The other families run the generalized [`engine`].
+pub fn simulate_scenario(cfg: &ScenarioConfig, seed: u64) -> RaceResult {
+    match cfg {
+        ScenarioConfig::IndyCar(c) => simulate_race(&c.event_config(), seed),
+        ScenarioConfig::TyreStrategy(c) => engine::run(&c.dynamics(), seed),
+        ScenarioConfig::CautionRegime(c) => engine::run(&c.dynamics(), seed),
+        ScenarioConfig::WetDry(c) => engine::run(&c.dynamics(), seed),
+    }
+}
+
+/// `n` independent races of `cfg`: race `i` uses the same index-salted
+/// derivation as the bench dataset (`base_seed ^ ((i + 1) << 32)`), so a
+/// scenario season replays bit-identically from `(cfg, base_seed)`.
+pub fn generate_races(cfg: &ScenarioConfig, base_seed: u64, n: usize) -> Vec<RaceResult> {
+    (0..n)
+        .map(|i| simulate_scenario(cfg, base_seed ^ ((i as u64 + 1) << 32)))
+        .collect()
+}

@@ -231,6 +231,9 @@ pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
             }
             car.cum_time += lap_time as f64;
 
+            // Age entering the lap — the tyre-age covariate (the IndyCar
+            // baseline runs one stint = one tyre set, so it equals pit age).
+            let age_entering = car.pit_age;
             if pits[i] {
                 car.pit_age = 0;
                 car.planned_stint = draw_stint(&mut rng, cfg);
@@ -251,6 +254,10 @@ pub fn simulate_race(cfg: &EventConfig, seed: u64) -> RaceResult {
                     LapStatus::Normal
                 },
                 track_status,
+                compound: 0,
+                tyre_age: age_entering,
+                track_wetness: 0.0,
+                fuel_target: 0.0,
             });
         }
 

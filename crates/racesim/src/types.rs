@@ -53,7 +53,7 @@ impl TrackStatus {
 /// Matches the columns of the paper's Fig 1a. `rank` is the order in which
 /// cars completed this lap (1 = leader), computed from cumulative elapsed
 /// time exactly as the paper describes in §II-A.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct LapRecord {
     /// 1-based rank at completion of this lap.
     pub rank: u16,
@@ -69,6 +69,44 @@ pub struct LapRecord {
     pub lap_status: LapStatus,
     /// Green or yellow flag for this lap.
     pub track_status: TrackStatus,
+    /// Tyre compound fitted this lap (0 = single-compound series such as
+    /// the IndyCar baseline; F1-style scenarios use 1..=3 soft/medium/hard).
+    pub compound: u8,
+    /// Laps since the current tyre set was fitted, counted entering this
+    /// lap (0 on the out-lap; mirrors the pit-age feature of `core`).
+    pub tyre_age: u16,
+    /// Track wetness in `[0, 1]`; 0.0 for dry-only scenarios.
+    pub track_wetness: f32,
+    /// Fuel-saving pressure in `[0, 1]` (lift-and-coast target); 0.0 when
+    /// the scenario does not model fuel saving.
+    pub fuel_target: f32,
+}
+
+// Hand-written so payloads recorded before the scenario covariates existed
+// still deserialize: the vendored derive has no `#[serde(default)]`, so the
+// four covariates fall back to their documented "unmodelled" zeros via
+// `take_field_or` when absent.
+impl<'de> Deserialize<'de> for LapRecord {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match serde::Deserializer::deserialize_content(deserializer)? {
+            serde::Content::Map(mut fields) => Ok(LapRecord {
+                rank: serde::de::take_field(&mut fields, "rank")?,
+                car_id: serde::de::take_field(&mut fields, "car_id")?,
+                lap: serde::de::take_field(&mut fields, "lap")?,
+                lap_time: serde::de::take_field(&mut fields, "lap_time")?,
+                time_behind_leader: serde::de::take_field(&mut fields, "time_behind_leader")?,
+                lap_status: serde::de::take_field(&mut fields, "lap_status")?,
+                track_status: serde::de::take_field(&mut fields, "track_status")?,
+                compound: serde::de::take_field_or(&mut fields, "compound", 0u8)?,
+                tyre_age: serde::de::take_field_or(&mut fields, "tyre_age", 0u16)?,
+                track_wetness: serde::de::take_field_or(&mut fields, "track_wetness", 0.0f32)?,
+                fuel_target: serde::de::take_field_or(&mut fields, "fuel_target", 0.0f32)?,
+            }),
+            other => Err(<D::Error as serde::de::Error>::custom(format!(
+                "expected map for struct LapRecord, got {other:?}"
+            ))),
+        }
+    }
 }
 
 impl LapRecord {
@@ -117,10 +155,29 @@ mod tests {
             time_behind_leader: 1.6026,
             lap_status: LapStatus::Normal,
             track_status: TrackStatus::Green,
+            compound: 2,
+            tyre_age: 14,
+            track_wetness: 0.25,
+            fuel_target: 0.5,
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: LapRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn record_deserializes_pre_scenario_payloads() {
+        // A record serialized before the scenario covariates existed: the
+        // four new fields must default to their unmodelled zeros.
+        let json = r#"{"rank":3,"car_id":12,"lap":31,"lap_time":45.6879,
+            "time_behind_leader":1.6026,"lap_status":"Normal",
+            "track_status":"Green"}"#;
+        let back: LapRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(back.rank, 3);
+        assert_eq!(back.compound, 0);
+        assert_eq!(back.tyre_age, 0);
+        assert_eq!(back.track_wetness, 0.0);
+        assert_eq!(back.fuel_target, 0.0);
     }
 
     #[test]
@@ -133,6 +190,10 @@ mod tests {
             time_behind_leader: 0.0,
             lap_status: LapStatus::Normal,
             track_status: TrackStatus::Green,
+            compound: 0,
+            tyre_age: 0,
+            track_wetness: 0.0,
+            fuel_target: 0.0,
         };
         let row = r.display_row();
         assert!(row.contains("44.6091"));

@@ -1,0 +1,145 @@
+//! Golden regression for the scenario families at a fixed seed.
+//!
+//! The IndyCar pin is exact — byte equality with the legacy simulator is
+//! the acceptance criterion of the scenario subsystem. The other families
+//! pin the *shape* their dynamics are supposed to produce (compound usage,
+//! caution load, wetness sweep) in bands, golden_stats-style, so harmless
+//! re-tuning survives but a broken strategy loop does not.
+
+use rpf_racesim::stats::pit_laps_ratio;
+use rpf_racesim::{
+    simulate_race, simulate_scenario, Event, EventConfig, ScenarioConfig, ScenarioFamily,
+    TrackStatus,
+};
+use std::collections::BTreeSet;
+
+const SEED: u64 = 42;
+
+fn indy(family: ScenarioFamily) -> rpf_racesim::RaceResult {
+    simulate_scenario(
+        &ScenarioConfig::standard(family, Event::Indy500, 2018),
+        SEED,
+    )
+}
+
+#[test]
+fn indycar_family_is_the_legacy_simulator() {
+    let scenario = indy(ScenarioFamily::IndyCar);
+    let legacy = simulate_race(&EventConfig::for_race(Event::Indy500, 2018), SEED);
+    assert_eq!(scenario.records.len(), legacy.records.len());
+    for (a, b) in scenario.records.iter().zip(&legacy.records) {
+        assert_eq!(a.car_id, b.car_id);
+        assert_eq!(a.lap, b.lap);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.lap_time.to_bits(), b.lap_time.to_bits());
+        assert_eq!(
+            a.time_behind_leader.to_bits(),
+            b.time_behind_leader.to_bits()
+        );
+        assert_eq!(a.lap_status, b.lap_status);
+        assert_eq!(a.track_status, b.track_status);
+        // Legacy covariate defaults: single compound, dry, no fuel saving.
+        assert_eq!(a.compound, 0);
+        assert_eq!(a.track_wetness, 0.0);
+        assert_eq!(a.fuel_target, 0.0);
+    }
+    assert_eq!(scenario.retired, legacy.retired);
+}
+
+#[test]
+fn every_family_keeps_the_race_shape() {
+    for family in ScenarioFamily::ALL {
+        let race = indy(family);
+        assert_eq!(race.field.len(), 33, "{}", family.name());
+        let finishers = race.finishers().len();
+        assert!(
+            (15..=33).contains(&finishers),
+            "{}: {finishers} finishers",
+            family.name()
+        );
+        let ratio = pit_laps_ratio(&race);
+        assert!(
+            (0.02..=0.60).contains(&ratio),
+            "{}: pit-laps ratio {ratio} out of band",
+            family.name()
+        );
+        // Replay determinism at the golden seed.
+        let replay = indy(family);
+        assert_eq!(race.records.len(), replay.records.len());
+        for (a, b) in race.records.iter().zip(&replay.records) {
+            assert_eq!(
+                a.lap_time.to_bits(),
+                b.lap_time.to_bits(),
+                "{}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tyre_strategy_races_on_three_compounds() {
+    let race = indy(ScenarioFamily::TyreStrategy);
+    let compounds: BTreeSet<u8> = race.records.iter().map(|r| r.compound).collect();
+    assert_eq!(
+        compounds,
+        BTreeSet::from([1, 2, 3]),
+        "standard F1-style set must exercise soft/medium/hard"
+    );
+    // Mandatory-change rule: every finisher runs at least two compounds.
+    for id in race.finishers() {
+        let used: BTreeSet<u8> = race.car_records(id).iter().map(|r| r.compound).collect();
+        assert!(used.len() >= 2, "car {id} ran a single compound");
+    }
+}
+
+#[test]
+fn caution_regime_doubles_the_caution_load() {
+    let heavy = indy(ScenarioFamily::CautionRegime);
+    let baseline = indy(ScenarioFamily::IndyCar);
+    assert!(
+        heavy.caution_lap_count() >= baseline.caution_lap_count(),
+        "2.5x hazard plus a scheduled caution must not reduce caution laps \
+         ({} vs {})",
+        heavy.caution_lap_count(),
+        baseline.caution_lap_count()
+    );
+    // The scheduled competition caution fires regardless of crash luck.
+    let sched = 200 / 3;
+    assert!(
+        heavy
+            .records
+            .iter()
+            .any(|r| r.lap >= sched && r.lap < sched + 6 && r.track_status == TrackStatus::Yellow),
+        "scheduled caution did not appear"
+    );
+}
+
+#[test]
+fn wet_dry_sweeps_weather_and_fuel_pressure() {
+    let race = indy(ScenarioFamily::WetDry);
+    let max_wet = race
+        .records
+        .iter()
+        .map(|r| r.track_wetness)
+        .fold(0.0f32, f32::max);
+    assert!(max_wet >= 0.5, "showers never wet the track ({max_wet})");
+    assert!(
+        race.records.iter().any(|r| r.track_wetness == 0.0),
+        "race must also see dry running"
+    );
+    let compounds: BTreeSet<u8> = race.records.iter().map(|r| r.compound).collect();
+    assert!(
+        compounds.contains(&rpf_racesim::scenario::WET_COMPOUND),
+        "no car crossed over to wet tyres: {compounds:?}"
+    );
+    let max_fuel = race
+        .records
+        .iter()
+        .map(|r| r.fuel_target)
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_fuel > 0.1,
+        "fuel-saving pressure never materialised ({max_fuel})"
+    );
+}

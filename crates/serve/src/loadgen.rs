@@ -177,6 +177,13 @@ pub struct MultiRaceMix {
     pub mix: LoadMix,
     /// Zipf exponent `s`; 0 = uniform, larger = more skew toward race 0.
     pub zipf_exponent: f64,
+    /// Optional scenario-family label per race index (`scenario_of[r]`
+    /// names the family race `r` was generated from). Purely descriptive:
+    /// labels ride along with the draw via
+    /// [`MultiRaceMix::labeled_request_at`] and never touch the RNG, so a
+    /// labeled mix replays bit-identically to an unlabeled one. Empty
+    /// (the default) means unlabeled.
+    pub scenario_of: Vec<String>,
 }
 
 impl MultiRaceMix {
@@ -184,7 +191,19 @@ impl MultiRaceMix {
         MultiRaceMix {
             mix: LoadMix::standard(races, origins),
             zipf_exponent,
+            scenario_of: Vec::new(),
         }
+    }
+
+    /// Attach scenario-family labels (one per race, race index order).
+    pub fn with_scenarios(mut self, labels: Vec<String>) -> MultiRaceMix {
+        self.scenario_of = labels;
+        self
+    }
+
+    /// The scenario label of race `race`, if the mix carries one.
+    pub fn scenario_label(&self, race: usize) -> Option<&str> {
+        self.scenario_of.get(race).map(String::as_str)
     }
 
     /// Normalised race weights, `w_r ∝ 1/(r+1)^s`.
@@ -221,6 +240,19 @@ impl MultiRaceMix {
         }
         req.race = race;
         req
+    }
+
+    /// [`MultiRaceMix::request_at`] plus the drawn race's scenario label.
+    /// The label is a pure lookup on the already-drawn race — no extra RNG
+    /// draws — so the request stream is identical to the unlabeled path.
+    pub fn labeled_request_at(
+        &self,
+        streams: &RngStreams,
+        index: u64,
+    ) -> (ServeRequest, Option<&str>) {
+        let req = self.request_at(streams, index);
+        let label = self.scenario_label(req.race);
+        (req, label)
     }
 
     /// [`schedule`] over this mix.
@@ -382,6 +414,29 @@ mod tests {
         let w = mix.weights();
         assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn scenario_labels_ride_along_without_changing_draws() {
+        let plain = MultiRaceMix::new(4, (40, 90), 1.1);
+        let labeled = MultiRaceMix::new(4, (40, 90), 1.1).with_scenarios(vec![
+            "indycar".into(),
+            "tyre_strategy".into(),
+            "caution_regime".into(),
+            "wet_dry".into(),
+        ]);
+        let s = RngStreams::new(11);
+        for i in 0..256 {
+            let a = plain.request_at(&s, i);
+            let (b, label) = labeled.labeled_request_at(&s, i);
+            assert_eq!(a, b, "labels must not perturb the request stream");
+            assert_eq!(label, labeled.scenario_label(b.race));
+            assert!(label.is_some(), "every race in this mix is labeled");
+        }
+        // An unlabeled mix hands back None without changing anything else.
+        let (req, label) = plain.labeled_request_at(&s, 7);
+        assert_eq!(req, plain.request_at(&s, 7));
+        assert!(label.is_none());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Scenario-mixed serving workload: one race per scenario family, served
+//! through the batched layer under a labeled Zipf mix. Labels are pure
+//! metadata — the request stream is bit-identical to the unlabeled mix —
+//! but they let the report slice completions per family, which is what the
+//! cross-scenario bench does at scale.
+
+mod common;
+
+use common::ENGINE_SEED;
+use ranknet_core::engine::ForecastEngine;
+use ranknet_core::features::{extract_sequences, RaceContext};
+use rpf_nn::RngStreams;
+use rpf_racesim::{simulate_scenario, Event, ScenarioConfig, ScenarioFamily};
+use rpf_serve::loadgen::{self, MultiRaceMix};
+use rpf_serve::{serve, ServeConfig};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One featurized race per scenario family, race index = family order.
+fn scenario_contexts() -> Vec<(ScenarioFamily, RaceContext)> {
+    ScenarioFamily::ALL
+        .iter()
+        .map(|&family| {
+            let cfg = ScenarioConfig::standard(family, Event::Indy500, 2018);
+            let ctx = extract_sequences(&simulate_scenario(&cfg, 77));
+            (family, ctx)
+        })
+        .collect()
+}
+
+fn labeled_mix() -> MultiRaceMix {
+    let labels = ScenarioFamily::ALL
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
+    let mut mix = MultiRaceMix::new(4, (60, 110), 1.0).with_scenarios(labels);
+    mix.mix.sample_counts = vec![4];
+    mix
+}
+
+#[test]
+fn mixed_scenario_workload_serves_every_family() {
+    let (model, _) = common::fixture();
+    let pairs = scenario_contexts();
+    let contexts: Vec<&RaceContext> = pairs.iter().map(|(_, c)| c).collect();
+    let mix = labeled_mix();
+    let streams = RngStreams::new(0x5CEA);
+
+    let script = mix.schedule(&loadgen::burst(Duration::ZERO, 96), &streams, 0);
+    let engine = ForecastEngine::new(model, ENGINE_SEED).with_threads(1);
+    let cfg = ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        max_delay: Duration::from_millis(2),
+        queue_capacity: 1024,
+    };
+    let (report, metrics) = serve(&engine, &contexts, &cfg, |client| {
+        loadgen::run_open_loop(client, &script)
+    });
+
+    assert!(report.rejected.is_empty(), "queue sized for the full burst");
+    assert_eq!(report.outcomes.len(), 96, "one response per submission");
+    assert_eq!(metrics.completed, 96);
+
+    // Slice completions per scenario family via the mix's labels: under
+    // Zipf(1.0) over four races every family must see traffic, and every
+    // request's label must match the family that generated its race.
+    let mut per_family: HashMap<&str, usize> = HashMap::new();
+    for (req, outcome) in &report.outcomes {
+        let label = mix.scenario_label(req.race).expect("every race is labeled");
+        assert_eq!(label, pairs[req.race].0.name());
+        assert!(outcome.is_ok(), "in-range request must serve: {outcome:?}");
+        *per_family.entry(label).or_default() += 1;
+    }
+    assert_eq!(per_family.len(), 4, "all four families saw traffic");
+    for (family, n) in &per_family {
+        assert!(*n > 0, "family {family} starved");
+    }
+}
+
+/// The labeled schedule replays bit-identically: same seeds, same script —
+/// and identical to the unlabeled mix's script (labels never touch RNG).
+#[test]
+fn labeled_schedule_is_deterministic_and_label_free_on_the_wire() {
+    let mix = labeled_mix();
+    let plain = MultiRaceMix {
+        scenario_of: Vec::new(),
+        ..mix.clone()
+    };
+    let streams = RngStreams::new(0x5CEA);
+    let times = loadgen::burst(Duration::ZERO, 64);
+    let a = mix.schedule(&times, &streams, 0);
+    let b = mix.schedule(&times, &streams, 0);
+    let c = plain.schedule(&times, &streams, 0);
+    assert_eq!(a, b, "schedule must be a pure function of (seed, times)");
+    assert_eq!(a, c, "labels must leave the wire traffic untouched");
+}

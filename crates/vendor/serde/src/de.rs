@@ -88,6 +88,23 @@ pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
     }
 }
 
+/// Like [`take_field`], but fall back to `default` when `key` is absent.
+/// Hand-written `Deserialize` impls use this to stay loadable across schema
+/// growth: a field added in format N+1 deserializes from older payloads as
+/// its documented default instead of erroring. (The derive stub has no
+/// `#[serde(default)]`; backward-compatible structs write their impl by
+/// hand against this helper.)
+pub fn take_field_or<'de, T: Deserialize<'de>, E: Error>(
+    fields: &mut Vec<(String, Content)>,
+    key: &str,
+    default: T,
+) -> Result<T, E> {
+    match fields.iter().position(|(k, _)| k == key) {
+        Some(idx) => from_content(fields.swap_remove(idx).1),
+        None => Ok(default),
+    }
+}
+
 // ---- Deserialize impls for std types --------------------------------------
 
 fn number_as_f64(content: &Content) -> Option<f64> {

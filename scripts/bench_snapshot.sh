@@ -11,6 +11,11 @@
 #                                              # the shard1/shard2/shard4
 #                                              # serving lines, written to
 #                                              # BENCH_YYYY-MM-DD_shards.json
+#   scripts/bench_snapshot.sh scenarios [out]  # cross-scenario accuracy
+#                                              # snapshot: `repro scenarios`
+#                                              # SignAcc/MAE per (family,
+#                                              # model) cell, written to
+#                                              # BENCH_YYYY-MM-DD_scenarios.json
 #
 # Runs offline against the vendored criterion stub, whose output format is
 # stable: stdout bench lines `label  <t>/iter  [lo .. hi]` and the serving
@@ -22,14 +27,63 @@ mode="full"
 if [ "${1:-}" = "shards" ]; then
   mode="shards"
   shift
+elif [ "${1:-}" = "scenarios" ]; then
+  mode="scenarios"
+  shift
 fi
-if [ "$mode" = "shards" ]; then
-  out="${1:-BENCH_$(date +%F)_shards.json}"
-else
-  out="${1:-BENCH_$(date +%F).json}"
-fi
+case "$mode" in
+  shards)    out="${1:-BENCH_$(date +%F)_shards.json}" ;;
+  scenarios) out="${1:-BENCH_$(date +%F)_scenarios.json}" ;;
+  *)         out="${1:-BENCH_$(date +%F).json}" ;;
+esac
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+if [ "$mode" = "scenarios" ]; then
+  # Accuracy snapshot, not a perf one: the cross-scenario table's
+  # machine-parseable cells (`scenario <family> model=<m> sign_acc=..
+  # mae=.. n=..`), one JSON entry per (scenario family, model family).
+  echo "== cargo run -p rpf-bench -- scenarios ==" >&2
+  cargo run -q --release -p rpf-bench --offline -- scenarios \
+    >"$tmp/scenarios.out" 2>"$tmp/scenarios.err"
+
+  scen_json=$(awk -v q='"' '
+    /^scenario / {
+      family = $2
+      model = $3; sub(/^model=/, "", model)
+      sa = $4;   sub(/^sign_acc=/, "", sa)
+      mae = $5;  sub(/^mae=/, "", mae)
+      n = $6;    sub(/^n=/, "", n)
+      if (c++) printf ",\n"
+      printf "    {%sscenario%s: %s%s%s, %smodel%s: %s%s%s, %ssign_acc%s: %.4f, %smae%s: %.4f, %sn%s: %d}", \
+        q, q, q, family, q, q, q, q, model, q, q, q, sa + 0, q, q, mae + 0, q, q, n + 0
+    }
+    END { if (c) printf "\n" }
+  ' "$tmp/scenarios.out")
+
+  # Cross-scenario drift guard: a snapshot is meaningless unless every
+  # scenario family reported — a missing family means the bench output
+  # format or the family enumeration drifted.
+  for want in IndyCar TyreStrategy CautionRegime WetDry; do
+    if ! printf '%s' "$scen_json" | grep -q "\"scenario\": \"$want\""; then
+      echo "error: scenarios bench emitted no $want cells; raw output in $tmp kept" >&2
+      trap - EXIT
+      exit 1
+    fi
+  done
+
+  {
+    echo "{"
+    echo "  \"date\": \"$(date +%F)\","
+    echo "  \"git\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+    echo "  \"scenarios\": ["
+    printf '%s\n' "$scen_json"
+    echo "  ]"
+    echo "}"
+  } >"$out"
+  echo "wrote $out" >&2
+  exit 0
+fi
 
 if [ "$mode" = "full" ]; then
   echo "== cargo bench -p rpf-bench --bench forecasting ==" >&2

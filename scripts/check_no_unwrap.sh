@@ -43,8 +43,11 @@ while IFS= read -r f; do
 # The serve walk picks up the sharding modules (mailbox, shard, supervisor,
 # router) recursively; perfmodel is modelling code and exempt except for the
 # capacity planner, which feeds production fleet-sizing decisions.
+# racesim is mostly pre-serving data generation and exempt, except the
+# scenario engine, whose configs are a public API fed by benchmarks and the
+# serving workload generators.
 done < <(find crates/core/src crates/nn/src crates/serve/src crates/obs/src \
-  crates/gateway/src \
+  crates/gateway/src crates/racesim/src/scenario \
   crates/tensor/src/batched.rs crates/perfmodel/src/capacity.rs -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then

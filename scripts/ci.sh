@@ -92,6 +92,21 @@ cargo test -q -p rpf-bench --test obs_overhead --release --offline
 echo "== decode perf gate (batched beats per-row at batch >= 16, release) =="
 cargo test -q -p rpf-bench --test decode_perf_gate --release --offline
 
+echo "== scenario properties (per-family determinism, physicality, tyre aging) =="
+cargo test -q -p rpf-racesim --test scenario_props --offline
+
+echo "== scenario goldens (IndyCar bit-equal to legacy, family shape bands) =="
+cargo test -q -p rpf-racesim --test scenario_golden --offline
+
+echo "== feature-schema compatibility (v2 artifacts load + serve, incl. ModelStore) =="
+cargo test -q -p ranknet-core --test schema_compat --offline
+
+echo "== scenario-mixed serving workload (labels off the wire, every family served) =="
+cargo test -q -p rpf-serve --test scenario_mix --offline
+
+echo "== cross-scenario bench smoke (4 models x 4 families end to end, release) =="
+cargo test -q -p rpf-bench --test scenario_smoke --release --offline
+
 echo "== cargo test (workspace) =="
 cargo test -q --workspace --offline
 
